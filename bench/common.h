@@ -1,0 +1,110 @@
+// Shared helpers for the figure-reproduction benchmarks: repeated runs with
+// averaging (the paper runs each experiment 3 times and reports the
+// average), dataset staging, table/CSV output, and scaled-down experiment
+// geometry (documented per figure in EXPERIMENTS.md).
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mm/apps/datagen.h"
+#include "mm/mega_mmap.h"
+#include "mm/util/stats.h"
+
+namespace mmbench {
+
+/// True when the binary was invoked with --csv.
+inline bool CsvMode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--csv") return true;
+  }
+  return false;
+}
+
+/// Repetitions per configuration (paper: 3).
+inline int Reps(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--reps") return std::atoi(argv[i + 1]);
+  }
+  return 3;
+}
+
+/// Scratch directory for datasets and backends; wiped on construction.
+class BenchDir {
+ public:
+  explicit BenchDir(const std::string& name) {
+    path_ = std::filesystem::temp_directory_path() / ("mm_bench_" + name);
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+    std::filesystem::create_directories(path_);
+  }
+  ~BenchDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  std::string Key(const std::string& scheme, const std::string& file,
+                  const std::string& frag = "") const {
+    std::string k = scheme + "://" + (path_ / file).string();
+    if (!frag.empty()) k += ":" + frag;
+    return k;
+  }
+  const std::filesystem::path& path() const { return path_; }
+
+ private:
+  std::filesystem::path path_;
+};
+
+/// One measured configuration: runs `body` `reps` times, returns the mean
+/// virtual runtime in seconds. `body` returns the job RunResult.
+inline double MeasureSeconds(int reps,
+                             const std::function<mm::comm::RunResult()>& body,
+                             bool* oom = nullptr) {
+  mm::StatAccumulator acc;
+  if (oom != nullptr) *oom = false;
+  for (int r = 0; r < reps; ++r) {
+    auto result = body();
+    if (result.oom) {
+      if (oom != nullptr) *oom = true;
+      return 0.0;
+    }
+    if (!result.ok()) {
+      std::fprintf(stderr, "bench run failed: %s\n", result.error.c_str());
+      return 0.0;
+    }
+    acc.Add(result.max_time);
+  }
+  return acc.Mean();
+}
+
+/// Generates a particle dataset once and returns its key.
+inline std::string StageParticles(const BenchDir& dir,
+                                  std::uint64_t num_particles, int halos,
+                                  std::uint64_t seed,
+                                  const std::string& file = "pts.bin",
+                                  double box_size = 1000.0) {
+  mm::apps::DatagenConfig gen;
+  gen.num_particles = num_particles;
+  gen.halos = halos;
+  gen.seed = seed;
+  gen.box_size = box_size;
+  // Keep halo density roughly constant as the dataset grows (weak
+  // scaling): spread the halos AND their width with the box.
+  gen.halo_sigma = 12.0 * box_size / 1000.0;
+  std::string key = dir.Key("posix", file);
+  auto truth = mm::apps::GenerateToBackend(gen, key);
+  if (!truth.ok()) {
+    std::fprintf(stderr, "datagen failed: %s\n",
+                 truth.status().ToString().c_str());
+    std::exit(1);
+  }
+  return key;
+}
+
+inline std::string Fmt(double v, int prec = 4) {
+  return mm::FormatDouble(v, prec);
+}
+
+}  // namespace mmbench

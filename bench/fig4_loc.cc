@@ -1,0 +1,148 @@
+// Fig. 4 reproduction: lines-of-code comparison of the MegaMmap
+// applications against their baseline counterparts ("MegaMmap code
+// 45% - 2x smaller. In each case, all I/O partitioning, I/O compatibility,
+// and most messaging is removed.").
+//
+// A cloc-style counter (nonblank, noncomment lines) runs over the
+// implementation functions extracted by brace matching from this
+// repository's own sources. Shared algorithm code (stencils, local DBSCAN,
+// tree building) is excluded from both sides — the figure compares the
+// *distribution/I-O scaffolding* each approach forces on the application.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mm/util/stats.h"
+
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s (run from the repo root)\n",
+                 path.c_str());
+    std::exit(1);
+  }
+  std::ostringstream oss;
+  oss << in.rdbuf();
+  return oss.str();
+}
+
+/// Extracts the body of the function whose definition contains `signature`
+/// by brace matching.
+std::string ExtractFunction(const std::string& source,
+                            const std::string& signature) {
+  auto pos = source.find(signature);
+  if (pos == std::string::npos) {
+    std::fprintf(stderr, "signature not found: %s\n", signature.c_str());
+    std::exit(1);
+  }
+  auto open = source.find('{', pos);
+  int depth = 0;
+  std::size_t i = open;
+  for (; i < source.size(); ++i) {
+    if (source[i] == '{') ++depth;
+    if (source[i] == '}') {
+      if (--depth == 0) break;
+    }
+  }
+  return source.substr(pos, i - pos + 1);
+}
+
+/// cloc-style count: ignores blank lines and // or /* */ comment lines.
+int CountLoc(const std::string& code) {
+  int loc = 0;
+  bool in_block_comment = false;
+  std::istringstream iss(code);
+  std::string line;
+  while (std::getline(iss, line)) {
+    std::size_t b = line.find_first_not_of(" \t");
+    if (b == std::string::npos) continue;
+    std::string t = line.substr(b);
+    if (in_block_comment) {
+      if (t.find("*/") != std::string::npos) in_block_comment = false;
+      continue;
+    }
+    if (t.rfind("//", 0) == 0) continue;
+    if (t.rfind("/*", 0) == 0) {
+      if (t.find("*/") == std::string::npos) in_block_comment = true;
+      continue;
+    }
+    ++loc;
+  }
+  return loc;
+}
+
+struct FnRef {
+  const char* file;
+  const char* signature;
+};
+
+struct AppEntry {
+  const char* app;
+  std::vector<FnRef> mega_functions;
+  std::vector<FnRef> baseline_functions;
+  const char* baseline_name;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool csv = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--csv") csv = true;
+  }
+
+  // The paper counts each application's own code, including its data
+  // loading/partitioning/serialization scaffolding. Our Spark-style apps
+  // delegate that scaffolding to Rdd<T>::Load, so it is attributed to each
+  // Spark baseline (the real MLlib apps carry equivalent ingest code);
+  // MegaMmap's equivalent lives inside the library — which is the paper's
+  // point.
+  const FnRef kRddLoad{"include/mm/apps/sparklike.h", "Rdd<T> Rdd<T>::Load"};
+  std::vector<AppEntry> apps = {
+      {"KMeans",
+       {{"src/apps/kmeans.cc", "KMeansResult KMeansMega"}},
+       {{"src/apps/kmeans.cc", "KMeansResult KMeansSpark"}, kRddLoad},
+       "Spark-style"},
+      {"RF",
+       {{"src/apps/random_forest.cc", "RfResult RandomForestMega"}},
+       {{"src/apps/random_forest.cc", "RfResult RandomForestSpark"}, kRddLoad},
+       "Spark-style"},
+      {"DBSCAN",
+       {{"src/apps/dbscan.cc", "DbscanResult DbscanMega"},
+        {"src/apps/dbscan.cc", "std::vector<IdxPoint> LoadSliceMega"}},
+       {{"src/apps/dbscan.cc", "DbscanResult DbscanMpi"},
+        {"src/apps/dbscan.cc", "std::vector<IdxPoint> LoadSliceMpi"}},
+       "MPI-style"},
+      {"Gray-Scott",
+       {{"src/apps/gray_scott.cc", "GrayScottResult GrayScottMega"}},
+       {{"src/apps/gray_scott.cc", "GrayScottResult GrayScottMpi"}},
+       "MPI-style"},
+  };
+
+  std::printf("=== Fig. 4: application code volume (cloc-style LoC) ===\n");
+  std::printf("Paper: MegaMmap versions are 45%% to 2x smaller than the "
+              "originals.\n\n");
+  mm::TablePrinter table(
+      {"app", "megammap_loc", "baseline_loc", "baseline", "ratio"});
+  for (const AppEntry& app : apps) {
+    int mega = 0, base = 0;
+    for (const FnRef& fn : app.mega_functions) {
+      mega += CountLoc(ExtractFunction(ReadFile(fn.file), fn.signature));
+    }
+    for (const FnRef& fn : app.baseline_functions) {
+      base += CountLoc(ExtractFunction(ReadFile(fn.file), fn.signature));
+    }
+    table.AddRow({app.app, std::to_string(mega), std::to_string(base),
+                  app.baseline_name,
+                  mm::FormatDouble(static_cast<double>(base) / mega, 2)});
+  }
+  std::printf("%s\n", table.Render(csv).c_str());
+  std::printf("(Shared algorithm kernels — stencil update, leaf DBSCAN,\n"
+              " tree induction — are excluded from both columns; the\n"
+              " comparison isolates distribution/I-O scaffolding.)\n");
+  return 0;
+}

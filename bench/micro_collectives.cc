@@ -1,0 +1,76 @@
+// Microbenchmark of the tree collectives underlying MegaMmap's coherence
+// traffic (§III-C "Collective"): virtual cost of Bcast/AllReduce/AllGatherV
+// across rank counts and payload sizes. The binomial-tree algorithms should
+// show log(p) growth; the virtual seconds per operation are reported as a
+// counter alongside the real execution time.
+#include <benchmark/benchmark.h>
+
+#include "mm/mega_mmap.h"
+
+namespace {
+
+using namespace mm;
+
+void BM_Bcast(benchmark::State& state) {
+  int nranks = static_cast<int>(state.range(0));
+  std::size_t bytes = static_cast<std::size_t>(state.range(1));
+  double virtual_s = 0;
+  for (auto _ : state) {
+    auto cluster = sim::Cluster::PaperTestbed(nranks);
+    auto result = comm::RunRanks(*cluster, nranks, 1,
+                                 [&](comm::RankContext& ctx) {
+                                   comm::Communicator comm(&ctx);
+                                   std::vector<char> data;
+                                   if (ctx.rank() == 0) data.assign(bytes, 1);
+                                   comm.Bcast(data, 0);
+                                 });
+    virtual_s = result.max_time;
+  }
+  state.counters["virtual_s"] = virtual_s;
+}
+BENCHMARK(BM_Bcast)
+    ->ArgsProduct({{2, 4, 8, 16}, {1024, 1 << 20}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AllReduce(benchmark::State& state) {
+  int nranks = static_cast<int>(state.range(0));
+  std::size_t doubles = static_cast<std::size_t>(state.range(1));
+  double virtual_s = 0;
+  for (auto _ : state) {
+    auto cluster = sim::Cluster::PaperTestbed(nranks);
+    auto result = comm::RunRanks(
+        *cluster, nranks, 1, [&](comm::RankContext& ctx) {
+          comm::Communicator comm(&ctx);
+          std::vector<double> data(doubles, 1.0);
+          comm.AllReduce(data, [](double a, double b) { return a + b; });
+        });
+    virtual_s = result.max_time;
+  }
+  state.counters["virtual_s"] = virtual_s;
+}
+BENCHMARK(BM_AllReduce)
+    ->ArgsProduct({{2, 4, 8, 16}, {16, 4096}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AllGatherV(benchmark::State& state) {
+  int nranks = static_cast<int>(state.range(0));
+  double virtual_s = 0;
+  for (auto _ : state) {
+    auto cluster = sim::Cluster::PaperTestbed(nranks);
+    auto result = comm::RunRanks(
+        *cluster, nranks, 1, [&](comm::RankContext& ctx) {
+          comm::Communicator comm(&ctx);
+          std::vector<int> mine(256, ctx.rank());
+          auto all = comm.AllGatherV(mine);
+          benchmark::DoNotOptimize(all.size());
+        });
+    virtual_s = result.max_time;
+  }
+  state.counters["virtual_s"] = virtual_s;
+}
+BENCHMARK(BM_AllGatherV)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

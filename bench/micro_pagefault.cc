@@ -1,0 +1,132 @@
+// Page-fault path microbenchmark: the virtual latency of faulting one page
+// from each layer of the hierarchy — local scache DRAM, a remote node's
+// scache, each storage tier, and a backend stage-in. These are the
+// latencies the prefetcher (Algorithm 1) hides.
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "mm/mega_mmap.h"
+
+namespace {
+
+using namespace mm;
+
+constexpr std::uint64_t kPage = 64 * 1024;
+
+/// Measures the virtual seconds for rank 0 to fault `reads` distinct pages
+/// under the given tier grants, after `setup` has positioned the data.
+double FaultCost(const std::vector<storage::TierGrant>& grants,
+                 bool remote_owner, bool from_backend,
+                 const std::string& dir) {
+  auto cluster = sim::Cluster::PaperTestbed(2);
+  core::ServiceOptions so;
+  so.tier_grants = grants;
+  so.enable_prefetch = false;
+  so.enable_organizer = false;
+  core::Service svc(cluster.get(), so);
+  const std::uint64_t n = 64 * kPage / sizeof(double);
+  std::string key = from_backend
+                        ? "posix://" + dir + "/fault_bench.bin"
+                        : std::string("fault_bench_volatile");
+  core::VectorOptions vo;
+  vo.page_size = kPage;
+  vo.pcache_bytes = 4 * kPage;  // tiny: almost every page faults
+  vo.nonvolatile = from_backend;
+  if (from_backend) {
+    auto resolved = storage::StagerRegistry::Default().Resolve(key);
+    if (!resolved->first->Exists(resolved->second)) {
+      (void)resolved->first->Create(resolved->second, n * sizeof(double));
+    }
+  }
+  double fault_time = 0;
+  auto result = comm::RunRanks(*cluster, 2, 1, [&](comm::RankContext& ctx) {
+    Vector<double> v(svc, ctx, key, n, vo);
+    comm::Communicator comm(&ctx);
+    if (!from_backend) {
+      // Producer rank materializes all pages (locally or remotely).
+      int producer = remote_owner ? 1 : 0;
+      if (ctx.rank() == producer) {
+        v.Pgas(0, 1);  // producer owns everything
+        auto tx = v.SeqTxBegin(0, n, core::MM_WRITE_ONLY);
+        for (std::uint64_t i = 0; i < n; ++i) v[i] = 1.0;
+        v.TxEnd();
+      }
+    }
+    comm.Barrier();
+    if (ctx.rank() == 0) {
+      double start = ctx.clock().now();
+      // Touch one element per page: every touch is a fault.
+      std::uint64_t epp = kPage / sizeof(double);
+      for (std::uint64_t p = 0; p < 64; ++p) {
+        benchmark::DoNotOptimize(v.Read(p * epp));
+      }
+      fault_time = (ctx.clock().now() - start) / 64.0;
+    }
+  });
+  if (!result.ok()) return -1;
+  return fault_time;
+}
+
+std::string ScratchDir() {
+  auto dir = std::filesystem::temp_directory_path() / "mm_fault_bench";
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+void BM_FaultLocalDram(benchmark::State& state) {
+  double t = 0;
+  for (auto _ : state) {
+    t = FaultCost({{sim::TierKind::kDram, GIGABYTES(1)}}, false, false,
+                  ScratchDir());
+  }
+  state.counters["virtual_us_per_fault"] = t * 1e6;
+}
+BENCHMARK(BM_FaultLocalDram)->Unit(benchmark::kMillisecond);
+
+void BM_FaultRemoteDram(benchmark::State& state) {
+  double t = 0;
+  for (auto _ : state) {
+    t = FaultCost({{sim::TierKind::kDram, GIGABYTES(1)}}, true, false,
+                  ScratchDir());
+  }
+  state.counters["virtual_us_per_fault"] = t * 1e6;
+}
+BENCHMARK(BM_FaultRemoteDram)->Unit(benchmark::kMillisecond);
+
+void BM_FaultNvmeTier(benchmark::State& state) {
+  // DRAM grant too small for the data: pages live in NVMe.
+  double t = 0;
+  for (auto _ : state) {
+    t = FaultCost({{sim::TierKind::kDram, 2 * kPage},
+                   {sim::TierKind::kNvme, GIGABYTES(1)}},
+                  false, false, ScratchDir());
+  }
+  state.counters["virtual_us_per_fault"] = t * 1e6;
+}
+BENCHMARK(BM_FaultNvmeTier)->Unit(benchmark::kMillisecond);
+
+void BM_FaultHddTier(benchmark::State& state) {
+  double t = 0;
+  for (auto _ : state) {
+    t = FaultCost({{sim::TierKind::kDram, 2 * kPage},
+                   {sim::TierKind::kHdd, GIGABYTES(1)}},
+                  false, false, ScratchDir());
+  }
+  state.counters["virtual_us_per_fault"] = t * 1e6;
+}
+BENCHMARK(BM_FaultHddTier)->Unit(benchmark::kMillisecond);
+
+void BM_FaultBackendStageIn(benchmark::State& state) {
+  double t = 0;
+  for (auto _ : state) {
+    t = FaultCost({{sim::TierKind::kDram, GIGABYTES(1)}}, false, true,
+                  ScratchDir());
+  }
+  state.counters["virtual_us_per_fault"] = t * 1e6;
+}
+BENCHMARK(BM_FaultBackendStageIn)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+// A scientific-simulation workload: the Gray-Scott reaction-diffusion model
+// on a grid held entirely in MegaMmap vectors, with asynchronously staged
+// HDF5-like checkpoints (the paper's write/append-heavy use case).
+//
+// The grid can exceed any single memory bound: tighten the pcache and the
+// scache DRAM grant and MegaMmap spills to NVMe instead of failing.
+#include <cstdio>
+
+#include "mm/apps/gray_scott.h"
+#include "mm/mega_mmap.h"
+
+int main(int argc, char** argv) {
+  using namespace mm;
+  std::size_t L = argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 32;
+  int steps = argc > 2 ? std::atoi(argv[2]) : 8;
+
+  auto cluster = sim::Cluster::PaperTestbed(4);
+  ServiceOptions sopts;
+  sopts.tier_grants = {{sim::TierKind::kDram, MEGABYTES(16)},
+                       {sim::TierKind::kNvme, MEGABYTES(512)}};
+  Service service(cluster.get(), sopts);
+
+  apps::GrayScottConfig cfg;
+  cfg.L = L;
+  cfg.steps = steps;
+  cfg.plotgap = 2;  // checkpoint every other step
+  cfg.out_key = "shdf:///tmp/mm_gray_scott.h5";
+  cfg.pcache_bytes = MEGABYTES(2);
+
+  apps::GrayScottResult gs;
+  auto result = comm::RunRanks(*cluster, 8, 2, [&](comm::RankContext& ctx) {
+    comm::Communicator comm(&ctx);
+    auto r = apps::GrayScottMega(service, comm, cfg);
+    if (ctx.rank() == 0) gs = r;
+  });
+  if (!result.ok()) {
+    std::fprintf(stderr, "job failed: %s\n", result.error.c_str());
+    return 1;
+  }
+  double cells = static_cast<double>(L) * L * L;
+  std::printf("Gray-Scott %zux%zux%zu, %d steps on 8 ranks\n", L, L, L, steps);
+  std::printf("  mean U = %.4f, mean V = %.4f\n", gs.sum_u / cells,
+              gs.sum_v / cells);
+  std::printf("  checkpointed %.1f MiB to %s\n",
+              static_cast<double>(gs.bytes_checkpointed) / (1024.0 * 1024.0),
+              cfg.out_key.c_str());
+  std::printf("  virtual runtime %.3f s\n", result.max_time);
+  service.Shutdown();
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Distributed DBSCAN in the µDBSCAN style the paper describes (§IV-A.2):
+// a k-d partition recursively splits the dataset by the median of the
+// highest-spread axis (estimated from a small random subsample); the
+// process group splits alongside the data until each process owns one
+// partition (a µcluster region); leaves run an exact grid-accelerated
+// DBSCAN locally; finally µclusters are merged through the points that lie
+// within eps of any split plane.
+//
+// Two implementations produce the same clustering:
+//   * DbscanMega — the k-d tree is built "by appending samples to the left
+//     and right branches" (paper Fig. 3, append-only-global coherence):
+//     each level redistributes points through two shared append-only
+//     MegaMmap vectors, which the child groups re-read PGAS-style.
+//   * DbscanMpi  — the same recursion with explicit message exchange.
+//
+// Merge approximation (also present in µDBSCAN): two leaf clusters merge
+// when locally-core border points of each lie within eps. Exact for
+// datasets whose clusters are separated by more than eps (our synthetic
+// halo datasets).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mm/apps/points.h"
+#include "mm/comm/communicator.h"
+#include "mm/core/service.h"
+
+namespace mm::apps {
+
+struct DbscanConfig {
+  double eps = 8.0;
+  std::size_t min_pts = 8;
+  std::uint64_t seed = 3;
+  int sample_per_rank = 64;  // subsample size for median/axis estimation
+  /// MegaMmap knobs.
+  std::uint64_t page_size = 64 * 1024;
+  std::uint64_t pcache_bytes = 4 * 1024 * 1024;
+  /// When true, the result carries the full global labeling (allgathered;
+  /// use only on datasets small enough to hold per rank).
+  bool collect_labels = false;
+};
+
+struct DbscanResult {
+  std::uint64_t num_clusters = 0;
+  std::uint64_t num_noise = 0;
+  std::uint64_t num_points = 0;
+  /// Global labels indexed by original point index (-1 = noise); filled
+  /// only when cfg.collect_labels.
+  std::vector<int> labels;
+};
+
+/// MegaMmap implementation over a Particle dataset key. Collective.
+DbscanResult DbscanMega(core::Service& service, comm::Communicator& comm,
+                        const std::string& dataset_key,
+                        const DbscanConfig& cfg);
+
+/// MPI-style baseline. Collective.
+DbscanResult DbscanMpi(comm::Communicator& comm,
+                       const std::string& dataset_key,
+                       const DbscanConfig& cfg);
+
+}  // namespace mm::apps

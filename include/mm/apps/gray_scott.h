@@ -1,0 +1,65 @@
+// Gray-Scott reaction-diffusion (paper §IV-A.2): a 3-D L^3 grid of two
+// species U/V, 1-D slab decomposition over z with periodic boundaries,
+// halo-plane exchange per step, optional checkpointing every `plotgap`
+// steps.
+//
+// Two implementations compute bit-identical grids:
+//   * GrayScottMega — the grid lives in four MegaMmap vectors (U/V double
+//     buffers, kReadWriteGlobal). Own-slab writes are non-overlapping; halo
+//     planes are read through the DSM after the barrier (version-based
+//     acquire keeps only changed pages refetching). Checkpoints ride the
+//     asynchronous staging engine.
+//   * GrayScottMpi — plain local slabs, explicit halo Send/Recv, and a
+//     selectable checkpoint backend model (Fig. 6's comparators):
+//     synchronous PFS (OrangeFS-like), client-local NVM filesystem
+//     (Assise-like), or tiered asynchronous buffering (Hermes-like).
+//     The MPI grid must fit in node DRAM — allocation past the budget
+//     raises the simulated OOM kill (the Fig. 6 cliff).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "mm/apps/reference.h"
+#include "mm/comm/communicator.h"
+#include "mm/core/service.h"
+
+namespace mm::apps {
+
+enum class CkptBackend {
+  kNone,        // plotgap = 0
+  kPfsSync,     // OrangeFS-like: synchronous write to the PFS
+  kAssiseLike,  // client-local NVM filesystem: synchronous local NVMe write
+  kHermesLike,  // tiered async buffering: memcpy now, devices drain behind
+};
+
+struct GrayScottConfig {
+  std::size_t L = 32;
+  int steps = 4;
+  int plotgap = 0;  // checkpoint every `plotgap` steps (0 = never)
+  GrayScottParams params;
+  CkptBackend ckpt = CkptBackend::kNone;  // MPI-baseline backend
+  /// Checkpoint/staging target for the Mega version (posix/shdf key); also
+  /// used by the MPI baseline as the PFS file path when checkpointing.
+  std::string out_key;
+  /// MegaMmap knobs.
+  std::uint64_t page_size = 64 * 1024;
+  std::uint64_t pcache_bytes = 8 * 1024 * 1024;
+};
+
+struct GrayScottResult {
+  double sum_u = 0;  // global checksums for cross-implementation verification
+  double sum_v = 0;
+  std::uint64_t bytes_checkpointed = 0;
+};
+
+/// MegaMmap implementation. Collective over `comm`.
+GrayScottResult GrayScottMega(core::Service& service, comm::Communicator& comm,
+                              const GrayScottConfig& cfg);
+
+/// MPI-style baseline. Collective over `comm`. Throws SimOutOfMemoryError
+/// when the slabs exceed node DRAM.
+GrayScottResult GrayScottMpi(comm::Communicator& comm,
+                             const GrayScottConfig& cfg);
+
+}  // namespace mm::apps

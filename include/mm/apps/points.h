@@ -1,0 +1,52 @@
+// Shared particle/point types for the paper's four workloads. The datasets
+// mirror Gadget-4 output: 3-D float positions and velocities (paper §IV-A.3).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace mm::apps {
+
+struct Point3 {
+  float x = 0, y = 0, z = 0;
+
+  float& axis(int a) { return a == 0 ? x : (a == 1 ? y : z); }
+  float axis(int a) const { return a == 0 ? x : (a == 1 ? y : z); }
+};
+
+/// Squared euclidean distance (cheap; callers take sqrt when needed).
+inline double Dist2(const Point3& a, const Point3& b) {
+  double dx = a.x - b.x, dy = a.y - b.y, dz = a.z - b.z;
+  return dx * dx + dy * dy + dz * dz;
+}
+
+inline double Dist(const Point3& a, const Point3& b) {
+  return std::sqrt(Dist2(a, b));
+}
+
+/// One simulated particle: position + velocity, 6 float32 columns (spar
+/// schema "f4x6").
+struct Particle {
+  Point3 pos;
+  Point3 vel;
+};
+
+static_assert(sizeof(Point3) == 12);
+static_assert(sizeof(Particle) == 24);
+
+/// Index of the nearest centroid to p.
+template <typename Centroids>
+int NearestCentroid(const Point3& p, const Centroids& ks) {
+  int best = 0;
+  double best_d = Dist2(p, ks[0]);
+  for (std::size_t j = 1; j < ks.size(); ++j) {
+    double d = Dist2(p, ks[j]);
+    if (d < best_d) {
+      best_d = d;
+      best = static_cast<int>(j);
+    }
+  }
+  return best;
+}
+
+}  // namespace mm::apps

@@ -1,0 +1,80 @@
+// Distributed Random Forest (paper §IV-A.2): each tree is grown from an
+// out-of-order-bagging (oob) subsample — every process draws
+// N/(oob * p) random samples with replacement (a RandTx in the MegaMmap
+// version, propagating the randomness seed to the prefetcher) — and nodes
+// are split data-parallel: per-feature Gini impurity gains are computed on
+// local samples and all-reduced, the best (feature, threshold) wins, and
+// the recursion descends until max_depth or the gain vanishes.
+//
+// Features are the 6 particle columns (pos.xyz, vel.xyz); labels come from
+// a separate int32 vector (the persisted KMeans cluster assignments, as in
+// the paper's workflow). Training uses the stratified-by-hash 80% of the
+// dataset; accuracy is evaluated on the held-out 20%.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mm/apps/points.h"
+#include "mm/apps/sparklike.h"
+#include "mm/comm/communicator.h"
+#include "mm/core/service.h"
+
+namespace mm::apps {
+
+inline constexpr int kRfFeatures = 6;
+
+/// One decision-tree node (flat array representation).
+struct RfNode {
+  int feature = -1;     // -1 = leaf
+  float threshold = 0;  // go left when x[feature] <= threshold
+  int left = -1;
+  int right = -1;
+  int label = 0;        // majority class (leaves)
+};
+
+struct RfTree {
+  std::vector<RfNode> nodes;  // node 0 is the root
+
+  int Predict(const Particle& p) const;
+};
+
+struct RfConfig {
+  int num_trees = 1;
+  int max_depth = 10;
+  int oob = 4;              // bagging divisor: samples = N / (oob * p) per rank
+  int feature_subset = 3;   // random features considered per node
+  double min_gain = 1e-4;
+  std::size_t min_node = 8;  // stop splitting below this many samples
+  std::uint64_t seed = 13;
+  /// MegaMmap knobs.
+  std::uint64_t page_size = 64 * 1024;
+  std::uint64_t pcache_bytes = 4 * 1024 * 1024;
+};
+
+struct RfResult {
+  std::vector<RfTree> trees;
+  double train_accuracy = 0;
+  double test_accuracy = 0;
+  std::uint64_t faults = 0;
+};
+
+/// True when global index i belongs to the held-out test set (~20%,
+/// stratified by index hash so both implementations agree).
+inline bool IsTestIndex(std::uint64_t i, std::uint64_t seed) {
+  return MixU64(seed ^ MixU64(i)) % 5 == 0;
+}
+
+/// MegaMmap implementation. `dataset_key` is a Particle dataset;
+/// `labels_key` an int32 labels vector of equal length. Collective.
+RfResult RandomForestMega(core::Service& service, comm::Communicator& comm,
+                          const std::string& dataset_key,
+                          const std::string& labels_key, const RfConfig& cfg);
+
+/// Spark-style baseline (same algorithm, sparklike cost structure).
+RfResult RandomForestSpark(sparklike::SparkEnv& env, comm::Communicator& comm,
+                           const std::string& dataset_key,
+                           const std::string& labels_key, const RfConfig& cfg);
+
+}  // namespace mm::apps

@@ -1,0 +1,55 @@
+// Single-threaded reference implementations used as correctness oracles for
+// the parallel MegaMmap / MPI-style / Spark-style applications (paper
+// §IV-A.2: "Each algorithm was verified by comparing their outputs ... to
+// their published counterparts").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mm/apps/points.h"
+
+namespace mm::apps {
+
+/// Lloyd iterations from the given initial centroids. Returns the final
+/// centroids after exactly `iters` iterations (empty clusters keep their
+/// previous centroid).
+std::vector<Point3> ReferenceKMeans(const std::vector<Point3>& pts,
+                                    std::vector<Point3> centroids, int iters);
+
+/// Sum of squared distances to the nearest centroid.
+double ReferenceInertia(const std::vector<Point3>& pts,
+                        const std::vector<Point3>& centroids);
+
+/// Exact O(n^2) DBSCAN. Returns per-point cluster ids (>= 0) or -1 for
+/// noise. Cluster ids are normalized to first-appearance order.
+std::vector<int> ReferenceDbscan(const std::vector<Point3>& pts, double eps,
+                                 std::size_t min_pts);
+
+/// Gini impurity of a label multiset.
+double GiniImpurity(const std::vector<int>& labels);
+
+/// Fraction of pairs (a,b) that the two labelings agree on being
+/// together/apart (Rand index); 1.0 = identical partitions. O(n^2) — use on
+/// small inputs only.
+double RandIndex(const std::vector<int>& a, const std::vector<int>& b);
+
+/// One Gray-Scott step on a full L^3 double-buffered grid (reference for
+/// the distributed versions). U/V sized L*L*L, periodic boundaries.
+struct GrayScottParams {
+  double Du = 0.2, Dv = 0.1;
+  double F = 0.02, k = 0.048;
+  double dt = 1.0;
+};
+void ReferenceGrayScottStep(std::size_t L, const std::vector<double>& u_in,
+                            const std::vector<double>& v_in,
+                            std::vector<double>* u_out,
+                            std::vector<double>* v_out,
+                            const GrayScottParams& params);
+
+/// Standard Gray-Scott initial condition: u=1, v=0 everywhere except a
+/// centered seed cube of side L/8 where u=0.5, v=0.25.
+void GrayScottInit(std::size_t L, std::vector<double>* u,
+                   std::vector<double>* v);
+
+}  // namespace mm::apps

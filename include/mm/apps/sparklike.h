@@ -1,0 +1,159 @@
+// A miniature Spark-style execution engine reproducing the cost structure
+// the paper attributes to Apache Spark in Fig. 5 (DESIGN.md §2):
+//   * loading from the backend materializes TWO resident copies (block
+//     cache + deserialized objects), and every map stage materializes a new
+//     partition while the parent stays cached — 3-4x the DRAM of MegaMmap;
+//   * per-stage JVM task dispatch overhead and a scalar compute factor
+//     (bytecode/GC) slow per-element work;
+//   * shuffles and reductions ride the communicator, which Fig. 5 benches
+//     run over the TCP-grade network spec.
+// Allocations are tracked against the node's DRAM budget, so Spark
+// baselines can OOM where MegaMmap spills to storage.
+#pragma once
+
+#include <cstring>
+#include <functional>
+#include <vector>
+
+#include "mm/comm/communicator.h"
+#include "mm/storage/stager.h"
+
+namespace mm::apps::sparklike {
+
+/// Per-executor environment: memory accounting + cost knobs.
+class SparkEnv {
+ public:
+  explicit SparkEnv(comm::RankContext& ctx) : ctx_(&ctx) {}
+  ~SparkEnv() { ReleaseAll(); }
+
+  comm::RankContext& ctx() { return *ctx_; }
+
+  /// JVM slowdown applied to per-element compute costs.
+  double compute_factor() const { return 1.7; }
+
+  /// Charges one task dispatch (scheduler + serialization round trip).
+  void ChargeDispatch() { ctx_->Compute(ctx_->costs().jvm_dispatch_s); }
+
+  /// Tracks an allocation against the node DRAM budget (throws
+  /// SimOutOfMemoryError past capacity, like a JVM heap OOM).
+  void Alloc(std::uint64_t bytes);
+  void Free(std::uint64_t bytes);
+  std::uint64_t allocated() const { return allocated_; }
+
+ private:
+  void ReleaseAll();
+
+  comm::RankContext* ctx_;
+  std::uint64_t allocated_ = 0;
+};
+
+/// One partition (this rank's slice) of a resilient distributed dataset.
+/// T must be trivially copyable.
+template <typename T>
+class Rdd {
+ public:
+  static_assert(std::is_trivially_copyable_v<T>);
+
+  Rdd(SparkEnv& env, std::vector<T> data) : env_(&env) {
+    data_ = std::move(data);
+    charged_ = data_.size() * sizeof(T);
+    env_->Alloc(charged_);
+  }
+  ~Rdd() {
+    if (env_ != nullptr) env_->Free(charged_);
+  }
+  Rdd(Rdd&& other) noexcept
+      : env_(other.env_), data_(std::move(other.data_)),
+        charged_(other.charged_) {
+    other.env_ = nullptr;
+    other.charged_ = 0;
+  }
+  Rdd(const Rdd&) = delete;
+  Rdd& operator=(const Rdd&) = delete;
+
+  const std::vector<T>& data() const { return data_; }
+  std::size_t size() const { return data_.size(); }
+
+  /// Loads this rank's slice of a backend object. Models Spark's ingest: a
+  /// raw block-cache copy stays resident alongside the deserialized
+  /// objects (2x memory), and the PFS read is synchronous.
+  static Rdd Load(SparkEnv& env, comm::Communicator& comm,
+                  const std::string& key);
+
+  /// A map stage: materializes a new RDD (the parent stays cached, as
+  /// Spark's lineage cache does). Charges dispatch + the copy.
+  template <typename U, typename Fn>
+  Rdd<U> Map(Fn&& fn) const {
+    env_->ChargeDispatch();
+    std::vector<U> out;
+    out.reserve(data_.size());
+    for (const T& x : data_) out.push_back(fn(x));
+    // Materialization cost of the new partition.
+    env_->ctx().Compute(static_cast<double>(out.size() * sizeof(U)) /
+                        env_->ctx().costs().memcpy_Bps);
+    return Rdd<U>(*env_, std::move(out));
+  }
+
+  /// A fold over the local partition followed by a cluster-wide tree
+  /// reduction (charged on the communicator's network).
+  template <typename Acc, typename Fold, typename Merge>
+  Acc Aggregate(comm::Communicator& comm, Acc zero, Fold&& fold,
+                Merge&& merge) const {
+    env_->ChargeDispatch();
+    Acc acc = zero;
+    for (const T& x : data_) acc = fold(std::move(acc), x);
+    std::vector<Acc> one = {acc};
+    comm.AllReduce(one, [&](const Acc& a, const Acc& b) { return merge(a, b); });
+    return one[0];
+  }
+
+ private:
+  template <typename U>
+  friend class Rdd;
+
+  SparkEnv* env_;
+  std::vector<T> data_;
+  std::uint64_t charged_ = 0;
+};
+
+template <typename T>
+Rdd<T> Rdd<T>::Load(SparkEnv& env, comm::Communicator& comm,
+                    const std::string& key) {
+  auto resolved = storage::StagerRegistry::Default().Resolve(key);
+  if (!resolved.ok()) {
+    throw std::runtime_error("sparklike::Load: " +
+                             resolved.status().ToString());
+  }
+  auto [stager, uri] = *resolved;
+  auto size_or = stager->Size(uri);
+  if (!size_or.ok()) {
+    throw std::runtime_error("sparklike::Load: " + size_or.status().ToString());
+  }
+  std::uint64_t total_elems = *size_or / sizeof(T);
+  int rank = comm.rank(), nprocs = comm.size();
+  std::uint64_t base = total_elems / nprocs, rem = total_elems % nprocs;
+  std::uint64_t off =
+      rank * base + std::min<std::uint64_t>(rank, rem);
+  std::uint64_t count = base + (static_cast<std::uint64_t>(rank) < rem ? 1 : 0);
+
+  // Synchronous read from the PFS.
+  std::vector<std::uint8_t> raw;
+  Status st = stager->Read(uri, off * sizeof(T), count * sizeof(T), &raw);
+  if (!st.ok()) throw std::runtime_error("sparklike::Load: " + st.ToString());
+  auto& ctx = env.ctx();
+  sim::SimTime done = ctx.world().cluster().pfs().Read(ctx.clock().now(),
+                                                       raw.size());
+  ctx.clock().AdvanceTo(done);
+
+  // Block-cache copy stays resident for the job (charged, never touched
+  // again) + deserialization into objects.
+  env.Alloc(raw.size());
+  env.ChargeDispatch();
+  ctx.Compute(static_cast<double>(raw.size()) / ctx.costs().memcpy_Bps *
+              env.compute_factor());
+  std::vector<T> objects(count);
+  std::memcpy(objects.data(), raw.data(), raw.size());
+  return Rdd<T>(env, std::move(objects));
+}
+
+}  // namespace mm::apps::sparklike

@@ -1,0 +1,234 @@
+// Communicator: MPI-flavored typed point-to-point and collective operations
+// over the simulated World. Collectives use binomial-tree algorithms
+// (paper §III-C "Collective": tree-based patterns similar to MPICH
+// allgather) so fan-in/fan-out costs scale as log(p).
+//
+// All operations are expressed against a *group* of world ranks, so
+// sub-communicators (Split) behave like MPI_Comm_split — DBSCAN and Random
+// Forest use them to recurse over left/right partitions.
+#pragma once
+
+#include <cstring>
+#include <functional>
+#include <vector>
+
+#include "mm/comm/world.h"
+#include "mm/util/status.h"
+
+namespace mm::comm {
+
+class Communicator {
+ public:
+  /// World communicator for `ctx`.
+  explicit Communicator(RankContext* ctx);
+
+  /// Sub-communicator over `group` (world ranks); `ctx->rank()` must be in
+  /// the group.
+  Communicator(RankContext* ctx, std::vector<int> group);
+
+  int rank() const { return my_index_; }
+  int size() const { return static_cast<int>(group_.size()); }
+  int WorldRank(int index) const { return group_[index]; }
+  RankContext& ctx() { return *ctx_; }
+
+  // ---- point-to-point (ranks are communicator-local indices) ----
+
+  /// Sends `bytes` to `dst`. The sender's clock advances past egress; the
+  /// message is stamped with its simulated delivery time.
+  void SendBytes(int dst, int tag, const void* data, std::size_t size);
+
+  /// Blocking receive from `src` (or kAnySource). Advances the receiver's
+  /// clock to the delivery time. Returns the payload.
+  std::vector<std::uint8_t> RecvBytes(int src, int tag, int* actual_src = nullptr);
+
+  /// Typed convenience wrappers for trivially copyable element types.
+  template <typename T>
+  void Send(int dst, int tag, const std::vector<T>& data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    SendBytes(dst, tag, data.data(), data.size() * sizeof(T));
+  }
+
+  template <typename T>
+  void SendValue(int dst, int tag, const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    SendBytes(dst, tag, &value, sizeof(T));
+  }
+
+  template <typename T>
+  std::vector<T> Recv(int src, int tag, int* actual_src = nullptr) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    auto bytes = RecvBytes(src, tag, actual_src);
+    MM_CHECK(bytes.size() % sizeof(T) == 0);
+    std::vector<T> out(bytes.size() / sizeof(T));
+    std::memcpy(out.data(), bytes.data(), bytes.size());
+    return out;
+  }
+
+  template <typename T>
+  T RecvValue(int src, int tag, int* actual_src = nullptr) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    auto bytes = RecvBytes(src, tag, actual_src);
+    MM_CHECK(bytes.size() == sizeof(T));
+    T value;
+    std::memcpy(&value, bytes.data(), sizeof(T));
+    return value;
+  }
+
+  // ---- collectives ----
+
+  /// Synchronizes all communicator members and their virtual clocks.
+  void Barrier();
+
+  /// Binomial-tree broadcast from `root` (communicator-local index).
+  template <typename T>
+  void Bcast(std::vector<T>& data, int root);
+
+  /// Tree reduction of per-rank vectors with `op` applied elementwise;
+  /// result is valid on `root` only.
+  template <typename T, typename Op>
+  void Reduce(std::vector<T>& data, int root, Op op);
+
+  /// Reduce + Bcast.
+  template <typename T, typename Op>
+  void AllReduce(std::vector<T>& data, Op op);
+
+  /// Gathers variable-length vectors to `root`; result on root is indexed by
+  /// communicator-local rank.
+  template <typename T>
+  std::vector<std::vector<T>> GatherV(const std::vector<T>& mine, int root);
+
+  /// GatherV + Bcast of the concatenation.
+  template <typename T>
+  std::vector<T> AllGatherV(const std::vector<T>& mine);
+
+  /// Scatters `parts[i]` from root to rank i.
+  template <typename T>
+  std::vector<T> ScatterV(const std::vector<std::vector<T>>& parts, int root);
+
+  /// Creates a sub-communicator: ranks sharing `color` form a group ordered
+  /// by current rank. Collective over this communicator.
+  Communicator Split(int color);
+
+ private:
+  int TagFor(int user_tag) const { return (color_epoch_ << 16) | user_tag; }
+
+  RankContext* ctx_;
+  std::vector<int> group_;   // communicator index -> world rank
+  int my_index_;
+  int color_epoch_ = 0;      // disambiguates tags across Split generations
+};
+
+// ---- template implementations ----
+
+template <typename T>
+void Communicator::Bcast(std::vector<T>& data, int root) {
+  // Binomial tree rooted at `root`. In relative ranks, a nonzero rank
+  // receives from its parent (lowest set bit cleared) and then forwards to
+  // rel + 2^j for j below its lowest set bit.
+  int n = size();
+  if (n == 1) return;
+  int rel = (my_index_ - root + n) % n;
+  constexpr int kTag = 0x1B;
+  int rounds = 0;
+  while ((1 << rounds) < n) ++rounds;
+  int start_j;
+  if (rel != 0) {
+    int low = __builtin_ctz(static_cast<unsigned>(rel));
+    int parent_rel = rel & (rel - 1);
+    data = Recv<T>((parent_rel + root) % n, TagFor(kTag));
+    start_j = low - 1;
+  } else {
+    start_j = rounds - 1;
+  }
+  for (int j = start_j; j >= 0; --j) {
+    int child_rel = rel + (1 << j);
+    if (child_rel < n) {
+      Send<T>((child_rel + root) % n, TagFor(kTag), data);
+    }
+  }
+}
+
+template <typename T, typename Op>
+void Communicator::Reduce(std::vector<T>& data, int root, Op op) {
+  int n = size();
+  if (n == 1) return;
+  int rel = (my_index_ - root + n) % n;
+  constexpr int kTag = 0x2C;
+  // Binomial-tree fan-in: at round k, ranks with bit k set send to rel-2^k.
+  for (int k = 0; (1 << k) < n; ++k) {
+    if (rel & (1 << k)) {
+      Send<T>(((rel ^ (1 << k)) + root) % n, TagFor(kTag), data);
+      return;  // contributed and done
+    }
+    int peer_rel = rel | (1 << k);
+    if (peer_rel < n) {
+      auto theirs = Recv<T>((peer_rel + root) % n, TagFor(kTag));
+      MM_CHECK(theirs.size() == data.size());
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        data[i] = op(data[i], theirs[i]);
+      }
+    }
+  }
+}
+
+template <typename T, typename Op>
+void Communicator::AllReduce(std::vector<T>& data, Op op) {
+  Reduce(data, /*root=*/0, op);
+  Bcast(data, /*root=*/0);
+}
+
+template <typename T>
+std::vector<std::vector<T>> Communicator::GatherV(const std::vector<T>& mine,
+                                                  int root) {
+  int n = size();
+  constexpr int kTag = 0x3D;
+  std::vector<std::vector<T>> all;
+  if (my_index_ == root) {
+    all.resize(n);
+    all[root] = mine;
+    for (int i = 0; i < n - 1; ++i) {
+      int src = kAnySource;
+      auto payload = Recv<T>(src, TagFor(kTag), &src);
+      // Map world rank back to communicator index.
+      for (int j = 0; j < n; ++j) {
+        if (group_[j] == src) {
+          all[j] = std::move(payload);
+          break;
+        }
+      }
+    }
+  } else {
+    Send<T>(root, TagFor(kTag), mine);
+  }
+  return all;
+}
+
+template <typename T>
+std::vector<T> Communicator::AllGatherV(const std::vector<T>& mine) {
+  auto parts = GatherV(mine, /*root=*/0);
+  std::vector<T> flat;
+  if (my_index_ == 0) {
+    for (auto& part : parts) {
+      flat.insert(flat.end(), part.begin(), part.end());
+    }
+  }
+  Bcast(flat, /*root=*/0);
+  return flat;
+}
+
+template <typename T>
+std::vector<T> Communicator::ScatterV(const std::vector<std::vector<T>>& parts,
+                                      int root) {
+  constexpr int kTag = 0x4E;
+  int n = size();
+  if (my_index_ == root) {
+    MM_CHECK(static_cast<int>(parts.size()) == n);
+    for (int i = 0; i < n; ++i) {
+      if (i != root) Send<T>(i, TagFor(kTag), parts[i]);
+    }
+    return parts[root];
+  }
+  return Recv<T>(root, TagFor(kTag));
+}
+
+}  // namespace mm::comm

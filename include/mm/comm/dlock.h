@@ -1,0 +1,51 @@
+// Distributed lock (paper §III-A "Supporting Arbitrary Application
+// Structures": MegaMmap provides distributed locks and barriers).
+//
+// The lock is homed on a node; acquisition is modeled as a request/grant
+// round trip to the home node, serialized behind the previous holder's
+// release. Real-thread mutual exclusion is provided by an actual mutex so
+// the protected critical sections are genuinely exclusive.
+#pragma once
+
+#include <mutex>
+
+#include "mm/comm/world.h"
+
+namespace mm::comm {
+
+class DistributedLock {
+ public:
+  /// Creates a lock homed on `home_node` of the world's cluster.
+  DistributedLock(World* world, std::size_t home_node)
+      : world_(world), home_node_(home_node) {}
+
+  /// Blocks until the lock is held; charges the round trip and any wait for
+  /// the previous holder to the caller's virtual clock.
+  void Acquire(RankContext& ctx);
+
+  /// Releases the lock; charges the release notification.
+  void Release(RankContext& ctx);
+
+  /// RAII guard.
+  class Guard {
+   public:
+    Guard(DistributedLock& lock, RankContext& ctx) : lock_(lock), ctx_(ctx) {
+      lock_.Acquire(ctx_);
+    }
+    ~Guard() { lock_.Release(ctx_); }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+   private:
+    DistributedLock& lock_;
+    RankContext& ctx_;
+  };
+
+ private:
+  World* world_;
+  std::size_t home_node_;
+  std::mutex mu_;
+  sim::SimTime last_release_ = 0.0;
+};
+
+}  // namespace mm::comm

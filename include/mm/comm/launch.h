@@ -1,0 +1,34 @@
+// Job launcher: spawns one thread per simulated rank over a Cluster and
+// runs the application body, collecting per-rank virtual completion times.
+// This replaces `mpirun -n <p>` in the reproduction (DESIGN.md §2).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mm/comm/world.h"
+#include "mm/sim/cluster.h"
+
+namespace mm::comm {
+
+/// Outcome of a simulated parallel job.
+struct RunResult {
+  /// Virtual completion time of the slowest rank (the job's "runtime").
+  sim::SimTime max_time = 0.0;
+  std::vector<sim::SimTime> rank_times;
+  /// True when at least one rank died of simulated OOM (Fig. 6 cliff).
+  bool oom = false;
+  /// First non-OOM error message, empty on success.
+  std::string error;
+
+  bool ok() const { return !oom && error.empty(); }
+};
+
+/// Runs `body` on `num_ranks` ranks laid out `ranks_per_node` per node over
+/// `cluster`. Blocks until every rank finishes (or dies).
+RunResult RunRanks(sim::Cluster& cluster, int num_ranks, int ranks_per_node,
+                   const std::function<void(RankContext&)>& body);
+
+}  // namespace mm::comm

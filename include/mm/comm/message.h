@@ -1,0 +1,73 @@
+// Message envelope and per-rank mailbox for the in-process message-passing
+// substrate (the MPI substitute, DESIGN.md §2). Messages carry the virtual
+// delivery time computed by the network model; a receive advances the
+// receiver's clock to at least that time.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <vector>
+
+#include "mm/sim/virtual_clock.h"
+
+namespace mm::comm {
+
+/// Wildcard source for Recv, like MPI_ANY_SOURCE.
+inline constexpr int kAnySource = -1;
+
+struct Message {
+  int src = 0;
+  int tag = 0;
+  std::vector<std::uint8_t> payload;
+  sim::SimTime delivered = 0.0;
+};
+
+/// One rank's inbox. Thread-safe: any rank may deposit; only the owner pops.
+class Mailbox {
+ public:
+  void Deposit(Message msg) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      messages_.push_back(std::move(msg));
+    }
+    cv_.notify_all();
+  }
+
+  /// Blocks until a message from `src` (or any source) with `tag` arrives.
+  Message Take(int src, int tag) {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (true) {
+      for (auto it = messages_.begin(); it != messages_.end(); ++it) {
+        if ((src == kAnySource || it->src == src) && it->tag == tag) {
+          Message msg = std::move(*it);
+          messages_.erase(it);
+          return msg;
+        }
+      }
+      cv_.wait(lock);
+    }
+  }
+
+  /// Non-blocking probe: true if a matching message is queued.
+  bool Probe(int src, int tag) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& msg : messages_) {
+      if ((src == kAnySource || msg.src == src) && msg.tag == tag) return true;
+    }
+    return false;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return messages_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::list<Message> messages_;
+};
+
+}  // namespace mm::comm

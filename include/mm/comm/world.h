@@ -1,0 +1,77 @@
+// World: the process group of a simulated job. Owns the mailboxes, the
+// rank→node placement, and the barrier machinery. Created by SimCluster
+// (launch.h); application code talks to it through Communicator.
+#pragma once
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "mm/comm/message.h"
+#include "mm/sim/cluster.h"
+#include "mm/sim/cost_model.h"
+#include "mm/sim/virtual_clock.h"
+
+namespace mm::comm {
+
+class World {
+ public:
+  /// Ranks are laid out block-wise over nodes: rank r lives on node
+  /// r / ranks_per_node.
+  World(sim::Cluster* cluster, int num_ranks, int ranks_per_node);
+
+  int num_ranks() const { return num_ranks_; }
+  int ranks_per_node() const { return ranks_per_node_; }
+  std::size_t NodeOfRank(int rank) const {
+    return static_cast<std::size_t>(rank / ranks_per_node_);
+  }
+
+  sim::Cluster& cluster() { return *cluster_; }
+  const sim::CostModel& costs() const { return costs_; }
+  Mailbox& mailbox(int rank) { return *mailboxes_[rank]; }
+
+  /// Global barrier across all ranks: blocks until every rank arrives, and
+  /// advances every participant's virtual time to the max arrival time plus
+  /// a log(n) synchronization cost.
+  sim::SimTime Barrier(int rank, sim::SimTime arrival);
+
+ private:
+  sim::Cluster* cluster_;
+  int num_ranks_;
+  int ranks_per_node_;
+  sim::CostModel costs_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+
+  // Reusable generation-counted barrier.
+  std::mutex barrier_mu_;
+  std::condition_variable barrier_cv_;
+  int barrier_count_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+  sim::SimTime barrier_max_ = 0.0;
+  sim::SimTime barrier_release_ = 0.0;
+};
+
+/// Per-rank execution context handed to the application body. Carries the
+/// rank id, its virtual clock, and the world.
+class RankContext {
+ public:
+  RankContext(World* world, int rank) : world_(world), rank_(rank) {}
+
+  int rank() const { return rank_; }
+  int size() const { return world_->num_ranks(); }
+  std::size_t node() const { return world_->NodeOfRank(rank_); }
+  World& world() { return *world_; }
+  sim::VirtualClock& clock() { return clock_; }
+  const sim::CostModel& costs() const { return world_->costs(); }
+
+  /// Charges compute time to this rank's virtual clock.
+  void Compute(double seconds) { clock_.Advance(seconds); }
+
+ private:
+  World* world_;
+  int rank_;
+  sim::VirtualClock clock_;
+};
+
+}  // namespace mm::comm

@@ -1,0 +1,59 @@
+// MemoryTasks: the unit of work submitted by the MegaMmap library to the
+// runtime (paper §III-B). Tasks carry the blob id, payload, and a simulated
+// issue time; workers execute them against the node's BufferManager,
+// metadata, and stagers, and fulfill a promise with the outcome.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "mm/sim/virtual_clock.h"
+#include "mm/storage/blob.h"
+#include "mm/util/status.h"
+
+namespace mm::core {
+
+struct TaskOutcome {
+  Status status;
+  std::vector<std::uint8_t> data;  // for reads
+  sim::SimTime done = 0.0;         // simulated completion time
+  std::uint64_t version = 0;       // page write-version (see BlobLocation)
+  /// For write commits: the page version BEFORE this write. A writer's
+  /// cached frame may adopt `version` only when its current frame version
+  /// equals `prev_version` (otherwise another rank's bytes are missing
+  /// from the frame and it must refetch at the next acquire).
+  std::uint64_t prev_version = ~0ULL;
+};
+
+struct MemoryTask {
+  enum class Kind : std::uint8_t {
+    kGetPage,       // synchronous page fault read
+    kWritePartial,  // async dirty-region update (copy-on-write commit)
+    kScore,         // prefetcher importance score for the Data Organizer
+    kStageOut,      // persist a page to the vector's backend
+    kErase,         // drop a page from the scache
+  };
+
+  Kind kind = Kind::kGetPage;
+  std::uint64_t vector_id = 0;
+  storage::BlobId id;
+  std::uint64_t offset = 0;  // for partial ops, offset within the page
+  std::uint64_t size = 0;    // for reads: bytes requested (0 = whole page)
+  std::vector<std::uint8_t> data;  // for writes
+  float score = 1.0f;
+  std::size_t from_node = 0;
+  sim::SimTime issue_time = 0.0;
+  /// Fulfilled by the executing worker. Fire-and-forget submitters still
+  /// keep the future so TxEnd can wait for ordering (real time) without
+  /// charging the wait to the application's virtual clock.
+  std::shared_ptr<std::promise<TaskOutcome>> promise;
+};
+
+/// Bytes a task moves — used for low/high-latency group routing.
+inline std::uint64_t TaskBytes(const MemoryTask& task) {
+  return task.data.empty() ? task.size : task.data.size();
+}
+
+}  // namespace mm::core

@@ -1,0 +1,69 @@
+// Configuration for the MegaMmap service and per-vector behavior. All
+// settings are available both programmatically and via the YAML config
+// (paper §III-A: "the MegaMmap configuration YAML file").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mm/core/coherence.h"
+#include "mm/storage/buffer_manager.h"
+#include "mm/util/byte_units.h"
+#include "mm/util/status.h"
+#include "mm/util/yaml.h"
+
+namespace mm::core {
+
+/// Per-vector knobs. Page size is immutable after creation (paper §III-C:
+/// "immutable after the creation of the vector").
+struct VectorOptions {
+  /// Page size in bytes (rounded down to a whole number of elements).
+  std::uint64_t page_size = 64 * kKiB;
+  /// Maximum pcache bytes per process for this vector (BoundMemory).
+  std::uint64_t pcache_bytes = 16 * kMiB;
+  /// Coherence policy for the current phase.
+  CoherenceMode mode = CoherenceMode::kReadWriteGlobal;
+  /// Minimum prefetcher score still worth recording (Algorithm 1 input).
+  double min_score = 0.25;
+  /// Pages fetched ahead asynchronously into the pcache during sequential
+  /// or predictable transactions.
+  int prefetch_depth = 4;
+  /// Volatile vectors are never staged to a backend.
+  bool nonvolatile = true;
+};
+
+/// Per-job service knobs.
+struct ServiceOptions {
+  /// scache capacity granted on each node, fastest-first (Fig. 7 sweeps
+  /// this). Empty means "all of DRAM+NVMe at paper defaults" is NOT
+  /// assumed; callers must set grants explicitly.
+  std::vector<storage::TierGrant> tier_grants;
+  /// High-latency worker group size per node (large transfers).
+  int workers_per_node = 2;
+  /// Low-latency worker group size per node (small, latency-sensitive).
+  int low_latency_workers = 1;
+  /// Tasks strictly below this byte size go to the low-latency group
+  /// (paper §III-B: 16 KB).
+  std::uint64_t low_latency_threshold = 16 * kKiB;
+  /// Score updates between Data Organizer rebalance sweeps.
+  int organize_every = 64;
+  /// Master switches used by the scalability study (Fig. 5 runs MegaMmap
+  /// "with no optimizations enabled") and the ablations.
+  bool enable_prefetch = true;
+  bool enable_organizer = true;
+
+  /// Parses a service config from YAML, e.g.:
+  ///   runtime:
+  ///     workers_per_node: 2
+  ///     low_latency_workers: 1
+  ///     low_latency_threshold: 16k
+  ///   tiers:
+  ///     - kind: dram
+  ///       capacity: 1g
+  ///     - kind: nvme
+  ///       capacity: 4g
+  static StatusOr<ServiceOptions> FromYaml(const yaml::Node& root);
+};
+
+}  // namespace mm::core

@@ -1,0 +1,110 @@
+// Private cache (pcache): the per-process DRAM page cache in front of the
+// shared cache (paper §III-B "Distributed Heterogeneous Caching Structure").
+// Copy-on-write: frames track element-granular dirty bits so evictions and
+// TxEnd ship only the modified fragments. Capacity is the vector's
+// BoundMemory limit (Vec.Max in Algorithm 1).
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "mm/core/memory_task.h"
+#include "mm/util/bitmap.h"
+#include "mm/util/status.h"
+
+namespace mm::core {
+
+/// One cached page.
+struct PageFrame {
+  std::vector<std::uint8_t> data;
+  Bitmap dirty;  // one bit per element
+  std::uint64_t last_access = 0;
+  /// Write-version of the scache page this frame was loaded from (or last
+  /// committed to). Compared against metadata at TxBegin.
+  std::uint64_t version = 0;
+};
+
+/// An in-flight asynchronous prefetch for a page.
+struct PendingFetch {
+  std::shared_future<TaskOutcome> future;
+  std::size_t owner = 0;
+  bool remote = false;
+};
+
+/// Not thread-safe: one PCache per (rank, vector), used only by its rank.
+class PCache {
+ public:
+  PCache(std::uint64_t page_bytes, std::uint64_t elems_per_page,
+         std::uint64_t capacity_bytes)
+      : page_bytes_(page_bytes),
+        elems_per_page_(elems_per_page),
+        capacity_bytes_(capacity_bytes) {}
+
+  std::uint64_t page_bytes() const { return page_bytes_; }
+  std::uint64_t capacity() const { return capacity_bytes_; }
+  void set_capacity(std::uint64_t bytes) { capacity_bytes_ = bytes; }
+  std::uint64_t used() const { return frames_.size() * page_bytes_; }
+  std::size_t num_frames() const { return frames_.size(); }
+
+  /// Resident frame for a page, or nullptr. Bumps the LRU stamp.
+  PageFrame* Find(std::uint64_t page);
+
+  /// True when inserting one more page would exceed capacity.
+  bool NeedsEviction() const {
+    return used() + page_bytes_ > capacity_bytes_ && !frames_.empty();
+  }
+
+  /// Inserts a fetched page (caller must have made room). The data must be
+  /// exactly page_bytes long.
+  PageFrame* Insert(std::uint64_t page, std::vector<std::uint8_t> data);
+
+  /// Marks elements [elem_lo, elem_hi) of a page dirty.
+  void MarkDirty(std::uint64_t page, std::size_t elem_lo, std::size_t elem_hi);
+
+  /// Least-recently-used resident page (clean pages preferred), or nullopt
+  /// when empty.
+  std::optional<std::uint64_t> PickVictim() const;
+
+  /// Detaches a frame from the cache (for eviction/flush).
+  std::optional<PageFrame> Remove(std::uint64_t page);
+
+  /// Pages currently resident (snapshot, unspecified order).
+  std::vector<std::uint64_t> ResidentPages() const;
+
+  /// Pages with at least one dirty element.
+  std::vector<std::uint64_t> DirtyPages() const;
+
+  bool Contains(std::uint64_t page) const {
+    return frames_.count(page) > 0;
+  }
+
+  // ---- async prefetch bookkeeping ----
+  bool HasPending(std::uint64_t page) const {
+    return pending_.count(page) > 0;
+  }
+  void AddPending(std::uint64_t page, PendingFetch fetch) {
+    pending_.emplace(page, std::move(fetch));
+  }
+  std::optional<PendingFetch> TakePending(std::uint64_t page);
+  std::size_t num_pending() const { return pending_.size(); }
+  /// Prefetches in flight also count against the capacity budget.
+  std::uint64_t committed() const {
+    return used() + pending_.size() * page_bytes_;
+  }
+
+  void Clear();
+
+ private:
+  std::uint64_t page_bytes_;
+  std::uint64_t elems_per_page_;
+  std::uint64_t capacity_bytes_;
+  std::uint64_t access_seq_ = 0;
+  std::unordered_map<std::uint64_t, PageFrame> frames_;
+  std::unordered_map<std::uint64_t, PendingFetch> pending_;
+};
+
+}  // namespace mm::core

@@ -1,0 +1,277 @@
+// The MegaMmap service: per-node runtimes (worker pools executing
+// MemoryTasks), the distributed metadata manager, the vector registry, and
+// the scache client API that mm::Vector uses. One Service instance exists
+// per simulated job, shared by all ranks (paper Fig. 2: application
+// processes submit MemoryTasks to the runtime through queues).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <optional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "mm/core/coherence.h"
+#include "mm/core/memory_task.h"
+#include "mm/core/options.h"
+#include "mm/sim/cluster.h"
+#include "mm/storage/buffer_manager.h"
+#include "mm/storage/metadata.h"
+#include "mm/storage/stager.h"
+#include "mm/util/blocking_queue.h"
+
+namespace mm::core {
+
+class Service;
+
+/// Registered state of one shared vector (connected to by key).
+struct VectorMeta {
+  std::uint64_t vector_id = 0;
+  std::string key;
+  Uri uri;                             // parsed key
+  storage::Stager* stager = nullptr;   // null for volatile vectors
+  std::size_t elem_size = 0;
+  std::uint64_t page_bytes = 0;        // rounded to whole elements
+  std::atomic<std::uint64_t> size_bytes{0};  // logical size; appends grow it
+  std::atomic<CoherenceMode> mode{CoherenceMode::kReadWriteGlobal};
+  VectorOptions options;
+  std::atomic<bool> destroyed{false};
+  std::mutex backend_mu;               // serializes backend object creation
+  bool backend_ready = false;
+
+  /// PGAS placement hint (set by Vector::Pgas): maps pages to the node of
+  /// the rank that owns them, giving unplaced pages a deterministic AND
+  /// local first-touch owner (Fig. 3 locality without split-brain races).
+  struct PgasHint {
+    std::uint64_t n_elems = 0;
+    int nprocs = 0;
+    int ranks_per_node = 0;
+  };
+  std::mutex hint_mu;
+  std::optional<PgasHint> pgas_hint;
+
+  std::uint64_t num_elements() const {
+    return size_bytes.load(std::memory_order_relaxed) / elem_size;
+  }
+  std::uint64_t elems_per_page() const { return page_bytes / elem_size; }
+  std::uint64_t num_pages() const {
+    std::uint64_t sz = size_bytes.load(std::memory_order_relaxed);
+    return (sz + page_bytes - 1) / page_bytes;
+  }
+};
+
+/// One node's runtime: worker threads draining MemoryTask queues. Tasks for
+/// the same page hash to the same worker; tasks under the low-latency
+/// threshold run on a separate worker group (paper §III-B).
+class NodeRuntime {
+ public:
+  NodeRuntime(Service* service, std::size_t node_id,
+              const ServiceOptions& options,
+              const std::vector<storage::TierGrant>& grants);
+  ~NodeRuntime();
+
+  NodeRuntime(const NodeRuntime&) = delete;
+  NodeRuntime& operator=(const NodeRuntime&) = delete;
+
+  /// Routes a task to its worker queue. Thread-safe.
+  void Submit(MemoryTask task);
+
+  storage::BufferManager& buffer() { return bm_; }
+
+  /// Stops accepting tasks, drains queues, joins workers.
+  void Shutdown();
+
+  std::uint64_t tasks_executed() const {
+    return tasks_executed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void WorkerLoop(BlockingQueue<MemoryTask>* queue);
+  TaskOutcome Execute(MemoryTask& task);
+  TaskOutcome ExecuteGetPage(MemoryTask& task);
+  TaskOutcome ExecuteWritePartial(MemoryTask& task);
+  TaskOutcome ExecuteScore(MemoryTask& task);
+  TaskOutcome ExecuteStageOut(MemoryTask& task);
+  TaskOutcome ExecuteErase(MemoryTask& task);
+
+  /// Loads page bytes from the backend (or zero-fills) with PFS charging.
+  TaskOutcome StageInOrZero(VectorMeta& meta, const storage::BlobId& id,
+                            sim::SimTime now);
+
+  Service* service_;
+  std::size_t node_id_;
+  const ServiceOptions& options_;
+  storage::BufferManager bm_;
+  std::vector<std::unique_ptr<BlockingQueue<MemoryTask>>> high_queues_;
+  std::vector<std::unique_ptr<BlockingQueue<MemoryTask>>> low_queues_;
+  std::vector<std::thread> workers_;
+  std::atomic<int> score_updates_{0};
+  std::atomic<std::uint64_t> tasks_executed_{0};
+  bool shut_down_ = false;
+};
+
+class Service {
+ public:
+  /// Builds per-node runtimes over `cluster` (which must outlive the
+  /// service). The tier grants apply to every node.
+  Service(sim::Cluster* cluster, ServiceOptions options);
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  sim::Cluster& cluster() { return *cluster_; }
+  const ServiceOptions& options() const { return options_; }
+  storage::MetadataManager& metadata() { return *metadata_; }
+  NodeRuntime& runtime(std::size_t node) { return *runtimes_[node]; }
+  std::size_t num_nodes() const { return runtimes_.size(); }
+
+  /// Connects to (or creates) a shared vector. All processes using the same
+  /// key share the object. For nonvolatile vectors whose backend object
+  /// exists, the size is taken from the backend; otherwise `initial_elems`
+  /// sets it. Idempotent and thread-safe.
+  StatusOr<VectorMeta*> RegisterVector(const std::string& key,
+                                       std::size_t elem_size,
+                                       const VectorOptions& options,
+                                       std::uint64_t initial_elems = 0);
+
+  /// Looks up a registered vector by key (nullptr if unknown).
+  VectorMeta* FindVector(const std::string& key);
+
+  /// Registers the PGAS partition of a vector (from Vector::Pgas). All
+  /// ranks must pass identical values.
+  void SetPgasHint(VectorMeta& meta, VectorMeta::PgasHint hint);
+
+  /// Deterministic owner node for an unplaced page: the PGAS-hinted node
+  /// when available, otherwise the blob's home node.
+  std::size_t DefaultOwner(VectorMeta& meta, const storage::BlobId& id);
+
+  /// Node a read of `id` should be served from (local copy > replica >
+  /// primary owner > default owner). Charges the metadata lookup to *done.
+  std::size_t ChooseReadSource(VectorMeta& meta, const storage::BlobId& id,
+                               std::size_t from_node, sim::SimTime now,
+                               sim::SimTime* done);
+
+  /// Under read-only replication: caches a remotely-fetched page in the
+  /// local scache partition and registers the replica (Fig. 3). No-op in
+  /// other modes. Called by both the fault and prefetch completion paths.
+  void MaybeReplicate(VectorMeta& meta, std::uint64_t page,
+                      const std::vector<std::uint8_t>& data,
+                      std::size_t from_node, sim::SimTime now);
+
+  // ---- scache client API (called from rank threads) ----
+
+  /// Synchronous page fault: fetches the whole page. Charges metadata
+  /// lookup, remote transfer (if the owner is another node), device time,
+  /// and stage-in as applicable. Concurrent faults for the same page on the
+  /// same node share one fetch. `*done` receives the simulated completion.
+  StatusOr<std::vector<std::uint8_t>> ReadPage(VectorMeta& meta,
+                                               std::uint64_t page,
+                                               std::size_t from_node,
+                                               sim::SimTime now,
+                                               sim::SimTime* done,
+                                               std::uint64_t* version = nullptr);
+
+  /// Current write-version of a page per the metadata manager (0 when the
+  /// page has never been placed). Charges the metadata round trip.
+  std::uint64_t PageVersion(VectorMeta& meta, std::uint64_t page,
+                            std::size_t from_node, sim::SimTime now,
+                            sim::SimTime* done);
+
+  /// An asynchronous page fetch started by the prefetcher.
+  struct AsyncRead {
+    std::shared_future<TaskOutcome> future;
+    std::size_t owner = 0;
+  };
+
+  /// Starts an asynchronous page fetch (prefetch path). The caller charges
+  /// itself nothing now; on completion it must add the owner→reader
+  /// transfer when the owner is remote.
+  AsyncRead ReadPageAsync(VectorMeta& meta, std::uint64_t page,
+                          std::size_t from_node, sim::SimTime now);
+
+  /// Idle estimate of reading one page from wherever it currently lives
+  /// (prefetcher input). Unplaced pages are assumed to cost a PFS stage-in.
+  double EstimateReadSeconds(VectorMeta& meta, std::uint64_t page,
+                             std::uint64_t bytes);
+
+  /// Asynchronous dirty-region commit (copy-on-write eviction/TxEnd path).
+  /// The caller should charge itself only the copy cost; the returned
+  /// future is for real-time ordering (TxEnd waits on it).
+  std::shared_future<TaskOutcome> WriteRegion(VectorMeta& meta,
+                                              std::uint64_t page,
+                                              std::uint64_t offset,
+                                              std::vector<std::uint8_t> bytes,
+                                              std::size_t from_node,
+                                              sim::SimTime now);
+
+  /// Async importance-score update for the Data Organizer.
+  void SubmitScore(VectorMeta& meta, std::uint64_t page, float score,
+                   std::size_t from_node, sim::SimTime now);
+
+  /// Stages all dirty pages of a vector to its backend; returns when
+  /// persisted (real time). `*done` gets the last simulated completion.
+  Status FlushVector(VectorMeta& meta, std::size_t from_node, sim::SimTime now,
+                     sim::SimTime* done);
+
+  /// Changes the coherence phase; leaving read-only invalidates replicas
+  /// (paper §III-C "Changing Phases").
+  Status ChangePhase(VectorMeta& meta, CoherenceMode new_mode,
+                     std::size_t from_node, sim::SimTime now,
+                     sim::SimTime* done);
+
+  /// Destroys the shared object: drops all scache pages and metadata.
+  /// The backend object is kept unless `remove_backend`.
+  Status DestroyVector(VectorMeta& meta, bool remove_backend = false);
+
+  /// Flushes every nonvolatile vector and stops all runtimes. Called by the
+  /// destructor if not called explicitly.
+  void Shutdown();
+
+  /// scache DRAM bytes in use across all nodes (for memory accounting).
+  std::uint64_t ScacheDramUsed() const;
+
+  // ---- internals shared with NodeRuntime ----
+  VectorMeta* FindVectorById(std::uint64_t vector_id);
+  /// Ensures the backend object exists with at least the vector's size.
+  Status EnsureBackend(VectorMeta& meta);
+
+ private:
+  friend class NodeRuntime;
+
+  sim::Cluster* cluster_;
+  ServiceOptions options_;
+  std::unique_ptr<storage::MetadataManager> metadata_;
+  std::vector<std::unique_ptr<NodeRuntime>> runtimes_;
+
+  std::mutex vectors_mu_;
+  std::map<std::string, std::unique_ptr<VectorMeta>> vectors_;
+  std::unordered_map<std::uint64_t, VectorMeta*> vectors_by_id_;
+
+  // Per-node in-flight page-fault dedup: concurrent faults for the same
+  // blob on one node share one fetch (also how MM_COLLECTIVE transactions
+  // avoid overloading the owner).
+  struct InflightKey {
+    std::size_t node;
+    storage::BlobId id;
+    bool operator==(const InflightKey&) const = default;
+  };
+  struct InflightKeyHash {
+    std::size_t operator()(const InflightKey& k) const {
+      return HashCombine(k.id.Digest(), k.node);
+    }
+  };
+  std::mutex inflight_mu_;
+  std::unordered_map<InflightKey, std::shared_future<TaskOutcome>,
+                     InflightKeyHash>
+      inflight_;
+
+  bool shut_down_ = false;
+};
+
+}  // namespace mm::core

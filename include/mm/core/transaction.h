@@ -1,0 +1,188 @@
+// Transactional memory API (paper §III-A "Informing Policy with
+// Transactional Memory" and Listing 2). A Transaction describes the access
+// pattern a region of shared memory is about to incur: which elements, in
+// what order, read or write. `tail` counts memory accesses made so far;
+// `head` counts accesses already acknowledged by the prefetcher.
+//
+// Users can define custom transactions by subclassing Transaction and
+// implementing ElementAt/GetPages, exactly as the paper describes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mm/util/hash.h"
+#include "mm/util/status.h"
+
+namespace mm::core {
+
+/// Access-intent flags passed to TxBegin.
+enum TxFlags : std::uint32_t {
+  MM_READ_ONLY = 1u << 0,
+  MM_WRITE_ONLY = 1u << 1,
+  MM_READ_WRITE = MM_READ_ONLY | MM_WRITE_ONLY,
+  MM_APPEND_ONLY = 1u << 2,
+  /// Region is accessed by several processes; enables tree/replica fan-out.
+  MM_COLLECTIVE = 1u << 3,
+};
+
+/// A fragment of one page touched by a transaction (Listing 2).
+struct PageRegion {
+  std::size_t page_idx = 0;
+  std::size_t off = 0;   // byte offset within the page
+  std::size_t size = 0;  // byte length within the page
+  bool modified = false;
+
+  bool operator==(const PageRegion&) const = default;
+};
+
+/// Base class for access-pattern descriptions (Listing 2). Positions are
+/// access-sequence indices: access #0 is the first element the transaction
+/// touches, and so on.
+class Transaction {
+ public:
+  Transaction(std::uint32_t flags, std::size_t elem_size,
+              std::size_t elems_per_page)
+      : flags_(flags), elem_size_(elem_size), elems_per_page_(elems_per_page) {
+    MM_CHECK(elem_size > 0 && elems_per_page > 0);
+  }
+  virtual ~Transaction() = default;
+
+  std::uint32_t flags() const { return flags_; }
+  bool writes() const {
+    return (flags_ & (MM_WRITE_ONLY | MM_APPEND_ONLY)) != 0;
+  }
+  bool reads() const { return (flags_ & MM_READ_ONLY) != 0; }
+  bool collective() const { return (flags_ & MM_COLLECTIVE) != 0; }
+
+  /// Number of accesses acknowledged by the prefetcher.
+  std::size_t head() const { return head_; }
+  /// Number of accesses made so far.
+  std::size_t tail() const { return tail_; }
+  void set_head(std::size_t h) { head_ = h; }
+  void AdvanceTail() { ++tail_; }
+
+  /// Total accesses this transaction will perform.
+  virtual std::size_t TotalAccesses() const = 0;
+
+  /// The element index touched by access #pos (pos < TotalAccesses()).
+  virtual std::size_t ElementAt(std::size_t pos) const = 0;
+
+  /// Whether a page touched before `tail` may be touched again later
+  /// (Algorithm 1 note: "certain transactions (e.g., random) may touch a
+  /// page several times"). Pages that may be retouched are not scored 0.
+  virtual bool MayRetouch() const { return false; }
+
+  /// The page regions covered by accesses [pos, pos+count), clipped to the
+  /// transaction's length. Default implementation walks ElementAt; pattern
+  /// subclasses override with closed forms where possible.
+  virtual std::vector<PageRegion> GetPages(std::size_t pos,
+                                           std::size_t count) const;
+
+  /// Regions already touched (Listing 2 GetTouchedPages).
+  std::vector<PageRegion> GetTouchedPages() const {
+    return GetPages(head_, tail_ - head_);
+  }
+  /// Regions about to be touched (Listing 2 GetFuturePages).
+  std::vector<PageRegion> GetFuturePages(std::size_t count) const {
+    return GetPages(tail_, count);
+  }
+
+  std::size_t elem_size() const { return elem_size_; }
+  std::size_t elems_per_page() const { return elems_per_page_; }
+  std::size_t PageOfElement(std::size_t elem) const {
+    return elem / elems_per_page_;
+  }
+
+ protected:
+  std::uint32_t flags_;
+  std::size_t elem_size_;
+  std::size_t elems_per_page_;
+  std::size_t head_ = 0;
+  std::size_t tail_ = 0;
+};
+
+/// Sequential scan over elements [begin, begin+count) (SeqTxBegin).
+class SeqTx final : public Transaction {
+ public:
+  SeqTx(std::uint32_t flags, std::size_t elem_size, std::size_t elems_per_page,
+        std::size_t begin_elem, std::size_t count)
+      : Transaction(flags, elem_size, elems_per_page),
+        begin_elem_(begin_elem),
+        count_(count) {}
+
+  std::size_t TotalAccesses() const override { return count_; }
+  std::size_t ElementAt(std::size_t pos) const override {
+    return begin_elem_ + pos;
+  }
+  std::vector<PageRegion> GetPages(std::size_t pos,
+                                   std::size_t count) const override;
+
+ private:
+  std::size_t begin_elem_;
+  std::size_t count_;
+};
+
+/// Strided scan: elements begin, begin+stride, ... (count accesses).
+class StrideTx final : public Transaction {
+ public:
+  StrideTx(std::uint32_t flags, std::size_t elem_size,
+           std::size_t elems_per_page, std::size_t begin_elem,
+           std::size_t stride, std::size_t count)
+      : Transaction(flags, elem_size, elems_per_page),
+        begin_elem_(begin_elem),
+        stride_(stride),
+        count_(count) {
+    MM_CHECK(stride > 0);
+  }
+
+  std::size_t TotalAccesses() const override { return count_; }
+  std::size_t ElementAt(std::size_t pos) const override {
+    return begin_elem_ + pos * stride_;
+  }
+
+ private:
+  std::size_t begin_elem_;
+  std::size_t stride_;
+  std::size_t count_;
+};
+
+/// Pseudo-random accesses over [lo, hi), reproducible from a seed (paper
+/// §I: "factors such as randomness seeds ... are used to guide data
+/// organization decisions"). The stream is stateless — access #pos is a
+/// hash of (seed, pos) — so prediction is O(1) per position.
+class RandTx final : public Transaction {
+ public:
+  RandTx(std::uint32_t flags, std::size_t elem_size,
+         std::size_t elems_per_page, std::size_t lo, std::size_t hi,
+         std::size_t count, std::uint64_t seed)
+      : Transaction(flags, elem_size, elems_per_page),
+        lo_(lo),
+        hi_(hi),
+        count_(count),
+        seed_(seed) {
+    MM_CHECK(hi > lo);
+  }
+
+  std::size_t TotalAccesses() const override { return count_; }
+  /// The deterministic stream formula, exposed so applications (e.g. the
+  /// Random Forest bagger) can consume exactly the elements the prefetcher
+  /// predicts.
+  static std::size_t ElementOf(std::uint64_t seed, std::size_t pos,
+                               std::size_t lo, std::size_t hi) {
+    return lo + static_cast<std::size_t>(
+                    MixU64(seed ^ (pos * 0x9E3779B97F4A7C15ULL)) % (hi - lo));
+  }
+  std::size_t ElementAt(std::size_t pos) const override {
+    return ElementOf(seed_, pos, lo_, hi_);
+  }
+  bool MayRetouch() const override { return true; }
+
+ private:
+  std::size_t lo_;
+  std::size_t hi_;
+  std::size_t count_;
+  std::uint64_t seed_;
+};
+
+}  // namespace mm::core

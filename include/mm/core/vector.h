@@ -1,0 +1,590 @@
+// mm::Vector<T> — the public MegaMmap shared-memory vector (paper §III-A,
+// Listing 1). Presents an out-of-core, distributed, optionally persistent
+// dataset as a byte-addressable array:
+//
+//   mm::core::Vector<Point3D> pts(svc, ctx, "spar:///points.parquet:f4x3");
+//   pts.BoundMemory(MEGABYTES(1));
+//   pts.Pgas(rank, nprocs);
+//   auto& tx = pts.SeqTxBegin(pts.local_off(), pts.local_size(),
+//                             MM_READ_ONLY);
+//   for (const Point3D& p : tx) { ... }
+//   pts.TxEnd();
+//
+// Element access faults pages into a per-process pcache; dirty fragments
+// are committed copy-on-write through asynchronous MemoryTasks; the
+// transaction drives Algorithm 1's eviction/prefetching.
+//
+// Thread-affinity: a Vector instance belongs to one rank. Different ranks
+// construct their own Vector with the same key to share the object.
+#pragma once
+
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <type_traits>
+
+#include "mm/comm/world.h"
+#include "mm/core/pcache.h"
+#include "mm/core/prefetcher.h"
+#include "mm/core/service.h"
+#include "mm/core/transaction.h"
+
+namespace mm::core {
+
+template <typename T>
+class Vector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "mm::Vector elements must be trivially copyable (provide a "
+                "POD mirror or serialize into one)");
+
+ public:
+  /// Connects to (or creates) the shared vector named `key`. For
+  /// nonvolatile vectors backed by an existing object, the size comes from
+  /// the backend; otherwise `count` elements are allocated (zero-filled on
+  /// first touch).
+  Vector(Service& service, comm::RankContext& ctx, const std::string& key,
+         std::uint64_t count = 0, VectorOptions options = {})
+      : service_(&service), ctx_(&ctx), options_(options) {
+    auto meta = service.RegisterVector(key, sizeof(T), options, count);
+    if (!meta.ok()) {
+      throw std::runtime_error("mm::Vector: " + meta.status().ToString());
+    }
+    meta_ = *meta;
+    pcache_ = std::make_unique<PCache>(meta_->page_bytes,
+                                       meta_->elems_per_page(),
+                                       options_.pcache_bytes);
+  }
+
+  // Paper semantics: vectors are NOT destroyed in the destructor; call
+  // Destroy() explicitly (avoids races between processes finishing at
+  // different times).
+  ~Vector() = default;
+  Vector(const Vector&) = delete;
+  Vector& operator=(const Vector&) = delete;
+
+  /// Caps the DRAM this process may spend caching this vector (Vec.Max).
+  void BoundMemory(std::uint64_t bytes) {
+    options_.pcache_bytes = bytes;
+    pcache_->set_capacity(bytes);
+  }
+
+  /// Partitions elements evenly across `nprocs` processes (PGAS-style).
+  /// Also registers the partition as a placement hint so unplaced pages
+  /// first-touch onto the node of the rank that owns them.
+  void Pgas(int rank, int nprocs) {
+    MM_CHECK(nprocs > 0 && rank >= 0 && rank < nprocs);
+    pgas_rank_ = rank;
+    pgas_nprocs_ = nprocs;
+    service_->SetPgasHint(
+        *meta_, VectorMeta::PgasHint{size(), nprocs,
+                                     ctx_->world().ranks_per_node()});
+  }
+
+  std::uint64_t local_off() const {
+    std::uint64_t n = size(), p = pgas_nprocs_, r = pgas_rank_;
+    std::uint64_t base = n / p, rem = n % p;
+    return r * base + std::min<std::uint64_t>(r, rem);
+  }
+  std::uint64_t local_size() const {
+    std::uint64_t n = size(), p = pgas_nprocs_, r = pgas_rank_;
+    std::uint64_t base = n / p, rem = n % p;
+    return base + (r < rem ? 1 : 0);
+  }
+
+  std::uint64_t size() const { return meta_->num_elements(); }
+  std::uint64_t size_bytes() const {
+    return meta_->size_bytes.load(std::memory_order_relaxed);
+  }
+  std::uint64_t page_bytes() const { return meta_->page_bytes; }
+  const std::string& key() const { return meta_->key; }
+  CoherenceMode mode() const {
+    return meta_->mode.load(std::memory_order_relaxed);
+  }
+
+  // ---- transactional memory API ----
+
+  /// Iterable view of the active transaction's access sequence.
+  class TxHandle;
+
+  /// Declares a sequential scan over elements [off, off+count).
+  TxHandle SeqTxBegin(std::uint64_t off, std::uint64_t count,
+                      std::uint32_t flags) {
+    BeginTx(std::make_unique<SeqTx>(flags, sizeof(T), meta_->elems_per_page(),
+                                    off, count));
+    return TxHandle(this);
+  }
+
+  /// Declares `count` pseudo-random accesses over [lo, hi), reproducible
+  /// from `seed`.
+  TxHandle RandTxBegin(std::uint64_t lo, std::uint64_t hi, std::uint64_t count,
+                       std::uint32_t flags, std::uint64_t seed) {
+    BeginTx(std::make_unique<RandTx>(flags, sizeof(T), meta_->elems_per_page(),
+                                     lo, hi, count, seed));
+    return TxHandle(this);
+  }
+
+  /// Declares a strided scan: off, off+stride, ... (count accesses).
+  TxHandle StrideTxBegin(std::uint64_t off, std::uint64_t stride,
+                         std::uint64_t count, std::uint32_t flags) {
+    BeginTx(std::make_unique<StrideTx>(flags, sizeof(T),
+                                       meta_->elems_per_page(), off, stride,
+                                       count));
+    return TxHandle(this);
+  }
+
+  /// Installs a user-defined transaction (custom subclass, paper §III-A).
+  void TxBegin(std::unique_ptr<Transaction> tx) { BeginTx(std::move(tx)); }
+
+  /// Ends the transaction: commits all unflushed modifications (the commit
+  /// is asynchronous in simulated time; real execution waits so later
+  /// readers observe the writes after the application's synchronization).
+  void TxEnd() {
+    MM_CHECK_MSG(tx_ != nullptr, "TxEnd without active transaction");
+    FlushDirtyFrames(/*retain=*/true);
+    WaitOutstanding();
+    tx_.reset();
+  }
+
+  Transaction* active_tx() { return tx_.get(); }
+
+  // ---- element access ----
+
+  /// Faulting element access. Under a writing transaction the touched
+  /// element is marked dirty. The reference stays valid until the next
+  /// MegaMmap call on this vector.
+  T& At(std::uint64_t i) {
+    MM_CHECK_MSG(i < size(), "mm::Vector index out of range");
+    std::uint64_t page = i / meta_->elems_per_page();
+    std::uint64_t elem = i % meta_->elems_per_page();
+    // Run the prefetcher BEFORE taking a frame reference: its eviction pass
+    // may drop pages (including, for unaligned scans, this one — which then
+    // simply refaults below).
+    if (tx_ != nullptr && options_.prefetch_depth > 0 &&
+        tx_->tail() % meta_->elems_per_page() == 0) {
+      PrefetchStep();
+    }
+    // §III-E: the page that was last accessed is checked first — iterative
+    // algorithms usually stay within one page for many accesses.
+    PageFrame* frame =
+        (page == last_page_ && last_frame_ != nullptr) ? last_frame_
+                                                       : FetchFrame(page);
+    last_page_ = page;
+    last_frame_ = frame;
+    const auto& costs = ctx_->costs();
+    ctx_->Compute(costs.memory_access_s + costs.mm_access_overhead_s);
+    if (tx_ != nullptr) {
+      if (tx_->writes()) frame->dirty.Set(elem);
+      tx_->AdvanceTail();
+    }
+    return *reinterpret_cast<T*>(frame->data.data() + elem * sizeof(T));
+  }
+
+  T& operator[](std::uint64_t i) { return At(i); }
+
+  /// Read-only access: never dirties the element even inside a writing
+  /// transaction.
+  const T& Read(std::uint64_t i) {
+    MM_CHECK_MSG(i < size(), "mm::Vector index out of range");
+    std::uint64_t page = i / meta_->elems_per_page();
+    std::uint64_t elem = i % meta_->elems_per_page();
+    if (tx_ != nullptr && options_.prefetch_depth > 0 &&
+        tx_->tail() % meta_->elems_per_page() == 0) {
+      PrefetchStep();
+    }
+    PageFrame* frame =
+        (page == last_page_ && last_frame_ != nullptr) ? last_frame_
+                                                       : FetchFrame(page);
+    last_page_ = page;
+    last_frame_ = frame;
+    const auto& costs = ctx_->costs();
+    ctx_->Compute(costs.memory_access_s + costs.mm_access_overhead_s);
+    if (tx_ != nullptr) tx_->AdvanceTail();
+    return *reinterpret_cast<const T*>(frame->data.data() + elem * sizeof(T));
+  }
+
+  /// Explicit write (dirties the element with or without a transaction).
+  void Set(std::uint64_t i, const T& value) {
+    T& slot = At(i);
+    slot = value;
+    std::uint64_t page = i / meta_->elems_per_page();
+    std::uint64_t elem = i % meta_->elems_per_page();
+    pcache_->MarkDirty(page, elem, elem + 1);
+  }
+
+  /// Atomically extends the vector by one element; returns its index.
+  std::uint64_t Append(const T& value) {
+    std::uint64_t off =
+        meta_->size_bytes.fetch_add(sizeof(T), std::memory_order_relaxed);
+    std::uint64_t idx = off / sizeof(T);
+    Set(idx, value);
+    return idx;
+  }
+
+  // ---- persistence & lifecycle ----
+
+  /// Synchronously commits this process's modifications to the scache and
+  /// stages the vector's dirty pages to the backend.
+  void Flush() {
+    FlushDirtyFrames(/*retain=*/true);
+    WaitOutstanding();
+    sim::SimTime done = ctx_->clock().now();
+    Status st =
+        service_->FlushVector(*meta_, ctx_->node(), ctx_->clock().now(), &done);
+    if (!st.ok()) throw std::runtime_error("Flush: " + st.ToString());
+    ctx_->clock().AdvanceTo(done);
+  }
+
+  /// Commits this process's local modifications to the shared cache (no
+  /// backend staging). Equivalent to the commit half of TxEnd; useful for
+  /// non-transactional writes (Append/Set) before a synchronization point.
+  void Commit() {
+    FlushDirtyFrames(/*retain=*/true);
+    WaitOutstanding();
+  }
+
+  /// Commits local modifications and stages dirty pages without stalling
+  /// the simulated clock: the staging engine drains in the background
+  /// (paper §III-B "MegaMmap actively flushes modified data to storage
+  /// during periods of computation"). Real execution still completes the
+  /// staging before returning, so the data is durable.
+  void FlushAsync() {
+    FlushDirtyFrames(/*retain=*/true);
+    WaitOutstanding();
+    Status st = service_->FlushVector(*meta_, ctx_->node(),
+                                      ctx_->clock().now(), nullptr);
+    if (!st.ok()) throw std::runtime_error("FlushAsync: " + st.ToString());
+  }
+
+  /// Changes the coherence phase at a synchronization point. Leaving
+  /// read-only invalidates replicas.
+  void ChangePhase(CoherenceMode new_mode) {
+    // Local modifications must be committed under the old phase's rules.
+    FlushDirtyFrames(/*retain=*/true);
+    WaitOutstanding();
+    sim::SimTime done = ctx_->clock().now();
+    Status st = service_->ChangePhase(*meta_, new_mode, ctx_->node(),
+                                      ctx_->clock().now(), &done);
+    if (!st.ok()) throw std::runtime_error("ChangePhase: " + st.ToString());
+    ctx_->clock().AdvanceTo(done);
+    // Replicas this rank was reading may be gone.
+    last_page_ = kNoPage;
+    last_frame_ = nullptr;
+    for (std::uint64_t page : pcache_->ResidentPages()) {
+      PageFrame* f = pcache_->Find(page);
+      if (f != nullptr && !f->dirty.Any()) pcache_->Remove(page);
+    }
+  }
+
+  /// Destroys the shared object (all processes' view of it). Explicit by
+  /// design. The backend object is kept unless `remove_backend`.
+  void Destroy(bool remove_backend = false) {
+    WaitOutstanding();
+    pcache_->Clear();
+    last_page_ = kNoPage;
+    last_frame_ = nullptr;
+    Status st = service_->DestroyVector(*meta_, remove_backend);
+    if (!st.ok()) throw std::runtime_error("Destroy: " + st.ToString());
+  }
+
+  // ---- stats ----
+  std::uint64_t faults() const { return faults_; }
+  std::uint64_t evictions() const { return evictions_; }
+  std::uint64_t prefetches() const { return prefetches_; }
+  PCache& pcache() { return *pcache_; }
+  VectorMeta& meta() { return *meta_; }
+
+  // ---- TxHandle / iterator ----
+
+  class TxIterator {
+   public:
+    using iterator_category = std::input_iterator_tag;
+    using value_type = T;
+    using difference_type = std::ptrdiff_t;
+    using pointer = T*;
+    using reference = T&;
+
+    TxIterator(Vector* vec, std::size_t pos) : vec_(vec), pos_(pos) {}
+    T& operator*() {
+      return vec_->At(vec_->tx_->ElementAt(pos_));
+    }
+    TxIterator& operator++() {
+      ++pos_;
+      return *this;
+    }
+    bool operator!=(const TxIterator& other) const {
+      return pos_ != other.pos_;
+    }
+    bool operator==(const TxIterator& other) const {
+      return pos_ == other.pos_;
+    }
+    std::size_t pos() const { return pos_; }
+
+   private:
+    Vector* vec_;
+    std::size_t pos_;
+  };
+
+  /// Iterating a TxHandle visits the transaction's access sequence:
+  /// `for (T& x : tx) ...`.
+  class TxHandle {
+   public:
+    explicit TxHandle(Vector* vec) : vec_(vec) {}
+    TxIterator begin() { return TxIterator(vec_, 0); }
+    TxIterator end() {
+      return TxIterator(vec_, vec_->tx_->TotalAccesses());
+    }
+    Transaction& tx() { return *vec_->tx_; }
+
+   private:
+    Vector* vec_;
+  };
+
+ private:
+  static constexpr std::uint64_t kNoPage = ~0ULL;
+
+  void BeginTx(std::unique_ptr<Transaction> tx) {
+    MM_CHECK_MSG(tx_ == nullptr,
+                 "nested transactions on one vector are not supported");
+    tx_ = std::move(tx);
+    AcquireCoherence();
+    if (options_.prefetch_depth > 0 && service_->options().enable_prefetch) {
+      PrefetchStep();  // warm the initial window
+    }
+  }
+
+  /// Acquire semantics at transaction begin: under globally-writable
+  /// coherence modes, cached clean pages whose write-version moved on are
+  /// dropped so this transaction observes other ranks' committed updates.
+  /// Read-only and local modes never invalidate (nobody else wrote); dirty
+  /// frames are this rank's own uncommitted data and are kept.
+  void AcquireCoherence() {
+    CoherenceMode mode = meta_->mode.load(std::memory_order_relaxed);
+    if (!tx_->reads() || !RequiresOrderedWrites(mode)) return;
+    // Batch the version queries: one coalesced metadata request per home
+    // shard instead of a round trip per page.
+    std::vector<std::uint64_t> pages;
+    std::vector<storage::BlobId> ids;
+    for (std::uint64_t page : pcache_->ResidentPages()) {
+      PageFrame* frame = pcache_->Find(page);
+      if (frame == nullptr || frame->dirty.Any()) continue;
+      pages.push_back(page);
+      ids.push_back(storage::BlobId{meta_->vector_id, page});
+    }
+    if (ids.empty()) return;
+    sim::SimTime done = ctx_->clock().now();
+    auto locs = service_->metadata().LookupBatch(ids, ctx_->node(),
+                                                 ctx_->clock().now(), &done);
+    ctx_->clock().AdvanceTo(done);
+    for (std::size_t i = 0; i < pages.size(); ++i) {
+      PageFrame* frame = pcache_->Find(pages[i]);
+      if (frame == nullptr) continue;
+      std::uint64_t current = locs[i].has_value() ? locs[i]->version : 0;
+      if (current != frame->version) {
+        pcache_->Remove(pages[i]);
+        if (pages[i] == last_page_) {
+          last_page_ = kNoPage;
+          last_frame_ = nullptr;
+        }
+      }
+    }
+  }
+
+  PageFrame* FetchFrame(std::uint64_t page) {
+    if (PageFrame* f = pcache_->Find(page)) return f;
+    // Read-your-writes: if this rank evicted dirty data for this page and
+    // the async commit has not landed yet, wait for it (real time only —
+    // the commit is still asynchronous in simulated time).
+    WaitPage(page);
+    std::vector<std::uint8_t> data;
+    std::uint64_t version = 0;
+    if (auto pending = pcache_->TakePending(page)) {
+      // A prefetch already fetched (or is fetching) this page: the access
+      // only stalls for whatever part of the fetch has not overlapped with
+      // compute.
+      TaskOutcome outcome = pending->future.get();
+      if (!outcome.status.ok()) {
+        throw std::runtime_error("prefetch failed: " +
+                                 outcome.status.ToString());
+      }
+      sim::SimTime done = outcome.done;
+      if (pending->remote) {
+        auto rsp = service_->cluster().network().Transfer(
+            done, pending->owner, ctx_->node(), outcome.data.size());
+        done = rsp.delivered;
+        service_->MaybeReplicate(*meta_, page, outcome.data, ctx_->node(),
+                                 done);
+      }
+      ctx_->clock().AdvanceTo(done);
+      data = std::move(outcome.data);
+      version = outcome.version;
+    } else {
+      // Synchronous page fault.
+      ++faults_;
+      ctx_->Compute(ctx_->costs().page_fault_soft_s);
+      sim::SimTime done = ctx_->clock().now();
+      auto data_or = service_->ReadPage(*meta_, page, ctx_->node(),
+                                        ctx_->clock().now(), &done, &version);
+      if (!data_or.ok()) {
+        throw std::runtime_error("page fault failed: " +
+                                 data_or.status().ToString());
+      }
+      ctx_->clock().AdvanceTo(done);
+      data = std::move(data_or).value();
+    }
+    MakeRoom();
+    PageFrame* frame = pcache_->Insert(page, std::move(data));
+    frame->version = version;
+    return frame;
+  }
+
+  /// Evicts until one more page fits under the BoundMemory cap.
+  void MakeRoom() {
+    while (pcache_->used() + meta_->page_bytes > options_.pcache_bytes &&
+           pcache_->num_frames() > 0) {
+      auto victim = pcache_->PickVictim();
+      if (!victim.has_value()) break;
+      EvictPage(*victim);
+    }
+  }
+
+  /// Evicts one page; dirty fragments become async writer MemoryTasks. The
+  /// application pays only the copy (paper §III-B "Lifecycle of Modified
+  /// Data").
+  void EvictPage(std::uint64_t page) {
+    auto frame = pcache_->Remove(page);
+    if (!frame.has_value()) return;
+    if (page == last_page_) {
+      last_page_ = kNoPage;
+      last_frame_ = nullptr;
+    }
+    ++evictions_;
+    if (frame->dirty.Any()) {
+      ShipDirtyRuns(page, *frame);
+    }
+  }
+
+  /// Sends each dirty run of a frame as a partial-page write task.
+  void ShipDirtyRuns(std::uint64_t page, PageFrame& frame) {
+    const std::size_t es = sizeof(T);
+    frame.dirty.ForEachRun([&](std::size_t lo, std::size_t hi) {
+      std::uint64_t off = lo * es;
+      std::uint64_t len = (hi - lo) * es;
+      std::vector<std::uint8_t> bytes(len);
+      std::memcpy(bytes.data(), frame.data.data() + off, len);
+      ctx_->Compute(static_cast<double>(len) / ctx_->costs().memcpy_Bps);
+      outstanding_.emplace_back(
+          page, service_->WriteRegion(*meta_, page, off, std::move(bytes),
+                                      ctx_->node(), ctx_->clock().now()));
+    });
+    frame.dirty.Reset();
+  }
+
+  /// Commits dirty frames; frames stay resident (clean) when `retain`.
+  void FlushDirtyFrames(bool retain) {
+    for (std::uint64_t page : pcache_->DirtyPages()) {
+      PageFrame* frame = pcache_->Find(page);
+      MM_CHECK(frame != nullptr);
+      ShipDirtyRuns(page, *frame);
+      if (!retain) {
+        pcache_->Remove(page);
+        if (page == last_page_) {
+          last_page_ = kNoPage;
+          last_frame_ = nullptr;
+        }
+      }
+    }
+  }
+
+  /// Real-time wait for outstanding async commits (no virtual charge: the
+  /// writes are asynchronous in simulated time).
+  void WaitOutstanding() {
+    for (auto& [page, f] : outstanding_) {
+      TaskOutcome outcome = f.get();
+      if (!outcome.status.ok()) {
+        throw std::runtime_error("async commit failed: " +
+                                 outcome.status.ToString());
+      }
+      // The frame may adopt the committed version only when no other
+      // rank's write landed in between (its bytes would be missing here).
+      if (PageFrame* frame = pcache_->Find(page)) {
+        if (outcome.prev_version == frame->version) {
+          frame->version = outcome.version;
+        }
+      }
+    }
+    outstanding_.clear();
+  }
+
+  /// Waits for (and retires) outstanding commits targeting one page.
+  void WaitPage(std::uint64_t page) {
+    auto it = outstanding_.begin();
+    while (it != outstanding_.end()) {
+      if (it->first == page) {
+        TaskOutcome outcome = it->second.get();
+        if (!outcome.status.ok()) {
+          throw std::runtime_error("async commit failed: " +
+                                   outcome.status.ToString());
+        }
+        if (PageFrame* frame = pcache_->Find(page)) {
+          if (outcome.prev_version == frame->version) {
+            frame->version = outcome.version;
+          }
+        }
+        it = outstanding_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  /// One Algorithm 1 invocation.
+  void PrefetchStep() {
+    if (tx_ == nullptr || !service_->options().enable_prefetch) return;
+    PrefetchVecState state;
+    state.max_bytes = options_.pcache_bytes;
+    state.cur_bytes = pcache_->committed();
+    state.page_bytes = meta_->page_bytes;
+    PrefetcherOps ops;
+    ops.set_score = [&](std::uint64_t page, float score) {
+      service_->SubmitScore(*meta_, page, score, ctx_->node(),
+                            ctx_->clock().now());
+    };
+    ops.evict_page = [&](std::uint64_t page) {
+      if (pcache_->Contains(page)) EvictPage(page);
+    };
+    ops.fetch_ahead = [&](std::uint64_t page) {
+      if (page * meta_->elems_per_page() >= size()) return;
+      auto ar = service_->ReadPageAsync(*meta_, page, ctx_->node(),
+                                        ctx_->clock().now());
+      ++prefetches_;
+      pcache_->AddPending(page,
+                          PendingFetch{std::move(ar.future), ar.owner,
+                                       ar.owner != ctx_->node()});
+    };
+    ops.cached_or_pending = [&](std::uint64_t page) {
+      return pcache_->Contains(page) || pcache_->HasPending(page);
+    };
+    ops.est_read_seconds = [&](std::uint64_t page, std::uint64_t bytes) {
+      return service_->EstimateReadSeconds(*meta_, page, bytes);
+    };
+    Prefetcher::Step(state, *tx_, options_.min_score, ops);
+  }
+
+  Service* service_;
+  comm::RankContext* ctx_;
+  VectorOptions options_;
+  VectorMeta* meta_ = nullptr;
+  std::unique_ptr<PCache> pcache_;
+  std::unique_ptr<Transaction> tx_;
+  std::vector<std::pair<std::uint64_t, std::shared_future<TaskOutcome>>>
+      outstanding_;
+  std::uint64_t last_page_ = kNoPage;
+  PageFrame* last_frame_ = nullptr;
+  int pgas_rank_ = 0;
+  int pgas_nprocs_ = 1;
+  std::uint64_t faults_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t prefetches_ = 0;
+};
+
+}  // namespace mm::core

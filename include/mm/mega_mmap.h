@@ -1,0 +1,44 @@
+// Umbrella header for the MegaMmap public API.
+//
+//   #include <mm/mega_mmap.h>
+//
+//   auto cluster = mm::sim::Cluster::PaperTestbed(4);
+//   mm::core::ServiceOptions sopts;
+//   sopts.tier_grants = {{mm::sim::TierKind::kDram, MEGABYTES(256)},
+//                        {mm::sim::TierKind::kNvme, GIGABYTES(1)}};
+//   mm::core::Service service(cluster.get(), sopts);
+//   mm::comm::RunRanks(*cluster, nranks, per_node, [&](auto& ctx) {
+//     mm::Vector<double> v(service, ctx, "posix:///tmp/data.bin", 1 << 20);
+//     ...
+//   });
+#pragma once
+
+#include "mm/comm/communicator.h"
+#include "mm/comm/dlock.h"
+#include "mm/comm/launch.h"
+#include "mm/core/coherence.h"
+#include "mm/core/options.h"
+#include "mm/core/service.h"
+#include "mm/core/transaction.h"
+#include "mm/core/vector.h"
+#include "mm/sim/cluster.h"
+#include "mm/util/byte_units.h"
+
+namespace mm {
+
+/// The primary public type: a tiered, distributed, nonvolatile shared
+/// vector (alias of mm::core::Vector).
+template <typename T>
+using Vector = core::Vector<T>;
+
+using core::CoherenceMode;
+using core::Service;
+using core::ServiceOptions;
+using core::VectorOptions;
+using core::MM_APPEND_ONLY;
+using core::MM_COLLECTIVE;
+using core::MM_READ_ONLY;
+using core::MM_READ_WRITE;
+using core::MM_WRITE_ONLY;
+
+}  // namespace mm

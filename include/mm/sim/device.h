@@ -1,0 +1,134 @@
+// Storage-device models for the Deep Memory and Storage Hierarchy (DMSH).
+//
+// Each tier (DRAM, NVMe, SATA SSD, HDD, plus a remote PFS backend) is modeled
+// by capacity, latency, bandwidth, and $/GB. Devices serialize concurrent
+// requests through a BusyChannel, which is what produces the spill cliffs and
+// contention effects in Figs. 6-8. Dollar costs reproduce Fig. 7's cost axis
+// (paper: HDD $0.02/GB, SATA SSD $0.04/GB, NVMe $0.08/GB).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mm/sim/virtual_clock.h"
+
+namespace mm::sim {
+
+/// Storage tier kinds, fastest first. Order matters: the DataOrganizer
+/// promotes toward lower enum values.
+enum class TierKind : int {
+  kDram = 0,
+  kNvme = 1,
+  kSsd = 2,
+  kHdd = 3,
+  kPfs = 4,  // remote parallel filesystem (persistent backend)
+};
+
+const char* TierKindName(TierKind kind);
+
+/// One-letter code used in Fig. 7 labels (D/H/S/N, P for PFS).
+char TierKindCode(TierKind kind);
+
+/// Static performance/cost description of a device.
+struct DeviceSpec {
+  TierKind kind = TierKind::kDram;
+  std::uint64_t capacity_bytes = 0;
+  double read_latency_s = 0.0;
+  double write_latency_s = 0.0;
+  double read_bw_Bps = 0.0;   // bytes/second (per channel)
+  double write_bw_Bps = 0.0;  // bytes/second (per channel)
+  double dollars_per_gb = 0.0;
+  /// Internal parallelism: concurrent requests that proceed without
+  /// queueing behind each other (NVMe queue pairs, PFS stripe servers).
+  int channels = 1;
+
+  /// Calibrated presets (DESIGN.md §2): plausible 2024-era hardware with the
+  /// ratios the paper reports (HDD 6-10x slower than SSD/NVMe, NVMe within
+  /// an order of magnitude of DRAM).
+  static DeviceSpec Dram(std::uint64_t capacity);
+  static DeviceSpec Nvme(std::uint64_t capacity);
+  static DeviceSpec Ssd(std::uint64_t capacity);
+  static DeviceSpec Hdd(std::uint64_t capacity);
+  static DeviceSpec Pfs(std::uint64_t capacity);
+
+  /// Preset by kind.
+  static DeviceSpec ForKind(TierKind kind, std::uint64_t capacity);
+};
+
+/// A live device instance: spec + busy channel + usage accounting.
+class Device {
+ public:
+  explicit Device(DeviceSpec spec)
+      : spec_(spec),
+        channels_(static_cast<std::size_t>(spec.channels > 0 ? spec.channels
+                                                             : 1)) {}
+
+  const DeviceSpec& spec() const { return spec_; }
+  TierKind kind() const { return spec_.kind; }
+
+  /// Simulates a read of `bytes` starting at `now`; returns completion time.
+  SimTime Read(SimTime now, std::uint64_t bytes) {
+    double dur = spec_.read_latency_s +
+                 static_cast<double>(bytes) / spec_.read_bw_Bps;
+    bytes_read_.fetch_add(bytes, std::memory_order_relaxed);
+    return LeastBusy().Reserve(now, dur);
+  }
+
+  /// Simulates a write of `bytes` starting at `now`; returns completion time.
+  SimTime Write(SimTime now, std::uint64_t bytes) {
+    double dur = spec_.write_latency_s +
+                 static_cast<double>(bytes) / spec_.write_bw_Bps;
+    bytes_written_.fetch_add(bytes, std::memory_order_relaxed);
+    return LeastBusy().Reserve(now, dur);
+  }
+
+  /// Duration a read/write of `bytes` would take with an idle device.
+  double ReadDuration(std::uint64_t bytes) const {
+    return spec_.read_latency_s + static_cast<double>(bytes) / spec_.read_bw_Bps;
+  }
+  double WriteDuration(std::uint64_t bytes) const {
+    return spec_.write_latency_s +
+           static_cast<double>(bytes) / spec_.write_bw_Bps;
+  }
+
+  std::uint64_t bytes_read() const {
+    return bytes_read_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bytes_written() const {
+    return bytes_written_.load(std::memory_order_relaxed);
+  }
+  /// Latest completion across all channels.
+  SimTime busy_until() const {
+    SimTime latest = 0.0;
+    for (const auto& ch : channels_) latest = std::max(latest, ch.busy_until());
+    return latest;
+  }
+
+  void ResetStats() {
+    bytes_read_.store(0);
+    bytes_written_.store(0);
+    for (auto& ch : channels_) ch.Reset();
+  }
+
+ private:
+  BusyChannel& LeastBusy() {
+    std::size_t best = 0;
+    SimTime best_t = channels_[0].busy_until();
+    for (std::size_t i = 1; i < channels_.size(); ++i) {
+      SimTime t = channels_[i].busy_until();
+      if (t < best_t) {
+        best_t = t;
+        best = i;
+      }
+    }
+    return channels_[best];
+  }
+
+  DeviceSpec spec_;
+  std::vector<BusyChannel> channels_;
+  std::atomic<std::uint64_t> bytes_read_{0};
+  std::atomic<std::uint64_t> bytes_written_{0};
+};
+
+}  // namespace mm::sim

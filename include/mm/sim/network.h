@@ -1,0 +1,80 @@
+// Network model: per-node NICs with serialized channels plus a link spec
+// (latency + bandwidth). The paper's testbed has 40Gb/s RoCE-enabled
+// Ethernet; the Spark baseline is attributed a TCP-grade path (higher
+// latency, lower effective bandwidth) matching the paper's explanation of
+// Fig. 5 ("its use of the slower TCP protocol").
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mm/sim/virtual_clock.h"
+#include "mm/util/status.h"
+
+namespace mm::sim {
+
+struct NetworkSpec {
+  double latency_s = 2e-6;      // one-way small-message latency
+  double bandwidth_Bps = 5e9;   // per-flow effective bandwidth (40Gb/s)
+
+  /// RDMA-grade path (RoCE on the 40Gb/s network).
+  static NetworkSpec Roce40();
+  /// TCP on the 10Gb/s network (Spark-style transport).
+  static NetworkSpec Tcp10();
+  /// Loopback within a node (shared-memory transport).
+  static NetworkSpec Loopback();
+};
+
+/// Tracks per-node NIC contention and total traffic. Each NIC has several
+/// lanes (DMA engines / QPs): a few in-flight transfers proceed without
+/// queueing. Messages at or below kControlCutoff bytes bypass reservation
+/// entirely — they cost latency + wire time but never occupy a lane.
+class Network {
+ public:
+  static constexpr std::uint64_t kControlCutoff = 4096;
+  static constexpr std::size_t kNicLanes = 4;
+
+  Network(std::size_t num_nodes, NetworkSpec spec);
+
+  const NetworkSpec& spec() const { return spec_; }
+
+  /// Outcome of a simulated transfer: when the sender's egress completed
+  /// (the sender may proceed) and when the bytes arrived at the receiver.
+  struct TransferResult {
+    SimTime egress_done;
+    SimTime delivered;
+  };
+
+  /// Simulates moving `bytes` from node `src` to node `dst` starting at
+  /// `now`. Charges both NICs (intra-node transfers use the loopback spec).
+  TransferResult Transfer(SimTime now, std::size_t src, std::size_t dst,
+                          std::uint64_t bytes);
+
+  /// Idle-network duration of a transfer (for prefetcher estimates).
+  double TransferDuration(std::size_t src, std::size_t dst,
+                          std::uint64_t bytes) const;
+
+  std::uint64_t total_bytes() const {
+    return total_bytes_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t total_messages() const {
+    return total_messages_.load(std::memory_order_relaxed);
+  }
+
+  void ResetStats();
+
+ private:
+  NetworkSpec spec_;
+  NetworkSpec loopback_;
+  struct Nic {
+    BusyChannel lanes[kNicLanes];
+    BusyChannel& LeastBusy();
+  };
+  std::vector<std::unique_ptr<Nic>> nics_;
+  std::atomic<std::uint64_t> total_bytes_{0};
+  std::atomic<std::uint64_t> total_messages_{0};
+};
+
+}  // namespace mm::sim

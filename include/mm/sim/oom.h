@@ -1,0 +1,31 @@
+// Simulated out-of-memory. Baseline (non-MegaMmap) applications allocate
+// against their node's DRAM budget; exceeding it throws, modeling "the
+// default behavior of Linux is to terminate programs overutilizing memory"
+// (paper §IV-B.2, the Fig. 6 cliff). MegaMmap never throws this: it spills
+// to lower tiers instead.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace mm::sim {
+
+class SimOutOfMemoryError : public std::runtime_error {
+ public:
+  SimOutOfMemoryError(std::uint64_t requested, std::uint64_t available)
+      : std::runtime_error("simulated OOM kill: requested " +
+                           std::to_string(requested) + " bytes, " +
+                           std::to_string(available) + " available"),
+        requested_(requested),
+        available_(available) {}
+
+  std::uint64_t requested() const { return requested_; }
+  std::uint64_t available() const { return available_; }
+
+ private:
+  std::uint64_t requested_;
+  std::uint64_t available_;
+};
+
+}  // namespace mm::sim

@@ -1,0 +1,70 @@
+// Conservative virtual-time substrate.
+//
+// The reproduction environment has one physical core and no cluster, so
+// performance results are produced under a deterministic virtual-time model
+// (DESIGN.md §5): every simulated rank owns a VirtualClock; compute is
+// charged explicitly via the CostModel; communication and device access
+// charge latency + bytes/bandwidth; a receive advances the receiver to at
+// least the sender's stamp plus the message cost; barriers advance everyone
+// to the global max.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+
+namespace mm::sim {
+
+/// Simulated time in seconds.
+using SimTime = double;
+
+/// Per-rank virtual clock. Thread-confined: only the owning rank thread
+/// mutates it, so no locking is needed on the hot path.
+class VirtualClock {
+ public:
+  VirtualClock() = default;
+
+  SimTime now() const { return now_; }
+
+  /// Charges `seconds` of virtual time (compute, local work).
+  void Advance(SimTime seconds) { now_ += seconds; }
+
+  /// Moves the clock forward to `t` if `t` is later (blocking waits,
+  /// message receives, synchronous I/O completions).
+  void AdvanceTo(SimTime t) { now_ = std::max(now_, t); }
+
+  void Reset() { now_ = 0.0; }
+
+ private:
+  SimTime now_ = 0.0;
+};
+
+/// A serialized shared resource (device channel, NIC): requests queue behind
+/// one another. Thread-safe; multiple rank threads and runtime workers
+/// contend for the same device.
+class BusyChannel {
+ public:
+  /// Reserves the channel for an operation that takes `duration` starting no
+  /// earlier than `earliest`. Returns the completion time.
+  SimTime Reserve(SimTime earliest, SimTime duration) {
+    double expected = busy_until_.load(std::memory_order_relaxed);
+    while (true) {
+      double start = std::max(earliest, expected);
+      double end = start + duration;
+      if (busy_until_.compare_exchange_weak(expected, end,
+                                            std::memory_order_acq_rel)) {
+        return end;
+      }
+    }
+  }
+
+  SimTime busy_until() const {
+    return busy_until_.load(std::memory_order_relaxed);
+  }
+
+  void Reset() { busy_until_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> busy_until_{0.0};
+};
+
+}  // namespace mm::sim

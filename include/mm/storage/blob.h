@@ -1,0 +1,56 @@
+// Blob identity and descriptors. A blob is one page of one MegaMmap vector
+// as stored in the shared cache (scache). Blob ids are deterministic
+// functions of the vector key and page index so every node computes the same
+// home node without communication.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "mm/sim/device.h"
+#include "mm/util/hash.h"
+
+namespace mm::storage {
+
+struct BlobId {
+  std::uint64_t vector_id = 0;  // Fnv1a64 of the vector key
+  std::uint64_t page_idx = 0;
+
+  bool operator==(const BlobId&) const = default;
+
+  /// Stable 64-bit digest used for home-node and worker hashing.
+  std::uint64_t Digest() const {
+    return HashCombine(MixU64(vector_id), page_idx);
+  }
+
+  std::string ToString() const {
+    return std::to_string(vector_id) + "/" + std::to_string(page_idx);
+  }
+};
+
+struct BlobIdHash {
+  std::size_t operator()(const BlobId& id) const {
+    return static_cast<std::size_t>(id.Digest());
+  }
+};
+
+/// Where a blob currently lives and how it is scored.
+struct BlobLocation {
+  std::size_t node = 0;
+  sim::TierKind tier = sim::TierKind::kDram;
+  std::uint64_t size = 0;
+  /// Prefetcher importance score in [0, 1] (paper §III-D). Higher scores
+  /// are kept in faster tiers.
+  float score = 0.0f;
+  /// Node that most recently set the score (locality hint).
+  std::size_t score_node = 0;
+  /// True when the blob has modifications not yet staged to the backend.
+  bool dirty = false;
+  /// Monotonic write version. Bumped by every committed modification;
+  /// pcache frames remember the version they loaded so TxBegin can drop
+  /// stale cached pages (acquire semantics at transaction boundaries).
+  std::uint64_t version = 0;
+};
+
+}  // namespace mm::storage

@@ -1,0 +1,98 @@
+// BufferManager: one node's slice of the shared cache (scache). Owns a
+// TierStore per granted tier and implements score-driven placement:
+// incoming blobs go to the fastest tier with room; lower-scoring resident
+// blobs are demoted down the hierarchy to make room for higher-scoring ones
+// (paper §III-D "Data Organization": "Pages with lower scores in a tier
+// will be prioritized for eviction to make space for higher-scoring data").
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "mm/sim/cluster.h"
+#include "mm/storage/tier_store.h"
+
+namespace mm::storage {
+
+/// Capacity granted to the program on one tier (Fig. 7 sweeps these).
+struct TierGrant {
+  sim::TierKind kind;
+  std::uint64_t capacity;
+};
+
+class BufferManager {
+ public:
+  /// `node` must outlive the manager; every grant's tier must exist on it.
+  BufferManager(sim::Node* node, const std::vector<TierGrant>& grants);
+
+  std::size_t num_tiers() const { return tiers_.size(); }
+  TierStore& tier(std::size_t i) { return *tiers_[i]; }
+  const TierStore& tier(std::size_t i) const { return *tiers_[i]; }
+
+  /// Total bytes across all tiers.
+  std::uint64_t used() const;
+  std::uint64_t capacity() const;
+
+  /// Places a blob with an importance score. Tries tiers fastest-first; if
+  /// a tier is full, demotes its lowest-scoring blobs below the incoming
+  /// score to the next tier down (cascading). Returns the tier index used.
+  /// Fails with kResourceExhausted when nothing fits anywhere.
+  StatusOr<std::size_t> PutScored(const BlobId& id,
+                                  std::vector<std::uint8_t> data, float score,
+                                  sim::SimTime now, sim::SimTime* done);
+
+  /// Updates bytes [offset, ...) of a resident blob in place.
+  Status PutPartial(const BlobId& id, std::uint64_t offset,
+                    const std::vector<std::uint8_t>& data, sim::SimTime now,
+                    sim::SimTime* done);
+
+  /// Reads a whole blob from whichever tier holds it.
+  StatusOr<std::vector<std::uint8_t>> Get(const BlobId& id, sim::SimTime now,
+                                          sim::SimTime* done);
+
+  /// Reads a fragment of a blob.
+  StatusOr<std::vector<std::uint8_t>> GetPartial(const BlobId& id,
+                                                 std::uint64_t offset,
+                                                 std::uint64_t size,
+                                                 sim::SimTime now,
+                                                 sim::SimTime* done);
+
+  /// Tier index currently holding `id`, or nullopt.
+  std::optional<std::size_t> FindBlob(const BlobId& id) const;
+
+  Status Erase(const BlobId& id);
+
+  /// Re-scores a resident blob (organizer input).
+  void SetScore(const BlobId& id, float score);
+  float GetScore(const BlobId& id) const;
+
+  /// Organizer sweep: promotes the highest-scoring blobs upward while
+  /// faster tiers have room, and demotes low-scoring blobs out of
+  /// pressured tiers. Returns the number of blobs moved.
+  int Rebalance(sim::SimTime now, sim::SimTime* done);
+
+  /// Idle-device estimate of reading `bytes` from the tier holding `id`
+  /// (prefetcher input, Algorithm 1 line 21). Falls back to the slowest
+  /// tier when the blob is absent.
+  double EstimateReadSeconds(const BlobId& id, std::uint64_t bytes) const;
+
+ private:
+  /// Moves one blob from tier `from` to tier `to` (charges both devices).
+  Status Move(const BlobId& id, std::size_t from, std::size_t to,
+              sim::SimTime now, sim::SimTime* done);
+
+  /// Tries to free `needed` bytes in tier `t` by demoting blobs scoring
+  /// below `incoming_score` to lower tiers (ties also move when
+  /// `allow_ties`, used for cascaded demotions so equal-score data flows
+  /// downward instead of wedging the hierarchy). Returns true on success.
+  bool MakeRoom(std::size_t t, std::uint64_t needed, float incoming_score,
+                bool allow_ties, sim::SimTime now, sim::SimTime* done);
+
+  std::vector<std::unique_ptr<TierStore>> tiers_;
+  mutable std::mutex mu_;  // guards scores_ and placement orchestration
+  std::unordered_map<BlobId, float, BlobIdHash> scores_;
+};
+
+}  // namespace mm::storage

@@ -1,0 +1,82 @@
+// TierStore: the byte storage of one tier on one node. Enforces the
+// capacity granted to the program on that device and charges simulated
+// device time for every access. Contents are held in memory (the devices
+// are simulated; see DESIGN.md §2) while all timing flows through the
+// Device queueing model.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "mm/sim/device.h"
+#include "mm/storage/blob.h"
+#include "mm/util/status.h"
+
+namespace mm::storage {
+
+class TierStore {
+ public:
+  /// `device` outlives the store. `capacity` is the slice of the device
+  /// granted to this program (Fig. 7 varies exactly this).
+  TierStore(sim::Device* device, std::uint64_t capacity)
+      : device_(device), capacity_(capacity) {}
+
+  sim::TierKind kind() const { return device_->kind(); }
+  std::uint64_t capacity() const { return capacity_; }
+  std::uint64_t used() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return used_;
+  }
+  sim::Device& device() { return *device_; }
+  const sim::Device& device() const { return *device_; }
+
+  /// Writes a whole blob. Fails with kResourceExhausted when it does not
+  /// fit; the caller (BufferManager) must evict/demote first. On success
+  /// sets `*done` to the simulated completion time.
+  Status Put(const BlobId& id, std::vector<std::uint8_t> data,
+             sim::SimTime now, sim::SimTime* done);
+
+  /// Overwrites bytes [offset, offset+data.size()) of an existing blob.
+  Status PutPartial(const BlobId& id, std::uint64_t offset,
+                    const std::vector<std::uint8_t>& data, sim::SimTime now,
+                    sim::SimTime* done);
+
+  /// Reads a whole blob.
+  StatusOr<std::vector<std::uint8_t>> Get(const BlobId& id, sim::SimTime now,
+                                          sim::SimTime* done) const;
+
+  /// Reads bytes [offset, offset+size).
+  StatusOr<std::vector<std::uint8_t>> GetPartial(const BlobId& id,
+                                                 std::uint64_t offset,
+                                                 std::uint64_t size,
+                                                 sim::SimTime now,
+                                                 sim::SimTime* done) const;
+
+  /// Removes a blob (no device charge: drop is a metadata operation).
+  Status Erase(const BlobId& id);
+
+  bool Contains(const BlobId& id) const;
+  std::uint64_t BlobSize(const BlobId& id) const;
+  std::uint64_t free_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return capacity_ - used_;
+  }
+  std::size_t num_blobs() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return blobs_.size();
+  }
+
+  /// Lists blob ids currently stored (snapshot).
+  std::vector<BlobId> ListBlobs() const;
+
+ private:
+  sim::Device* device_;
+  std::uint64_t capacity_;
+  mutable std::mutex mu_;
+  std::uint64_t used_ = 0;
+  std::unordered_map<BlobId, std::vector<std::uint8_t>, BlobIdHash> blobs_;
+};
+
+}  // namespace mm::storage

@@ -1,0 +1,71 @@
+// Dynamic bitset with range operations. MegaMmap uses one Bitmap per cached
+// page to track which bytes (at a configurable granularity) a transaction
+// modified, so evictions and TxEnd ship only dirty fragments (partial paging,
+// paper §III-B "Lifecycle of Modified Data").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mm {
+
+class Bitmap {
+ public:
+  Bitmap() = default;
+  explicit Bitmap(std::size_t bits)
+      : bits_(bits), words_((bits + 63) / 64, 0) {}
+
+  std::size_t size() const { return bits_; }
+  bool empty() const { return bits_ == 0; }
+
+  /// Grows (or shrinks) to `bits`, zero-filling new bits.
+  void Resize(std::size_t bits);
+
+  bool Test(std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+  void Set(std::size_t i) { words_[i >> 6] |= 1ULL << (i & 63); }
+  void Clear(std::size_t i) { words_[i >> 6] &= ~(1ULL << (i & 63)); }
+
+  /// Sets bits [begin, end).
+  void SetRange(std::size_t begin, std::size_t end);
+  /// Clears bits [begin, end).
+  void ClearRange(std::size_t begin, std::size_t end);
+  /// True iff every bit in [begin, end) is set.
+  bool AllSet(std::size_t begin, std::size_t end) const;
+  /// True iff no bit in [begin, end) is set.
+  bool NoneSet(std::size_t begin, std::size_t end) const;
+
+  /// Number of set bits.
+  std::size_t Count() const;
+  bool Any() const;
+
+  void Reset() { std::fill(words_.begin(), words_.end(), 0); }
+
+  /// In-place union; both bitmaps must have equal size.
+  void Or(const Bitmap& other);
+
+  /// Invokes fn(begin, end) for each maximal run of set bits.
+  template <typename Fn>
+  void ForEachRun(Fn&& fn) const {
+    std::size_t i = 0;
+    while (i < bits_) {
+      while (i < bits_ && !Test(i)) ++i;
+      if (i >= bits_) break;
+      std::size_t begin = i;
+      while (i < bits_ && Test(i)) ++i;
+      fn(begin, i);
+    }
+  }
+
+  bool operator==(const Bitmap& other) const {
+    return bits_ == other.bits_ && words_ == other.words_;
+  }
+
+ private:
+  std::size_t bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace mm

@@ -1,0 +1,28 @@
+// Byte-size helpers: constants, "48g"/"1.5t"-style parsing, and formatting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "mm/util/status.h"
+
+namespace mm {
+
+inline constexpr std::uint64_t kKiB = 1024ULL;
+inline constexpr std::uint64_t kMiB = 1024ULL * kKiB;
+inline constexpr std::uint64_t kGiB = 1024ULL * kMiB;
+inline constexpr std::uint64_t kTiB = 1024ULL * kGiB;
+
+constexpr std::uint64_t KIBIBYTES(std::uint64_t n) { return n * kKiB; }
+constexpr std::uint64_t MEGABYTES(std::uint64_t n) { return n * kMiB; }
+constexpr std::uint64_t GIGABYTES(std::uint64_t n) { return n * kGiB; }
+constexpr std::uint64_t TERABYTES(std::uint64_t n) { return n * kTiB; }
+
+/// Parses sizes like "4096", "16k", "1.5m", "48g", "2t" (case-insensitive,
+/// optional trailing 'b' / "ib"). Fractional values are rounded down.
+StatusOr<std::uint64_t> ParseBytes(const std::string& text);
+
+/// Formats a byte count with a binary-unit suffix, e.g. "1.50GiB".
+std::string FormatBytes(std::uint64_t bytes);
+
+}  // namespace mm

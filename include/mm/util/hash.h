@@ -1,0 +1,39 @@
+// Hashing helpers: FNV-1a over bytes/strings and a hash combiner. Used for
+// page→worker scheduling, blob→home-node placement, and metadata sharding,
+// so the functions here must be deterministic across runs and platforms.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace mm {
+
+/// 64-bit FNV-1a over a byte range.
+constexpr std::uint64_t Fnv1a64(const char* data, std::size_t size) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= static_cast<std::uint8_t>(data[i]);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+constexpr std::uint64_t Fnv1a64(std::string_view sv) {
+  return Fnv1a64(sv.data(), sv.size());
+}
+
+/// Mixes an integer (splitmix64 finalizer) — good avalanche for hashing ids.
+constexpr std::uint64_t MixU64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// boost-style hash combine.
+constexpr std::uint64_t HashCombine(std::uint64_t seed, std::uint64_t v) {
+  return seed ^ (MixU64(v) + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace mm

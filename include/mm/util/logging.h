@@ -1,0 +1,76 @@
+// Minimal leveled logger. Thread-safe, writes to stderr. The level is taken
+// from the MM_LOG_LEVEL environment variable (trace|debug|info|warn|error;
+// default warn) so tests and benches stay quiet unless asked.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace mm {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+/// Global logger singleton.
+class Logger {
+ public:
+  static Logger& Get();
+
+  LogLevel level() const { return level_; }
+  void set_level(LogLevel level) { level_ = level; }
+
+  bool Enabled(LogLevel level) const {
+    return static_cast<int>(level) >= static_cast<int>(level_);
+  }
+
+  /// Writes one formatted line ("[LEVEL] module: message").
+  void Write(LogLevel level, const std::string& module,
+             const std::string& message);
+
+ private:
+  Logger();
+  LogLevel level_;
+  std::mutex mu_;
+};
+
+/// Parses a level name; defaults to kWarn on unknown input.
+LogLevel ParseLogLevel(const std::string& name);
+
+namespace detail {
+/// Stream-style log statement builder: destructor emits the line.
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* module) : level_(level), module_(module) {}
+  ~LogLine() {
+    if (Logger::Get().Enabled(level_)) {
+      Logger::Get().Write(level_, module_, oss_.str());
+    }
+  }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (Logger::Get().Enabled(level_)) oss_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* module_;
+  std::ostringstream oss_;
+};
+}  // namespace detail
+
+#define MM_LOG(level, module) ::mm::detail::LogLine(level, module)
+#define MM_TRACE(module) MM_LOG(::mm::LogLevel::kTrace, module)
+#define MM_DEBUG(module) MM_LOG(::mm::LogLevel::kDebug, module)
+#define MM_INFO(module) MM_LOG(::mm::LogLevel::kInfo, module)
+#define MM_WARN(module) MM_LOG(::mm::LogLevel::kWarn, module)
+#define MM_ERROR(module) MM_LOG(::mm::LogLevel::kError, module)
+
+}  // namespace mm

@@ -1,0 +1,77 @@
+// Deterministic PRNG (xoshiro256**) used wherever the paper's workloads need
+// randomness (RF bagging, DBSCAN subsampling, synthetic datasets). A fixed
+// seed yields identical streams across runs and platforms, which the random
+// transaction type relies on to predict future accesses.
+#pragma once
+
+#include <cstdint>
+
+#include "mm/util/hash.h"
+
+namespace mm {
+
+/// xoshiro256** 1.0 — fast, high-quality 64-bit generator.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { Seed(seed); }
+
+  void Seed(std::uint64_t seed) {
+    // SplitMix64 expansion of the seed into four lanes.
+    for (auto& lane : s_) {
+      seed += 0x9e3779b97f4a7c15ULL;
+      lane = MixU64(seed);
+    }
+  }
+
+  std::uint64_t Next() {
+    const std::uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) — bound must be > 0.
+  std::uint64_t NextBounded(std::uint64_t bound) {
+    // Lemire's multiply-shift rejection-free approximation is fine here:
+    // bias is negligible for bound << 2^64 (workload sampling, not crypto).
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(Next()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Gaussian via Box–Muller (uses two uniforms per pair, caches one).
+  double NextGaussian() {
+    if (have_cached_) {
+      have_cached_ = false;
+      return cached_;
+    }
+    double u1 = 0.0;
+    while (u1 == 0.0) u1 = NextDouble();
+    double u2 = NextDouble();
+    double r = __builtin_sqrt(-2.0 * __builtin_log(u1));
+    double theta = 2.0 * 3.14159265358979323846 * u2;
+    cached_ = r * __builtin_sin(theta);
+    have_cached_ = true;
+    return r * __builtin_cos(theta);
+  }
+
+ private:
+  static constexpr std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4] = {};
+  bool have_cached_ = false;
+  double cached_ = 0.0;
+};
+
+}  // namespace mm

@@ -1,0 +1,52 @@
+// Streaming statistics accumulators used by the benchmark harness to report
+// mean / stddev / min / max / percentiles across repeated runs, mirroring the
+// paper's "run each experiment 3 times and report the average".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mm {
+
+/// Accumulates samples; cheap summary statistics on demand.
+class StatAccumulator {
+ public:
+  void Add(double x);
+
+  std::size_t count() const { return samples_.size(); }
+  double sum() const { return sum_; }
+  double Mean() const;
+  /// Sample standard deviation (n-1 denominator); 0 for n < 2.
+  double Stddev() const;
+  double Min() const;
+  double Max() const;
+  /// Linear-interpolated percentile, p in [0, 100].
+  double Percentile(double p) const;
+
+  void Clear();
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  double sum_ = 0.0;
+};
+
+/// Simple fixed-width table printer for bench output (paper-style rows).
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  /// Renders with aligned columns; `csv` emits comma-separated rows instead.
+  std::string Render(bool csv = false) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper for table cells).
+std::string FormatDouble(double v, int precision = 2);
+
+}  // namespace mm

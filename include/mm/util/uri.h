@@ -1,0 +1,28 @@
+// URL-style vector keys (paper §III-A / §III-B "Persistently Integrating
+// Memory with Storage"): "protocol://path:params", e.g.
+//   shdf:///data/df.h5:mygroup      -> scheme=shdf, path=/data/df.h5,
+//                                      fragment=mygroup
+//   posix:///tmp/points.bin         -> scheme=posix, path=/tmp/points.bin
+//   spar:///data/pts.parquet        -> scheme=spar (parquet-like columnar)
+// A key with no scheme ("/points.parquet") defaults to posix.
+#pragma once
+
+#include <string>
+
+#include "mm/util/status.h"
+
+namespace mm {
+
+struct Uri {
+  std::string scheme;    // staging backend to use ("posix", "shdf", "spar")
+  std::string path;      // backend object path
+  std::string fragment;  // optional sub-object (HDF5 group, column set, ...)
+
+  std::string ToString() const;
+};
+
+/// Parses a MegaMmap vector key. Never fails for nonempty input: missing
+/// scheme defaults to "posix"; missing fragment is empty.
+StatusOr<Uri> ParseUri(const std::string& key);
+
+}  // namespace mm

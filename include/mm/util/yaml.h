@@ -1,0 +1,80 @@
+// Mini-YAML parser covering the subset MegaMmap configs use (paper §III-A:
+// "the MegaMmap configuration YAML file"): nested maps by 2-space
+// indentation, block lists ("- item"), scalars, '#' comments, and inline
+// flow lists ("[a, b, c]"). Anchors, multi-line strings, and flow maps are
+// out of scope.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mm/util/status.h"
+
+namespace mm::yaml {
+
+enum class NodeKind { kNull, kScalar, kMap, kList };
+
+/// A parsed YAML node. Maps preserve insertion order for reproducible dumps.
+class Node {
+ public:
+  Node() : kind_(NodeKind::kNull) {}
+  static Node Scalar(std::string value);
+  static Node Map();
+  static Node List();
+
+  NodeKind kind() const { return kind_; }
+  bool IsNull() const { return kind_ == NodeKind::kNull; }
+  bool IsScalar() const { return kind_ == NodeKind::kScalar; }
+  bool IsMap() const { return kind_ == NodeKind::kMap; }
+  bool IsList() const { return kind_ == NodeKind::kList; }
+
+  // --- scalar accessors (valid only for kScalar) ---
+  const std::string& AsString() const;
+  StatusOr<std::int64_t> AsInt() const;
+  StatusOr<double> AsDouble() const;
+  StatusOr<bool> AsBool() const;
+  /// Byte-size scalar such as "48g" (see ParseBytes).
+  StatusOr<std::uint64_t> AsBytes() const;
+
+  // --- map accessors ---
+  bool Has(const std::string& key) const;
+  /// Returns the child node or a shared null node when absent.
+  const Node& operator[](const std::string& key) const;
+  Node& GetOrCreate(const std::string& key);
+  void Put(const std::string& key, Node value);
+  const std::vector<std::string>& Keys() const { return keys_; }
+
+  // --- list accessors ---
+  std::size_t size() const { return items_.size(); }
+  const Node& at(std::size_t i) const;
+  void Append(Node value);
+  const std::vector<Node>& Items() const { return items_; }
+
+  // --- typed convenience getters with defaults ---
+  std::string GetString(const std::string& key, const std::string& dflt) const;
+  std::int64_t GetInt(const std::string& key, std::int64_t dflt) const;
+  double GetDouble(const std::string& key, double dflt) const;
+  bool GetBool(const std::string& key, bool dflt) const;
+  std::uint64_t GetBytes(const std::string& key, std::uint64_t dflt) const;
+
+  /// Serializes back to YAML text (canonical 2-space indentation).
+  std::string Dump(int indent = 0) const;
+
+ private:
+  NodeKind kind_;
+  std::string scalar_;
+  std::vector<std::string> keys_;
+  std::map<std::string, Node> map_;
+  std::vector<Node> items_;
+};
+
+/// Parses a YAML document. Returns the root node (a map, list, or scalar).
+StatusOr<Node> Parse(const std::string& text);
+
+/// Parses the file at `path`.
+StatusOr<Node> ParseFile(const std::string& path);
+
+}  // namespace mm::yaml

@@ -1,0 +1,64 @@
+#include "mm/apps/datagen.h"
+
+#include <cstring>
+
+#include "mm/storage/stager.h"
+#include "mm/util/rng.h"
+
+namespace mm::apps {
+
+DatagenTruth GenerateParticles(const DatagenConfig& cfg,
+                               std::vector<Particle>* out) {
+  MM_CHECK(cfg.halos > 0 && cfg.num_particles > 0);
+  Rng rng(cfg.seed);
+  DatagenTruth truth;
+  truth.halo_centers.reserve(cfg.halos);
+  std::vector<Point3> bulk_vel(cfg.halos);
+  for (int h = 0; h < cfg.halos; ++h) {
+    Point3 c{static_cast<float>(rng.NextDouble() * cfg.box_size),
+             static_cast<float>(rng.NextDouble() * cfg.box_size),
+             static_cast<float>(rng.NextDouble() * cfg.box_size)};
+    truth.halo_centers.push_back(c);
+    bulk_vel[h] = Point3{static_cast<float>(rng.NextGaussian() * 10),
+                         static_cast<float>(rng.NextGaussian() * 10),
+                         static_cast<float>(rng.NextGaussian() * 10)};
+  }
+  out->resize(cfg.num_particles);
+  truth.labels.resize(cfg.num_particles);
+  for (std::uint64_t i = 0; i < cfg.num_particles; ++i) {
+    int h = static_cast<int>(rng.NextBounded(cfg.halos));
+    truth.labels[i] = h;
+    Particle& p = (*out)[i];
+    const Point3& c = truth.halo_centers[h];
+    p.pos = Point3{
+        static_cast<float>(c.x + rng.NextGaussian() * cfg.halo_sigma),
+        static_cast<float>(c.y + rng.NextGaussian() * cfg.halo_sigma),
+        static_cast<float>(c.z + rng.NextGaussian() * cfg.halo_sigma)};
+    const Point3& bv = bulk_vel[h];
+    p.vel = Point3{
+        static_cast<float>(bv.x + rng.NextGaussian() * cfg.vel_sigma),
+        static_cast<float>(bv.y + rng.NextGaussian() * cfg.vel_sigma),
+        static_cast<float>(bv.z + rng.NextGaussian() * cfg.vel_sigma)};
+  }
+  return truth;
+}
+
+StatusOr<DatagenTruth> GenerateToBackend(const DatagenConfig& cfg,
+                                         const std::string& key) {
+  std::vector<Particle> particles;
+  DatagenTruth truth = GenerateParticles(cfg, &particles);
+  MM_ASSIGN_OR_RETURN(auto resolved,
+                      storage::StagerRegistry::Default().Resolve(key));
+  auto [stager, uri] = resolved;
+  std::uint64_t bytes = particles.size() * sizeof(Particle);
+  if (stager->Exists(uri)) {
+    MM_RETURN_IF_ERROR(stager->Remove(uri));
+  }
+  MM_RETURN_IF_ERROR(stager->Create(uri, bytes));
+  std::vector<std::uint8_t> raw(bytes);
+  std::memcpy(raw.data(), particles.data(), bytes);
+  MM_RETURN_IF_ERROR(stager->Write(uri, 0, raw));
+  return truth;
+}
+
+}  // namespace mm::apps

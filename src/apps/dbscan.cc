@@ -1,0 +1,650 @@
+#include "mm/apps/dbscan.h"
+
+#include <algorithm>
+#include <optional>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "mm/core/vector.h"
+#include "mm/storage/stager.h"
+#include "mm/util/hash.h"
+
+namespace mm::apps {
+
+namespace {
+
+/// A point carrying its original dataset index (exchange unit).
+struct IdxPoint {
+  std::uint64_t idx = 0;
+  float x = 0, y = 0, z = 0;
+
+  Point3 pos() const { return Point3{x, y, z}; }
+};
+static_assert(std::is_trivially_copyable_v<IdxPoint>);
+
+IdxPoint MakeIdxPoint(std::uint64_t idx, const Point3& p) {
+  return IdxPoint{idx, p.x, p.y, p.z};
+}
+
+/// One recorded split plane (for border detection at merge time).
+struct SplitPlane {
+  int axis = 0;
+  float value = 0;
+};
+
+/// Grid-accelerated exact DBSCAN over the local partition. Labels are
+/// local cluster ids >= 0, or -1 for noise. Also reports per-point core
+/// status. Compute is charged per distance evaluation.
+std::vector<int> LocalDbscan(const std::vector<IdxPoint>& pts, double eps,
+                             std::size_t min_pts, comm::RankContext& ctx,
+                             std::vector<bool>* is_core,
+                             std::vector<std::uint32_t>* nbr_count) {
+  const std::size_t n = pts.size();
+  const double eps2 = eps * eps;
+  std::vector<int> labels(n, -2);
+  is_core->assign(n, false);
+  nbr_count->assign(n, 0);
+  if (n == 0) return labels;
+
+  // Uniform grid with cell edge eps: neighbor candidates live in the 27
+  // surrounding cells (the k-d tree leaf role in µDBSCAN).
+  auto cell_of = [&](const IdxPoint& p) {
+    auto q = [&](float v) {
+      return static_cast<std::int64_t>(std::floor(v / eps));
+    };
+    return HashCombine(HashCombine(MixU64(static_cast<std::uint64_t>(q(p.x))),
+                                   static_cast<std::uint64_t>(q(p.y))),
+                       static_cast<std::uint64_t>(q(p.z)));
+  };
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> grid;
+  for (std::size_t i = 0; i < n; ++i) grid[cell_of(pts[i])].push_back(i);
+
+  std::uint64_t distance_evals = 0;
+  auto neighbors = [&](std::size_t i) {
+    std::vector<std::size_t> out;
+    const IdxPoint& p = pts[i];
+    for (int dx = -1; dx <= 1; ++dx) {
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dz = -1; dz <= 1; ++dz) {
+          IdxPoint shifted = p;
+          shifted.x += static_cast<float>(dx * eps);
+          shifted.y += static_cast<float>(dy * eps);
+          shifted.z += static_cast<float>(dz * eps);
+          auto it = grid.find(cell_of(shifted));
+          if (it == grid.end()) continue;
+          for (std::size_t j : it->second) {
+            ++distance_evals;
+            if (Dist2(p.pos(), pts[j].pos()) <= eps2) out.push_back(j);
+          }
+        }
+      }
+    }
+    return out;
+  };
+
+  // Neighbor counts for every point (needed for cross-leaf core
+  // refinement at merge time). Capped just past min_pts: beyond that the
+  // exact count changes nothing and dense blobs would make this pass
+  // quadratic.
+  {
+    const std::size_t cap = min_pts + 8;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::size_t count = 0;
+      const IdxPoint& p = pts[i];
+      bool done = false;
+      for (int dx = -1; dx <= 1 && !done; ++dx) {
+        for (int dy = -1; dy <= 1 && !done; ++dy) {
+          for (int dz = -1; dz <= 1 && !done; ++dz) {
+            IdxPoint shifted = p;
+            shifted.x += static_cast<float>(dx * eps);
+            shifted.y += static_cast<float>(dy * eps);
+            shifted.z += static_cast<float>(dz * eps);
+            auto it = grid.find(cell_of(shifted));
+            if (it == grid.end()) continue;
+            for (std::size_t j : it->second) {
+              ++distance_evals;
+              if (Dist2(p.pos(), pts[j].pos()) <= eps2 && ++count >= cap) {
+                done = true;
+                break;
+              }
+            }
+          }
+        }
+      }
+      (*nbr_count)[i] = static_cast<std::uint32_t>(count);
+    }
+  }
+  int next_cluster = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (labels[i] != -2) continue;
+    auto nbrs = neighbors(i);
+    if (nbrs.size() < min_pts) {
+      labels[i] = -1;
+      continue;
+    }
+    (*is_core)[i] = true;
+    int cid = next_cluster++;
+    labels[i] = cid;
+    std::vector<std::size_t> frontier = nbrs;
+    for (std::size_t f = 0; f < frontier.size(); ++f) {
+      std::size_t q = frontier[f];
+      if (labels[q] == -1) labels[q] = cid;
+      if (labels[q] != -2) continue;
+      labels[q] = cid;
+      auto qn = neighbors(q);
+      if (qn.size() >= min_pts) {
+        (*is_core)[q] = true;
+        frontier.insert(frontier.end(), qn.begin(), qn.end());
+      }
+    }
+  }
+  ctx.Compute(ctx.costs().point_distance_s *
+              static_cast<double>(distance_evals));
+  return labels;
+}
+
+/// Deterministic subsample of up to `count` local points.
+std::vector<IdxPoint> Subsample(const std::vector<IdxPoint>& pts,
+                                std::uint64_t seed, int count) {
+  std::vector<IdxPoint> out;
+  if (pts.empty()) return out;
+  for (int i = 0; i < count; ++i) {
+    std::uint64_t h = MixU64(seed ^ MixU64(i));
+    out.push_back(pts[h % pts.size()]);
+  }
+  return out;
+}
+
+/// Picks (axis, median) from the gathered sample (paper: "the median and
+/// entropy is estimated per-axis using a small, random subsample; the axis
+/// with the largest entropy is chosen"). We use variance as the spread
+/// (entropy) estimate.
+SplitPlane ChooseSplit(std::vector<IdxPoint> sample, comm::RankContext& ctx) {
+  MM_CHECK(!sample.empty());
+  int best_axis = 0;
+  double best_var = -1;
+  for (int a = 0; a < 3; ++a) {
+    double mean = 0;
+    for (const auto& p : sample) mean += p.pos().axis(a);
+    mean /= static_cast<double>(sample.size());
+    double var = 0;
+    for (const auto& p : sample) {
+      double d = p.pos().axis(a) - mean;
+      var += d * d;
+    }
+    if (var > best_var) {
+      best_var = var;
+      best_axis = a;
+    }
+  }
+  ctx.Compute(ctx.costs().kdtree_visit_s * sample.size() * 6);
+  std::nth_element(sample.begin(), sample.begin() + sample.size() / 2,
+                   sample.end(), [&](const IdxPoint& a, const IdxPoint& b) {
+                     return a.pos().axis(best_axis) <
+                            b.pos().axis(best_axis);
+                   });
+  return SplitPlane{best_axis,
+                    sample[sample.size() / 2].pos().axis(best_axis)};
+}
+
+/// Redistribution callback: moves `outgoing` to the sibling half and
+/// returns the points received from it. `side` is 0 (left) / 1 (right).
+using ExchangeFn = std::function<std::vector<IdxPoint>(
+    comm::Communicator& comm, int side, int level,
+    const std::vector<IdxPoint>& outgoing)>;
+
+/// Shared recursion skeleton. Returns the final local points and records
+/// the split planes on this rank's path.
+std::vector<IdxPoint> KdPartition(comm::Communicator comm,
+                                  std::vector<IdxPoint> pts,
+                                  const DbscanConfig& cfg,
+                                  const ExchangeFn& exchange,
+                                  std::vector<SplitPlane>* path) {
+  int level = 0;
+  while (comm.size() > 1) {
+    comm::RankContext& ctx = comm.ctx();
+    auto local_sample = Subsample(
+        pts, cfg.seed ^ MixU64((static_cast<std::uint64_t>(level) << 8) ^
+                               comm.WorldRank(comm.rank())),
+        cfg.sample_per_rank);
+    auto sample = comm.AllGatherV(local_sample);
+    if (sample.empty()) {
+      // Degenerate group (no points anywhere): collapse arbitrarily.
+      comm = comm.Split(0);
+      ++level;
+      continue;
+    }
+    SplitPlane split = ChooseSplit(std::move(sample), ctx);
+    path->push_back(split);
+
+    int half = comm.size() / 2;
+    int side = comm.rank() < half ? 0 : 1;
+    std::vector<IdxPoint> keep, outgoing;
+    for (const IdxPoint& p : pts) {
+      bool left = p.pos().axis(split.axis) <= split.value;
+      if ((side == 0) == left) {
+        keep.push_back(p);
+      } else {
+        outgoing.push_back(p);
+      }
+    }
+    ctx.Compute(ctx.costs().kdtree_visit_s * pts.size());
+    auto received = exchange(comm, side, level, outgoing);
+    keep.insert(keep.end(), received.begin(), received.end());
+    pts = std::move(keep);
+    comm = comm.Split(side);
+    ++level;
+  }
+  return pts;
+}
+
+struct BorderPoint {
+  IdxPoint p;
+  std::int32_t leaf = 0;       // world rank of the owning leaf
+  std::int32_t label = 0;      // local cluster id, or -1 (local noise)
+  std::uint32_t local_count = 0;  // neighbors within the leaf
+};
+static_assert(std::is_trivially_copyable_v<BorderPoint>);
+
+/// Union-find over (leaf, label) keys.
+class UnionFind {
+ public:
+  std::uint64_t Find(std::uint64_t k) {
+    auto it = parent_.find(k);
+    if (it == parent_.end()) {
+      parent_[k] = k;
+      return k;
+    }
+    if (it->second == k) return k;
+    std::uint64_t root = Find(it->second);
+    parent_[k] = root;
+    return root;
+  }
+  void Union(std::uint64_t a, std::uint64_t b) {
+    parent_[Find(a)] = Find(b);
+  }
+
+ private:
+  std::unordered_map<std::uint64_t, std::uint64_t> parent_;
+};
+
+std::uint64_t LeafLabelKey(std::int32_t leaf, std::int32_t label) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(leaf)) << 32) |
+         static_cast<std::uint32_t>(label);
+}
+
+/// Common tail: leaf clustering + µcluster merge + global counting.
+///
+/// The merge refines the leaf-local results near split planes: border
+/// points pool their neighborhoods across leaves, so points that lost core
+/// status (or were classified noise) because their halo straddles a plane
+/// are promoted and absorbed into the reunited cluster.
+DbscanResult FinishDbscan(comm::Communicator& comm,
+                          const std::vector<IdxPoint>& pts,
+                          const std::vector<SplitPlane>& path,
+                          const DbscanConfig& cfg) {
+  comm::RankContext& ctx = comm.ctx();
+  std::vector<bool> is_core;
+  std::vector<std::uint32_t> nbr_count;
+  std::vector<int> local_labels =
+      LocalDbscan(pts, cfg.eps, cfg.min_pts, ctx, &is_core, &nbr_count);
+  const std::int32_t my_leaf = comm.WorldRank(comm.rank());
+
+  // Border points: ANY point (clustered or local noise) within eps of a
+  // split plane on this leaf's path.
+  std::vector<BorderPoint> borders;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    for (const SplitPlane& sp : path) {
+      if (std::abs(pts[i].pos().axis(sp.axis) - sp.value) <= cfg.eps) {
+        BorderPoint bp;
+        bp.p = pts[i];
+        bp.leaf = my_leaf;
+        bp.label = local_labels[i];
+        bp.local_count = nbr_count[i];
+        borders.push_back(bp);
+        break;
+      }
+    }
+  }
+  auto all_borders = comm.AllGatherV(borders);
+
+  // Cross-leaf neighborhoods: total count = local + neighbors on other
+  // leaves. A border point is globally core when the pooled count reaches
+  // min_pts (this is what leaf-local DBSCAN could not see).
+  const double eps2 = cfg.eps * cfg.eps;
+  const std::size_t nb = all_borders.size();
+  std::vector<std::uint32_t> pooled(nb);
+  std::vector<std::vector<std::size_t>> cross(nb);
+  std::uint64_t evals = 0;
+  for (std::size_t i = 0; i < nb; ++i) pooled[i] = all_borders[i].local_count;
+  {
+    // Grid-accelerated pairing (the all-pairs version is quadratic in the
+    // border count, which explodes when split planes cross dense halos).
+    auto cell_of = [&](const IdxPoint& p) {
+      auto q = [&](float v) {
+        return static_cast<std::int64_t>(std::floor(v / cfg.eps));
+      };
+      return HashCombine(
+          HashCombine(MixU64(static_cast<std::uint64_t>(q(p.x))),
+                      static_cast<std::uint64_t>(q(p.y))),
+          static_cast<std::uint64_t>(q(p.z)));
+    };
+    std::unordered_map<std::uint64_t, std::vector<std::size_t>> grid;
+    for (std::size_t i = 0; i < nb; ++i) {
+      grid[cell_of(all_borders[i].p)].push_back(i);
+    }
+    // Per-point independent scan with early exit: once the pooled count
+    // proves core status and a few cross-leaf links are recorded, further
+    // neighbors add nothing (dense blobs would otherwise produce quadratic
+    // edge lists).
+    const std::uint32_t count_cap =
+        static_cast<std::uint32_t>(cfg.min_pts) + 1;
+    constexpr std::size_t kLinkCap = 4;
+    for (std::size_t i = 0; i < nb; ++i) {
+      const IdxPoint& p = all_borders[i].p;
+      bool done_i = false;
+      for (int dx = -1; dx <= 1 && !done_i; ++dx) {
+        for (int dy = -1; dy <= 1 && !done_i; ++dy) {
+          for (int dz = -1; dz <= 1 && !done_i; ++dz) {
+            IdxPoint shifted = p;
+            shifted.x += static_cast<float>(dx * cfg.eps);
+            shifted.y += static_cast<float>(dy * cfg.eps);
+            shifted.z += static_cast<float>(dz * cfg.eps);
+            auto it = grid.find(cell_of(shifted));
+            if (it == grid.end()) continue;
+            for (std::size_t j : it->second) {
+              if (all_borders[i].leaf == all_borders[j].leaf) continue;
+              ++evals;
+              if (Dist2(p.pos(), all_borders[j].p.pos()) <= eps2) {
+                if (pooled[i] < count_cap) ++pooled[i];
+                if (cross[i].size() < kLinkCap) cross[i].push_back(j);
+              }
+              if (pooled[i] >= count_cap && cross[i].size() >= kLinkCap) {
+                done_i = true;
+                break;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  ctx.Compute(ctx.costs().point_distance_s * static_cast<double>(evals));
+
+  // Union-find keys: clustered points use (leaf, label); noise points
+  // promoted to core get a unique key from their global dataset index.
+  UnionFind uf;
+  auto key_of = [&](const BorderPoint& b) -> std::uint64_t {
+    if (b.label >= 0) return LeafLabelKey(b.leaf, b.label);
+    return 0x8000000000000000ULL | b.p.idx;
+  };
+  std::vector<bool> global_core(nb);
+  for (std::size_t i = 0; i < nb; ++i) {
+    global_core[i] = pooled[i] >= cfg.min_pts;
+  }
+  for (std::size_t i = 0; i < nb; ++i) {
+    if (!global_core[i]) continue;
+    for (std::size_t j : cross[i]) {
+      if (global_core[j]) uf.Union(key_of(all_borders[i]),
+                                   key_of(all_borders[j]));
+    }
+  }
+  // Border absorption: a non-core border point within eps of a core point
+  // (either leaf) joins that cluster.
+  std::unordered_map<std::uint64_t, std::uint64_t> absorbed;  // idx -> key
+  for (std::size_t i = 0; i < nb; ++i) {
+    if (global_core[i] || all_borders[i].label >= 0) continue;
+    for (std::size_t j : cross[i]) {
+      if (global_core[j]) {
+        absorbed[all_borders[i].p.idx] = key_of(all_borders[j]);
+        break;
+      }
+    }
+  }
+  // Promoted-noise points whose key merged somewhere must be resolvable by
+  // their owners: map idx -> key for them too.
+  std::unordered_map<std::uint64_t, std::uint64_t> promoted;
+  for (std::size_t i = 0; i < nb; ++i) {
+    if (all_borders[i].label < 0 && global_core[i]) {
+      promoted[all_borders[i].p.idx] = key_of(all_borders[i]);
+    }
+  }
+
+  // Final label of each local point as a union-find key (or none).
+  auto final_key = [&](std::size_t i) -> std::optional<std::uint64_t> {
+    if (local_labels[i] >= 0) {
+      return uf.Find(LeafLabelKey(my_leaf, local_labels[i]));
+    }
+    auto pit = promoted.find(pts[i].idx);
+    if (pit != promoted.end()) return uf.Find(pit->second);
+    auto ait = absorbed.find(pts[i].idx);
+    if (ait != absorbed.end()) return uf.Find(ait->second);
+    return std::nullopt;
+  };
+
+  // Global cluster roots: every (leaf, label) pair plus promoted keys.
+  std::vector<std::int64_t> my_keys;
+  {
+    std::set<std::uint64_t> mine;
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      auto k = final_key(i);
+      if (k.has_value()) mine.insert(*k);
+    }
+    for (std::uint64_t k : mine) {
+      my_keys.push_back(static_cast<std::int64_t>(k));
+    }
+  }
+  auto all_keys = comm.AllGatherV(my_keys);
+  std::set<std::uint64_t> roots;
+  for (std::int64_t k : all_keys) {
+    roots.insert(uf.Find(static_cast<std::uint64_t>(k)));
+  }
+
+  DbscanResult result;
+  result.num_clusters = roots.size();
+  std::vector<std::uint64_t> counts = {pts.size(), 0};
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (!final_key(i).has_value()) ++counts[1];
+  }
+  comm.AllReduce(counts,
+                 [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  result.num_points = counts[0];
+  result.num_noise = counts[1];
+
+  if (cfg.collect_labels) {
+    std::map<std::uint64_t, int> dense;
+    for (std::uint64_t r : roots) {
+      dense.emplace(r, static_cast<int>(dense.size()));
+    }
+    std::vector<std::int64_t> flat;
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      auto k = final_key(i);
+      flat.push_back(static_cast<std::int64_t>(pts[i].idx));
+      flat.push_back(k.has_value() ? dense.at(uf.Find(*k)) : -1);
+    }
+    auto all = comm.AllGatherV(flat);
+    result.labels.assign(result.num_points, -1);
+    for (std::size_t i = 0; i + 1 < all.size(); i += 2) {
+      result.labels[static_cast<std::size_t>(all[i])] =
+          static_cast<int>(all[i + 1]);
+    }
+  }
+  return result;
+}
+
+/// Loads this rank's PGAS slice of the dataset through MegaMmap.
+std::vector<IdxPoint> LoadSliceMega(core::Service& service,
+                                    comm::Communicator& comm,
+                                    const std::string& dataset_key,
+                                    const DbscanConfig& cfg) {
+  comm::RankContext& ctx = comm.ctx();
+  core::VectorOptions vopts;
+  vopts.page_size = cfg.page_size;
+  vopts.pcache_bytes = cfg.pcache_bytes;
+  vopts.mode = core::CoherenceMode::kReadOnlyGlobal;
+  core::Vector<Particle> data(service, ctx, dataset_key, 0, vopts);
+  data.Pgas(comm.rank(), comm.size());
+  std::vector<IdxPoint> pts;
+  pts.reserve(data.local_size());
+  auto tx = data.SeqTxBegin(data.local_off(), data.local_size(),
+                            core::MM_READ_ONLY);
+  for (std::uint64_t i = data.local_off();
+       i < data.local_off() + data.local_size(); ++i) {
+    pts.push_back(MakeIdxPoint(i, data.Read(i).pos));
+  }
+  data.TxEnd();
+  return pts;
+}
+
+/// Loads this rank's slice directly through the stager (MPI baseline).
+std::vector<IdxPoint> LoadSliceMpi(comm::Communicator& comm,
+                                   const std::string& dataset_key) {
+  comm::RankContext& ctx = comm.ctx();
+  auto resolved = storage::StagerRegistry::Default().Resolve(dataset_key);
+  if (!resolved.ok()) {
+    throw std::runtime_error("DbscanMpi: " + resolved.status().ToString());
+  }
+  auto [stager, uri] = *resolved;
+  auto size_or = stager->Size(uri);
+  if (!size_or.ok()) {
+    throw std::runtime_error("DbscanMpi: " + size_or.status().ToString());
+  }
+  std::uint64_t total = *size_or / sizeof(Particle);
+  std::uint64_t base = total / comm.size(), rem = total % comm.size();
+  std::uint64_t lo = comm.rank() * base +
+                     std::min<std::uint64_t>(comm.rank(), rem);
+  std::uint64_t count =
+      base + (static_cast<std::uint64_t>(comm.rank()) < rem ? 1 : 0);
+  std::vector<std::uint8_t> raw;
+  Status st =
+      stager->Read(uri, lo * sizeof(Particle), count * sizeof(Particle), &raw);
+  if (!st.ok()) throw std::runtime_error("DbscanMpi: " + st.ToString());
+  sim::SimTime done =
+      ctx.world().cluster().pfs().Read(ctx.clock().now(), raw.size());
+  ctx.clock().AdvanceTo(done);
+  std::vector<IdxPoint> pts(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Particle p;
+    std::memcpy(&p, raw.data() + i * sizeof(Particle), sizeof(Particle));
+    pts[i] = MakeIdxPoint(lo + i, p.pos);
+  }
+  // The MPI baseline holds the slice in private DRAM for the whole run.
+  ctx.world().cluster().node(ctx.node()).AllocateDram(count *
+                                                      sizeof(IdxPoint));
+  return pts;
+}
+
+}  // namespace
+
+DbscanResult DbscanMega(core::Service& service, comm::Communicator& comm,
+                        const std::string& dataset_key,
+                        const DbscanConfig& cfg) {
+  auto pts = LoadSliceMega(service, comm, dataset_key, cfg);
+
+  // Exchange through shared append-only vectors: both halves append their
+  // outgoing points into the sibling branch's vector, then each half
+  // re-reads its own branch PGAS-style (the paper's k-d tree construction
+  // pattern, Fig. 3 append-only-global).
+  ExchangeFn exchange = [&](comm::Communicator& c, int side, int level,
+                            const std::vector<IdxPoint>& outgoing) {
+    comm::RankContext& ctx = c.ctx();
+    core::VectorOptions vopts;
+    vopts.page_size = cfg.page_size;
+    vopts.pcache_bytes = cfg.pcache_bytes;
+    vopts.mode = core::CoherenceMode::kAppendOnlyGlobal;
+    vopts.nonvolatile = false;
+    std::string base = "dbscan_" + std::to_string(cfg.seed) + "_l" +
+                       std::to_string(level) + "_g" +
+                       std::to_string(c.WorldRank(0));
+    // Branch 0 receives from side-1 ranks and vice versa.
+    core::Vector<IdxPoint> branch0(service, ctx, base + "_b0", 0, vopts);
+    core::Vector<IdxPoint> branch1(service, ctx, base + "_b1", 0, vopts);
+    core::Vector<IdxPoint>& out_vec = (side == 0) ? branch1 : branch0;
+    core::Vector<IdxPoint>& in_vec = (side == 0) ? branch0 : branch1;
+    for (const IdxPoint& p : outgoing) out_vec.Append(p);
+    out_vec.Commit();  // appends must be visible before the barrier
+    c.Barrier();
+    // Group-local PGAS over the incoming branch.
+    int half = c.size() / 2;
+    int group_size = (side == 0) ? half : c.size() - half;
+    int group_rank = (side == 0) ? c.rank() : c.rank() - half;
+    in_vec.Pgas(group_rank, group_size);
+    std::vector<IdxPoint> received;
+    std::uint64_t lo = in_vec.local_off(), n = in_vec.local_size();
+    if (n > 0) {
+      auto tx = in_vec.SeqTxBegin(lo, n, core::MM_READ_ONLY);
+      for (std::uint64_t i = lo; i < lo + n; ++i) {
+        received.push_back(in_vec.Read(i));
+      }
+      in_vec.TxEnd();
+    }
+    c.Barrier();
+    if (c.rank() == 0) {
+      branch0.Destroy();
+      branch1.Destroy();
+    }
+    c.Barrier();
+    return received;
+  };
+
+  std::vector<SplitPlane> path;
+  auto leaf_pts = KdPartition(comm, std::move(pts), cfg, exchange, &path);
+  return FinishDbscan(comm, leaf_pts, path, cfg);
+}
+
+DbscanResult DbscanMpi(comm::Communicator& comm,
+                       const std::string& dataset_key,
+                       const DbscanConfig& cfg) {
+  auto pts = LoadSliceMpi(comm, dataset_key);
+  std::uint64_t charged = pts.size() * sizeof(IdxPoint);
+
+  // Redistribution: each rank publishes its outgoing points tagged with
+  // the sender's side; ranks of the opposite side split the destined
+  // points evenly among themselves.
+  ExchangeFn robust = [&](comm::Communicator& c, int side, int level,
+                          const std::vector<IdxPoint>& outgoing) {
+    (void)level;
+    comm::RankContext& ctx = c.ctx();
+    // Everyone publishes its outgoing points; destination side is the
+    // opposite of the sender's, so tag each batch with the sender's side.
+    std::vector<IdxPoint> batch = outgoing;
+    std::vector<std::int64_t> header = {side,
+                                        static_cast<std::int64_t>(batch.size())};
+    auto headers = c.AllGatherV(header);
+    auto points = c.AllGatherV(batch);
+    // Collect the points destined for my side, in publication order.
+    std::vector<IdxPoint> destined;
+    std::size_t cursor = 0;
+    for (std::size_t s = 0; s + 1 < headers.size(); s += 2) {
+      std::int64_t sender_side = headers[s];
+      std::int64_t count = headers[s + 1];
+      if (sender_side != side) {
+        destined.insert(destined.end(), points.begin() + cursor,
+                        points.begin() + cursor + count);
+      }
+      cursor += static_cast<std::size_t>(count);
+    }
+    // Split destined points evenly among my half's ranks.
+    int half = c.size() / 2;
+    int group_size = (side == 0) ? half : c.size() - half;
+    int group_rank = (side == 0) ? c.rank() : c.rank() - half;
+    std::uint64_t n = destined.size();
+    std::uint64_t base = n / group_size, rem = n % group_size;
+    std::uint64_t lo = group_rank * base +
+                       std::min<std::uint64_t>(group_rank, rem);
+    std::uint64_t cnt =
+        base + (static_cast<std::uint64_t>(group_rank) < rem ? 1 : 0);
+    ctx.Compute(ctx.costs().kdtree_visit_s * static_cast<double>(n));
+    return std::vector<IdxPoint>(destined.begin() + lo,
+                                 destined.begin() + lo + cnt);
+  };
+
+  std::vector<SplitPlane> path;
+  auto leaf_pts = KdPartition(comm, std::move(pts), cfg, robust, &path);
+  auto result = FinishDbscan(comm, leaf_pts, path, cfg);
+  comm.ctx().world().cluster().node(comm.ctx().node()).FreeDram(charged);
+  return result;
+}
+
+}  // namespace mm::apps

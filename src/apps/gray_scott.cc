@@ -1,0 +1,341 @@
+#include "mm/apps/gray_scott.h"
+
+#include <algorithm>
+
+#include "mm/core/vector.h"
+#include "mm/sim/oom.h"
+#include "mm/storage/stager.h"
+
+namespace mm::apps {
+
+namespace {
+
+/// z-plane partition for rank r of p: [z0, z0+nz).
+void SlabOf(std::size_t L, int rank, int nprocs, std::size_t* z0,
+            std::size_t* nz) {
+  std::size_t base = L / nprocs, rem = L % nprocs;
+  *z0 = rank * base + std::min<std::size_t>(rank, rem);
+  *nz = base + (static_cast<std::size_t>(rank) < rem ? 1 : 0);
+}
+
+inline std::size_t PIdx(std::size_t L, std::size_t x, std::size_t y) {
+  return y * L + x;
+}
+
+/// Initial condition of one global cell (matches GrayScottInit).
+inline void InitCell(std::size_t L, std::size_t x, std::size_t y,
+                     std::size_t z, double* u, double* v) {
+  std::size_t lo = L / 2 - L / 16, hi = L / 2 + L / 16 + 1;
+  bool seed = x >= lo && x < hi && y >= lo && y < hi && z >= lo && z < hi;
+  *u = seed ? 0.5 : 1.0;
+  *v = seed ? 0.25 : 0.0;
+}
+
+/// Stencil update for one plane given its neighbor planes. Charges the
+/// per-cell compute cost to `ctx`.
+void UpdatePlane(std::size_t L, const double* um, const double* uc,
+                 const double* up, const double* vm, const double* vc,
+                 const double* vp, double* u_out, double* v_out,
+                 const GrayScottParams& prm, comm::RankContext& ctx) {
+  for (std::size_t y = 0; y < L; ++y) {
+    std::size_t ym = (y + L - 1) % L, yp = (y + 1) % L;
+    for (std::size_t x = 0; x < L; ++x) {
+      std::size_t xm = (x + L - 1) % L, xp = (x + 1) % L;
+      std::size_t c = PIdx(L, x, y);
+      double u = uc[c], v = vc[c];
+      double lap_u = uc[PIdx(L, xm, y)] + uc[PIdx(L, xp, y)] +
+                     uc[PIdx(L, x, ym)] + uc[PIdx(L, x, yp)] + um[c] + up[c] -
+                     6.0 * u;
+      double lap_v = vc[PIdx(L, xm, y)] + vc[PIdx(L, xp, y)] +
+                     vc[PIdx(L, x, ym)] + vc[PIdx(L, x, yp)] + vm[c] + vp[c] -
+                     6.0 * v;
+      double uvv = u * v * v;
+      u_out[c] = u + prm.dt * (prm.Du * lap_u - uvv + prm.F * (1.0 - u));
+      v_out[c] = v + prm.dt * (prm.Dv * lap_v + uvv - (prm.F + prm.k) * v);
+    }
+  }
+  ctx.Compute(ctx.costs().cell_update_s * static_cast<double>(L * L) * 2.0);
+}
+
+/// RAII DRAM accounting for the MPI baseline's slabs.
+class DramGuard {
+ public:
+  DramGuard(sim::Node& node, std::uint64_t bytes) : node_(node), bytes_(bytes) {
+    node_.AllocateDram(bytes_);
+  }
+  ~DramGuard() { node_.FreeDram(bytes_); }
+  DramGuard(const DramGuard&) = delete;
+  DramGuard& operator=(const DramGuard&) = delete;
+
+ private:
+  sim::Node& node_;
+  std::uint64_t bytes_;
+};
+
+}  // namespace
+
+GrayScottResult GrayScottMpi(comm::Communicator& comm,
+                             const GrayScottConfig& cfg) {
+  comm::RankContext& ctx = comm.ctx();
+  const std::size_t L = cfg.L;
+  const std::size_t plane = L * L;
+  std::size_t z0 = 0, nz = 0;
+  SlabOf(L, comm.rank(), comm.size(), &z0, &nz);
+  int prev = (comm.rank() + comm.size() - 1) % comm.size();
+  int next = (comm.rank() + 1) % comm.size();
+
+  // Ghost-extended double buffers for both species: 4 x (nz+2) planes.
+  std::uint64_t slab_bytes = 4ULL * (nz + 2) * plane * sizeof(double);
+  sim::Node& node = ctx.world().cluster().node(ctx.node());
+  // Collective admission check: when any node cannot hold its ranks' slabs
+  // the whole job dies (the Linux OOM killer takes one rank down and MPI
+  // tears down the rest; deciding collectively avoids modeling half-dead
+  // jobs). MegaMmap has no equivalent — it spills to storage instead.
+  {
+    std::uint64_t per_node_demand =
+        slab_bytes * static_cast<std::uint64_t>(ctx.world().ranks_per_node());
+    std::uint64_t capacity = node.dram_capacity();
+    std::uint64_t used = node.dram_used();
+    std::vector<std::uint8_t> overflow = {
+        static_cast<std::uint8_t>(used + per_node_demand > capacity ? 1 : 0)};
+    comm.AllReduce(overflow, [](std::uint8_t a, std::uint8_t b) {
+      return static_cast<std::uint8_t>(a | b);
+    });
+    if (overflow[0] != 0) {
+      throw sim::SimOutOfMemoryError(per_node_demand,
+                                     capacity > used ? capacity - used : 0);
+    }
+  }
+  DramGuard dram(node, slab_bytes);
+  std::vector<double> ua((nz + 2) * plane), va((nz + 2) * plane);
+  std::vector<double> ub((nz + 2) * plane), vb((nz + 2) * plane);
+  for (std::size_t z = 0; z < nz; ++z) {
+    for (std::size_t y = 0; y < L; ++y) {
+      for (std::size_t x = 0; x < L; ++x) {
+        InitCell(L, x, y, z0 + z, &ua[(z + 1) * plane + PIdx(L, x, y)],
+                 &va[(z + 1) * plane + PIdx(L, x, y)]);
+      }
+    }
+  }
+
+  GrayScottResult result;
+  auto* u_cur = &ua;
+  auto* v_cur = &va;
+  auto* u_nxt = &ub;
+  auto* v_nxt = &vb;
+  constexpr int kTagU0 = 11, kTagU1 = 12, kTagV0 = 13, kTagV1 = 14;
+
+  for (int step = 0; step < cfg.steps; ++step) {
+    // Halo exchange: first owned plane -> prev; last owned plane -> next.
+    auto send_plane = [&](std::vector<double>& buf, std::size_t plane_idx,
+                          int dst, int tag) {
+      std::vector<double> tmp(buf.begin() + plane_idx * plane,
+                              buf.begin() + (plane_idx + 1) * plane);
+      comm.Send(dst, tag, tmp);
+    };
+    auto recv_plane = [&](std::vector<double>& buf, std::size_t plane_idx,
+                          int src, int tag) {
+      auto tmp = comm.Recv<double>(src, tag);
+      std::copy(tmp.begin(), tmp.end(), buf.begin() + plane_idx * plane);
+    };
+    send_plane(*u_cur, 1, prev, kTagU0);
+    send_plane(*u_cur, nz, next, kTagU1);
+    send_plane(*v_cur, 1, prev, kTagV0);
+    send_plane(*v_cur, nz, next, kTagV1);
+    recv_plane(*u_cur, nz + 1, next, kTagU0);
+    recv_plane(*u_cur, 0, prev, kTagU1);
+    recv_plane(*v_cur, nz + 1, next, kTagV0);
+    recv_plane(*v_cur, 0, prev, kTagV1);
+
+    for (std::size_t z = 0; z < nz; ++z) {
+      UpdatePlane(L, &(*u_cur)[z * plane], &(*u_cur)[(z + 1) * plane],
+                  &(*u_cur)[(z + 2) * plane], &(*v_cur)[z * plane],
+                  &(*v_cur)[(z + 1) * plane], &(*v_cur)[(z + 2) * plane],
+                  &(*u_nxt)[(z + 1) * plane], &(*v_nxt)[(z + 1) * plane],
+                  cfg.params, ctx);
+    }
+    std::swap(u_cur, u_nxt);
+    std::swap(v_cur, v_nxt);
+    comm.Barrier();
+
+    if (cfg.plotgap > 0 && (step + 1) % cfg.plotgap == 0) {
+      std::uint64_t ckpt_bytes = 2ULL * nz * plane * sizeof(double);
+      result.bytes_checkpointed += ckpt_bytes;
+      sim::Cluster& cluster = ctx.world().cluster();
+      switch (cfg.ckpt) {
+        case CkptBackend::kNone:
+          break;
+        case CkptBackend::kPfsSync: {
+          // OrangeFS-like: compute stalls for the full PFS write.
+          sim::SimTime done =
+              cluster.pfs().Write(ctx.clock().now(), ckpt_bytes);
+          ctx.clock().AdvanceTo(done);
+          break;
+        }
+        case CkptBackend::kAssiseLike: {
+          // Client-local NVM filesystem: synchronous local NVMe write.
+          sim::Device* nvme = node.FindTier(sim::TierKind::kNvme);
+          MM_CHECK(nvme != nullptr);
+          sim::SimTime done = nvme->Write(ctx.clock().now(), ckpt_bytes);
+          ctx.clock().AdvanceTo(done);
+          break;
+        }
+        case CkptBackend::kHermesLike: {
+          // Tiered async buffering: the app pays one memcpy; the NVMe and
+          // PFS drain in the background (their channels stay busy).
+          ctx.Compute(static_cast<double>(ckpt_bytes) /
+                      ctx.costs().memcpy_Bps);
+          sim::Device* nvme = node.FindTier(sim::TierKind::kNvme);
+          MM_CHECK(nvme != nullptr);
+          sim::SimTime nvme_done = nvme->Write(ctx.clock().now(), ckpt_bytes);
+          cluster.pfs().Write(nvme_done, ckpt_bytes);
+          break;
+        }
+      }
+    }
+  }
+
+  double su = 0, sv = 0;
+  for (std::size_t z = 1; z <= nz; ++z) {
+    for (std::size_t i = 0; i < plane; ++i) {
+      su += (*u_cur)[z * plane + i];
+      sv += (*v_cur)[z * plane + i];
+    }
+  }
+  std::vector<double> sums = {su, sv};
+  comm.AllReduce(sums, [](double a, double b) { return a + b; });
+  result.sum_u = sums[0];
+  result.sum_v = sums[1];
+  return result;
+}
+
+GrayScottResult GrayScottMega(core::Service& service,
+                              comm::Communicator& comm,
+                              const GrayScottConfig& cfg) {
+  comm::RankContext& ctx = comm.ctx();
+  const std::size_t L = cfg.L;
+  const std::size_t plane = L * L;
+  const std::uint64_t cells = static_cast<std::uint64_t>(L) * L * L;
+  std::size_t z0 = 0, nz = 0;
+  SlabOf(L, comm.rank(), comm.size(), &z0, &nz);
+
+  core::VectorOptions vopts;
+  vopts.page_size = cfg.page_size;
+  vopts.pcache_bytes = cfg.pcache_bytes;
+  vopts.mode = core::CoherenceMode::kReadWriteGlobal;
+  bool persist = cfg.plotgap > 0 && !cfg.out_key.empty();
+  vopts.nonvolatile = persist;
+  auto key = [&](const char* name) {
+    if (persist) return cfg.out_key + ":" + name;  // shdf datasets
+    return std::string("gs_") + name;              // volatile
+  };
+  core::Vector<double> ua(service, ctx, key("u0"), cells, vopts);
+  core::Vector<double> va(service, ctx, key("v0"), cells, vopts);
+  core::Vector<double> ub(service, ctx, key("u1"), cells, vopts);
+  core::Vector<double> vb(service, ctx, key("v1"), cells, vopts);
+  // The slab decomposition is contiguous in element space: register it so
+  // first-touch places each rank's pages on its own node (Fig. 3 locality).
+  for (auto* v : {&ua, &va, &ub, &vb}) {
+    v->Pgas(comm.rank(), comm.size());
+  }
+
+  // Initialize the owned slab (non-overlapping writes).
+  {
+    auto txu = ua.SeqTxBegin(z0 * plane, nz * plane, core::MM_WRITE_ONLY);
+    auto txv = va.SeqTxBegin(z0 * plane, nz * plane, core::MM_WRITE_ONLY);
+    for (std::size_t z = 0; z < nz; ++z) {
+      for (std::size_t y = 0; y < L; ++y) {
+        for (std::size_t x = 0; x < L; ++x) {
+          double u, v;
+          InitCell(L, x, y, z0 + z, &u, &v);
+          std::uint64_t idx = (z0 + z) * plane + PIdx(L, x, y);
+          ua.At(idx) = u;
+          va.At(idx) = v;
+        }
+      }
+    }
+    ua.TxEnd();
+    va.TxEnd();
+  }
+  comm.Barrier();
+
+  GrayScottResult result;
+  core::Vector<double>* u_cur = &ua;
+  core::Vector<double>* v_cur = &va;
+  core::Vector<double>* u_nxt = &ub;
+  core::Vector<double>* v_nxt = &vb;
+
+  // Rolling plane buffers (z-1, z, z+1 of both species).
+  std::vector<double> um(plane), uc(plane), up(plane);
+  std::vector<double> vm(plane), vc(plane), vp(plane);
+  std::vector<double> u_out(plane), v_out(plane);
+  auto load_plane = [&](core::Vector<double>& vec, std::size_t gz,
+                        std::vector<double>* dst) {
+    std::uint64_t base = (gz % L) * plane;
+    for (std::size_t i = 0; i < plane; ++i) (*dst)[i] = vec.Read(base + i);
+  };
+
+  for (int step = 0; step < cfg.steps; ++step) {
+    // Declared read over the slab plus halos (clipped window; halo planes
+    // are read through the same transaction's accesses).
+    auto rtxu = u_cur->SeqTxBegin(z0 * plane, nz * plane, core::MM_READ_ONLY);
+    auto rtxv = v_cur->SeqTxBegin(z0 * plane, nz * plane, core::MM_READ_ONLY);
+    auto wtxu = u_nxt->SeqTxBegin(z0 * plane, nz * plane, core::MM_WRITE_ONLY);
+    auto wtxv = v_nxt->SeqTxBegin(z0 * plane, nz * plane, core::MM_WRITE_ONLY);
+
+    load_plane(*u_cur, z0 + L - 1, &um);
+    load_plane(*u_cur, z0, &uc);
+    load_plane(*v_cur, z0 + L - 1, &vm);
+    load_plane(*v_cur, z0, &vc);
+    for (std::size_t z = 0; z < nz; ++z) {
+      load_plane(*u_cur, z0 + z + 1, &up);
+      load_plane(*v_cur, z0 + z + 1, &vp);
+      UpdatePlane(L, um.data(), uc.data(), up.data(), vm.data(), vc.data(),
+                  vp.data(), u_out.data(), v_out.data(), cfg.params, ctx);
+      std::uint64_t base = (z0 + z) * plane;
+      for (std::size_t i = 0; i < plane; ++i) {
+        u_nxt->At(base + i) = u_out[i];
+        v_nxt->At(base + i) = v_out[i];
+      }
+      std::swap(um, uc);
+      std::swap(uc, up);
+      std::swap(vm, vc);
+      std::swap(vc, vp);
+    }
+    u_cur->TxEnd();
+    v_cur->TxEnd();
+    u_nxt->TxEnd();
+    v_nxt->TxEnd();
+    comm.Barrier();
+    std::swap(u_cur, u_nxt);
+    std::swap(v_cur, v_nxt);
+
+    if (persist && (step + 1) % cfg.plotgap == 0 && comm.rank() == 0) {
+      // Asynchronous checkpoint: the staging engine drains in the
+      // background; the application's clock is not stalled.
+      u_cur->FlushAsync();
+      v_cur->FlushAsync();
+      result.bytes_checkpointed += 2ULL * cells * sizeof(double);
+    }
+  }
+
+  double su = 0, sv = 0;
+  {
+    auto txu = u_cur->SeqTxBegin(z0 * plane, nz * plane, core::MM_READ_ONLY);
+    auto txv = v_cur->SeqTxBegin(z0 * plane, nz * plane, core::MM_READ_ONLY);
+    for (std::uint64_t i = z0 * plane; i < (z0 + nz) * plane; ++i) {
+      su += u_cur->Read(i);
+      sv += v_cur->Read(i);
+    }
+    u_cur->TxEnd();
+    v_cur->TxEnd();
+  }
+  std::vector<double> sums = {su, sv};
+  comm.AllReduce(sums, [](double a, double b) { return a + b; });
+  result.sum_u = sums[0];
+  result.sum_v = sums[1];
+  comm.Barrier();
+  return result;
+}
+
+}  // namespace mm::apps

@@ -1,0 +1,223 @@
+#include "mm/apps/kmeans.h"
+
+#include <algorithm>
+
+#include "mm/core/vector.h"
+#include "mm/util/hash.h"
+
+namespace mm::apps {
+
+namespace {
+
+/// Deterministic global indices sampled by `rank` from its partition
+/// [lo, lo+size). Shared by the Mega and Spark implementations so both
+/// produce identical initial centroids.
+std::vector<std::uint64_t> SampleCandidates(std::uint64_t seed, int rank,
+                                            std::uint64_t lo,
+                                            std::uint64_t size,
+                                            std::uint64_t count) {
+  std::vector<std::uint64_t> idx;
+  idx.reserve(count);
+  for (std::uint64_t i = 0; i < count && size > 0; ++i) {
+    std::uint64_t h = MixU64(seed ^ MixU64((static_cast<std::uint64_t>(rank)
+                                            << 32) |
+                                           i));
+    idx.push_back(lo + h % size);
+  }
+  return idx;
+}
+
+/// KMeans||-style reduction: greedy farthest-point selection of k centers
+/// from the oversampled candidate set. Deterministic; identical on every
+/// rank (all ranks hold the same candidate list).
+std::vector<Point3> ReduceCandidates(const std::vector<Point3>& candidates,
+                                     int k, comm::RankContext& ctx) {
+  MM_CHECK(!candidates.empty());
+  std::vector<Point3> centers;
+  centers.push_back(candidates[0]);
+  std::vector<double> min_d2(candidates.size(),
+                             std::numeric_limits<double>::max());
+  while (static_cast<int>(centers.size()) < k) {
+    std::size_t best = 0;
+    double best_d2 = -1;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      min_d2[i] = std::min(min_d2[i], Dist2(candidates[i], centers.back()));
+      if (min_d2[i] > best_d2) {
+        best_d2 = min_d2[i];
+        best = i;
+      }
+    }
+    ctx.Compute(ctx.costs().point_distance_s * candidates.size());
+    centers.push_back(candidates[best]);
+  }
+  return centers;
+}
+
+/// One Lloyd reduction buffer: [sx, sy, sz, count] per centroid.
+struct LloydSums {
+  std::vector<double> buf;
+  explicit LloydSums(int k) : buf(4 * k, 0.0) {}
+  void Add(int j, const Point3& p) {
+    buf[4 * j] += p.x;
+    buf[4 * j + 1] += p.y;
+    buf[4 * j + 2] += p.z;
+    buf[4 * j + 3] += 1.0;
+  }
+};
+
+void ApplyLloyd(const std::vector<double>& sums, std::vector<Point3>* ks) {
+  for (std::size_t j = 0; j < ks->size(); ++j) {
+    double n = sums[4 * j + 3];
+    if (n <= 0) continue;
+    (*ks)[j] = Point3{static_cast<float>(sums[4 * j] / n),
+                      static_cast<float>(sums[4 * j + 1] / n),
+                      static_cast<float>(sums[4 * j + 2] / n)};
+  }
+}
+
+}  // namespace
+
+KMeansResult KMeansMega(core::Service& service, comm::Communicator& comm,
+                        const std::string& dataset_key,
+                        const KMeansConfig& cfg) {
+  comm::RankContext& ctx = comm.ctx();
+  core::VectorOptions vopts;
+  vopts.page_size = cfg.page_size;
+  vopts.pcache_bytes = cfg.pcache_bytes;
+  vopts.mode = core::CoherenceMode::kReadOnlyGlobal;
+  core::Vector<Particle> pts(service, ctx, dataset_key, 0, vopts);
+  pts.BoundMemory(cfg.pcache_bytes);
+  pts.Pgas(comm.rank(), comm.size());
+
+  const std::uint64_t lo = pts.local_off(), n_local = pts.local_size();
+  const int k = cfg.k;
+
+  // ---- KMeans||-style init: oversample candidates, reduce to k ----
+  std::uint64_t per_rank =
+      (static_cast<std::uint64_t>(cfg.oversample) * k + comm.size() - 1) /
+      comm.size();
+  auto sample_idx =
+      SampleCandidates(cfg.seed, comm.rank(), lo, n_local, per_rank);
+  std::vector<Point3> local_cand;
+  {
+    auto tx = pts.RandTxBegin(lo, std::max<std::uint64_t>(lo + 1, lo + n_local),
+                              sample_idx.size(), core::MM_READ_ONLY, cfg.seed);
+    for (std::uint64_t idx : sample_idx) {
+      local_cand.push_back(pts.Read(idx).pos);
+    }
+    pts.TxEnd();
+  }
+  auto candidates = comm.AllGatherV(local_cand);
+  std::vector<Point3> ks = ReduceCandidates(candidates, k, ctx);
+
+  // ---- Lloyd iterations over the local partition ----
+  for (int it = 0; it < cfg.max_iter; ++it) {
+    LloydSums sums(k);
+    auto tx = pts.SeqTxBegin(lo, n_local, core::MM_READ_ONLY);
+    for (const Particle& p : tx) {
+      int j = NearestCentroid(p.pos, ks);
+      ctx.Compute(ctx.costs().point_distance_s * k);
+      sums.Add(j, p.pos);
+    }
+    pts.TxEnd();
+    comm.AllReduce(sums.buf, [](double a, double b) { return a + b; });
+    ApplyLloyd(sums.buf, &ks);
+  }
+
+  // ---- Inertia pass (Listing 1) + optional persisted assignments ----
+  KMeansResult result;
+  result.centroids = ks;
+  std::unique_ptr<core::Vector<std::int32_t>> assign;
+  if (!cfg.assign_key.empty()) {
+    core::VectorOptions aopts;
+    aopts.page_size = cfg.page_size;
+    aopts.pcache_bytes = cfg.pcache_bytes;
+    aopts.mode = core::CoherenceMode::kLocal;  // non-overlapping partitions
+    assign = std::make_unique<core::Vector<std::int32_t>>(
+        service, ctx, cfg.assign_key, pts.size(), aopts);
+  }
+  double local_inertia = 0;
+  {
+    auto tx = pts.SeqTxBegin(lo, n_local, core::MM_READ_ONLY);
+    for (std::uint64_t i = lo; i < lo + n_local; ++i) {
+      const Particle& p = pts.Read(i);
+      int j = NearestCentroid(p.pos, ks);
+      ctx.Compute(ctx.costs().point_distance_s * k);
+      local_inertia += Dist2(p.pos, ks[j]);
+      if (assign != nullptr) assign->Set(i, j);
+    }
+    pts.TxEnd();
+  }
+  if (assign != nullptr) assign->Flush();
+  std::vector<double> total = {local_inertia};
+  comm.AllReduce(total, [](double a, double b) { return a + b; });
+  result.inertia = total[0];
+  result.faults = pts.faults();
+  result.evictions = pts.evictions();
+  return result;
+}
+
+KMeansResult KMeansSpark(sparklike::SparkEnv& env, comm::Communicator& comm,
+                         const std::string& dataset_key,
+                         const KMeansConfig& cfg) {
+  comm::RankContext& ctx = comm.ctx();
+  auto rdd = sparklike::Rdd<Particle>::Load(env, comm, dataset_key);
+  const int k = cfg.k;
+
+  // Identical candidate selection to the Mega version (same global
+  // indices), expressed against the local partition.
+  std::uint64_t total = rdd.size();
+  {
+    std::vector<std::uint64_t> one = {total};
+    comm.AllReduce(one, [](std::uint64_t a, std::uint64_t b) { return a + b; });
+    total = one[0];
+  }
+  std::uint64_t base = total / comm.size(), rem = total % comm.size();
+  std::uint64_t lo = comm.rank() * base +
+                     std::min<std::uint64_t>(comm.rank(), rem);
+  std::uint64_t per_rank =
+      (static_cast<std::uint64_t>(cfg.oversample) * k + comm.size() - 1) /
+      comm.size();
+  auto sample_idx =
+      SampleCandidates(cfg.seed, comm.rank(), lo, rdd.size(), per_rank);
+  std::vector<Point3> local_cand;
+  env.ChargeDispatch();
+  for (std::uint64_t idx : sample_idx) {
+    local_cand.push_back(rdd.data()[idx - lo].pos);
+  }
+  auto candidates = comm.AllGatherV(local_cand);
+  std::vector<Point3> ks = ReduceCandidates(candidates, k, ctx);
+
+  // Lloyd iterations: each is an aggregate stage with a transient
+  // materialized partition (Spark's map/reduce copies).
+  for (int it = 0; it < cfg.max_iter; ++it) {
+    env.ChargeDispatch();
+    // Transient stage copy, Spark-style (freed when the stage ends).
+    env.Alloc(rdd.size() * sizeof(Particle));
+    LloydSums sums(k);
+    for (const Particle& p : rdd.data()) {
+      int j = NearestCentroid(p.pos, ks);
+      ctx.Compute(ctx.costs().point_distance_s * k * env.compute_factor());
+      sums.Add(j, p.pos);
+    }
+    env.Free(rdd.size() * sizeof(Particle));
+    comm.AllReduce(sums.buf, [](double a, double b) { return a + b; });
+    ApplyLloyd(sums.buf, &ks);
+  }
+
+  KMeansResult result;
+  result.centroids = ks;
+  env.ChargeDispatch();
+  double local_inertia = 0;
+  for (const Particle& p : rdd.data()) {
+    int j = NearestCentroid(p.pos, ks);
+    ctx.Compute(ctx.costs().point_distance_s * k * env.compute_factor());
+    local_inertia += Dist2(p.pos, ks[j]);
+  }
+  std::vector<double> sum = {local_inertia};
+  comm.AllReduce(sum, [](double a, double b) { return a + b; });
+  result.inertia = sum[0];
+  return result;
+}
+
+}  // namespace mm::apps

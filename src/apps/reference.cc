@@ -1,0 +1,163 @@
+#include "mm/apps/reference.h"
+
+#include <algorithm>
+#include <map>
+
+#include "mm/util/status.h"
+
+namespace mm::apps {
+
+std::vector<Point3> ReferenceKMeans(const std::vector<Point3>& pts,
+                                    std::vector<Point3> centroids,
+                                    int iters) {
+  MM_CHECK(!centroids.empty());
+  std::size_t k = centroids.size();
+  for (int it = 0; it < iters; ++it) {
+    std::vector<double> sx(k, 0), sy(k, 0), sz(k, 0);
+    std::vector<std::uint64_t> count(k, 0);
+    for (const Point3& p : pts) {
+      int j = NearestCentroid(p, centroids);
+      sx[j] += p.x;
+      sy[j] += p.y;
+      sz[j] += p.z;
+      ++count[j];
+    }
+    for (std::size_t j = 0; j < k; ++j) {
+      if (count[j] == 0) continue;  // empty cluster keeps its centroid
+      centroids[j] = Point3{static_cast<float>(sx[j] / count[j]),
+                            static_cast<float>(sy[j] / count[j]),
+                            static_cast<float>(sz[j] / count[j])};
+    }
+  }
+  return centroids;
+}
+
+double ReferenceInertia(const std::vector<Point3>& pts,
+                        const std::vector<Point3>& centroids) {
+  double total = 0;
+  for (const Point3& p : pts) {
+    total += Dist2(p, centroids[NearestCentroid(p, centroids)]);
+  }
+  return total;
+}
+
+std::vector<int> ReferenceDbscan(const std::vector<Point3>& pts, double eps,
+                                 std::size_t min_pts) {
+  const std::size_t n = pts.size();
+  const double eps2 = eps * eps;
+  std::vector<int> labels(n, -2);  // -2 = unvisited, -1 = noise
+  auto neighbors = [&](std::size_t i) {
+    std::vector<std::size_t> out;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (Dist2(pts[i], pts[j]) <= eps2) out.push_back(j);
+    }
+    return out;
+  };
+  int next_cluster = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (labels[i] != -2) continue;
+    auto nbrs = neighbors(i);
+    if (nbrs.size() < min_pts) {
+      labels[i] = -1;
+      continue;
+    }
+    int cid = next_cluster++;
+    labels[i] = cid;
+    std::vector<std::size_t> frontier = nbrs;
+    for (std::size_t f = 0; f < frontier.size(); ++f) {
+      std::size_t q = frontier[f];
+      if (labels[q] == -1) labels[q] = cid;  // border point
+      if (labels[q] != -2) continue;
+      labels[q] = cid;
+      auto qn = neighbors(q);
+      if (qn.size() >= min_pts) {
+        frontier.insert(frontier.end(), qn.begin(), qn.end());
+      }
+    }
+  }
+  return labels;
+}
+
+double GiniImpurity(const std::vector<int>& labels) {
+  if (labels.empty()) return 0.0;
+  std::map<int, std::size_t> counts;
+  for (int l : labels) ++counts[l];
+  double sum_sq = 0;
+  double n = static_cast<double>(labels.size());
+  for (const auto& [label, c] : counts) {
+    double p = static_cast<double>(c) / n;
+    sum_sq += p * p;
+  }
+  return 1.0 - sum_sq;
+}
+
+double RandIndex(const std::vector<int>& a, const std::vector<int>& b) {
+  MM_CHECK(a.size() == b.size());
+  if (a.size() < 2) return 1.0;
+  std::uint64_t agree = 0, total = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = i + 1; j < a.size(); ++j) {
+      bool same_a = a[i] == a[j];
+      bool same_b = b[i] == b[j];
+      if (same_a == same_b) ++agree;
+      ++total;
+    }
+  }
+  return static_cast<double>(agree) / static_cast<double>(total);
+}
+
+namespace {
+inline std::size_t Idx(std::size_t L, std::size_t x, std::size_t y,
+                       std::size_t z) {
+  return (z * L + y) * L + x;
+}
+}  // namespace
+
+void ReferenceGrayScottStep(std::size_t L, const std::vector<double>& u_in,
+                            const std::vector<double>& v_in,
+                            std::vector<double>* u_out,
+                            std::vector<double>* v_out,
+                            const GrayScottParams& prm) {
+  MM_CHECK(u_in.size() == L * L * L && v_in.size() == L * L * L);
+  u_out->resize(L * L * L);
+  v_out->resize(L * L * L);
+  for (std::size_t z = 0; z < L; ++z) {
+    std::size_t zm = (z + L - 1) % L, zp = (z + 1) % L;
+    for (std::size_t y = 0; y < L; ++y) {
+      std::size_t ym = (y + L - 1) % L, yp = (y + 1) % L;
+      for (std::size_t x = 0; x < L; ++x) {
+        std::size_t xm = (x + L - 1) % L, xp = (x + 1) % L;
+        std::size_t c = Idx(L, x, y, z);
+        double u = u_in[c], v = v_in[c];
+        double lap_u = u_in[Idx(L, xm, y, z)] + u_in[Idx(L, xp, y, z)] +
+                       u_in[Idx(L, x, ym, z)] + u_in[Idx(L, x, yp, z)] +
+                       u_in[Idx(L, x, y, zm)] + u_in[Idx(L, x, y, zp)] -
+                       6.0 * u;
+        double lap_v = v_in[Idx(L, xm, y, z)] + v_in[Idx(L, xp, y, z)] +
+                       v_in[Idx(L, x, ym, z)] + v_in[Idx(L, x, yp, z)] +
+                       v_in[Idx(L, x, y, zm)] + v_in[Idx(L, x, y, zp)] -
+                       6.0 * v;
+        double uvv = u * v * v;
+        (*u_out)[c] = u + prm.dt * (prm.Du * lap_u - uvv + prm.F * (1.0 - u));
+        (*v_out)[c] = v + prm.dt * (prm.Dv * lap_v + uvv - (prm.F + prm.k) * v);
+      }
+    }
+  }
+}
+
+void GrayScottInit(std::size_t L, std::vector<double>* u,
+                   std::vector<double>* v) {
+  u->assign(L * L * L, 1.0);
+  v->assign(L * L * L, 0.0);
+  std::size_t lo = L / 2 - L / 16, hi = L / 2 + L / 16 + 1;
+  for (std::size_t z = lo; z < hi && z < L; ++z) {
+    for (std::size_t y = lo; y < hi && y < L; ++y) {
+      for (std::size_t x = lo; x < hi && x < L; ++x) {
+        (*u)[Idx(L, x, y, z)] = 0.5;
+        (*v)[Idx(L, x, y, z)] = 0.25;
+      }
+    }
+  }
+}
+
+}  // namespace mm::apps

@@ -1,0 +1,23 @@
+#include "mm/apps/sparklike.h"
+
+namespace mm::apps::sparklike {
+
+void SparkEnv::Alloc(std::uint64_t bytes) {
+  ctx_->world().cluster().node(ctx_->node()).AllocateDram(bytes);
+  allocated_ += bytes;
+}
+
+void SparkEnv::Free(std::uint64_t bytes) {
+  MM_CHECK(bytes <= allocated_);
+  ctx_->world().cluster().node(ctx_->node()).FreeDram(bytes);
+  allocated_ -= bytes;
+}
+
+void SparkEnv::ReleaseAll() {
+  if (allocated_ > 0) {
+    ctx_->world().cluster().node(ctx_->node()).FreeDram(allocated_);
+    allocated_ = 0;
+  }
+}
+
+}  // namespace mm::apps::sparklike

@@ -1,0 +1,81 @@
+#include "mm/comm/communicator.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace mm::comm {
+
+Communicator::Communicator(RankContext* ctx) : ctx_(ctx) {
+  group_.resize(ctx->size());
+  std::iota(group_.begin(), group_.end(), 0);
+  my_index_ = ctx->rank();
+}
+
+Communicator::Communicator(RankContext* ctx, std::vector<int> group)
+    : ctx_(ctx), group_(std::move(group)) {
+  auto it = std::find(group_.begin(), group_.end(), ctx->rank());
+  MM_CHECK_MSG(it != group_.end(), "rank not in communicator group");
+  my_index_ = static_cast<int>(it - group_.begin());
+}
+
+void Communicator::SendBytes(int dst, int tag, const void* data,
+                             std::size_t size) {
+  MM_CHECK(dst >= 0 && dst < this->size());
+  World& world = ctx_->world();
+  int dst_world = group_[dst];
+  int src_world = group_[my_index_];
+  auto res = world.cluster().network().Transfer(
+      ctx_->clock().now(), world.NodeOfRank(src_world),
+      world.NodeOfRank(dst_world), size);
+  // MPI_Send semantics: the sender resumes once its buffer is reusable,
+  // i.e. when egress serialization completes.
+  ctx_->clock().AdvanceTo(res.egress_done);
+  Message msg;
+  msg.src = src_world;
+  msg.tag = TagFor(tag);
+  msg.payload.assign(static_cast<const std::uint8_t*>(data),
+                     static_cast<const std::uint8_t*>(data) + size);
+  msg.delivered = res.delivered;
+  world.mailbox(dst_world).Deposit(std::move(msg));
+}
+
+std::vector<std::uint8_t> Communicator::RecvBytes(int src, int tag,
+                                                  int* actual_src) {
+  World& world = ctx_->world();
+  int src_world = src == kAnySource ? kAnySource : group_[src];
+  Message msg = world.mailbox(group_[my_index_]).Take(src_world, TagFor(tag));
+  ctx_->clock().AdvanceTo(msg.delivered);
+  if (actual_src != nullptr) *actual_src = msg.src;
+  return std::move(msg.payload);
+}
+
+void Communicator::Barrier() {
+  World& world = ctx_->world();
+  if (static_cast<int>(group_.size()) == world.num_ranks()) {
+    sim::SimTime release = world.Barrier(ctx_->rank(), ctx_->clock().now());
+    ctx_->clock().AdvanceTo(release);
+    return;
+  }
+  // Group barrier: an empty tree all-reduce carries the clock semantics
+  // (every member ends at >= the max arrival time).
+  std::vector<std::uint8_t> token(1, 0);
+  AllReduce(token, [](std::uint8_t a, std::uint8_t b) {
+    return static_cast<std::uint8_t>(a | b);
+  });
+}
+
+Communicator Communicator::Split(int color) {
+  // Exchange (color, world rank) pairs; members with my color form the new
+  // group ordered by current communicator index.
+  std::vector<int> mine = {color, group_[my_index_]};
+  auto all = AllGatherV(mine);
+  std::vector<int> new_group;
+  for (std::size_t i = 0; i + 1 < all.size(); i += 2) {
+    if (all[i] == color) new_group.push_back(all[i + 1]);
+  }
+  Communicator sub(ctx_, std::move(new_group));
+  sub.color_epoch_ = color_epoch_ + 1;
+  return sub;
+}
+
+}  // namespace mm::comm

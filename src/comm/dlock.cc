@@ -1,0 +1,29 @@
+#include "mm/comm/dlock.h"
+
+namespace mm::comm {
+
+namespace {
+// Lock protocol messages are small control packets.
+constexpr std::uint64_t kControlBytes = 64;
+}  // namespace
+
+void DistributedLock::Acquire(RankContext& ctx) {
+  // Request reaches the home node...
+  auto req = world_->cluster().network().Transfer(
+      ctx.clock().now(), ctx.node(), home_node_, kControlBytes);
+  mu_.lock();  // real mutual exclusion; blocks until predecessor releases
+  // ...the grant is issued once the previous holder's release arrived.
+  sim::SimTime grant_start = std::max(req.delivered, last_release_);
+  auto grant = world_->cluster().network().Transfer(grant_start, home_node_,
+                                                    ctx.node(), kControlBytes);
+  ctx.clock().AdvanceTo(grant.delivered);
+}
+
+void DistributedLock::Release(RankContext& ctx) {
+  auto rel = world_->cluster().network().Transfer(
+      ctx.clock().now(), ctx.node(), home_node_, kControlBytes);
+  last_release_ = rel.delivered;
+  mu_.unlock();
+}
+
+}  // namespace mm::comm

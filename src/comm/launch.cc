@@ -1,0 +1,50 @@
+#include "mm/comm/launch.h"
+
+#include <mutex>
+#include <thread>
+
+#include "mm/sim/oom.h"
+#include "mm/util/logging.h"
+
+namespace mm::comm {
+
+RunResult RunRanks(sim::Cluster& cluster, int num_ranks, int ranks_per_node,
+                   const std::function<void(RankContext&)>& body) {
+  World world(&cluster, num_ranks, ranks_per_node);
+  RunResult result;
+  result.rank_times.assign(num_ranks, 0.0);
+  std::mutex result_mu;
+
+  std::vector<std::thread> threads;
+  threads.reserve(num_ranks);
+  for (int rank = 0; rank < num_ranks; ++rank) {
+    threads.emplace_back([&, rank] {
+      RankContext ctx(&world, rank);
+      try {
+        body(ctx);
+        std::lock_guard<std::mutex> lock(result_mu);
+        result.rank_times[rank] = ctx.clock().now();
+      } catch (const sim::SimOutOfMemoryError& e) {
+        std::lock_guard<std::mutex> lock(result_mu);
+        result.oom = true;
+        result.rank_times[rank] = ctx.clock().now();
+        MM_DEBUG("launch") << "rank " << rank << " OOM-killed: " << e.what();
+      } catch (const std::exception& e) {
+        std::lock_guard<std::mutex> lock(result_mu);
+        if (result.error.empty()) {
+          result.error = std::string("rank ") + std::to_string(rank) + ": " +
+                         e.what();
+        }
+        result.rank_times[rank] = ctx.clock().now();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (sim::SimTime t : result.rank_times) {
+    result.max_time = std::max(result.max_time, t);
+  }
+  return result;
+}
+
+}  // namespace mm::comm

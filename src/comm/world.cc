@@ -1,0 +1,48 @@
+#include "mm/comm/world.h"
+
+#include <cmath>
+
+#include "mm/util/status.h"
+
+namespace mm::comm {
+
+World::World(sim::Cluster* cluster, int num_ranks, int ranks_per_node)
+    : cluster_(cluster),
+      num_ranks_(num_ranks),
+      ranks_per_node_(ranks_per_node),
+      costs_(sim::CostModel::Default()) {
+  MM_CHECK(num_ranks > 0 && ranks_per_node > 0);
+  MM_CHECK_MSG(static_cast<std::size_t>((num_ranks + ranks_per_node - 1) /
+                                        ranks_per_node) <=
+                   cluster->num_nodes(),
+               "not enough nodes for the requested rank layout");
+  mailboxes_.reserve(num_ranks);
+  for (int i = 0; i < num_ranks; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+sim::SimTime World::Barrier(int rank, sim::SimTime arrival) {
+  (void)rank;
+  std::unique_lock<std::mutex> lock(barrier_mu_);
+  std::uint64_t my_generation = barrier_generation_;
+  barrier_max_ = std::max(barrier_max_, arrival);
+  if (++barrier_count_ == num_ranks_) {
+    // Last arrival releases everyone. The synchronization itself costs a
+    // tree of small messages: latency * ceil(log2(n)).
+    double depth = num_ranks_ > 1
+                       ? std::ceil(std::log2(static_cast<double>(num_ranks_)))
+                       : 0.0;
+    barrier_release_ =
+        barrier_max_ + depth * cluster_->network().spec().latency_s;
+    barrier_count_ = 0;
+    barrier_max_ = 0.0;
+    ++barrier_generation_;
+    barrier_cv_.notify_all();
+    return barrier_release_;
+  }
+  barrier_cv_.wait(lock, [&] { return barrier_generation_ != my_generation; });
+  return barrier_release_;
+}
+
+}  // namespace mm::comm

@@ -1,0 +1,51 @@
+#include "mm/core/options.h"
+
+namespace mm::core {
+
+namespace {
+
+StatusOr<sim::TierKind> ParseTierKind(const std::string& name) {
+  if (name == "dram") return sim::TierKind::kDram;
+  if (name == "nvme") return sim::TierKind::kNvme;
+  if (name == "ssd") return sim::TierKind::kSsd;
+  if (name == "hdd") return sim::TierKind::kHdd;
+  return InvalidArgument("unknown tier kind '" + name + "'");
+}
+
+}  // namespace
+
+StatusOr<ServiceOptions> ServiceOptions::FromYaml(const yaml::Node& root) {
+  ServiceOptions opts;
+  const yaml::Node& runtime = root["runtime"];
+  if (runtime.IsMap()) {
+    opts.workers_per_node =
+        static_cast<int>(runtime.GetInt("workers_per_node", opts.workers_per_node));
+    opts.low_latency_workers = static_cast<int>(
+        runtime.GetInt("low_latency_workers", opts.low_latency_workers));
+    opts.low_latency_threshold =
+        runtime.GetBytes("low_latency_threshold", opts.low_latency_threshold);
+    opts.organize_every =
+        static_cast<int>(runtime.GetInt("organize_every", opts.organize_every));
+    opts.enable_prefetch =
+        runtime.GetBool("enable_prefetch", opts.enable_prefetch);
+    opts.enable_organizer =
+        runtime.GetBool("enable_organizer", opts.enable_organizer);
+  }
+  const yaml::Node& tiers = root["tiers"];
+  if (tiers.IsList()) {
+    for (const yaml::Node& tier : tiers.Items()) {
+      if (!tier.IsMap()) return InvalidArgument("tier entry must be a map");
+      MM_ASSIGN_OR_RETURN(sim::TierKind kind,
+                          ParseTierKind(tier.GetString("kind", "")));
+      std::uint64_t cap = tier.GetBytes("capacity", 0);
+      if (cap == 0) return InvalidArgument("tier capacity must be set");
+      opts.tier_grants.push_back({kind, cap});
+    }
+  }
+  if (opts.workers_per_node < 1) {
+    return InvalidArgument("workers_per_node must be >= 1");
+  }
+  return opts;
+}
+
+}  // namespace mm::core

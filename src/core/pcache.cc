@@ -1,0 +1,91 @@
+#include "mm/core/pcache.h"
+
+#include <algorithm>
+
+namespace mm::core {
+
+PageFrame* PCache::Find(std::uint64_t page) {
+  auto it = frames_.find(page);
+  if (it == frames_.end()) return nullptr;
+  it->second.last_access = ++access_seq_;
+  return &it->second;
+}
+
+PageFrame* PCache::Insert(std::uint64_t page, std::vector<std::uint8_t> data) {
+  MM_CHECK(data.size() == page_bytes_);
+  PageFrame frame;
+  frame.data = std::move(data);
+  frame.dirty.Resize(elems_per_page_);
+  frame.last_access = ++access_seq_;
+  auto [it, inserted] = frames_.insert_or_assign(page, std::move(frame));
+  (void)inserted;
+  return &it->second;
+}
+
+void PCache::MarkDirty(std::uint64_t page, std::size_t elem_lo,
+                       std::size_t elem_hi) {
+  auto it = frames_.find(page);
+  MM_CHECK_MSG(it != frames_.end(), "MarkDirty on non-resident page");
+  it->second.dirty.SetRange(elem_lo, elem_hi);
+}
+
+std::optional<std::uint64_t> PCache::PickVictim() const {
+  // Clean LRU pages first (free to drop); dirty LRU otherwise.
+  const std::uint64_t kNone = ~0ULL;
+  std::uint64_t best_clean = kNone, best_dirty = kNone;
+  std::uint64_t clean_stamp = ~0ULL, dirty_stamp = ~0ULL;
+  for (const auto& [page, frame] : frames_) {
+    if (frame.dirty.Any()) {
+      if (frame.last_access < dirty_stamp) {
+        dirty_stamp = frame.last_access;
+        best_dirty = page;
+      }
+    } else if (frame.last_access < clean_stamp) {
+      clean_stamp = frame.last_access;
+      best_clean = page;
+    }
+  }
+  if (best_clean != kNone) return best_clean;
+  if (best_dirty != kNone) return best_dirty;
+  return std::nullopt;
+}
+
+std::optional<PageFrame> PCache::Remove(std::uint64_t page) {
+  auto it = frames_.find(page);
+  if (it == frames_.end()) return std::nullopt;
+  PageFrame frame = std::move(it->second);
+  frames_.erase(it);
+  return frame;
+}
+
+std::vector<std::uint64_t> PCache::ResidentPages() const {
+  std::vector<std::uint64_t> pages;
+  pages.reserve(frames_.size());
+  for (const auto& [page, _] : frames_) pages.push_back(page);
+  return pages;
+}
+
+std::vector<std::uint64_t> PCache::DirtyPages() const {
+  std::vector<std::uint64_t> pages;
+  for (const auto& [page, frame] : frames_) {
+    if (frame.dirty.Any()) pages.push_back(page);
+  }
+  return pages;
+}
+
+std::optional<PendingFetch> PCache::TakePending(std::uint64_t page) {
+  auto it = pending_.find(page);
+  if (it == pending_.end()) return std::nullopt;
+  PendingFetch fetch = std::move(it->second);
+  pending_.erase(it);
+  return fetch;
+}
+
+void PCache::Clear() {
+  // Drain pending fetches so worker promises are not abandoned mid-flight.
+  for (auto& [page, fetch] : pending_) fetch.future.wait();
+  pending_.clear();
+  frames_.clear();
+}
+
+}  // namespace mm::core

@@ -1,0 +1,805 @@
+#include "mm/core/service.h"
+
+#include <algorithm>
+
+#include "mm/sim/cost_model.h"
+#include "mm/util/logging.h"
+
+namespace mm::core {
+
+namespace {
+constexpr std::uint64_t kControlBytes = 64;  // task request envelope
+
+void Merge(sim::SimTime end, sim::SimTime* done) {
+  if (done != nullptr) *done = std::max(*done, end);
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// NodeRuntime
+// ---------------------------------------------------------------------------
+
+NodeRuntime::NodeRuntime(Service* service, std::size_t node_id,
+                         const ServiceOptions& options,
+                         const std::vector<storage::TierGrant>& grants)
+    : service_(service),
+      node_id_(node_id),
+      options_(options),
+      bm_(&service->cluster().node(node_id), grants) {
+  int high = std::max(1, options_.workers_per_node);
+  int low = std::max(0, options_.low_latency_workers);
+  for (int i = 0; i < high; ++i) {
+    high_queues_.push_back(std::make_unique<BlockingQueue<MemoryTask>>());
+  }
+  for (int i = 0; i < low; ++i) {
+    low_queues_.push_back(std::make_unique<BlockingQueue<MemoryTask>>());
+  }
+  auto spawn = [this](BlockingQueue<MemoryTask>* q) {
+    workers_.emplace_back([this, q] { WorkerLoop(q); });
+  };
+  for (auto& q : high_queues_) spawn(q.get());
+  for (auto& q : low_queues_) spawn(q.get());
+}
+
+NodeRuntime::~NodeRuntime() { Shutdown(); }
+
+void NodeRuntime::Shutdown() {
+  if (shut_down_) return;
+  shut_down_ = true;
+  for (auto& q : high_queues_) q->Close();
+  for (auto& q : low_queues_) q->Close();
+  for (auto& t : workers_) t.join();
+  workers_.clear();
+}
+
+void NodeRuntime::Submit(MemoryTask task) {
+  MM_CHECK_MSG(!shut_down_, "submit after runtime shutdown");
+  bool is_write = task.kind == MemoryTask::Kind::kWritePartial ||
+                  task.kind == MemoryTask::Kind::kStageOut ||
+                  task.kind == MemoryTask::Kind::kErase;
+  std::uint64_t digest = task.id.Digest();
+  // Writes always go to the (ordered, page-hashed) high-latency group so
+  // same-page writes serialize; small reads and scores take the
+  // low-latency group to dodge head-of-line blocking (paper §III-B).
+  if (!is_write && !low_queues_.empty() &&
+      TaskBytes(task) < options_.low_latency_threshold) {
+    low_queues_[digest % low_queues_.size()]->Push(std::move(task));
+  } else {
+    high_queues_[digest % high_queues_.size()]->Push(std::move(task));
+  }
+}
+
+void NodeRuntime::WorkerLoop(BlockingQueue<MemoryTask>* queue) {
+  while (auto task = queue->Pop()) {
+    TaskOutcome outcome = Execute(*task);
+    tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+    if (task->promise != nullptr) {
+      task->promise->set_value(std::move(outcome));
+    }
+  }
+}
+
+TaskOutcome NodeRuntime::Execute(MemoryTask& task) {
+  // Every task pays the software dispatch cost before touching devices.
+  task.issue_time += sim::CostModel::Default().task_dispatch_s;
+  switch (task.kind) {
+    case MemoryTask::Kind::kGetPage:
+      return ExecuteGetPage(task);
+    case MemoryTask::Kind::kWritePartial:
+      return ExecuteWritePartial(task);
+    case MemoryTask::Kind::kScore:
+      return ExecuteScore(task);
+    case MemoryTask::Kind::kStageOut:
+      return ExecuteStageOut(task);
+    case MemoryTask::Kind::kErase:
+      return ExecuteErase(task);
+  }
+  return TaskOutcome{Internal("unknown task kind"), {}, task.issue_time};
+}
+
+TaskOutcome NodeRuntime::StageInOrZero(VectorMeta& meta,
+                                       const storage::BlobId& id,
+                                       sim::SimTime now) {
+  TaskOutcome out;
+  out.done = now;
+  std::uint64_t page_off = id.page_idx * meta.page_bytes;
+  std::uint64_t logical = meta.size_bytes.load(std::memory_order_relaxed);
+  out.data.assign(meta.page_bytes, 0);
+  if (meta.stager != nullptr && page_off < logical) {
+    std::uint64_t want = std::min(meta.page_bytes, logical - page_off);
+    // Only stage in what the backend actually holds.
+    bool exists = false;
+    std::uint64_t backend_size = 0;
+    {
+      std::lock_guard<std::mutex> lock(meta.backend_mu);
+      exists = meta.backend_ready || meta.stager->Exists(meta.uri);
+    }
+    if (exists) {
+      auto size_or = meta.stager->Size(meta.uri);
+      if (size_or.ok()) backend_size = *size_or;
+    }
+    if (backend_size > page_off) {
+      std::uint64_t avail = std::min<std::uint64_t>(want, backend_size - page_off);
+      std::vector<std::uint8_t> bytes;
+      Status st = meta.stager->Read(meta.uri, page_off, avail, &bytes);
+      if (!st.ok()) {
+        out.status = st;
+        return out;
+      }
+      std::copy(bytes.begin(), bytes.end(), out.data.begin());
+      out.done = service_->cluster().pfs().Read(now, avail);
+    }
+  }
+  return out;
+}
+
+TaskOutcome NodeRuntime::ExecuteGetPage(MemoryTask& task) {
+  TaskOutcome out;
+  out.done = task.issue_time;
+  sim::SimTime dev_done = task.issue_time;
+  auto hit = bm_.Get(task.id, task.issue_time, &dev_done);
+  if (hit.ok()) {
+    out.data = std::move(hit).value();
+    out.done = dev_done;
+    auto cur = service_->metadata().Lookup(task.id, node_id_, dev_done,
+                                           nullptr);
+    if (cur.ok()) out.version = cur->version;
+    return out;
+  }
+  VectorMeta* meta = service_->FindVectorById(task.id.vector_id);
+  if (meta == nullptr) {
+    out.status = NotFound("unknown vector for blob " + task.id.ToString());
+    return out;
+  }
+  // Fault through to the backend (or zero-fill a fresh page).
+  out = StageInOrZero(*meta, task.id, task.issue_time);
+  if (!out.status.ok()) return out;
+  // Cache the page locally and record its location. A full scache is not an
+  // error for reads: the page is served through without caching.
+  sim::SimTime put_done = out.done;
+  auto tier = bm_.PutScored(task.id, out.data, task.score, out.done, &put_done);
+  if (tier.ok()) {
+    // Preserve an existing version if the page previously lived elsewhere
+    // (e.g. written through to the backend).
+    auto prev = service_->metadata().Lookup(task.id, node_id_, out.done,
+                                            nullptr);
+    storage::BlobLocation loc;
+    loc.node = node_id_;
+    loc.tier = bm_.tier(*tier).kind();
+    loc.size = out.data.size();
+    loc.score = task.score;
+    loc.score_node = task.from_node;
+    loc.dirty = false;
+    loc.version = prev.ok() ? prev->version : 0;
+    (void)service_->metadata().Update(task.id, loc, node_id_, out.done,
+                                      nullptr);
+    out.version = loc.version;
+    out.done = put_done;
+  }
+  return out;
+}
+
+TaskOutcome NodeRuntime::ExecuteWritePartial(MemoryTask& task) {
+  TaskOutcome out;
+  out.done = task.issue_time;
+  VectorMeta* meta = service_->FindVectorById(task.id.vector_id);
+  if (meta == nullptr) {
+    out.status = NotFound("unknown vector for blob " + task.id.ToString());
+    return out;
+  }
+  sim::SimTime dev_done = task.issue_time;
+  Status st = bm_.PutPartial(task.id, task.offset, task.data, task.issue_time,
+                             &dev_done);
+  if (st.code() == StatusCode::kNotFound) {
+    // Page not resident: materialize it (stage-in or zeros), apply the
+    // modification, and cache the result.
+    TaskOutcome base = StageInOrZero(*meta, task.id, task.issue_time);
+    if (!base.status.ok()) return base;
+    MM_CHECK(task.offset + task.data.size() <= base.data.size());
+    std::copy(task.data.begin(), task.data.end(),
+              base.data.begin() + static_cast<std::ptrdiff_t>(task.offset));
+    dev_done = base.done;
+    std::vector<std::uint8_t> page_data = std::move(base.data);
+    auto tier = bm_.PutScored(task.id, page_data, task.score, dev_done,
+                              &dev_done);
+    auto prev = service_->metadata().Lookup(task.id, node_id_, dev_done,
+                                            nullptr);
+    storage::BlobLocation loc;
+    loc.node = node_id_;
+    loc.size = meta->page_bytes;
+    loc.score = task.score;
+    loc.score_node = task.from_node;
+    loc.version = (prev.ok() ? prev->version : 0) + 1;
+    if (tier.ok()) {
+      loc.tier = bm_.tier(*tier).kind();
+      loc.dirty = true;
+    } else {
+      if (meta->stager == nullptr) {
+        // Volatile vector with a full scache: the write cannot be held.
+        out.status = tier.status();
+        return out;
+      }
+      // Nonvolatile vector, scache full everywhere: write straight through
+      // to the backend. Later faults stage the page back in from there.
+      Status eb = service_->EnsureBackend(*meta);
+      if (!eb.ok()) {
+        out.status = eb;
+        return out;
+      }
+      std::uint64_t page_off = task.id.page_idx * meta->page_bytes;
+      std::uint64_t logical = meta->size_bytes.load(std::memory_order_relaxed);
+      std::uint64_t want = std::min<std::uint64_t>(
+          page_data.size(), logical > page_off ? logical - page_off : 0);
+      page_data.resize(want);
+      Status st = meta->stager->Write(meta->uri, page_off, page_data);
+      if (!st.ok()) {
+        out.status = st;
+        return out;
+      }
+      dev_done = service_->cluster().pfs().Write(dev_done, want);
+      loc.tier = sim::TierKind::kPfs;
+      loc.dirty = false;  // already persistent
+    }
+    (void)service_->metadata().Update(task.id, loc, node_id_, dev_done,
+                                      nullptr);
+    out.version = loc.version;
+    out.done = dev_done;
+    return out;
+  }
+  if (!st.ok()) {
+    out.status = st;
+    return out;
+  }
+  // Mark dirty and bump the write version.
+  auto loc = service_->metadata().Lookup(task.id, node_id_, dev_done, nullptr);
+  if (loc.ok()) {
+    storage::BlobLocation updated = *loc;
+    updated.dirty = true;
+    out.prev_version = updated.version;
+    ++updated.version;
+    (void)service_->metadata().Update(task.id, updated, node_id_, dev_done,
+                                      nullptr);
+    out.version = updated.version;
+  }
+  out.done = dev_done;
+  return out;
+}
+
+TaskOutcome NodeRuntime::ExecuteScore(MemoryTask& task) {
+  TaskOutcome out;
+  out.done = task.issue_time;
+  bm_.SetScore(task.id, task.score);
+  if (options_.enable_organizer && options_.organize_every > 0) {
+    int n = score_updates_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (n % options_.organize_every == 0) {
+      sim::SimTime done = task.issue_time;
+      bm_.Rebalance(task.issue_time, &done);
+      out.done = done;
+    }
+  }
+  return out;
+}
+
+TaskOutcome NodeRuntime::ExecuteStageOut(MemoryTask& task) {
+  TaskOutcome out;
+  out.done = task.issue_time;
+  VectorMeta* meta = service_->FindVectorById(task.id.vector_id);
+  if (meta == nullptr || meta->stager == nullptr) {
+    out.status = FailedPrecondition("stage-out of volatile/unknown vector");
+    return out;
+  }
+  sim::SimTime read_done = task.issue_time;
+  auto data = bm_.Get(task.id, task.issue_time, &read_done);
+  if (!data.ok()) {
+    // Nothing resident to persist (already staged or never written).
+    return out;
+  }
+  Status eb = service_->EnsureBackend(*meta);
+  if (!eb.ok()) {
+    out.status = eb;
+    return out;
+  }
+  std::uint64_t page_off = task.id.page_idx * meta->page_bytes;
+  std::uint64_t logical = meta->size_bytes.load(std::memory_order_relaxed);
+  if (page_off >= logical) return out;  // page past the logical end
+  std::uint64_t want = std::min<std::uint64_t>(data->size(), logical - page_off);
+  std::vector<std::uint8_t> bytes(data->begin(),
+                                  data->begin() + static_cast<std::ptrdiff_t>(want));
+  Status st = meta->stager->Write(meta->uri, page_off, bytes);
+  if (!st.ok()) {
+    out.status = st;
+    return out;
+  }
+  out.done = service_->cluster().pfs().Write(read_done, want);
+  // Clear the dirty flag.
+  auto loc = service_->metadata().Lookup(task.id, node_id_, out.done, nullptr);
+  if (loc.ok()) {
+    storage::BlobLocation updated = *loc;
+    updated.dirty = false;
+    (void)service_->metadata().Update(task.id, updated, node_id_, out.done,
+                                      nullptr);
+  }
+  return out;
+}
+
+TaskOutcome NodeRuntime::ExecuteErase(MemoryTask& task) {
+  TaskOutcome out;
+  out.done = task.issue_time;
+  (void)bm_.Erase(task.id);  // absent is fine
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Service
+// ---------------------------------------------------------------------------
+
+Service::Service(sim::Cluster* cluster, ServiceOptions options)
+    : cluster_(cluster), options_(std::move(options)) {
+  MM_CHECK_MSG(!options_.tier_grants.empty(),
+               "ServiceOptions.tier_grants must be set");
+  metadata_ = std::make_unique<storage::MetadataManager>(cluster->num_nodes(),
+                                                         &cluster->network());
+  for (std::size_t n = 0; n < cluster->num_nodes(); ++n) {
+    runtimes_.push_back(std::make_unique<NodeRuntime>(this, n, options_,
+                                                      options_.tier_grants));
+    // Reserve the DRAM grant against the node budget so MegaMmap's memory
+    // consumption is bounded and visible (Figs. 6 and 8).
+    for (const auto& grant : options_.tier_grants) {
+      if (grant.kind == sim::TierKind::kDram) {
+        cluster->node(n).AllocateDram(grant.capacity);
+      }
+    }
+  }
+}
+
+Service::~Service() { Shutdown(); }
+
+void Service::Shutdown() {
+  if (shut_down_) return;
+  // Persist every nonvolatile vector before the runtimes die ("during the
+  // termination of the runtime, the stager task will be scheduled").
+  std::vector<VectorMeta*> to_flush;
+  {
+    // Collect outside the lock: stage-out workers call FindVectorById,
+    // which takes vectors_mu_.
+    std::lock_guard<std::mutex> lock(vectors_mu_);
+    for (auto& [key, meta] : vectors_) {
+      if (meta->stager != nullptr && !meta->destroyed.load()) {
+        to_flush.push_back(meta.get());
+      }
+    }
+  }
+  for (VectorMeta* meta : to_flush) {
+    Status st = FlushVector(*meta, 0, 0.0, nullptr);
+    if (!st.ok()) {
+      MM_WARN("service") << "shutdown flush of '" << meta->key
+                         << "' failed: " << st.ToString();
+    }
+  }
+  shut_down_ = true;
+  for (auto& rt : runtimes_) rt->Shutdown();
+  for (std::size_t n = 0; n < runtimes_.size(); ++n) {
+    for (const auto& grant : options_.tier_grants) {
+      if (grant.kind == sim::TierKind::kDram) {
+        cluster_->node(n).FreeDram(grant.capacity);
+      }
+    }
+  }
+}
+
+StatusOr<VectorMeta*> Service::RegisterVector(const std::string& key,
+                                              std::size_t elem_size,
+                                              const VectorOptions& options,
+                                              std::uint64_t initial_elems) {
+  MM_CHECK(elem_size > 0);
+  std::lock_guard<std::mutex> lock(vectors_mu_);
+  auto it = vectors_.find(key);
+  if (it != vectors_.end()) {
+    VectorMeta* meta = it->second.get();
+    if (meta->elem_size != elem_size) {
+      return InvalidArgument("vector '" + key +
+                             "' already registered with a different element "
+                             "size");
+    }
+    return meta;
+  }
+  auto meta = std::make_unique<VectorMeta>();
+  meta->key = key;
+  meta->vector_id = Fnv1a64(key);
+  meta->elem_size = elem_size;
+  meta->options = options;
+  meta->mode.store(options.mode);
+  std::uint64_t elems_per_page = std::max<std::uint64_t>(
+      1, options.page_size / elem_size);
+  meta->page_bytes = elems_per_page * elem_size;
+  if (options.nonvolatile) {
+    MM_ASSIGN_OR_RETURN(auto resolved,
+                        storage::StagerRegistry::Default().Resolve(key));
+    meta->stager = resolved.first;
+    meta->uri = resolved.second;
+    if (meta->stager->Exists(meta->uri)) {
+      MM_ASSIGN_OR_RETURN(std::uint64_t backend_size,
+                          meta->stager->Size(meta->uri));
+      meta->size_bytes.store(backend_size);
+      meta->backend_ready = true;
+    } else {
+      meta->size_bytes.store(initial_elems * elem_size);
+    }
+  } else {
+    meta->size_bytes.store(initial_elems * elem_size);
+  }
+  VectorMeta* raw = meta.get();
+  vectors_by_id_[meta->vector_id] = raw;
+  vectors_[key] = std::move(meta);
+  return raw;
+}
+
+VectorMeta* Service::FindVector(const std::string& key) {
+  std::lock_guard<std::mutex> lock(vectors_mu_);
+  auto it = vectors_.find(key);
+  return it == vectors_.end() ? nullptr : it->second.get();
+}
+
+void Service::SetPgasHint(VectorMeta& meta, VectorMeta::PgasHint hint) {
+  std::lock_guard<std::mutex> lock(meta.hint_mu);
+  meta.pgas_hint = hint;
+}
+
+std::size_t Service::DefaultOwner(VectorMeta& meta,
+                                  const storage::BlobId& id) {
+  std::optional<VectorMeta::PgasHint> hint;
+  {
+    std::lock_guard<std::mutex> lock(meta.hint_mu);
+    hint = meta.pgas_hint;
+  }
+  if (!hint.has_value() || hint->n_elems == 0 || hint->nprocs <= 0) {
+    return metadata().HomeNode(id);
+  }
+  // Rank owning the page's first element under the balanced partition of
+  // n elements over p ranks captured when the hint was set.
+  std::uint64_t elem = id.page_idx * meta.elems_per_page();
+  if (elem >= hint->n_elems) return metadata().HomeNode(id);
+  std::uint64_t n = hint->n_elems, p = hint->nprocs;
+  std::uint64_t base = n / p, rem = n % p;
+  std::uint64_t rank;
+  if (elem < rem * (base + 1)) {
+    rank = elem / (base + 1);
+  } else {
+    rank = rem + (base > 0 ? (elem - rem * (base + 1)) / base : 0);
+  }
+  std::size_t node = static_cast<std::size_t>(rank) /
+                     static_cast<std::size_t>(hint->ranks_per_node);
+  return std::min(node, num_nodes() - 1);
+}
+
+VectorMeta* Service::FindVectorById(std::uint64_t vector_id) {
+  std::lock_guard<std::mutex> lock(vectors_mu_);
+  auto it = vectors_by_id_.find(vector_id);
+  return it == vectors_by_id_.end() ? nullptr : it->second;
+}
+
+Status Service::EnsureBackend(VectorMeta& meta) {
+  if (meta.stager == nullptr) {
+    return FailedPrecondition("vector '" + meta.key + "' is volatile");
+  }
+  std::lock_guard<std::mutex> lock(meta.backend_mu);
+  if (meta.backend_ready) return Status::Ok();
+  std::uint64_t size = meta.size_bytes.load(std::memory_order_relaxed);
+  if (!meta.stager->Exists(meta.uri)) {
+    MM_RETURN_IF_ERROR(meta.stager->Create(meta.uri, size));
+  }
+  meta.backend_ready = true;
+  return Status::Ok();
+}
+
+std::uint64_t Service::PageVersion(VectorMeta& meta, std::uint64_t page,
+                                   std::size_t from_node, sim::SimTime now,
+                                   sim::SimTime* done) {
+  storage::BlobId id{meta.vector_id, page};
+  sim::SimTime t = now;
+  auto loc = metadata().Lookup(id, from_node, now, &t);
+  Merge(t, done);
+  return loc.ok() ? loc->version : 0;
+}
+
+StatusOr<std::vector<std::uint8_t>> Service::ReadPage(VectorMeta& meta,
+                                                      std::uint64_t page,
+                                                      std::size_t from_node,
+                                                      sim::SimTime now,
+                                                      sim::SimTime* done,
+                                                      std::uint64_t* version) {
+  storage::BlobId id{meta.vector_id, page};
+  CoherenceMode mode = meta.mode.load(std::memory_order_relaxed);
+
+  // Fast path: the blob (or a replica) is already on this node.
+  if (runtime(from_node).buffer().FindBlob(id).has_value()) {
+    sim::SimTime local_done = now;
+    auto local = runtime(from_node).buffer().Get(id, now, &local_done);
+    if (local.ok()) {
+      if (version != nullptr) {
+        auto cur = metadata().Lookup(id, from_node, local_done, &local_done);
+        *version = cur.ok() ? cur->version : 0;
+      }
+      Merge(local_done, done);
+      return local;
+    }
+  }
+
+  // Locate the source: a replica under read-only replication, the primary
+  // owner, or (for unplaced pages) the deterministic default owner — which
+  // every rank computes identically, so concurrent first-touches of one
+  // page can never materialize it on two nodes (split-brain).
+  sim::SimTime t = now;
+  std::size_t owner = ChooseReadSource(meta, id, from_node, now, &t);
+
+  // Concurrent faults for the same blob on this node share one fetch.
+  InflightKey key{from_node, id};
+  std::shared_future<TaskOutcome> fetch;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    auto it = inflight_.find(key);
+    if (it != inflight_.end()) {
+      fetch = it->second;
+    } else {
+      leader = true;
+      MemoryTask task;
+      task.kind = MemoryTask::Kind::kGetPage;
+      task.vector_id = meta.vector_id;
+      task.id = id;
+      task.size = meta.page_bytes;
+      task.from_node = from_node;
+      task.promise = std::make_shared<std::promise<TaskOutcome>>();
+      if (owner == from_node) {
+        task.issue_time = t;
+      } else {
+        auto req = cluster().network().Transfer(t, from_node, owner,
+                                                kControlBytes);
+        task.issue_time = req.delivered;
+      }
+      fetch = task.promise->get_future().share();
+      inflight_[key] = fetch;
+      runtime(owner).Submit(std::move(task));
+    }
+  }
+  TaskOutcome outcome = fetch.get();
+  if (leader) {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    inflight_.erase(key);
+  }
+  if (!outcome.status.ok()) {
+    Merge(outcome.done, done);
+    return outcome.status;
+  }
+  if (version != nullptr) *version = outcome.version;
+  sim::SimTime complete = outcome.done;
+  if (owner != from_node) {
+    auto rsp = cluster().network().Transfer(outcome.done, owner, from_node,
+                                            outcome.data.size());
+    complete = rsp.delivered;
+    if (leader) MaybeReplicate(meta, page, outcome.data, from_node, complete);
+  }
+  Merge(complete, done);
+  return std::move(outcome.data);
+}
+
+/// Picks where to serve a page read from: a node-local copy when present,
+/// a replica (spread by digest) under read-only replication, the primary
+/// owner otherwise, or the deterministic default for unplaced pages.
+std::size_t Service::ChooseReadSource(VectorMeta& meta,
+                                      const storage::BlobId& id,
+                                      std::size_t from_node, sim::SimTime now,
+                                      sim::SimTime* done) {
+  if (runtime(from_node).buffer().FindBlob(id).has_value()) return from_node;
+  std::size_t owner = DefaultOwner(meta, id);
+  auto loc = metadata().Lookup(id, from_node, now, done);
+  if (!loc.ok()) return owner;
+  owner = loc->node;
+  if (AllowsReplication(meta.mode.load(std::memory_order_relaxed))) {
+    auto replicas = metadata().Replicas(id, from_node, now, nullptr);
+    if (!replicas.empty()) {
+      for (std::size_t r : replicas) {
+        if (r == from_node) return from_node;
+      }
+      std::vector<std::size_t> candidates = {owner};
+      candidates.insert(candidates.end(), replicas.begin(), replicas.end());
+      owner = candidates[(id.Digest() ^ from_node) % candidates.size()];
+    }
+  }
+  return owner;
+}
+
+void Service::MaybeReplicate(VectorMeta& meta, std::uint64_t page,
+                             const std::vector<std::uint8_t>& data,
+                             std::size_t from_node, sim::SimTime now) {
+  if (!AllowsReplication(meta.mode.load(std::memory_order_relaxed))) return;
+  storage::BlobId id{meta.vector_id, page};
+  if (runtime(from_node).buffer().FindBlob(id).has_value()) return;
+  sim::SimTime put_done = now;
+  auto tier = runtime(from_node).buffer().PutScored(id, data, /*score=*/1.0f,
+                                                    now, &put_done);
+  if (tier.ok()) {
+    (void)metadata().AddReplica(id, from_node, from_node, now, nullptr);
+  }
+}
+
+Service::AsyncRead Service::ReadPageAsync(VectorMeta& meta,
+                                          std::uint64_t page,
+                                          std::size_t from_node,
+                                          sim::SimTime now) {
+  storage::BlobId id{meta.vector_id, page};
+  std::size_t owner = ChooseReadSource(meta, id, from_node, now, nullptr);
+  MemoryTask task;
+  task.kind = MemoryTask::Kind::kGetPage;
+  task.vector_id = meta.vector_id;
+  task.id = id;
+  task.size = meta.page_bytes;
+  task.from_node = from_node;
+  task.promise = std::make_shared<std::promise<TaskOutcome>>();
+  if (owner == from_node) {
+    task.issue_time = now;
+  } else {
+    auto req = cluster().network().Transfer(now, from_node, owner,
+                                            kControlBytes);
+    task.issue_time = req.delivered;
+  }
+  AsyncRead result{task.promise->get_future().share(), owner};
+  runtime(owner).Submit(std::move(task));
+  return result;
+}
+
+double Service::EstimateReadSeconds(VectorMeta& meta, std::uint64_t page,
+                                    std::uint64_t bytes) {
+  storage::BlobId id{meta.vector_id, page};
+  auto loc = metadata().Lookup(id, 0, 0.0, nullptr);
+  if (!loc.ok()) {
+    // Never placed: a fault would stage in from the backend.
+    return cluster().pfs().ReadDuration(bytes);
+  }
+  double dev = runtime(loc->node).buffer().EstimateReadSeconds(id, bytes);
+  return dev;
+}
+
+std::shared_future<TaskOutcome> Service::WriteRegion(
+    VectorMeta& meta, std::uint64_t page, std::uint64_t offset,
+    std::vector<std::uint8_t> bytes, std::size_t from_node, sim::SimTime now) {
+  storage::BlobId id{meta.vector_id, page};
+  // Writes are routed to the page's owner. Unplaced pages go to the blob's
+  // deterministic home node so concurrent first-writes serialize on one
+  // worker (two producers choosing themselves would fork the page). The
+  // Data Organizer can migrate the page toward its writer afterwards
+  // (Fig. 3's locality is restored by score locality hints). The lookup is
+  // part of the async path, so its cost lands on the network model, not on
+  // the caller's clock.
+  std::size_t owner = DefaultOwner(meta, id);
+  auto loc = metadata().Lookup(id, from_node, now, nullptr);
+  if (loc.ok()) owner = loc->node;
+
+  MemoryTask task;
+  task.kind = MemoryTask::Kind::kWritePartial;
+  task.vector_id = meta.vector_id;
+  task.id = id;
+  task.offset = offset;
+  task.data = std::move(bytes);
+  task.from_node = from_node;
+  task.promise = std::make_shared<std::promise<TaskOutcome>>();
+  if (owner == from_node) {
+    task.issue_time = now;
+  } else {
+    auto xfer =
+        cluster().network().Transfer(now, from_node, owner, task.data.size());
+    task.issue_time = xfer.delivered;
+  }
+  auto future = task.promise->get_future().share();
+  runtime(owner).Submit(std::move(task));
+  return future;
+}
+
+void Service::SubmitScore(VectorMeta& meta, std::uint64_t page, float score,
+                          std::size_t from_node, sim::SimTime now) {
+  if (!options_.enable_organizer) return;
+  storage::BlobId id{meta.vector_id, page};
+  auto loc = metadata().Lookup(id, from_node, now, nullptr);
+  if (!loc.ok()) return;  // nothing placed yet; nothing to organize
+  MemoryTask task;
+  task.kind = MemoryTask::Kind::kScore;
+  task.vector_id = meta.vector_id;
+  task.id = id;
+  task.score = score;
+  task.from_node = from_node;
+  task.issue_time = now;
+  runtime(loc->node).Submit(std::move(task));
+}
+
+Status Service::FlushVector(VectorMeta& meta, std::size_t from_node,
+                            sim::SimTime now, sim::SimTime* done) {
+  if (meta.stager == nullptr) return Status::Ok();  // volatile: no backend
+  MM_RETURN_IF_ERROR(EnsureBackend(meta));
+  auto blobs = metadata().BlobsOfVector(meta.vector_id);
+  std::vector<std::shared_future<TaskOutcome>> futures;
+  for (const auto& id : blobs) {
+    auto loc = metadata().Lookup(id, from_node, now, nullptr);
+    if (!loc.ok() || !loc->dirty) continue;
+    MemoryTask task;
+    task.kind = MemoryTask::Kind::kStageOut;
+    task.vector_id = meta.vector_id;
+    task.id = id;
+    task.from_node = from_node;
+    task.issue_time = now;
+    task.promise = std::make_shared<std::promise<TaskOutcome>>();
+    futures.push_back(task.promise->get_future().share());
+    runtime(loc->node).Submit(std::move(task));
+  }
+  Status first_error;
+  for (auto& f : futures) {
+    TaskOutcome outcome = f.get();
+    Merge(outcome.done, done);
+    if (!outcome.status.ok() && first_error.ok()) {
+      first_error = outcome.status;
+    }
+  }
+  return first_error;
+}
+
+Status Service::ChangePhase(VectorMeta& meta, CoherenceMode new_mode,
+                            std::size_t from_node, sim::SimTime now,
+                            sim::SimTime* done) {
+  CoherenceMode old_mode = meta.mode.exchange(new_mode);
+  if (AllowsReplication(old_mode) && !AllowsReplication(new_mode)) {
+    // Leaving read-only: all replicas produced during reads are invalidated
+    // (paper §III-C "Changing Phases").
+    for (const auto& id : metadata().BlobsOfVector(meta.vector_id)) {
+      sim::SimTime inval_done = now;
+      auto dropped =
+          metadata().InvalidateReplicas(id, from_node, now, &inval_done);
+      Merge(inval_done, done);
+      for (std::size_t node : dropped) {
+        MemoryTask task;
+        task.kind = MemoryTask::Kind::kErase;
+        task.vector_id = meta.vector_id;
+        task.id = id;
+        task.from_node = from_node;
+        task.issue_time = inval_done;
+        runtime(node).Submit(std::move(task));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status Service::DestroyVector(VectorMeta& meta, bool remove_backend) {
+  bool expected = false;
+  if (!meta.destroyed.compare_exchange_strong(expected, true)) {
+    return Status::Ok();  // idempotent
+  }
+  for (const auto& id : metadata().BlobsOfVector(meta.vector_id)) {
+    auto loc = metadata().Lookup(id, 0, 0.0, nullptr);
+    if (loc.ok()) {
+      (void)runtime(loc->node).buffer().Erase(id);
+      for (std::size_t node : metadata().Replicas(id, 0, 0.0, nullptr)) {
+        (void)runtime(node).buffer().Erase(id);
+      }
+    }
+    (void)metadata().Remove(id, 0, 0.0, nullptr);
+  }
+  if (remove_backend && meta.stager != nullptr &&
+      meta.stager->Exists(meta.uri)) {
+    MM_RETURN_IF_ERROR(meta.stager->Remove(meta.uri));
+  }
+  return Status::Ok();
+}
+
+std::uint64_t Service::ScacheDramUsed() const {
+  std::uint64_t total = 0;
+  for (const auto& rt : runtimes_) {
+    auto& bm = const_cast<NodeRuntime&>(*rt).buffer();
+    for (std::size_t t = 0; t < bm.num_tiers(); ++t) {
+      if (bm.tier(t).kind() == sim::TierKind::kDram) {
+        total += bm.tier(t).used();
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace mm::core

@@ -1,0 +1,57 @@
+#include "mm/core/transaction.h"
+
+#include <algorithm>
+#include <map>
+
+namespace mm::core {
+
+std::vector<PageRegion> Transaction::GetPages(std::size_t pos,
+                                              std::size_t count) const {
+  // Generic path: walk each access, merge per-page byte ranges. Regions are
+  // coalesced per page as [min_off, max_off) bounding ranges, which is what
+  // the prefetcher and partial-paging machinery need.
+  std::size_t end = std::min(pos + count, TotalAccesses());
+  std::map<std::size_t, std::pair<std::size_t, std::size_t>> per_page;
+  for (std::size_t p = pos; p < end; ++p) {
+    std::size_t elem = ElementAt(p);
+    std::size_t page = elem / elems_per_page_;
+    std::size_t off = (elem % elems_per_page_) * elem_size_;
+    auto [it, inserted] =
+        per_page.try_emplace(page, off, off + elem_size_);
+    if (!inserted) {
+      it->second.first = std::min(it->second.first, off);
+      it->second.second = std::max(it->second.second, off + elem_size_);
+    }
+  }
+  std::vector<PageRegion> out;
+  out.reserve(per_page.size());
+  for (const auto& [page, range] : per_page) {
+    out.push_back(PageRegion{page, range.first, range.second - range.first,
+                             writes()});
+  }
+  return out;
+}
+
+std::vector<PageRegion> SeqTx::GetPages(std::size_t pos,
+                                        std::size_t count) const {
+  // Closed form: a contiguous element range maps to a run of pages with
+  // partial first/last regions.
+  std::size_t end_pos = std::min(pos + count, count_);
+  if (pos >= end_pos) return {};
+  std::size_t first_elem = begin_elem_ + pos;
+  std::size_t last_elem = begin_elem_ + end_pos - 1;
+  std::size_t first_page = first_elem / elems_per_page_;
+  std::size_t last_page = last_elem / elems_per_page_;
+  std::vector<PageRegion> out;
+  out.reserve(last_page - first_page + 1);
+  for (std::size_t page = first_page; page <= last_page; ++page) {
+    std::size_t page_first = page * elems_per_page_;
+    std::size_t lo = std::max(first_elem, page_first);
+    std::size_t hi = std::min(last_elem, page_first + elems_per_page_ - 1);
+    out.push_back(PageRegion{page, (lo - page_first) * elem_size_,
+                             (hi - lo + 1) * elem_size_, writes()});
+  }
+  return out;
+}
+
+}  // namespace mm::core

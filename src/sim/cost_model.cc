@@ -1,0 +1,15 @@
+#include "mm/sim/cost_model.h"
+
+namespace mm::sim {
+
+const CostModel& CostModel::Default() {
+  static const CostModel model;
+  return model;
+}
+
+double DollarsForCapacity(const DeviceSpec& spec,
+                          std::uint64_t bytes_granted) {
+  return spec.dollars_per_gb * static_cast<double>(bytes_granted) / 1e9;
+}
+
+}  // namespace mm::sim

@@ -1,0 +1,82 @@
+#include "mm/sim/network.h"
+
+#include <memory>
+
+namespace mm::sim {
+
+NetworkSpec NetworkSpec::Roce40() {
+  return NetworkSpec{/*latency_s=*/2e-6, /*bandwidth_Bps=*/5e9};
+}
+
+NetworkSpec NetworkSpec::Tcp10() {
+  return NetworkSpec{/*latency_s=*/50e-6, /*bandwidth_Bps=*/1.1e9};
+}
+
+NetworkSpec NetworkSpec::Loopback() {
+  return NetworkSpec{/*latency_s=*/200e-9, /*bandwidth_Bps=*/20e9};
+}
+
+Network::Network(std::size_t num_nodes, NetworkSpec spec)
+    : spec_(spec), loopback_(NetworkSpec::Loopback()) {
+  nics_.reserve(num_nodes);
+  for (std::size_t i = 0; i < num_nodes; ++i) {
+    nics_.push_back(std::make_unique<Nic>());
+  }
+}
+
+BusyChannel& Network::Nic::LeastBusy() {
+  std::size_t best = 0;
+  SimTime best_t = lanes[0].busy_until();
+  for (std::size_t i = 1; i < kNicLanes; ++i) {
+    SimTime t = lanes[i].busy_until();
+    if (t < best_t) {
+      best_t = t;
+      best = i;
+    }
+  }
+  return lanes[best];
+}
+
+Network::TransferResult Network::Transfer(SimTime now, std::size_t src,
+                                          std::size_t dst,
+                                          std::uint64_t bytes) {
+  MM_CHECK(src < nics_.size() && dst < nics_.size());
+  total_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  total_messages_.fetch_add(1, std::memory_order_relaxed);
+  const NetworkSpec& link = (src == dst) ? loopback_ : spec_;
+  double wire = static_cast<double>(bytes) / link.bandwidth_Bps;
+  // Small control messages do not meaningfully occupy a multi-GB/s link;
+  // reserving lanes for them lets clock skew between ranks masquerade as
+  // queueing (a conservatism artifact of the shared high-water channels).
+  if (bytes <= kControlCutoff) {
+    return {now + wire, now + link.latency_s + wire};
+  }
+  if (src == dst) {
+    // Intra-node: a single memory-channel reservation.
+    SimTime done = nics_[src]->LeastBusy().Reserve(now, link.latency_s + wire);
+    return {done, done};
+  }
+  // Egress serialization on the sender NIC, then propagation, then ingress
+  // serialization on the receiver NIC.
+  SimTime sent = nics_[src]->LeastBusy().Reserve(now, wire);
+  SimTime arrive_start = sent + link.latency_s - wire;
+  SimTime delivered = nics_[dst]->LeastBusy().Reserve(
+      arrive_start > now ? arrive_start : now, wire);
+  return {sent, delivered};
+}
+
+double Network::TransferDuration(std::size_t src, std::size_t dst,
+                                 std::uint64_t bytes) const {
+  const NetworkSpec& link = (src == dst) ? loopback_ : spec_;
+  return link.latency_s + static_cast<double>(bytes) / link.bandwidth_Bps;
+}
+
+void Network::ResetStats() {
+  total_bytes_.store(0);
+  total_messages_.store(0);
+  for (auto& nic : nics_) {
+    for (auto& lane : nic->lanes) lane.Reset();
+  }
+}
+
+}  // namespace mm::sim

@@ -1,0 +1,211 @@
+#include "mm/storage/buffer_manager.h"
+
+#include <algorithm>
+
+namespace mm::storage {
+
+namespace {
+void MergeDone(sim::SimTime end, sim::SimTime* done) {
+  if (done != nullptr) *done = std::max(*done, end);
+}
+}  // namespace
+
+BufferManager::BufferManager(sim::Node* node,
+                             const std::vector<TierGrant>& grants) {
+  for (const TierGrant& grant : grants) {
+    sim::Device* dev = node->FindTier(grant.kind);
+    MM_CHECK_MSG(dev != nullptr, "node lacks granted tier");
+    MM_CHECK_MSG(grant.capacity <= dev->spec().capacity_bytes,
+                 "grant exceeds device capacity");
+    tiers_.push_back(std::make_unique<TierStore>(dev, grant.capacity));
+  }
+  // Fastest-first ordering is required by the placement loops.
+  for (std::size_t i = 1; i < tiers_.size(); ++i) {
+    MM_CHECK_MSG(static_cast<int>(tiers_[i]->kind()) >
+                     static_cast<int>(tiers_[i - 1]->kind()),
+                 "tier grants must be sorted fastest-first");
+  }
+}
+
+std::uint64_t BufferManager::used() const {
+  std::uint64_t total = 0;
+  for (const auto& t : tiers_) total += t->used();
+  return total;
+}
+
+std::uint64_t BufferManager::capacity() const {
+  std::uint64_t total = 0;
+  for (const auto& t : tiers_) total += t->capacity();
+  return total;
+}
+
+StatusOr<std::size_t> BufferManager::PutScored(const BlobId& id,
+                                               std::vector<std::uint8_t> data,
+                                               float score, sim::SimTime now,
+                                               sim::SimTime* done) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Drop any stale copy so capacity accounting stays exact.
+  for (auto& t : tiers_) {
+    if (t->Contains(id)) {
+      (void)t->Erase(id);
+      break;
+    }
+  }
+  scores_[id] = score;
+  std::uint64_t size = data.size();
+  for (std::size_t t = 0; t < tiers_.size(); ++t) {
+    if (tiers_[t]->free_bytes() < size &&
+        !MakeRoom(t, size, score, /*allow_ties=*/false, now, done)) {
+      continue;  // this tier is pinned full of higher-priority data
+    }
+    Status st = tiers_[t]->Put(id, std::move(data), now, done);
+    if (st.ok()) return t;
+    // Put can only fail for capacity here; try the next tier down.
+    MM_CHECK(st.code() == StatusCode::kResourceExhausted);
+    return st;  // MakeRoom said there was room but Put failed: impossible
+  }
+  scores_.erase(id);
+  return ResourceExhausted("scache full on this node for blob " +
+                           id.ToString());
+}
+
+Status BufferManager::PutPartial(const BlobId& id, std::uint64_t offset,
+                                 const std::vector<std::uint8_t>& data,
+                                 sim::SimTime now, sim::SimTime* done) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& t : tiers_) {
+    if (t->Contains(id)) return t->PutPartial(id, offset, data, now, done);
+  }
+  return NotFound("blob " + id.ToString() + " not resident");
+}
+
+StatusOr<std::vector<std::uint8_t>> BufferManager::Get(const BlobId& id,
+                                                       sim::SimTime now,
+                                                       sim::SimTime* done) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& t : tiers_) {
+    if (t->Contains(id)) return t->Get(id, now, done);
+  }
+  return NotFound("blob " + id.ToString() + " not resident");
+}
+
+StatusOr<std::vector<std::uint8_t>> BufferManager::GetPartial(
+    const BlobId& id, std::uint64_t offset, std::uint64_t size,
+    sim::SimTime now, sim::SimTime* done) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& t : tiers_) {
+    if (t->Contains(id)) return t->GetPartial(id, offset, size, now, done);
+  }
+  return NotFound("blob " + id.ToString() + " not resident");
+}
+
+std::optional<std::size_t> BufferManager::FindBlob(const BlobId& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t t = 0; t < tiers_.size(); ++t) {
+    if (tiers_[t]->Contains(id)) return t;
+  }
+  return std::nullopt;
+}
+
+Status BufferManager::Erase(const BlobId& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  scores_.erase(id);
+  for (auto& t : tiers_) {
+    if (t->Contains(id)) return t->Erase(id);
+  }
+  return NotFound("blob " + id.ToString() + " not resident");
+}
+
+void BufferManager::SetScore(const BlobId& id, float score) {
+  std::lock_guard<std::mutex> lock(mu_);
+  scores_[id] = score;
+}
+
+float BufferManager::GetScore(const BlobId& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = scores_.find(id);
+  return it == scores_.end() ? 0.0f : it->second;
+}
+
+Status BufferManager::Move(const BlobId& id, std::size_t from, std::size_t to,
+                           sim::SimTime now, sim::SimTime* done) {
+  sim::SimTime read_done = now;
+  auto data = tiers_[from]->Get(id, now, &read_done);
+  MM_RETURN_IF_ERROR(data.status());
+  MM_RETURN_IF_ERROR(tiers_[to]->Put(id, std::move(data).value(), read_done, done));
+  MergeDone(read_done, done);
+  return tiers_[from]->Erase(id);
+}
+
+bool BufferManager::MakeRoom(std::size_t t, std::uint64_t needed,
+                             float incoming_score, bool allow_ties,
+                             sim::SimTime now, sim::SimTime* done) {
+  if (tiers_[t]->capacity() < needed) return false;
+  if (t + 1 >= tiers_.size()) {
+    // Lowest tier: nothing to demote into. Room only if eviction targets
+    // exist is a caller concern (stage-out); report failure here.
+    return tiers_[t]->free_bytes() >= needed;
+  }
+  // Candidate victims: resident blobs scoring below the incoming page,
+  // lowest score first.
+  std::vector<std::pair<float, BlobId>> victims;
+  for (const BlobId& id : tiers_[t]->ListBlobs()) {
+    auto it = scores_.find(id);
+    float s = it == scores_.end() ? 0.0f : it->second;
+    if (s < incoming_score || (allow_ties && s <= incoming_score)) {
+      victims.emplace_back(s, id);
+    }
+  }
+  std::sort(victims.begin(), victims.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [score, id] : victims) {
+    if (tiers_[t]->free_bytes() >= needed) break;
+    std::uint64_t size = tiers_[t]->BlobSize(id);
+    // Ensure the next tier can take it (recursively making room there).
+    if (tiers_[t + 1]->free_bytes() < size &&
+        !MakeRoom(t + 1, size, score, /*allow_ties=*/true, now, done)) {
+      continue;
+    }
+    if (!Move(id, t, t + 1, now, done).ok()) continue;
+  }
+  return tiers_[t]->free_bytes() >= needed;
+}
+
+int BufferManager::Rebalance(sim::SimTime now, sim::SimTime* done) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int moved = 0;
+  // Promote pass: walk slower tiers and pull the highest-scoring blobs into
+  // any free space above them.
+  for (std::size_t t = tiers_.size(); t-- > 1;) {
+    std::vector<std::pair<float, BlobId>> candidates;
+    for (const BlobId& id : tiers_[t]->ListBlobs()) {
+      auto it = scores_.find(id);
+      float s = it == scores_.end() ? 0.0f : it->second;
+      if (s > 0.0f) candidates.emplace_back(s, id);
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    for (const auto& [score, id] : candidates) {
+      std::uint64_t size = tiers_[t]->BlobSize(id);
+      // Find the fastest tier with room.
+      for (std::size_t up = 0; up < t; ++up) {
+        if (tiers_[up]->free_bytes() >= size) {
+          if (Move(id, t, up, now, done).ok()) ++moved;
+          break;
+        }
+      }
+    }
+  }
+  return moved;
+}
+
+double BufferManager::EstimateReadSeconds(const BlobId& id,
+                                          std::uint64_t bytes) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& t : tiers_) {
+    if (t->Contains(id)) return t->device().ReadDuration(bytes);
+  }
+  return tiers_.back()->device().ReadDuration(bytes);
+}
+
+}  // namespace mm::storage

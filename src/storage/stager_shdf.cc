@@ -1,0 +1,219 @@
+// "SHDF": a real, minimal HDF5-like single-file container. One file holds
+// multiple named datasets (the URL fragment names the dataset, mirroring
+// "hdf5:///path/to/df.h5:mygroup" from the paper). Layout:
+//
+//   [magic "SHDF0001" (8B)] [index_offset u64] [index_count u64]
+//   <data region: datasets stored contiguously>
+//   <index at index_offset: per entry {name_len u32, name bytes,
+//                                      offset u64, size u64}>
+//
+// Datasets are fixed-size once created (like an HDF5 dataspace); creating a
+// new dataset appends its extent to the data region and rewrites the index
+// at the new end of file.
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+
+#include "mm/storage/stager.h"
+
+namespace mm::storage {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'H', 'D', 'F', '0', '0', '0', '1'};
+constexpr std::uint64_t kHeaderSize = 8 + 8 + 8;
+
+struct IndexEntry {
+  std::string name;
+  std::uint64_t offset;
+  std::uint64_t size;
+};
+
+struct Container {
+  std::vector<IndexEntry> entries;
+  std::uint64_t data_end = kHeaderSize;  // first byte past the data region
+
+  const IndexEntry* Find(const std::string& name) const {
+    for (const auto& e : entries) {
+      if (e.name == name) return &e;
+    }
+    return nullptr;
+  }
+};
+
+Status LoadContainer(const std::string& path, Container* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return NotFound("no such container: " + path);
+  char magic[8];
+  std::uint64_t index_offset = 0, index_count = 0;
+  in.read(magic, 8);
+  in.read(reinterpret_cast<char*>(&index_offset), 8);
+  in.read(reinterpret_cast<char*>(&index_count), 8);
+  if (!in || std::memcmp(magic, kMagic, 8) != 0) {
+    return InvalidArgument("not an SHDF container: " + path);
+  }
+  in.seekg(static_cast<std::streamoff>(index_offset));
+  out->entries.clear();
+  out->data_end = index_offset;
+  for (std::uint64_t i = 0; i < index_count; ++i) {
+    std::uint32_t name_len = 0;
+    in.read(reinterpret_cast<char*>(&name_len), 4);
+    if (!in || name_len > 4096) return IoError("corrupt SHDF index: " + path);
+    IndexEntry entry;
+    entry.name.resize(name_len);
+    in.read(entry.name.data(), name_len);
+    in.read(reinterpret_cast<char*>(&entry.offset), 8);
+    in.read(reinterpret_cast<char*>(&entry.size), 8);
+    if (!in) return IoError("corrupt SHDF index: " + path);
+    out->entries.push_back(std::move(entry));
+  }
+  return Status::Ok();
+}
+
+Status SaveIndex(const std::string& path, const Container& c) {
+  std::fstream out(path, std::ios::binary | std::ios::in | std::ios::out);
+  if (!out) return IoError("cannot open container: " + path);
+  std::uint64_t index_offset = c.data_end;
+  std::uint64_t index_count = c.entries.size();
+  out.seekp(0);
+  out.write(kMagic, 8);
+  out.write(reinterpret_cast<const char*>(&index_offset), 8);
+  out.write(reinterpret_cast<const char*>(&index_count), 8);
+  out.seekp(static_cast<std::streamoff>(index_offset));
+  for (const auto& e : c.entries) {
+    std::uint32_t name_len = static_cast<std::uint32_t>(e.name.size());
+    out.write(reinterpret_cast<const char*>(&name_len), 4);
+    out.write(e.name.data(), name_len);
+    out.write(reinterpret_cast<const char*>(&e.offset), 8);
+    out.write(reinterpret_cast<const char*>(&e.size), 8);
+  }
+  if (!out) return IoError("cannot write SHDF index: " + path);
+  return Status::Ok();
+}
+
+class ShdfStager final : public Stager {
+ public:
+  StatusOr<std::uint64_t> Size(const Uri& uri) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    Container c;
+    MM_RETURN_IF_ERROR(LoadContainer(uri.path, &c));
+    const IndexEntry* e = c.Find(DatasetName(uri));
+    if (e == nullptr) {
+      return NotFound("no dataset '" + DatasetName(uri) + "' in " + uri.path);
+    }
+    return e->size;
+  }
+
+  Status Create(const Uri& uri, std::uint64_t size) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    Container c;
+    if (!std::filesystem::exists(uri.path)) {
+      std::error_code ec;
+      auto parent = std::filesystem::path(uri.path).parent_path();
+      if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+      std::ofstream out(uri.path, std::ios::binary | std::ios::trunc);
+      if (!out) return IoError("cannot create container: " + uri.path);
+      // Empty container header.
+      std::uint64_t zero = kHeaderSize, count = 0;
+      out.write(kMagic, 8);
+      out.write(reinterpret_cast<const char*>(&zero), 8);
+      out.write(reinterpret_cast<const char*>(&count), 8);
+    }
+    MM_RETURN_IF_ERROR(LoadContainer(uri.path, &c));
+    std::string name = DatasetName(uri);
+    if (c.Find(name) != nullptr) {
+      return AlreadyExists("dataset '" + name + "' already in " + uri.path);
+    }
+    IndexEntry entry{name, c.data_end, size};
+    c.entries.push_back(entry);
+    c.data_end += size;
+    // Extend the file so the new extent is addressable (zero-filled).
+    std::error_code ec;
+    std::filesystem::resize_file(uri.path, c.data_end, ec);
+    if (ec) return IoError("cannot extend container: " + uri.path);
+    return SaveIndex(uri.path, c);
+  }
+
+  Status Read(const Uri& uri, std::uint64_t offset, std::uint64_t size,
+              std::vector<std::uint8_t>* out) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    Container c;
+    MM_RETURN_IF_ERROR(LoadContainer(uri.path, &c));
+    const IndexEntry* e = c.Find(DatasetName(uri));
+    if (e == nullptr) {
+      return NotFound("no dataset '" + DatasetName(uri) + "' in " + uri.path);
+    }
+    if (offset + size > e->size) {
+      return OutOfRange("read past end of dataset '" + e->name + "'");
+    }
+    std::ifstream in(uri.path, std::ios::binary);
+    in.seekg(static_cast<std::streamoff>(e->offset + offset));
+    out->resize(size);
+    in.read(reinterpret_cast<char*>(out->data()),
+            static_cast<std::streamsize>(size));
+    if (in.gcount() != static_cast<std::streamsize>(size)) {
+      return IoError("short read from container: " + uri.path);
+    }
+    return Status::Ok();
+  }
+
+  Status Write(const Uri& uri, std::uint64_t offset,
+               const std::vector<std::uint8_t>& data) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    Container c;
+    MM_RETURN_IF_ERROR(LoadContainer(uri.path, &c));
+    const IndexEntry* e = c.Find(DatasetName(uri));
+    if (e == nullptr) {
+      return NotFound("no dataset '" + DatasetName(uri) + "' in " + uri.path);
+    }
+    if (offset + data.size() > e->size) {
+      return OutOfRange("write past end of dataset '" + e->name + "'");
+    }
+    std::fstream out(uri.path, std::ios::binary | std::ios::in | std::ios::out);
+    if (!out) return IoError("cannot open container: " + uri.path);
+    out.seekp(static_cast<std::streamoff>(e->offset + offset));
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size()));
+    if (!out) return IoError("short write to container: " + uri.path);
+    return Status::Ok();
+  }
+
+  bool Exists(const Uri& uri) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    Container c;
+    if (!LoadContainer(uri.path, &c).ok()) return false;
+    return c.Find(DatasetName(uri)) != nullptr;
+  }
+
+  Status Remove(const Uri& uri) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    Container c;
+    MM_RETURN_IF_ERROR(LoadContainer(uri.path, &c));
+    std::string name = DatasetName(uri);
+    for (auto it = c.entries.begin(); it != c.entries.end(); ++it) {
+      if (it->name == name) {
+        // Space is not compacted (like HDF5 without h5repack); the entry
+        // simply disappears from the index.
+        c.entries.erase(it);
+        return SaveIndex(uri.path, c);
+      }
+    }
+    return NotFound("no dataset '" + name + "' in " + uri.path);
+  }
+
+ private:
+  static std::string DatasetName(const Uri& uri) {
+    return uri.fragment.empty() ? "default" : uri.fragment;
+  }
+
+  std::mutex mu_;  // index read-modify-write cycles must not interleave
+};
+
+}  // namespace
+
+std::unique_ptr<Stager> MakeShdfStager() {
+  return std::make_unique<ShdfStager>();
+}
+
+}  // namespace mm::storage

@@ -1,0 +1,219 @@
+// "SPAR": a real, minimal parquet-like columnar format. Rows are tuples of
+// float32 columns; on disk, rows are batched into row groups and each group
+// stores its columns contiguously (column-major), as parquet does. The
+// stager transposes between the application's row-major byte stream and the
+// columnar file layout on every read/write — exercising the same
+// (de)serialization code path the paper's parquet stager performs.
+//
+// The URL fragment carries the schema, e.g. "f4x3" = 3 float32 columns
+// (12-byte rows). Default is "f4x1". Layout:
+//
+//   [magic "SPAR0001"] [ncols u32] [rows_per_group u32] [nrows u64]
+//   <row groups back to back; group g holds rows [g*R, min((g+1)*R, nrows))
+//    as ncols column chunks of (rows_in_group * 4) bytes each>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "mm/storage/stager.h"
+
+namespace mm::storage {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'P', 'A', 'R', '0', '0', '0', '1'};
+constexpr std::uint64_t kHeaderSize = 8 + 4 + 4 + 8;
+constexpr std::uint32_t kDefaultRowsPerGroup = 4096;
+constexpr std::uint32_t kColBytes = 4;  // float32 columns
+
+struct Header {
+  std::uint32_t ncols = 1;
+  std::uint32_t rows_per_group = kDefaultRowsPerGroup;
+  std::uint64_t nrows = 0;
+
+  std::uint32_t row_bytes() const { return ncols * kColBytes; }
+  std::uint64_t RowsInGroup(std::uint64_t g) const {
+    std::uint64_t begin = g * rows_per_group;
+    std::uint64_t end = std::min<std::uint64_t>(begin + rows_per_group, nrows);
+    return end > begin ? end - begin : 0;
+  }
+  /// Byte offset of row group g in the file.
+  std::uint64_t GroupOffset(std::uint64_t g) const {
+    return kHeaderSize +
+           g * static_cast<std::uint64_t>(rows_per_group) * row_bytes();
+  }
+};
+
+StatusOr<std::uint32_t> ParseSchema(const Uri& uri) {
+  if (uri.fragment.empty()) return 1u;
+  // Accept "f4xN".
+  if (uri.fragment.rfind("f4x", 0) == 0) {
+    try {
+      int n = std::stoi(uri.fragment.substr(3));
+      if (n >= 1 && n <= 1024) return static_cast<std::uint32_t>(n);
+    } catch (const std::exception&) {
+    }
+  }
+  return InvalidArgument("bad spar schema fragment: '" + uri.fragment + "'");
+}
+
+Status LoadHeader(const std::string& path, Header* h) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return NotFound("no such spar file: " + path);
+  char magic[8];
+  in.read(magic, 8);
+  in.read(reinterpret_cast<char*>(&h->ncols), 4);
+  in.read(reinterpret_cast<char*>(&h->rows_per_group), 4);
+  in.read(reinterpret_cast<char*>(&h->nrows), 8);
+  if (!in || std::memcmp(magic, kMagic, 8) != 0) {
+    return InvalidArgument("not a SPAR file: " + path);
+  }
+  return Status::Ok();
+}
+
+class SparStager final : public Stager {
+ public:
+  StatusOr<std::uint64_t> Size(const Uri& uri) override {
+    Header h;
+    MM_RETURN_IF_ERROR(LoadHeader(uri.path, &h));
+    return h.nrows * h.row_bytes();
+  }
+
+  Status Create(const Uri& uri, std::uint64_t size) override {
+    MM_ASSIGN_OR_RETURN(std::uint32_t ncols, ParseSchema(uri));
+    Header h;
+    h.ncols = ncols;
+    if (size % h.row_bytes() != 0) {
+      return InvalidArgument("spar object size must be a multiple of the row "
+                             "size (" +
+                             std::to_string(h.row_bytes()) + ")");
+    }
+    h.nrows = size / h.row_bytes();
+    std::error_code ec;
+    auto parent = std::filesystem::path(uri.path).parent_path();
+    if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+    std::ofstream out(uri.path, std::ios::binary | std::ios::trunc);
+    if (!out) return IoError("cannot create spar file: " + uri.path);
+    out.write(kMagic, 8);
+    out.write(reinterpret_cast<const char*>(&h.ncols), 4);
+    out.write(reinterpret_cast<const char*>(&h.rows_per_group), 4);
+    out.write(reinterpret_cast<const char*>(&h.nrows), 8);
+    out.close();
+    std::filesystem::resize_file(uri.path, kHeaderSize + size, ec);
+    if (ec) return IoError("cannot size spar file: " + uri.path);
+    return Status::Ok();
+  }
+
+  Status Read(const Uri& uri, std::uint64_t offset, std::uint64_t size,
+              std::vector<std::uint8_t>* out) override {
+    Header h;
+    MM_RETURN_IF_ERROR(LoadHeader(uri.path, &h));
+    MM_RETURN_IF_ERROR(CheckRowAligned(h, offset, size));
+    if (offset + size > h.nrows * h.row_bytes()) {
+      return OutOfRange("read past end of spar object");
+    }
+    std::ifstream in(uri.path, std::ios::binary);
+    if (!in) return IoError("cannot open spar file: " + uri.path);
+    out->assign(size, 0);
+    std::uint64_t row0 = offset / h.row_bytes();
+    std::uint64_t rows = size / h.row_bytes();
+    // Gather each requested row's columns from the column chunks.
+    std::vector<std::uint8_t> group_buf;
+    std::uint64_t loaded_group = ~0ULL;
+    for (std::uint64_t r = 0; r < rows; ++r) {
+      std::uint64_t row = row0 + r;
+      std::uint64_t g = row / h.rows_per_group;
+      if (g != loaded_group) {
+        std::uint64_t rows_in_g = h.RowsInGroup(g);
+        group_buf.resize(rows_in_g * h.row_bytes());
+        in.seekg(static_cast<std::streamoff>(h.GroupOffset(g)));
+        in.read(reinterpret_cast<char*>(group_buf.data()),
+                static_cast<std::streamsize>(group_buf.size()));
+        if (!in) return IoError("short read from spar file: " + uri.path);
+        loaded_group = g;
+      }
+      std::uint64_t rows_in_g = h.RowsInGroup(g);
+      std::uint64_t local = row - g * h.rows_per_group;
+      for (std::uint32_t c = 0; c < h.ncols; ++c) {
+        // Column chunk c starts at c * rows_in_g * 4 within the group.
+        std::memcpy(out->data() + r * h.row_bytes() + c * kColBytes,
+                    group_buf.data() + (c * rows_in_g + local) * kColBytes,
+                    kColBytes);
+      }
+    }
+    return Status::Ok();
+  }
+
+  Status Write(const Uri& uri, std::uint64_t offset,
+               const std::vector<std::uint8_t>& data) override {
+    Header h;
+    MM_RETURN_IF_ERROR(LoadHeader(uri.path, &h));
+    MM_RETURN_IF_ERROR(CheckRowAligned(h, offset, data.size()));
+    if (offset + data.size() > h.nrows * h.row_bytes()) {
+      return OutOfRange("write past end of spar object");
+    }
+    std::fstream io(uri.path, std::ios::binary | std::ios::in | std::ios::out);
+    if (!io) return IoError("cannot open spar file: " + uri.path);
+    std::uint64_t row0 = offset / h.row_bytes();
+    std::uint64_t rows = data.size() / h.row_bytes();
+    // Scatter row-major input into the column chunks group by group.
+    std::uint64_t r = 0;
+    while (r < rows) {
+      std::uint64_t row = row0 + r;
+      std::uint64_t g = row / h.rows_per_group;
+      std::uint64_t rows_in_g = h.RowsInGroup(g);
+      std::uint64_t local0 = row - g * h.rows_per_group;
+      std::uint64_t span = std::min(rows - r, rows_in_g - local0);
+      // Read-modify-write the touched group region per column.
+      for (std::uint32_t c = 0; c < h.ncols; ++c) {
+        std::vector<std::uint8_t> col(span * kColBytes);
+        for (std::uint64_t i = 0; i < span; ++i) {
+          std::memcpy(col.data() + i * kColBytes,
+                      data.data() + (r + i) * h.row_bytes() + c * kColBytes,
+                      kColBytes);
+        }
+        std::uint64_t pos =
+            h.GroupOffset(g) + (c * rows_in_g + local0) * kColBytes;
+        io.seekp(static_cast<std::streamoff>(pos));
+        io.write(reinterpret_cast<const char*>(col.data()),
+                 static_cast<std::streamsize>(col.size()));
+        if (!io) return IoError("short write to spar file: " + uri.path);
+      }
+      r += span;
+    }
+    return Status::Ok();
+  }
+
+  bool Exists(const Uri& uri) override {
+    Header h;
+    return LoadHeader(uri.path, &h).ok();
+  }
+
+  Status Remove(const Uri& uri) override {
+    std::error_code ec;
+    if (!std::filesystem::remove(uri.path, ec) || ec) {
+      return NotFound("cannot remove: " + uri.path);
+    }
+    return Status::Ok();
+  }
+
+ private:
+  static Status CheckRowAligned(const Header& h, std::uint64_t offset,
+                                std::uint64_t size) {
+    if (offset % h.row_bytes() != 0 || size % h.row_bytes() != 0) {
+      return InvalidArgument(
+          "spar access must be row-aligned (row size " +
+          std::to_string(h.row_bytes()) + ", got offset " +
+          std::to_string(offset) + " size " + std::to_string(size) + ")");
+    }
+    return Status::Ok();
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Stager> MakeSparStager() {
+  return std::make_unique<SparStager>();
+}
+
+}  // namespace mm::storage

@@ -1,0 +1,117 @@
+#include "mm/storage/tier_store.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace mm::storage {
+
+Status TierStore::Put(const BlobId& id, std::vector<std::uint8_t> data,
+                      sim::SimTime now, sim::SimTime* done) {
+  std::uint64_t size = data.size();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = blobs_.find(id);
+    std::uint64_t old_size = it == blobs_.end() ? 0 : it->second.size();
+    if (used_ - old_size + size > capacity_) {
+      return ResourceExhausted("tier " +
+                               std::string(sim::TierKindName(kind())) +
+                               " full: " + std::to_string(used_) + "/" +
+                               std::to_string(capacity_) + " used, need " +
+                               std::to_string(size));
+    }
+    used_ = used_ - old_size + size;
+    blobs_[id] = std::move(data);
+  }
+  sim::SimTime end = device_->Write(now, size);
+  if (done != nullptr) *done = end;
+  return Status::Ok();
+}
+
+Status TierStore::PutPartial(const BlobId& id, std::uint64_t offset,
+                             const std::vector<std::uint8_t>& data,
+                             sim::SimTime now, sim::SimTime* done) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = blobs_.find(id);
+    if (it == blobs_.end()) {
+      return NotFound("blob " + id.ToString() + " not in tier");
+    }
+    if (offset + data.size() > it->second.size()) {
+      return OutOfRange("partial write past end of blob " + id.ToString());
+    }
+    std::memcpy(it->second.data() + offset, data.data(), data.size());
+  }
+  sim::SimTime end = device_->Write(now, data.size());
+  if (done != nullptr) *done = end;
+  return Status::Ok();
+}
+
+StatusOr<std::vector<std::uint8_t>> TierStore::Get(const BlobId& id,
+                                                   sim::SimTime now,
+                                                   sim::SimTime* done) const {
+  std::vector<std::uint8_t> copy;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = blobs_.find(id);
+    if (it == blobs_.end()) {
+      return NotFound("blob " + id.ToString() + " not in tier");
+    }
+    copy = it->second;
+  }
+  sim::SimTime end = device_->Read(now, copy.size());
+  if (done != nullptr) *done = end;
+  return copy;
+}
+
+StatusOr<std::vector<std::uint8_t>> TierStore::GetPartial(
+    const BlobId& id, std::uint64_t offset, std::uint64_t size,
+    sim::SimTime now, sim::SimTime* done) const {
+  std::vector<std::uint8_t> copy;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = blobs_.find(id);
+    if (it == blobs_.end()) {
+      return NotFound("blob " + id.ToString() + " not in tier");
+    }
+    if (offset + size > it->second.size()) {
+      return OutOfRange("partial read past end of blob " + id.ToString());
+    }
+    copy.assign(it->second.begin() + static_cast<std::ptrdiff_t>(offset),
+                it->second.begin() + static_cast<std::ptrdiff_t>(offset + size));
+  }
+  sim::SimTime end = device_->Read(now, size);
+  if (done != nullptr) *done = end;
+  return copy;
+}
+
+Status TierStore::Erase(const BlobId& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = blobs_.find(id);
+  if (it == blobs_.end()) {
+    return NotFound("blob " + id.ToString() + " not in tier");
+  }
+  used_ -= it->second.size();
+  blobs_.erase(it);
+  return Status::Ok();
+}
+
+bool TierStore::Contains(const BlobId& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return blobs_.count(id) > 0;
+}
+
+std::uint64_t TierStore::BlobSize(const BlobId& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = blobs_.find(id);
+  return it == blobs_.end() ? 0 : it->second.size();
+}
+
+std::vector<BlobId> TierStore::ListBlobs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<BlobId> ids;
+  ids.reserve(blobs_.size());
+  for (const auto& [id, _] : blobs_) ids.push_back(id);
+  return ids;
+}
+
+}  // namespace mm::storage

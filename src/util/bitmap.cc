@@ -1,0 +1,75 @@
+#include "mm/util/bitmap.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "mm/util/status.h"
+
+namespace mm {
+
+void Bitmap::Resize(std::size_t bits) {
+  bits_ = bits;
+  words_.resize((bits + 63) / 64, 0);
+  // Clear any stale bits beyond the new size in the last word.
+  if (bits_ % 64 != 0 && !words_.empty()) {
+    words_.back() &= (1ULL << (bits_ % 64)) - 1;
+  }
+}
+
+void Bitmap::SetRange(std::size_t begin, std::size_t end) {
+  MM_CHECK(begin <= end && end <= bits_);
+  while (begin < end) {
+    std::size_t word = begin >> 6;
+    std::size_t lo = begin & 63;
+    std::size_t hi = std::min<std::size_t>(64, lo + (end - begin));
+    std::uint64_t mask = (hi == 64 ? ~0ULL : ((1ULL << hi) - 1)) & ~((1ULL << lo) - 1);
+    words_[word] |= mask;
+    begin += hi - lo;
+  }
+}
+
+void Bitmap::ClearRange(std::size_t begin, std::size_t end) {
+  MM_CHECK(begin <= end && end <= bits_);
+  while (begin < end) {
+    std::size_t word = begin >> 6;
+    std::size_t lo = begin & 63;
+    std::size_t hi = std::min<std::size_t>(64, lo + (end - begin));
+    std::uint64_t mask = (hi == 64 ? ~0ULL : ((1ULL << hi) - 1)) & ~((1ULL << lo) - 1);
+    words_[word] &= ~mask;
+    begin += hi - lo;
+  }
+}
+
+bool Bitmap::AllSet(std::size_t begin, std::size_t end) const {
+  MM_CHECK(begin <= end && end <= bits_);
+  for (std::size_t i = begin; i < end; ++i) {
+    if (!Test(i)) return false;
+  }
+  return true;
+}
+
+bool Bitmap::NoneSet(std::size_t begin, std::size_t end) const {
+  MM_CHECK(begin <= end && end <= bits_);
+  for (std::size_t i = begin; i < end; ++i) {
+    if (Test(i)) return false;
+  }
+  return true;
+}
+
+std::size_t Bitmap::Count() const {
+  std::size_t n = 0;
+  for (std::uint64_t w : words_) n += std::popcount(w);
+  return n;
+}
+
+bool Bitmap::Any() const {
+  return std::any_of(words_.begin(), words_.end(),
+                     [](std::uint64_t w) { return w != 0; });
+}
+
+void Bitmap::Or(const Bitmap& other) {
+  MM_CHECK(bits_ == other.bits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+}
+
+}  // namespace mm

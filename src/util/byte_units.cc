@@ -1,0 +1,65 @@
+#include "mm/util/byte_units.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace mm {
+
+StatusOr<std::uint64_t> ParseBytes(const std::string& text) {
+  if (text.empty()) return InvalidArgument("empty byte-size string");
+  std::size_t pos = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(text, &pos);
+  } catch (const std::exception&) {
+    return InvalidArgument("unparseable byte size: '" + text + "'");
+  }
+  if (value < 0) return InvalidArgument("negative byte size: '" + text + "'");
+
+  std::string suffix;
+  for (; pos < text.size(); ++pos) {
+    char c = text[pos];
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    suffix += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  // Normalize "kib"/"kb"/"k" to a single letter.
+  if (!suffix.empty() && suffix.back() == 'b') suffix.pop_back();
+  if (!suffix.empty() && suffix.back() == 'i') suffix.pop_back();
+
+  std::uint64_t mult = 1;
+  if (suffix.empty()) {
+    mult = 1;
+  } else if (suffix == "k") {
+    mult = kKiB;
+  } else if (suffix == "m") {
+    mult = kMiB;
+  } else if (suffix == "g") {
+    mult = kGiB;
+  } else if (suffix == "t") {
+    mult = kTiB;
+  } else {
+    return InvalidArgument("unknown byte-size suffix in '" + text + "'");
+  }
+  return static_cast<std::uint64_t>(value * static_cast<double>(mult));
+}
+
+std::string FormatBytes(std::uint64_t bytes) {
+  static const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double v = static_cast<double>(bytes);
+  int unit = 0;
+  while (v >= 1024.0 && unit < 4) {
+    v /= 1024.0;
+    ++unit;
+  }
+  char buf[32];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof(buf), "%llu%s",
+                  static_cast<unsigned long long>(bytes), kUnits[unit]);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f%s", v, kUnits[unit]);
+  }
+  return buf;
+}
+
+}  // namespace mm

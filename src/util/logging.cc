@@ -1,0 +1,38 @@
+#include "mm/util/logging.h"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace mm {
+
+Logger& Logger::Get() {
+  static Logger logger;
+  return logger;
+}
+
+Logger::Logger() : level_(LogLevel::kWarn) {
+  if (const char* env = std::getenv("MM_LOG_LEVEL")) {
+    level_ = ParseLogLevel(env);
+  }
+}
+
+void Logger::Write(LogLevel level, const std::string& module,
+                   const std::string& message) {
+  static const char* kNames[] = {"TRACE", "DEBUG", "INFO", "WARN", "ERROR",
+                                 "OFF"};
+  std::lock_guard<std::mutex> lock(mu_);
+  std::cerr << "[" << kNames[static_cast<int>(level)] << "] " << module << ": "
+            << message << "\n";
+}
+
+LogLevel ParseLogLevel(const std::string& name) {
+  if (name == "trace") return LogLevel::kTrace;
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off") return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+
+}  // namespace mm

@@ -1,0 +1,114 @@
+#include "mm/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "mm/util/status.h"
+
+namespace mm {
+
+void StatAccumulator::Add(double x) {
+  samples_.push_back(x);
+  sum_ += x;
+  sorted_ = false;
+}
+
+double StatAccumulator::Mean() const {
+  if (samples_.empty()) return 0.0;
+  return sum_ / static_cast<double>(samples_.size());
+}
+
+double StatAccumulator::Stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  double mean = Mean();
+  double acc = 0.0;
+  for (double x : samples_) acc += (x - mean) * (x - mean);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double StatAccumulator::Min() const {
+  MM_CHECK(!samples_.empty());
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double StatAccumulator::Max() const {
+  MM_CHECK(!samples_.empty());
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double StatAccumulator::Percentile(double p) const {
+  MM_CHECK(!samples_.empty());
+  MM_CHECK(p >= 0.0 && p <= 100.0);
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  if (samples_.size() == 1) return samples_[0];
+  double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  std::size_t lo = static_cast<std::size_t>(rank);
+  std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+void StatAccumulator::Clear() {
+  samples_.clear();
+  sum_ = 0.0;
+  sorted_ = true;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  MM_CHECK(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::Render(bool csv) const {
+  std::ostringstream oss;
+  if (csv) {
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+      if (i) oss << ",";
+      oss << headers_[i];
+    }
+    oss << "\n";
+    for (const auto& row : rows_) {
+      for (std::size_t i = 0; i < row.size(); ++i) {
+        if (i) oss << ",";
+        oss << row[i];
+      }
+      oss << "\n";
+    }
+    return oss.str();
+  }
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      oss << cells[i] << std::string(widths[i] - cells[i].size() + 2, ' ');
+    }
+    oss << "\n";
+  };
+  emit(headers_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  oss << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) emit(row);
+  return oss.str();
+}
+
+std::string FormatDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace mm

@@ -1,0 +1,42 @@
+#include "mm/util/status.h"
+
+namespace mm {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case StatusCode::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+    case StatusCode::kUnimplemented:
+      return "UNIMPLEMENTED";
+    case StatusCode::kIoError:
+      return "IO_ERROR";
+  }
+  return "UNKNOWN";
+}
+
+namespace detail {
+
+void CheckFailed(const char* expr, const char* file, int line,
+                 const std::string& extra) {
+  std::ostringstream oss;
+  oss << "MM_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!extra.empty()) oss << " — " << extra;
+  throw std::logic_error(oss.str());
+}
+
+}  // namespace detail
+}  // namespace mm

@@ -1,0 +1,36 @@
+#include "mm/util/uri.h"
+
+namespace mm {
+
+std::string Uri::ToString() const {
+  std::string out = scheme + "://" + path;
+  if (!fragment.empty()) out += ":" + fragment;
+  return out;
+}
+
+StatusOr<Uri> ParseUri(const std::string& key) {
+  if (key.empty()) return InvalidArgument("empty vector key");
+  Uri uri;
+  std::string rest = key;
+  auto scheme_end = key.find("://");
+  if (scheme_end != std::string::npos) {
+    uri.scheme = key.substr(0, scheme_end);
+    rest = key.substr(scheme_end + 3);
+  } else {
+    uri.scheme = "posix";
+  }
+  if (uri.scheme.empty()) return InvalidArgument("empty scheme in '" + key + "'");
+  // The fragment separator is the last ':' that appears after the final '/'
+  // so Windows-style or port-like colons inside directories don't confuse it.
+  auto last_slash = rest.find_last_of('/');
+  auto frag_sep = rest.find(':', last_slash == std::string::npos ? 0 : last_slash);
+  if (frag_sep != std::string::npos) {
+    uri.fragment = rest.substr(frag_sep + 1);
+    rest = rest.substr(0, frag_sep);
+  }
+  uri.path = rest;
+  if (uri.path.empty()) return InvalidArgument("empty path in '" + key + "'");
+  return uri;
+}
+
+}  // namespace mm

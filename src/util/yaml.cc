@@ -1,0 +1,394 @@
+#include "mm/util/yaml.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "mm/util/byte_units.h"
+
+namespace mm::yaml {
+
+namespace {
+
+const Node& NullNode() {
+  static const Node node;
+  return node;
+}
+
+std::string Trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+/// Strips a trailing comment that is not inside quotes.
+std::string StripComment(const std::string& s) {
+  bool in_single = false, in_double = false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    if (c == '\'' && !in_double) in_single = !in_single;
+    if (c == '"' && !in_single) in_double = !in_double;
+    if (c == '#' && !in_single && !in_double &&
+        (i == 0 || s[i - 1] == ' ' || s[i - 1] == '\t')) {
+      return s.substr(0, i);
+    }
+  }
+  return s;
+}
+
+std::string Unquote(const std::string& s) {
+  if (s.size() >= 2 && ((s.front() == '"' && s.back() == '"') ||
+                        (s.front() == '\'' && s.back() == '\''))) {
+    return s.substr(1, s.size() - 2);
+  }
+  return s;
+}
+
+struct Line {
+  int indent;
+  std::string text;  // trimmed content
+};
+
+/// A scalar, or an inline flow list "[a, b]".
+Node ParseValue(const std::string& raw) {
+  std::string v = Trim(raw);
+  if (v.size() >= 2 && v.front() == '[' && v.back() == ']') {
+    Node list = Node::List();
+    std::string inner = v.substr(1, v.size() - 2);
+    std::string item;
+    int depth = 0;
+    for (char c : inner) {
+      if (c == '[') ++depth;
+      if (c == ']') --depth;
+      if (c == ',' && depth == 0) {
+        if (!Trim(item).empty()) list.Append(ParseValue(item));
+        item.clear();
+      } else {
+        item += c;
+      }
+    }
+    if (!Trim(item).empty()) list.Append(ParseValue(item));
+    return list;
+  }
+  if (v.empty() || v == "~" || v == "null") return Node();
+  return Node::Scalar(Unquote(v));
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Line> lines) : lines_(std::move(lines)) {}
+
+  StatusOr<Node> ParseBlock(int indent) {
+    if (pos_ >= lines_.size()) return Node();
+    if (lines_[pos_].text.rfind("- ", 0) == 0 || lines_[pos_].text == "-") {
+      return ParseList(indent);
+    }
+    return ParseMap(indent);
+  }
+
+ private:
+  StatusOr<Node> ParseMap(int indent) {
+    Node map = Node::Map();
+    while (pos_ < lines_.size()) {
+      const Line& line = lines_[pos_];
+      if (line.indent < indent) break;
+      if (line.indent > indent) {
+        return InvalidArgument("unexpected indentation at line '" + line.text +
+                               "'");
+      }
+      auto colon = FindKeyColon(line.text);
+      if (colon == std::string::npos) {
+        return InvalidArgument("expected 'key:' in line '" + line.text + "'");
+      }
+      std::string key = Unquote(Trim(line.text.substr(0, colon)));
+      std::string rest = Trim(line.text.substr(colon + 1));
+      ++pos_;
+      if (!rest.empty()) {
+        map.Put(key, ParseValue(rest));
+      } else if (pos_ < lines_.size() && lines_[pos_].indent > indent) {
+        MM_ASSIGN_OR_RETURN(Node child, ParseBlock(lines_[pos_].indent));
+        map.Put(key, std::move(child));
+      } else {
+        map.Put(key, Node());
+      }
+    }
+    return map;
+  }
+
+  StatusOr<Node> ParseList(int indent) {
+    Node list = Node::List();
+    while (pos_ < lines_.size()) {
+      const Line& line = lines_[pos_];
+      if (line.indent != indent || (line.text.rfind("- ", 0) != 0 && line.text != "-")) {
+        if (line.indent >= indent) {
+          return InvalidArgument("expected '- ' list item in line '" +
+                                 line.text + "'");
+        }
+        break;
+      }
+      std::string rest = line.text == "-" ? "" : Trim(line.text.substr(2));
+      if (rest.empty()) {
+        ++pos_;
+        if (pos_ < lines_.size() && lines_[pos_].indent > indent) {
+          MM_ASSIGN_OR_RETURN(Node child, ParseBlock(lines_[pos_].indent));
+          list.Append(std::move(child));
+        } else {
+          list.Append(Node());
+        }
+      } else if (FindKeyColon(rest) != std::string::npos &&
+                 !LooksLikeScalarWithColon(rest)) {
+        // "- key: value" starts an inline map item: rewrite the line as the
+        // first key of a map indented past the dash.
+        lines_[pos_].indent = indent + 2;
+        lines_[pos_].text = rest;
+        MM_ASSIGN_OR_RETURN(Node child, ParseMap(indent + 2));
+        list.Append(std::move(child));
+      } else {
+        ++pos_;
+        list.Append(ParseValue(rest));
+      }
+    }
+    return list;
+  }
+
+  /// Finds the colon separating key from value (not inside quotes/brackets).
+  static std::size_t FindKeyColon(const std::string& s) {
+    bool in_single = false, in_double = false;
+    int depth = 0;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      char c = s[i];
+      if (c == '\'' && !in_double) in_single = !in_single;
+      if (c == '"' && !in_single) in_double = !in_double;
+      if (c == '[') ++depth;
+      if (c == ']') --depth;
+      if (c == ':' && !in_single && !in_double && depth == 0 &&
+          (i + 1 == s.size() || s[i + 1] == ' ' || s[i + 1] == '\t')) {
+        return i;
+      }
+    }
+    return std::string::npos;
+  }
+
+  /// Heuristic: URL-ish scalars like "posix:///x" contain ':' but are values.
+  static bool LooksLikeScalarWithColon(const std::string& s) {
+    auto colon = FindKeyColon(s);
+    return colon == std::string::npos;
+  }
+
+  std::vector<Line> lines_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Node Node::Scalar(std::string value) {
+  Node n;
+  n.kind_ = NodeKind::kScalar;
+  n.scalar_ = std::move(value);
+  return n;
+}
+
+Node Node::Map() {
+  Node n;
+  n.kind_ = NodeKind::kMap;
+  return n;
+}
+
+Node Node::List() {
+  Node n;
+  n.kind_ = NodeKind::kList;
+  return n;
+}
+
+const std::string& Node::AsString() const {
+  MM_CHECK_MSG(IsScalar(), "YAML node is not a scalar");
+  return scalar_;
+}
+
+StatusOr<std::int64_t> Node::AsInt() const {
+  if (!IsScalar()) return InvalidArgument("YAML node is not a scalar");
+  try {
+    std::size_t pos = 0;
+    std::int64_t v = std::stoll(scalar_, &pos);
+    if (pos != scalar_.size()) {
+      return InvalidArgument("not an integer: '" + scalar_ + "'");
+    }
+    return v;
+  } catch (const std::exception&) {
+    return InvalidArgument("not an integer: '" + scalar_ + "'");
+  }
+}
+
+StatusOr<double> Node::AsDouble() const {
+  if (!IsScalar()) return InvalidArgument("YAML node is not a scalar");
+  try {
+    std::size_t pos = 0;
+    double v = std::stod(scalar_, &pos);
+    if (pos != scalar_.size()) {
+      return InvalidArgument("not a number: '" + scalar_ + "'");
+    }
+    return v;
+  } catch (const std::exception&) {
+    return InvalidArgument("not a number: '" + scalar_ + "'");
+  }
+}
+
+StatusOr<bool> Node::AsBool() const {
+  if (!IsScalar()) return InvalidArgument("YAML node is not a scalar");
+  std::string v = scalar_;
+  std::transform(v.begin(), v.end(), v.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (v == "true" || v == "yes" || v == "on" || v == "1") return true;
+  if (v == "false" || v == "no" || v == "off" || v == "0") return false;
+  return InvalidArgument("not a boolean: '" + scalar_ + "'");
+}
+
+StatusOr<std::uint64_t> Node::AsBytes() const {
+  if (!IsScalar()) return InvalidArgument("YAML node is not a scalar");
+  return ParseBytes(scalar_);
+}
+
+bool Node::Has(const std::string& key) const {
+  return IsMap() && map_.count(key) > 0;
+}
+
+const Node& Node::operator[](const std::string& key) const {
+  if (!IsMap()) return NullNode();
+  auto it = map_.find(key);
+  return it == map_.end() ? NullNode() : it->second;
+}
+
+Node& Node::GetOrCreate(const std::string& key) {
+  MM_CHECK(IsMap());
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    keys_.push_back(key);
+    return map_[key];
+  }
+  return it->second;
+}
+
+void Node::Put(const std::string& key, Node value) {
+  MM_CHECK(IsMap());
+  if (map_.find(key) == map_.end()) keys_.push_back(key);
+  map_[key] = std::move(value);
+}
+
+const Node& Node::at(std::size_t i) const {
+  MM_CHECK(IsList() && i < items_.size());
+  return items_[i];
+}
+
+void Node::Append(Node value) {
+  MM_CHECK(IsList());
+  items_.push_back(std::move(value));
+}
+
+std::string Node::GetString(const std::string& key,
+                            const std::string& dflt) const {
+  const Node& n = (*this)[key];
+  return n.IsScalar() ? n.AsString() : dflt;
+}
+
+std::int64_t Node::GetInt(const std::string& key, std::int64_t dflt) const {
+  const Node& n = (*this)[key];
+  if (!n.IsScalar()) return dflt;
+  auto v = n.AsInt();
+  return v.ok() ? *v : dflt;
+}
+
+double Node::GetDouble(const std::string& key, double dflt) const {
+  const Node& n = (*this)[key];
+  if (!n.IsScalar()) return dflt;
+  auto v = n.AsDouble();
+  return v.ok() ? *v : dflt;
+}
+
+bool Node::GetBool(const std::string& key, bool dflt) const {
+  const Node& n = (*this)[key];
+  if (!n.IsScalar()) return dflt;
+  auto v = n.AsBool();
+  return v.ok() ? *v : dflt;
+}
+
+std::uint64_t Node::GetBytes(const std::string& key,
+                             std::uint64_t dflt) const {
+  const Node& n = (*this)[key];
+  if (!n.IsScalar()) return dflt;
+  auto v = n.AsBytes();
+  return v.ok() ? *v : dflt;
+}
+
+std::string Node::Dump(int indent) const {
+  std::string pad(static_cast<std::size_t>(indent), ' ');
+  std::ostringstream oss;
+  switch (kind_) {
+    case NodeKind::kNull:
+      oss << "null\n";
+      break;
+    case NodeKind::kScalar:
+      oss << scalar_ << "\n";
+      break;
+    case NodeKind::kMap:
+      for (const auto& key : keys_) {
+        const Node& child = map_.at(key);
+        if (child.IsMap() || child.IsList()) {
+          oss << pad << key << ":\n" << child.Dump(indent + 2);
+        } else if (child.IsNull()) {
+          oss << pad << key << ":\n";
+        } else {
+          oss << pad << key << ": " << child.scalar_ << "\n";
+        }
+      }
+      break;
+    case NodeKind::kList:
+      for (const Node& item : items_) {
+        if (item.IsMap() || item.IsList()) {
+          oss << pad << "-\n" << item.Dump(indent + 2);
+        } else if (item.IsNull()) {
+          oss << pad << "-\n";
+        } else {
+          oss << pad << "- " << item.scalar_ << "\n";
+        }
+      }
+      break;
+  }
+  return oss.str();
+}
+
+StatusOr<Node> Parse(const std::string& text) {
+  std::vector<Line> lines;
+  std::istringstream iss(text);
+  std::string raw;
+  while (std::getline(iss, raw)) {
+    std::string no_comment = StripComment(raw);
+    std::string trimmed = Trim(no_comment);
+    if (trimmed.empty() || trimmed == "---") continue;
+    int indent = 0;
+    for (char c : no_comment) {
+      if (c == ' ') {
+        ++indent;
+      } else if (c == '\t') {
+        return InvalidArgument("tabs are not allowed for YAML indentation");
+      } else {
+        break;
+      }
+    }
+    lines.push_back(Line{indent, trimmed});
+  }
+  if (lines.empty()) return Node();
+  Parser parser(std::move(lines));
+  return parser.ParseBlock(0);
+}
+
+StatusOr<Node> ParseFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return IoError("cannot open YAML file '" + path + "'");
+  std::ostringstream oss;
+  oss << in.rdbuf();
+  return Parse(oss.str());
+}
+
+}  // namespace mm::yaml

@@ -1,0 +1,251 @@
+// Tests for the synthetic dataset generator and the reference oracles.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <unistd.h>
+
+#include "mm/apps/datagen.h"
+#include "mm/apps/reference.h"
+#include "mm/storage/stager.h"
+
+namespace mm::apps {
+namespace {
+
+TEST(Datagen, DeterministicForSeed) {
+  DatagenConfig cfg;
+  cfg.num_particles = 1000;
+  std::vector<Particle> a, b;
+  auto ta = GenerateParticles(cfg, &a);
+  auto tb = GenerateParticles(cfg, &b);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_FLOAT_EQ(a[i].pos.x, b[i].pos.x);
+    EXPECT_FLOAT_EQ(a[i].vel.z, b[i].vel.z);
+  }
+  EXPECT_EQ(ta.labels, tb.labels);
+}
+
+TEST(Datagen, DifferentSeedsDiffer) {
+  DatagenConfig a_cfg, b_cfg;
+  a_cfg.num_particles = b_cfg.num_particles = 100;
+  b_cfg.seed = 999;
+  std::vector<Particle> a, b;
+  GenerateParticles(a_cfg, &a);
+  GenerateParticles(b_cfg, &b);
+  int same = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].pos.x == b[i].pos.x) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Datagen, PointsClusterAroundHaloCenters) {
+  DatagenConfig cfg;
+  cfg.num_particles = 5000;
+  cfg.halos = 4;
+  cfg.halo_sigma = 5.0;
+  std::vector<Particle> pts;
+  auto truth = GenerateParticles(cfg, &pts);
+  ASSERT_EQ(truth.halo_centers.size(), 4u);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const Point3& c = truth.halo_centers[truth.labels[i]];
+    // Within 6 sigma of the assigned halo center.
+    EXPECT_LT(Dist(pts[i].pos, c), 6 * cfg.halo_sigma) << i;
+  }
+}
+
+TEST(Datagen, AllHalosPopulatedRoughlyEvenly) {
+  DatagenConfig cfg;
+  cfg.num_particles = 8000;
+  cfg.halos = 8;
+  std::vector<Particle> pts;
+  auto truth = GenerateParticles(cfg, &pts);
+  std::vector<int> counts(8, 0);
+  for (int l : truth.labels) ++counts[l];
+  for (int c : counts) {
+    EXPECT_GT(c, 700);
+    EXPECT_LT(c, 1300);
+  }
+}
+
+TEST(Datagen, WritesBackendRoundTrip) {
+  auto dir = std::filesystem::temp_directory_path() /
+             ("mm_datagen_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  DatagenConfig cfg;
+  cfg.num_particles = 500;
+  std::string key = "posix://" + (dir / "pts.bin").string();
+  auto truth = GenerateToBackend(cfg, key);
+  ASSERT_TRUE(truth.ok());
+  auto resolved = storage::StagerRegistry::Default().Resolve(key);
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(*resolved->first->Size(resolved->second), 500 * sizeof(Particle));
+  // Re-read and compare to in-memory generation.
+  std::vector<std::uint8_t> raw;
+  ASSERT_TRUE(resolved->first
+                  ->Read(resolved->second, 0, 500 * sizeof(Particle), &raw)
+                  .ok());
+  std::vector<Particle> mem;
+  GenerateParticles(cfg, &mem);
+  EXPECT_EQ(0, std::memcmp(raw.data(), mem.data(), raw.size()));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Datagen, SparBackendWorks) {
+  auto dir = std::filesystem::temp_directory_path() /
+             ("mm_datagen_spar_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  DatagenConfig cfg;
+  cfg.num_particles = 300;
+  std::string key = "spar://" + (dir / "pts.parquet").string() + ":f4x6";
+  ASSERT_TRUE(GenerateToBackend(cfg, key).ok());
+  auto resolved = storage::StagerRegistry::Default().Resolve(key);
+  std::vector<std::uint8_t> raw;
+  ASSERT_TRUE(
+      resolved->first->Read(resolved->second, 0, 24 * 10, &raw).ok());
+  std::vector<Particle> mem;
+  GenerateParticles(cfg, &mem);
+  EXPECT_EQ(0, std::memcmp(raw.data(), mem.data(), raw.size()));
+  std::filesystem::remove_all(dir);
+}
+
+// ---- reference oracles ----
+
+TEST(Reference, KMeansConvergesOnSeparatedBlobs) {
+  DatagenConfig cfg;
+  cfg.num_particles = 2000;
+  cfg.halos = 3;
+  cfg.halo_sigma = 2.0;
+  cfg.seed = 21;
+  std::vector<Particle> particles;
+  auto truth = GenerateParticles(cfg, &particles);
+  std::vector<Point3> pts;
+  for (const auto& p : particles) pts.push_back(p.pos);
+  // Start from the true centers perturbed: must converge back.
+  std::vector<Point3> init = truth.halo_centers;
+  for (auto& c : init) c.x += 3.0f;
+  auto final_centroids = ReferenceKMeans(pts, init, 10);
+  for (std::size_t j = 0; j < 3; ++j) {
+    double best = 1e18;
+    for (const auto& c : truth.halo_centers) {
+      best = std::min(best, Dist(final_centroids[j], c));
+    }
+    EXPECT_LT(best, 1.0);
+  }
+}
+
+TEST(Reference, InertiaDecreasesWithIterations) {
+  DatagenConfig cfg;
+  cfg.num_particles = 1000;
+  cfg.halos = 4;
+  std::vector<Particle> particles;
+  GenerateParticles(cfg, &particles);
+  std::vector<Point3> pts;
+  for (const auto& p : particles) pts.push_back(p.pos);
+  std::vector<Point3> init = {pts[0], pts[100], pts[200], pts[300]};
+  double i0 = ReferenceInertia(pts, init);
+  auto c1 = ReferenceKMeans(pts, init, 1);
+  double i1 = ReferenceInertia(pts, c1);
+  auto c5 = ReferenceKMeans(pts, init, 5);
+  double i5 = ReferenceInertia(pts, c5);
+  EXPECT_LE(i1, i0);
+  EXPECT_LE(i5, i1 + 1e-9);
+}
+
+TEST(Reference, DbscanFindsSeparatedBlobs) {
+  DatagenConfig cfg;
+  cfg.num_particles = 600;
+  cfg.halos = 3;
+  cfg.halo_sigma = 1.0;
+  cfg.box_size = 1000;
+  cfg.seed = 77;
+  std::vector<Particle> particles;
+  auto truth = GenerateParticles(cfg, &particles);
+  std::vector<Point3> pts;
+  for (const auto& p : particles) pts.push_back(p.pos);
+  auto labels = ReferenceDbscan(pts, /*eps=*/2.0, /*min_pts=*/5);
+  // Should recover the halo partition (allow a couple of noise points).
+  double ri = RandIndex(labels, truth.labels);
+  EXPECT_GT(ri, 0.98);
+}
+
+TEST(Reference, DbscanMarksSparseNoise) {
+  std::vector<Point3> pts;
+  // A tight cluster of 20 + 3 isolated points.
+  for (int i = 0; i < 20; ++i) {
+    pts.push_back(Point3{static_cast<float>(i % 5) * 0.1f,
+                         static_cast<float>(i / 5) * 0.1f, 0});
+  }
+  pts.push_back(Point3{100, 100, 100});
+  pts.push_back(Point3{-100, 50, 0});
+  pts.push_back(Point3{0, -100, 30});
+  auto labels = ReferenceDbscan(pts, 1.0, 4);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(labels[i], 0);
+  for (int i = 20; i < 23; ++i) EXPECT_EQ(labels[i], -1);
+}
+
+TEST(Reference, GiniImpurity) {
+  EXPECT_DOUBLE_EQ(GiniImpurity({1, 1, 1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(GiniImpurity({0, 1}), 0.5);
+  EXPECT_NEAR(GiniImpurity({0, 1, 2, 3}), 0.75, 1e-12);
+  EXPECT_DOUBLE_EQ(GiniImpurity({}), 0.0);
+}
+
+TEST(Reference, RandIndexProperties) {
+  EXPECT_DOUBLE_EQ(RandIndex({0, 0, 1, 1}, {1, 1, 0, 0}), 1.0);  // relabeled
+  EXPECT_DOUBLE_EQ(RandIndex({0, 1, 2}, {0, 1, 2}), 1.0);
+  EXPECT_LT(RandIndex({0, 0, 0, 0}, {0, 1, 2, 3}), 0.5);
+}
+
+TEST(Reference, GrayScottStepConservesOutsideReaction) {
+  // With F=k=0 and no V anywhere, U evolves by pure diffusion: the sum is
+  // conserved exactly (periodic Laplacian sums to zero).
+  std::size_t L = 8;
+  std::vector<double> u(L * L * L, 0.0), v(L * L * L, 0.0);
+  u[0] = 10.0;
+  GrayScottParams prm;
+  prm.F = 0;
+  prm.k = 0;
+  std::vector<double> u2, v2;
+  ReferenceGrayScottStep(L, u, v, &u2, &v2, prm);
+  double sum = 0;
+  for (double x : u2) sum += x;
+  EXPECT_NEAR(sum, 10.0, 1e-9);
+  for (double x : v2) EXPECT_DOUBLE_EQ(x, 0.0);
+}
+
+TEST(Reference, GrayScottInitSeedCube) {
+  std::size_t L = 16;
+  std::vector<double> u, v;
+  GrayScottInit(L, &u, &v);
+  std::size_t center = ((L / 2) * L + L / 2) * L + L / 2;
+  EXPECT_DOUBLE_EQ(u[center], 0.5);
+  EXPECT_DOUBLE_EQ(v[center], 0.25);
+  EXPECT_DOUBLE_EQ(u[0], 1.0);
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+}
+
+TEST(Reference, GrayScottSymmetryPreserved) {
+  // The initial condition is mirror-symmetric around the seed; steps must
+  // preserve x<->y symmetry.
+  std::size_t L = 12;
+  std::vector<double> u, v, u2, v2;
+  GrayScottInit(L, &u, &v);
+  GrayScottParams prm;
+  ReferenceGrayScottStep(L, u, v, &u2, &v2, prm);
+  ReferenceGrayScottStep(L, u2, v2, &u, &v, prm);
+  auto idx = [&](std::size_t x, std::size_t y, std::size_t z) {
+    return (z * L + y) * L + x;
+  };
+  for (std::size_t z = 0; z < L; ++z) {
+    for (std::size_t y = 0; y < L; ++y) {
+      for (std::size_t x = 0; x < L; ++x) {
+        EXPECT_NEAR(u[idx(x, y, z)], u[idx(y, x, z)], 1e-12);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mm::apps

@@ -1,0 +1,204 @@
+// End-to-end DBSCAN tests: both distributed implementations versus the
+// exact O(n^2) reference on well-separated halo datasets.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <unistd.h>
+
+#include "mm/apps/datagen.h"
+#include "mm/apps/dbscan.h"
+#include "mm/apps/reference.h"
+#include "mm/mega_mmap.h"
+
+namespace mm::apps {
+namespace {
+
+class DbscanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("mm_dbscan_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+    gen_.num_particles = 3000;
+    gen_.halos = 5;
+    gen_.halo_sigma = 2.0;   // tight blobs in a 1000^3 box: well separated
+    gen_.seed = 99;
+    key_ = "posix://" + (dir_ / "pts.bin").string();
+    auto truth = GenerateToBackend(gen_, key_);
+    ASSERT_TRUE(truth.ok());
+    truth_ = *truth;
+    GenerateParticles(gen_, &particles_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  DbscanConfig Config() {
+    DbscanConfig cfg;
+    cfg.eps = 4.0;
+    cfg.min_pts = 8;
+    cfg.seed = 3;
+    cfg.page_size = 16 * 1024;
+    cfg.pcache_bytes = 512 * 1024;
+    cfg.collect_labels = true;
+    return cfg;
+  }
+
+  core::ServiceOptions SvcOptions() {
+    core::ServiceOptions so;
+    so.tier_grants = {{sim::TierKind::kDram, MEGABYTES(8)},
+                      {sim::TierKind::kNvme, MEGABYTES(32)}};
+    return so;
+  }
+
+  std::vector<int> ReferenceLabels() {
+    std::vector<Point3> pts;
+    for (const auto& p : particles_) pts.push_back(p.pos);
+    return ReferenceDbscan(pts, Config().eps, Config().min_pts);
+  }
+
+  std::filesystem::path dir_;
+  DatagenConfig gen_;
+  DatagenTruth truth_;
+  std::vector<Particle> particles_;
+  std::string key_;
+};
+
+TEST_F(DbscanTest, MegaSingleRankMatchesReference) {
+  auto cluster = sim::Cluster::PaperTestbed(1);
+  core::Service svc(cluster.get(), SvcOptions());
+  DbscanResult result;
+  auto run = comm::RunRanks(*cluster, 1, 1, [&](comm::RankContext& ctx) {
+    comm::Communicator comm(&ctx);
+    result = DbscanMega(svc, comm, key_, Config());
+  });
+  ASSERT_TRUE(run.ok()) << run.error;
+  auto ref = ReferenceLabels();
+  int ref_clusters = *std::max_element(ref.begin(), ref.end()) + 1;
+  EXPECT_EQ(result.num_clusters, static_cast<std::uint64_t>(ref_clusters));
+  ASSERT_EQ(result.labels.size(), ref.size());
+  EXPECT_GT(RandIndex(result.labels, ref), 0.999);
+}
+
+class DbscanRankSweep : public DbscanTest,
+                        public ::testing::WithParamInterface<int> {};
+
+TEST_P(DbscanRankSweep, MegaMatchesReferenceAcrossRankCounts) {
+  int nranks = GetParam();
+  int per_node = 2;
+  auto cluster =
+      sim::Cluster::PaperTestbed((nranks + per_node - 1) / per_node);
+  core::Service svc(cluster.get(), SvcOptions());
+  DbscanResult result;
+  auto run = comm::RunRanks(*cluster, nranks, per_node,
+                            [&](comm::RankContext& ctx) {
+                              comm::Communicator comm(&ctx);
+                              auto r = DbscanMega(svc, comm, key_, Config());
+                              if (ctx.rank() == 0) result = r;
+                            });
+  ASSERT_TRUE(run.ok()) << run.error;
+  auto ref = ReferenceLabels();
+  EXPECT_GT(RandIndex(result.labels, ref), 0.99) << nranks << " ranks";
+  EXPECT_EQ(result.num_points, gen_.num_particles);
+}
+
+TEST_P(DbscanRankSweep, MpiMatchesReferenceAcrossRankCounts) {
+  int nranks = GetParam();
+  int per_node = 2;
+  auto cluster =
+      sim::Cluster::PaperTestbed((nranks + per_node - 1) / per_node);
+  DbscanResult result;
+  auto run = comm::RunRanks(*cluster, nranks, per_node,
+                            [&](comm::RankContext& ctx) {
+                              comm::Communicator comm(&ctx);
+                              auto r = DbscanMpi(comm, key_, Config());
+                              if (ctx.rank() == 0) result = r;
+                            });
+  ASSERT_TRUE(run.ok()) << run.error;
+  auto ref = ReferenceLabels();
+  EXPECT_GT(RandIndex(result.labels, ref), 0.99) << nranks << " ranks";
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, DbscanRankSweep, ::testing::Values(2, 3, 4, 8));
+
+TEST_F(DbscanTest, MegaAndMpiAgree) {
+  DbscanConfig cfg = Config();
+  DbscanResult mega, mpi;
+  {
+    auto cluster = sim::Cluster::PaperTestbed(2);
+    core::Service svc(cluster.get(), SvcOptions());
+    auto run = comm::RunRanks(*cluster, 4, 2, [&](comm::RankContext& ctx) {
+      comm::Communicator comm(&ctx);
+      auto r = DbscanMega(svc, comm, key_, cfg);
+      if (ctx.rank() == 0) mega = r;
+    });
+    ASSERT_TRUE(run.ok()) << run.error;
+  }
+  {
+    auto cluster = sim::Cluster::PaperTestbed(2);
+    auto run = comm::RunRanks(*cluster, 4, 2, [&](comm::RankContext& ctx) {
+      comm::Communicator comm(&ctx);
+      auto r = DbscanMpi(comm, key_, cfg);
+      if (ctx.rank() == 0) mpi = r;
+    });
+    ASSERT_TRUE(run.ok()) << run.error;
+  }
+  EXPECT_EQ(mega.num_clusters, mpi.num_clusters);
+  EXPECT_EQ(mega.num_points, mpi.num_points);
+  // Same recursion, same splits, same leaves: identical partitions.
+  EXPECT_GT(RandIndex(mega.labels, mpi.labels), 0.999);
+}
+
+TEST_F(DbscanTest, NoiseDetectedGlobally) {
+  // Add isolated noise points far from every halo by generating a sparse
+  // uniform dataset: with tiny min_pts-dense blobs, most points are noise.
+  DatagenConfig sparse = gen_;
+  sparse.num_particles = 400;
+  sparse.halos = 40;          // 10 points per halo < min_pts neighborhood
+  sparse.halo_sigma = 30.0;   // spread out: low density
+  std::string sparse_key = "posix://" + (dir_ / "sparse.bin").string();
+  ASSERT_TRUE(GenerateToBackend(sparse, sparse_key).ok());
+  DbscanConfig cfg = Config();
+  cfg.eps = 2.0;
+  cfg.min_pts = 12;
+  auto cluster = sim::Cluster::PaperTestbed(2);
+  core::Service svc(cluster.get(), SvcOptions());
+  DbscanResult result;
+  auto run = comm::RunRanks(*cluster, 4, 2, [&](comm::RankContext& ctx) {
+    comm::Communicator comm(&ctx);
+    auto r = DbscanMega(svc, comm, sparse_key, cfg);
+    if (ctx.rank() == 0) result = r;
+  });
+  ASSERT_TRUE(run.ok()) << run.error;
+  EXPECT_GT(result.num_noise, result.num_points / 2);
+}
+
+TEST_F(DbscanTest, ClustersSplitAcrossRanksAreMerged) {
+  // 2 ranks, 1 big cluster: the kd split plane bisects it; the merge phase
+  // must reunite the two halves.
+  DatagenConfig one = gen_;
+  one.num_particles = 1500;
+  one.halos = 1;
+  one.halo_sigma = 3.0;
+  std::string one_key = "posix://" + (dir_ / "one.bin").string();
+  ASSERT_TRUE(GenerateToBackend(one, one_key).ok());
+  DbscanConfig cfg = Config();
+  cfg.eps = 3.0;
+  cfg.min_pts = 6;
+  auto cluster = sim::Cluster::PaperTestbed(2);
+  core::Service svc(cluster.get(), SvcOptions());
+  DbscanResult result;
+  auto run = comm::RunRanks(*cluster, 4, 2, [&](comm::RankContext& ctx) {
+    comm::Communicator comm(&ctx);
+    auto r = DbscanMega(svc, comm, one_key, cfg);
+    if (ctx.rank() == 0) result = r;
+  });
+  ASSERT_TRUE(run.ok()) << run.error;
+  EXPECT_EQ(result.num_clusters, 1u);
+}
+
+}  // namespace
+}  // namespace mm::apps

@@ -1,0 +1,226 @@
+// Gray-Scott tests: both distributed implementations versus the reference
+// stepper, checkpoint backends, and the Fig. 6 OOM cliff.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <unistd.h>
+
+#include "mm/apps/gray_scott.h"
+#include "mm/apps/reference.h"
+#include "mm/mega_mmap.h"
+
+namespace mm::apps {
+namespace {
+
+class GrayScottTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("mm_gs_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  GrayScottConfig Config(std::size_t L, int steps) {
+    GrayScottConfig cfg;
+    cfg.L = L;
+    cfg.steps = steps;
+    cfg.page_size = 32 * 1024;
+    cfg.pcache_bytes = 2 * 1024 * 1024;
+    return cfg;
+  }
+
+  core::ServiceOptions SvcOptions() {
+    core::ServiceOptions so;
+    so.tier_grants = {{sim::TierKind::kDram, MEGABYTES(16)},
+                      {sim::TierKind::kNvme, MEGABYTES(64)}};
+    return so;
+  }
+
+  /// Reference global sums after `steps` steps.
+  std::pair<double, double> ReferenceSums(std::size_t L, int steps) {
+    std::vector<double> u, v, u2, v2;
+    GrayScottInit(L, &u, &v);
+    GrayScottParams prm;
+    for (int s = 0; s < steps; ++s) {
+      ReferenceGrayScottStep(L, u, v, &u2, &v2, prm);
+      std::swap(u, u2);
+      std::swap(v, v2);
+    }
+    double su = 0, sv = 0;
+    for (double x : u) su += x;
+    for (double x : v) sv += x;
+    return {su, sv};
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(GrayScottTest, MpiMatchesReference) {
+  auto cluster = sim::Cluster::PaperTestbed(2);
+  GrayScottConfig cfg = Config(16, 3);
+  GrayScottResult result;
+  auto run = comm::RunRanks(*cluster, 4, 2, [&](comm::RankContext& ctx) {
+    comm::Communicator comm(&ctx);
+    auto r = GrayScottMpi(comm, cfg);
+    if (ctx.rank() == 0) result = r;
+  });
+  ASSERT_TRUE(run.ok()) << run.error;
+  auto [su, sv] = ReferenceSums(16, 3);
+  EXPECT_NEAR(result.sum_u, su, 1e-7);
+  EXPECT_NEAR(result.sum_v, sv, 1e-7);
+}
+
+TEST_F(GrayScottTest, MegaMatchesReference) {
+  auto cluster = sim::Cluster::PaperTestbed(2);
+  core::Service svc(cluster.get(), SvcOptions());
+  GrayScottConfig cfg = Config(16, 3);
+  GrayScottResult result;
+  auto run = comm::RunRanks(*cluster, 4, 2, [&](comm::RankContext& ctx) {
+    comm::Communicator comm(&ctx);
+    auto r = GrayScottMega(svc, comm, cfg);
+    if (ctx.rank() == 0) result = r;
+  });
+  ASSERT_TRUE(run.ok()) << run.error;
+  auto [su, sv] = ReferenceSums(16, 3);
+  EXPECT_NEAR(result.sum_u, su, 1e-7);
+  EXPECT_NEAR(result.sum_v, sv, 1e-7);
+}
+
+class GrayScottRankSweep : public GrayScottTest,
+                           public ::testing::WithParamInterface<int> {};
+
+TEST_P(GrayScottRankSweep, MegaMatchesMpiExactly) {
+  int nranks = GetParam();
+  int per_node = 2;
+  GrayScottConfig cfg = Config(12, 4);
+  GrayScottResult mega, mpi;
+  {
+    auto cluster =
+        sim::Cluster::PaperTestbed((nranks + per_node - 1) / per_node);
+    core::Service svc(cluster.get(), SvcOptions());
+    auto run = comm::RunRanks(*cluster, nranks, per_node,
+                              [&](comm::RankContext& ctx) {
+                                comm::Communicator comm(&ctx);
+                                auto r = GrayScottMega(svc, comm, cfg);
+                                if (ctx.rank() == 0) mega = r;
+                              });
+    ASSERT_TRUE(run.ok()) << run.error;
+  }
+  {
+    auto cluster =
+        sim::Cluster::PaperTestbed((nranks + per_node - 1) / per_node);
+    auto run = comm::RunRanks(*cluster, nranks, per_node,
+                              [&](comm::RankContext& ctx) {
+                                comm::Communicator comm(&ctx);
+                                auto r = GrayScottMpi(comm, cfg);
+                                if (ctx.rank() == 0) mpi = r;
+                              });
+    ASSERT_TRUE(run.ok()) << run.error;
+  }
+  // Same arithmetic, same partition: bitwise-identical sums per rank; the
+  // tree reduction order matches too (same communicator shape).
+  EXPECT_DOUBLE_EQ(mega.sum_u, mpi.sum_u);
+  EXPECT_DOUBLE_EQ(mega.sum_v, mpi.sum_v);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, GrayScottRankSweep, ::testing::Values(1, 2, 4, 6));
+
+TEST_F(GrayScottTest, MegaCheckpointPersistsToShdf) {
+  auto cluster = sim::Cluster::PaperTestbed(2);
+  core::Service svc(cluster.get(), SvcOptions());
+  GrayScottConfig cfg = Config(12, 2);
+  cfg.plotgap = 1;
+  cfg.out_key = "shdf://" + (dir_ / "gs.h5").string();
+  GrayScottResult result;
+  auto run = comm::RunRanks(*cluster, 4, 2, [&](comm::RankContext& ctx) {
+    comm::Communicator comm(&ctx);
+    auto r = GrayScottMega(svc, comm, cfg);
+    if (ctx.rank() == 0) result = r;
+  });
+  ASSERT_TRUE(run.ok()) << run.error;
+  EXPECT_GT(result.bytes_checkpointed, 0u);
+  svc.Shutdown();
+  // The checkpointed datasets must exist and contain the final state.
+  auto stager = storage::StagerRegistry::Default().Get("shdf");
+  ASSERT_TRUE(stager.ok());
+  bool found = false;
+  for (const char* ds : {"u0", "u1"}) {
+    Uri uri;
+    uri.scheme = "shdf";
+    uri.path = (dir_ / "gs.h5").string();
+    uri.fragment = ds;
+    if ((*stager)->Exists(uri)) {
+      auto size = (*stager)->Size(uri);
+      ASSERT_TRUE(size.ok());
+      EXPECT_EQ(*size, 12ull * 12 * 12 * sizeof(double));
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(GrayScottTest, MpiOomsPastDramMegaDoesNot) {
+  // Fig. 6's cliff: shrink node DRAM so the MPI slabs do not fit; the
+  // MegaMmap version (bounded pcache + tiered scache) still completes.
+  double scale = 1e-6;  // 48 KB DRAM per node
+  GrayScottConfig cfg = Config(16, 1);
+  {
+    auto cluster = sim::Cluster::PaperTestbed(2, scale);
+    auto run = comm::RunRanks(*cluster, 4, 2, [&](comm::RankContext& ctx) {
+      comm::Communicator comm(&ctx);
+      GrayScottMpi(comm, cfg);
+    });
+    EXPECT_TRUE(run.oom);  // killed, like Linux would
+  }
+  {
+    auto cluster = sim::Cluster::PaperTestbed(2, 1e-3);  // 48 MB DRAM
+    core::ServiceOptions so;
+    so.tier_grants = {{sim::TierKind::kDram, MEGABYTES(4)},
+                      {sim::TierKind::kNvme, MEGABYTES(64)}};
+    core::Service svc(cluster.get(), so);
+    cfg.pcache_bytes = 256 * 1024;
+    GrayScottResult result;
+    auto run = comm::RunRanks(*cluster, 4, 2, [&](comm::RankContext& ctx) {
+      comm::Communicator comm(&ctx);
+      auto r = GrayScottMega(svc, comm, cfg);
+      if (ctx.rank() == 0) result = r;
+    });
+    EXPECT_TRUE(run.ok()) << run.error;
+    auto [su, sv] = ReferenceSums(16, 1);
+    EXPECT_NEAR(result.sum_u, su, 1e-7);
+  }
+}
+
+TEST_F(GrayScottTest, CheckpointBackendsOrderedBySpeed) {
+  // Fig. 6/7 shape: synchronous PFS checkpointing is slowest; Assise-like
+  // local NVMe is faster; Hermes-like async buffering is fastest.
+  GrayScottConfig cfg = Config(16, 4);
+  cfg.plotgap = 1;
+  auto time_for = [&](CkptBackend b) {
+    cfg.ckpt = b;
+    auto cluster = sim::Cluster::PaperTestbed(2);
+    sim::SimTime t = 0;
+    auto run = comm::RunRanks(*cluster, 4, 2, [&](comm::RankContext& ctx) {
+      comm::Communicator comm(&ctx);
+      GrayScottMpi(comm, cfg);
+    });
+    EXPECT_TRUE(run.ok()) << run.error;
+    t = run.max_time;
+    return t;
+  };
+  double none = time_for(CkptBackend::kNone);
+  double pfs = time_for(CkptBackend::kPfsSync);
+  double assise = time_for(CkptBackend::kAssiseLike);
+  double hermes = time_for(CkptBackend::kHermesLike);
+  EXPECT_GT(pfs, assise);
+  EXPECT_GT(assise, hermes);
+  EXPECT_GT(hermes, none);
+}
+
+}  // namespace
+}  // namespace mm::apps

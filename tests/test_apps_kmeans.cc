@@ -1,0 +1,249 @@
+// End-to-end KMeans tests: MegaMmap and Spark-style implementations versus
+// the single-threaded reference, across rank counts.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <unistd.h>
+
+#include "mm/apps/datagen.h"
+#include "mm/apps/kmeans.h"
+#include "mm/apps/reference.h"
+#include "mm/mega_mmap.h"
+
+namespace mm::apps {
+namespace {
+
+class KMeansTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("mm_kmeans_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+    gen_.num_particles = 6000;
+    gen_.halos = 4;
+    gen_.halo_sigma = 4.0;
+    gen_.seed = 42;
+    key_ = "posix://" + (dir_ / "pts.bin").string();
+    auto truth = GenerateToBackend(gen_, key_);
+    ASSERT_TRUE(truth.ok());
+    truth_ = *truth;
+    GenerateParticles(gen_, &particles_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  KMeansConfig Config() {
+    KMeansConfig cfg;
+    cfg.k = 4;
+    cfg.max_iter = 4;
+    cfg.seed = 5;
+    cfg.page_size = 16 * 1024;
+    cfg.pcache_bytes = 256 * 1024;
+    return cfg;
+  }
+
+  core::ServiceOptions SvcOptions() {
+    core::ServiceOptions so;
+    so.tier_grants = {{sim::TierKind::kDram, MEGABYTES(8)},
+                      {sim::TierKind::kNvme, MEGABYTES(32)}};
+    return so;
+  }
+
+  std::filesystem::path dir_;
+  DatagenConfig gen_;
+  DatagenTruth truth_;
+  std::vector<Particle> particles_;
+  std::string key_;
+};
+
+TEST_F(KMeansTest, MegaMatchesReferenceSingleRank) {
+  auto cluster = sim::Cluster::PaperTestbed(1);
+  core::Service svc(cluster.get(), SvcOptions());
+  KMeansResult result;
+  auto run = comm::RunRanks(*cluster, 1, 1, [&](comm::RankContext& ctx) {
+    comm::Communicator comm(&ctx);
+    result = KMeansMega(svc, comm, key_, Config());
+  });
+  ASSERT_TRUE(run.ok()) << run.error;
+  // The reference trajectory from the SAME initial centroids must agree.
+  std::vector<Point3> pts;
+  for (const auto& p : particles_) pts.push_back(p.pos);
+  // Recover initial centroids by running zero Lloyd iterations through the
+  // full pipeline: cross-check via inertia instead (the centroids should
+  // sit near distinct halo centers).
+  for (const auto& c : result.centroids) {
+    double best = 1e18;
+    for (const auto& h : truth_.halo_centers) best = std::min(best, Dist(c, h));
+    EXPECT_LT(best, 3.0) << "centroid far from every halo";
+  }
+  double ref_inertia = ReferenceInertia(pts, result.centroids);
+  EXPECT_NEAR(result.inertia, ref_inertia, ref_inertia * 1e-4);
+}
+
+TEST_F(KMeansTest, MegaIndependentOfRankCount) {
+  auto centroids_for = [&](int nranks, int per_node) {
+    auto cluster = sim::Cluster::PaperTestbed(
+        (nranks + per_node - 1) / per_node);
+    core::Service svc(cluster.get(), SvcOptions());
+    KMeansResult result;
+    auto run = comm::RunRanks(*cluster, nranks, per_node,
+                              [&](comm::RankContext& ctx) {
+                                comm::Communicator comm(&ctx);
+                                auto r = KMeansMega(svc, comm, key_, Config());
+                                if (ctx.rank() == 0) result = r;
+                              });
+    EXPECT_TRUE(run.ok()) << run.error;
+    return result;
+  };
+  auto r1 = centroids_for(1, 1);
+  auto r4 = centroids_for(4, 2);
+  // Same candidate reduction -> same trajectory (modulo fp reduction
+  // order); centroids should agree closely and inertia almost exactly.
+  EXPECT_NEAR(r1.inertia, r4.inertia, r1.inertia * 1e-3);
+}
+
+TEST_F(KMeansTest, SparkMatchesMega) {
+  KMeansResult mega, spark;
+  {
+    auto cluster = sim::Cluster::PaperTestbed(2);
+    core::Service svc(cluster.get(), SvcOptions());
+    auto run = comm::RunRanks(*cluster, 4, 2, [&](comm::RankContext& ctx) {
+      comm::Communicator comm(&ctx);
+      auto r = KMeansMega(svc, comm, key_, Config());
+      if (ctx.rank() == 0) mega = r;
+    });
+    ASSERT_TRUE(run.ok()) << run.error;
+  }
+  {
+    auto cluster = std::make_unique<sim::Cluster>(
+        2, sim::NodeSpec::PaperCompute(), sim::NetworkSpec::Tcp10(),
+        TERABYTES(1));
+    auto run = comm::RunRanks(*cluster, 4, 2, [&](comm::RankContext& ctx) {
+      comm::Communicator comm(&ctx);
+      sparklike::SparkEnv env(ctx);
+      auto r = KMeansSpark(env, comm, key_, Config());
+      if (ctx.rank() == 0) spark = r;
+    });
+    ASSERT_TRUE(run.ok()) << run.error;
+  }
+  ASSERT_EQ(mega.centroids.size(), spark.centroids.size());
+  for (std::size_t j = 0; j < mega.centroids.size(); ++j) {
+    EXPECT_NEAR(mega.centroids[j].x, spark.centroids[j].x, 1e-3);
+    EXPECT_NEAR(mega.centroids[j].y, spark.centroids[j].y, 1e-3);
+    EXPECT_NEAR(mega.centroids[j].z, spark.centroids[j].z, 1e-3);
+  }
+  EXPECT_NEAR(mega.inertia, spark.inertia, mega.inertia * 1e-3);
+}
+
+TEST_F(KMeansTest, SparkSlowerAndHungrierThanMega) {
+  // Fig. 5's claim, at a compute-dominant scale (the paper's datasets are
+  // 2 GB/node; DSM bookkeeping washes out and Spark pays its JVM factor and
+  // copies): Spark takes longer (virtual time) and uses several times the
+  // DRAM actually consumed by MegaMmap's caches.
+  DatagenConfig big = gen_;
+  big.num_particles = 80000;
+  std::string big_key = "posix://" + (dir_ / "big.bin").string();
+  ASSERT_TRUE(GenerateToBackend(big, big_key).ok());
+  std::uint64_t dataset_bytes = big.num_particles * sizeof(Particle);
+  // Production-tuned page/pcache sizes (the tiny ones elsewhere exist to
+  // exercise paging, not to be fast).
+  KMeansConfig cfg = Config();
+  cfg.page_size = 256 * 1024;
+  cfg.pcache_bytes = 2 * 1024 * 1024;
+  // Enough iterations that the compute gap (Spark's JVM factor) dominates
+  // the run-to-run queueing noise of the device channels.
+  cfg.max_iter = 10;
+
+  sim::SimTime mega_time = 0, spark_time = 0;
+  std::uint64_t mega_used = 0, spark_peak = 0;
+  {
+    auto cluster = sim::Cluster::PaperTestbed(2);
+    core::Service svc(cluster.get(), SvcOptions());
+    auto run = comm::RunRanks(*cluster, 4, 2, [&](comm::RankContext& ctx) {
+      comm::Communicator comm(&ctx);
+      KMeansMega(svc, comm, big_key, cfg);
+    });
+    ASSERT_TRUE(run.ok()) << run.error;
+    mega_time = run.max_time;
+    // MegaMmap's actual memory: the scache pages it cached (one copy of
+    // the touched data) plus the bounded pcaches.
+    mega_used = svc.ScacheDramUsed() + 4 * cfg.pcache_bytes;
+  }
+  {
+    auto cluster = std::make_unique<sim::Cluster>(
+        2, sim::NodeSpec::PaperCompute(), sim::NetworkSpec::Tcp10(),
+        TERABYTES(1));
+    auto run = comm::RunRanks(*cluster, 4, 2, [&](comm::RankContext& ctx) {
+      comm::Communicator comm(&ctx);
+      sparklike::SparkEnv env(ctx);
+      KMeansSpark(env, comm, big_key, cfg);
+    });
+    ASSERT_TRUE(run.ok()) << run.error;
+    spark_time = run.max_time;
+    spark_peak = cluster->node(0).dram_peak() + cluster->node(1).dram_peak();
+  }
+  EXPECT_GT(spark_time, mega_time);
+  // Spark held >= 2x the dataset (block cache + objects + stage copies).
+  EXPECT_GE(spark_peak, 2 * dataset_bytes);
+  // MegaMmap held about one copy of the dataset in the scache plus its
+  // bounded pcaches — well under Spark's footprint relative to data size.
+  EXPECT_LT(mega_used - 4 * cfg.pcache_bytes, 2 * dataset_bytes);
+}
+
+TEST_F(KMeansTest, PersistsAssignments) {
+  auto cluster = sim::Cluster::PaperTestbed(1);
+  core::Service svc(cluster.get(), SvcOptions());
+  KMeansConfig cfg = Config();
+  cfg.assign_key = "posix://" + (dir_ / "assign.bin").string();
+  KMeansResult result;
+  auto run = comm::RunRanks(*cluster, 2, 2, [&](comm::RankContext& ctx) {
+    comm::Communicator comm(&ctx);
+    auto r = KMeansMega(svc, comm, key_, cfg);
+    if (ctx.rank() == 0) result = r;
+  });
+  ASSERT_TRUE(run.ok()) << run.error;
+  svc.Shutdown();
+  // Assignments must exist on disk and agree with the returned centroids.
+  auto resolved =
+      storage::StagerRegistry::Default().Resolve(cfg.assign_key);
+  ASSERT_TRUE(resolved.ok());
+  auto size = resolved->first->Size(resolved->second);
+  ASSERT_TRUE(size.ok());
+  ASSERT_EQ(*size, gen_.num_particles * sizeof(std::int32_t));
+  std::vector<std::uint8_t> raw;
+  ASSERT_TRUE(resolved->first->Read(resolved->second, 0, *size, &raw).ok());
+  const auto* assign = reinterpret_cast<const std::int32_t*>(raw.data());
+  int mismatches = 0;
+  for (std::uint64_t i = 0; i < gen_.num_particles; ++i) {
+    if (assign[i] != NearestCentroid(particles_[i].pos, result.centroids)) {
+      ++mismatches;
+    }
+  }
+  EXPECT_EQ(mismatches, 0);
+}
+
+TEST_F(KMeansTest, BoundedMemoryStillCorrect) {
+  // Paper Listing 1: BoundMemory(MEGABYTES(1)); tighten to force eviction.
+  auto cluster = sim::Cluster::PaperTestbed(1);
+  core::Service svc(cluster.get(), SvcOptions());
+  KMeansConfig cfg = Config();
+  cfg.pcache_bytes = 2 * cfg.page_size;  // 2 pages only
+  KMeansResult result;
+  auto run = comm::RunRanks(*cluster, 1, 1, [&](comm::RankContext& ctx) {
+    comm::Communicator comm(&ctx);
+    result = KMeansMega(svc, comm, key_, cfg);
+  });
+  ASSERT_TRUE(run.ok()) << run.error;
+  EXPECT_GT(result.evictions, 0u);
+  std::vector<Point3> pts;
+  for (const auto& p : particles_) pts.push_back(p.pos);
+  double ref_inertia = ReferenceInertia(pts, result.centroids);
+  EXPECT_NEAR(result.inertia, ref_inertia, ref_inertia * 1e-4);
+}
+
+}  // namespace
+}  // namespace mm::apps

@@ -1,0 +1,235 @@
+// Random Forest tests: MegaMmap vs Spark-style implementations, accuracy on
+// separable synthetic labels, and the paper's KMeans -> RF workflow chain.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <unistd.h>
+
+#include "mm/apps/datagen.h"
+#include "mm/apps/kmeans.h"
+#include "mm/apps/random_forest.h"
+#include "mm/mega_mmap.h"
+
+namespace mm::apps {
+namespace {
+
+class RfTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("mm_rf_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+    gen_.num_particles = 4000;
+    gen_.halos = 4;
+    gen_.halo_sigma = 5.0;
+    gen_.seed = 31;
+    key_ = "posix://" + (dir_ / "pts.bin").string();
+    labels_key_ = "posix://" + (dir_ / "labels.bin").string();
+    auto truth = GenerateToBackend(gen_, key_);
+    ASSERT_TRUE(truth.ok());
+    // Ground-truth halo labels as the classification target.
+    std::vector<std::int32_t> labels(truth->labels.begin(),
+                                     truth->labels.end());
+    auto resolved = storage::StagerRegistry::Default().Resolve(labels_key_);
+    ASSERT_TRUE(resolved.ok());
+    std::vector<std::uint8_t> raw(labels.size() * 4);
+    std::memcpy(raw.data(), labels.data(), raw.size());
+    ASSERT_TRUE(resolved->first->Create(resolved->second, raw.size()).ok());
+    ASSERT_TRUE(resolved->first->Write(resolved->second, 0, raw).ok());
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  RfConfig Config() {
+    RfConfig cfg;
+    cfg.num_trees = 1;
+    cfg.max_depth = 10;
+    cfg.oob = 4;
+    cfg.seed = 13;
+    cfg.page_size = 16 * 1024;
+    cfg.pcache_bytes = 512 * 1024;
+    return cfg;
+  }
+
+  core::ServiceOptions SvcOptions() {
+    core::ServiceOptions so;
+    so.tier_grants = {{sim::TierKind::kDram, MEGABYTES(8)},
+                      {sim::TierKind::kNvme, MEGABYTES(32)}};
+    return so;
+  }
+
+  std::filesystem::path dir_;
+  DatagenConfig gen_;
+  std::string key_, labels_key_;
+};
+
+TEST_F(RfTest, LearnsSeparableLabels) {
+  auto cluster = sim::Cluster::PaperTestbed(2);
+  core::Service svc(cluster.get(), SvcOptions());
+  RfResult result;
+  auto run = comm::RunRanks(*cluster, 4, 2, [&](comm::RankContext& ctx) {
+    comm::Communicator comm(&ctx);
+    auto r = RandomForestMega(svc, comm, key_, labels_key_, Config());
+    if (ctx.rank() == 0) result = r;
+  });
+  ASSERT_TRUE(run.ok()) << run.error;
+  ASSERT_EQ(result.trees.size(), 1u);
+  EXPECT_GT(result.trees[0].nodes.size(), 3u);  // actually split
+  // Halos are well separated in position space: high accuracy expected.
+  EXPECT_GT(result.train_accuracy, 0.9);
+  EXPECT_GT(result.test_accuracy, 0.9);
+}
+
+TEST_F(RfTest, DeterministicAcrossRuns) {
+  auto run_once = [&]() {
+    auto cluster = sim::Cluster::PaperTestbed(2);
+    core::Service svc(cluster.get(), SvcOptions());
+    RfResult result;
+    auto run = comm::RunRanks(*cluster, 4, 2, [&](comm::RankContext& ctx) {
+      comm::Communicator comm(&ctx);
+      auto r = RandomForestMega(svc, comm, key_, labels_key_, Config());
+      if (ctx.rank() == 0) result = r;
+    });
+    EXPECT_TRUE(run.ok()) << run.error;
+    return result;
+  };
+  auto a = run_once();
+  auto b = run_once();
+  ASSERT_EQ(a.trees.size(), b.trees.size());
+  ASSERT_EQ(a.trees[0].nodes.size(), b.trees[0].nodes.size());
+  for (std::size_t i = 0; i < a.trees[0].nodes.size(); ++i) {
+    EXPECT_EQ(a.trees[0].nodes[i].feature, b.trees[0].nodes[i].feature);
+    EXPECT_FLOAT_EQ(a.trees[0].nodes[i].threshold,
+                    b.trees[0].nodes[i].threshold);
+    EXPECT_EQ(a.trees[0].nodes[i].label, b.trees[0].nodes[i].label);
+  }
+  EXPECT_DOUBLE_EQ(a.test_accuracy, b.test_accuracy);
+}
+
+TEST_F(RfTest, SparkBuildsIdenticalTrees) {
+  RfConfig cfg = Config();
+  RfResult mega, spark;
+  {
+    auto cluster = sim::Cluster::PaperTestbed(2);
+    core::Service svc(cluster.get(), SvcOptions());
+    auto run = comm::RunRanks(*cluster, 4, 2, [&](comm::RankContext& ctx) {
+      comm::Communicator comm(&ctx);
+      auto r = RandomForestMega(svc, comm, key_, labels_key_, cfg);
+      if (ctx.rank() == 0) mega = r;
+    });
+    ASSERT_TRUE(run.ok()) << run.error;
+  }
+  {
+    auto cluster = std::make_unique<sim::Cluster>(
+        2, sim::NodeSpec::PaperCompute(), sim::NetworkSpec::Tcp10(),
+        TERABYTES(1));
+    auto run = comm::RunRanks(*cluster, 4, 2, [&](comm::RankContext& ctx) {
+      comm::Communicator comm(&ctx);
+      sparklike::SparkEnv env(ctx);
+      auto r = RandomForestSpark(env, comm, key_, labels_key_, cfg);
+      if (ctx.rank() == 0) spark = r;
+    });
+    ASSERT_TRUE(run.ok()) << run.error;
+  }
+  ASSERT_EQ(mega.trees.size(), spark.trees.size());
+  ASSERT_EQ(mega.trees[0].nodes.size(), spark.trees[0].nodes.size());
+  for (std::size_t i = 0; i < mega.trees[0].nodes.size(); ++i) {
+    EXPECT_EQ(mega.trees[0].nodes[i].feature, spark.trees[0].nodes[i].feature);
+    EXPECT_FLOAT_EQ(mega.trees[0].nodes[i].threshold,
+                    spark.trees[0].nodes[i].threshold);
+  }
+  EXPECT_DOUBLE_EQ(mega.test_accuracy, spark.test_accuracy);
+}
+
+TEST_F(RfTest, MultipleTreesImproveOrMatchSingle) {
+  RfConfig cfg = Config();
+  cfg.max_depth = 4;  // weak learners so the ensemble matters
+  auto accuracy_for = [&](int trees) {
+    cfg.num_trees = trees;
+    auto cluster = sim::Cluster::PaperTestbed(2);
+    core::Service svc(cluster.get(), SvcOptions());
+    RfResult result;
+    auto run = comm::RunRanks(*cluster, 4, 2, [&](comm::RankContext& ctx) {
+      comm::Communicator comm(&ctx);
+      auto r = RandomForestMega(svc, comm, key_, labels_key_, cfg);
+      if (ctx.rank() == 0) result = r;
+    });
+    EXPECT_TRUE(run.ok()) << run.error;
+    return result.test_accuracy;
+  };
+  double one = accuracy_for(1);
+  double five = accuracy_for(5);
+  EXPECT_GE(five, one - 0.02);
+}
+
+TEST_F(RfTest, TreeRespectsMaxDepth) {
+  RfConfig cfg = Config();
+  cfg.max_depth = 2;
+  auto cluster = sim::Cluster::PaperTestbed(1);
+  core::Service svc(cluster.get(), SvcOptions());
+  RfResult result;
+  auto run = comm::RunRanks(*cluster, 2, 2, [&](comm::RankContext& ctx) {
+    comm::Communicator comm(&ctx);
+    auto r = RandomForestMega(svc, comm, key_, labels_key_, cfg);
+    if (ctx.rank() == 0) result = r;
+  });
+  ASSERT_TRUE(run.ok()) << run.error;
+  // Depth 2 => at most 1 + 2 + 4 = 7 nodes.
+  EXPECT_LE(result.trees[0].nodes.size(), 7u);
+}
+
+TEST_F(RfTest, FullPaperWorkflowKMeansThenRf) {
+  // Evaluation 4's pipeline: KMeans assigns clusters, persists them, RF
+  // learns to predict the assignment from the features.
+  auto cluster = sim::Cluster::PaperTestbed(2);
+  core::Service svc(cluster.get(), SvcOptions());
+  std::string assign_key = "posix://" + (dir_ / "assign.bin").string();
+  RfResult rf;
+  auto run = comm::RunRanks(*cluster, 4, 2, [&](comm::RankContext& ctx) {
+    comm::Communicator comm(&ctx);
+    KMeansConfig kcfg;
+    kcfg.k = 4;
+    kcfg.max_iter = 4;
+    kcfg.page_size = 16 * 1024;
+    kcfg.pcache_bytes = 512 * 1024;
+    kcfg.assign_key = assign_key;
+    KMeansMega(svc, comm, key_, kcfg);
+    comm.Barrier();
+    auto r = RandomForestMega(svc, comm, key_, assign_key, Config());
+    if (ctx.rank() == 0) rf = r;
+  });
+  ASSERT_TRUE(run.ok()) << run.error;
+  EXPECT_GT(rf.test_accuracy, 0.9);
+}
+
+TEST(RfTreeTest, PredictWalksTree) {
+  RfTree tree;
+  tree.nodes = {
+      RfNode{/*feature=*/0, /*threshold=*/10.0f, 1, 2, 0},
+      RfNode{-1, 0, -1, -1, /*label=*/7},
+      RfNode{-1, 0, -1, -1, /*label=*/9},
+  };
+  Particle left{};
+  left.pos.x = 5.0f;
+  Particle right{};
+  right.pos.x = 15.0f;
+  EXPECT_EQ(tree.Predict(left), 7);
+  EXPECT_EQ(tree.Predict(right), 9);
+}
+
+TEST(RfSplitTest, TestIndexHashIsStableAndRoughly20Percent) {
+  int test_count = 0;
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    if (IsTestIndex(i, 13)) ++test_count;
+    EXPECT_EQ(IsTestIndex(i, 13), IsTestIndex(i, 13));
+  }
+  EXPECT_GT(test_count, 1800);
+  EXPECT_LT(test_count, 2200);
+}
+
+}  // namespace
+}  // namespace mm::apps

@@ -1,0 +1,155 @@
+#include "mm/util/bitmap.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "mm/util/rng.h"
+
+namespace mm {
+namespace {
+
+TEST(Bitmap, StartsEmpty) {
+  Bitmap b(100);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(b.Count(), 0u);
+  EXPECT_FALSE(b.Any());
+}
+
+TEST(Bitmap, SetTestClear) {
+  Bitmap b(70);
+  b.Set(0);
+  b.Set(63);
+  b.Set(64);
+  b.Set(69);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(63));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(69));
+  EXPECT_FALSE(b.Test(1));
+  EXPECT_EQ(b.Count(), 4u);
+  b.Clear(63);
+  EXPECT_FALSE(b.Test(63));
+  EXPECT_EQ(b.Count(), 3u);
+}
+
+TEST(Bitmap, SetRangeCrossesWordBoundaries) {
+  Bitmap b(200);
+  b.SetRange(60, 130);
+  for (std::size_t i = 0; i < 200; ++i) {
+    EXPECT_EQ(b.Test(i), i >= 60 && i < 130) << "bit " << i;
+  }
+  EXPECT_EQ(b.Count(), 70u);
+}
+
+TEST(Bitmap, ClearRange) {
+  Bitmap b(128);
+  b.SetRange(0, 128);
+  b.ClearRange(10, 100);
+  EXPECT_EQ(b.Count(), 128u - 90u);
+  EXPECT_TRUE(b.AllSet(0, 10));
+  EXPECT_TRUE(b.NoneSet(10, 100));
+  EXPECT_TRUE(b.AllSet(100, 128));
+}
+
+TEST(Bitmap, EmptyRangeIsNoop) {
+  Bitmap b(64);
+  b.SetRange(10, 10);
+  EXPECT_EQ(b.Count(), 0u);
+  EXPECT_TRUE(b.NoneSet(0, 64));
+  EXPECT_TRUE(b.AllSet(5, 5));  // vacuous truth
+}
+
+TEST(Bitmap, OutOfRangeChecks) {
+  Bitmap b(64);
+  EXPECT_THROW(b.SetRange(0, 65), std::logic_error);
+  EXPECT_THROW(b.AllSet(70, 71), std::logic_error);
+}
+
+TEST(Bitmap, OrMergesDirtyMasks) {
+  Bitmap a(100), b(100);
+  a.SetRange(0, 30);
+  b.SetRange(20, 60);
+  a.Or(b);
+  EXPECT_TRUE(a.AllSet(0, 60));
+  EXPECT_TRUE(a.NoneSet(60, 100));
+}
+
+TEST(Bitmap, OrRequiresEqualSizes) {
+  Bitmap a(10), b(11);
+  EXPECT_THROW(a.Or(b), std::logic_error);
+}
+
+TEST(Bitmap, ForEachRunFindsMaximalRuns) {
+  Bitmap b(128);
+  b.SetRange(2, 5);
+  b.Set(63);
+  b.Set(64);
+  b.SetRange(100, 128);
+  std::vector<std::pair<std::size_t, std::size_t>> runs;
+  b.ForEachRun([&](std::size_t lo, std::size_t hi) { runs.emplace_back(lo, hi); });
+  using Run = std::pair<std::size_t, std::size_t>;
+  ASSERT_EQ(runs.size(), 3u);
+  EXPECT_EQ(runs[0], (Run{2, 5}));
+  EXPECT_EQ(runs[1], (Run{63, 65}));
+  EXPECT_EQ(runs[2], (Run{100, 128}));
+}
+
+TEST(Bitmap, ResizePreservesAndZeroFills) {
+  Bitmap b(10);
+  b.SetRange(0, 10);
+  b.Resize(100);
+  EXPECT_TRUE(b.AllSet(0, 10));
+  EXPECT_TRUE(b.NoneSet(10, 100));
+  b.Resize(5);
+  EXPECT_EQ(b.Count(), 5u);
+}
+
+TEST(Bitmap, ResizeDownThenUpClearsStaleBits) {
+  Bitmap b(64);
+  b.SetRange(0, 64);
+  b.Resize(3);
+  b.Resize(64);
+  EXPECT_TRUE(b.AllSet(0, 3));
+  EXPECT_TRUE(b.NoneSet(3, 64));
+}
+
+// Property: for random range operations, the bitmap agrees with a reference
+// std::vector<bool> model.
+class BitmapPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BitmapPropertyTest, MatchesReferenceModel) {
+  Rng rng(GetParam());
+  const std::size_t n = 317;  // deliberately not a multiple of 64
+  Bitmap b(n);
+  std::vector<bool> model(n, false);
+  for (int step = 0; step < 300; ++step) {
+    std::size_t lo = rng.NextBounded(n);
+    std::size_t hi = lo + rng.NextBounded(n - lo + 1);
+    if (rng.NextBounded(2) == 0) {
+      b.SetRange(lo, hi);
+      for (std::size_t i = lo; i < hi; ++i) model[i] = true;
+    } else {
+      b.ClearRange(lo, hi);
+      for (std::size_t i = lo; i < hi; ++i) model[i] = false;
+    }
+  }
+  std::size_t expected_count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(b.Test(i), model[i]) << "bit " << i;
+    if (model[i]) ++expected_count;
+  }
+  EXPECT_EQ(b.Count(), expected_count);
+  // Runs must reconstruct exactly the set bits.
+  std::vector<bool> rebuilt(n, false);
+  b.ForEachRun([&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) rebuilt[i] = true;
+  });
+  EXPECT_EQ(rebuilt, model);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitmapPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace mm

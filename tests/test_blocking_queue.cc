@@ -1,0 +1,124 @@
+#include "mm/util/blocking_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+namespace mm {
+namespace {
+
+TEST(BlockingQueue, FifoOrder) {
+  BlockingQueue<int> q;
+  for (int i = 0; i < 10; ++i) q.Push(i);
+  for (int i = 0; i < 10; ++i) {
+    auto v = q.Pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+}
+
+TEST(BlockingQueue, TryPopNonBlocking) {
+  BlockingQueue<int> q;
+  EXPECT_FALSE(q.TryPop().has_value());
+  q.Push(7);
+  auto v = q.TryPop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 7);
+  EXPECT_FALSE(q.TryPop().has_value());
+}
+
+TEST(BlockingQueue, PopBlocksUntilPush) {
+  BlockingQueue<int> q;
+  std::atomic<bool> got{false};
+  std::thread consumer([&] {
+    auto v = q.Pop();
+    EXPECT_TRUE(v.has_value());
+    got.store(true);
+  });
+  // Give the consumer a moment to block.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(got.load());
+  q.Push(1);
+  consumer.join();
+  EXPECT_TRUE(got.load());
+}
+
+TEST(BlockingQueue, CloseDrainsThenReturnsNullopt) {
+  BlockingQueue<int> q;
+  q.Push(1);
+  q.Push(2);
+  q.Close();
+  EXPECT_TRUE(q.closed());
+  EXPECT_EQ(*q.Pop(), 1);
+  EXPECT_EQ(*q.Pop(), 2);
+  EXPECT_FALSE(q.Pop().has_value());
+  EXPECT_FALSE(q.Pop().has_value());  // stays closed
+}
+
+TEST(BlockingQueue, CloseWakesBlockedConsumers) {
+  BlockingQueue<int> q;
+  std::vector<std::thread> consumers;
+  std::atomic<int> woke{0};
+  for (int i = 0; i < 4; ++i) {
+    consumers.emplace_back([&] {
+      EXPECT_FALSE(q.Pop().has_value());
+      woke.fetch_add(1);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.Close();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(woke.load(), 4);
+}
+
+TEST(BlockingQueue, MpmcDeliversEveryItemExactlyOnce) {
+  BlockingQueue<int> q;
+  constexpr int kProducers = 4, kConsumers = 4, kPerProducer = 500;
+  std::mutex out_mu;
+  std::multiset<int> delivered;
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) q.Push(p * kPerProducer + i);
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (auto v = q.Pop()) {
+        std::lock_guard<std::mutex> lock(out_mu);
+        delivered.insert(*v);
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[p].join();
+  q.Close();
+  for (int c = 0; c < kConsumers; ++c) threads[kProducers + c].join();
+  ASSERT_EQ(delivered.size(),
+            static_cast<std::size_t>(kProducers) * kPerProducer);
+  for (int x = 0; x < kProducers * kPerProducer; ++x) {
+    EXPECT_EQ(delivered.count(x), 1u) << x;
+  }
+}
+
+TEST(BlockingQueue, MoveOnlyItems) {
+  BlockingQueue<std::unique_ptr<int>> q;
+  q.Push(std::make_unique<int>(42));
+  auto v = q.Pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(**v, 42);
+}
+
+TEST(BlockingQueue, SizeTracksContents) {
+  BlockingQueue<int> q;
+  EXPECT_EQ(q.size(), 0u);
+  q.Push(1);
+  q.Push(2);
+  EXPECT_EQ(q.size(), 2u);
+  (void)q.Pop();
+  EXPECT_EQ(q.size(), 1u);
+}
+
+}  // namespace
+}  // namespace mm

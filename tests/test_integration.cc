@@ -1,0 +1,295 @@
+// Cross-cutting integration scenarios exercising several subsystems at
+// once: producer/consumer pipelines with phase changes, distributed-lock
+// protected shared state, append-only logs, restart/recovery cycles, and
+// many-vector workloads.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <unistd.h>
+
+#include "mm/mega_mmap.h"
+
+namespace mm {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("mm_integ_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  core::ServiceOptions SvcOptions() {
+    core::ServiceOptions so;
+    so.tier_grants = {{sim::TierKind::kDram, MEGABYTES(4)},
+                      {sim::TierKind::kNvme, MEGABYTES(32)}};
+    return so;
+  }
+
+  std::string Key(const std::string& name, const std::string& scheme = "posix",
+                  const std::string& frag = "") {
+    std::string k = scheme + "://" + (dir_ / name).string();
+    if (!frag.empty()) k += ":" + frag;
+    return k;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(IntegrationTest, ProducerConsumerPipelineWithPhaseChanges) {
+  // Phase 1: half the ranks produce (write-only). Phase 2: the vector
+  // flips to read-only and ALL ranks consume with replication. Phase 3:
+  // the other half rewrites, and everyone re-verifies.
+  auto cluster = sim::Cluster::PaperTestbed(2);
+  core::Service svc(cluster.get(), SvcOptions());
+  const std::uint64_t n = 8192;
+  auto result = comm::RunRanks(*cluster, 4, 2, [&](comm::RankContext& ctx) {
+    comm::Communicator comm(&ctx);
+    core::VectorOptions vo;
+    vo.page_size = 4096;
+    vo.pcache_bytes = 64 * 1024;
+    vo.mode = core::CoherenceMode::kWriteOnlyGlobal;
+    Vector<std::uint64_t> v(svc, ctx, Key("pipe.bin"), n, vo);
+
+    bool producer = ctx.rank() < 2;
+    if (producer) {
+      std::uint64_t half = n / 2;
+      std::uint64_t lo = ctx.rank() * half;
+      auto tx = v.SeqTxBegin(lo, half, core::MM_WRITE_ONLY);
+      for (std::uint64_t i = lo; i < lo + half; ++i) v[i] = i * 7;
+      v.TxEnd();
+    }
+    comm.Barrier();
+    v.ChangePhase(core::CoherenceMode::kReadOnlyGlobal);
+    comm.Barrier();
+    {
+      auto tx = v.SeqTxBegin(0, n, core::MM_READ_ONLY);
+      for (std::uint64_t i = 0; i < n; ++i) ASSERT_EQ(v.Read(i), i * 7);
+      v.TxEnd();
+    }
+    comm.Barrier();
+    v.ChangePhase(core::CoherenceMode::kWriteOnlyGlobal);
+    comm.Barrier();
+    if (!producer) {
+      std::uint64_t half = n / 2;
+      std::uint64_t lo = (ctx.rank() - 2) * half;
+      auto tx = v.SeqTxBegin(lo, half, core::MM_WRITE_ONLY);
+      for (std::uint64_t i = lo; i < lo + half; ++i) v[i] = i * 11;
+      v.TxEnd();
+    }
+    comm.Barrier();
+    v.ChangePhase(core::CoherenceMode::kReadOnlyGlobal);
+    comm.Barrier();
+    {
+      auto tx = v.SeqTxBegin(0, n, core::MM_READ_ONLY);
+      for (std::uint64_t i = 0; i < n; ++i) ASSERT_EQ(v.Read(i), i * 11);
+      v.TxEnd();
+    }
+  });
+  ASSERT_TRUE(result.ok()) << result.error;
+}
+
+TEST_F(IntegrationTest, DistributedLockGuardsReadModifyWrite) {
+  // A shared counter vector updated with read-modify-write under a
+  // distributed lock: the total must be exact despite page-level races
+  // being possible without the lock.
+  auto cluster = sim::Cluster::PaperTestbed(2);
+  core::Service svc(cluster.get(), SvcOptions());
+  std::unique_ptr<comm::DistributedLock> lock;
+  std::mutex init_mu;
+  const int increments = 50;
+  auto result = comm::RunRanks(*cluster, 6, 3, [&](comm::RankContext& ctx) {
+    {
+      std::lock_guard<std::mutex> g(init_mu);
+      if (lock == nullptr) {
+        lock = std::make_unique<comm::DistributedLock>(&ctx.world(), 0);
+      }
+    }
+    comm::Communicator comm(&ctx);
+    core::VectorOptions vo;
+    vo.nonvolatile = false;
+    vo.page_size = 4096;
+    Vector<std::uint64_t> counters(svc, ctx, "locked_counters", 16, vo);
+    comm.Barrier();
+    for (int i = 0; i < increments; ++i) {
+      comm::DistributedLock::Guard guard(*lock, ctx);
+      // Read-modify-write across a synchronization point: must re-read the
+      // current value (acquire semantics at TxBegin).
+      auto tx = counters.SeqTxBegin(0, 1, core::MM_READ_WRITE);
+      counters[0] = counters[0] + 1;
+      counters.TxEnd();
+    }
+    comm.Barrier();
+    auto tx = counters.SeqTxBegin(0, 1, core::MM_READ_ONLY);
+    EXPECT_EQ(counters.Read(0),
+              static_cast<std::uint64_t>(increments) * ctx.size());
+    counters.TxEnd();
+  });
+  ASSERT_TRUE(result.ok()) << result.error;
+}
+
+TEST_F(IntegrationTest, AppendOnlyLogGathersAllRecords) {
+  // Every rank appends distinct records to a shared log; after a barrier,
+  // all records are present exactly once (the DBSCAN k-d exchange pattern).
+  auto cluster = sim::Cluster::PaperTestbed(2);
+  core::Service svc(cluster.get(), SvcOptions());
+  const int per_rank = 500;
+  auto result = comm::RunRanks(*cluster, 4, 2, [&](comm::RankContext& ctx) {
+    comm::Communicator comm(&ctx);
+    core::VectorOptions vo;
+    vo.nonvolatile = false;
+    vo.page_size = 1024;
+    vo.mode = core::CoherenceMode::kAppendOnlyGlobal;
+    Vector<std::uint64_t> log(svc, ctx, "append_log", 0, vo);
+    for (int i = 0; i < per_rank; ++i) {
+      log.Append((static_cast<std::uint64_t>(ctx.rank()) << 32) | i);
+    }
+    log.Commit();
+    comm.Barrier();
+    ASSERT_EQ(log.size(), static_cast<std::uint64_t>(per_rank) * ctx.size());
+    std::set<std::uint64_t> seen;
+    auto tx = log.SeqTxBegin(0, log.size(), core::MM_READ_ONLY);
+    for (std::uint64_t i = 0; i < log.size(); ++i) {
+      EXPECT_TRUE(seen.insert(log.Read(i)).second) << "duplicate at " << i;
+    }
+    log.TxEnd();
+    for (int r = 0; r < ctx.size(); ++r) {
+      for (int i = 0; i < per_rank; ++i) {
+        EXPECT_TRUE(seen.count((static_cast<std::uint64_t>(r) << 32) | i));
+      }
+    }
+  });
+  ASSERT_TRUE(result.ok()) << result.error;
+}
+
+TEST_F(IntegrationTest, CheckpointRestartCycles) {
+  // Repeated job restarts: each "job" loads the vector from the backend,
+  // advances its state, and shuts down; the state survives every cycle
+  // through the staging engine.
+  const std::uint64_t n = 2048;
+  std::string key = Key("cycles.bin");
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    auto cluster = sim::Cluster::PaperTestbed(2);
+    core::Service svc(cluster.get(), SvcOptions());
+    auto result = comm::RunRanks(*cluster, 2, 1, [&](comm::RankContext& ctx) {
+      comm::Communicator comm(&ctx);
+      core::VectorOptions vo;
+      vo.page_size = 4096;
+      Vector<std::uint64_t> v(svc, ctx, key, n, vo);
+      v.Pgas(ctx.rank(), ctx.size());
+      auto tx = v.SeqTxBegin(v.local_off(), v.local_size(),
+                             core::MM_READ_WRITE);
+      for (std::uint64_t i = v.local_off();
+           i < v.local_off() + v.local_size(); ++i) {
+        v[i] = v[i] + i;  // state advances by +i per cycle
+      }
+      v.TxEnd();
+    });
+    ASSERT_TRUE(result.ok()) << "cycle " << cycle << ": " << result.error;
+    svc.Shutdown();
+  }
+  // Verify: element i must be 4*i after 4 cycles.
+  auto cluster = sim::Cluster::PaperTestbed(1);
+  core::Service svc(cluster.get(), SvcOptions());
+  auto result = comm::RunRanks(*cluster, 1, 1, [&](comm::RankContext& ctx) {
+    Vector<std::uint64_t> v(svc, ctx, key);
+    ASSERT_EQ(v.size(), n);
+    auto tx = v.SeqTxBegin(0, n, core::MM_READ_ONLY);
+    for (std::uint64_t i = 0; i < n; ++i) ASSERT_EQ(v.Read(i), 4 * i);
+    v.TxEnd();
+  });
+  ASSERT_TRUE(result.ok()) << result.error;
+}
+
+TEST_F(IntegrationTest, ManySmallVectorsCoexist) {
+  // 32 independent vectors with different element types/pages share one
+  // service; destroying half leaves the rest intact.
+  auto cluster = sim::Cluster::PaperTestbed(2);
+  core::Service svc(cluster.get(), SvcOptions());
+  auto result = comm::RunRanks(*cluster, 2, 1, [&](comm::RankContext& ctx) {
+    comm::Communicator comm(&ctx);
+    std::vector<std::unique_ptr<Vector<std::uint32_t>>> vecs;
+    core::VectorOptions vo;
+    vo.nonvolatile = false;
+    vo.page_size = 1024;
+    for (int k = 0; k < 32; ++k) {
+      vecs.push_back(std::make_unique<Vector<std::uint32_t>>(
+          svc, ctx, "multi_" + std::to_string(k), 256, vo));
+    }
+    if (ctx.rank() == 0) {
+      for (int k = 0; k < 32; ++k) {
+        auto tx = vecs[k]->SeqTxBegin(0, 256, core::MM_WRITE_ONLY);
+        for (int i = 0; i < 256; ++i) (*vecs[k])[i] = k * 1000 + i;
+        vecs[k]->TxEnd();
+      }
+    }
+    comm.Barrier();
+    if (ctx.rank() == 0) {
+      for (int k = 0; k < 32; k += 2) vecs[k]->Destroy();
+    }
+    comm.Barrier();
+    // Odd vectors still fully readable from the other rank.
+    if (ctx.rank() == 1) {
+      for (int k = 1; k < 32; k += 2) {
+        auto tx = vecs[k]->SeqTxBegin(0, 256, core::MM_READ_ONLY);
+        for (int i = 0; i < 256; ++i) {
+          ASSERT_EQ(vecs[k]->Read(i), static_cast<std::uint32_t>(k * 1000 + i));
+        }
+        vecs[k]->TxEnd();
+      }
+    }
+  });
+  ASSERT_TRUE(result.ok()) << result.error;
+}
+
+TEST_F(IntegrationTest, ShdfMultiDatasetWorkflow) {
+  // Several vectors share one shdf container as distinct datasets (the
+  // paper's "hdf5:///path/to/df.h5:mygroup" pattern), staged and reloaded.
+  std::string base = (dir_ / "wf.h5").string();
+  {
+    auto cluster = sim::Cluster::PaperTestbed(1);
+    core::Service svc(cluster.get(), SvcOptions());
+    auto result = comm::RunRanks(*cluster, 2, 2, [&](comm::RankContext& ctx) {
+      comm::Communicator comm(&ctx);
+      Vector<float> pos(svc, ctx, "shdf://" + base + ":positions", 1024);
+      Vector<float> vel(svc, ctx, "shdf://" + base + ":velocities", 1024);
+      pos.Pgas(ctx.rank(), ctx.size());
+      vel.Pgas(ctx.rank(), ctx.size());
+      auto ptx = pos.SeqTxBegin(pos.local_off(), pos.local_size(),
+                                core::MM_WRITE_ONLY);
+      auto vtx = vel.SeqTxBegin(vel.local_off(), vel.local_size(),
+                                core::MM_WRITE_ONLY);
+      for (std::uint64_t i = pos.local_off();
+           i < pos.local_off() + pos.local_size(); ++i) {
+        pos[i] = static_cast<float>(i);
+        vel[i] = static_cast<float>(i) * -1.0f;
+      }
+      pos.TxEnd();
+      vel.TxEnd();
+    });
+    ASSERT_TRUE(result.ok()) << result.error;
+    svc.Shutdown();
+  }
+  {
+    auto cluster = sim::Cluster::PaperTestbed(1);
+    core::Service svc(cluster.get(), SvcOptions());
+    auto result = comm::RunRanks(*cluster, 1, 1, [&](comm::RankContext& ctx) {
+      Vector<float> pos(svc, ctx, "shdf://" + base + ":positions");
+      Vector<float> vel(svc, ctx, "shdf://" + base + ":velocities");
+      ASSERT_EQ(pos.size(), 1024u);
+      ASSERT_EQ(vel.size(), 1024u);
+      EXPECT_FLOAT_EQ(pos.Read(1000), 1000.0f);
+      EXPECT_FLOAT_EQ(vel.Read(1000), -1000.0f);
+    });
+    ASSERT_TRUE(result.ok()) << result.error;
+  }
+}
+
+}  // namespace
+}  // namespace mm

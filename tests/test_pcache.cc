@@ -1,0 +1,122 @@
+#include "mm/core/pcache.h"
+
+#include <gtest/gtest.h>
+
+namespace mm::core {
+namespace {
+
+constexpr std::uint64_t kPageBytes = 128, kEPP = 16;
+
+std::vector<std::uint8_t> Page(std::uint8_t fill) {
+  return std::vector<std::uint8_t>(kPageBytes, fill);
+}
+
+TEST(PCacheTest, InsertFind) {
+  PCache pc(kPageBytes, kEPP, 4 * kPageBytes);
+  EXPECT_EQ(pc.Find(0), nullptr);
+  PageFrame* f = pc.Insert(0, Page(7));
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->data[0], 7);
+  EXPECT_EQ(pc.Find(0), f);
+  EXPECT_EQ(pc.used(), kPageBytes);
+  EXPECT_TRUE(pc.Contains(0));
+}
+
+TEST(PCacheTest, NeedsEvictionAtCapacity) {
+  PCache pc(kPageBytes, kEPP, 2 * kPageBytes);
+  EXPECT_FALSE(pc.NeedsEviction());
+  pc.Insert(0, Page(1));
+  EXPECT_FALSE(pc.NeedsEviction());
+  pc.Insert(1, Page(2));
+  EXPECT_TRUE(pc.NeedsEviction());
+}
+
+TEST(PCacheTest, LruVictimPrefersCleanOldest) {
+  PCache pc(kPageBytes, kEPP, 10 * kPageBytes);
+  pc.Insert(0, Page(0));
+  pc.Insert(1, Page(1));
+  pc.Insert(2, Page(2));
+  // Touch page 0 so page 1 becomes LRU.
+  pc.Find(0);
+  EXPECT_EQ(pc.PickVictim(), std::make_optional<std::uint64_t>(1));
+  // Dirty page 1: victim should skip to the next clean one (page 2).
+  pc.MarkDirty(1, 0, 4);
+  EXPECT_EQ(pc.PickVictim(), std::make_optional<std::uint64_t>(2));
+}
+
+TEST(PCacheTest, AllDirtyFallsBackToDirtyLru) {
+  PCache pc(kPageBytes, kEPP, 10 * kPageBytes);
+  pc.Insert(0, Page(0));
+  pc.Insert(1, Page(1));
+  pc.MarkDirty(0, 0, 1);
+  pc.MarkDirty(1, 0, 1);
+  EXPECT_EQ(pc.PickVictim(), std::make_optional<std::uint64_t>(0));
+}
+
+TEST(PCacheTest, EmptyHasNoVictim) {
+  PCache pc(kPageBytes, kEPP, kPageBytes);
+  EXPECT_FALSE(pc.PickVictim().has_value());
+}
+
+TEST(PCacheTest, RemoveDetachesFrame) {
+  PCache pc(kPageBytes, kEPP, 10 * kPageBytes);
+  pc.Insert(3, Page(9));
+  pc.MarkDirty(3, 2, 5);
+  auto frame = pc.Remove(3);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->data[0], 9);
+  EXPECT_TRUE(frame->dirty.Test(2));
+  EXPECT_FALSE(pc.Contains(3));
+  EXPECT_EQ(pc.used(), 0u);
+  EXPECT_FALSE(pc.Remove(3).has_value());
+}
+
+TEST(PCacheTest, DirtyPagesLists) {
+  PCache pc(kPageBytes, kEPP, 10 * kPageBytes);
+  pc.Insert(0, Page(0));
+  pc.Insert(1, Page(1));
+  pc.MarkDirty(1, 0, 1);
+  auto dirty = pc.DirtyPages();
+  ASSERT_EQ(dirty.size(), 1u);
+  EXPECT_EQ(dirty[0], 1u);
+  EXPECT_EQ(pc.ResidentPages().size(), 2u);
+}
+
+TEST(PCacheTest, PendingLifecycle) {
+  PCache pc(kPageBytes, kEPP, 4 * kPageBytes);
+  std::promise<TaskOutcome> p;
+  p.set_value(TaskOutcome{});
+  pc.AddPending(5, PendingFetch{p.get_future().share(), 2, true});
+  EXPECT_TRUE(pc.HasPending(5));
+  EXPECT_EQ(pc.committed(), kPageBytes);  // pending counts against budget
+  auto fetch = pc.TakePending(5);
+  ASSERT_TRUE(fetch.has_value());
+  EXPECT_EQ(fetch->owner, 2u);
+  EXPECT_TRUE(fetch->remote);
+  EXPECT_FALSE(pc.HasPending(5));
+  EXPECT_FALSE(pc.TakePending(5).has_value());
+}
+
+TEST(PCacheTest, ClearDropsEverything) {
+  PCache pc(kPageBytes, kEPP, 4 * kPageBytes);
+  pc.Insert(0, Page(1));
+  std::promise<TaskOutcome> p;
+  p.set_value(TaskOutcome{});
+  pc.AddPending(1, PendingFetch{p.get_future().share(), 0, false});
+  pc.Clear();
+  EXPECT_EQ(pc.num_frames(), 0u);
+  EXPECT_EQ(pc.num_pending(), 0u);
+}
+
+TEST(PCacheTest, InsertWrongSizeChecks) {
+  PCache pc(kPageBytes, kEPP, 4 * kPageBytes);
+  EXPECT_THROW(pc.Insert(0, std::vector<std::uint8_t>(5)), std::logic_error);
+}
+
+TEST(PCacheTest, MarkDirtyOnAbsentPageChecks) {
+  PCache pc(kPageBytes, kEPP, 4 * kPageBytes);
+  EXPECT_THROW(pc.MarkDirty(0, 0, 1), std::logic_error);
+}
+
+}  // namespace
+}  // namespace mm::core

@@ -1,0 +1,283 @@
+// Service-level tests: vector registry, task routing, organizer wiring,
+// ownership/placement, phases, YAML options.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+#include "mm/mega_mmap.h"
+
+namespace mm::core {
+namespace {
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cluster_ = sim::Cluster::PaperTestbed(4);
+    ServiceOptions so;
+    so.tier_grants = {{sim::TierKind::kDram, MEGABYTES(4)},
+                      {sim::TierKind::kNvme, MEGABYTES(16)}};
+    svc_ = std::make_unique<Service>(cluster_.get(), so);
+  }
+
+  std::unique_ptr<sim::Cluster> cluster_;
+  std::unique_ptr<Service> svc_;
+};
+
+TEST_F(ServiceTest, RegisterVectorIsIdempotent) {
+  VectorOptions vo;
+  vo.nonvolatile = false;
+  auto a = svc_->RegisterVector("vec", 8, vo, 100);
+  auto b = svc_->RegisterVector("vec", 8, vo, 100);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+  EXPECT_EQ((*a)->num_elements(), 100u);
+}
+
+TEST_F(ServiceTest, RegisterVectorRejectsElementSizeMismatch) {
+  VectorOptions vo;
+  vo.nonvolatile = false;
+  ASSERT_TRUE(svc_->RegisterVector("vec", 8, vo, 100).ok());
+  EXPECT_FALSE(svc_->RegisterVector("vec", 4, vo, 100).ok());
+}
+
+TEST_F(ServiceTest, FindVectorByKeyAndId) {
+  VectorOptions vo;
+  vo.nonvolatile = false;
+  auto meta = svc_->RegisterVector("lookup_me", 8, vo, 10);
+  ASSERT_TRUE(meta.ok());
+  EXPECT_EQ(svc_->FindVector("lookup_me"), *meta);
+  EXPECT_EQ(svc_->FindVectorById((*meta)->vector_id), *meta);
+  EXPECT_EQ(svc_->FindVector("nope"), nullptr);
+  EXPECT_EQ(svc_->FindVectorById(12345), nullptr);
+}
+
+TEST_F(ServiceTest, PageBytesRoundedToWholeElements) {
+  VectorOptions vo;
+  vo.nonvolatile = false;
+  vo.page_size = 1000;  // not a multiple of 24
+  auto meta = svc_->RegisterVector("rounded", 24, vo, 100);
+  ASSERT_TRUE(meta.ok());
+  EXPECT_EQ((*meta)->page_bytes % 24, 0u);
+  EXPECT_LE((*meta)->page_bytes, 1000u);
+  EXPECT_EQ((*meta)->elems_per_page(), 41u);
+}
+
+TEST_F(ServiceTest, DefaultOwnerUsesPgasHint) {
+  VectorOptions vo;
+  vo.nonvolatile = false;
+  vo.page_size = 64;  // 8 elements per page
+  auto meta = svc_->RegisterVector("hinted", 8, vo, 64);
+  ASSERT_TRUE(meta.ok());
+  // 8 ranks over 4 nodes (2 per node), 64 elements -> 8 per rank, exactly
+  // one page per rank.
+  svc_->SetPgasHint(**meta, VectorMeta::PgasHint{64, 8, 2});
+  for (std::uint64_t page = 0; page < 8; ++page) {
+    storage::BlobId id{(*meta)->vector_id, page};
+    EXPECT_EQ(svc_->DefaultOwner(**meta, id), page / 2) << "page " << page;
+  }
+  // Pages past the hinted size fall back to home-node hashing.
+  storage::BlobId beyond{(*meta)->vector_id, 99};
+  EXPECT_EQ(svc_->DefaultOwner(**meta, beyond),
+            svc_->metadata().HomeNode(beyond));
+}
+
+TEST_F(ServiceTest, DefaultOwnerWithoutHintIsHomeNode) {
+  VectorOptions vo;
+  vo.nonvolatile = false;
+  auto meta = svc_->RegisterVector("unhinted", 8, vo, 100);
+  storage::BlobId id{(*meta)->vector_id, 3};
+  EXPECT_EQ(svc_->DefaultOwner(**meta, id), svc_->metadata().HomeNode(id));
+}
+
+TEST_F(ServiceTest, WriteThenReadThroughTasks) {
+  VectorOptions vo;
+  vo.nonvolatile = false;
+  vo.page_size = 4096;
+  auto meta = svc_->RegisterVector("taskio", 1, vo, 8192);
+  ASSERT_TRUE(meta.ok());
+  std::vector<std::uint8_t> bytes(100, 0x5A);
+  auto fut = svc_->WriteRegion(**meta, /*page=*/1, /*offset=*/50, bytes,
+                               /*from_node=*/0, /*now=*/0.0);
+  TaskOutcome outcome = fut.get();
+  ASSERT_TRUE(outcome.status.ok());
+  EXPECT_EQ(outcome.version, 1u);
+  sim::SimTime done = 0;
+  auto page = svc_->ReadPage(**meta, 1, /*from_node=*/2, outcome.done, &done);
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ((*page)[49], 0);
+  EXPECT_EQ((*page)[50], 0x5A);
+  EXPECT_EQ((*page)[149], 0x5A);
+  EXPECT_GT(done, 0.0);
+}
+
+TEST_F(ServiceTest, VersionsIncrementPerCommit) {
+  VectorOptions vo;
+  vo.nonvolatile = false;
+  vo.page_size = 4096;
+  auto meta = svc_->RegisterVector("versioned", 1, vo, 4096);
+  std::vector<std::uint8_t> bytes(10, 1);
+  for (std::uint64_t expect = 1; expect <= 3; ++expect) {
+    auto outcome =
+        svc_->WriteRegion(**meta, 0, 0, bytes, 0, 0.0).get();
+    ASSERT_TRUE(outcome.status.ok());
+    EXPECT_EQ(outcome.version, expect);
+    if (expect == 1) {
+      // First commit materializes the page: the base version is unknowable
+      // (reported as ~0 so writer frames never falsely adopt it).
+      EXPECT_EQ(outcome.prev_version, ~0ULL);
+    } else {
+      EXPECT_EQ(outcome.prev_version, expect - 1);
+    }
+  }
+  EXPECT_EQ(svc_->PageVersion(**meta, 0, 0, 0.0, nullptr), 3u);
+  EXPECT_EQ(svc_->PageVersion(**meta, 99, 0, 0.0, nullptr), 0u);
+}
+
+TEST_F(ServiceTest, ScoresReachTheOrganizer) {
+  VectorOptions vo;
+  vo.nonvolatile = false;
+  vo.page_size = 4096;
+  auto meta = svc_->RegisterVector("scored", 1, vo, 4096);
+  std::vector<std::uint8_t> bytes(10, 1);
+  auto outcome = svc_->WriteRegion(**meta, 0, 0, bytes, 0, 0.0).get();
+  ASSERT_TRUE(outcome.status.ok());
+  auto loc = svc_->metadata().Lookup({(*meta)->vector_id, 0}, 0, 0.0, nullptr);
+  ASSERT_TRUE(loc.ok());
+  std::size_t owner = loc->node;
+  svc_->SubmitScore(**meta, 0, 0.77f, 0, 0.0);
+  // Scores are async: poll the owner's buffer manager (real time).
+  storage::BlobId id{(*meta)->vector_id, 0};
+  float score = 0;
+  for (int i = 0; i < 200; ++i) {
+    score = svc_->runtime(owner).buffer().GetScore(id);
+    if (score == 0.77f) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_FLOAT_EQ(score, 0.77f);
+}
+
+TEST_F(ServiceTest, ChangePhaseDropsReplicas) {
+  VectorOptions vo;
+  vo.nonvolatile = false;
+  vo.page_size = 4096;
+  vo.mode = CoherenceMode::kReadOnlyGlobal;
+  auto meta = svc_->RegisterVector("phased", 1, vo, 4096);
+  std::vector<std::uint8_t> bytes(4096, 7);
+  // Place the page on node 0, then read it from node 2 (replicates).
+  auto outcome = svc_->WriteRegion(**meta, 0, 0, bytes, 0, 0.0).get();
+  ASSERT_TRUE(outcome.status.ok());
+  sim::SimTime done = 0;
+  ASSERT_TRUE(svc_->ReadPage(**meta, 0, 2, outcome.done, &done).ok());
+  storage::BlobId id{(*meta)->vector_id, 0};
+  EXPECT_FALSE(svc_->metadata().Replicas(id, 0, 0.0, nullptr).empty());
+  ASSERT_TRUE(
+      svc_->ChangePhase(**meta, CoherenceMode::kWriteOnlyGlobal, 0, done,
+                        nullptr)
+          .ok());
+  EXPECT_TRUE(svc_->metadata().Replicas(id, 0, 0.0, nullptr).empty());
+}
+
+TEST_F(ServiceTest, DestroyIsIdempotent) {
+  VectorOptions vo;
+  vo.nonvolatile = false;
+  auto meta = svc_->RegisterVector("bye", 1, vo, 4096);
+  std::vector<std::uint8_t> bytes(10, 1);
+  (void)svc_->WriteRegion(**meta, 0, 0, bytes, 0, 0.0).get();
+  EXPECT_TRUE(svc_->DestroyVector(**meta).ok());
+  EXPECT_TRUE(svc_->DestroyVector(**meta).ok());
+  EXPECT_EQ(svc_->metadata().BlobsOfVector((*meta)->vector_id).size(), 0u);
+}
+
+TEST_F(ServiceTest, RequiresTierGrants) {
+  ServiceOptions so;  // empty grants
+  EXPECT_THROW(Service bad(cluster_.get(), so), std::logic_error);
+}
+
+TEST_F(ServiceTest, ScacheDramReservedAgainstNodeBudget) {
+  // The fixture service granted 4 MB DRAM on each node.
+  for (std::size_t n = 0; n < cluster_->num_nodes(); ++n) {
+    EXPECT_GE(cluster_->node(n).dram_used(), MEGABYTES(4));
+  }
+  std::uint64_t before = cluster_->node(0).dram_used();
+  svc_->Shutdown();
+  EXPECT_EQ(cluster_->node(0).dram_used(), before - MEGABYTES(4));
+}
+
+// ---- ServiceOptions::FromYaml ----
+
+TEST(ServiceOptionsYaml, ParsesFullConfig) {
+  auto root = yaml::Parse(
+      "runtime:\n"
+      "  workers_per_node: 3\n"
+      "  low_latency_workers: 2\n"
+      "  low_latency_threshold: 32k\n"
+      "  organize_every: 16\n"
+      "  enable_prefetch: false\n"
+      "tiers:\n"
+      "  - kind: dram\n"
+      "    capacity: 1g\n"
+      "  - kind: nvme\n"
+      "    capacity: 4g\n"
+      "  - kind: hdd\n"
+      "    capacity: 1t\n");
+  ASSERT_TRUE(root.ok());
+  auto opts = ServiceOptions::FromYaml(*root);
+  ASSERT_TRUE(opts.ok());
+  EXPECT_EQ(opts->workers_per_node, 3);
+  EXPECT_EQ(opts->low_latency_workers, 2);
+  EXPECT_EQ(opts->low_latency_threshold, 32 * kKiB);
+  EXPECT_EQ(opts->organize_every, 16);
+  EXPECT_FALSE(opts->enable_prefetch);
+  EXPECT_TRUE(opts->enable_organizer);
+  ASSERT_EQ(opts->tier_grants.size(), 3u);
+  EXPECT_EQ(opts->tier_grants[0].kind, sim::TierKind::kDram);
+  EXPECT_EQ(opts->tier_grants[0].capacity, kGiB);
+  EXPECT_EQ(opts->tier_grants[2].kind, sim::TierKind::kHdd);
+  EXPECT_EQ(opts->tier_grants[2].capacity, kTiB);
+}
+
+TEST(ServiceOptionsYaml, DefaultsWhenSectionsMissing) {
+  auto root = yaml::Parse("tiers:\n  - kind: dram\n    capacity: 64m\n");
+  ASSERT_TRUE(root.ok());
+  auto opts = ServiceOptions::FromYaml(*root);
+  ASSERT_TRUE(opts.ok());
+  EXPECT_EQ(opts->workers_per_node, ServiceOptions{}.workers_per_node);
+}
+
+TEST(ServiceOptionsYaml, RejectsBadTier) {
+  auto root = yaml::Parse("tiers:\n  - kind: floppy\n    capacity: 1m\n");
+  ASSERT_TRUE(root.ok());
+  EXPECT_FALSE(ServiceOptions::FromYaml(*root).ok());
+}
+
+TEST(ServiceOptionsYaml, RejectsZeroCapacity) {
+  auto root = yaml::Parse("tiers:\n  - kind: dram\n");
+  ASSERT_TRUE(root.ok());
+  EXPECT_FALSE(ServiceOptions::FromYaml(*root).ok());
+}
+
+TEST(ServiceOptionsYaml, ConfigFileEndToEnd) {
+  auto dir = std::filesystem::temp_directory_path() /
+             ("mm_yaml_cfg_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  {
+    std::ofstream out(dir / "mm.yaml");
+    out << "runtime:\n  workers_per_node: 2\n"
+        << "tiers:\n  - kind: dram\n    capacity: 8m\n";
+  }
+  auto root = yaml::ParseFile((dir / "mm.yaml").string());
+  ASSERT_TRUE(root.ok());
+  auto opts = ServiceOptions::FromYaml(*root);
+  ASSERT_TRUE(opts.ok());
+  // A service boots from the parsed config.
+  auto cluster = sim::Cluster::PaperTestbed(1);
+  Service svc(cluster.get(), *opts);
+  EXPECT_EQ(svc.options().workers_per_node, 2);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace mm::core

@@ -1,0 +1,203 @@
+// Tests for the virtual-time substrate: clocks, devices, network, cluster.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "mm/sim/cluster.h"
+#include "mm/sim/cost_model.h"
+#include "mm/sim/device.h"
+#include "mm/sim/network.h"
+#include "mm/sim/virtual_clock.h"
+#include "mm/util/byte_units.h"
+
+namespace mm::sim {
+namespace {
+
+TEST(VirtualClock, AdvanceAndAdvanceTo) {
+  VirtualClock clock;
+  EXPECT_DOUBLE_EQ(clock.now(), 0.0);
+  clock.Advance(1.5);
+  EXPECT_DOUBLE_EQ(clock.now(), 1.5);
+  clock.AdvanceTo(1.0);  // never goes backwards
+  EXPECT_DOUBLE_EQ(clock.now(), 1.5);
+  clock.AdvanceTo(2.0);
+  EXPECT_DOUBLE_EQ(clock.now(), 2.0);
+}
+
+TEST(BusyChannel, SerializesOverlappingRequests) {
+  BusyChannel ch;
+  SimTime a = ch.Reserve(0.0, 1.0);
+  EXPECT_DOUBLE_EQ(a, 1.0);
+  // Second request issued at t=0.5 must queue behind the first.
+  SimTime b = ch.Reserve(0.5, 1.0);
+  EXPECT_DOUBLE_EQ(b, 2.0);
+  // A request after the channel idles starts immediately.
+  SimTime c = ch.Reserve(10.0, 1.0);
+  EXPECT_DOUBLE_EQ(c, 11.0);
+}
+
+TEST(BusyChannel, ConcurrentReservationsNeverOverlap) {
+  BusyChannel ch;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> threads;
+  std::vector<std::vector<SimTime>> ends(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        ends[t].push_back(ch.Reserve(0.0, 0.001));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  // Total busy time must equal requests * duration: no two overlapped.
+  EXPECT_NEAR(ch.busy_until(), kThreads * kPerThread * 0.001, 1e-9);
+  // All completion times distinct.
+  std::vector<SimTime> all;
+  for (auto& v : ends) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    EXPECT_GT(all[i], all[i - 1]);
+  }
+}
+
+TEST(Device, ReadChargesLatencyPlusBandwidth) {
+  Device dev(DeviceSpec::Nvme(GIGABYTES(1)));
+  std::uint64_t bytes = 1'000'000;
+  SimTime done = dev.Read(0.0, bytes);
+  double expected = dev.spec().read_latency_s +
+                    static_cast<double>(bytes) / dev.spec().read_bw_Bps;
+  EXPECT_NEAR(done, expected, 1e-12);
+  EXPECT_EQ(dev.bytes_read(), bytes);
+}
+
+TEST(Device, TierOrderingFastestFirst) {
+  // The presets must preserve the hierarchy the paper relies on.
+  auto dram = DeviceSpec::Dram(1);
+  auto nvme = DeviceSpec::Nvme(1);
+  auto ssd = DeviceSpec::Ssd(1);
+  auto hdd = DeviceSpec::Hdd(1);
+  // Effective device bandwidth = per-channel bandwidth x channels.
+  auto eff = [](const DeviceSpec& d) { return d.read_bw_Bps * d.channels; };
+  EXPECT_GT(eff(dram), eff(nvme));
+  EXPECT_GT(eff(nvme), eff(ssd));
+  EXPECT_GT(eff(ssd), eff(hdd));
+  EXPECT_LT(dram.read_latency_s, nvme.read_latency_s);
+  EXPECT_LT(nvme.read_latency_s, ssd.read_latency_s);
+  EXPECT_LT(ssd.read_latency_s, hdd.read_latency_s);
+  // Paper: HDD roughly 0.02$/GB, SSD 0.04, NVMe 0.08.
+  EXPECT_DOUBLE_EQ(hdd.dollars_per_gb, 0.02);
+  EXPECT_DOUBLE_EQ(ssd.dollars_per_gb, 0.04);
+  EXPECT_DOUBLE_EQ(nvme.dollars_per_gb, 0.08);
+  // Paper: HDDs 6-10x slower than SSD and NVMe.
+  EXPECT_GE(eff(ssd) / eff(hdd), 3.0);
+  EXPECT_GE(eff(nvme) / eff(hdd), 6.0);
+}
+
+TEST(Device, WriteTracksBytesAndQueues) {
+  Device dev(DeviceSpec::Hdd(GIGABYTES(10)));
+  SimTime first = dev.Write(0.0, 1000);
+  SimTime second = dev.Write(0.0, 1000);
+  EXPECT_GT(second, first);
+  EXPECT_EQ(dev.bytes_written(), 2000u);
+}
+
+TEST(Network, TransferChargesBothEnds) {
+  Network net(2, NetworkSpec::Roce40());
+  auto res = net.Transfer(0.0, 0, 1, 1'000'000);
+  double wire = 1e6 / net.spec().bandwidth_Bps;
+  EXPECT_NEAR(res.egress_done, wire, 1e-12);
+  EXPECT_NEAR(res.delivered, wire + net.spec().latency_s, 1e-9);
+  EXPECT_EQ(net.total_bytes(), 1'000'000u);
+  EXPECT_EQ(net.total_messages(), 1u);
+}
+
+TEST(Network, IntraNodeUsesLoopback) {
+  Network net(2, NetworkSpec::Roce40());
+  auto local = net.Transfer(0.0, 0, 0, 1'000'000);
+  auto remote = net.Transfer(0.0, 1, 0, 1'000'000);
+  EXPECT_LT(local.delivered, remote.delivered);
+}
+
+TEST(Network, NicContentionSerializes) {
+  Network net(3, NetworkSpec::Roce40());
+  // Up to kNicLanes large transfers proceed concurrently; the next one
+  // must queue behind a lane.
+  std::vector<Network::TransferResult> xs;
+  for (std::size_t i = 0; i < Network::kNicLanes + 1; ++i) {
+    xs.push_back(net.Transfer(0.0, 1, 0, 10'000'000));
+  }
+  double wire = 1e7 / net.spec().bandwidth_Bps;
+  SimTime latest = 0;
+  for (const auto& x : xs) latest = std::max(latest, x.delivered);
+  EXPECT_GE(latest, 2 * wire);
+}
+
+TEST(Network, ControlMessagesBypassLanes) {
+  Network net(2, NetworkSpec::Roce40());
+  // Saturate the lanes with big transfers...
+  for (int i = 0; i < 16; ++i) net.Transfer(0.0, 0, 1, 50'000'000);
+  // ...a small control message still completes in ~latency.
+  auto ctl = net.Transfer(0.0, 0, 1, 128);
+  EXPECT_LT(ctl.delivered, 2 * net.spec().latency_s);
+}
+
+TEST(Network, TcpSlowerThanRoce) {
+  NetworkSpec roce = NetworkSpec::Roce40();
+  NetworkSpec tcp = NetworkSpec::Tcp10();
+  EXPECT_GT(tcp.latency_s, roce.latency_s);
+  EXPECT_LT(tcp.bandwidth_Bps, roce.bandwidth_Bps);
+}
+
+TEST(Cluster, PaperTestbedShape) {
+  auto cluster = Cluster::PaperTestbed(4);
+  EXPECT_EQ(cluster->num_nodes(), 4u);
+  Node& node = cluster->node(0);
+  ASSERT_EQ(node.num_tiers(), 4u);
+  EXPECT_EQ(node.tier(0).kind(), TierKind::kDram);
+  EXPECT_EQ(node.tier(0).spec().capacity_bytes, GIGABYTES(48));
+  EXPECT_EQ(node.tier(1).kind(), TierKind::kNvme);
+  EXPECT_EQ(node.tier(1).spec().capacity_bytes, GIGABYTES(128));
+  EXPECT_EQ(node.tier(2).kind(), TierKind::kSsd);
+  EXPECT_EQ(node.tier(2).spec().capacity_bytes, GIGABYTES(256));
+  EXPECT_EQ(node.tier(3).kind(), TierKind::kHdd);
+  EXPECT_EQ(node.tier(3).spec().capacity_bytes, TERABYTES(1));
+}
+
+TEST(Cluster, ScaleShrinksCapacities) {
+  auto cluster = Cluster::PaperTestbed(1, /*scale=*/0.001);
+  EXPECT_EQ(cluster->node(0).tier(0).spec().capacity_bytes,
+            static_cast<std::uint64_t>(GIGABYTES(48) * 0.001));
+}
+
+TEST(Cluster, FindTier) {
+  auto cluster = Cluster::PaperTestbed(1);
+  EXPECT_NE(cluster->node(0).FindTier(TierKind::kNvme), nullptr);
+  EXPECT_EQ(cluster->node(0).FindTier(TierKind::kPfs), nullptr);
+}
+
+TEST(Cluster, ResetStatsClearsCounters) {
+  auto cluster = Cluster::PaperTestbed(2);
+  cluster->node(0).tier(0).Read(0.0, 100);
+  cluster->network().Transfer(0.0, 0, 1, 100);
+  cluster->ResetStats();
+  EXPECT_EQ(cluster->node(0).tier(0).bytes_read(), 0u);
+  EXPECT_EQ(cluster->network().total_bytes(), 0u);
+}
+
+TEST(CostModelTest, DollarsScaleWithCapacity) {
+  auto nvme = DeviceSpec::Nvme(GIGABYTES(128));
+  double dollars = DollarsForCapacity(nvme, 48ULL * 1000 * 1000 * 1000);
+  EXPECT_NEAR(dollars, 48 * 0.08, 1e-9);
+}
+
+TEST(CostModelTest, MmOverheadIsSmallFraction) {
+  // §III-E: mm::Vector access overhead is ~5% of a typical memory access.
+  const CostModel& costs = CostModel::Default();
+  EXPECT_LT(costs.mm_access_overhead_s / costs.memory_access_s, 0.5);
+  EXPECT_GT(costs.mm_access_overhead_s, 0.0);
+}
+
+}  // namespace
+}  // namespace mm::sim

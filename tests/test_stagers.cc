@@ -1,0 +1,286 @@
+// Tests for the staging backends: posix, shdf (HDF5-like), spar
+// (parquet-like columnar), and the scheme registry. These do real file I/O
+// under a temp directory.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+#include "mm/storage/stager.h"
+#include "mm/util/rng.h"
+
+namespace mm::storage {
+namespace {
+
+class StagerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("mm_stager_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  Uri MakeUri(const std::string& scheme, const std::string& file,
+              const std::string& fragment = "") {
+    Uri uri;
+    uri.scheme = scheme;
+    uri.path = (dir_ / file).string();
+    uri.fragment = fragment;
+    return uri;
+  }
+
+  static std::vector<std::uint8_t> Pattern(std::size_t n, std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<std::uint8_t> out(n);
+    for (auto& b : out) b = static_cast<std::uint8_t>(rng.Next());
+    return out;
+  }
+
+  std::filesystem::path dir_;
+};
+
+// ---------- posix ----------
+
+TEST_F(StagerTest, PosixCreateReadWrite) {
+  auto stager = MakePosixStager();
+  Uri uri = MakeUri("posix", "data.bin");
+  ASSERT_TRUE(stager->Create(uri, 8192).ok());
+  EXPECT_TRUE(stager->Exists(uri));
+  EXPECT_EQ(*stager->Size(uri), 8192u);
+
+  auto data = Pattern(1024, 1);
+  ASSERT_TRUE(stager->Write(uri, 4096, data).ok());
+  std::vector<std::uint8_t> back;
+  ASSERT_TRUE(stager->Read(uri, 4096, 1024, &back).ok());
+  EXPECT_EQ(back, data);
+  // Untouched regions read as zeros.
+  ASSERT_TRUE(stager->Read(uri, 0, 16, &back).ok());
+  EXPECT_EQ(back, std::vector<std::uint8_t>(16, 0));
+}
+
+TEST_F(StagerTest, PosixReadPastEndFails) {
+  auto stager = MakePosixStager();
+  Uri uri = MakeUri("posix", "small.bin");
+  ASSERT_TRUE(stager->Create(uri, 100).ok());
+  std::vector<std::uint8_t> out;
+  EXPECT_FALSE(stager->Read(uri, 90, 20, &out).ok());
+}
+
+TEST_F(StagerTest, PosixMissingFile) {
+  auto stager = MakePosixStager();
+  Uri uri = MakeUri("posix", "absent.bin");
+  EXPECT_FALSE(stager->Exists(uri));
+  EXPECT_FALSE(stager->Size(uri).ok());
+  std::vector<std::uint8_t> out;
+  EXPECT_FALSE(stager->Read(uri, 0, 1, &out).ok());
+  EXPECT_FALSE(stager->Remove(uri).ok());
+}
+
+TEST_F(StagerTest, PosixRemove) {
+  auto stager = MakePosixStager();
+  Uri uri = MakeUri("posix", "gone.bin");
+  ASSERT_TRUE(stager->Create(uri, 10).ok());
+  ASSERT_TRUE(stager->Remove(uri).ok());
+  EXPECT_FALSE(stager->Exists(uri));
+}
+
+TEST_F(StagerTest, PosixCreatesParentDirectories) {
+  auto stager = MakePosixStager();
+  Uri uri = MakeUri("posix", "deep/nested/dirs/file.bin");
+  ASSERT_TRUE(stager->Create(uri, 10).ok());
+  EXPECT_TRUE(stager->Exists(uri));
+}
+
+// ---------- shdf ----------
+
+TEST_F(StagerTest, ShdfMultipleDatasets) {
+  auto stager = MakeShdfStager();
+  Uri a = MakeUri("shdf", "c.h5", "groupA");
+  Uri b = MakeUri("shdf", "c.h5", "groupB");
+  ASSERT_TRUE(stager->Create(a, 1000).ok());
+  ASSERT_TRUE(stager->Create(b, 2000).ok());
+  EXPECT_EQ(*stager->Size(a), 1000u);
+  EXPECT_EQ(*stager->Size(b), 2000u);
+
+  auto da = Pattern(1000, 1), db = Pattern(2000, 2);
+  ASSERT_TRUE(stager->Write(a, 0, da).ok());
+  ASSERT_TRUE(stager->Write(b, 0, db).ok());
+  std::vector<std::uint8_t> back;
+  ASSERT_TRUE(stager->Read(a, 0, 1000, &back).ok());
+  EXPECT_EQ(back, da);
+  ASSERT_TRUE(stager->Read(b, 0, 2000, &back).ok());
+  EXPECT_EQ(back, db);
+}
+
+TEST_F(StagerTest, ShdfPartialAccessWithinDataset) {
+  auto stager = MakeShdfStager();
+  Uri uri = MakeUri("shdf", "c.h5", "grid");
+  ASSERT_TRUE(stager->Create(uri, 10000).ok());
+  auto chunk = Pattern(256, 3);
+  ASSERT_TRUE(stager->Write(uri, 5000, chunk).ok());
+  std::vector<std::uint8_t> back;
+  ASSERT_TRUE(stager->Read(uri, 5000, 256, &back).ok());
+  EXPECT_EQ(back, chunk);
+}
+
+TEST_F(StagerTest, ShdfBoundsEnforcedPerDataset) {
+  auto stager = MakeShdfStager();
+  Uri uri = MakeUri("shdf", "c.h5", "small");
+  ASSERT_TRUE(stager->Create(uri, 100).ok());
+  std::vector<std::uint8_t> out;
+  EXPECT_EQ(stager->Read(uri, 90, 20, &out).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(stager->Write(uri, 90, Pattern(20, 1)).code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST_F(StagerTest, ShdfDuplicateCreateFails) {
+  auto stager = MakeShdfStager();
+  Uri uri = MakeUri("shdf", "c.h5", "dup");
+  ASSERT_TRUE(stager->Create(uri, 10).ok());
+  EXPECT_EQ(stager->Create(uri, 10).code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(StagerTest, ShdfRemoveDropsOnlyThatDataset) {
+  auto stager = MakeShdfStager();
+  Uri a = MakeUri("shdf", "c.h5", "keep");
+  Uri b = MakeUri("shdf", "c.h5", "drop");
+  ASSERT_TRUE(stager->Create(a, 10).ok());
+  ASSERT_TRUE(stager->Create(b, 10).ok());
+  ASSERT_TRUE(stager->Remove(b).ok());
+  EXPECT_TRUE(stager->Exists(a));
+  EXPECT_FALSE(stager->Exists(b));
+}
+
+TEST_F(StagerTest, ShdfDefaultDatasetNameWhenNoFragment) {
+  auto stager = MakeShdfStager();
+  Uri uri = MakeUri("shdf", "c.h5");
+  ASSERT_TRUE(stager->Create(uri, 64).ok());
+  EXPECT_TRUE(stager->Exists(uri));
+}
+
+TEST_F(StagerTest, ShdfSurvivesManyDatasets) {
+  auto stager = MakeShdfStager();
+  for (int i = 0; i < 20; ++i) {
+    Uri uri = MakeUri("shdf", "many.h5", "ds" + std::to_string(i));
+    ASSERT_TRUE(stager->Create(uri, 128).ok());
+    ASSERT_TRUE(stager->Write(uri, 0, Pattern(128, i)).ok());
+  }
+  for (int i = 0; i < 20; ++i) {
+    Uri uri = MakeUri("shdf", "many.h5", "ds" + std::to_string(i));
+    std::vector<std::uint8_t> back;
+    ASSERT_TRUE(stager->Read(uri, 0, 128, &back).ok());
+    EXPECT_EQ(back, Pattern(128, i)) << "dataset " << i;
+  }
+}
+
+// ---------- spar ----------
+
+TEST_F(StagerTest, SparRoundTripsRowMajorData) {
+  auto stager = MakeSparStager();
+  Uri uri = MakeUri("spar", "pts.parquet", "f4x3");
+  // 3 float32 columns -> 12-byte rows; 10000 rows spans 3 row groups.
+  const std::uint64_t rows = 10000, row_bytes = 12;
+  ASSERT_TRUE(stager->Create(uri, rows * row_bytes).ok());
+  EXPECT_EQ(*stager->Size(uri), rows * row_bytes);
+
+  auto data = Pattern(rows * row_bytes, 7);
+  ASSERT_TRUE(stager->Write(uri, 0, data).ok());
+  std::vector<std::uint8_t> back;
+  ASSERT_TRUE(stager->Read(uri, 0, rows * row_bytes, &back).ok());
+  EXPECT_EQ(back, data);
+}
+
+TEST_F(StagerTest, SparPartialRowRanges) {
+  auto stager = MakeSparStager();
+  Uri uri = MakeUri("spar", "pts.parquet", "f4x2");
+  const std::uint64_t rows = 9000, row_bytes = 8;
+  ASSERT_TRUE(stager->Create(uri, rows * row_bytes).ok());
+  auto data = Pattern(rows * row_bytes, 5);
+  ASSERT_TRUE(stager->Write(uri, 0, data).ok());
+  // Read rows [4090, 4110) — crosses the group-0/group-1 boundary at 4096.
+  std::vector<std::uint8_t> back;
+  ASSERT_TRUE(stager->Read(uri, 4090 * row_bytes, 20 * row_bytes, &back).ok());
+  EXPECT_EQ(0, std::memcmp(back.data(), data.data() + 4090 * row_bytes,
+                           20 * row_bytes));
+  // Overwrite a range crossing the boundary and re-verify.
+  auto patch = Pattern(20 * row_bytes, 9);
+  ASSERT_TRUE(stager->Write(uri, 4090 * row_bytes, patch).ok());
+  ASSERT_TRUE(stager->Read(uri, 4090 * row_bytes, 20 * row_bytes, &back).ok());
+  EXPECT_EQ(back, patch);
+}
+
+TEST_F(StagerTest, SparFileIsActuallyColumnar) {
+  auto stager = MakeSparStager();
+  Uri uri = MakeUri("spar", "col.parquet", "f4x2");
+  // 4 rows of 2 columns: rows (c0, c1) = (i, 100+i) as float32.
+  ASSERT_TRUE(stager->Create(uri, 4 * 8).ok());
+  std::vector<std::uint8_t> rows(4 * 8);
+  for (int i = 0; i < 4; ++i) {
+    float c0 = static_cast<float>(i), c1 = static_cast<float>(100 + i);
+    std::memcpy(rows.data() + i * 8, &c0, 4);
+    std::memcpy(rows.data() + i * 8 + 4, &c1, 4);
+  }
+  ASSERT_TRUE(stager->Write(uri, 0, rows).ok());
+  // Raw file layout after the 24-byte header must be column-major:
+  // c0[0..3] then c1[0..3].
+  std::ifstream in(uri.path, std::ios::binary);
+  in.seekg(24);
+  float raw[8];
+  in.read(reinterpret_cast<char*>(raw), sizeof(raw));
+  ASSERT_TRUE(in.good());
+  EXPECT_FLOAT_EQ(raw[0], 0.0f);
+  EXPECT_FLOAT_EQ(raw[3], 3.0f);
+  EXPECT_FLOAT_EQ(raw[4], 100.0f);
+  EXPECT_FLOAT_EQ(raw[7], 103.0f);
+}
+
+TEST_F(StagerTest, SparRejectsUnalignedAccess) {
+  auto stager = MakeSparStager();
+  Uri uri = MakeUri("spar", "pts.parquet", "f4x3");
+  ASSERT_TRUE(stager->Create(uri, 1200).ok());
+  std::vector<std::uint8_t> out;
+  EXPECT_EQ(stager->Read(uri, 5, 12, &out).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(stager->Write(uri, 0, Pattern(7, 1)).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(StagerTest, SparRejectsBadSchemaAndSize) {
+  auto stager = MakeSparStager();
+  EXPECT_FALSE(stager->Create(MakeUri("spar", "x.parquet", "i8x2"), 16).ok());
+  // Size not a multiple of row size.
+  EXPECT_FALSE(stager->Create(MakeUri("spar", "y.parquet", "f4x3"), 13).ok());
+}
+
+// ---------- registry ----------
+
+TEST_F(StagerTest, RegistryResolvesSchemes) {
+  auto& reg = StagerRegistry::Default();
+  EXPECT_TRUE(reg.Get("posix").ok());
+  EXPECT_TRUE(reg.Get("shdf").ok());
+  EXPECT_TRUE(reg.Get("spar").ok());
+  EXPECT_TRUE(reg.Get("file").ok());
+  EXPECT_FALSE(reg.Get("s3").ok());
+
+  auto resolved = reg.Resolve("shdf://" + (dir_ / "z.h5").string() + ":grp");
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(resolved->second.scheme, "shdf");
+  EXPECT_EQ(resolved->second.fragment, "grp");
+}
+
+TEST_F(StagerTest, RegistryDefaultsBareKeysToPosix) {
+  auto& reg = StagerRegistry::Default();
+  auto resolved = reg.Resolve((dir_ / "plain.bin").string());
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(resolved->second.scheme, "posix");
+}
+
+}  // namespace
+}  // namespace mm::storage

@@ -1,0 +1,103 @@
+#include "mm/util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace mm {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status s = NotFound("page 7");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "page 7");
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: page 7");
+}
+
+TEST(Status, AllFactoryHelpersProduceDistinctCodes) {
+  EXPECT_EQ(InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(ResourceExhausted("x").code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(FailedPrecondition("x").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(IoError("x").code(), StatusCode::kIoError);
+}
+
+TEST(Status, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(NotFound("a"), NotFound("a"));
+  EXPECT_FALSE(NotFound("a") == NotFound("b"));
+  EXPECT_FALSE(NotFound("a") == Internal("a"));
+}
+
+TEST(StatusOr, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOr, HoldsError) {
+  StatusOr<int> v = NotFound("nope");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOr, ValueOnErrorThrows) {
+  StatusOr<int> v = Internal("bad");
+  EXPECT_THROW(v.value(), std::logic_error);
+}
+
+TEST(StatusOr, MoveOnlyTypesWork) {
+  StatusOr<std::unique_ptr<int>> v = std::make_unique<int>(7);
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> out = std::move(v).value();
+  EXPECT_EQ(*out, 7);
+}
+
+Status FailsIfNegative(int x) {
+  if (x < 0) return InvalidArgument("negative");
+  return Status::Ok();
+}
+
+Status UsesReturnIfError(int x) {
+  MM_RETURN_IF_ERROR(FailsIfNegative(x));
+  return Status::Ok();
+}
+
+TEST(StatusMacros, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(UsesReturnIfError(1).ok());
+  EXPECT_EQ(UsesReturnIfError(-1).code(), StatusCode::kInvalidArgument);
+}
+
+StatusOr<int> Half(int x) {
+  if (x % 2 != 0) return InvalidArgument("odd");
+  return x / 2;
+}
+
+StatusOr<int> Quarter(int x) {
+  MM_ASSIGN_OR_RETURN(int h, Half(x));
+  MM_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+TEST(StatusMacros, AssignOrReturnChains) {
+  auto q = Quarter(8);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(*q, 2);
+  EXPECT_FALSE(Quarter(6).ok());
+}
+
+TEST(Check, ThrowsOnViolation) {
+  EXPECT_THROW(MM_CHECK(1 == 2), std::logic_error);
+  EXPECT_NO_THROW(MM_CHECK(1 == 1));
+}
+
+}  // namespace
+}  // namespace mm

@@ -1,0 +1,165 @@
+#include "mm/core/transaction.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace mm::core {
+namespace {
+
+// elem_size=8, elems_per_page=16 -> 128-byte pages.
+constexpr std::size_t kES = 8, kEPP = 16;
+
+TEST(SeqTxTest, FlagsAndAccessors) {
+  SeqTx tx(MM_READ_ONLY, kES, kEPP, 0, 100);
+  EXPECT_TRUE(tx.reads());
+  EXPECT_FALSE(tx.writes());
+  EXPECT_FALSE(tx.collective());
+  EXPECT_EQ(tx.TotalAccesses(), 100u);
+  EXPECT_EQ(tx.head(), 0u);
+  EXPECT_EQ(tx.tail(), 0u);
+  SeqTx wtx(MM_WRITE_ONLY | MM_COLLECTIVE, kES, kEPP, 0, 1);
+  EXPECT_TRUE(wtx.writes());
+  EXPECT_TRUE(wtx.collective());
+}
+
+TEST(SeqTxTest, ElementAtIsLinear) {
+  SeqTx tx(MM_READ_ONLY, kES, kEPP, 40, 100);
+  EXPECT_EQ(tx.ElementAt(0), 40u);
+  EXPECT_EQ(tx.ElementAt(99), 139u);
+}
+
+TEST(SeqTxTest, GetPagesClosedForm) {
+  SeqTx tx(MM_READ_ONLY, kES, kEPP, 0, 64);  // elements 0..63: pages 0..3
+  auto pages = tx.GetPages(0, 64);
+  ASSERT_EQ(pages.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(pages[i].page_idx, i);
+    EXPECT_EQ(pages[i].off, 0u);
+    EXPECT_EQ(pages[i].size, kEPP * kES);
+    EXPECT_FALSE(pages[i].modified);
+  }
+}
+
+TEST(SeqTxTest, GetPagesPartialEdges) {
+  SeqTx tx(MM_WRITE_ONLY, kES, kEPP, 10, 20);  // elements 10..29
+  auto pages = tx.GetPages(0, 20);
+  ASSERT_EQ(pages.size(), 2u);
+  // Page 0: elements 10..15 -> bytes [80, 128)
+  EXPECT_EQ(pages[0].page_idx, 0u);
+  EXPECT_EQ(pages[0].off, 10 * kES);
+  EXPECT_EQ(pages[0].size, 6 * kES);
+  EXPECT_TRUE(pages[0].modified);
+  // Page 1: elements 16..29 -> bytes [0, 112)
+  EXPECT_EQ(pages[1].page_idx, 1u);
+  EXPECT_EQ(pages[1].off, 0u);
+  EXPECT_EQ(pages[1].size, 14 * kES);
+}
+
+TEST(SeqTxTest, GetPagesClipsToLength) {
+  SeqTx tx(MM_READ_ONLY, kES, kEPP, 0, 10);
+  EXPECT_TRUE(tx.GetPages(10, 100).empty());
+  auto pages = tx.GetPages(5, 100);  // only accesses 5..9 exist
+  ASSERT_EQ(pages.size(), 1u);
+  EXPECT_EQ(pages[0].off, 5 * kES);
+  EXPECT_EQ(pages[0].size, 5 * kES);
+}
+
+TEST(SeqTxTest, MatchesGenericWalk) {
+  // The closed-form SeqTx::GetPages must agree with the base-class walk.
+  SeqTx seq(MM_READ_ONLY, kES, kEPP, 7, 50);
+  StrideTx unit_stride(MM_READ_ONLY, kES, kEPP, 7, 1, 50);  // generic path
+  for (std::size_t pos : {std::size_t{0}, std::size_t{13}, std::size_t{49}}) {
+    for (std::size_t count : {std::size_t{1}, std::size_t{10}, std::size_t{50}}) {
+      auto a = seq.GetPages(pos, count);
+      auto b = unit_stride.GetPages(pos, count);
+      ASSERT_EQ(a.size(), b.size()) << pos << "," << count;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i], b[i]) << pos << "," << count << " region " << i;
+      }
+    }
+  }
+}
+
+TEST(TouchedAndFuture, TrackHeadTail) {
+  SeqTx tx(MM_READ_ONLY, kES, kEPP, 0, 64);
+  for (int i = 0; i < 20; ++i) tx.AdvanceTail();
+  auto touched = tx.GetTouchedPages();
+  ASSERT_EQ(touched.size(), 2u);  // elements 0..19 span pages 0,1
+  EXPECT_EQ(touched[0].page_idx, 0u);
+  EXPECT_EQ(touched[1].page_idx, 1u);
+  auto future = tx.GetFuturePages(16);
+  ASSERT_EQ(future.size(), 2u);  // elements 20..35 span pages 1,2
+  EXPECT_EQ(future[0].page_idx, 1u);
+  EXPECT_EQ(future[1].page_idx, 2u);
+  tx.set_head(tx.tail());
+  EXPECT_TRUE(tx.GetTouchedPages().empty());
+}
+
+TEST(StrideTxTest, SkipsPages) {
+  // Stride 16 = one element per page.
+  StrideTx tx(MM_READ_ONLY, kES, kEPP, 0, kEPP, 8);
+  auto pages = tx.GetPages(0, 8);
+  ASSERT_EQ(pages.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(pages[i].page_idx, i);
+    EXPECT_EQ(pages[i].off, 0u);
+    EXPECT_EQ(pages[i].size, kES);  // only one element touched per page
+  }
+}
+
+TEST(StrideTxTest, ElementAt) {
+  StrideTx tx(MM_READ_ONLY, kES, kEPP, 5, 3, 10);
+  EXPECT_EQ(tx.ElementAt(0), 5u);
+  EXPECT_EQ(tx.ElementAt(4), 17u);
+}
+
+TEST(RandTxTest, DeterministicForSeed) {
+  RandTx a(MM_READ_ONLY, kES, kEPP, 0, 1000, 50, /*seed=*/42);
+  RandTx b(MM_READ_ONLY, kES, kEPP, 0, 1000, 50, /*seed=*/42);
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.ElementAt(i), b.ElementAt(i));
+  }
+  RandTx c(MM_READ_ONLY, kES, kEPP, 0, 1000, 50, /*seed=*/43);
+  int same = 0;
+  for (std::size_t i = 0; i < 50; ++i) {
+    if (a.ElementAt(i) == c.ElementAt(i)) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RandTxTest, StaysInRangeAndMayRetouch) {
+  RandTx tx(MM_READ_ONLY, kES, kEPP, 100, 200, 1000, 7);
+  for (std::size_t i = 0; i < 1000; ++i) {
+    std::size_t e = tx.ElementAt(i);
+    EXPECT_GE(e, 100u);
+    EXPECT_LT(e, 200u);
+  }
+  EXPECT_TRUE(tx.MayRetouch());
+  SeqTx seq(MM_READ_ONLY, kES, kEPP, 0, 10);
+  EXPECT_FALSE(seq.MayRetouch());
+}
+
+TEST(RandTxTest, GetPagesCoversAccessedPages) {
+  RandTx tx(MM_WRITE_ONLY, kES, kEPP, 0, 160, 64, 9);  // pages 0..9
+  auto pages = tx.GetPages(0, 64);
+  std::set<std::size_t> covered;
+  for (const auto& r : pages) {
+    EXPECT_TRUE(r.modified);
+    covered.insert(r.page_idx);
+  }
+  // Every accessed element's page must be covered.
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_TRUE(covered.count(tx.ElementAt(i) / kEPP) > 0);
+  }
+}
+
+TEST(TransactionTest, PageOfElement) {
+  SeqTx tx(MM_READ_ONLY, kES, kEPP, 0, 1);
+  EXPECT_EQ(tx.PageOfElement(0), 0u);
+  EXPECT_EQ(tx.PageOfElement(15), 0u);
+  EXPECT_EQ(tx.PageOfElement(16), 1u);
+}
+
+}  // namespace
+}  // namespace mm::core

@@ -1,0 +1,203 @@
+// Tests for byte units, URI parsing, hashing, RNG, and stats accumulators.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "mm/util/byte_units.h"
+#include "mm/util/hash.h"
+#include "mm/util/rng.h"
+#include "mm/util/stats.h"
+#include "mm/util/uri.h"
+
+namespace mm {
+namespace {
+
+TEST(ByteUnits, ParsesPlainNumbers) {
+  EXPECT_EQ(*ParseBytes("4096"), 4096u);
+  EXPECT_EQ(*ParseBytes("0"), 0u);
+}
+
+TEST(ByteUnits, ParsesSuffixes) {
+  EXPECT_EQ(*ParseBytes("16k"), 16 * kKiB);
+  EXPECT_EQ(*ParseBytes("1m"), kMiB);
+  EXPECT_EQ(*ParseBytes("48g"), 48 * kGiB);
+  EXPECT_EQ(*ParseBytes("2t"), 2 * kTiB);
+  EXPECT_EQ(*ParseBytes("16K"), 16 * kKiB);
+  EXPECT_EQ(*ParseBytes("16KB"), 16 * kKiB);
+  EXPECT_EQ(*ParseBytes("16KiB"), 16 * kKiB);
+  EXPECT_EQ(*ParseBytes("16 k"), 16 * kKiB);
+}
+
+TEST(ByteUnits, ParsesFractions) {
+  EXPECT_EQ(*ParseBytes("1.5g"), kGiB + kGiB / 2);
+  EXPECT_EQ(*ParseBytes("0.5k"), 512u);
+}
+
+TEST(ByteUnits, RejectsGarbage) {
+  EXPECT_FALSE(ParseBytes("").ok());
+  EXPECT_FALSE(ParseBytes("abc").ok());
+  EXPECT_FALSE(ParseBytes("12x").ok());
+  EXPECT_FALSE(ParseBytes("-5k").ok());
+}
+
+TEST(ByteUnits, Formats) {
+  EXPECT_EQ(FormatBytes(512), "512B");
+  EXPECT_EQ(FormatBytes(kKiB), "1.00KiB");
+  EXPECT_EQ(FormatBytes(kGiB + kGiB / 2), "1.50GiB");
+}
+
+TEST(Uri, ParsesFullUrl) {
+  auto uri = ParseUri("shdf:///path/to/df.h5:mygroup");
+  ASSERT_TRUE(uri.ok());
+  EXPECT_EQ(uri->scheme, "shdf");
+  EXPECT_EQ(uri->path, "/path/to/df.h5");
+  EXPECT_EQ(uri->fragment, "mygroup");
+}
+
+TEST(Uri, DefaultsToPosix) {
+  auto uri = ParseUri("/points.parquet");
+  ASSERT_TRUE(uri.ok());
+  EXPECT_EQ(uri->scheme, "posix");
+  EXPECT_EQ(uri->path, "/points.parquet");
+  EXPECT_TRUE(uri->fragment.empty());
+}
+
+TEST(Uri, NoFragment) {
+  auto uri = ParseUri("spar:///data/pts.parquet");
+  ASSERT_TRUE(uri.ok());
+  EXPECT_EQ(uri->scheme, "spar");
+  EXPECT_EQ(uri->path, "/data/pts.parquet");
+  EXPECT_TRUE(uri->fragment.empty());
+}
+
+TEST(Uri, RoundTrips) {
+  auto uri = ParseUri("shdf:///a/b.h5:grp");
+  ASSERT_TRUE(uri.ok());
+  EXPECT_EQ(uri->ToString(), "shdf:///a/b.h5:grp");
+  auto again = ParseUri(uri->ToString());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->scheme, uri->scheme);
+  EXPECT_EQ(again->path, uri->path);
+  EXPECT_EQ(again->fragment, uri->fragment);
+}
+
+TEST(Uri, RejectsEmpty) {
+  EXPECT_FALSE(ParseUri("").ok());
+  EXPECT_FALSE(ParseUri("posix://").ok());
+}
+
+TEST(Hash, Fnv1aIsDeterministicAndSpreads) {
+  EXPECT_EQ(Fnv1a64("hello"), Fnv1a64("hello"));
+  EXPECT_NE(Fnv1a64("hello"), Fnv1a64("hellp"));
+  EXPECT_NE(Fnv1a64(""), Fnv1a64("a"));
+}
+
+TEST(Hash, MixU64Avalanches) {
+  // Adjacent inputs should map to well-separated outputs.
+  std::set<std::uint64_t> outs;
+  for (std::uint64_t i = 0; i < 1000; ++i) outs.insert(MixU64(i));
+  EXPECT_EQ(outs.size(), 1000u);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(11);
+  double sum = 0, sumsq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sumsq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.05);
+}
+
+TEST(Stats, BasicMoments) {
+  StatAccumulator acc;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) acc.Add(x);
+  EXPECT_EQ(acc.count(), 4u);
+  EXPECT_DOUBLE_EQ(acc.Mean(), 2.5);
+  EXPECT_NEAR(acc.Stddev(), std::sqrt(5.0 / 3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(acc.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.Max(), 4.0);
+}
+
+TEST(Stats, Percentiles) {
+  StatAccumulator acc;
+  for (int i = 1; i <= 100; ++i) acc.Add(i);
+  EXPECT_NEAR(acc.Percentile(0), 1.0, 1e-9);
+  EXPECT_NEAR(acc.Percentile(100), 100.0, 1e-9);
+  EXPECT_NEAR(acc.Percentile(50), 50.5, 1e-9);
+}
+
+TEST(Stats, SingleSampleDegenerate) {
+  StatAccumulator acc;
+  acc.Add(5.0);
+  EXPECT_DOUBLE_EQ(acc.Mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.Stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.Percentile(37), 5.0);
+}
+
+TEST(Stats, AddAfterPercentileKeepsConsistency) {
+  StatAccumulator acc;
+  acc.Add(1.0);
+  acc.Add(3.0);
+  EXPECT_DOUBLE_EQ(acc.Percentile(100), 3.0);
+  acc.Add(2.0);
+  EXPECT_DOUBLE_EQ(acc.Percentile(50), 2.0);
+  EXPECT_DOUBLE_EQ(acc.Mean(), 2.0);
+}
+
+TEST(TablePrinterTest, AlignsAndCsv) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"longer", "22"});
+  std::string text = t.Render(false);
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("longer"), std::string::npos);
+  std::string csv = t.Render(true);
+  EXPECT_NE(csv.find("name,value"), std::string::npos);
+  EXPECT_NE(csv.find("longer,22"), std::string::npos);
+}
+
+TEST(TablePrinterTest, RowWidthMismatchChecks) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.AddRow({"only-one"}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace mm

@@ -1,0 +1,458 @@
+// End-to-end tests of mm::Vector over the full stack: pcache, runtime
+// MemoryTasks, tiered scache, metadata, staging backends, coherence modes.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <numeric>
+
+#include "mm/mega_mmap.h"
+
+namespace mm {
+namespace {
+
+using core::Service;
+using core::ServiceOptions;
+using core::VectorOptions;
+
+class VectorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("mm_vec_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+    cluster_ = sim::Cluster::PaperTestbed(2);
+    sopts_.tier_grants = {{sim::TierKind::kDram, MEGABYTES(4)},
+                          {sim::TierKind::kNvme, MEGABYTES(16)}};
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::string Key(const std::string& scheme, const std::string& name,
+                  const std::string& frag = "") {
+    std::string k = scheme + "://" + (dir_ / name).string();
+    if (!frag.empty()) k += ":" + frag;
+    return k;
+  }
+
+  VectorOptions SmallPages() {
+    VectorOptions o;
+    o.page_size = 4096;
+    o.pcache_bytes = 64 * kKiB;
+    return o;
+  }
+
+  std::filesystem::path dir_;
+  std::unique_ptr<sim::Cluster> cluster_;
+  ServiceOptions sopts_;
+};
+
+TEST_F(VectorTest, SingleRankWriteReadBack) {
+  Service svc(cluster_.get(), sopts_);
+  auto result = comm::RunRanks(*cluster_, 1, 1, [&](comm::RankContext& ctx) {
+    Vector<double> v(svc, ctx, Key("posix", "wr.bin"), 10000, SmallPages());
+    EXPECT_EQ(v.size(), 10000u);
+    auto tx = v.SeqTxBegin(0, 10000, MM_WRITE_ONLY);
+    for (std::uint64_t i = 0; i < 10000; ++i) v[i] = static_cast<double>(i);
+    v.TxEnd();
+    auto rtx = v.SeqTxBegin(0, 10000, MM_READ_ONLY);
+    double sum = 0;
+    for (double x : rtx) sum += x;
+    v.TxEnd();
+    EXPECT_DOUBLE_EQ(sum, 10000.0 * 9999.0 / 2);
+  });
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_GT(result.max_time, 0.0);
+}
+
+TEST_F(VectorTest, BoundMemoryForcesEvictionAndDataSurvives) {
+  Service svc(cluster_.get(), sopts_);
+  auto result = comm::RunRanks(*cluster_, 1, 1, [&](comm::RankContext& ctx) {
+    VectorOptions o = SmallPages();
+    o.pcache_bytes = 4 * 4096;  // 4 pages for ~20 pages of data
+    Vector<std::uint64_t> v(svc, ctx, Key("posix", "bm.bin"), 10000, o);
+    auto tx = v.SeqTxBegin(0, 10000, MM_WRITE_ONLY);
+    for (std::uint64_t i = 0; i < 10000; ++i) v[i] = i * 3;
+    v.TxEnd();
+    EXPECT_GT(v.evictions(), 0u);
+    EXPECT_LE(v.pcache().used(), o.pcache_bytes);
+    auto rtx = v.SeqTxBegin(0, 10000, MM_READ_ONLY);
+    for (std::uint64_t i = 0; i < 10000; ++i) {
+      ASSERT_EQ(v[i], i * 3) << "element " << i;
+    }
+    v.TxEnd();
+  });
+  ASSERT_TRUE(result.ok()) << result.error;
+}
+
+TEST_F(VectorTest, TwoRanksShareDataAfterBarrier) {
+  Service svc(cluster_.get(), sopts_);
+  auto result = comm::RunRanks(*cluster_, 2, 1, [&](comm::RankContext& ctx) {
+    comm::Communicator comm(&ctx);
+    Vector<int> v(svc, ctx, Key("posix", "share.bin"), 4096, SmallPages());
+    if (ctx.rank() == 0) {
+      auto tx = v.SeqTxBegin(0, 4096, MM_WRITE_ONLY);
+      for (int i = 0; i < 4096; ++i) v[i] = i + 1;
+      v.TxEnd();
+    }
+    comm.Barrier();
+    if (ctx.rank() == 1) {
+      auto tx = v.SeqTxBegin(0, 4096, MM_READ_ONLY);
+      long sum = 0;
+      for (int x : tx) sum += x;
+      v.TxEnd();
+      EXPECT_EQ(sum, 4096L * 4097 / 2);
+    }
+  });
+  ASSERT_TRUE(result.ok()) << result.error;
+}
+
+TEST_F(VectorTest, PgasPartitionCoversAllElementsExactly) {
+  Service svc(cluster_.get(), sopts_);
+  const std::uint64_t n = 1003;  // deliberately not divisible
+  std::atomic<std::uint64_t> covered{0};
+  auto result = comm::RunRanks(*cluster_, 4, 2, [&](comm::RankContext& ctx) {
+    Vector<int> v(svc, ctx, Key("posix", "pgas.bin"), n, SmallPages());
+    v.Pgas(ctx.rank(), ctx.size());
+    covered.fetch_add(v.local_size());
+    // Partitions are contiguous and ordered.
+    if (ctx.rank() == 0) EXPECT_EQ(v.local_off(), 0u);
+    EXPECT_LE(v.local_off() + v.local_size(), n);
+  });
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(covered.load(), n);
+}
+
+TEST_F(VectorTest, NonOverlappingWritesLocalMode) {
+  // Read/Write Local (Fig. 3): every rank writes its own partition; all
+  // partitions must be intact afterwards, including ranks sharing pages.
+  Service svc(cluster_.get(), sopts_);
+  const std::uint64_t n = 8192;
+  auto result = comm::RunRanks(*cluster_, 4, 2, [&](comm::RankContext& ctx) {
+    comm::Communicator comm(&ctx);
+    VectorOptions o = SmallPages();
+    o.mode = core::CoherenceMode::kLocal;
+    Vector<std::uint32_t> v(svc, ctx, Key("posix", "local.bin"), n, o);
+    v.Pgas(ctx.rank(), ctx.size());
+    auto tx = v.SeqTxBegin(v.local_off(), v.local_size(), MM_WRITE_ONLY);
+    for (std::uint64_t i = v.local_off(); i < v.local_off() + v.local_size();
+         ++i) {
+      v[i] = static_cast<std::uint32_t>(i ^ 0xABCD);
+    }
+    v.TxEnd();
+    comm.Barrier();
+    // Everyone verifies everything.
+    auto rtx = v.SeqTxBegin(0, n, MM_READ_ONLY);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      ASSERT_EQ(v[i], static_cast<std::uint32_t>(i ^ 0xABCD)) << i;
+    }
+    v.TxEnd();
+  });
+  ASSERT_TRUE(result.ok()) << result.error;
+}
+
+TEST_F(VectorTest, PersistenceAcrossServices) {
+  // Write with one service, shut it down, read the file with a fresh one.
+  std::string key = Key("posix", "persist.bin");
+  {
+    Service svc(cluster_.get(), sopts_);
+    auto result = comm::RunRanks(*cluster_, 1, 1, [&](comm::RankContext& ctx) {
+      Vector<std::uint64_t> v(svc, ctx, key, 5000, SmallPages());
+      auto tx = v.SeqTxBegin(0, 5000, MM_WRITE_ONLY);
+      for (std::uint64_t i = 0; i < 5000; ++i) v[i] = i * i;
+      v.TxEnd();
+    });
+    ASSERT_TRUE(result.ok()) << result.error;
+    svc.Shutdown();  // stages all dirty pages to the backend
+  }
+  EXPECT_TRUE(std::filesystem::exists(
+      (dir_ / "persist.bin")));
+  {
+    auto cluster2 = sim::Cluster::PaperTestbed(2);
+    Service svc(cluster2.get(), sopts_);
+    auto result = comm::RunRanks(*cluster2, 1, 1, [&](comm::RankContext& ctx) {
+      Vector<std::uint64_t> v(svc, ctx, key, 0, SmallPages());
+      ASSERT_EQ(v.size(), 5000u);  // size recovered from the backend
+      auto tx = v.SeqTxBegin(0, 5000, MM_READ_ONLY);
+      for (std::uint64_t i = 0; i < 5000; ++i) {
+        ASSERT_EQ(v[i], i * i) << i;
+      }
+      v.TxEnd();
+    });
+    ASSERT_TRUE(result.ok()) << result.error;
+  }
+}
+
+TEST_F(VectorTest, ShdfBackedVectorPersists) {
+  std::string key = Key("shdf", "data.h5", "positions");
+  {
+    Service svc(cluster_.get(), sopts_);
+    auto result = comm::RunRanks(*cluster_, 1, 1, [&](comm::RankContext& ctx) {
+      Vector<float> v(svc, ctx, key, 4096, SmallPages());
+      auto tx = v.SeqTxBegin(0, 4096, MM_WRITE_ONLY);
+      for (std::uint64_t i = 0; i < 4096; ++i) v[i] = i * 0.5f;
+      v.TxEnd();
+      v.Flush();
+    });
+    ASSERT_TRUE(result.ok()) << result.error;
+  }
+  // Independently verify through the stager API.
+  auto resolved = storage::StagerRegistry::Default().Resolve(key);
+  ASSERT_TRUE(resolved.ok());
+  auto size = resolved->first->Size(resolved->second);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 4096 * sizeof(float));
+  std::vector<std::uint8_t> bytes;
+  ASSERT_TRUE(resolved->first->Read(resolved->second, 0, 64, &bytes).ok());
+  float f0, f1;
+  std::memcpy(&f0, bytes.data(), 4);
+  std::memcpy(&f1, bytes.data() + 4, 4);
+  EXPECT_FLOAT_EQ(f0, 0.0f);
+  EXPECT_FLOAT_EQ(f1, 0.5f);
+}
+
+TEST_F(VectorTest, SparBackedVectorRoundTrips) {
+  struct Point3D {
+    float x, y, z;
+  };
+  std::string key = Key("spar", "pts.parquet", "f4x3");
+  Service svc(cluster_.get(), sopts_);
+  auto result = comm::RunRanks(*cluster_, 1, 1, [&](comm::RankContext& ctx) {
+    VectorOptions o;
+    o.page_size = 120 * 16;  // multiple of 12-byte rows
+    Vector<Point3D> v(svc, ctx, key, 5000, o);
+    auto tx = v.SeqTxBegin(0, 5000, MM_WRITE_ONLY);
+    for (std::uint64_t i = 0; i < 5000; ++i) {
+      v[i] = Point3D{float(i), float(i) * 2, float(i) * 3};
+    }
+    v.TxEnd();
+    v.Flush();
+    auto rtx = v.SeqTxBegin(0, 5000, MM_READ_ONLY);
+    for (std::uint64_t i = 0; i < 5000; ++i) {
+      Point3D p = v[i];
+      ASSERT_FLOAT_EQ(p.y, float(i) * 2) << i;
+    }
+    v.TxEnd();
+  });
+  ASSERT_TRUE(result.ok()) << result.error;
+}
+
+TEST_F(VectorTest, AppendGrowsVector) {
+  Service svc(cluster_.get(), sopts_);
+  auto result = comm::RunRanks(*cluster_, 2, 1, [&](comm::RankContext& ctx) {
+    comm::Communicator comm(&ctx);
+    VectorOptions o = SmallPages();
+    o.mode = core::CoherenceMode::kAppendOnlyGlobal;
+    Vector<int> v(svc, ctx, Key("posix", "append.bin"), 0, o);
+    for (int i = 0; i < 500; ++i) {
+      v.Append(ctx.rank() * 1000 + i);
+    }
+    v.Flush();
+    comm.Barrier();
+    EXPECT_EQ(v.size(), 1000u);
+  });
+  ASSERT_TRUE(result.ok()) << result.error;
+}
+
+TEST_F(VectorTest, VolatileVectorNeverTouchesBackend) {
+  Service svc(cluster_.get(), sopts_);
+  auto result = comm::RunRanks(*cluster_, 1, 1, [&](comm::RankContext& ctx) {
+    VectorOptions o = SmallPages();
+    o.nonvolatile = false;
+    Vector<int> v(svc, ctx, "scratch_volatile", 2048, o);
+    auto tx = v.SeqTxBegin(0, 2048, MM_READ_WRITE);
+    for (int i = 0; i < 2048; ++i) v[i] = -i;
+    for (int i = 0; i < 2048; ++i) ASSERT_EQ(v[i], -i);
+    v.TxEnd();
+  });
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_FALSE(std::filesystem::exists("scratch_volatile"));
+}
+
+TEST_F(VectorTest, DestroyRemovesScacheState) {
+  Service svc(cluster_.get(), sopts_);
+  auto result = comm::RunRanks(*cluster_, 1, 1, [&](comm::RankContext& ctx) {
+    VectorOptions o = SmallPages();
+    o.nonvolatile = false;
+    Vector<int> v(svc, ctx, "doomed", 4096, o);
+    auto tx = v.SeqTxBegin(0, 4096, MM_WRITE_ONLY);
+    for (int i = 0; i < 4096; ++i) v[i] = i;
+    v.TxEnd();
+    EXPECT_GT(svc.metadata().TotalBlobs(), 0u);
+    v.Destroy();
+  });
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(svc.metadata().TotalBlobs(), 0u);
+}
+
+TEST_F(VectorTest, ReadOnlyGlobalReplicates) {
+  Service svc(cluster_.get(), sopts_);
+  std::string key = Key("posix", "ro.bin");
+  // Pre-create the dataset.
+  {
+    auto resolved = storage::StagerRegistry::Default().Resolve(key);
+    ASSERT_TRUE(resolved.ok());
+    std::vector<std::uint8_t> bytes(64 * 1024);
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+      bytes[i] = static_cast<std::uint8_t>(i);
+    }
+    ASSERT_TRUE(resolved->first->Create(resolved->second, bytes.size()).ok());
+    ASSERT_TRUE(resolved->first->Write(resolved->second, 0, bytes).ok());
+  }
+  auto result = comm::RunRanks(*cluster_, 2, 1, [&](comm::RankContext& ctx) {
+    comm::Communicator comm(&ctx);
+    VectorOptions o = SmallPages();
+    o.mode = core::CoherenceMode::kReadOnlyGlobal;
+    Vector<std::uint8_t> v(svc, ctx, key, 0, o);
+    comm.Barrier();
+    auto tx = v.SeqTxBegin(0, v.size(), MM_READ_ONLY);
+    std::uint64_t sum = 0;
+    for (std::uint8_t b : tx) sum += b;
+    v.TxEnd();
+    std::uint64_t expected = 0;
+    for (std::size_t i = 0; i < 64 * 1024; ++i) {
+      expected += static_cast<std::uint8_t>(i);
+    }
+    EXPECT_EQ(sum, expected);
+  });
+  ASSERT_TRUE(result.ok()) << result.error;
+}
+
+TEST_F(VectorTest, PhaseChangeInvalidatesReplicasAndAllowsWrites) {
+  Service svc(cluster_.get(), sopts_);
+  std::string key = Key("posix", "phase.bin");
+  auto result = comm::RunRanks(*cluster_, 2, 1, [&](comm::RankContext& ctx) {
+    comm::Communicator comm(&ctx);
+    VectorOptions o = SmallPages();
+    o.mode = core::CoherenceMode::kWriteOnlyGlobal;
+    Vector<int> v(svc, ctx, key, 2048, o);
+    // Phase 1: rank 0 writes.
+    if (ctx.rank() == 0) {
+      auto tx = v.SeqTxBegin(0, 2048, MM_WRITE_ONLY);
+      for (int i = 0; i < 2048; ++i) v[i] = 1;
+      v.TxEnd();
+    }
+    comm.Barrier();
+    // Phase 2: read-only; both ranks read (replication kicks in).
+    v.ChangePhase(core::CoherenceMode::kReadOnlyGlobal);
+    comm.Barrier();
+    {
+      auto tx = v.SeqTxBegin(0, 2048, MM_READ_ONLY);
+      long sum = 0;
+      for (int x : tx) sum += x;
+      v.TxEnd();
+      EXPECT_EQ(sum, 2048);
+    }
+    comm.Barrier();
+    // Phase 3: back to writable; rank 1 rewrites, then all re-read.
+    v.ChangePhase(core::CoherenceMode::kWriteOnlyGlobal);
+    comm.Barrier();
+    if (ctx.rank() == 1) {
+      auto tx = v.SeqTxBegin(0, 2048, MM_WRITE_ONLY);
+      for (int i = 0; i < 2048; ++i) v[i] = 2;
+      v.TxEnd();
+    }
+    comm.Barrier();
+    v.ChangePhase(core::CoherenceMode::kReadOnlyGlobal);
+    comm.Barrier();
+    {
+      auto tx = v.SeqTxBegin(0, 2048, MM_READ_ONLY);
+      long sum = 0;
+      for (int x : tx) sum += x;
+      v.TxEnd();
+      EXPECT_EQ(sum, 4096);  // stale replicas would give 2048
+    }
+  });
+  ASSERT_TRUE(result.ok()) << result.error;
+}
+
+TEST_F(VectorTest, PrefetchReducesFaults) {
+  Service svc(cluster_.get(), sopts_);
+  std::uint64_t faults_with = 0, faults_without = 0;
+  auto run = [&](bool prefetch, const std::string& key,
+                 std::uint64_t* faults) {
+    ServiceOptions so = sopts_;
+    so.enable_prefetch = prefetch;
+    auto cluster = sim::Cluster::PaperTestbed(1);
+    Service s(cluster.get(), so);
+    auto result = comm::RunRanks(*cluster, 1, 1, [&](comm::RankContext& ctx) {
+      VectorOptions o = SmallPages();
+      o.pcache_bytes = 8 * 4096;
+      Vector<std::uint64_t> v(s, ctx, key, 20000, o);
+      {  // materialize everything first
+        auto tx = v.SeqTxBegin(0, 20000, MM_WRITE_ONLY);
+        for (std::uint64_t i = 0; i < 20000; ++i) v[i] = i;
+        v.TxEnd();
+      }
+      auto tx = v.SeqTxBegin(0, 20000, MM_READ_ONLY);
+      std::uint64_t sum = 0;
+      for (std::uint64_t x : tx) sum += x;
+      v.TxEnd();
+      EXPECT_EQ(sum, 20000ULL * 19999 / 2);
+      *faults = v.faults();
+    });
+    ASSERT_TRUE(result.ok()) << result.error;
+  };
+  run(true, Key("posix", "pf_on.bin"), &faults_with);
+  run(false, Key("posix", "pf_off.bin"), &faults_without);
+  EXPECT_LT(faults_with, faults_without);
+}
+
+TEST_F(VectorTest, LargeDatasetSpillsToNvme) {
+  // Dataset bigger than the DRAM grant: pages must overflow into NVMe and
+  // still read back correctly.
+  ServiceOptions so = sopts_;
+  so.tier_grants = {{sim::TierKind::kDram, MEGABYTES(1)},
+                    {sim::TierKind::kNvme, MEGABYTES(16)}};
+  Service svc(cluster_.get(), so);
+  auto result = comm::RunRanks(*cluster_, 1, 1, [&](comm::RankContext& ctx) {
+    VectorOptions o = SmallPages();
+    o.pcache_bytes = 16 * 4096;
+    const std::uint64_t n = MEGABYTES(3) / sizeof(std::uint64_t);
+    Vector<std::uint64_t> v(svc, ctx, Key("posix", "spill.bin"), n, o);
+    auto tx = v.SeqTxBegin(0, n, MM_WRITE_ONLY);
+    for (std::uint64_t i = 0; i < n; ++i) v[i] = ~i;
+    v.TxEnd();
+    // Something must have landed in NVMe.
+    std::uint64_t nvme_used = 0;
+    for (std::size_t node = 0; node < svc.num_nodes(); ++node) {
+      auto& bm = svc.runtime(node).buffer();
+      nvme_used += bm.tier(1).used();
+    }
+    EXPECT_GT(nvme_used, 0u);
+    auto rtx = v.SeqTxBegin(0, n, MM_READ_ONLY);
+    for (std::uint64_t i = 0; i < n; i += 997) {
+      ASSERT_EQ(v[i], ~i) << i;
+    }
+    v.TxEnd();
+  });
+  ASSERT_TRUE(result.ok()) << result.error;
+}
+
+TEST_F(VectorTest, ElementSizeMismatchRejected) {
+  Service svc(cluster_.get(), sopts_);
+  auto result = comm::RunRanks(*cluster_, 1, 1, [&](comm::RankContext& ctx) {
+    VectorOptions o = SmallPages();
+    o.nonvolatile = false;
+    Vector<int> a(svc, ctx, "typed", 128, o);
+    EXPECT_THROW(Vector<double> b(svc, ctx, "typed", 128, o),
+                 std::runtime_error);
+  });
+  ASSERT_TRUE(result.ok()) << result.error;
+}
+
+TEST_F(VectorTest, OutOfRangeAccessChecks) {
+  Service svc(cluster_.get(), sopts_);
+  auto result = comm::RunRanks(*cluster_, 1, 1, [&](comm::RankContext& ctx) {
+    VectorOptions o = SmallPages();
+    o.nonvolatile = false;
+    Vector<int> v(svc, ctx, "oob", 100, o);
+    EXPECT_THROW(v[100], std::logic_error);
+  });
+  ASSERT_TRUE(result.ok()) << result.error;
+}
+
+}  // namespace
+}  // namespace mm

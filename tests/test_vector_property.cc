@@ -1,0 +1,158 @@
+// Property suite: mm::Vector must behave exactly like a reference
+// std::vector under randomized operation sequences, across a sweep of page
+// sizes, pcache bounds, coherence modes, and service configurations.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "mm/mega_mmap.h"
+#include "mm/util/rng.h"
+
+namespace mm {
+namespace {
+
+using core::CoherenceMode;
+
+struct PropertyParam {
+  std::uint64_t page_size;
+  std::uint64_t pcache_pages;  // pcache = pages * page_size
+  CoherenceMode mode;
+  bool prefetch;
+};
+
+class VectorModelTest : public ::testing::TestWithParam<PropertyParam> {};
+
+TEST_P(VectorModelTest, RandomOpsMatchReferenceModel) {
+  const PropertyParam& p = GetParam();
+  auto cluster = sim::Cluster::PaperTestbed(2);
+  core::ServiceOptions so;
+  so.tier_grants = {{sim::TierKind::kDram, MEGABYTES(2)},
+                    {sim::TierKind::kNvme, MEGABYTES(16)}};
+  so.enable_prefetch = p.prefetch;
+  core::Service svc(cluster.get(), so);
+
+  const std::uint64_t n = 3000;
+  auto result = comm::RunRanks(*cluster, 1, 1, [&](comm::RankContext& ctx) {
+    core::VectorOptions vo;
+    vo.page_size = p.page_size;
+    vo.pcache_bytes = p.pcache_pages * p.page_size;
+    vo.mode = p.mode;
+    vo.nonvolatile = false;
+    Vector<std::uint32_t> v(svc, ctx, "model_vec", n, vo);
+    std::vector<std::uint32_t> model(n, 0);
+    Rng rng(p.page_size ^ p.pcache_pages ^ static_cast<int>(p.mode));
+
+    for (int round = 0; round < 6; ++round) {
+      // Write phase: random subranges set through a write transaction.
+      {
+        auto tx = v.SeqTxBegin(0, n, core::MM_WRITE_ONLY);
+        for (int w = 0; w < 40; ++w) {
+          std::uint64_t lo = rng.NextBounded(n);
+          std::uint64_t len = 1 + rng.NextBounded(64);
+          for (std::uint64_t i = lo; i < std::min(n, lo + len); ++i) {
+            std::uint32_t val = static_cast<std::uint32_t>(rng.Next());
+            v[i] = val;
+            model[i] = val;
+          }
+        }
+        v.TxEnd();
+      }
+      // Read phase: full scan must match the model exactly.
+      {
+        auto tx = v.SeqTxBegin(0, n, core::MM_READ_ONLY);
+        for (std::uint64_t i = 0; i < n; ++i) {
+          ASSERT_EQ(v.Read(i), model[i])
+              << "round " << round << " elem " << i;
+        }
+        v.TxEnd();
+      }
+      // Spot writes outside any transaction (Set path).
+      for (int s = 0; s < 10; ++s) {
+        std::uint64_t i = rng.NextBounded(n);
+        std::uint32_t val = static_cast<std::uint32_t>(rng.Next());
+        v.Set(i, val);
+        model[i] = val;
+      }
+      v.Commit();
+    }
+    // pcache never exceeds its bound.
+    EXPECT_LE(v.pcache().used(), vo.pcache_bytes);
+  });
+  ASSERT_TRUE(result.ok()) << result.error;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, VectorModelTest,
+    ::testing::Values(
+        PropertyParam{512, 2, CoherenceMode::kReadWriteGlobal, true},
+        PropertyParam{512, 8, CoherenceMode::kReadWriteGlobal, false},
+        PropertyParam{4096, 2, CoherenceMode::kReadWriteGlobal, true},
+        PropertyParam{4096, 4, CoherenceMode::kLocal, true},
+        PropertyParam{4096, 4, CoherenceMode::kWriteOnlyGlobal, false},
+        PropertyParam{16384, 3, CoherenceMode::kReadWriteGlobal, true},
+        PropertyParam{65536, 2, CoherenceMode::kReadWriteGlobal, true},
+        PropertyParam{100, 4, CoherenceMode::kReadWriteGlobal, true}));
+
+/// Multi-rank exclusive-partition property: under every mode that permits
+/// writes, concurrent non-overlapping writers never corrupt each other,
+/// for page sizes that force page sharing between ranks.
+class SharedPageTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>> {};
+
+TEST_P(SharedPageTest, NonOverlappingWritersSurvivePageSharing) {
+  auto [page_size, nranks] = GetParam();
+  auto cluster = sim::Cluster::PaperTestbed(2);
+  core::ServiceOptions so;
+  so.tier_grants = {{sim::TierKind::kDram, MEGABYTES(8)}};
+  core::Service svc(cluster.get(), so);
+  const std::uint64_t n = 4096;  // smaller than one page for big pages
+  auto result = comm::RunRanks(
+      *cluster, nranks, (nranks + 1) / 2, [&](comm::RankContext& ctx) {
+        comm::Communicator comm(&ctx);
+        core::VectorOptions vo;
+        vo.page_size = page_size;
+        vo.pcache_bytes = std::max<std::uint64_t>(4 * page_size, 16384);
+        vo.nonvolatile = false;
+        Vector<std::uint64_t> v(svc, ctx, "shared_page_vec", n, vo);
+        v.Pgas(ctx.rank(), ctx.size());
+        auto tx = v.SeqTxBegin(v.local_off(), v.local_size(),
+                               core::MM_WRITE_ONLY);
+        for (std::uint64_t i = v.local_off();
+             i < v.local_off() + v.local_size(); ++i) {
+          v[i] = (static_cast<std::uint64_t>(ctx.rank()) << 32) | i;
+        }
+        v.TxEnd();
+        comm.Barrier();
+        // Everyone verifies the whole vector.
+        auto rtx = v.SeqTxBegin(0, n, core::MM_READ_ONLY);
+        for (std::uint64_t i = 0; i < n; ++i) {
+          std::uint64_t expect_rank = 0;
+          {
+            std::uint64_t base = n / ctx.size(), rem = n % ctx.size();
+            // Find the owning rank of element i.
+            for (int r = 0; r < ctx.size(); ++r) {
+              std::uint64_t lo = r * base + std::min<std::uint64_t>(r, rem);
+              std::uint64_t cnt =
+                  base + (static_cast<std::uint64_t>(r) < rem ? 1 : 0);
+              if (i >= lo && i < lo + cnt) {
+                expect_rank = r;
+                break;
+              }
+            }
+          }
+          ASSERT_EQ(v.Read(i), (expect_rank << 32) | i) << "elem " << i;
+        }
+        v.TxEnd();
+      });
+  ASSERT_TRUE(result.ok()) << result.error;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PagesAndRanks, SharedPageTest,
+    ::testing::Combine(
+        // 64 KiB pages make every page span multiple ranks' partitions.
+        ::testing::Values<std::uint64_t>(1024, 8192, 65536),
+        ::testing::Values(2, 3, 4)));
+
+}  // namespace
+}  // namespace mm

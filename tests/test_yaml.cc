@@ -1,0 +1,150 @@
+#include "mm/util/yaml.h"
+
+#include <gtest/gtest.h>
+
+#include "mm/util/byte_units.h"
+
+namespace mm::yaml {
+namespace {
+
+TEST(Yaml, ParsesFlatMap) {
+  auto root = Parse("a: 1\nb: hello\nc: 2.5\n");
+  ASSERT_TRUE(root.ok());
+  EXPECT_TRUE(root->IsMap());
+  EXPECT_EQ(*(*root)["a"].AsInt(), 1);
+  EXPECT_EQ((*root)["b"].AsString(), "hello");
+  EXPECT_DOUBLE_EQ(*(*root)["c"].AsDouble(), 2.5);
+}
+
+TEST(Yaml, ParsesNestedMaps) {
+  auto root = Parse(
+      "runtime:\n"
+      "  workers: 4\n"
+      "  low_latency:\n"
+      "    threshold: 16k\n");
+  ASSERT_TRUE(root.ok());
+  const Node& rt = (*root)["runtime"];
+  ASSERT_TRUE(rt.IsMap());
+  EXPECT_EQ(*rt["workers"].AsInt(), 4);
+  EXPECT_EQ(*rt["low_latency"]["threshold"].AsBytes(), 16 * kKiB);
+}
+
+TEST(Yaml, ParsesBlockLists) {
+  auto root = Parse(
+      "tiers:\n"
+      "  - dram\n"
+      "  - nvme\n"
+      "  - hdd\n");
+  ASSERT_TRUE(root.ok());
+  const Node& tiers = (*root)["tiers"];
+  ASSERT_TRUE(tiers.IsList());
+  ASSERT_EQ(tiers.size(), 3u);
+  EXPECT_EQ(tiers.at(0).AsString(), "dram");
+  EXPECT_EQ(tiers.at(2).AsString(), "hdd");
+}
+
+TEST(Yaml, ParsesListOfMaps) {
+  auto root = Parse(
+      "fs:\n"
+      "  - dev_type: ssd\n"
+      "    avail: 500g\n"
+      "  - dev_type: hdd\n"
+      "    avail: 1t\n");
+  ASSERT_TRUE(root.ok());
+  const Node& fs = (*root)["fs"];
+  ASSERT_TRUE(fs.IsList());
+  ASSERT_EQ(fs.size(), 2u);
+  EXPECT_EQ(fs.at(0)["dev_type"].AsString(), "ssd");
+  EXPECT_EQ(*fs.at(0)["avail"].AsBytes(), 500 * kGiB);
+  EXPECT_EQ(*fs.at(1)["avail"].AsBytes(), kTiB);
+}
+
+TEST(Yaml, ParsesInlineFlowList) {
+  auto root = Parse("sizes: [1, 2, 3]\nnames: [a, b]\n");
+  ASSERT_TRUE(root.ok());
+  ASSERT_TRUE((*root)["sizes"].IsList());
+  EXPECT_EQ(*(*root)["sizes"].at(1).AsInt(), 2);
+  EXPECT_EQ((*root)["names"].at(0).AsString(), "a");
+}
+
+TEST(Yaml, CommentsAndBlankLinesIgnored) {
+  auto root = Parse(
+      "# header comment\n"
+      "a: 1  # trailing\n"
+      "\n"
+      "b: '#notacomment'\n");
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(*(*root)["a"].AsInt(), 1);
+  EXPECT_EQ((*root)["b"].AsString(), "#notacomment");
+}
+
+TEST(Yaml, UrlValuesWithColonsSurvive) {
+  auto root = Parse("key: shdf:///path/to/df.h5:mygroup\n");
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ((*root)["key"].AsString(), "shdf:///path/to/df.h5:mygroup");
+}
+
+TEST(Yaml, BooleansAndNulls) {
+  auto root = Parse("on_flag: true\noff_flag: no\nnothing: ~\n");
+  ASSERT_TRUE(root.ok());
+  EXPECT_TRUE(*(*root)["on_flag"].AsBool());
+  EXPECT_FALSE(*(*root)["off_flag"].AsBool());
+  EXPECT_TRUE((*root)["nothing"].IsNull());
+}
+
+TEST(Yaml, MissingKeyReturnsNullNode) {
+  auto root = Parse("a: 1\n");
+  ASSERT_TRUE(root.ok());
+  EXPECT_TRUE((*root)["zzz"].IsNull());
+  EXPECT_EQ(root->GetInt("zzz", 99), 99);
+  EXPECT_EQ(root->GetString("zzz", "dflt"), "dflt");
+  EXPECT_EQ(root->GetBytes("zzz", 7), 7u);
+  EXPECT_TRUE(root->GetBool("zzz", true));
+}
+
+TEST(Yaml, TypedGettersFallBackOnWrongType) {
+  auto root = Parse("s: hello\n");
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(root->GetInt("s", -1), -1);
+  EXPECT_FALSE((*root)["s"].AsInt().ok());
+}
+
+TEST(Yaml, TabsRejected) {
+  EXPECT_FALSE(Parse("a:\n\tb: 1\n").ok());
+}
+
+TEST(Yaml, EmptyDocumentIsNull) {
+  auto root = Parse("# nothing here\n\n");
+  ASSERT_TRUE(root.ok());
+  EXPECT_TRUE(root->IsNull());
+}
+
+TEST(Yaml, DumpRoundTripsStructure) {
+  const std::string doc =
+      "cluster:\n"
+      "  nodes: 4\n"
+      "  tiers:\n"
+      "    - kind: dram\n"
+      "      cap: 48g\n"
+      "    - kind: nvme\n"
+      "      cap: 128g\n";
+  auto root = Parse(doc);
+  ASSERT_TRUE(root.ok());
+  auto again = Parse(root->Dump());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*(*again)["cluster"]["nodes"].AsInt(), 4);
+  EXPECT_EQ((*again)["cluster"]["tiers"].at(1)["kind"].AsString(), "nvme");
+  EXPECT_EQ(*(*again)["cluster"]["tiers"].at(1)["cap"].AsBytes(), 128 * kGiB);
+}
+
+TEST(Yaml, MapKeysPreserveInsertionOrder) {
+  auto root = Parse("z: 1\na: 2\nm: 3\n");
+  ASSERT_TRUE(root.ok());
+  ASSERT_EQ(root->Keys().size(), 3u);
+  EXPECT_EQ(root->Keys()[0], "z");
+  EXPECT_EQ(root->Keys()[1], "a");
+  EXPECT_EQ(root->Keys()[2], "m");
+}
+
+}  // namespace
+}  // namespace mm::yaml
