@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pagesize.dir/ablation_pagesize.cc.o"
+  "CMakeFiles/ablation_pagesize.dir/ablation_pagesize.cc.o.d"
+  "ablation_pagesize"
+  "ablation_pagesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pagesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

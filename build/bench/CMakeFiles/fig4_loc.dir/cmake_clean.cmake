@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_loc.dir/fig4_loc.cc.o"
+  "CMakeFiles/fig4_loc.dir/fig4_loc.cc.o.d"
+  "fig4_loc"
+  "fig4_loc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_loc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig5_weak_scaling.cc" "bench/CMakeFiles/fig5_weak_scaling.dir/fig5_weak_scaling.cc.o" "gcc" "bench/CMakeFiles/fig5_weak_scaling.dir/fig5_weak_scaling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/mm_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mm_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/mm_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_resolution.dir/fig6_resolution.cc.o"
+  "CMakeFiles/fig6_resolution.dir/fig6_resolution.cc.o.d"
+  "fig6_resolution"
+  "fig6_resolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_resolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

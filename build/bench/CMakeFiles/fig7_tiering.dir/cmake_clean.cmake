@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_tiering.dir/fig7_tiering.cc.o"
+  "CMakeFiles/fig7_tiering.dir/fig7_tiering.cc.o.d"
+  "fig7_tiering"
+  "fig7_tiering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_tiering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

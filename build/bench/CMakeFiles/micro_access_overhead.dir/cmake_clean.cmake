@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_access_overhead.dir/micro_access_overhead.cc.o"
+  "CMakeFiles/micro_access_overhead.dir/micro_access_overhead.cc.o.d"
+  "micro_access_overhead"
+  "micro_access_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_access_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

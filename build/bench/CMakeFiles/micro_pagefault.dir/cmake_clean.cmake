@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_pagefault.dir/micro_pagefault.cc.o"
+  "CMakeFiles/micro_pagefault.dir/micro_pagefault.cc.o.d"
+  "micro_pagefault"
+  "micro_pagefault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_pagefault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gray_scott_sim.dir/gray_scott_sim.cpp.o"
+  "CMakeFiles/gray_scott_sim.dir/gray_scott_sim.cpp.o.d"
+  "gray_scott_sim"
+  "gray_scott_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gray_scott_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

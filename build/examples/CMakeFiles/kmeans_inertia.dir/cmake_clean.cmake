@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kmeans_inertia.dir/kmeans_inertia.cpp.o"
+  "CMakeFiles/kmeans_inertia.dir/kmeans_inertia.cpp.o.d"
+  "kmeans_inertia"
+  "kmeans_inertia.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kmeans_inertia.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

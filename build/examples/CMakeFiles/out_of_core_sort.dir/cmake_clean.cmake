@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/out_of_core_sort.dir/out_of_core_sort.cpp.o"
+  "CMakeFiles/out_of_core_sort.dir/out_of_core_sort.cpp.o.d"
+  "out_of_core_sort"
+  "out_of_core_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/out_of_core_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

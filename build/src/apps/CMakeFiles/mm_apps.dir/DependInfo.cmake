@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/datagen.cc" "src/apps/CMakeFiles/mm_apps.dir/datagen.cc.o" "gcc" "src/apps/CMakeFiles/mm_apps.dir/datagen.cc.o.d"
+  "/root/repo/src/apps/dbscan.cc" "src/apps/CMakeFiles/mm_apps.dir/dbscan.cc.o" "gcc" "src/apps/CMakeFiles/mm_apps.dir/dbscan.cc.o.d"
+  "/root/repo/src/apps/gray_scott.cc" "src/apps/CMakeFiles/mm_apps.dir/gray_scott.cc.o" "gcc" "src/apps/CMakeFiles/mm_apps.dir/gray_scott.cc.o.d"
+  "/root/repo/src/apps/kmeans.cc" "src/apps/CMakeFiles/mm_apps.dir/kmeans.cc.o" "gcc" "src/apps/CMakeFiles/mm_apps.dir/kmeans.cc.o.d"
+  "/root/repo/src/apps/random_forest.cc" "src/apps/CMakeFiles/mm_apps.dir/random_forest.cc.o" "gcc" "src/apps/CMakeFiles/mm_apps.dir/random_forest.cc.o.d"
+  "/root/repo/src/apps/reference.cc" "src/apps/CMakeFiles/mm_apps.dir/reference.cc.o" "gcc" "src/apps/CMakeFiles/mm_apps.dir/reference.cc.o.d"
+  "/root/repo/src/apps/sparklike.cc" "src/apps/CMakeFiles/mm_apps.dir/sparklike.cc.o" "gcc" "src/apps/CMakeFiles/mm_apps.dir/sparklike.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mm_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/mm_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

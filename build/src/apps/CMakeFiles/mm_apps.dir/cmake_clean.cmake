@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mm_apps.dir/datagen.cc.o"
+  "CMakeFiles/mm_apps.dir/datagen.cc.o.d"
+  "CMakeFiles/mm_apps.dir/dbscan.cc.o"
+  "CMakeFiles/mm_apps.dir/dbscan.cc.o.d"
+  "CMakeFiles/mm_apps.dir/gray_scott.cc.o"
+  "CMakeFiles/mm_apps.dir/gray_scott.cc.o.d"
+  "CMakeFiles/mm_apps.dir/kmeans.cc.o"
+  "CMakeFiles/mm_apps.dir/kmeans.cc.o.d"
+  "CMakeFiles/mm_apps.dir/random_forest.cc.o"
+  "CMakeFiles/mm_apps.dir/random_forest.cc.o.d"
+  "CMakeFiles/mm_apps.dir/reference.cc.o"
+  "CMakeFiles/mm_apps.dir/reference.cc.o.d"
+  "CMakeFiles/mm_apps.dir/sparklike.cc.o"
+  "CMakeFiles/mm_apps.dir/sparklike.cc.o.d"
+  "libmm_apps.a"
+  "libmm_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mm_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

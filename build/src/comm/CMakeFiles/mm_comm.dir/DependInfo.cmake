@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/communicator.cc" "src/comm/CMakeFiles/mm_comm.dir/communicator.cc.o" "gcc" "src/comm/CMakeFiles/mm_comm.dir/communicator.cc.o.d"
+  "/root/repo/src/comm/dlock.cc" "src/comm/CMakeFiles/mm_comm.dir/dlock.cc.o" "gcc" "src/comm/CMakeFiles/mm_comm.dir/dlock.cc.o.d"
+  "/root/repo/src/comm/launch.cc" "src/comm/CMakeFiles/mm_comm.dir/launch.cc.o" "gcc" "src/comm/CMakeFiles/mm_comm.dir/launch.cc.o.d"
+  "/root/repo/src/comm/world.cc" "src/comm/CMakeFiles/mm_comm.dir/world.cc.o" "gcc" "src/comm/CMakeFiles/mm_comm.dir/world.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

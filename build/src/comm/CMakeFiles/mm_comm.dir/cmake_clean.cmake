@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mm_comm.dir/communicator.cc.o"
+  "CMakeFiles/mm_comm.dir/communicator.cc.o.d"
+  "CMakeFiles/mm_comm.dir/dlock.cc.o"
+  "CMakeFiles/mm_comm.dir/dlock.cc.o.d"
+  "CMakeFiles/mm_comm.dir/launch.cc.o"
+  "CMakeFiles/mm_comm.dir/launch.cc.o.d"
+  "CMakeFiles/mm_comm.dir/world.cc.o"
+  "CMakeFiles/mm_comm.dir/world.cc.o.d"
+  "libmm_comm.a"
+  "libmm_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mm_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

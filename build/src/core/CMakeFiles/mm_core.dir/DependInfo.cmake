@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/coherence.cc" "src/core/CMakeFiles/mm_core.dir/coherence.cc.o" "gcc" "src/core/CMakeFiles/mm_core.dir/coherence.cc.o.d"
+  "/root/repo/src/core/options.cc" "src/core/CMakeFiles/mm_core.dir/options.cc.o" "gcc" "src/core/CMakeFiles/mm_core.dir/options.cc.o.d"
+  "/root/repo/src/core/pcache.cc" "src/core/CMakeFiles/mm_core.dir/pcache.cc.o" "gcc" "src/core/CMakeFiles/mm_core.dir/pcache.cc.o.d"
+  "/root/repo/src/core/prefetcher.cc" "src/core/CMakeFiles/mm_core.dir/prefetcher.cc.o" "gcc" "src/core/CMakeFiles/mm_core.dir/prefetcher.cc.o.d"
+  "/root/repo/src/core/service.cc" "src/core/CMakeFiles/mm_core.dir/service.cc.o" "gcc" "src/core/CMakeFiles/mm_core.dir/service.cc.o.d"
+  "/root/repo/src/core/transaction.cc" "src/core/CMakeFiles/mm_core.dir/transaction.cc.o" "gcc" "src/core/CMakeFiles/mm_core.dir/transaction.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/mm_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/mm_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mm_core.dir/coherence.cc.o"
+  "CMakeFiles/mm_core.dir/coherence.cc.o.d"
+  "CMakeFiles/mm_core.dir/options.cc.o"
+  "CMakeFiles/mm_core.dir/options.cc.o.d"
+  "CMakeFiles/mm_core.dir/pcache.cc.o"
+  "CMakeFiles/mm_core.dir/pcache.cc.o.d"
+  "CMakeFiles/mm_core.dir/prefetcher.cc.o"
+  "CMakeFiles/mm_core.dir/prefetcher.cc.o.d"
+  "CMakeFiles/mm_core.dir/service.cc.o"
+  "CMakeFiles/mm_core.dir/service.cc.o.d"
+  "CMakeFiles/mm_core.dir/transaction.cc.o"
+  "CMakeFiles/mm_core.dir/transaction.cc.o.d"
+  "libmm_core.a"
+  "libmm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cluster.cc" "src/sim/CMakeFiles/mm_sim.dir/cluster.cc.o" "gcc" "src/sim/CMakeFiles/mm_sim.dir/cluster.cc.o.d"
+  "/root/repo/src/sim/cost_model.cc" "src/sim/CMakeFiles/mm_sim.dir/cost_model.cc.o" "gcc" "src/sim/CMakeFiles/mm_sim.dir/cost_model.cc.o.d"
+  "/root/repo/src/sim/device.cc" "src/sim/CMakeFiles/mm_sim.dir/device.cc.o" "gcc" "src/sim/CMakeFiles/mm_sim.dir/device.cc.o.d"
+  "/root/repo/src/sim/network.cc" "src/sim/CMakeFiles/mm_sim.dir/network.cc.o" "gcc" "src/sim/CMakeFiles/mm_sim.dir/network.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mm_sim.dir/cluster.cc.o"
+  "CMakeFiles/mm_sim.dir/cluster.cc.o.d"
+  "CMakeFiles/mm_sim.dir/cost_model.cc.o"
+  "CMakeFiles/mm_sim.dir/cost_model.cc.o.d"
+  "CMakeFiles/mm_sim.dir/device.cc.o"
+  "CMakeFiles/mm_sim.dir/device.cc.o.d"
+  "CMakeFiles/mm_sim.dir/network.cc.o"
+  "CMakeFiles/mm_sim.dir/network.cc.o.d"
+  "libmm_sim.a"
+  "libmm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

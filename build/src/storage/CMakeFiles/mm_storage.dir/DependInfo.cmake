@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/buffer_manager.cc" "src/storage/CMakeFiles/mm_storage.dir/buffer_manager.cc.o" "gcc" "src/storage/CMakeFiles/mm_storage.dir/buffer_manager.cc.o.d"
+  "/root/repo/src/storage/metadata.cc" "src/storage/CMakeFiles/mm_storage.dir/metadata.cc.o" "gcc" "src/storage/CMakeFiles/mm_storage.dir/metadata.cc.o.d"
+  "/root/repo/src/storage/stager_posix.cc" "src/storage/CMakeFiles/mm_storage.dir/stager_posix.cc.o" "gcc" "src/storage/CMakeFiles/mm_storage.dir/stager_posix.cc.o.d"
+  "/root/repo/src/storage/stager_registry.cc" "src/storage/CMakeFiles/mm_storage.dir/stager_registry.cc.o" "gcc" "src/storage/CMakeFiles/mm_storage.dir/stager_registry.cc.o.d"
+  "/root/repo/src/storage/stager_shdf.cc" "src/storage/CMakeFiles/mm_storage.dir/stager_shdf.cc.o" "gcc" "src/storage/CMakeFiles/mm_storage.dir/stager_shdf.cc.o.d"
+  "/root/repo/src/storage/stager_spar.cc" "src/storage/CMakeFiles/mm_storage.dir/stager_spar.cc.o" "gcc" "src/storage/CMakeFiles/mm_storage.dir/stager_spar.cc.o.d"
+  "/root/repo/src/storage/tier_store.cc" "src/storage/CMakeFiles/mm_storage.dir/tier_store.cc.o" "gcc" "src/storage/CMakeFiles/mm_storage.dir/tier_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mm_storage.dir/buffer_manager.cc.o"
+  "CMakeFiles/mm_storage.dir/buffer_manager.cc.o.d"
+  "CMakeFiles/mm_storage.dir/metadata.cc.o"
+  "CMakeFiles/mm_storage.dir/metadata.cc.o.d"
+  "CMakeFiles/mm_storage.dir/stager_posix.cc.o"
+  "CMakeFiles/mm_storage.dir/stager_posix.cc.o.d"
+  "CMakeFiles/mm_storage.dir/stager_registry.cc.o"
+  "CMakeFiles/mm_storage.dir/stager_registry.cc.o.d"
+  "CMakeFiles/mm_storage.dir/stager_shdf.cc.o"
+  "CMakeFiles/mm_storage.dir/stager_shdf.cc.o.d"
+  "CMakeFiles/mm_storage.dir/stager_spar.cc.o"
+  "CMakeFiles/mm_storage.dir/stager_spar.cc.o.d"
+  "CMakeFiles/mm_storage.dir/tier_store.cc.o"
+  "CMakeFiles/mm_storage.dir/tier_store.cc.o.d"
+  "libmm_storage.a"
+  "libmm_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mm_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mm_util.dir/bitmap.cc.o"
+  "CMakeFiles/mm_util.dir/bitmap.cc.o.d"
+  "CMakeFiles/mm_util.dir/byte_units.cc.o"
+  "CMakeFiles/mm_util.dir/byte_units.cc.o.d"
+  "CMakeFiles/mm_util.dir/logging.cc.o"
+  "CMakeFiles/mm_util.dir/logging.cc.o.d"
+  "CMakeFiles/mm_util.dir/stats.cc.o"
+  "CMakeFiles/mm_util.dir/stats.cc.o.d"
+  "CMakeFiles/mm_util.dir/status.cc.o"
+  "CMakeFiles/mm_util.dir/status.cc.o.d"
+  "CMakeFiles/mm_util.dir/uri.cc.o"
+  "CMakeFiles/mm_util.dir/uri.cc.o.d"
+  "CMakeFiles/mm_util.dir/yaml.cc.o"
+  "CMakeFiles/mm_util.dir/yaml.cc.o.d"
+  "libmm_util.a"
+  "libmm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

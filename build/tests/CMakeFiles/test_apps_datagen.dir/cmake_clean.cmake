@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_datagen.dir/test_apps_datagen.cc.o"
+  "CMakeFiles/test_apps_datagen.dir/test_apps_datagen.cc.o.d"
+  "test_apps_datagen"
+  "test_apps_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_dbscan.dir/test_apps_dbscan.cc.o"
+  "CMakeFiles/test_apps_dbscan.dir/test_apps_dbscan.cc.o.d"
+  "test_apps_dbscan"
+  "test_apps_dbscan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_dbscan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_gray_scott.dir/test_apps_gray_scott.cc.o"
+  "CMakeFiles/test_apps_gray_scott.dir/test_apps_gray_scott.cc.o.d"
+  "test_apps_gray_scott"
+  "test_apps_gray_scott.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_gray_scott.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_kmeans.dir/test_apps_kmeans.cc.o"
+  "CMakeFiles/test_apps_kmeans.dir/test_apps_kmeans.cc.o.d"
+  "test_apps_kmeans"
+  "test_apps_kmeans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_kmeans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_rf.dir/test_apps_rf.cc.o"
+  "CMakeFiles/test_apps_rf.dir/test_apps_rf.cc.o.d"
+  "test_apps_rf"
+  "test_apps_rf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_rf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

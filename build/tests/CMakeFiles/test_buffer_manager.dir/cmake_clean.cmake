@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_buffer_manager.dir/test_buffer_manager.cc.o"
+  "CMakeFiles/test_buffer_manager.dir/test_buffer_manager.cc.o.d"
+  "test_buffer_manager"
+  "test_buffer_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_buffer_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pcache.dir/test_pcache.cc.o"
+  "CMakeFiles/test_pcache.dir/test_pcache.cc.o.d"
+  "test_pcache"
+  "test_pcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stagers.dir/test_stagers.cc.o"
+  "CMakeFiles/test_stagers.dir/test_stagers.cc.o.d"
+  "test_stagers"
+  "test_stagers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stagers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

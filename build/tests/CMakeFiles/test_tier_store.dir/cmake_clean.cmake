@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tier_store.dir/test_tier_store.cc.o"
+  "CMakeFiles/test_tier_store.dir/test_tier_store.cc.o.d"
+  "test_tier_store"
+  "test_tier_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tier_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

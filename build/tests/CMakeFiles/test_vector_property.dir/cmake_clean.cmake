@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vector_property.dir/test_vector_property.cc.o"
+  "CMakeFiles/test_vector_property.dir/test_vector_property.cc.o.d"
+  "test_vector_property"
+  "test_vector_property.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vector_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

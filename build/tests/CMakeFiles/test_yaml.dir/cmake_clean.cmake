@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_yaml.dir/test_yaml.cc.o"
+  "CMakeFiles/test_yaml.dir/test_yaml.cc.o.d"
+  "test_yaml"
+  "test_yaml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_yaml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
