@@ -8,8 +8,10 @@
 #include <vector>
 
 #include "mm/core/coherence.h"
+#include "mm/sim/fault.h"
 #include "mm/storage/buffer_manager.h"
 #include "mm/util/byte_units.h"
+#include "mm/util/retry.h"
 #include "mm/util/status.h"
 #include "mm/util/yaml.h"
 
@@ -52,6 +54,16 @@ struct ServiceOptions {
   /// "with no optimizations enabled") and the ablations.
   bool enable_prefetch = true;
   bool enable_organizer = true;
+  /// Verify per-page CRC-32 on reads that already pay a metadata lookup;
+  /// mismatches on clean pages self-heal from the backend, mismatches on
+  /// dirty pages surface as kDataLoss.
+  bool verify_checksums = true;
+
+  /// Retry/backoff applied to tier and stager I/O (backoff lands on the
+  /// virtual clock).
+  RetryPolicy retry;
+  /// Fault-injection plan (defaults to no faults).
+  sim::FaultConfig faults;
 
   /// Parses a service config from YAML, e.g.:
   ///   runtime:
@@ -63,6 +75,13 @@ struct ServiceOptions {
   ///       capacity: 1g
   ///     - kind: nvme
   ///       capacity: 4g
+  ///   retry:
+  ///     max_attempts: 4
+  ///     initial_backoff_s: 0.0001
+  ///   faults:
+  ///     seed: 42
+  ///     nvme:
+  ///       transient_error_rate: 0.01
   static StatusOr<ServiceOptions> FromYaml(const yaml::Node& root);
 };
 

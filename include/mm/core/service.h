@@ -16,10 +16,13 @@
 #include <unordered_map>
 #include <vector>
 
+#include <unordered_set>
+
 #include "mm/core/coherence.h"
 #include "mm/core/memory_task.h"
 #include "mm/core/options.h"
 #include "mm/sim/cluster.h"
+#include "mm/sim/fault.h"
 #include "mm/storage/buffer_manager.h"
 #include "mm/storage/metadata.h"
 #include "mm/storage/stager.h"
@@ -78,8 +81,10 @@ class NodeRuntime {
   NodeRuntime(const NodeRuntime&) = delete;
   NodeRuntime& operator=(const NodeRuntime&) = delete;
 
-  /// Routes a task to its worker queue. Thread-safe.
-  void Submit(MemoryTask task);
+  /// Routes a task to its worker queue. Thread-safe. After Shutdown the
+  /// task is rejected with kFailedPrecondition (its promise, if any, is
+  /// fulfilled with that status) instead of aborting the process.
+  Status Submit(MemoryTask task);
 
   storage::BufferManager& buffer() { return bm_; }
 
@@ -103,6 +108,15 @@ class NodeRuntime {
   TaskOutcome StageInOrZero(VectorMeta& meta, const storage::BlobId& id,
                             sim::SimTime now);
 
+  /// Stager calls routed through the fault injector and retry policy, with
+  /// PFS device time charged per attempt.
+  Status BackendRead(VectorMeta& meta, std::uint64_t offset,
+                     std::uint64_t size, std::vector<std::uint8_t>* bytes,
+                     sim::SimTime now, sim::SimTime* done);
+  Status BackendWrite(VectorMeta& meta, std::uint64_t offset,
+                      const std::vector<std::uint8_t>& bytes, sim::SimTime now,
+                      sim::SimTime* done);
+
   Service* service_;
   std::size_t node_id_;
   const ServiceOptions& options_;
@@ -112,7 +126,7 @@ class NodeRuntime {
   std::vector<std::thread> workers_;
   std::atomic<int> score_updates_{0};
   std::atomic<std::uint64_t> tasks_executed_{0};
-  bool shut_down_ = false;
+  std::atomic<bool> shut_down_{false};
 };
 
 class Service {
@@ -130,6 +144,27 @@ class Service {
   storage::MetadataManager& metadata() { return *metadata_; }
   NodeRuntime& runtime(std::size_t node) { return *runtimes_[node]; }
   std::size_t num_nodes() const { return runtimes_.size(); }
+
+  /// The fault oracle shared by every tier store and stager call of this
+  /// service. Always present (a default-constructed injector never faults);
+  /// tests use it to trigger failures (FailTier) and read stats.
+  sim::FaultInjector& fault_injector() { return *injector_; }
+
+  // ---- fault recovery (tentpole) ----
+
+  /// Tier-failure recovery, invoked by a node's BufferManager after a tier
+  /// permanently fails: lost replicas are unregistered, lost clean primaries
+  /// are re-staged from the backend, and lost dirty primaries are recorded
+  /// as data loss (surfaced as kDataLoss on the next access).
+  void OnTierFailure(std::size_t node, sim::TierKind tier,
+                     const std::vector<storage::BlobId>& lost,
+                     sim::SimTime now);
+
+  /// Data-loss registry: pages whose unstaged modifications are gone.
+  void RecordDataLoss(const storage::BlobId& id);
+  bool IsDataLost(const storage::BlobId& id) const;
+  void ClearDataLoss(const storage::BlobId& id);
+  std::size_t data_loss_count() const;
 
   /// Connects to (or creates) a shared vector. All processes using the same
   /// key share the object. For nonvolatile vectors whose backend object
@@ -246,8 +281,12 @@ class Service {
 
   sim::Cluster* cluster_;
   ServiceOptions options_;
+  std::unique_ptr<sim::FaultInjector> injector_;
   std::unique_ptr<storage::MetadataManager> metadata_;
   std::vector<std::unique_ptr<NodeRuntime>> runtimes_;
+
+  mutable std::mutex lost_mu_;
+  std::unordered_set<storage::BlobId, storage::BlobIdHash> lost_;
 
   std::mutex vectors_mu_;
   std::map<std::string, std::unique_ptr<VectorMeta>> vectors_;

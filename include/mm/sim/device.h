@@ -68,19 +68,29 @@ class Device {
   TierKind kind() const { return spec_.kind; }
 
   /// Simulates a read of `bytes` starting at `now`; returns completion time.
-  SimTime Read(SimTime now, std::uint64_t bytes) {
-    double dur = spec_.read_latency_s +
-                 static_cast<double>(bytes) / spec_.read_bw_Bps;
+  /// `time_factor` scales the duration (fault-injected latency spikes).
+  SimTime Read(SimTime now, std::uint64_t bytes, double time_factor = 1.0) {
+    double dur = (spec_.read_latency_s +
+                  static_cast<double>(bytes) / spec_.read_bw_Bps) *
+                 time_factor;
     bytes_read_.fetch_add(bytes, std::memory_order_relaxed);
     return LeastBusy().Reserve(now, dur);
   }
 
   /// Simulates a write of `bytes` starting at `now`; returns completion time.
-  SimTime Write(SimTime now, std::uint64_t bytes) {
-    double dur = spec_.write_latency_s +
-                 static_cast<double>(bytes) / spec_.write_bw_Bps;
+  SimTime Write(SimTime now, std::uint64_t bytes, double time_factor = 1.0) {
+    double dur = (spec_.write_latency_s +
+                  static_cast<double>(bytes) / spec_.write_bw_Bps) *
+                 time_factor;
     bytes_written_.fetch_add(bytes, std::memory_order_relaxed);
     return LeastBusy().Reserve(now, dur);
+  }
+
+  /// Occupies the least-busy channel for `seconds` without transferring
+  /// bytes. Models fault-injected latency spikes and failed-attempt stalls,
+  /// which consume device time but move no data.
+  SimTime Stall(SimTime now, double seconds) {
+    return LeastBusy().Reserve(now, seconds);
   }
 
   /// Duration a read/write of `bytes` would take with an idle device.

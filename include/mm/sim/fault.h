@@ -1,0 +1,152 @@
+// Deterministic, seedable fault injection for the simulated DMSH.
+//
+// The injector sits between the storage/runtime layers and the simulated
+// devices: every device or backend (stager) operation first asks the
+// injector for a Decision. Faults are drawn from a counter-based hash of
+// (seed, stream, op index), so a given seed reproduces the exact same fault
+// sequence regardless of thread interleaving — op N on a stream always
+// sees the same decision, only *which* thread issues op N may vary.
+//
+// Three fault classes are modeled (ISSUE: robustness tentpole):
+//   * transient I/O errors  — the op fails with kIoError; a retry (with a
+//     new op index) usually succeeds,
+//   * latency spikes        — the op succeeds but takes `spike_factor`
+//     times longer, charged to the virtual clock,
+//   * permanent tier death  — after `fail_after_ops` operations (or an
+//     explicit FailTier call) every subsequent op on the tier returns
+//     kUnavailable; the BufferManager then marks the tier dead and the
+//     Service re-stages lost clean pages from the PFS backend.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+#include "mm/sim/device.h"
+#include "mm/util/status.h"
+#include "mm/util/yaml.h"
+
+namespace mm::sim {
+
+/// Per-stream fault probabilities. All rates are in [0, 1].
+struct TierFaultSpec {
+  /// Probability an op fails with a transient kIoError.
+  double transient_error_rate = 0.0;
+  /// Probability an op's device time is multiplied by latency_spike_factor.
+  double latency_spike_rate = 0.0;
+  double latency_spike_factor = 10.0;
+  /// When > 0, the stream fails permanently once this many ops completed.
+  std::uint64_t fail_after_ops = 0;
+
+  bool any() const {
+    return transient_error_rate > 0 || latency_spike_rate > 0 ||
+           fail_after_ops > 0;
+  }
+};
+
+/// Whole-injector configuration: one spec per device tier plus one for the
+/// stager/backend path.
+struct FaultConfig {
+  std::uint64_t seed = 0;
+  std::array<TierFaultSpec, 5> tiers;  // indexed by TierKind
+  TierFaultSpec backend;
+
+  TierFaultSpec& tier(TierKind kind) {
+    return tiers[static_cast<std::size_t>(kind)];
+  }
+  const TierFaultSpec& tier(TierKind kind) const {
+    return tiers[static_cast<std::size_t>(kind)];
+  }
+  bool any() const;
+
+  /// Parses a `faults:` YAML map, e.g.:
+  ///   faults:
+  ///     seed: 1234
+  ///     nvme:
+  ///       transient_error_rate: 0.1
+  ///       fail_after_ops: 500
+  ///     backend:
+  ///       latency_spike_rate: 0.01
+  ///       latency_spike_factor: 20
+  static StatusOr<FaultConfig> FromYaml(const yaml::Node& node);
+};
+
+/// Thread-safe fault oracle. One instance per Service; shared by all
+/// TierStores and the stager wrappers of that service.
+class FaultInjector {
+ public:
+  struct Decision {
+    enum class Kind { kOk, kTransient, kPermanent };
+    Kind kind = Kind::kOk;
+    /// Multiplier on the op's device duration (>= 1; only meaningful for
+    /// kOk / kTransient decisions).
+    double spike_factor = 1.0;
+
+    bool ok() const { return kind == Kind::kOk; }
+  };
+
+  explicit FaultInjector(FaultConfig config = {}) : config_(config) {}
+
+  /// Consumes one op on a device tier and returns the injected fault, if any.
+  Decision OnDeviceOp(TierKind tier) {
+    return Draw(static_cast<std::size_t>(tier));
+  }
+
+  /// Consumes one op on the stager/backend path.
+  Decision OnBackendOp() { return Draw(kBackendStream); }
+
+  /// Manually kills a tier (tests / operator-initiated failure).
+  void FailTier(TierKind tier) {
+    MarkFailed(static_cast<std::size_t>(tier));
+  }
+  void FailBackend() { MarkFailed(kBackendStream); }
+
+  bool TierFailed(TierKind tier) const {
+    return streams_[static_cast<std::size_t>(tier)].failed.load(
+        std::memory_order_acquire);
+  }
+
+  const FaultConfig& config() const { return config_; }
+
+  // --- stats (monotonic counters; exposed for benches/tests) ---
+  std::uint64_t transient_faults() const {
+    return transient_faults_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t latency_spikes() const {
+    return latency_spikes_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t permanent_failures() const {
+    return permanent_failures_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t ops_observed(TierKind tier) const {
+    return streams_[static_cast<std::size_t>(tier)].ops.load(
+        std::memory_order_relaxed);
+  }
+  std::uint64_t backend_ops_observed() const {
+    return streams_[kBackendStream].ops.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr std::size_t kBackendStream = 5;
+  static constexpr std::size_t kNumStreams = 6;
+
+  struct Stream {
+    std::atomic<std::uint64_t> ops{0};
+    std::atomic<bool> failed{false};
+  };
+
+  const TierFaultSpec& SpecOf(std::size_t stream) const {
+    return stream == kBackendStream ? config_.backend : config_.tiers[stream];
+  }
+
+  Decision Draw(std::size_t stream);
+  void MarkFailed(std::size_t stream);
+
+  FaultConfig config_;
+  std::array<Stream, kNumStreams> streams_;
+  std::atomic<std::uint64_t> transient_faults_{0};
+  std::atomic<std::uint64_t> latency_spikes_{0};
+  std::atomic<std::uint64_t> permanent_failures_{0};
+};
+
+}  // namespace mm::sim

@@ -51,6 +51,10 @@ struct BlobLocation {
   /// pcache frames remember the version they loaded so TxBegin can drop
   /// stale cached pages (acquire semantics at transaction boundaries).
   std::uint64_t version = 0;
+  /// CRC-32 of the page bytes as of `version`. 0 means "not yet computed"
+  /// (a valid page whose content happens to CRC to 0 is re-verified as a
+  /// match, so the sentinel only ever skips a check, never fails one).
+  std::uint32_t crc = 0;
 };
 
 }  // namespace mm::storage

@@ -4,15 +4,26 @@
 // blobs are demoted down the hierarchy to make room for higher-scoring ones
 // (paper §III-D "Data Organization": "Pages with lower scores in a tier
 // will be prioritized for eviction to make space for higher-scoring data").
+//
+// Fault handling: tier ops are retried per the RetryPolicy (transient
+// kIoError), with backoff charged to the virtual clock. A permanent tier
+// failure (kUnavailable) marks the tier dead: its contents are drained,
+// placement re-routes to surviving tiers, and the registered tier-failure
+// handler (the Service) is told which blobs were lost so clean pages can
+// be re-staged from the PFS backend and dirty pages flagged as data loss.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "mm/sim/cluster.h"
+#include "mm/sim/fault.h"
 #include "mm/storage/tier_store.h"
+#include "mm/util/retry.h"
 
 namespace mm::storage {
 
@@ -24,21 +35,36 @@ struct TierGrant {
 
 class BufferManager {
  public:
+  /// Invoked (outside the manager's lock) after a tier permanently fails,
+  /// with the blob ids that were resident — and are now lost — on it.
+  using TierFailureHandler = std::function<void(
+      sim::TierKind kind, const std::vector<BlobId>& lost, sim::SimTime now)>;
+
   /// `node` must outlive the manager; every grant's tier must exist on it.
-  BufferManager(sim::Node* node, const std::vector<TierGrant>& grants);
+  /// `injector` (optional, not owned) feeds faults into the tier stores.
+  BufferManager(sim::Node* node, const std::vector<TierGrant>& grants,
+                sim::FaultInjector* injector = nullptr,
+                RetryPolicy retry = {});
 
   std::size_t num_tiers() const { return tiers_.size(); }
   TierStore& tier(std::size_t i) { return *tiers_[i]; }
   const TierStore& tier(std::size_t i) const { return *tiers_[i]; }
 
+  /// Tiers that have not permanently failed.
+  std::size_t num_live_tiers() const;
+
+  /// Registers the permanent-failure callback (typically Service recovery).
+  void SetTierFailureHandler(TierFailureHandler handler);
+
   /// Total bytes across all tiers.
   std::uint64_t used() const;
   std::uint64_t capacity() const;
 
-  /// Places a blob with an importance score. Tries tiers fastest-first; if
-  /// a tier is full, demotes its lowest-scoring blobs below the incoming
+  /// Places a blob with an importance score. Tries live tiers fastest-first;
+  /// if a tier is full, demotes its lowest-scoring blobs below the incoming
   /// score to the next tier down (cascading). Returns the tier index used.
-  /// Fails with kResourceExhausted when nothing fits anywhere.
+  /// Fails with kResourceExhausted when nothing fits anywhere, or
+  /// kUnavailable when every tier has permanently failed.
   StatusOr<std::size_t> PutScored(const BlobId& id,
                                   std::vector<std::uint8_t> data, float score,
                                   sim::SimTime now, sim::SimTime* done);
@@ -64,6 +90,9 @@ class BufferManager {
 
   Status Erase(const BlobId& id);
 
+  /// CRC-32 of a resident blob (integrity metadata; no device charge).
+  StatusOr<std::uint32_t> Checksum(const BlobId& id) const;
+
   /// Re-scores a resident blob (organizer input).
   void SetScore(const BlobId& id, float score);
   float GetScore(const BlobId& id) const;
@@ -75,10 +104,15 @@ class BufferManager {
 
   /// Idle-device estimate of reading `bytes` from the tier holding `id`
   /// (prefetcher input, Algorithm 1 line 21). Falls back to the slowest
-  /// tier when the blob is absent.
+  /// live tier when the blob is absent.
   double EstimateReadSeconds(const BlobId& id, std::uint64_t bytes) const;
 
  private:
+  struct PendingFailure {
+    sim::TierKind kind;
+    std::vector<BlobId> lost;
+  };
+
   /// Moves one blob from tier `from` to tier `to` (charges both devices).
   Status Move(const BlobId& id, std::size_t from, std::size_t to,
               sim::SimTime now, sim::SimTime* done);
@@ -90,9 +124,17 @@ class BufferManager {
   bool MakeRoom(std::size_t t, std::uint64_t needed, float incoming_score,
                 bool allow_ties, sim::SimTime now, sim::SimTime* done);
 
+  /// Drains any tier that failed but has not been drained yet; must hold
+  /// mu_. Collected failures are reported via NotifyFailures after unlock.
+  std::vector<PendingFailure> CollectFailuresLocked();
+  void NotifyFailures(std::vector<PendingFailure> failures, sim::SimTime now);
+
   std::vector<std::unique_ptr<TierStore>> tiers_;
+  RetryPolicy retry_;
   mutable std::mutex mu_;  // guards scores_ and placement orchestration
   std::unordered_map<BlobId, float, BlobIdHash> scores_;
+  std::vector<bool> tier_drained_;  // guarded by mu_
+  TierFailureHandler failure_handler_;  // set once before use
 };
 
 }  // namespace mm::storage

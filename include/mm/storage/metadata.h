@@ -53,6 +53,12 @@ class MetadataManager {
                     std::size_t from_node, sim::SimTime now,
                     sim::SimTime* done);
 
+  /// Unregisters one replica (tier-failure recovery drops copies lost with
+  /// a dead tier). Idempotent: absent entries/replicas are not an error.
+  Status RemoveReplica(const BlobId& id, std::size_t replica_node,
+                       std::size_t from_node, sim::SimTime now,
+                       sim::SimTime* done);
+
   /// Replica set (primary excluded). Empty when none.
   std::vector<std::size_t> Replicas(const BlobId& id, std::size_t from_node,
                                     sim::SimTime now, sim::SimTime* done) const;

@@ -3,14 +3,23 @@
 // device time for every access. Contents are held in memory (the devices
 // are simulated; see DESIGN.md §2) while all timing flows through the
 // Device queueing model.
+//
+// Fault model: when constructed with a FaultInjector, every access first
+// consults it. Transient faults charge the op's setup latency and return
+// kIoError (the caller's RetryPolicy re-issues); permanent faults flip the
+// store into the failed state, after which every access returns
+// kUnavailable until the BufferManager drains the tier (FailAndDrain) and
+// re-routes its pages.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "mm/sim/device.h"
+#include "mm/sim/fault.h"
 #include "mm/storage/blob.h"
 #include "mm/util/status.h"
 
@@ -19,12 +28,15 @@ namespace mm::storage {
 class TierStore {
  public:
   /// `device` outlives the store. `capacity` is the slice of the device
-  /// granted to this program (Fig. 7 varies exactly this).
-  TierStore(sim::Device* device, std::uint64_t capacity)
-      : device_(device), capacity_(capacity) {}
+  /// granted to this program (Fig. 7 varies exactly this). `injector` is
+  /// optional and not owned; when null the store never faults.
+  TierStore(sim::Device* device, std::uint64_t capacity,
+            sim::FaultInjector* injector = nullptr)
+      : device_(device), capacity_(capacity), injector_(injector) {}
 
   sim::TierKind kind() const { return device_->kind(); }
-  std::uint64_t capacity() const { return capacity_; }
+  /// Granted capacity; 0 once the tier has failed so placement skips it.
+  std::uint64_t capacity() const { return failed() ? 0 : capacity_; }
   std::uint64_t used() const {
     std::lock_guard<std::mutex> lock(mu_);
     return used_;
@@ -34,8 +46,10 @@ class TierStore {
 
   /// Writes a whole blob. Fails with kResourceExhausted when it does not
   /// fit; the caller (BufferManager) must evict/demote first. On success
-  /// sets `*done` to the simulated completion time.
-  Status Put(const BlobId& id, std::vector<std::uint8_t> data,
+  /// sets `*done` to the simulated completion time. `data` is consumed
+  /// only on success, so the caller keeps the bytes for a retry or for
+  /// placement on another tier.
+  Status Put(const BlobId& id, std::vector<std::uint8_t>&& data,
              sim::SimTime now, sim::SimTime* done);
 
   /// Overwrites bytes [offset, offset+data.size()) of an existing blob.
@@ -60,6 +74,7 @@ class TierStore {
   bool Contains(const BlobId& id) const;
   std::uint64_t BlobSize(const BlobId& id) const;
   std::uint64_t free_bytes() const {
+    if (failed()) return 0;
     std::lock_guard<std::mutex> lock(mu_);
     return capacity_ - used_;
   }
@@ -71,9 +86,35 @@ class TierStore {
   /// Lists blob ids currently stored (snapshot).
   std::vector<BlobId> ListBlobs() const;
 
+  // --- fault handling ---
+
+  /// True once the tier has permanently failed.
+  bool failed() const { return failed_.load(std::memory_order_acquire); }
+
+  /// Marks the tier permanently failed and drops all contents, returning
+  /// the ids that were lost. Idempotent: a second call returns empty.
+  /// No device time is charged — the device is gone, not busy.
+  std::vector<BlobId> FailAndDrain();
+
+  /// CRC-32 of a resident blob's bytes. Integrity metadata, no device
+  /// charge and no fault draw.
+  StatusOr<std::uint32_t> Checksum(const BlobId& id) const;
+
+  /// Flips one byte of a resident blob in place — silent media corruption
+  /// for tests/fault drills. Bypasses the device model and the injector.
+  Status CorruptBlob(const BlobId& id, std::uint64_t offset);
+
  private:
+  /// Consults the injector before a device op. Returns non-OK when the op
+  /// must fail (charging failed-attempt latency for transient faults);
+  /// otherwise stores the latency-spike multiplier in `*time_factor`.
+  Status InjectFault(bool is_write, sim::SimTime now, sim::SimTime* done,
+                     double* time_factor) const;
+
   sim::Device* device_;
   std::uint64_t capacity_;
+  sim::FaultInjector* injector_;
+  mutable std::atomic<bool> failed_{false};
   mutable std::mutex mu_;
   std::uint64_t used_ = 0;
   std::unordered_map<BlobId, std::vector<std::uint8_t>, BlobIdHash> blobs_;

@@ -13,13 +13,28 @@ namespace mm {
 template <typename T>
 class BlockingQueue {
  public:
-  /// Enqueues an item and wakes one waiter.
-  void Push(T item) {
+  /// Enqueues an item and wakes one waiter. Returns false — without
+  /// consuming `item` — when the queue is closed, so the caller can still
+  /// fulfill the rejected task's promise.
+  bool Push(T&& item) {
     {
       std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return false;
       items_.push_back(std::move(item));
     }
     cv_.notify_one();
+    return true;
+  }
+
+  /// Copying overload for lvalue items.
+  bool Push(const T& item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return false;
+      items_.push_back(item);
+    }
+    cv_.notify_one();
+    return true;
   }
 
   /// Blocks until an item is available or the queue is closed.

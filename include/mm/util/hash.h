@@ -6,6 +6,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string_view>
+#include <vector>
 
 namespace mm {
 
@@ -34,6 +35,15 @@ constexpr std::uint64_t MixU64(std::uint64_t x) {
 /// boost-style hash combine.
 constexpr std::uint64_t HashCombine(std::uint64_t seed, std::uint64_t v) {
   return seed ^ (MixU64(v) + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected). Used as the per-page integrity
+/// checksum for blob contents: cheap, deterministic, and sensitive to the
+/// bit-flip corruption the fault injector models.
+std::uint32_t Crc32(const std::uint8_t* data, std::size_t size);
+
+inline std::uint32_t Crc32(const std::vector<std::uint8_t>& data) {
+  return Crc32(data.data(), data.size());
 }
 
 }  // namespace mm

@@ -1,0 +1,84 @@
+// Retry-with-exponential-backoff policy for transient I/O failures.
+//
+// Device and stager operations in the simulated DMSH can return kIoError
+// when the fault injector fires (see mm/sim/fault.h). RetryPolicy wraps
+// such operations: each failed attempt is re-issued after a backoff delay
+// that is charged to the *virtual* clock, so retries lengthen the simulated
+// runtime exactly as they would wall-clock time on real hardware.
+//
+// Times are virtual seconds (sim::SimTime is an alias for double; plain
+// double is used here so util/ stays independent of sim/).
+#pragma once
+
+#include <algorithm>
+#include <utility>
+
+#include "mm/util/status.h"
+#include "mm/util/yaml.h"
+
+namespace mm {
+
+struct RetryPolicy {
+  /// Total attempts, including the first (1 = no retries).
+  int max_attempts = 4;
+  /// Virtual-time delay before the first retry.
+  double initial_backoff_s = 100e-6;
+  /// Backoff growth factor between consecutive retries.
+  double backoff_multiplier = 4.0;
+  /// Upper bound on a single backoff delay.
+  double max_backoff_s = 50e-3;
+
+  /// Only transient I/O errors are worth re-issuing; permanent failures
+  /// (kUnavailable) and logical errors fail fast.
+  static bool IsRetryable(const Status& s) {
+    return s.code() == StatusCode::kIoError;
+  }
+
+  /// Backoff charged before retry number `retry` (1-based).
+  double BackoffBefore(int retry) const {
+    double b = initial_backoff_s;
+    for (int i = 1; i < retry; ++i) b *= backoff_multiplier;
+    return std::min(b, max_backoff_s);
+  }
+
+  /// Parses a `retry:` YAML map; absent keys keep their defaults.
+  static StatusOr<RetryPolicy> FromYaml(const yaml::Node& node);
+};
+
+namespace detail {
+inline const Status& RetryStatusOf(const Status& s) { return s; }
+template <typename T>
+const Status& RetryStatusOf(const StatusOr<T>& s) {
+  return s.status();
+}
+}  // namespace detail
+
+/// Runs `op(attempt_start, done)` up to policy.max_attempts times. `op`
+/// returns Status or StatusOr<T>; the final attempt's result is returned.
+/// Between attempts the next attempt's start time advances past the failed
+/// attempt's completion plus the backoff delay, so all retry cost lands on
+/// the virtual clock. `*done` (if non-null) is merged with the completion
+/// time of the last attempt. `attempts_out` (if non-null) receives the
+/// number of attempts actually issued.
+template <typename Op>
+auto RunWithRetry(const RetryPolicy& policy, double now, double* done, Op&& op,
+                  int* attempts_out = nullptr)
+    -> decltype(op(now, done)) {
+  double attempt_start = now;
+  int attempt = 1;
+  for (;;) {
+    double attempt_done = attempt_start;
+    auto result = op(attempt_start, &attempt_done);
+    const Status& st = detail::RetryStatusOf(result);
+    if (st.ok() || !RetryPolicy::IsRetryable(st) ||
+        attempt >= policy.max_attempts) {
+      if (done) *done = std::max(*done, attempt_done);
+      if (attempts_out) *attempts_out = attempt;
+      return result;
+    }
+    attempt_start = attempt_done + policy.BackoffBefore(attempt);
+    ++attempt;
+  }
+}
+
+}  // namespace mm

@@ -28,6 +28,8 @@ enum class StatusCode : std::uint8_t {
   kInternal,
   kUnimplemented,
   kIoError,
+  kUnavailable,  // target (tier/node) permanently failed; not retryable
+  kDataLoss,     // unrecoverable data corruption/loss detected
 };
 
 /// Human-readable name for a StatusCode.
@@ -93,6 +95,12 @@ inline Status Unimplemented(std::string msg) {
 }
 inline Status IoError(std::string msg) {
   return Status(StatusCode::kIoError, std::move(msg));
+}
+inline Status Unavailable(std::string msg) {
+  return Status(StatusCode::kUnavailable, std::move(msg));
+}
+inline Status DataLoss(std::string msg) {
+  return Status(StatusCode::kDataLoss, std::move(msg));
 }
 
 /// Value-or-Status. Accessing value() on an error aborts via exception,

@@ -30,6 +30,14 @@ StatusOr<ServiceOptions> ServiceOptions::FromYaml(const yaml::Node& root) {
         runtime.GetBool("enable_prefetch", opts.enable_prefetch);
     opts.enable_organizer =
         runtime.GetBool("enable_organizer", opts.enable_organizer);
+    opts.verify_checksums =
+        runtime.GetBool("verify_checksums", opts.verify_checksums);
+  }
+  if (root.Has("retry")) {
+    MM_ASSIGN_OR_RETURN(opts.retry, RetryPolicy::FromYaml(root["retry"]));
+  }
+  if (root.Has("faults")) {
+    MM_ASSIGN_OR_RETURN(opts.faults, sim::FaultConfig::FromYaml(root["faults"]));
   }
   const yaml::Node& tiers = root["tiers"];
   if (tiers.IsList()) {

@@ -25,7 +25,13 @@ NodeRuntime::NodeRuntime(Service* service, std::size_t node_id,
     : service_(service),
       node_id_(node_id),
       options_(options),
-      bm_(&service->cluster().node(node_id), grants) {
+      bm_(&service->cluster().node(node_id), grants,
+          &service->fault_injector(), options.retry) {
+  bm_.SetTierFailureHandler(
+      [this](sim::TierKind kind, const std::vector<storage::BlobId>& lost,
+             sim::SimTime now) {
+        service_->OnTierFailure(node_id_, kind, lost, now);
+      });
   int high = std::max(1, options_.workers_per_node);
   int low = std::max(0, options_.low_latency_workers);
   for (int i = 0; i < high; ++i) {
@@ -44,16 +50,14 @@ NodeRuntime::NodeRuntime(Service* service, std::size_t node_id,
 NodeRuntime::~NodeRuntime() { Shutdown(); }
 
 void NodeRuntime::Shutdown() {
-  if (shut_down_) return;
-  shut_down_ = true;
+  if (shut_down_.exchange(true)) return;
   for (auto& q : high_queues_) q->Close();
   for (auto& q : low_queues_) q->Close();
   for (auto& t : workers_) t.join();
   workers_.clear();
 }
 
-void NodeRuntime::Submit(MemoryTask task) {
-  MM_CHECK_MSG(!shut_down_, "submit after runtime shutdown");
+Status NodeRuntime::Submit(MemoryTask task) {
   bool is_write = task.kind == MemoryTask::Kind::kWritePartial ||
                   task.kind == MemoryTask::Kind::kStageOut ||
                   task.kind == MemoryTask::Kind::kErase;
@@ -61,12 +65,28 @@ void NodeRuntime::Submit(MemoryTask task) {
   // Writes always go to the (ordered, page-hashed) high-latency group so
   // same-page writes serialize; small reads and scores take the
   // low-latency group to dodge head-of-line blocking (paper §III-B).
+  BlockingQueue<MemoryTask>* queue;
   if (!is_write && !low_queues_.empty() &&
       TaskBytes(task) < options_.low_latency_threshold) {
-    low_queues_[digest % low_queues_.size()]->Push(std::move(task));
+    queue = low_queues_[digest % low_queues_.size()].get();
   } else {
-    high_queues_[digest % high_queues_.size()]->Push(std::move(task));
+    queue = high_queues_[digest % high_queues_.size()].get();
   }
+  // A shutdown race is an orderly rejection, not a crash: Push refuses
+  // (without consuming the task) once the queue is closed, and the task's
+  // promise — if any — is fulfilled so no waiter hangs.
+  if (!shut_down_.load(std::memory_order_acquire) &&
+      queue->Push(std::move(task))) {
+    return Status::Ok();
+  }
+  Status st = FailedPrecondition("submit after runtime shutdown");
+  if (task.promise != nullptr) {
+    TaskOutcome out;
+    out.status = st;
+    out.done = task.issue_time;
+    task.promise->set_value(std::move(out));
+  }
+  return st;
 }
 
 void NodeRuntime::WorkerLoop(BlockingQueue<MemoryTask>* queue) {
@@ -97,6 +117,58 @@ TaskOutcome NodeRuntime::Execute(MemoryTask& task) {
   return TaskOutcome{Internal("unknown task kind"), {}, task.issue_time};
 }
 
+Status NodeRuntime::BackendRead(VectorMeta& meta, std::uint64_t offset,
+                                std::uint64_t size,
+                                std::vector<std::uint8_t>* bytes,
+                                sim::SimTime now, sim::SimTime* done) {
+  sim::Device& pfs = service_->cluster().pfs();
+  return RunWithRetry(
+      options_.retry, now, done,
+      [&](double start, double* attempt_done) -> Status {
+        auto d = service_->fault_injector().OnBackendOp();
+        if (d.kind == sim::FaultInjector::Decision::Kind::kPermanent) {
+          return Unavailable("PFS backend unavailable");
+        }
+        if (d.kind == sim::FaultInjector::Decision::Kind::kTransient) {
+          sim::SimTime end =
+              pfs.Stall(start, pfs.spec().read_latency_s * d.spike_factor);
+          *attempt_done = std::max(*attempt_done, end);
+          return IoError("injected transient fault on backend read of '" +
+                         meta.key + "'");
+        }
+        bytes->clear();
+        MM_RETURN_IF_ERROR(meta.stager->Read(meta.uri, offset, size, bytes));
+        *attempt_done =
+            std::max(*attempt_done, pfs.Read(start, size, d.spike_factor));
+        return Status::Ok();
+      });
+}
+
+Status NodeRuntime::BackendWrite(VectorMeta& meta, std::uint64_t offset,
+                                 const std::vector<std::uint8_t>& bytes,
+                                 sim::SimTime now, sim::SimTime* done) {
+  sim::Device& pfs = service_->cluster().pfs();
+  return RunWithRetry(
+      options_.retry, now, done,
+      [&](double start, double* attempt_done) -> Status {
+        auto d = service_->fault_injector().OnBackendOp();
+        if (d.kind == sim::FaultInjector::Decision::Kind::kPermanent) {
+          return Unavailable("PFS backend unavailable");
+        }
+        if (d.kind == sim::FaultInjector::Decision::Kind::kTransient) {
+          sim::SimTime end =
+              pfs.Stall(start, pfs.spec().write_latency_s * d.spike_factor);
+          *attempt_done = std::max(*attempt_done, end);
+          return IoError("injected transient fault on backend write of '" +
+                         meta.key + "'");
+        }
+        MM_RETURN_IF_ERROR(meta.stager->Write(meta.uri, offset, bytes));
+        *attempt_done = std::max(
+            *attempt_done, pfs.Write(start, bytes.size(), d.spike_factor));
+        return Status::Ok();
+      });
+}
+
 TaskOutcome NodeRuntime::StageInOrZero(VectorMeta& meta,
                                        const storage::BlobId& id,
                                        sim::SimTime now) {
@@ -121,13 +193,12 @@ TaskOutcome NodeRuntime::StageInOrZero(VectorMeta& meta,
     if (backend_size > page_off) {
       std::uint64_t avail = std::min<std::uint64_t>(want, backend_size - page_off);
       std::vector<std::uint8_t> bytes;
-      Status st = meta.stager->Read(meta.uri, page_off, avail, &bytes);
+      Status st = BackendRead(meta, page_off, avail, &bytes, now, &out.done);
       if (!st.ok()) {
         out.status = st;
         return out;
       }
       std::copy(bytes.begin(), bytes.end(), out.data.begin());
-      out.done = service_->cluster().pfs().Read(now, avail);
     }
   }
   return out;
@@ -136,15 +207,60 @@ TaskOutcome NodeRuntime::StageInOrZero(VectorMeta& meta,
 TaskOutcome NodeRuntime::ExecuteGetPage(MemoryTask& task) {
   TaskOutcome out;
   out.done = task.issue_time;
+  if (service_->IsDataLost(task.id)) {
+    out.status = DataLoss("page " + task.id.ToString() +
+                          " lost unstaged modifications");
+    return out;
+  }
   sim::SimTime dev_done = task.issue_time;
   auto hit = bm_.Get(task.id, task.issue_time, &dev_done);
   if (hit.ok()) {
-    out.data = std::move(hit).value();
-    out.done = dev_done;
     auto cur = service_->metadata().Lookup(task.id, node_id_, dev_done,
                                            nullptr);
-    if (cur.ok()) out.version = cur->version;
-    return out;
+    bool corrupted = false;
+    if (cur.ok() && options_.verify_checksums && cur->crc != 0 &&
+        Crc32(*hit) != cur->crc) {
+      // Silent media corruption. Drop the bad copy; a clean page self-heals
+      // from the backend below, a dirty page's modifications are gone.
+      corrupted = true;
+      (void)bm_.Erase(task.id);
+      (void)service_->metadata().Remove(task.id, node_id_, dev_done, nullptr);
+      if (cur->dirty) {
+        service_->RecordDataLoss(task.id);
+        out.status = DataLoss("page " + task.id.ToString() +
+                              " failed CRC check with unstaged modifications");
+        out.done = dev_done;
+        return out;
+      }
+    }
+    if (!corrupted) {
+      out.data = std::move(hit).value();
+      out.done = dev_done;
+      if (cur.ok()) out.version = cur->version;
+      return out;
+    }
+  } else if (hit.status().code() == StatusCode::kUnavailable) {
+    // The tier died under this read. The BufferManager already drained it
+    // and OnTierFailure reconciled the metadata — re-check whether this
+    // page's modifications went down with the tier.
+    if (service_->IsDataLost(task.id)) {
+      out.status = DataLoss("page " + task.id.ToString() +
+                            " lost unstaged modifications");
+      out.done = dev_done;
+      return out;
+    }
+  } else if (hit.status().code() == StatusCode::kIoError) {
+    // Retries exhausted on a live tier. A dirty page cannot be recreated
+    // from the backend, so surface the error; a clean copy is dropped and
+    // re-staged below.
+    auto cur = service_->metadata().Lookup(task.id, node_id_, dev_done,
+                                           nullptr);
+    if (cur.ok() && cur->dirty) {
+      out.status = hit.status();
+      out.done = dev_done;
+      return out;
+    }
+    (void)bm_.Erase(task.id);
   }
   VectorMeta* meta = service_->FindVectorById(task.id.vector_id);
   if (meta == nullptr) {
@@ -171,6 +287,7 @@ TaskOutcome NodeRuntime::ExecuteGetPage(MemoryTask& task) {
     loc.score_node = task.from_node;
     loc.dirty = false;
     loc.version = prev.ok() ? prev->version : 0;
+    loc.crc = Crc32(out.data);
     (void)service_->metadata().Update(task.id, loc, node_id_, out.done,
                                       nullptr);
     out.version = loc.version;
@@ -187,12 +304,36 @@ TaskOutcome NodeRuntime::ExecuteWritePartial(MemoryTask& task) {
     out.status = NotFound("unknown vector for blob " + task.id.ToString());
     return out;
   }
+  if (service_->IsDataLost(task.id)) {
+    if (task.offset == 0 && task.data.size() >= meta->page_bytes) {
+      // A full-page overwrite replaces the lost bytes entirely, so the page
+      // is whole again.
+      service_->ClearDataLoss(task.id);
+    } else {
+      out.status = DataLoss("partial write to page " + task.id.ToString() +
+                            " that lost unstaged modifications");
+      return out;
+    }
+  }
   sim::SimTime dev_done = task.issue_time;
   Status st = bm_.PutPartial(task.id, task.offset, task.data, task.issue_time,
                              &dev_done);
-  if (st.code() == StatusCode::kNotFound) {
-    // Page not resident: materialize it (stage-in or zeros), apply the
-    // modification, and cache the result.
+  if (st.code() == StatusCode::kNotFound ||
+      st.code() == StatusCode::kUnavailable) {
+    // Page not resident (or its tier just died): materialize it (stage-in
+    // or zeros), apply the modification, and cache the result. If the tier
+    // death took unstaged modifications with it (recorded by OnTierFailure
+    // during the failed PutPartial), a partial rewrite over zeros would be
+    // silent corruption — surface it instead.
+    if (service_->IsDataLost(task.id)) {
+      if (task.offset == 0 && task.data.size() >= meta->page_bytes) {
+        service_->ClearDataLoss(task.id);
+      } else {
+        out.status = DataLoss("partial write to page " + task.id.ToString() +
+                              " that lost unstaged modifications");
+        return out;
+      }
+    }
     TaskOutcome base = StageInOrZero(*meta, task.id, task.issue_time);
     if (!base.status.ok()) return base;
     MM_CHECK(task.offset + task.data.size() <= base.data.size());
@@ -200,6 +341,7 @@ TaskOutcome NodeRuntime::ExecuteWritePartial(MemoryTask& task) {
               base.data.begin() + static_cast<std::ptrdiff_t>(task.offset));
     dev_done = base.done;
     std::vector<std::uint8_t> page_data = std::move(base.data);
+    std::uint32_t page_crc = Crc32(page_data);
     auto tier = bm_.PutScored(task.id, page_data, task.score, dev_done,
                               &dev_done);
     auto prev = service_->metadata().Lookup(task.id, node_id_, dev_done,
@@ -210,6 +352,7 @@ TaskOutcome NodeRuntime::ExecuteWritePartial(MemoryTask& task) {
     loc.score = task.score;
     loc.score_node = task.from_node;
     loc.version = (prev.ok() ? prev->version : 0) + 1;
+    loc.crc = page_crc;
     if (tier.ok()) {
       loc.tier = bm_.tier(*tier).kind();
       loc.dirty = true;
@@ -219,8 +362,9 @@ TaskOutcome NodeRuntime::ExecuteWritePartial(MemoryTask& task) {
         out.status = tier.status();
         return out;
       }
-      // Nonvolatile vector, scache full everywhere: write straight through
-      // to the backend. Later faults stage the page back in from there.
+      // Nonvolatile vector, scache full (or dead) everywhere: write
+      // straight through to the backend. Later faults stage the page back
+      // in from there.
       Status eb = service_->EnsureBackend(*meta);
       if (!eb.ok()) {
         out.status = eb;
@@ -231,12 +375,12 @@ TaskOutcome NodeRuntime::ExecuteWritePartial(MemoryTask& task) {
       std::uint64_t want = std::min<std::uint64_t>(
           page_data.size(), logical > page_off ? logical - page_off : 0);
       page_data.resize(want);
-      Status st = meta->stager->Write(meta->uri, page_off, page_data);
-      if (!st.ok()) {
-        out.status = st;
+      Status wt = BackendWrite(*meta, page_off, page_data, dev_done,
+                               &dev_done);
+      if (!wt.ok()) {
+        out.status = wt;
         return out;
       }
-      dev_done = service_->cluster().pfs().Write(dev_done, want);
       loc.tier = sim::TierKind::kPfs;
       loc.dirty = false;  // already persistent
     }
@@ -250,13 +394,15 @@ TaskOutcome NodeRuntime::ExecuteWritePartial(MemoryTask& task) {
     out.status = st;
     return out;
   }
-  // Mark dirty and bump the write version.
+  // Mark dirty, bump the write version, and re-checksum the committed page.
   auto loc = service_->metadata().Lookup(task.id, node_id_, dev_done, nullptr);
   if (loc.ok()) {
     storage::BlobLocation updated = *loc;
     updated.dirty = true;
     out.prev_version = updated.version;
     ++updated.version;
+    auto crc = bm_.Checksum(task.id);
+    updated.crc = crc.ok() ? *crc : 0;
     (void)service_->metadata().Update(task.id, updated, node_id_, dev_done,
                                       nullptr);
     out.version = updated.version;
@@ -305,12 +451,12 @@ TaskOutcome NodeRuntime::ExecuteStageOut(MemoryTask& task) {
   std::uint64_t want = std::min<std::uint64_t>(data->size(), logical - page_off);
   std::vector<std::uint8_t> bytes(data->begin(),
                                   data->begin() + static_cast<std::ptrdiff_t>(want));
-  Status st = meta->stager->Write(meta->uri, page_off, bytes);
+  out.done = read_done;
+  Status st = BackendWrite(*meta, page_off, bytes, read_done, &out.done);
   if (!st.ok()) {
     out.status = st;
     return out;
   }
-  out.done = service_->cluster().pfs().Write(read_done, want);
   // Clear the dirty flag.
   auto loc = service_->metadata().Lookup(task.id, node_id_, out.done, nullptr);
   if (loc.ok()) {
@@ -337,6 +483,8 @@ Service::Service(sim::Cluster* cluster, ServiceOptions options)
     : cluster_(cluster), options_(std::move(options)) {
   MM_CHECK_MSG(!options_.tier_grants.empty(),
                "ServiceOptions.tier_grants must be set");
+  // Created before the runtimes: every TierStore keeps a pointer into it.
+  injector_ = std::make_unique<sim::FaultInjector>(options_.faults);
   metadata_ = std::make_unique<storage::MetadataManager>(cluster->num_nodes(),
                                                          &cluster->network());
   for (std::size_t n = 0; n < cluster->num_nodes(); ++n) {
@@ -472,6 +620,65 @@ std::size_t Service::DefaultOwner(VectorMeta& meta,
   return std::min(node, num_nodes() - 1);
 }
 
+void Service::OnTierFailure(std::size_t node, sim::TierKind tier,
+                            const std::vector<storage::BlobId>& lost,
+                            sim::SimTime now) {
+  MM_WARN("service") << "tier " << sim::TierKindName(tier) << " on node "
+                     << node << " failed permanently; " << lost.size()
+                     << " pages lost, starting recovery";
+  for (const storage::BlobId& id : lost) {
+    auto loc = metadata().Lookup(id, node, now, nullptr);
+    if (!loc.ok()) continue;  // never registered; nothing to reconcile
+    if (loc->node != node) {
+      // Only a replica died here; the primary is intact elsewhere.
+      (void)metadata().RemoveReplica(id, node, node, now, nullptr);
+      continue;
+    }
+    if (loc->dirty) {
+      // The only copy of unstaged modifications went down with the tier.
+      // Record typed data loss; accesses surface kDataLoss, not an abort.
+      RecordDataLoss(id);
+      (void)metadata().Remove(id, node, now, nullptr);
+      continue;
+    }
+    // Clean primary: the backend still has the bytes. Drop the stale
+    // mapping and eagerly re-stage so the working set recovers without
+    // waiting for the next fault (volatile vectors re-read as zeros).
+    (void)metadata().Remove(id, node, now, nullptr);
+    VectorMeta* meta = FindVectorById(id.vector_id);
+    if (meta == nullptr || meta->stager == nullptr) continue;
+    MemoryTask restore;
+    restore.kind = MemoryTask::Kind::kGetPage;
+    restore.vector_id = id.vector_id;
+    restore.id = id;
+    restore.size = meta->page_bytes;
+    restore.score = loc->score;
+    restore.from_node = node;
+    restore.issue_time = now;
+    (void)runtime(node).Submit(std::move(restore));  // fire-and-forget
+  }
+}
+
+void Service::RecordDataLoss(const storage::BlobId& id) {
+  std::lock_guard<std::mutex> lock(lost_mu_);
+  lost_.insert(id);
+}
+
+bool Service::IsDataLost(const storage::BlobId& id) const {
+  std::lock_guard<std::mutex> lock(lost_mu_);
+  return lost_.count(id) > 0;
+}
+
+void Service::ClearDataLoss(const storage::BlobId& id) {
+  std::lock_guard<std::mutex> lock(lost_mu_);
+  lost_.erase(id);
+}
+
+std::size_t Service::data_loss_count() const {
+  std::lock_guard<std::mutex> lock(lost_mu_);
+  return lost_.size();
+}
+
 VectorMeta* Service::FindVectorById(std::uint64_t vector_id) {
   std::lock_guard<std::mutex> lock(vectors_mu_);
   auto it = vectors_by_id_.find(vector_id);
@@ -510,18 +717,44 @@ StatusOr<std::vector<std::uint8_t>> Service::ReadPage(VectorMeta& meta,
                                                       std::uint64_t* version) {
   storage::BlobId id{meta.vector_id, page};
   CoherenceMode mode = meta.mode.load(std::memory_order_relaxed);
+  if (IsDataLost(id)) {
+    return DataLoss("page " + id.ToString() + " lost unstaged modifications");
+  }
 
   // Fast path: the blob (or a replica) is already on this node.
   if (runtime(from_node).buffer().FindBlob(id).has_value()) {
     sim::SimTime local_done = now;
     auto local = runtime(from_node).buffer().Get(id, now, &local_done);
     if (local.ok()) {
+      bool corrupted = false;
       if (version != nullptr) {
         auto cur = metadata().Lookup(id, from_node, local_done, &local_done);
         *version = cur.ok() ? cur->version : 0;
+        if (cur.ok() && options_.verify_checksums && cur->crc != 0 &&
+            Crc32(*local) != cur->crc) {
+          // Silent corruption caught on the local copy. Drop it; dirty
+          // pages surface typed data loss, clean pages fall through to the
+          // slow path and self-heal from the owner/backend.
+          corrupted = true;
+          (void)runtime(from_node).buffer().Erase(id);
+          if (cur->node == from_node) {
+            (void)metadata().Remove(id, from_node, local_done, &local_done);
+            if (cur->dirty) {
+              RecordDataLoss(id);
+              Merge(local_done, done);
+              return DataLoss("page " + id.ToString() +
+                              " failed CRC check with unstaged modifications");
+            }
+          } else {
+            (void)metadata().RemoveReplica(id, from_node, from_node,
+                                           local_done, &local_done);
+          }
+        }
       }
-      Merge(local_done, done);
-      return local;
+      if (!corrupted) {
+        Merge(local_done, done);
+        return local;
+      }
     }
   }
 
@@ -559,7 +792,7 @@ StatusOr<std::vector<std::uint8_t>> Service::ReadPage(VectorMeta& meta,
       }
       fetch = task.promise->get_future().share();
       inflight_[key] = fetch;
-      runtime(owner).Submit(std::move(task));
+      (void)runtime(owner).Submit(std::move(task));
     }
   }
   TaskOutcome outcome = fetch.get();
@@ -644,7 +877,7 @@ Service::AsyncRead Service::ReadPageAsync(VectorMeta& meta,
     task.issue_time = req.delivered;
   }
   AsyncRead result{task.promise->get_future().share(), owner};
-  runtime(owner).Submit(std::move(task));
+  (void)runtime(owner).Submit(std::move(task));
   return result;
 }
 
@@ -691,7 +924,7 @@ std::shared_future<TaskOutcome> Service::WriteRegion(
     task.issue_time = xfer.delivered;
   }
   auto future = task.promise->get_future().share();
-  runtime(owner).Submit(std::move(task));
+  (void)runtime(owner).Submit(std::move(task));
   return future;
 }
 
@@ -708,7 +941,7 @@ void Service::SubmitScore(VectorMeta& meta, std::uint64_t page, float score,
   task.score = score;
   task.from_node = from_node;
   task.issue_time = now;
-  runtime(loc->node).Submit(std::move(task));
+  (void)runtime(loc->node).Submit(std::move(task));
 }
 
 Status Service::FlushVector(VectorMeta& meta, std::size_t from_node,
@@ -728,7 +961,7 @@ Status Service::FlushVector(VectorMeta& meta, std::size_t from_node,
     task.issue_time = now;
     task.promise = std::make_shared<std::promise<TaskOutcome>>();
     futures.push_back(task.promise->get_future().share());
-    runtime(loc->node).Submit(std::move(task));
+    (void)runtime(loc->node).Submit(std::move(task));
   }
   Status first_error;
   for (auto& f : futures) {
@@ -760,7 +993,7 @@ Status Service::ChangePhase(VectorMeta& meta, CoherenceMode new_mode,
         task.id = id;
         task.from_node = from_node;
         task.issue_time = inval_done;
-        runtime(node).Submit(std::move(task));
+        (void)runtime(node).Submit(std::move(task));
       }
     }
   }

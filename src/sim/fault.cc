@@ -1,0 +1,109 @@
+#include "mm/sim/fault.h"
+
+#include "mm/util/hash.h"
+
+namespace mm::sim {
+
+namespace {
+
+// Deterministic uniform in [0, 1) from (seed, stream, op, salt). The salt
+// decorrelates the transient-error draw from the latency-spike draw for the
+// same op.
+double UniformDraw(std::uint64_t seed, std::uint64_t stream, std::uint64_t op,
+                   std::uint64_t salt) {
+  std::uint64_t h = HashCombine(HashCombine(HashCombine(seed, stream), op),
+                                salt);
+  return static_cast<double>(MixU64(h) >> 11) * 0x1.0p-53;
+}
+
+StatusOr<TierFaultSpec> ParseSpec(const yaml::Node& node) {
+  TierFaultSpec spec;
+  if (!node.IsMap()) return InvalidArgument("fault spec must be a map");
+  spec.transient_error_rate =
+      node.GetDouble("transient_error_rate", spec.transient_error_rate);
+  spec.latency_spike_rate =
+      node.GetDouble("latency_spike_rate", spec.latency_spike_rate);
+  spec.latency_spike_factor =
+      node.GetDouble("latency_spike_factor", spec.latency_spike_factor);
+  spec.fail_after_ops = static_cast<std::uint64_t>(
+      node.GetInt("fail_after_ops", static_cast<std::int64_t>(spec.fail_after_ops)));
+  if (spec.transient_error_rate < 0 || spec.transient_error_rate > 1 ||
+      spec.latency_spike_rate < 0 || spec.latency_spike_rate > 1) {
+    return InvalidArgument("fault rates must be within [0, 1]");
+  }
+  if (spec.latency_spike_factor < 1.0) {
+    return InvalidArgument("latency_spike_factor must be >= 1");
+  }
+  return spec;
+}
+
+}  // namespace
+
+bool FaultConfig::any() const {
+  for (const TierFaultSpec& spec : tiers) {
+    if (spec.any()) return true;
+  }
+  return backend.any();
+}
+
+StatusOr<FaultConfig> FaultConfig::FromYaml(const yaml::Node& node) {
+  FaultConfig config;
+  if (!node.IsMap()) return config;
+  config.seed = static_cast<std::uint64_t>(node.GetInt("seed", 0));
+  static constexpr struct {
+    const char* name;
+    TierKind kind;
+  } kTierKeys[] = {{"dram", TierKind::kDram},
+                   {"nvme", TierKind::kNvme},
+                   {"ssd", TierKind::kSsd},
+                   {"hdd", TierKind::kHdd},
+                   {"pfs", TierKind::kPfs}};
+  for (const auto& key : kTierKeys) {
+    if (node.Has(key.name)) {
+      MM_ASSIGN_OR_RETURN(config.tier(key.kind), ParseSpec(node[key.name]));
+    }
+  }
+  if (node.Has("backend")) {
+    MM_ASSIGN_OR_RETURN(config.backend, ParseSpec(node["backend"]));
+  }
+  return config;
+}
+
+FaultInjector::Decision FaultInjector::Draw(std::size_t stream) {
+  Decision decision;
+  Stream& s = streams_[stream];
+  if (s.failed.load(std::memory_order_acquire)) {
+    decision.kind = Decision::Kind::kPermanent;
+    return decision;
+  }
+  const TierFaultSpec& spec = SpecOf(stream);
+  std::uint64_t op = s.ops.fetch_add(1, std::memory_order_relaxed);
+  if (spec.fail_after_ops > 0 && op >= spec.fail_after_ops) {
+    MarkFailed(stream);
+    decision.kind = Decision::Kind::kPermanent;
+    return decision;
+  }
+  if (spec.transient_error_rate > 0 &&
+      UniformDraw(config_.seed, stream, op, /*salt=*/0x7e) <
+          spec.transient_error_rate) {
+    decision.kind = Decision::Kind::kTransient;
+    transient_faults_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (spec.latency_spike_rate > 0 &&
+      UniformDraw(config_.seed, stream, op, /*salt=*/0x15) <
+          spec.latency_spike_rate) {
+    decision.spike_factor = spec.latency_spike_factor;
+    latency_spikes_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return decision;
+}
+
+void FaultInjector::MarkFailed(std::size_t stream) {
+  bool expected = false;
+  if (streams_[stream].failed.compare_exchange_strong(
+          expected, true, std::memory_order_acq_rel)) {
+    permanent_failures_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace mm::sim

@@ -11,13 +11,16 @@ void MergeDone(sim::SimTime end, sim::SimTime* done) {
 }  // namespace
 
 BufferManager::BufferManager(sim::Node* node,
-                             const std::vector<TierGrant>& grants) {
+                             const std::vector<TierGrant>& grants,
+                             sim::FaultInjector* injector, RetryPolicy retry)
+    : retry_(retry) {
   for (const TierGrant& grant : grants) {
     sim::Device* dev = node->FindTier(grant.kind);
     MM_CHECK_MSG(dev != nullptr, "node lacks granted tier");
     MM_CHECK_MSG(grant.capacity <= dev->spec().capacity_bytes,
                  "grant exceeds device capacity");
-    tiers_.push_back(std::make_unique<TierStore>(dev, grant.capacity));
+    tiers_.push_back(
+        std::make_unique<TierStore>(dev, grant.capacity, injector));
   }
   // Fastest-first ordering is required by the placement loops.
   for (std::size_t i = 1; i < tiers_.size(); ++i) {
@@ -25,6 +28,20 @@ BufferManager::BufferManager(sim::Node* node,
                      static_cast<int>(tiers_[i - 1]->kind()),
                  "tier grants must be sorted fastest-first");
   }
+  tier_drained_.assign(tiers_.size(), false);
+}
+
+std::size_t BufferManager::num_live_tiers() const {
+  std::size_t live = 0;
+  for (const auto& t : tiers_) {
+    if (!t->failed()) ++live;
+  }
+  return live;
+}
+
+void BufferManager::SetTierFailureHandler(TierFailureHandler handler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  failure_handler_ = std::move(handler);
 }
 
 std::uint64_t BufferManager::used() const {
@@ -43,60 +60,119 @@ StatusOr<std::size_t> BufferManager::PutScored(const BlobId& id,
                                                std::vector<std::uint8_t> data,
                                                float score, sim::SimTime now,
                                                sim::SimTime* done) {
-  std::lock_guard<std::mutex> lock(mu_);
-  // Drop any stale copy so capacity accounting stays exact.
-  for (auto& t : tiers_) {
-    if (t->Contains(id)) {
-      (void)t->Erase(id);
-      break;
+  std::unique_lock<std::mutex> lock(mu_);
+  auto result = [&]() -> StatusOr<std::size_t> {
+    // Drop any stale copy so capacity accounting stays exact.
+    for (auto& t : tiers_) {
+      if (t->Contains(id)) {
+        (void)t->Erase(id);
+        break;
+      }
     }
-  }
-  scores_[id] = score;
-  std::uint64_t size = data.size();
-  for (std::size_t t = 0; t < tiers_.size(); ++t) {
-    if (tiers_[t]->free_bytes() < size &&
-        !MakeRoom(t, size, score, /*allow_ties=*/false, now, done)) {
-      continue;  // this tier is pinned full of higher-priority data
+    scores_[id] = score;
+    std::uint64_t size = data.size();
+    bool any_live = false;
+    for (std::size_t t = 0; t < tiers_.size(); ++t) {
+      if (tiers_[t]->failed()) continue;
+      any_live = true;
+      if (tiers_[t]->free_bytes() < size &&
+          !MakeRoom(t, size, score, /*allow_ties=*/false, now, done)) {
+        continue;  // this tier is pinned full of higher-priority data
+      }
+      Status st = RunWithRetry(retry_, now, done,
+                               [&](double start, double* attempt_done) {
+                                 return tiers_[t]->Put(id, std::move(data),
+                                                       start, attempt_done);
+                               });
+      if (st.ok()) return t;
+      // kUnavailable (tier died mid-put), kResourceExhausted, or kIoError
+      // (retries exhausted): the data is still intact — try the next tier
+      // down the hierarchy.
     }
-    Status st = tiers_[t]->Put(id, std::move(data), now, done);
-    if (st.ok()) return t;
-    // Put can only fail for capacity here; try the next tier down.
-    MM_CHECK(st.code() == StatusCode::kResourceExhausted);
-    return st;  // MakeRoom said there was room but Put failed: impossible
-  }
-  scores_.erase(id);
-  return ResourceExhausted("scache full on this node for blob " +
-                           id.ToString());
+    scores_.erase(id);
+    // Re-check after the puts: a tier that looked live above may have been
+    // discovered dead by its own Put (the injector flips it on first use).
+    any_live = std::any_of(tiers_.begin(), tiers_.end(),
+                           [](const auto& t) { return !t->failed(); });
+    if (!any_live) {
+      return Unavailable("no live scache tier on this node for blob " +
+                         id.ToString());
+    }
+    return ResourceExhausted("scache full on this node for blob " +
+                             id.ToString());
+  }();
+  std::vector<PendingFailure> failures = CollectFailuresLocked();
+  lock.unlock();
+  NotifyFailures(std::move(failures), now);
+  return result;
 }
 
 Status BufferManager::PutPartial(const BlobId& id, std::uint64_t offset,
                                  const std::vector<std::uint8_t>& data,
                                  sim::SimTime now, sim::SimTime* done) {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (auto& t : tiers_) {
-    if (t->Contains(id)) return t->PutPartial(id, offset, data, now, done);
-  }
-  return NotFound("blob " + id.ToString() + " not resident");
+  std::unique_lock<std::mutex> lock(mu_);
+  Status result = [&]() -> Status {
+    for (auto& t : tiers_) {
+      if (t->failed()) continue;
+      if (t->Contains(id)) {
+        return RunWithRetry(retry_, now, done,
+                            [&](double start, double* attempt_done) {
+                              return t->PutPartial(id, offset, data, start,
+                                                   attempt_done);
+                            });
+      }
+    }
+    return NotFound("blob " + id.ToString() + " not resident");
+  }();
+  std::vector<PendingFailure> failures = CollectFailuresLocked();
+  lock.unlock();
+  NotifyFailures(std::move(failures), now);
+  return result;
 }
 
 StatusOr<std::vector<std::uint8_t>> BufferManager::Get(const BlobId& id,
                                                        sim::SimTime now,
                                                        sim::SimTime* done) {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (auto& t : tiers_) {
-    if (t->Contains(id)) return t->Get(id, now, done);
-  }
-  return NotFound("blob " + id.ToString() + " not resident");
+  std::unique_lock<std::mutex> lock(mu_);
+  auto result = [&]() -> StatusOr<std::vector<std::uint8_t>> {
+    for (auto& t : tiers_) {
+      if (t->failed()) continue;
+      if (t->Contains(id)) {
+        return RunWithRetry(retry_, now, done,
+                            [&](double start, double* attempt_done) {
+                              return t->Get(id, start, attempt_done);
+                            });
+      }
+    }
+    return NotFound("blob " + id.ToString() + " not resident");
+  }();
+  std::vector<PendingFailure> failures = CollectFailuresLocked();
+  lock.unlock();
+  NotifyFailures(std::move(failures), now);
+  return result;
 }
 
 StatusOr<std::vector<std::uint8_t>> BufferManager::GetPartial(
     const BlobId& id, std::uint64_t offset, std::uint64_t size,
     sim::SimTime now, sim::SimTime* done) {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (auto& t : tiers_) {
-    if (t->Contains(id)) return t->GetPartial(id, offset, size, now, done);
-  }
-  return NotFound("blob " + id.ToString() + " not resident");
+  std::unique_lock<std::mutex> lock(mu_);
+  auto result = [&]() -> StatusOr<std::vector<std::uint8_t>> {
+    for (auto& t : tiers_) {
+      if (t->failed()) continue;
+      if (t->Contains(id)) {
+        return RunWithRetry(retry_, now, done,
+                            [&](double start, double* attempt_done) {
+                              return t->GetPartial(id, offset, size, start,
+                                                   attempt_done);
+                            });
+      }
+    }
+    return NotFound("blob " + id.ToString() + " not resident");
+  }();
+  std::vector<PendingFailure> failures = CollectFailuresLocked();
+  lock.unlock();
+  NotifyFailures(std::move(failures), now);
+  return result;
 }
 
 std::optional<std::size_t> BufferManager::FindBlob(const BlobId& id) const {
@@ -116,6 +192,14 @@ Status BufferManager::Erase(const BlobId& id) {
   return NotFound("blob " + id.ToString() + " not resident");
 }
 
+StatusOr<std::uint32_t> BufferManager::Checksum(const BlobId& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& t : tiers_) {
+    if (t->Contains(id)) return t->Checksum(id);
+  }
+  return NotFound("blob " + id.ToString() + " not resident");
+}
+
 void BufferManager::SetScore(const BlobId& id, float score) {
   std::lock_guard<std::mutex> lock(mu_);
   scores_[id] = score;
@@ -130,9 +214,16 @@ float BufferManager::GetScore(const BlobId& id) const {
 Status BufferManager::Move(const BlobId& id, std::size_t from, std::size_t to,
                            sim::SimTime now, sim::SimTime* done) {
   sim::SimTime read_done = now;
-  auto data = tiers_[from]->Get(id, now, &read_done);
+  auto data = RunWithRetry(retry_, now, &read_done,
+                           [&](double start, double* attempt_done) {
+                             return tiers_[from]->Get(id, start, attempt_done);
+                           });
   MM_RETURN_IF_ERROR(data.status());
-  MM_RETURN_IF_ERROR(tiers_[to]->Put(id, std::move(data).value(), read_done, done));
+  MM_RETURN_IF_ERROR(RunWithRetry(
+      retry_, read_done, done, [&](double start, double* attempt_done) {
+        return tiers_[to]->Put(id, std::move(data).value(), start,
+                               attempt_done);
+      }));
   MergeDone(read_done, done);
   return tiers_[from]->Erase(id);
 }
@@ -140,7 +231,7 @@ Status BufferManager::Move(const BlobId& id, std::size_t from, std::size_t to,
 bool BufferManager::MakeRoom(std::size_t t, std::uint64_t needed,
                              float incoming_score, bool allow_ties,
                              sim::SimTime now, sim::SimTime* done) {
-  if (tiers_[t]->capacity() < needed) return false;
+  if (tiers_[t]->capacity() < needed) return false;  // 0 once failed
   if (t + 1 >= tiers_.size()) {
     // Lowest tier: nothing to demote into. Room only if eviction targets
     // exist is a caller concern (stage-out); report failure here.
@@ -172,11 +263,12 @@ bool BufferManager::MakeRoom(std::size_t t, std::uint64_t needed,
 }
 
 int BufferManager::Rebalance(sim::SimTime now, sim::SimTime* done) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
   int moved = 0;
   // Promote pass: walk slower tiers and pull the highest-scoring blobs into
   // any free space above them.
   for (std::size_t t = tiers_.size(); t-- > 1;) {
+    if (tiers_[t]->failed()) continue;
     std::vector<std::pair<float, BlobId>> candidates;
     for (const BlobId& id : tiers_[t]->ListBlobs()) {
       auto it = scores_.find(id);
@@ -187,25 +279,62 @@ int BufferManager::Rebalance(sim::SimTime now, sim::SimTime* done) {
               [](const auto& a, const auto& b) { return a.first > b.first; });
     for (const auto& [score, id] : candidates) {
       std::uint64_t size = tiers_[t]->BlobSize(id);
-      // Find the fastest tier with room.
+      // Find the fastest live tier with room.
       for (std::size_t up = 0; up < t; ++up) {
-        if (tiers_[up]->free_bytes() >= size) {
+        if (!tiers_[up]->failed() && tiers_[up]->free_bytes() >= size) {
           if (Move(id, t, up, now, done).ok()) ++moved;
           break;
         }
       }
     }
   }
+  std::vector<PendingFailure> failures = CollectFailuresLocked();
+  lock.unlock();
+  NotifyFailures(std::move(failures), now);
   return moved;
 }
 
 double BufferManager::EstimateReadSeconds(const BlobId& id,
                                           std::uint64_t bytes) const {
   std::lock_guard<std::mutex> lock(mu_);
+  const TierStore* slowest_live = nullptr;
   for (const auto& t : tiers_) {
+    if (t->failed()) continue;
     if (t->Contains(id)) return t->device().ReadDuration(bytes);
+    slowest_live = t.get();
+  }
+  if (slowest_live != nullptr) {
+    return slowest_live->device().ReadDuration(bytes);
   }
   return tiers_.back()->device().ReadDuration(bytes);
+}
+
+std::vector<BufferManager::PendingFailure>
+BufferManager::CollectFailuresLocked() {
+  std::vector<PendingFailure> out;
+  for (std::size_t t = 0; t < tiers_.size(); ++t) {
+    if (tiers_[t]->failed() && !tier_drained_[t]) {
+      tier_drained_[t] = true;
+      PendingFailure failure{tiers_[t]->kind(), tiers_[t]->FailAndDrain()};
+      for (const BlobId& id : failure.lost) scores_.erase(id);
+      out.push_back(std::move(failure));
+    }
+  }
+  return out;
+}
+
+void BufferManager::NotifyFailures(std::vector<PendingFailure> failures,
+                                   sim::SimTime now) {
+  if (failures.empty()) return;
+  TierFailureHandler handler;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    handler = failure_handler_;
+  }
+  if (!handler) return;
+  for (const PendingFailure& failure : failures) {
+    handler(failure.kind, failure.lost, now);
+  }
 }
 
 }  // namespace mm::storage

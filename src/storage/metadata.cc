@@ -100,6 +100,26 @@ Status MetadataManager::AddReplica(const BlobId& id, std::size_t replica_node,
   return Status::Ok();
 }
 
+Status MetadataManager::RemoveReplica(const BlobId& id,
+                                      std::size_t replica_node,
+                                      std::size_t from_node, sim::SimTime now,
+                                      sim::SimTime* done) {
+  std::size_t home = HomeNode(id);
+  SetDone(ChargeRtt(home, from_node, now), done);
+  Shard& shard = shards_[home];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(id);
+  if (it == shard.entries.end()) return Status::Ok();
+  auto& replicas = it->second.replicas;
+  for (auto rit = replicas.begin(); rit != replicas.end(); ++rit) {
+    if (*rit == replica_node) {
+      replicas.erase(rit);
+      break;
+    }
+  }
+  return Status::Ok();
+}
+
 std::vector<std::size_t> MetadataManager::Replicas(const BlobId& id,
                                                    std::size_t from_node,
                                                    sim::SimTime now,

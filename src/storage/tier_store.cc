@@ -3,10 +3,44 @@
 #include <algorithm>
 #include <cstring>
 
+#include "mm/util/hash.h"
+
 namespace mm::storage {
 
-Status TierStore::Put(const BlobId& id, std::vector<std::uint8_t> data,
+Status TierStore::InjectFault(bool is_write, sim::SimTime now,
+                              sim::SimTime* done, double* time_factor) const {
+  if (failed_.load(std::memory_order_acquire)) {
+    return Unavailable("tier " + std::string(sim::TierKindName(kind())) +
+                       " has failed");
+  }
+  if (injector_ == nullptr) return Status::Ok();
+  sim::FaultInjector::Decision d = injector_->OnDeviceOp(kind());
+  switch (d.kind) {
+    case sim::FaultInjector::Decision::Kind::kPermanent:
+      failed_.store(true, std::memory_order_release);
+      return Unavailable("tier " + std::string(sim::TierKindName(kind())) +
+                         " has failed");
+    case sim::FaultInjector::Decision::Kind::kTransient: {
+      // A failed attempt still occupies the device for its setup latency
+      // (scaled if the same op also drew a spike).
+      double lat = is_write ? device_->spec().write_latency_s
+                            : device_->spec().read_latency_s;
+      sim::SimTime end = device_->Stall(now, lat * d.spike_factor);
+      if (done != nullptr) *done = std::max(*done, end);
+      return IoError("injected transient fault on tier " +
+                     std::string(sim::TierKindName(kind())));
+    }
+    case sim::FaultInjector::Decision::Kind::kOk:
+      break;
+  }
+  *time_factor = d.spike_factor;
+  return Status::Ok();
+}
+
+Status TierStore::Put(const BlobId& id, std::vector<std::uint8_t>&& data,
                       sim::SimTime now, sim::SimTime* done) {
+  double factor = 1.0;
+  MM_RETURN_IF_ERROR(InjectFault(/*is_write=*/true, now, done, &factor));
   std::uint64_t size = data.size();
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -22,7 +56,7 @@ Status TierStore::Put(const BlobId& id, std::vector<std::uint8_t> data,
     used_ = used_ - old_size + size;
     blobs_[id] = std::move(data);
   }
-  sim::SimTime end = device_->Write(now, size);
+  sim::SimTime end = device_->Write(now, size, factor);
   if (done != nullptr) *done = end;
   return Status::Ok();
 }
@@ -30,18 +64,22 @@ Status TierStore::Put(const BlobId& id, std::vector<std::uint8_t> data,
 Status TierStore::PutPartial(const BlobId& id, std::uint64_t offset,
                              const std::vector<std::uint8_t>& data,
                              sim::SimTime now, sim::SimTime* done) {
+  double factor = 1.0;
+  MM_RETURN_IF_ERROR(InjectFault(/*is_write=*/true, now, done, &factor));
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = blobs_.find(id);
     if (it == blobs_.end()) {
       return NotFound("blob " + id.ToString() + " not in tier");
     }
-    if (offset + data.size() > it->second.size()) {
+    // Overflow-safe bounds check: `offset + data.size()` could wrap.
+    if (offset > it->second.size() ||
+        data.size() > it->second.size() - offset) {
       return OutOfRange("partial write past end of blob " + id.ToString());
     }
     std::memcpy(it->second.data() + offset, data.data(), data.size());
   }
-  sim::SimTime end = device_->Write(now, data.size());
+  sim::SimTime end = device_->Write(now, data.size(), factor);
   if (done != nullptr) *done = end;
   return Status::Ok();
 }
@@ -49,6 +87,8 @@ Status TierStore::PutPartial(const BlobId& id, std::uint64_t offset,
 StatusOr<std::vector<std::uint8_t>> TierStore::Get(const BlobId& id,
                                                    sim::SimTime now,
                                                    sim::SimTime* done) const {
+  double factor = 1.0;
+  MM_RETURN_IF_ERROR(InjectFault(/*is_write=*/false, now, done, &factor));
   std::vector<std::uint8_t> copy;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -58,7 +98,7 @@ StatusOr<std::vector<std::uint8_t>> TierStore::Get(const BlobId& id,
     }
     copy = it->second;
   }
-  sim::SimTime end = device_->Read(now, copy.size());
+  sim::SimTime end = device_->Read(now, copy.size(), factor);
   if (done != nullptr) *done = end;
   return copy;
 }
@@ -66,6 +106,8 @@ StatusOr<std::vector<std::uint8_t>> TierStore::Get(const BlobId& id,
 StatusOr<std::vector<std::uint8_t>> TierStore::GetPartial(
     const BlobId& id, std::uint64_t offset, std::uint64_t size,
     sim::SimTime now, sim::SimTime* done) const {
+  double factor = 1.0;
+  MM_RETURN_IF_ERROR(InjectFault(/*is_write=*/false, now, done, &factor));
   std::vector<std::uint8_t> copy;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -73,13 +115,14 @@ StatusOr<std::vector<std::uint8_t>> TierStore::GetPartial(
     if (it == blobs_.end()) {
       return NotFound("blob " + id.ToString() + " not in tier");
     }
-    if (offset + size > it->second.size()) {
+    // Overflow-safe bounds check: `offset + size` could wrap.
+    if (offset > it->second.size() || size > it->second.size() - offset) {
       return OutOfRange("partial read past end of blob " + id.ToString());
     }
     copy.assign(it->second.begin() + static_cast<std::ptrdiff_t>(offset),
                 it->second.begin() + static_cast<std::ptrdiff_t>(offset + size));
   }
-  sim::SimTime end = device_->Read(now, size);
+  sim::SimTime end = device_->Read(now, size, factor);
   if (done != nullptr) *done = end;
   return copy;
 }
@@ -112,6 +155,39 @@ std::vector<BlobId> TierStore::ListBlobs() const {
   ids.reserve(blobs_.size());
   for (const auto& [id, _] : blobs_) ids.push_back(id);
   return ids;
+}
+
+std::vector<BlobId> TierStore::FailAndDrain() {
+  failed_.store(true, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<BlobId> ids;
+  ids.reserve(blobs_.size());
+  for (const auto& [id, _] : blobs_) ids.push_back(id);
+  blobs_.clear();
+  used_ = 0;
+  return ids;
+}
+
+StatusOr<std::uint32_t> TierStore::Checksum(const BlobId& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = blobs_.find(id);
+  if (it == blobs_.end()) {
+    return NotFound("blob " + id.ToString() + " not in tier");
+  }
+  return Crc32(it->second);
+}
+
+Status TierStore::CorruptBlob(const BlobId& id, std::uint64_t offset) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = blobs_.find(id);
+  if (it == blobs_.end()) {
+    return NotFound("blob " + id.ToString() + " not in tier");
+  }
+  if (offset >= it->second.size()) {
+    return OutOfRange("corruption offset past end of blob " + id.ToString());
+  }
+  it->second[offset] ^= 0xFF;
+  return Status::Ok();
 }
 
 }  // namespace mm::storage

@@ -1,0 +1,26 @@
+#include "mm/util/retry.h"
+
+namespace mm {
+
+StatusOr<RetryPolicy> RetryPolicy::FromYaml(const yaml::Node& node) {
+  RetryPolicy p;
+  if (node.IsMap()) {
+    p.max_attempts =
+        static_cast<int>(node.GetInt("max_attempts", p.max_attempts));
+    p.initial_backoff_s =
+        node.GetDouble("initial_backoff_s", p.initial_backoff_s);
+    p.backoff_multiplier =
+        node.GetDouble("backoff_multiplier", p.backoff_multiplier);
+    p.max_backoff_s = node.GetDouble("max_backoff_s", p.max_backoff_s);
+  }
+  if (p.max_attempts < 1) return InvalidArgument("retry.max_attempts must be >= 1");
+  if (p.initial_backoff_s < 0 || p.max_backoff_s < 0) {
+    return InvalidArgument("retry backoff delays must be >= 0");
+  }
+  if (p.backoff_multiplier < 1.0) {
+    return InvalidArgument("retry.backoff_multiplier must be >= 1");
+  }
+  return p;
+}
+
+}  // namespace mm

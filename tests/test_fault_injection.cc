@@ -1,0 +1,676 @@
+// Fault injection, retry/backoff, and degraded-tier recovery (robustness
+// tentpole): deterministic injector draws, retry accounting on the virtual
+// clock, tier death -> drain -> re-route -> backend restore, CRC-32
+// detection of silent corruption, and end-to-end KMeans under faults.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <thread>
+#include <unistd.h>
+
+#include "mm/apps/datagen.h"
+#include "mm/apps/kmeans.h"
+#include "mm/apps/reference.h"
+#include "mm/mega_mmap.h"
+#include "mm/sim/fault.h"
+#include "mm/util/hash.h"
+#include "mm/util/retry.h"
+
+namespace mm {
+namespace {
+
+using sim::FaultConfig;
+using sim::FaultInjector;
+using sim::TierKind;
+
+using Kind = FaultInjector::Decision::Kind;
+
+// ---------------------------------------------------------------------------
+// FaultInjector unit tests
+// ---------------------------------------------------------------------------
+
+FaultConfig NoisyConfig(std::uint64_t seed) {
+  FaultConfig cfg;
+  cfg.seed = seed;
+  cfg.tier(TierKind::kNvme).transient_error_rate = 0.5;
+  cfg.tier(TierKind::kNvme).latency_spike_rate = 0.2;
+  cfg.tier(TierKind::kNvme).latency_spike_factor = 8.0;
+  return cfg;
+}
+
+TEST(FaultInjector, SameSeedSameSequence) {
+  FaultInjector a(NoisyConfig(42)), b(NoisyConfig(42));
+  for (int i = 0; i < 300; ++i) {
+    auto da = a.OnDeviceOp(TierKind::kNvme);
+    auto db = b.OnDeviceOp(TierKind::kNvme);
+    ASSERT_EQ(da.kind, db.kind) << "op " << i;
+    ASSERT_EQ(da.spike_factor, db.spike_factor) << "op " << i;
+  }
+}
+
+TEST(FaultInjector, DifferentSeedDifferentSequence) {
+  FaultInjector a(NoisyConfig(42)), b(NoisyConfig(43));
+  int diffs = 0;
+  for (int i = 0; i < 300; ++i) {
+    if (a.OnDeviceOp(TierKind::kNvme).kind !=
+        b.OnDeviceOp(TierKind::kNvme).kind) {
+      ++diffs;
+    }
+  }
+  EXPECT_GT(diffs, 0);
+}
+
+TEST(FaultInjector, StreamsAreIndependent) {
+  // A fault plan on NVMe must not leak into the other streams.
+  FaultInjector inj(NoisyConfig(7));
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(inj.OnDeviceOp(TierKind::kDram).ok());
+    EXPECT_TRUE(inj.OnBackendOp().ok());
+  }
+  EXPECT_EQ(inj.ops_observed(TierKind::kDram), 200u);
+  EXPECT_EQ(inj.backend_ops_observed(), 200u);
+}
+
+TEST(FaultInjector, TransientRateApproximatelyHonored) {
+  FaultConfig cfg;
+  cfg.seed = 1234;
+  cfg.tier(TierKind::kSsd).transient_error_rate = 0.1;
+  FaultInjector inj(cfg);
+  const int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) (void)inj.OnDeviceOp(TierKind::kSsd);
+  double rate = static_cast<double>(inj.transient_faults()) / kDraws;
+  EXPECT_NEAR(rate, 0.1, 0.02);
+  EXPECT_EQ(inj.ops_observed(TierKind::kSsd), static_cast<unsigned>(kDraws));
+}
+
+TEST(FaultInjector, ThreadInterleavingDoesNotChangeFaultCount) {
+  // Decisions are keyed on the per-stream op index, so the multiset of
+  // outcomes is a function of the seed alone, not of which thread drew.
+  auto count_transients = [](int threads) {
+    FaultConfig cfg;
+    cfg.seed = 99;
+    cfg.tier(TierKind::kHdd).transient_error_rate = 0.3;
+    FaultInjector inj(cfg);
+    std::vector<std::thread> pool;
+    std::atomic<int> remaining{400};
+    for (int t = 0; t < threads; ++t) {
+      pool.emplace_back([&] {
+        while (remaining.fetch_sub(1) > 0) (void)inj.OnDeviceOp(TierKind::kHdd);
+      });
+    }
+    for (auto& t : pool) t.join();
+    return inj.transient_faults();
+  };
+  EXPECT_EQ(count_transients(1), count_transients(4));
+}
+
+TEST(FaultInjector, FailAfterOpsKillsTheStream) {
+  FaultConfig cfg;
+  cfg.tier(TierKind::kNvme).fail_after_ops = 3;
+  FaultInjector inj(cfg);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(inj.OnDeviceOp(TierKind::kNvme).ok()) << "op " << i;
+  }
+  EXPECT_EQ(inj.OnDeviceOp(TierKind::kNvme).kind, Kind::kPermanent);
+  EXPECT_TRUE(inj.TierFailed(TierKind::kNvme));
+  EXPECT_EQ(inj.OnDeviceOp(TierKind::kNvme).kind, Kind::kPermanent);
+  EXPECT_EQ(inj.permanent_failures(), 1u);  // counted once
+}
+
+TEST(FaultInjector, FailTierIsImmediate) {
+  FaultInjector inj;
+  EXPECT_TRUE(inj.OnDeviceOp(TierKind::kDram).ok());
+  inj.FailTier(TierKind::kDram);
+  EXPECT_EQ(inj.OnDeviceOp(TierKind::kDram).kind, Kind::kPermanent);
+  inj.FailBackend();
+  EXPECT_EQ(inj.OnBackendOp().kind, Kind::kPermanent);
+}
+
+TEST(FaultConfigYaml, ParsesPerTierSpecs) {
+  auto root = yaml::Parse(
+      "faults:\n"
+      "  seed: 77\n"
+      "  nvme:\n"
+      "    transient_error_rate: 0.25\n"
+      "    fail_after_ops: 500\n"
+      "  backend:\n"
+      "    latency_spike_rate: 0.05\n"
+      "    latency_spike_factor: 20\n");
+  ASSERT_TRUE(root.ok());
+  auto cfg = FaultConfig::FromYaml((*root)["faults"]);
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_EQ(cfg->seed, 77u);
+  EXPECT_EQ(cfg->tier(TierKind::kNvme).transient_error_rate, 0.25);
+  EXPECT_EQ(cfg->tier(TierKind::kNvme).fail_after_ops, 500u);
+  EXPECT_EQ(cfg->backend.latency_spike_rate, 0.05);
+  EXPECT_EQ(cfg->backend.latency_spike_factor, 20.0);
+  EXPECT_TRUE(cfg->any());
+}
+
+TEST(FaultConfigYaml, RejectsOutOfRangeRates) {
+  auto root = yaml::Parse("nvme:\n  transient_error_rate: 1.5\n");
+  ASSERT_TRUE(root.ok());
+  EXPECT_FALSE(FaultConfig::FromYaml(*root).ok());
+  auto root2 = yaml::Parse("hdd:\n  latency_spike_factor: 0.5\n");
+  ASSERT_TRUE(root2.ok());
+  EXPECT_FALSE(FaultConfig::FromYaml(*root2).ok());
+}
+
+// ---------------------------------------------------------------------------
+// RetryPolicy unit tests
+// ---------------------------------------------------------------------------
+
+TEST(RetryPolicy, BackoffGrowsExponentiallyAndCaps) {
+  RetryPolicy p;
+  p.initial_backoff_s = 1e-3;
+  p.backoff_multiplier = 4.0;
+  p.max_backoff_s = 10e-3;
+  EXPECT_DOUBLE_EQ(p.BackoffBefore(1), 1e-3);
+  EXPECT_DOUBLE_EQ(p.BackoffBefore(2), 4e-3);
+  EXPECT_DOUBLE_EQ(p.BackoffBefore(3), 10e-3);  // 16e-3 capped
+}
+
+TEST(RetryPolicy, RetriesTransientUntilSuccess) {
+  RetryPolicy p;
+  p.max_attempts = 5;
+  p.initial_backoff_s = 1.0;
+  p.backoff_multiplier = 2.0;
+  p.max_backoff_s = 100.0;
+  int calls = 0, attempts = 0;
+  double done = 0.0;
+  Status st = RunWithRetry(
+      p, /*now=*/10.0, &done,
+      [&](double start, double* attempt_done) -> Status {
+        ++calls;
+        *attempt_done = start + 0.5;  // each attempt takes 0.5 virtual sec
+        if (calls < 3) return IoError("flaky");
+        return Status::Ok();
+      },
+      &attempts);
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(attempts, 3);
+  // Attempt 1: [10, 10.5] + backoff 1 -> attempt 2: [11.5, 12] + backoff 2
+  // -> attempt 3: [14, 14.5]. All charged to the virtual clock.
+  EXPECT_DOUBLE_EQ(done, 14.5);
+}
+
+TEST(RetryPolicy, NonRetryableFailsFast) {
+  RetryPolicy p;
+  p.max_attempts = 5;
+  int calls = 0;
+  double done = 0.0;
+  Status st = RunWithRetry(p, 0.0, &done, [&](double, double*) -> Status {
+    ++calls;
+    return Unavailable("tier dead");
+  });
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryPolicy, ExhaustsAttemptsAndReturnsLastError) {
+  RetryPolicy p;
+  p.max_attempts = 3;
+  int calls = 0;
+  Status st = RunWithRetry(p, 0.0, nullptr, [&](double, double*) -> Status {
+    ++calls;
+    return IoError("still flaky");
+  });
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(RetryPolicy, WorksWithStatusOr) {
+  RetryPolicy p;
+  p.max_attempts = 4;
+  int calls = 0;
+  auto result = RunWithRetry(
+      p, 0.0, nullptr, [&](double, double*) -> StatusOr<int> {
+        if (++calls < 2) return IoError("flaky");
+        return 41 + 1;
+      });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(RetryPolicy, YamlRoundTripAndValidation) {
+  auto root = yaml::Parse(
+      "retry:\n"
+      "  max_attempts: 6\n"
+      "  initial_backoff_s: 0.001\n"
+      "  backoff_multiplier: 2\n"
+      "  max_backoff_s: 0.1\n");
+  ASSERT_TRUE(root.ok());
+  auto p = RetryPolicy::FromYaml((*root)["retry"]);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->max_attempts, 6);
+  EXPECT_DOUBLE_EQ(p->initial_backoff_s, 0.001);
+  auto bad = yaml::Parse("max_attempts: 0\n");
+  ASSERT_TRUE(bad.ok());
+  EXPECT_FALSE(RetryPolicy::FromYaml(*bad).ok());
+}
+
+TEST(Crc32, MatchesKnownVector) {
+  // The canonical CRC-32 ("123456789") check value.
+  const char* s = "123456789";
+  EXPECT_EQ(Crc32(reinterpret_cast<const std::uint8_t*>(s), 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32(nullptr, 0), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// TierStore / BufferManager fault behavior
+// ---------------------------------------------------------------------------
+
+TEST(TierStoreFaults, TransientFaultReturnsIoErrorWithoutConsumingData) {
+  FaultConfig cfg;
+  cfg.tier(TierKind::kNvme).transient_error_rate = 1.0;
+  FaultInjector inj(cfg);
+  sim::Device dev(sim::DeviceSpec::Nvme(MEGABYTES(10)));
+  storage::TierStore store(&dev, MEGABYTES(1), &inj);
+  std::vector<std::uint8_t> data(1000, 0xAB);
+  sim::SimTime done = 0;
+  Status st = store.Put({1, 0}, std::move(data), 0.0, &done);
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+  EXPECT_EQ(data.size(), 1000u);  // kept for the caller's retry
+  EXPECT_GT(done, 0.0);           // the failed attempt still took time
+  EXPECT_FALSE(store.Contains({1, 0}));
+}
+
+TEST(TierStoreFaults, PermanentFaultFlipsStoreToFailed) {
+  FaultConfig cfg;
+  cfg.tier(TierKind::kNvme).fail_after_ops = 1;
+  FaultInjector inj(cfg);
+  sim::Device dev(sim::DeviceSpec::Nvme(MEGABYTES(10)));
+  storage::TierStore store(&dev, MEGABYTES(1), &inj);
+  ASSERT_TRUE(store.Put({1, 0}, std::vector<std::uint8_t>(64, 1), 0.0,
+                        nullptr).ok());
+  EXPECT_EQ(store.Get({1, 0}, 0.0, nullptr).status().code(),
+            StatusCode::kUnavailable);
+  EXPECT_TRUE(store.failed());
+  EXPECT_EQ(store.capacity(), 0u);
+  EXPECT_EQ(store.free_bytes(), 0u);
+  auto lost = store.FailAndDrain();
+  ASSERT_EQ(lost.size(), 1u);
+  EXPECT_EQ(lost[0], (storage::BlobId{1, 0}));
+  EXPECT_TRUE(store.FailAndDrain().empty());  // idempotent
+}
+
+TEST(TierStoreFaults, ChecksumAndCorruptBlob) {
+  sim::Device dev(sim::DeviceSpec::Nvme(MEGABYTES(10)));
+  storage::TierStore store(&dev, MEGABYTES(1));
+  std::vector<std::uint8_t> data(256, 0x5A);
+  std::uint32_t expected = Crc32(data);
+  ASSERT_TRUE(store.Put({1, 0}, std::move(data), 0.0, nullptr).ok());
+  auto crc = store.Checksum({1, 0});
+  ASSERT_TRUE(crc.ok());
+  EXPECT_EQ(*crc, expected);
+  ASSERT_TRUE(store.CorruptBlob({1, 0}, 17).ok());
+  auto crc2 = store.Checksum({1, 0});
+  ASSERT_TRUE(crc2.ok());
+  EXPECT_NE(*crc2, expected);
+  EXPECT_FALSE(store.Checksum({9, 9}).ok());
+}
+
+TEST(BufferManagerFaults, RetriesTransientFaultsTransparently) {
+  FaultConfig cfg;
+  cfg.seed = 5;
+  cfg.tier(TierKind::kNvme).transient_error_rate = 0.3;
+  FaultInjector inj(cfg);
+  RetryPolicy retry;
+  retry.max_attempts = 8;
+  auto cluster = sim::Cluster::PaperTestbed(1);
+  storage::BufferManager bm(&cluster->node(0),
+                            {{TierKind::kNvme, MEGABYTES(2)}}, &inj, retry);
+  sim::SimTime t = 0;
+  for (std::uint64_t p = 0; p < 32; ++p) {
+    ASSERT_TRUE(bm.PutScored({1, p}, std::vector<std::uint8_t>(4096, 0x11),
+                             0.5f, t, &t).ok());
+  }
+  for (std::uint64_t p = 0; p < 32; ++p) {
+    auto data = bm.Get({1, p}, t, &t);
+    ASSERT_TRUE(data.ok()) << "page " << p;
+    EXPECT_EQ((*data)[0], 0x11);
+  }
+  // The plan injected faults, and every one was absorbed by a retry.
+  EXPECT_GT(inj.transient_faults(), 0u);
+  EXPECT_EQ(bm.num_live_tiers(), 1u);
+}
+
+TEST(BufferManagerFaults, PermanentFailureDrainsAndReRoutes) {
+  FaultInjector inj;  // faults only via explicit FailTier
+  auto cluster = sim::Cluster::PaperTestbed(1);
+  storage::BufferManager bm(&cluster->node(0),
+                            {{TierKind::kDram, MEGABYTES(1)},
+                             {TierKind::kNvme, MEGABYTES(4)}},
+                            &inj, RetryPolicy{});
+  std::vector<storage::BlobId> reported;
+  sim::TierKind reported_kind = TierKind::kPfs;
+  bm.SetTierFailureHandler([&](sim::TierKind kind,
+                               const std::vector<storage::BlobId>& lost,
+                               sim::SimTime) {
+    reported_kind = kind;
+    reported = lost;
+  });
+  auto t0 = bm.PutScored({1, 0}, std::vector<std::uint8_t>(4096, 1), 0.5f,
+                         0.0, nullptr);
+  ASSERT_TRUE(t0.ok());
+  EXPECT_EQ(*t0, 0u);  // DRAM
+  inj.FailTier(TierKind::kDram);
+  // The next access against the dead tier surfaces kUnavailable, drains the
+  // tier, and reports the lost blobs to the handler exactly once.
+  auto miss = bm.Get({1, 0}, 1.0, nullptr);
+  EXPECT_EQ(miss.status().code(), StatusCode::kUnavailable);
+  ASSERT_EQ(reported.size(), 1u);
+  EXPECT_EQ(reported[0], (storage::BlobId{1, 0}));
+  EXPECT_EQ(reported_kind, TierKind::kDram);
+  EXPECT_EQ(bm.num_live_tiers(), 1u);
+  // Placement now re-routes to the surviving tier.
+  auto t1 = bm.PutScored({1, 1}, std::vector<std::uint8_t>(4096, 2), 0.5f,
+                         2.0, nullptr);
+  ASSERT_TRUE(t1.ok());
+  EXPECT_EQ(*t1, 1u);  // NVMe
+  reported.clear();
+  (void)bm.Get({1, 9}, 3.0, nullptr);  // dead tier is not re-reported
+  EXPECT_TRUE(reported.empty());
+}
+
+TEST(BufferManagerFaults, AllTiersDeadReturnsUnavailable) {
+  FaultInjector inj;
+  auto cluster = sim::Cluster::PaperTestbed(1);
+  storage::BufferManager bm(&cluster->node(0),
+                            {{TierKind::kDram, MEGABYTES(1)}}, &inj,
+                            RetryPolicy{});
+  inj.FailTier(TierKind::kDram);
+  auto st = bm.PutScored({1, 0}, std::vector<std::uint8_t>(64, 1), 0.5f, 0.0,
+                         nullptr);
+  EXPECT_EQ(st.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(bm.num_live_tiers(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Service-level recovery (tentpole acceptance)
+// ---------------------------------------------------------------------------
+
+class ServiceFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("mm_fault_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  /// One-node service with a small DRAM slice over a larger NVMe slice.
+  std::unique_ptr<core::Service> MakeService(core::ServiceOptions so = {}) {
+    cluster_ = sim::Cluster::PaperTestbed(1);
+    if (so.tier_grants.empty()) {
+      so.tier_grants = {{TierKind::kDram, 128 * kKiB},
+                        {TierKind::kNvme, MEGABYTES(4)}};
+    }
+    return std::make_unique<core::Service>(cluster_.get(), so);
+  }
+
+  static std::vector<std::uint8_t> PagePattern(std::uint64_t page,
+                                               std::uint64_t bytes) {
+    std::vector<std::uint8_t> data(bytes);
+    for (std::uint64_t i = 0; i < bytes; ++i) {
+      data[i] = static_cast<std::uint8_t>((page * 131 + i) & 0xFF);
+    }
+    return data;
+  }
+
+  std::filesystem::path dir_;
+  std::unique_ptr<sim::Cluster> cluster_;
+};
+
+TEST_F(ServiceFaultTest, PermanentTierFailureDegradesAndRestoresCleanPages) {
+  auto svc = MakeService();
+  core::VectorOptions vo;
+  vo.page_size = 4096;
+  auto meta = svc->RegisterVector("posix://" + (dir_ / "v.bin").string(), 1,
+                                  vo, 48 * 4096);
+  ASSERT_TRUE(meta.ok());
+  const std::uint64_t kPages = 48;
+  sim::SimTime t = 0.0;
+  for (std::uint64_t p = 0; p < kPages; ++p) {
+    auto fut = svc->WriteRegion(**meta, p, 0, PagePattern(p, 4096), 0, t);
+    core::TaskOutcome out = fut.get();
+    ASSERT_TRUE(out.status.ok()) << "page " << p;
+    t = std::max(t, out.done);
+  }
+  // Persist everything so every page is clean before the tier dies.
+  sim::SimTime flush_done = t;
+  ASSERT_TRUE(svc->FlushVector(**meta, 0, t, &flush_done).ok());
+  t = flush_done;
+  // 48 pages over a 32-page DRAM slice: a good chunk lives on NVMe.
+  svc->fault_injector().FailTier(TierKind::kNvme);
+  // Every page must still read back correctly: DRAM residents directly,
+  // NVMe residents via drain -> metadata reconcile -> backend re-stage.
+  for (std::uint64_t p = 0; p < kPages; ++p) {
+    sim::SimTime done = t;
+    auto page = svc->ReadPage(**meta, p, 0, t, &done);
+    ASSERT_TRUE(page.ok()) << "page " << p << ": " << page.status().message();
+    EXPECT_EQ(*page, PagePattern(p, 4096)) << "page " << p;
+    t = std::max(t, done);
+  }
+  EXPECT_EQ(svc->data_loss_count(), 0u);  // everything was clean
+  EXPECT_EQ(svc->runtime(0).buffer().num_live_tiers(), 1u);
+  EXPECT_EQ(svc->fault_injector().permanent_failures(), 1u);
+  // New writes re-route to the surviving DRAM tier (or write through).
+  auto fut = svc->WriteRegion(**meta, 2, 0, PagePattern(99, 4096), 0, t);
+  EXPECT_TRUE(fut.get().status.ok());
+}
+
+TEST_F(ServiceFaultTest, DirtyPageLossSurfacesAsDataLossNotAbort) {
+  auto svc = MakeService();
+  core::VectorOptions vo;
+  vo.page_size = 4096;
+  auto meta = svc->RegisterVector("posix://" + (dir_ / "v.bin").string(), 1,
+                                  vo, 8 * 4096);
+  ASSERT_TRUE(meta.ok());
+  // Dirty write, never flushed: the only copy lives in the scache.
+  auto fut = svc->WriteRegion(**meta, 0, 16, std::vector<std::uint8_t>(64, 0xEE),
+                              0, 0.0);
+  core::TaskOutcome out = fut.get();
+  ASSERT_TRUE(out.status.ok());
+  storage::BlobId id{(*meta)->vector_id, 0};
+  auto tier_idx = svc->runtime(0).buffer().FindBlob(id);
+  ASSERT_TRUE(tier_idx.has_value());
+  svc->fault_injector().FailTier(
+      svc->runtime(0).buffer().tier(*tier_idx).kind());
+  // The read trips over the dead tier; the unstaged modification is gone and
+  // MUST surface as typed data loss, not a crash or silent zeros.
+  sim::SimTime done = out.done;
+  auto page = svc->ReadPage(**meta, 0, 0, out.done, &done);
+  ASSERT_FALSE(page.ok());
+  EXPECT_EQ(page.status().code(), StatusCode::kDataLoss);
+  EXPECT_GE(svc->data_loss_count(), 1u);
+  // A full-page overwrite replaces the lost bytes and clears the condition.
+  auto fut2 = svc->WriteRegion(**meta, 0, 0, PagePattern(0, 4096), 0, done);
+  core::TaskOutcome out2 = fut2.get();
+  ASSERT_TRUE(out2.status.ok()) << out2.status.message();
+  EXPECT_EQ(svc->data_loss_count(), 0u);
+  sim::SimTime done2 = out2.done;
+  auto healed = svc->ReadPage(**meta, 0, 0, out2.done, &done2);
+  ASSERT_TRUE(healed.ok());
+  EXPECT_EQ(*healed, PagePattern(0, 4096));
+}
+
+TEST_F(ServiceFaultTest, CrcCatchesSilentCorruption) {
+  auto svc = MakeService();
+  core::VectorOptions vo;
+  vo.page_size = 4096;
+  auto meta = svc->RegisterVector("posix://" + (dir_ / "v.bin").string(), 1,
+                                  vo, 8 * 4096);
+  ASSERT_TRUE(meta.ok());
+  sim::SimTime t = 0.0;
+  // Page 0: dirty (unstaged). Page 1: flushed clean.
+  for (std::uint64_t p = 0; p < 2; ++p) {
+    core::TaskOutcome out =
+        svc->WriteRegion(**meta, p, 0, PagePattern(p, 4096), 0, t).get();
+    ASSERT_TRUE(out.status.ok());
+    t = std::max(t, out.done);
+  }
+  ASSERT_TRUE(svc->FlushVector(**meta, 0, t, &t).ok());
+  core::TaskOutcome redirty =
+      svc->WriteRegion(**meta, 0, 8, std::vector<std::uint8_t>(16, 0x77), 0, t)
+          .get();
+  ASSERT_TRUE(redirty.status.ok());
+  t = std::max(t, redirty.done);
+
+  auto& bm = svc->runtime(0).buffer();
+  storage::BlobId dirty_id{(*meta)->vector_id, 0};
+  storage::BlobId clean_id{(*meta)->vector_id, 1};
+  auto dt = bm.FindBlob(dirty_id);
+  auto ct = bm.FindBlob(clean_id);
+  ASSERT_TRUE(dt.has_value());
+  ASSERT_TRUE(ct.has_value());
+  ASSERT_TRUE(bm.tier(*dt).CorruptBlob(dirty_id, 100).ok());
+  ASSERT_TRUE(bm.tier(*ct).CorruptBlob(clean_id, 100).ok());
+
+  // Dirty page: the CRC mismatch means the modification is unrecoverable.
+  std::uint64_t version = 0;
+  sim::SimTime done = t;
+  auto dirty_read = svc->ReadPage(**meta, 0, 0, t, &done, &version);
+  ASSERT_FALSE(dirty_read.ok());
+  EXPECT_EQ(dirty_read.status().code(), StatusCode::kDataLoss);
+  EXPECT_GE(svc->data_loss_count(), 1u);
+
+  // Clean page: the bad copy is dropped and re-staged from the backend.
+  sim::SimTime done2 = t;
+  auto clean_read = svc->ReadPage(**meta, 1, 0, t, &done2, &version);
+  ASSERT_TRUE(clean_read.ok()) << clean_read.status().message();
+  EXPECT_EQ(*clean_read, PagePattern(1, 4096));
+}
+
+TEST_F(ServiceFaultTest, SubmitAfterShutdownReturnsFailedPrecondition) {
+  auto svc = MakeService();
+  core::VectorOptions vo;
+  vo.nonvolatile = false;
+  vo.page_size = 4096;
+  auto meta = svc->RegisterVector("vol", 1, vo, 4096);
+  ASSERT_TRUE(meta.ok());
+  svc->Shutdown();
+  // A straggler write after shutdown is rejected with a typed error — it
+  // must not abort the process or hang the returned future.
+  auto fut = svc->WriteRegion(**meta, 0, 0, std::vector<std::uint8_t>(16, 1),
+                              0, 0.0);
+  EXPECT_EQ(fut.get().status.code(), StatusCode::kFailedPrecondition);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: KMeans under injected faults (ISSUE acceptance)
+// ---------------------------------------------------------------------------
+
+class KMeansFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("mm_kmf_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+    gen_.num_particles = 20000;
+    gen_.halos = 4;
+    gen_.halo_sigma = 4.0;
+    gen_.seed = 42;
+    key_ = "posix://" + (dir_ / "pts.bin").string();
+    ASSERT_TRUE(apps::GenerateToBackend(gen_, key_).ok());
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  apps::KMeansConfig Config() {
+    apps::KMeansConfig cfg;
+    cfg.k = 4;
+    cfg.max_iter = 4;
+    cfg.seed = 5;
+    cfg.page_size = 16 * 1024;
+    cfg.pcache_bytes = 64 * 1024;
+    return cfg;
+  }
+
+  /// Runs single-rank KMeansMega under the given service options.
+  apps::KMeansResult Run(core::ServiceOptions so,
+                         core::Service** svc_out = nullptr) {
+    auto cluster = sim::Cluster::PaperTestbed(1);
+    auto svc = std::make_unique<core::Service>(cluster.get(), so);
+    apps::KMeansResult result;
+    auto run = comm::RunRanks(*cluster, 1, 1, [&](comm::RankContext& ctx) {
+      comm::Communicator comm(&ctx);
+      result = apps::KMeansMega(*svc, comm, key_, Config());
+    });
+    EXPECT_TRUE(run.ok()) << run.error;
+    if (svc_out != nullptr) *svc_out = svc.get();
+    stats_transient_ = svc->fault_injector().transient_faults();
+    stats_permanent_ = svc->fault_injector().permanent_failures();
+    data_loss_ = svc->data_loss_count();
+    return result;
+  }
+
+  static void ExpectByteIdentical(const apps::KMeansResult& a,
+                                  const apps::KMeansResult& b) {
+    ASSERT_EQ(a.centroids.size(), b.centroids.size());
+    ASSERT_EQ(0, std::memcmp(a.centroids.data(), b.centroids.data(),
+                             a.centroids.size() * sizeof(apps::Point3)));
+    EXPECT_EQ(0, std::memcmp(&a.inertia, &b.inertia, sizeof(double)));
+  }
+
+  core::ServiceOptions BaseOptions() {
+    core::ServiceOptions so;
+    // A deliberately tiny DRAM slice: the ~470 KiB dataset spills to NVMe,
+    // so the NVMe fault plans actually fire.
+    so.tier_grants = {{TierKind::kDram, 32 * kKiB},
+                      {TierKind::kNvme, MEGABYTES(32)}};
+    return so;
+  }
+
+  std::filesystem::path dir_;
+  apps::DatagenConfig gen_;
+  std::string key_;
+  std::uint64_t stats_transient_ = 0;
+  std::uint64_t stats_permanent_ = 0;
+  std::size_t data_loss_ = 0;
+};
+
+TEST_F(KMeansFaultTest, ByteIdenticalUnderTransientFaults) {
+  apps::KMeansResult baseline = Run(BaseOptions());
+
+  core::ServiceOptions faulty = BaseOptions();
+  faulty.faults.seed = 1234;
+  faulty.faults.tier(TierKind::kNvme).transient_error_rate = 0.10;
+  faulty.retry.max_attempts = 6;
+  apps::KMeansResult result = Run(faulty);
+
+  // 10% of NVMe ops failed transiently; retries absorbed every one and the
+  // answer is byte-identical to the fault-free run.
+  EXPECT_GT(stats_transient_, 0u);
+  EXPECT_EQ(data_loss_, 0u);
+  ExpectByteIdentical(baseline, result);
+}
+
+TEST_F(KMeansFaultTest, SurvivesPermanentNvmeDeathMidRun) {
+  apps::KMeansResult baseline = Run(BaseOptions());
+
+  core::ServiceOptions faulty = BaseOptions();
+  faulty.faults.tier(TierKind::kNvme).fail_after_ops = 50;
+  apps::KMeansResult result = Run(faulty);
+
+  // The NVMe tier died mid-run. The dataset is read-only (all pages clean),
+  // so recovery re-staged from the PFS backend and the run degraded to the
+  // surviving DRAM tier — same answer, no data loss.
+  EXPECT_EQ(stats_permanent_, 1u);
+  EXPECT_EQ(data_loss_, 0u);
+  ExpectByteIdentical(baseline, result);
+}
+
+}  // namespace
+}  // namespace mm

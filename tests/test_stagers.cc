@@ -282,5 +282,98 @@ TEST_F(StagerTest, RegistryDefaultsBareKeysToPosix) {
   EXPECT_EQ(resolved->second.scheme, "posix");
 }
 
+// ---------- error paths (fault-tolerance PR) ----------
+
+TEST_F(StagerTest, ShdfMissingObjectRead) {
+  auto stager = MakeShdfStager();
+  // Container file does not exist at all.
+  std::vector<std::uint8_t> out;
+  EXPECT_EQ(stager->Read(MakeUri("shdf", "absent.h5", "a"), 0, 16, &out).code(),
+            StatusCode::kNotFound);
+  // Container exists, dataset does not.
+  Uri a = MakeUri("shdf", "c.h5", "a");
+  ASSERT_TRUE(stager->Create(a, 256).ok());
+  Uri missing = MakeUri("shdf", "c.h5", "nope");
+  EXPECT_EQ(stager->Read(missing, 0, 16, &out).code(), StatusCode::kNotFound);
+  EXPECT_EQ(stager->Size(missing).status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(stager->Exists(missing));
+}
+
+TEST_F(StagerTest, ShdfBadMagicIsInvalidArgument) {
+  auto stager = MakeShdfStager();
+  Uri uri = MakeUri("shdf", "junk.h5", "a");
+  {
+    std::ofstream out(uri.path, std::ios::binary);
+    std::vector<char> junk(64, 'x');
+    out.write(junk.data(), static_cast<std::streamsize>(junk.size()));
+  }
+  std::vector<std::uint8_t> bytes;
+  EXPECT_EQ(stager->Read(uri, 0, 16, &bytes).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(stager->Size(uri).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(StagerTest, ShdfTruncatedHeaderIsInvalidArgument) {
+  auto stager = MakeShdfStager();
+  Uri uri = MakeUri("shdf", "trunc.h5", "a");
+  {
+    // Valid magic but the header is cut short.
+    std::ofstream out(uri.path, std::ios::binary);
+    out.write("SHDF0001", 8);
+    std::uint32_t partial = 0;
+    out.write(reinterpret_cast<const char*>(&partial), 4);
+  }
+  std::vector<std::uint8_t> bytes;
+  EXPECT_EQ(stager->Read(uri, 0, 16, &bytes).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(StagerTest, ShdfCorruptIndexIsIoError) {
+  auto stager = MakeShdfStager();
+  Uri uri = MakeUri("shdf", "corrupt.h5", "a");
+  ASSERT_TRUE(stager->Create(uri, 128).ok());
+  {
+    // Claim far more index entries than the file holds; the index walk runs
+    // off the end of the file.
+    std::fstream io(uri.path, std::ios::binary | std::ios::in | std::ios::out);
+    std::uint64_t bogus_count = 1000;
+    io.seekp(16);
+    io.write(reinterpret_cast<const char*>(&bogus_count), 8);
+  }
+  std::vector<std::uint8_t> bytes;
+  EXPECT_EQ(stager->Read(uri, 0, 16, &bytes).code(), StatusCode::kIoError);
+}
+
+TEST_F(StagerTest, SparMalformedSchemaFragment) {
+  auto stager = MakeSparStager();
+  EXPECT_EQ(stager->Create(MakeUri("spar", "b1.spar", "f4xzzz"), 64).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(stager->Create(MakeUri("spar", "b2.spar", "f4x0"), 64).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(stager->Create(MakeUri("spar", "b3.spar", "i8x2"), 64).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(StagerTest, SparBadMagicIsInvalidArgument) {
+  auto stager = MakeSparStager();
+  Uri uri = MakeUri("spar", "junk.spar");
+  {
+    std::ofstream out(uri.path, std::ios::binary);
+    std::vector<char> junk(64, 'y');
+    out.write(junk.data(), static_cast<std::streamsize>(junk.size()));
+  }
+  std::vector<std::uint8_t> bytes;
+  EXPECT_EQ(stager->Read(uri, 0, 4, &bytes).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(stager->Size(uri).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(StagerTest, SparMissingFileRead) {
+  auto stager = MakeSparStager();
+  std::vector<std::uint8_t> bytes;
+  EXPECT_EQ(stager->Read(MakeUri("spar", "absent.spar"), 0, 4, &bytes).code(),
+            StatusCode::kNotFound);
+}
+
 }  // namespace
 }  // namespace mm::storage
