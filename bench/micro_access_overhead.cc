@@ -82,6 +82,42 @@ void BM_MegaMmapScalarMultiply(benchmark::State& state) {
 }
 BENCHMARK(BM_MegaMmapScalarMultiply);
 
+/// The span fast path: pages resolved and pinned once per window, element
+/// access is pointer arithmetic.
+void BM_MegaMmapSpanMultiply(benchmark::State& state) {
+  auto& f = F();
+  for (auto _ : state) {
+    double s = 1.0000001;
+    auto tx = f.vec->SeqTxBegin(0, Fixture::kN, core::MM_READ_WRITE);
+    const std::uint64_t chunk = f.vec->MaxSpanElems();
+    for (std::uint64_t b = 0; b < Fixture::kN; b += chunk) {
+      std::uint64_t e = std::min(Fixture::kN, b + chunk);
+      auto span = f.vec->WriteSpan(b, e);
+      for (std::uint64_t i = b; i < e; ++i) span[i] *= s;
+    }
+    f.vec->TxEnd();
+  }
+  state.SetItemsProcessed(state.iterations() * Fixture::kN);
+}
+BENCHMARK(BM_MegaMmapSpanMultiply);
+
+/// Read-only span sweep (the Listing 1 inner-loop shape after migration).
+void BM_MegaMmapSpanRead(benchmark::State& state) {
+  auto& f = F();
+  for (auto _ : state) {
+    double sum = 0;
+    const std::uint64_t chunk = f.vec->MaxSpanElems();
+    for (std::uint64_t b = 0; b < Fixture::kN; b += chunk) {
+      std::uint64_t e = std::min(Fixture::kN, b + chunk);
+      auto span = f.vec->ReadSpan(b, e);
+      for (std::uint64_t i = b; i < e; ++i) sum += span[i];
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * Fixture::kN);
+}
+BENCHMARK(BM_MegaMmapSpanRead);
+
 /// The raw cached-access fast path without transaction bookkeeping.
 void BM_MegaMmapReadFastPath(benchmark::State& state) {
   auto& f = F();

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Perf-smoke gate: fail when hot-path ns/access regresses past a threshold.
+
+Usage: check_perf.py CURRENT.json BASELINE.json [--threshold 0.25]
+
+Compares the wall-clock per-access metrics of bench/hotpath against the
+checked-in baseline. Only regressions fail; improvements just print. The
+eviction-flatness and pool-recycling invariants are machine-independent, so
+those are asserted absolutely rather than against the baseline.
+"""
+
+import argparse
+import json
+import sys
+
+# Metrics gated relative to the baseline (lower is better).
+RELATIVE_METRICS = ["scalar_ns_per_access", "span_ns_per_access"]
+
+# Machine-independent invariants: (key, max allowed value).
+ABSOLUTE_CEILINGS = [
+    # O(1) eviction: per-eviction cost across an 8x resident-frame spread
+    # must stay flat. The pre-rewrite full scan sat near 8.
+    ("eviction_cost_flatness", 2.0),
+    # Pooled payloads: once warm, page-task buffers must be recycled.
+    ("task_allocs_per_op", 0.5),
+]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current")
+    parser.add_argument("baseline")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="max allowed relative regression (default 0.25)")
+    args = parser.parse_args()
+
+    with open(args.current) as f:
+        current = json.load(f)
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+
+    failed = False
+    for key in RELATIVE_METRICS:
+        cur, base = current[key], baseline[key]
+        ratio = cur / base if base > 0 else float("inf")
+        status = "ok"
+        if ratio > 1.0 + args.threshold:
+            status = "REGRESSION"
+            failed = True
+        print(f"{key}: {cur:.3f} vs baseline {base:.3f} "
+              f"({ratio - 1.0:+.1%}) {status}")
+
+    for key, ceiling in ABSOLUTE_CEILINGS:
+        cur = current[key]
+        status = "ok"
+        if cur > ceiling:
+            status = f"FAIL (> {ceiling})"
+            failed = True
+        print(f"{key}: {cur:.3f} (ceiling {ceiling}) {status}")
+
+    if failed:
+        print("perf smoke FAILED", file=sys.stderr)
+        return 1
+    print("perf smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,12 +35,18 @@ int main() {
     Vector<std::uint64_t> input(service, ctx, in_key, n, vopts);
     input.Pgas(ctx.rank(), ctx.size());
     {
+      // Chunked writable spans: pages resolve/pin once per window instead
+      // of once per element.
       auto tx = input.SeqTxBegin(input.local_off(), input.local_size(),
                                  MM_WRITE_ONLY);
       Rng rng(1234 + ctx.rank());
-      for (std::uint64_t i = input.local_off();
-           i < input.local_off() + input.local_size(); ++i) {
-        input[i] = rng.Next();
+      const std::uint64_t lo = input.local_off();
+      const std::uint64_t hi = lo + input.local_size();
+      const std::uint64_t chunk = input.MaxSpanElems();
+      for (std::uint64_t s = lo; s < hi; s += chunk) {
+        std::uint64_t e = std::min(hi, s + chunk);
+        auto span = input.WriteSpan(s, e);
+        for (std::uint64_t i = s; i < e; ++i) span[i] = rng.Next();
       }
       input.TxEnd();
     }
@@ -74,13 +80,19 @@ int main() {
     {
       auto tx = input.SeqTxBegin(input.local_off(), input.local_size(),
                                  MM_READ_ONLY);
-      for (std::uint64_t i = input.local_off();
-           i < input.local_off() + input.local_size(); ++i) {
-        std::uint64_t key = input.Read(i);
-        int b = static_cast<int>(
-            std::upper_bound(splitters.begin(), splitters.end(), key) -
-            splitters.begin());
-        buckets[b]->Append(key);
+      const std::uint64_t lo = input.local_off();
+      const std::uint64_t hi = lo + input.local_size();
+      const std::uint64_t chunk = input.MaxSpanElems();
+      for (std::uint64_t s = lo; s < hi; s += chunk) {
+        std::uint64_t e = std::min(hi, s + chunk);
+        auto span = input.ReadSpan(s, e);
+        for (std::uint64_t i = s; i < e; ++i) {
+          std::uint64_t key = span[i];
+          int b = static_cast<int>(
+              std::upper_bound(splitters.begin(), splitters.end(), key) -
+              splitters.begin());
+          buckets[b]->Append(key);
+        }
       }
       input.TxEnd();
     }
@@ -94,7 +106,12 @@ int main() {
     local.reserve(mine.size());
     {
       auto tx = mine.SeqTxBegin(0, mine.size(), MM_READ_ONLY);
-      for (std::uint64_t x : tx) local.push_back(x);
+      const std::uint64_t chunk = mine.MaxSpanElems();
+      for (std::uint64_t s = 0; s < mine.size(); s += chunk) {
+        std::uint64_t e = std::min(mine.size(), s + chunk);
+        auto span = mine.ReadSpan(s, e);
+        for (std::uint64_t i = s; i < e; ++i) local.push_back(span[i]);
+      }
       mine.TxEnd();
     }
     std::sort(local.begin(), local.end());
@@ -108,8 +125,11 @@ int main() {
     for (int b = 0; b < ctx.rank(); ++b) off += sizes[b];
     {
       auto tx = output.SeqTxBegin(off, local.size(), MM_WRITE_ONLY);
-      for (std::size_t i = 0; i < local.size(); ++i) {
-        output[off + i] = local[i];
+      const std::uint64_t chunk = output.MaxSpanElems();
+      for (std::uint64_t s = 0; s < local.size(); s += chunk) {
+        std::uint64_t e = std::min<std::uint64_t>(local.size(), s + chunk);
+        auto span = output.WriteSpan(off + s, off + e);
+        for (std::uint64_t i = s; i < e; ++i) span[off + i] = local[i];
       }
       output.TxEnd();
     }

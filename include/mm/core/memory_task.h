@@ -4,9 +4,14 @@
 // metadata, and stagers, and fulfill a promise with the outcome.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <cstring>
 #include <future>
 #include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "mm/sim/virtual_clock.h"
@@ -14,6 +19,105 @@
 #include "mm/util/status.h"
 
 namespace mm::core {
+
+/// Thread-safe free-list of byte buffers recycled across MemoryTasks and
+/// page frames. Page-sized payloads (kGetPage faults, kWritePartial
+/// commits, kStageOut staging, evicted pcache frames) churn at scan rate;
+/// without pooling every one is a fresh heap allocation. Buffers are
+/// bucketed by capacity; Acquire hits when a buffer of the exact size was
+/// released before (page sizes are uniform per vector, so the hit rate on
+/// the hot path approaches 1 after warmup).
+///
+/// Acquire never returns stale bytes to zero-expecting callers: use
+/// AcquireZeroed wherever the buffer stands in for a fresh page.
+class PagePool {
+ public:
+  /// `max_bytes` caps the total bytes parked in the pool; releases beyond
+  /// the cap simply free the buffer.
+  explicit PagePool(std::uint64_t max_bytes = 64ull << 20)
+      : max_bytes_(max_bytes) {}
+
+  PagePool(const PagePool&) = delete;
+  PagePool& operator=(const PagePool&) = delete;
+
+  /// A buffer of exactly `bytes` size; contents unspecified.
+  std::vector<std::uint8_t> Acquire(std::uint64_t bytes) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = buckets_.find(bytes);
+      if (it != buckets_.end() && !it->second.empty()) {
+        std::vector<std::uint8_t> buf = std::move(it->second.back());
+        it->second.pop_back();
+        pooled_bytes_ -= buf.capacity();
+        buf.resize(bytes);
+        reuses_.fetch_add(1, std::memory_order_relaxed);
+        return buf;
+      }
+    }
+    allocations_.fetch_add(1, std::memory_order_relaxed);
+    return std::vector<std::uint8_t>(bytes);
+  }
+
+  /// A buffer of exactly `bytes`, zero-filled — recycled pages must never
+  /// leak a previous page's bytes into a logically-fresh page.
+  std::vector<std::uint8_t> AcquireZeroed(std::uint64_t bytes) {
+    std::vector<std::uint8_t> buf = Acquire(bytes);
+    std::memset(buf.data(), 0, buf.size());
+    return buf;
+  }
+
+  /// Returns a buffer to the pool (dropped when the pool is at capacity or
+  /// the buffer is empty).
+  void Release(std::vector<std::uint8_t>&& buf) {
+    const std::uint64_t cap = buf.capacity();
+    if (cap == 0) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (pooled_bytes_ + cap > max_bytes_) return;  // buf frees on scope exit
+    pooled_bytes_ += cap;
+    buf.clear();
+    buckets_[cap].push_back(std::move(buf));
+  }
+
+  /// Fresh heap allocations made on behalf of callers (pool misses).
+  std::uint64_t allocations() const {
+    return allocations_.load(std::memory_order_relaxed);
+  }
+  /// Acquires served from the free list.
+  std::uint64_t reuses() const {
+    return reuses_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t pooled_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pooled_bytes_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::uint64_t max_bytes_;
+  std::uint64_t pooled_bytes_ = 0;
+  std::atomic<std::uint64_t> allocations_{0};
+  std::atomic<std::uint64_t> reuses_{0};
+  std::unordered_map<std::uint64_t, std::vector<std::vector<std::uint8_t>>>
+      buckets_;  // keyed by capacity
+};
+
+/// RAII guard returning a buffer to its pool on every exit path (success
+/// and error alike), so failed tasks do not leak their payload buffers out
+/// of the recycling loop.
+class PoolReturn {
+ public:
+  PoolReturn(PagePool& pool, std::vector<std::uint8_t>& buf)
+      : pool_(pool), buf_(buf) {}
+  ~PoolReturn() {
+    if (!buf_.empty() || buf_.capacity() > 0) pool_.Release(std::move(buf_));
+  }
+  PoolReturn(const PoolReturn&) = delete;
+  PoolReturn& operator=(const PoolReturn&) = delete;
+
+ private:
+  PagePool& pool_;
+  std::vector<std::uint8_t>& buf_;
+};
 
 struct TaskOutcome {
   Status status;
@@ -45,9 +149,11 @@ struct MemoryTask {
   float score = 1.0f;
   std::size_t from_node = 0;
   sim::SimTime issue_time = 0.0;
-  /// Fulfilled by the executing worker. Fire-and-forget submitters still
-  /// keep the future so TxEnd can wait for ordering (real time) without
-  /// charging the wait to the application's virtual clock.
+  /// Fulfilled by the executing worker when non-null. Awaited tasks (page
+  /// faults, commits TxEnd orders on, stage-outs) allocate a promise;
+  /// fire-and-forget tasks (kScore, kErase, recovery restores) leave it
+  /// null and skip the promise/shared-state allocation entirely — the
+  /// worker then recycles the outcome's payload through the node pool.
   std::shared_ptr<std::promise<TaskOutcome>> promise;
 };
 

@@ -3,6 +3,11 @@
 // Copy-on-write: frames track element-granular dirty bits so evictions and
 // TxEnd ship only the modified fragments. Capacity is the vector's
 // BoundMemory limit (Vec.Max in Algorithm 1).
+//
+// Eviction is O(1): frames live on intrusive clean/dirty LRU lists kept up
+// to date by Find/Insert/MarkDirty, so PickVictim is a list-front read, not
+// a scan over all resident frames. Pinned frames (span access) are removed
+// from both lists entirely and can never be chosen as victims.
 #pragma once
 
 #include <cstdint>
@@ -18,14 +23,21 @@
 
 namespace mm::core {
 
-/// One cached page.
+/// One cached page. The LRU bookkeeping fields are managed exclusively by
+/// PCache; users only touch `data`, `dirty` and `version`.
 struct PageFrame {
   std::vector<std::uint8_t> data;
   Bitmap dirty;  // one bit per element
-  std::uint64_t last_access = 0;
   /// Write-version of the scache page this frame was loaded from (or last
   /// committed to). Compared against metadata at TxBegin.
   std::uint64_t version = 0;
+
+  // ---- intrusive LRU state (owned by PCache) ----
+  enum class Residency : std::uint8_t { kNone, kClean, kDirty };
+  std::uint64_t page = ~0ULL;
+  std::uint32_t pins = 0;
+  Residency list = Residency::kNone;
+  std::list<PageFrame*>::iterator lru_it{};
 };
 
 /// An in-flight asynchronous prefetch for a page.
@@ -50,32 +62,72 @@ class PCache {
   std::uint64_t used() const { return frames_.size() * page_bytes_; }
   std::size_t num_frames() const { return frames_.size(); }
 
-  /// Resident frame for a page, or nullptr. Bumps the LRU stamp.
-  PageFrame* Find(std::uint64_t page);
+  /// Resident frame for a page, or nullptr. Moves the frame to the MRU end
+  /// of its LRU list.
+  PageFrame* Find(std::uint64_t page) {
+    auto it = frames_.find(page);
+    if (it == frames_.end()) return nullptr;
+    Touch(&it->second);
+    return &it->second;
+  }
 
-  /// True when inserting one more page would exceed capacity.
+  /// True when inserting one more page would exceed capacity. Counts
+  /// in-flight prefetches (committed), so prefetching cannot overshoot the
+  /// BoundMemory cap while fetches are outstanding.
   bool NeedsEviction() const {
-    return used() + page_bytes_ > capacity_bytes_ && !frames_.empty();
+    return committed() + page_bytes_ > capacity_bytes_ && !frames_.empty();
   }
 
   /// Inserts a fetched page (caller must have made room). The data must be
-  /// exactly page_bytes long.
+  /// exactly page_bytes long. The new frame enters the clean LRU list.
   PageFrame* Insert(std::uint64_t page, std::vector<std::uint8_t> data);
 
-  /// Marks elements [elem_lo, elem_hi) of a page dirty.
+  /// Marks elements [elem_lo, elem_hi) of a page dirty (span write path:
+  /// one call per page instead of one bit per element).
   void MarkDirty(std::uint64_t page, std::size_t elem_lo, std::size_t elem_hi);
 
-  /// Least-recently-used resident page (clean pages preferred), or nullopt
-  /// when empty.
-  std::optional<std::uint64_t> PickVictim() const;
+  /// Scalar write fast path: dirties one element of an already-found frame
+  /// without a second hash lookup.
+  void MarkElemDirty(PageFrame* frame, std::size_t elem) {
+    frame->dirty.Set(elem);
+    if (frame->list == PageFrame::Residency::kClean) {
+      MoveToList(frame, PageFrame::Residency::kDirty);
+    }
+  }
 
-  /// Detaches a frame from the cache (for eviction/flush).
+  /// Resets a page's dirty bits after its runs were shipped; the frame
+  /// moves back to the clean LRU list (no-op on absent pages).
+  void MarkClean(std::uint64_t page);
+
+  /// Least-recently-used resident page (clean pages preferred, dirty LRU
+  /// as fallback), or nullopt when nothing evictable remains. O(1): reads
+  /// the front of the LRU lists. Pinned frames are never returned.
+  std::optional<std::uint64_t> PickVictim() const {
+    if (!clean_lru_.empty()) return clean_lru_.front()->page;
+    if (!dirty_lru_.empty()) return dirty_lru_.front()->page;
+    return std::nullopt;
+  }
+
+  /// Detaches a frame from the cache (for eviction/flush). Refuses (via
+  /// MM_CHECK) to remove a pinned frame: a live Span still points into it.
   std::optional<PageFrame> Remove(std::uint64_t page);
+
+  // ---- pinning (span access) ----
+
+  /// Pins a resident page: it leaves the LRU lists and cannot be evicted
+  /// until every pin is released. Pins nest.
+  void Pin(std::uint64_t page);
+  void Unpin(std::uint64_t page);
+  bool IsPinned(std::uint64_t page) const {
+    auto it = frames_.find(page);
+    return it != frames_.end() && it->second.pins > 0;
+  }
+  std::size_t num_pinned() const { return num_pinned_; }
 
   /// Pages currently resident (snapshot, unspecified order).
   std::vector<std::uint64_t> ResidentPages() const;
 
-  /// Pages with at least one dirty element.
+  /// Pages with at least one dirty element (dirty-LRU order, then pinned).
   std::vector<std::uint64_t> DirtyPages() const;
 
   bool Contains(std::uint64_t page) const {
@@ -96,14 +148,48 @@ class PCache {
     return used() + pending_.size() * page_bytes_;
   }
 
+  /// Drops all frames and detaches pending fetches without waiting on them:
+  /// the worker still fulfills its promise, but nobody adopts the outcome
+  /// (used on Destroy, where the fetched bytes are moot).
   void Clear();
 
  private:
+  /// Moves a frame to the MRU end of its current list (no-op when pinned).
+  void Touch(PageFrame* frame) {
+    if (frame->list == PageFrame::Residency::kClean) {
+      clean_lru_.splice(clean_lru_.end(), clean_lru_, frame->lru_it);
+    } else if (frame->list == PageFrame::Residency::kDirty) {
+      dirty_lru_.splice(dirty_lru_.end(), dirty_lru_, frame->lru_it);
+    }
+  }
+
+  std::list<PageFrame*>& ListOf(PageFrame::Residency kind) {
+    return kind == PageFrame::Residency::kClean ? clean_lru_ : dirty_lru_;
+  }
+
+  /// Detaches a frame from whichever list holds it.
+  void Unlist(PageFrame* frame) {
+    if (frame->list != PageFrame::Residency::kNone) {
+      ListOf(frame->list).erase(frame->lru_it);
+      frame->list = PageFrame::Residency::kNone;
+    }
+  }
+
+  /// Appends a frame at the MRU end of `kind`, detaching it first.
+  void MoveToList(PageFrame* frame, PageFrame::Residency kind) {
+    Unlist(frame);
+    auto& lst = ListOf(kind);
+    frame->lru_it = lst.insert(lst.end(), frame);
+    frame->list = kind;
+  }
+
   std::uint64_t page_bytes_;
   std::uint64_t elems_per_page_;
   std::uint64_t capacity_bytes_;
-  std::uint64_t access_seq_ = 0;
+  std::size_t num_pinned_ = 0;
   std::unordered_map<std::uint64_t, PageFrame> frames_;
+  std::list<PageFrame*> clean_lru_;  // front = LRU, back = MRU
+  std::list<PageFrame*> dirty_lru_;
   std::unordered_map<std::uint64_t, PendingFetch> pending_;
 };
 

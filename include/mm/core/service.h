@@ -88,6 +88,11 @@ class NodeRuntime {
 
   storage::BufferManager& buffer() { return bm_; }
 
+  /// Per-node recycled page-buffer pool: kGetPage/kWritePartial/kStageOut
+  /// payloads and evicted pcache frames draw from (and return to) it
+  /// instead of allocating fresh vectors on every task.
+  PagePool& pool() { return pool_; }
+
   /// Stops accepting tasks, drains queues, joins workers.
   void Shutdown();
 
@@ -121,6 +126,7 @@ class NodeRuntime {
   std::size_t node_id_;
   const ServiceOptions& options_;
   storage::BufferManager bm_;
+  PagePool pool_;
   std::vector<std::unique_ptr<BlockingQueue<MemoryTask>>> high_queues_;
   std::vector<std::unique_ptr<BlockingQueue<MemoryTask>>> low_queues_;
   std::vector<std::thread> workers_;

@@ -61,6 +61,8 @@ class Transaction {
   std::size_t tail() const { return tail_; }
   void set_head(std::size_t h) { head_ = h; }
   void AdvanceTail() { ++tail_; }
+  /// Batched advance (span access: one bump for a whole pinned window).
+  void AdvanceTail(std::size_t n) { tail_ += n; }
 
   /// Total accesses this transaction will perform.
   virtual std::size_t TotalAccesses() const = 0;

@@ -14,10 +14,17 @@
 // are committed copy-on-write through asynchronous MemoryTasks; the
 // transaction drives Algorithm 1's eviction/prefetching.
 //
+// Hot loops should use the Span API (ReadSpan/WriteSpan): a span resolves
+// each overlapping page once, pins the frames against eviction for its
+// lifetime, charges the virtual clock in one batched Compute call, and
+// marks dirty ranges per page — element access inside the span is plain
+// pointer arithmetic (§III-E's amortized-resolution claim).
+//
 // Thread-affinity: a Vector instance belongs to one rank. Different ranks
 // construct their own Vector with the same key to share the object.
 #pragma once
 
+#include <bit>
 #include <cstring>
 #include <memory>
 #include <stdexcept>
@@ -53,6 +60,13 @@ class Vector {
     pcache_ = std::make_unique<PCache>(meta_->page_bytes,
                                        meta_->elems_per_page(),
                                        options_.pcache_bytes);
+    epp_ = meta_->elems_per_page();
+    if (epp_ > 0 && (epp_ & (epp_ - 1)) == 0) {
+      epp_shift_ = std::countr_zero(epp_);
+      epp_mask_ = epp_ - 1;
+    }
+    const auto& costs = ctx_->costs();
+    scalar_access_cost_s_ = costs.memory_access_s + costs.mm_access_overhead_s;
   }
 
   // Paper semantics: vectors are NOT destroyed in the destructor; call
@@ -96,6 +110,14 @@ class Vector {
     return meta_->size_bytes.load(std::memory_order_relaxed);
   }
   std::uint64_t page_bytes() const { return meta_->page_bytes; }
+  std::uint64_t elems_per_page() const { return epp_; }
+  /// Largest span window that stays comfortably inside the cache bound:
+  /// half the frame budget (at least one page) worth of elements. Hot
+  /// loops chunk their scans by this.
+  std::uint64_t MaxSpanElems() const {
+    std::uint64_t frames = pcache_->capacity() / meta_->page_bytes;
+    return std::max<std::uint64_t>(frames / 2, 1) * epp_;
+  }
   const std::string& key() const { return meta_->key; }
   CoherenceMode mode() const {
     return meta_->mode.load(std::memory_order_relaxed);
@@ -138,6 +160,7 @@ class Vector {
   /// Ends the transaction: commits all unflushed modifications (the commit
   /// is asynchronous in simulated time; real execution waits so later
   /// readers observe the writes after the application's synchronization).
+  /// Spans created under the transaction must be destroyed first.
   void TxEnd() {
     MM_CHECK_MSG(tx_ != nullptr, "TxEnd without active transaction");
     FlushDirtyFrames(/*retain=*/true);
@@ -147,6 +170,108 @@ class Vector {
 
   Transaction* active_tx() { return tx_.get(); }
 
+  // ---- span access (hot-loop fast path) ----
+
+  /// A pinned window over elements [lo, hi). While the span lives, every
+  /// overlapping page frame is pinned: the prefetcher's eviction pass and
+  /// MakeRoom skip it, so raw pointers into the frames stay valid. Element
+  /// access is pointer arithmetic — no per-access clock charge, hash
+  /// lookup, or transaction bookkeeping (all batched at construction).
+  ///
+  /// Contract: index arguments must lie in [begin_index(), end_index());
+  /// the window should be comfortably smaller than BoundMemory (pinning
+  /// more than the cap forces the cache over its budget); spans must not
+  /// outlive the Vector, Destroy(), or a ChangePhase().
+  class Span {
+   public:
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+    Span(Span&& o) noexcept
+        : vec_(o.vec_),
+          lo_(o.lo_),
+          hi_(o.hi_),
+          first_page_(o.first_page_),
+          writable_(o.writable_),
+          pages_(std::move(o.pages_)) {
+      o.vec_ = nullptr;
+      o.pages_.clear();
+    }
+    Span& operator=(Span&&) = delete;
+    ~Span() {
+      if (vec_ != nullptr) vec_->ReleaseSpan(*this);
+    }
+
+    std::uint64_t begin_index() const { return lo_; }
+    std::uint64_t end_index() const { return hi_; }
+    std::uint64_t size() const { return hi_ - lo_; }
+    bool writable() const { return writable_; }
+
+    /// Access by global element index (must be in [lo, hi); unchecked).
+    T& operator[](std::uint64_t i) {
+      std::uint64_t elem;
+      std::uint64_t page = vec_->PageOf(i, &elem);
+      return pages_[page - first_page_][elem];
+    }
+    const T& operator[](std::uint64_t i) const {
+      std::uint64_t elem;
+      std::uint64_t page = vec_->PageOf(i, &elem);
+      return pages_[page - first_page_][elem];
+    }
+
+    class Iterator {
+     public:
+      using iterator_category = std::forward_iterator_tag;
+      using value_type = T;
+      using difference_type = std::ptrdiff_t;
+      using pointer = T*;
+      using reference = T&;
+
+      Iterator(Span* span, std::uint64_t i) : span_(span), i_(i) {}
+      T& operator*() const { return (*span_)[i_]; }
+      Iterator& operator++() {
+        ++i_;
+        return *this;
+      }
+      bool operator!=(const Iterator& o) const { return i_ != o.i_; }
+      bool operator==(const Iterator& o) const { return i_ == o.i_; }
+      std::uint64_t index() const { return i_; }
+
+     private:
+      Span* span_;
+      std::uint64_t i_;
+    };
+
+    Iterator begin() { return Iterator(this, lo_); }
+    Iterator end() { return Iterator(this, hi_); }
+
+   private:
+    friend class Vector;
+    Span(Vector* vec, std::uint64_t lo, std::uint64_t hi, bool writable)
+        : vec_(vec), lo_(lo), hi_(hi), writable_(writable) {}
+
+    Vector* vec_;
+    std::uint64_t lo_;
+    std::uint64_t hi_;
+    std::uint64_t first_page_ = 0;
+    bool writable_;
+    /// Base pointer (element 0) of each pinned overlapping page.
+    std::vector<T*> pages_;
+  };
+
+  /// Read-only span over [lo, hi): pages are resolved and pinned once, the
+  /// clock is charged once, and no element is dirtied.
+  Span ReadSpan(std::uint64_t lo, std::uint64_t hi) {
+    return MakeSpan(lo, hi, /*writable=*/false);
+  }
+
+  /// Writable span over [lo, hi): like ReadSpan, but the covered range of
+  /// every page is marked dirty up front (per-page ranges, not per-element
+  /// bits), with or without an active transaction. The whole range counts
+  /// as written even if the caller stores to only part of it.
+  Span WriteSpan(std::uint64_t lo, std::uint64_t hi) {
+    return MakeSpan(lo, hi, /*writable=*/true);
+  }
+
   // ---- element access ----
 
   /// Faulting element access. Under a writing transaction the touched
@@ -154,26 +279,12 @@ class Vector {
   /// MegaMmap call on this vector.
   T& At(std::uint64_t i) {
     MM_CHECK_MSG(i < size(), "mm::Vector index out of range");
-    std::uint64_t page = i / meta_->elems_per_page();
-    std::uint64_t elem = i % meta_->elems_per_page();
-    // Run the prefetcher BEFORE taking a frame reference: its eviction pass
-    // may drop pages (including, for unaligned scans, this one — which then
-    // simply refaults below).
-    if (tx_ != nullptr && options_.prefetch_depth > 0 &&
-        tx_->tail() % meta_->elems_per_page() == 0) {
-      PrefetchStep();
-    }
-    // §III-E: the page that was last accessed is checked first — iterative
-    // algorithms usually stay within one page for many accesses.
-    PageFrame* frame =
-        (page == last_page_ && last_frame_ != nullptr) ? last_frame_
-                                                       : FetchFrame(page);
-    last_page_ = page;
-    last_frame_ = frame;
-    const auto& costs = ctx_->costs();
-    ctx_->Compute(costs.memory_access_s + costs.mm_access_overhead_s);
+    std::uint64_t elem;
+    const std::uint64_t page = PageOf(i, &elem);
+    PageFrame* frame = TouchFrame(page);
+    ctx_->Compute(scalar_access_cost_s_);
     if (tx_ != nullptr) {
-      if (tx_->writes()) frame->dirty.Set(elem);
+      if (tx_->writes()) pcache_->MarkElemDirty(frame, elem);
       tx_->AdvanceTail();
     }
     return *reinterpret_cast<T*>(frame->data.data() + elem * sizeof(T));
@@ -185,30 +296,24 @@ class Vector {
   /// transaction.
   const T& Read(std::uint64_t i) {
     MM_CHECK_MSG(i < size(), "mm::Vector index out of range");
-    std::uint64_t page = i / meta_->elems_per_page();
-    std::uint64_t elem = i % meta_->elems_per_page();
-    if (tx_ != nullptr && options_.prefetch_depth > 0 &&
-        tx_->tail() % meta_->elems_per_page() == 0) {
-      PrefetchStep();
-    }
-    PageFrame* frame =
-        (page == last_page_ && last_frame_ != nullptr) ? last_frame_
-                                                       : FetchFrame(page);
-    last_page_ = page;
-    last_frame_ = frame;
-    const auto& costs = ctx_->costs();
-    ctx_->Compute(costs.memory_access_s + costs.mm_access_overhead_s);
+    std::uint64_t elem;
+    const std::uint64_t page = PageOf(i, &elem);
+    PageFrame* frame = TouchFrame(page);
+    ctx_->Compute(scalar_access_cost_s_);
     if (tx_ != nullptr) tx_->AdvanceTail();
     return *reinterpret_cast<const T*>(frame->data.data() + elem * sizeof(T));
   }
 
   /// Explicit write (dirties the element with or without a transaction).
   void Set(std::uint64_t i, const T& value) {
-    T& slot = At(i);
-    slot = value;
-    std::uint64_t page = i / meta_->elems_per_page();
-    std::uint64_t elem = i % meta_->elems_per_page();
-    pcache_->MarkDirty(page, elem, elem + 1);
+    MM_CHECK_MSG(i < size(), "mm::Vector index out of range");
+    std::uint64_t elem;
+    const std::uint64_t page = PageOf(i, &elem);
+    PageFrame* frame = TouchFrame(page);
+    ctx_->Compute(scalar_access_cost_s_);
+    pcache_->MarkElemDirty(frame, elem);
+    if (tx_ != nullptr) tx_->AdvanceTail();
+    std::memcpy(frame->data.data() + elem * sizeof(T), &value, sizeof(T));
   }
 
   /// Atomically extends the vector by one element; returns its index.
@@ -256,7 +361,8 @@ class Vector {
   }
 
   /// Changes the coherence phase at a synchronization point. Leaving
-  /// read-only invalidates replicas.
+  /// read-only invalidates replicas. Live spans keep their frames resident
+  /// (pinned pages are skipped) but see no invalidation — end spans first.
   void ChangePhase(CoherenceMode new_mode) {
     // Local modifications must be committed under the old phase's rules.
     FlushDirtyFrames(/*retain=*/true);
@@ -270,8 +376,12 @@ class Vector {
     last_page_ = kNoPage;
     last_frame_ = nullptr;
     for (std::uint64_t page : pcache_->ResidentPages()) {
+      if (pcache_->IsPinned(page)) continue;
       PageFrame* f = pcache_->Find(page);
-      if (f != nullptr && !f->dirty.Any()) pcache_->Remove(page);
+      if (f != nullptr && !f->dirty.Any()) {
+        auto removed = pcache_->Remove(page);
+        if (removed.has_value()) ReleasePageBytes(std::move(removed->data));
+      }
     }
   }
 
@@ -342,6 +452,40 @@ class Vector {
  private:
   static constexpr std::uint64_t kNoPage = ~0ULL;
 
+  /// Splits a global element index into (page, elem-in-page). Power-of-two
+  /// pages use shift/mask; others pay one division.
+  std::uint64_t PageOf(std::uint64_t i, std::uint64_t* elem) const {
+    if (epp_shift_ >= 0) {
+      *elem = i & epp_mask_;
+      return i >> epp_shift_;
+    }
+    *elem = i % epp_;
+    return i / epp_;
+  }
+
+  bool TailOnPageBoundary() const {
+    std::size_t t = tx_->tail();
+    return epp_shift_ >= 0 ? (t & epp_mask_) == 0 : (t % epp_) == 0;
+  }
+
+  /// Common access prologue: run the prefetcher at page-boundary ticks and
+  /// resolve the frame through the last-page cache (§III-E: iterative
+  /// algorithms usually stay within one page for many accesses).
+  PageFrame* TouchFrame(std::uint64_t page) {
+    // Run the prefetcher BEFORE taking a frame reference: its eviction pass
+    // may drop pages (including, for unaligned scans, this one — which then
+    // simply refaults below).
+    if (tx_ != nullptr && options_.prefetch_depth > 0 && TailOnPageBoundary()) {
+      PrefetchStep();
+    }
+    PageFrame* frame =
+        (page == last_page_ && last_frame_ != nullptr) ? last_frame_
+                                                       : FetchFrame(page);
+    last_page_ = page;
+    last_frame_ = frame;
+    return frame;
+  }
+
   void BeginTx(std::unique_ptr<Transaction> tx) {
     MM_CHECK_MSG(tx_ == nullptr,
                  "nested transactions on one vector are not supported");
@@ -365,6 +509,7 @@ class Vector {
     std::vector<std::uint64_t> pages;
     std::vector<storage::BlobId> ids;
     for (std::uint64_t page : pcache_->ResidentPages()) {
+      if (pcache_->IsPinned(page)) continue;  // live span holds pointers
       PageFrame* frame = pcache_->Find(page);
       if (frame == nullptr || frame->dirty.Any()) continue;
       pages.push_back(page);
@@ -380,12 +525,53 @@ class Vector {
       if (frame == nullptr) continue;
       std::uint64_t current = locs[i].has_value() ? locs[i]->version : 0;
       if (current != frame->version) {
-        pcache_->Remove(pages[i]);
+        auto removed = pcache_->Remove(pages[i]);
+        if (removed.has_value()) ReleasePageBytes(std::move(removed->data));
         if (pages[i] == last_page_) {
           last_page_ = kNoPage;
           last_frame_ = nullptr;
         }
       }
+    }
+  }
+
+  Span MakeSpan(std::uint64_t lo, std::uint64_t hi, bool writable) {
+    MM_CHECK_MSG(lo <= hi && hi <= size(), "mm::Vector span out of range");
+    Span span(this, lo, hi, writable);
+    if (lo == hi) return span;
+    // One prefetcher invocation covers the whole window (the scalar path
+    // runs it at every page-boundary access).
+    if (tx_ != nullptr && options_.prefetch_depth > 0) PrefetchStep();
+    std::uint64_t elem_lo, elem_hi;
+    const std::uint64_t first = PageOf(lo, &elem_lo);
+    const std::uint64_t last = PageOf(hi - 1, &elem_hi);
+    span.first_page_ = first;
+    span.pages_.reserve(last - first + 1);
+    for (std::uint64_t p = first; p <= last; ++p) {
+      PageFrame* frame = FetchFrame(p);
+      pcache_->Pin(p);
+      span.pages_.push_back(reinterpret_cast<T*>(frame->data.data()));
+      if (writable) {
+        std::size_t dlo = (p == first) ? elem_lo : 0;
+        std::size_t dhi = (p == last) ? elem_hi + 1 : epp_;
+        pcache_->MarkDirty(p, dlo, dhi);
+      }
+    }
+    // Batched clock charge: the software overhead is amortized per page
+    // instead of per element (the paper's ~2.44%-over-mmap claim).
+    const auto& costs = ctx_->costs();
+    const std::uint64_t n = hi - lo;
+    ctx_->Compute(static_cast<double>(n) * costs.memory_access_s +
+                  static_cast<double>(span.pages_.size()) *
+                      costs.mm_access_overhead_s);
+    if (tx_ != nullptr) tx_->AdvanceTail(n);
+    return span;
+  }
+
+  void ReleaseSpan(Span& span) {
+    const std::uint64_t n_pages = span.pages_.size();
+    for (std::uint64_t p = 0; p < n_pages; ++p) {
+      pcache_->Unpin(span.first_page_ + p);
     }
   }
 
@@ -437,10 +623,11 @@ class Vector {
     return frame;
   }
 
-  /// Evicts until one more page fits under the BoundMemory cap.
+  /// Evicts until one more page fits under the BoundMemory cap, counting
+  /// in-flight prefetches (committed) so they cannot overshoot capacity.
+  /// Stops early when everything evictable is pinned by live spans.
   void MakeRoom() {
-    while (pcache_->used() + meta_->page_bytes > options_.pcache_bytes &&
-           pcache_->num_frames() > 0) {
+    while (pcache_->NeedsEviction()) {
       auto victim = pcache_->PickVictim();
       if (!victim.has_value()) break;
       EvictPage(*victim);
@@ -449,7 +636,7 @@ class Vector {
 
   /// Evicts one page; dirty fragments become async writer MemoryTasks. The
   /// application pays only the copy (paper §III-B "Lifecycle of Modified
-  /// Data").
+  /// Data"). The page buffer returns to the node's pool for the next fetch.
   void EvictPage(std::uint64_t page) {
     auto frame = pcache_->Remove(page);
     if (!frame.has_value()) return;
@@ -461,22 +648,26 @@ class Vector {
     if (frame->dirty.Any()) {
       ShipDirtyRuns(page, *frame);
     }
+    ReleasePageBytes(std::move(frame->data));
   }
 
-  /// Sends each dirty run of a frame as a partial-page write task.
+  /// Sends each dirty run of a frame as a partial-page write task. The
+  /// frame's dirty bits are left set; resident frames are reset via
+  /// PCache::MarkClean (keeping the LRU lists in sync), detached frames
+  /// are discarded wholesale.
   void ShipDirtyRuns(std::uint64_t page, PageFrame& frame) {
     const std::size_t es = sizeof(T);
+    PagePool& pool = service_->runtime(ctx_->node()).pool();
     frame.dirty.ForEachRun([&](std::size_t lo, std::size_t hi) {
       std::uint64_t off = lo * es;
       std::uint64_t len = (hi - lo) * es;
-      std::vector<std::uint8_t> bytes(len);
+      std::vector<std::uint8_t> bytes = pool.Acquire(len);
       std::memcpy(bytes.data(), frame.data.data() + off, len);
       ctx_->Compute(static_cast<double>(len) / ctx_->costs().memcpy_Bps);
       outstanding_.emplace_back(
           page, service_->WriteRegion(*meta_, page, off, std::move(bytes),
                                       ctx_->node(), ctx_->clock().now()));
     });
-    frame.dirty.Reset();
   }
 
   /// Commits dirty frames; frames stay resident (clean) when `retain`.
@@ -485,14 +676,23 @@ class Vector {
       PageFrame* frame = pcache_->Find(page);
       MM_CHECK(frame != nullptr);
       ShipDirtyRuns(page, *frame);
-      if (!retain) {
-        pcache_->Remove(page);
+      if (retain || pcache_->IsPinned(page)) {
+        pcache_->MarkClean(page);
+      } else {
+        auto removed = pcache_->Remove(page);
+        if (removed.has_value()) ReleasePageBytes(std::move(removed->data));
         if (page == last_page_) {
           last_page_ = kNoPage;
           last_frame_ = nullptr;
         }
       }
     }
+  }
+
+  /// Recycles an evicted frame's buffer through the node's page pool so
+  /// the next fetch on this node reuses it instead of allocating.
+  void ReleasePageBytes(std::vector<std::uint8_t>&& data) {
+    service_->runtime(ctx_->node()).pool().Release(std::move(data));
   }
 
   /// Real-time wait for outstanding async commits (no virtual charge: the
@@ -550,10 +750,11 @@ class Vector {
                             ctx_->clock().now());
     };
     ops.evict_page = [&](std::uint64_t page) {
-      if (pcache_->Contains(page)) EvictPage(page);
+      // Pages pinned by a live span survive the eviction pass.
+      if (pcache_->Contains(page) && !pcache_->IsPinned(page)) EvictPage(page);
     };
     ops.fetch_ahead = [&](std::uint64_t page) {
-      if (page * meta_->elems_per_page() >= size()) return;
+      if (page * epp_ >= size()) return;
       auto ar = service_->ReadPageAsync(*meta_, page, ctx_->node(),
                                         ctx_->clock().now());
       ++prefetches_;
@@ -580,6 +781,14 @@ class Vector {
       outstanding_;
   std::uint64_t last_page_ = kNoPage;
   PageFrame* last_frame_ = nullptr;
+  // Strength-reduced address math for the scalar path: elems-per-page is
+  // cached (meta_->elems_per_page() divides on every call), with shift/mask
+  // for power-of-two page geometries, and the per-access clock charge is
+  // folded into one constant.
+  std::uint64_t epp_ = 0;
+  int epp_shift_ = -1;
+  std::uint64_t epp_mask_ = 0;
+  double scalar_access_cost_s_ = 0.0;
   int pgas_rank_ = 0;
   int pgas_nprocs_ = 1;
   std::uint64_t faults_ = 0;

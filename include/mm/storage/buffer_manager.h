@@ -78,6 +78,11 @@ class BufferManager {
   StatusOr<std::vector<std::uint8_t>> Get(const BlobId& id, sim::SimTime now,
                                           sim::SimTime* done);
 
+  /// Reads a whole blob into a caller-provided buffer, reusing its
+  /// capacity (zero-copy task path: workers pass pooled page buffers).
+  Status GetInto(const BlobId& id, std::vector<std::uint8_t>* out,
+                 sim::SimTime now, sim::SimTime* done);
+
   /// Reads a fragment of a blob.
   StatusOr<std::vector<std::uint8_t>> GetPartial(const BlobId& id,
                                                  std::uint64_t offset,

@@ -61,6 +61,11 @@ class TierStore {
   StatusOr<std::vector<std::uint8_t>> Get(const BlobId& id, sim::SimTime now,
                                           sim::SimTime* done) const;
 
+  /// Reads a whole blob into a caller-provided buffer, reusing its
+  /// capacity (zero-copy task path: workers pass pooled page buffers).
+  Status GetInto(const BlobId& id, std::vector<std::uint8_t>* out,
+                 sim::SimTime now, sim::SimTime* done) const;
+
   /// Reads bytes [offset, offset+size).
   StatusOr<std::vector<std::uint8_t>> GetPartial(const BlobId& id,
                                                  std::uint64_t offset,

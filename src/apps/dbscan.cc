@@ -487,11 +487,15 @@ std::vector<IdxPoint> LoadSliceMega(core::Service& service,
   data.Pgas(comm.rank(), comm.size());
   std::vector<IdxPoint> pts;
   pts.reserve(data.local_size());
-  auto tx = data.SeqTxBegin(data.local_off(), data.local_size(),
-                            core::MM_READ_ONLY);
-  for (std::uint64_t i = data.local_off();
-       i < data.local_off() + data.local_size(); ++i) {
-    pts.push_back(MakeIdxPoint(i, data.Read(i).pos));
+  const std::uint64_t lo = data.local_off(), n = data.local_size();
+  const std::uint64_t chunk = data.MaxSpanElems();
+  auto tx = data.SeqTxBegin(lo, n, core::MM_READ_ONLY);
+  for (std::uint64_t s = lo; s < lo + n; s += chunk) {
+    std::uint64_t e = std::min(lo + n, s + chunk);
+    auto span = data.ReadSpan(s, e);
+    for (std::uint64_t i = s; i < e; ++i) {
+      pts.push_back(MakeIdxPoint(i, span[i].pos));
+    }
   }
   data.TxEnd();
   return pts;
@@ -573,9 +577,14 @@ DbscanResult DbscanMega(core::Service& service, comm::Communicator& comm,
     std::vector<IdxPoint> received;
     std::uint64_t lo = in_vec.local_off(), n = in_vec.local_size();
     if (n > 0) {
+      const std::uint64_t chunk = in_vec.MaxSpanElems();
       auto tx = in_vec.SeqTxBegin(lo, n, core::MM_READ_ONLY);
-      for (std::uint64_t i = lo; i < lo + n; ++i) {
-        received.push_back(in_vec.Read(i));
+      for (std::uint64_t s = lo; s < lo + n; s += chunk) {
+        std::uint64_t e = std::min(lo + n, s + chunk);
+        auto span = in_vec.ReadSpan(s, e);
+        for (std::uint64_t i = s; i < e; ++i) {
+          received.push_back(span[i]);
+        }
       }
       in_vec.TxEnd();
     }

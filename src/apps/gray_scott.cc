@@ -239,20 +239,43 @@ GrayScottResult GrayScottMega(core::Service& service,
     v->Pgas(comm.rank(), comm.size());
   }
 
+  // Plane-granular span I/O for every hot loop below: pages are resolved
+  // and pinned once per chunk instead of one faulting access per cell.
+  auto load_plane = [&](core::Vector<double>& vec, std::size_t gz,
+                        std::vector<double>* dst) {
+    std::uint64_t base = (gz % L) * plane;
+    const std::uint64_t chunk = vec.MaxSpanElems();
+    for (std::uint64_t s = 0; s < plane; s += chunk) {
+      std::uint64_t e = std::min<std::uint64_t>(plane, s + chunk);
+      auto span = vec.ReadSpan(base + s, base + e);
+      for (std::uint64_t i = s; i < e; ++i) (*dst)[i] = span[base + i];
+    }
+  };
+  auto store_plane = [&](core::Vector<double>& vec, std::size_t gz,
+                         const double* src) {
+    std::uint64_t base = gz * plane;
+    const std::uint64_t chunk = vec.MaxSpanElems();
+    for (std::uint64_t s = 0; s < plane; s += chunk) {
+      std::uint64_t e = std::min<std::uint64_t>(plane, s + chunk);
+      auto span = vec.WriteSpan(base + s, base + e);
+      for (std::uint64_t i = s; i < e; ++i) span[base + i] = src[i];
+    }
+  };
+
   // Initialize the owned slab (non-overlapping writes).
   {
+    std::vector<double> u_init(plane), v_init(plane);
     auto txu = ua.SeqTxBegin(z0 * plane, nz * plane, core::MM_WRITE_ONLY);
     auto txv = va.SeqTxBegin(z0 * plane, nz * plane, core::MM_WRITE_ONLY);
     for (std::size_t z = 0; z < nz; ++z) {
       for (std::size_t y = 0; y < L; ++y) {
         for (std::size_t x = 0; x < L; ++x) {
-          double u, v;
-          InitCell(L, x, y, z0 + z, &u, &v);
-          std::uint64_t idx = (z0 + z) * plane + PIdx(L, x, y);
-          ua.At(idx) = u;
-          va.At(idx) = v;
+          InitCell(L, x, y, z0 + z, &u_init[PIdx(L, x, y)],
+                   &v_init[PIdx(L, x, y)]);
         }
       }
+      store_plane(ua, z0 + z, u_init.data());
+      store_plane(va, z0 + z, v_init.data());
     }
     ua.TxEnd();
     va.TxEnd();
@@ -269,11 +292,6 @@ GrayScottResult GrayScottMega(core::Service& service,
   std::vector<double> um(plane), uc(plane), up(plane);
   std::vector<double> vm(plane), vc(plane), vp(plane);
   std::vector<double> u_out(plane), v_out(plane);
-  auto load_plane = [&](core::Vector<double>& vec, std::size_t gz,
-                        std::vector<double>* dst) {
-    std::uint64_t base = (gz % L) * plane;
-    for (std::size_t i = 0; i < plane; ++i) (*dst)[i] = vec.Read(base + i);
-  };
 
   for (int step = 0; step < cfg.steps; ++step) {
     // Declared read over the slab plus halos (clipped window; halo planes
@@ -292,11 +310,8 @@ GrayScottResult GrayScottMega(core::Service& service,
       load_plane(*v_cur, z0 + z + 1, &vp);
       UpdatePlane(L, um.data(), uc.data(), up.data(), vm.data(), vc.data(),
                   vp.data(), u_out.data(), v_out.data(), cfg.params, ctx);
-      std::uint64_t base = (z0 + z) * plane;
-      for (std::size_t i = 0; i < plane; ++i) {
-        u_nxt->At(base + i) = u_out[i];
-        v_nxt->At(base + i) = v_out[i];
-      }
+      store_plane(*u_nxt, z0 + z, u_out.data());
+      store_plane(*v_nxt, z0 + z, v_out.data());
       std::swap(um, uc);
       std::swap(uc, up);
       std::swap(vm, vc);
@@ -323,9 +338,16 @@ GrayScottResult GrayScottMega(core::Service& service,
   {
     auto txu = u_cur->SeqTxBegin(z0 * plane, nz * plane, core::MM_READ_ONLY);
     auto txv = v_cur->SeqTxBegin(z0 * plane, nz * plane, core::MM_READ_ONLY);
-    for (std::uint64_t i = z0 * plane; i < (z0 + nz) * plane; ++i) {
-      su += u_cur->Read(i);
-      sv += v_cur->Read(i);
+    const std::uint64_t lo = z0 * plane, hi = (z0 + nz) * plane;
+    const std::uint64_t chunk = u_cur->MaxSpanElems();
+    for (std::uint64_t s = lo; s < hi; s += chunk) {
+      std::uint64_t e = std::min(hi, s + chunk);
+      auto uspan = u_cur->ReadSpan(s, e);
+      auto vspan = v_cur->ReadSpan(s, e);
+      for (std::uint64_t i = s; i < e; ++i) {
+        su += uspan[i];
+        sv += vspan[i];
+      }
     }
     u_cur->TxEnd();
     v_cur->TxEnd();

@@ -1,6 +1,7 @@
 #include "mm/apps/kmeans.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "mm/core/vector.h"
 #include "mm/util/hash.h"
@@ -111,13 +112,20 @@ KMeansResult KMeansMega(core::Service& service, comm::Communicator& comm,
   std::vector<Point3> ks = ReduceCandidates(candidates, k, ctx);
 
   // ---- Lloyd iterations over the local partition ----
+  // Hot loop: chunked pinned spans resolve each page once and batch the
+  // clock charge, instead of a fault-check + hash lookup per element.
+  const std::uint64_t chunk = pts.MaxSpanElems();
   for (int it = 0; it < cfg.max_iter; ++it) {
     LloydSums sums(k);
     auto tx = pts.SeqTxBegin(lo, n_local, core::MM_READ_ONLY);
-    for (const Particle& p : tx) {
-      int j = NearestCentroid(p.pos, ks);
-      ctx.Compute(ctx.costs().point_distance_s * k);
-      sums.Add(j, p.pos);
+    for (std::uint64_t s = lo; s < lo + n_local; s += chunk) {
+      std::uint64_t e = std::min(lo + n_local, s + chunk);
+      auto span = pts.ReadSpan(s, e);
+      for (std::uint64_t i = s; i < e; ++i) {
+        const Particle& p = span[i];
+        sums.Add(NearestCentroid(p.pos, ks), p.pos);
+      }
+      ctx.Compute(ctx.costs().point_distance_s * k * (e - s));
     }
     pts.TxEnd();
     comm.AllReduce(sums.buf, [](double a, double b) { return a + b; });
@@ -139,12 +147,18 @@ KMeansResult KMeansMega(core::Service& service, comm::Communicator& comm,
   double local_inertia = 0;
   {
     auto tx = pts.SeqTxBegin(lo, n_local, core::MM_READ_ONLY);
-    for (std::uint64_t i = lo; i < lo + n_local; ++i) {
-      const Particle& p = pts.Read(i);
-      int j = NearestCentroid(p.pos, ks);
-      ctx.Compute(ctx.costs().point_distance_s * k);
-      local_inertia += Dist2(p.pos, ks[j]);
-      if (assign != nullptr) assign->Set(i, j);
+    for (std::uint64_t s = lo; s < lo + n_local; s += chunk) {
+      std::uint64_t e = std::min(lo + n_local, s + chunk);
+      auto span = pts.ReadSpan(s, e);
+      std::optional<core::Vector<std::int32_t>::Span> aspan;
+      if (assign != nullptr) aspan.emplace(assign->WriteSpan(s, e));
+      for (std::uint64_t i = s; i < e; ++i) {
+        const Particle& p = span[i];
+        int j = NearestCentroid(p.pos, ks);
+        local_inertia += Dist2(p.pos, ks[j]);
+        if (aspan) (*aspan)[i] = j;
+      }
+      ctx.Compute(ctx.costs().point_distance_s * k * (e - s));
     }
     pts.TxEnd();
   }

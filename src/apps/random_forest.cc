@@ -216,11 +216,16 @@ int ForestPredict(const std::vector<RfTree>& trees, const Particle& p,
       std::max_element(votes.begin(), votes.end()) - votes.begin());
 }
 
+/// Visits every local sample once: calls fn(index, sample) for each index
+/// in [lo, lo+n_local). The Mega implementation walks pinned spans; the
+/// Spark one indexes its materialized partition.
+using EvalSweepFn =
+    std::function<void(const std::function<void(std::uint64_t, const Sample&)>&)>;
+
 /// Shared driver once samples and evaluation accessors exist.
 RfResult RunForest(
     comm::Communicator& comm, const RfConfig& cfg, std::uint64_t lo,
-    std::uint64_t n_local,
-    const std::function<Sample(std::uint64_t)>& sample_at,
+    std::uint64_t n_local, const EvalSweepFn& for_each_eval,
     const std::function<std::vector<Sample>(int tree)>& bag) {
   comm::RankContext& ctx = comm.ctx();
   RfResult result;
@@ -241,12 +246,10 @@ RfResult RunForest(
   }
 
   // Evaluate on the local partition (train/test split by index hash).
+  // The traversal compute is charged once for the whole sweep.
   std::uint64_t train_ok = 0, train_n = 0, test_ok = 0, test_n = 0;
-  for (std::uint64_t i = lo; i < lo + n_local; ++i) {
-    Sample s = sample_at(i);
+  for_each_eval([&](std::uint64_t i, const Sample& s) {
     int pred = ForestPredict(result.trees, s.p, num_classes);
-    ctx.Compute(ctx.costs().kdtree_visit_s * cfg.max_depth *
-                cfg.num_trees);
     if (IsTestIndex(i, cfg.seed)) {
       ++test_n;
       if (pred == s.label) ++test_ok;
@@ -254,7 +257,9 @@ RfResult RunForest(
       ++train_n;
       if (pred == s.label) ++train_ok;
     }
-  }
+  });
+  ctx.Compute(ctx.costs().kdtree_visit_s * cfg.max_depth * cfg.num_trees *
+              static_cast<double>(n_local));
   std::vector<std::uint64_t> agg = {train_ok, train_n, test_ok, test_n};
   comm.AllReduce(agg, [](std::uint64_t a, std::uint64_t b) { return a + b; });
   result.train_accuracy =
@@ -312,12 +317,27 @@ RfResult RandomForestMega(core::Service& service, comm::Communicator& comm,
     labels.TxEnd();
     return out;
   };
-  auto sample_at = [&](std::uint64_t i) {
-    return Sample{pts.Read(i), labels.Read(i)};
-  };
+  // Evaluation is a sequential pass: declare it and walk pinned spans so
+  // each page is resolved once for both vectors.
+  EvalSweepFn for_each_eval =
+      [&](const std::function<void(std::uint64_t, const Sample&)>& fn) {
+        if (n_local == 0) return;
+        auto txp = pts.SeqTxBegin(lo, n_local, core::MM_READ_ONLY);
+        auto txl = labels.SeqTxBegin(lo, n_local, core::MM_READ_ONLY);
+        const std::uint64_t chunk = pts.MaxSpanElems();
+        for (std::uint64_t s = lo; s < lo + n_local; s += chunk) {
+          std::uint64_t e = std::min(lo + n_local, s + chunk);
+          auto pspan = pts.ReadSpan(s, e);
+          auto lspan = labels.ReadSpan(s, e);
+          for (std::uint64_t i = s; i < e; ++i) {
+            fn(i, Sample{pspan[i], lspan[i]});
+          }
+        }
+        pts.TxEnd();
+        labels.TxEnd();
+      };
 
-  // Evaluation is a sequential pass; declare it.
-  auto result = RunForest(comm, cfg, lo, n_local, sample_at, bag);
+  auto result = RunForest(comm, cfg, lo, n_local, for_each_eval, bag);
   result.faults = pts.faults() + labels.faults();
   return result;
 }
@@ -352,12 +372,15 @@ RfResult RandomForestSpark(sparklike::SparkEnv& env, comm::Communicator& comm,
     env.Free(per_rank * sizeof(Sample));
     return out;
   };
-  auto sample_at = [&](std::uint64_t i) {
-    return Sample{rdd.data()[i - lo], lab.data()[i - lo]};
-  };
+  EvalSweepFn for_each_eval =
+      [&](const std::function<void(std::uint64_t, const Sample&)>& fn) {
+        for (std::uint64_t i = lo; i < lo + n_local; ++i) {
+          fn(i, Sample{rdd.data()[i - lo], lab.data()[i - lo]});
+        }
+      };
   comm::RankContext& ctx = comm.ctx();
   // JVM factor on the evaluation/bagging compute.
-  auto result = RunForest(comm, cfg, lo, n_local, sample_at, bag);
+  auto result = RunForest(comm, cfg, lo, n_local, for_each_eval, bag);
   ctx.Compute(ctx.costs().jvm_dispatch_s * cfg.num_trees);
   return result;
 }

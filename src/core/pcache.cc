@@ -4,58 +4,86 @@
 
 namespace mm::core {
 
-PageFrame* PCache::Find(std::uint64_t page) {
-  auto it = frames_.find(page);
-  if (it == frames_.end()) return nullptr;
-  it->second.last_access = ++access_seq_;
-  return &it->second;
-}
-
 PageFrame* PCache::Insert(std::uint64_t page, std::vector<std::uint8_t> data) {
   MM_CHECK(data.size() == page_bytes_);
+  auto it = frames_.find(page);
+  if (it != frames_.end()) {
+    // Re-insert over an existing frame replaces it wholesale (same
+    // semantics as a fresh fetch). A pinned frame cannot be replaced: a
+    // Span still points into its bytes.
+    PageFrame* old = &it->second;
+    MM_CHECK_MSG(old->pins == 0, "Insert over a pinned page");
+    Unlist(old);
+    old->data = std::move(data);
+    old->dirty.Resize(elems_per_page_);
+    old->dirty.Reset();
+    old->version = 0;
+    MoveToList(old, PageFrame::Residency::kClean);
+    return old;
+  }
   PageFrame frame;
   frame.data = std::move(data);
   frame.dirty.Resize(elems_per_page_);
-  frame.last_access = ++access_seq_;
-  auto [it, inserted] = frames_.insert_or_assign(page, std::move(frame));
+  frame.page = page;
+  auto [ins, inserted] = frames_.emplace(page, std::move(frame));
   (void)inserted;
-  return &it->second;
+  PageFrame* f = &ins->second;
+  MoveToList(f, PageFrame::Residency::kClean);
+  return f;
 }
 
 void PCache::MarkDirty(std::uint64_t page, std::size_t elem_lo,
                        std::size_t elem_hi) {
   auto it = frames_.find(page);
   MM_CHECK_MSG(it != frames_.end(), "MarkDirty on non-resident page");
-  it->second.dirty.SetRange(elem_lo, elem_hi);
+  PageFrame* f = &it->second;
+  f->dirty.SetRange(elem_lo, elem_hi);
+  if (f->list == PageFrame::Residency::kClean) {
+    MoveToList(f, PageFrame::Residency::kDirty);
+  }
 }
 
-std::optional<std::uint64_t> PCache::PickVictim() const {
-  // Clean LRU pages first (free to drop); dirty LRU otherwise.
-  const std::uint64_t kNone = ~0ULL;
-  std::uint64_t best_clean = kNone, best_dirty = kNone;
-  std::uint64_t clean_stamp = ~0ULL, dirty_stamp = ~0ULL;
-  for (const auto& [page, frame] : frames_) {
-    if (frame.dirty.Any()) {
-      if (frame.last_access < dirty_stamp) {
-        dirty_stamp = frame.last_access;
-        best_dirty = page;
-      }
-    } else if (frame.last_access < clean_stamp) {
-      clean_stamp = frame.last_access;
-      best_clean = page;
-    }
+void PCache::MarkClean(std::uint64_t page) {
+  auto it = frames_.find(page);
+  if (it == frames_.end()) return;
+  PageFrame* f = &it->second;
+  f->dirty.Reset();
+  if (f->list == PageFrame::Residency::kDirty) {
+    MoveToList(f, PageFrame::Residency::kClean);
   }
-  if (best_clean != kNone) return best_clean;
-  if (best_dirty != kNone) return best_dirty;
-  return std::nullopt;
+  // Pinned frames stay unlisted; Unpin re-enlists by dirty state.
 }
 
 std::optional<PageFrame> PCache::Remove(std::uint64_t page) {
   auto it = frames_.find(page);
   if (it == frames_.end()) return std::nullopt;
+  MM_CHECK_MSG(it->second.pins == 0, "Remove of a pinned page (live Span)");
+  Unlist(&it->second);
   PageFrame frame = std::move(it->second);
   frames_.erase(it);
   return frame;
+}
+
+void PCache::Pin(std::uint64_t page) {
+  auto it = frames_.find(page);
+  MM_CHECK_MSG(it != frames_.end(), "Pin of non-resident page");
+  PageFrame* f = &it->second;
+  if (f->pins++ == 0) {
+    Unlist(f);
+    ++num_pinned_;
+  }
+}
+
+void PCache::Unpin(std::uint64_t page) {
+  auto it = frames_.find(page);
+  MM_CHECK_MSG(it != frames_.end(), "Unpin of non-resident page");
+  PageFrame* f = &it->second;
+  MM_CHECK_MSG(f->pins > 0, "Unpin without matching Pin");
+  if (--f->pins == 0) {
+    --num_pinned_;
+    MoveToList(f, f->dirty.Any() ? PageFrame::Residency::kDirty
+                                 : PageFrame::Residency::kClean);
+  }
 }
 
 std::vector<std::uint64_t> PCache::ResidentPages() const {
@@ -67,8 +95,12 @@ std::vector<std::uint64_t> PCache::ResidentPages() const {
 
 std::vector<std::uint64_t> PCache::DirtyPages() const {
   std::vector<std::uint64_t> pages;
-  for (const auto& [page, frame] : frames_) {
-    if (frame.dirty.Any()) pages.push_back(page);
+  pages.reserve(dirty_lru_.size());
+  for (const PageFrame* f : dirty_lru_) pages.push_back(f->page);
+  if (num_pinned_ > 0) {
+    for (const auto& [page, frame] : frames_) {
+      if (frame.pins > 0 && frame.dirty.Any()) pages.push_back(page);
+    }
   }
   return pages;
 }
@@ -82,9 +114,13 @@ std::optional<PendingFetch> PCache::TakePending(std::uint64_t page) {
 }
 
 void PCache::Clear() {
-  // Drain pending fetches so worker promises are not abandoned mid-flight.
-  for (auto& [page, fetch] : pending_) fetch.future.wait();
+  MM_CHECK_MSG(num_pinned_ == 0, "Clear with live Spans (pinned frames)");
+  // Pending fetches are detached, not drained: the worker fulfills its
+  // promise into the shared state and the bytes are dropped when the last
+  // future reference dies. Nothing here would adopt the outcome anyway.
   pending_.clear();
+  clean_lru_.clear();
+  dirty_lru_.clear();
   frames_.clear();
 }
 

@@ -93,8 +93,15 @@ void NodeRuntime::WorkerLoop(BlockingQueue<MemoryTask>* queue) {
   while (auto task = queue->Pop()) {
     TaskOutcome outcome = Execute(*task);
     tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+    // Recycle the request payload (Execute consumed it) whether the task
+    // succeeded or failed, so error paths do not leak buffers out of the
+    // pool's circulation.
+    if (task->data.capacity() > 0) pool_.Release(std::move(task->data));
     if (task->promise != nullptr) {
       task->promise->set_value(std::move(outcome));
+    } else if (outcome.data.capacity() > 0) {
+      // Fire-and-forget: nobody adopts the outcome, reuse its buffer.
+      pool_.Release(std::move(outcome.data));
     }
   }
 }
@@ -176,7 +183,9 @@ TaskOutcome NodeRuntime::StageInOrZero(VectorMeta& meta,
   out.done = now;
   std::uint64_t page_off = id.page_idx * meta.page_bytes;
   std::uint64_t logical = meta.size_bytes.load(std::memory_order_relaxed);
-  out.data.assign(meta.page_bytes, 0);
+  // Pooled and explicitly zeroed: a recycled buffer must not leak a
+  // previous page's bytes into a logically-fresh page.
+  out.data = pool_.AcquireZeroed(meta.page_bytes);
   if (meta.stager != nullptr && page_off < logical) {
     std::uint64_t want = std::min(meta.page_bytes, logical - page_off);
     // Only stage in what the backend actually holds.
@@ -213,13 +222,17 @@ TaskOutcome NodeRuntime::ExecuteGetPage(MemoryTask& task) {
     return out;
   }
   sim::SimTime dev_done = task.issue_time;
-  auto hit = bm_.Get(task.id, task.issue_time, &dev_done);
+  // Pooled read buffer: travels as the outcome payload on success, returns
+  // to the pool (via the guard) on every other path.
+  std::vector<std::uint8_t> buf = pool_.Acquire(task.size);
+  PoolReturn buf_guard(pool_, buf);
+  Status hit = bm_.GetInto(task.id, &buf, task.issue_time, &dev_done);
   if (hit.ok()) {
     auto cur = service_->metadata().Lookup(task.id, node_id_, dev_done,
                                            nullptr);
     bool corrupted = false;
     if (cur.ok() && options_.verify_checksums && cur->crc != 0 &&
-        Crc32(*hit) != cur->crc) {
+        Crc32(buf) != cur->crc) {
       // Silent media corruption. Drop the bad copy; a clean page self-heals
       // from the backend below, a dirty page's modifications are gone.
       corrupted = true;
@@ -234,12 +247,12 @@ TaskOutcome NodeRuntime::ExecuteGetPage(MemoryTask& task) {
       }
     }
     if (!corrupted) {
-      out.data = std::move(hit).value();
+      out.data = std::move(buf);
       out.done = dev_done;
       if (cur.ok()) out.version = cur->version;
       return out;
     }
-  } else if (hit.status().code() == StatusCode::kUnavailable) {
+  } else if (hit.code() == StatusCode::kUnavailable) {
     // The tier died under this read. The BufferManager already drained it
     // and OnTierFailure reconciled the metadata — re-check whether this
     // page's modifications went down with the tier.
@@ -249,14 +262,14 @@ TaskOutcome NodeRuntime::ExecuteGetPage(MemoryTask& task) {
       out.done = dev_done;
       return out;
     }
-  } else if (hit.status().code() == StatusCode::kIoError) {
+  } else if (hit.code() == StatusCode::kIoError) {
     // Retries exhausted on a live tier. A dirty page cannot be recreated
     // from the backend, so surface the error; a clean copy is dropped and
     // re-staged below.
     auto cur = service_->metadata().Lookup(task.id, node_id_, dev_done,
                                            nullptr);
     if (cur.ok() && cur->dirty) {
-      out.status = hit.status();
+      out.status = hit;
       out.done = dev_done;
       return out;
     }
@@ -271,9 +284,13 @@ TaskOutcome NodeRuntime::ExecuteGetPage(MemoryTask& task) {
   out = StageInOrZero(*meta, task.id, task.issue_time);
   if (!out.status.ok()) return out;
   // Cache the page locally and record its location. A full scache is not an
-  // error for reads: the page is served through without caching.
+  // error for reads: the page is served through without caching. The cached
+  // copy comes from the pool so the steady-state read path allocates nothing.
   sim::SimTime put_done = out.done;
-  auto tier = bm_.PutScored(task.id, out.data, task.score, out.done, &put_done);
+  std::vector<std::uint8_t> cache_copy = pool_.Acquire(out.data.size());
+  std::copy(out.data.begin(), out.data.end(), cache_copy.begin());
+  auto tier = bm_.PutScored(task.id, std::move(cache_copy), task.score,
+                            out.done, &put_done);
   if (tier.ok()) {
     // Preserve an existing version if the page previously lived elsewhere
     // (e.g. written through to the backend).
@@ -341,9 +358,14 @@ TaskOutcome NodeRuntime::ExecuteWritePartial(MemoryTask& task) {
               base.data.begin() + static_cast<std::ptrdiff_t>(task.offset));
     dev_done = base.done;
     std::vector<std::uint8_t> page_data = std::move(base.data);
+    // page_data came from the pool (StageInOrZero); hand it back on every
+    // exit from this scope, including errors.
+    PoolReturn page_guard(pool_, page_data);
     std::uint32_t page_crc = Crc32(page_data);
-    auto tier = bm_.PutScored(task.id, page_data, task.score, dev_done,
-                              &dev_done);
+    std::vector<std::uint8_t> cache_copy = pool_.Acquire(page_data.size());
+    std::copy(page_data.begin(), page_data.end(), cache_copy.begin());
+    auto tier = bm_.PutScored(task.id, std::move(cache_copy), task.score,
+                              dev_done, &dev_done);
     auto prev = service_->metadata().Lookup(task.id, node_id_, dev_done,
                                             nullptr);
     storage::BlobLocation loc;
@@ -435,8 +457,12 @@ TaskOutcome NodeRuntime::ExecuteStageOut(MemoryTask& task) {
     return out;
   }
   sim::SimTime read_done = task.issue_time;
-  auto data = bm_.Get(task.id, task.issue_time, &read_done);
-  if (!data.ok()) {
+  // Pooled staging buffer: read the resident page into it, trim to the
+  // logical extent in place, and return it to the pool when done.
+  std::vector<std::uint8_t> buf = pool_.Acquire(meta->page_bytes);
+  PoolReturn buf_guard(pool_, buf);
+  Status got = bm_.GetInto(task.id, &buf, task.issue_time, &read_done);
+  if (!got.ok()) {
     // Nothing resident to persist (already staged or never written).
     return out;
   }
@@ -448,11 +474,10 @@ TaskOutcome NodeRuntime::ExecuteStageOut(MemoryTask& task) {
   std::uint64_t page_off = task.id.page_idx * meta->page_bytes;
   std::uint64_t logical = meta->size_bytes.load(std::memory_order_relaxed);
   if (page_off >= logical) return out;  // page past the logical end
-  std::uint64_t want = std::min<std::uint64_t>(data->size(), logical - page_off);
-  std::vector<std::uint8_t> bytes(data->begin(),
-                                  data->begin() + static_cast<std::ptrdiff_t>(want));
+  std::uint64_t want = std::min<std::uint64_t>(buf.size(), logical - page_off);
+  buf.resize(want);
   out.done = read_done;
-  Status st = BackendWrite(*meta, page_off, bytes, read_done, &out.done);
+  Status st = BackendWrite(*meta, page_off, buf, read_done, &out.done);
   if (!st.ok()) {
     out.status = st;
     return out;
@@ -721,17 +746,23 @@ StatusOr<std::vector<std::uint8_t>> Service::ReadPage(VectorMeta& meta,
     return DataLoss("page " + id.ToString() + " lost unstaged modifications");
   }
 
-  // Fast path: the blob (or a replica) is already on this node.
+  // Fast path: the blob (or a replica) is already on this node. The read
+  // buffer comes from the node's page pool and travels to the caller on
+  // success; the guard hands it back on every other path.
   if (runtime(from_node).buffer().FindBlob(id).has_value()) {
     sim::SimTime local_done = now;
-    auto local = runtime(from_node).buffer().Get(id, now, &local_done);
-    if (local.ok()) {
+    PagePool& pool = runtime(from_node).pool();
+    std::vector<std::uint8_t> local = pool.Acquire(meta.page_bytes);
+    PoolReturn local_guard(pool, local);
+    Status local_st = runtime(from_node).buffer().GetInto(id, &local, now,
+                                                          &local_done);
+    if (local_st.ok()) {
       bool corrupted = false;
       if (version != nullptr) {
         auto cur = metadata().Lookup(id, from_node, local_done, &local_done);
         *version = cur.ok() ? cur->version : 0;
         if (cur.ok() && options_.verify_checksums && cur->crc != 0 &&
-            Crc32(*local) != cur->crc) {
+            Crc32(local) != cur->crc) {
           // Silent corruption caught on the local copy. Drop it; dirty
           // pages surface typed data loss, clean pages fall through to the
           // slow path and self-heal from the owner/backend.
@@ -753,7 +784,7 @@ StatusOr<std::vector<std::uint8_t>> Service::ReadPage(VectorMeta& meta,
       }
       if (!corrupted) {
         Merge(local_done, done);
-        return local;
+        return std::move(local);
       }
     }
   }
@@ -849,8 +880,14 @@ void Service::MaybeReplicate(VectorMeta& meta, std::uint64_t page,
   storage::BlobId id{meta.vector_id, page};
   if (runtime(from_node).buffer().FindBlob(id).has_value()) return;
   sim::SimTime put_done = now;
-  auto tier = runtime(from_node).buffer().PutScored(id, data, /*score=*/1.0f,
-                                                    now, &put_done);
+  // Replica bytes come from the pool: the replication path runs on every
+  // remote read under read-only mode, so it must not allocate steadily.
+  PagePool& pool = runtime(from_node).pool();
+  std::vector<std::uint8_t> copy = pool.Acquire(data.size());
+  std::copy(data.begin(), data.end(), copy.begin());
+  auto tier = runtime(from_node).buffer().PutScored(id, std::move(copy),
+                                                    /*score=*/1.0f, now,
+                                                    &put_done);
   if (tier.ok()) {
     (void)metadata().AddReplica(id, from_node, from_node, now, nullptr);
   }

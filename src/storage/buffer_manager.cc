@@ -152,6 +152,27 @@ StatusOr<std::vector<std::uint8_t>> BufferManager::Get(const BlobId& id,
   return result;
 }
 
+Status BufferManager::GetInto(const BlobId& id, std::vector<std::uint8_t>* out,
+                              sim::SimTime now, sim::SimTime* done) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto result = [&]() -> Status {
+    for (auto& t : tiers_) {
+      if (t->failed()) continue;
+      if (t->Contains(id)) {
+        return RunWithRetry(retry_, now, done,
+                            [&](double start, double* attempt_done) {
+                              return t->GetInto(id, out, start, attempt_done);
+                            });
+      }
+    }
+    return NotFound("blob " + id.ToString() + " not resident");
+  }();
+  std::vector<PendingFailure> failures = CollectFailuresLocked();
+  lock.unlock();
+  NotifyFailures(std::move(failures), now);
+  return result;
+}
+
 StatusOr<std::vector<std::uint8_t>> BufferManager::GetPartial(
     const BlobId& id, std::uint64_t offset, std::uint64_t size,
     sim::SimTime now, sim::SimTime* done) {

@@ -103,6 +103,25 @@ StatusOr<std::vector<std::uint8_t>> TierStore::Get(const BlobId& id,
   return copy;
 }
 
+Status TierStore::GetInto(const BlobId& id, std::vector<std::uint8_t>* out,
+                          sim::SimTime now, sim::SimTime* done) const {
+  double factor = 1.0;
+  MM_RETURN_IF_ERROR(InjectFault(/*is_write=*/false, now, done, &factor));
+  std::uint64_t size = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = blobs_.find(id);
+    if (it == blobs_.end()) {
+      return NotFound("blob " + id.ToString() + " not in tier");
+    }
+    out->assign(it->second.begin(), it->second.end());
+    size = it->second.size();
+  }
+  sim::SimTime end = device_->Read(now, size, factor);
+  if (done != nullptr) *done = end;
+  return Status::Ok();
+}
+
 StatusOr<std::vector<std::uint8_t>> TierStore::GetPartial(
     const BlobId& id, std::uint64_t offset, std::uint64_t size,
     sim::SimTime now, sim::SimTime* done) const {

@@ -118,5 +118,81 @@ TEST(PCacheTest, MarkDirtyOnAbsentPageChecks) {
   EXPECT_THROW(pc.MarkDirty(0, 0, 1), std::logic_error);
 }
 
+// Victim order must follow true recency under an interleaving of Find
+// (touch), MarkDirty (clean->dirty migration), and MarkClean (dirty->clean
+// re-enlist) — the exact access pattern TxEnd/eviction produce.
+TEST(PCacheTest, LruOrderUnderInterleavedFindAndMarkDirty) {
+  PCache pc(kPageBytes, kEPP, 10 * kPageBytes);
+  pc.Insert(0, Page(0));
+  pc.Insert(1, Page(1));
+  pc.Insert(2, Page(2));
+  pc.Insert(3, Page(3));
+  // Clean LRU (old->new): 0 1 2 3.
+  pc.Find(0);  // 1 2 3 0
+  pc.MarkDirty(2, 0, 1);  // clean: 1 3 0 | dirty: 2
+  EXPECT_EQ(pc.PickVictim(), std::make_optional<std::uint64_t>(1));
+  pc.Find(1);  // clean: 3 0 1
+  EXPECT_EQ(pc.PickVictim(), std::make_optional<std::uint64_t>(3));
+  pc.MarkDirty(3, 0, 1);  // clean: 0 1 | dirty: 2 3
+  pc.MarkDirty(0, 0, 1);  // clean: 1 | dirty: 2 3 0
+  EXPECT_EQ(pc.PickVictim(), std::make_optional<std::uint64_t>(1));
+  pc.Remove(1);
+  // No clean frames left: oldest dirty wins.
+  EXPECT_EQ(pc.PickVictim(), std::make_optional<std::uint64_t>(2));
+  pc.MarkClean(2);  // clean: 2 | dirty: 3 0
+  EXPECT_EQ(pc.PickVictim(), std::make_optional<std::uint64_t>(2));
+  // Touching the only clean frame keeps it the victim (clean beats dirty).
+  pc.Find(2);
+  EXPECT_EQ(pc.PickVictim(), std::make_optional<std::uint64_t>(2));
+  // Re-dirtying an already-dirty frame must not reorder the dirty list.
+  pc.MarkDirty(3, 4, 8);
+  pc.Remove(2);
+  EXPECT_EQ(pc.PickVictim(), std::make_optional<std::uint64_t>(3));
+}
+
+TEST(PCacheTest, PinnedFramesAreNeverVictims) {
+  PCache pc(kPageBytes, kEPP, 10 * kPageBytes);
+  pc.Insert(0, Page(0));
+  pc.Insert(1, Page(1));
+  pc.Pin(0);
+  EXPECT_TRUE(pc.IsPinned(0));
+  EXPECT_EQ(pc.num_pinned(), 1u);
+  EXPECT_EQ(pc.PickVictim(), std::make_optional<std::uint64_t>(1));
+  pc.Pin(1);
+  EXPECT_FALSE(pc.PickVictim().has_value());
+  // A frame dirtied while pinned re-enters the dirty list on unpin.
+  pc.MarkDirty(1, 0, 2);
+  pc.Unpin(1);
+  EXPECT_FALSE(pc.IsPinned(1));
+  EXPECT_EQ(pc.PickVictim(), std::make_optional<std::uint64_t>(1));
+  pc.Unpin(0);
+  // Clean page 0 is preferred over dirty page 1 once unpinned.
+  EXPECT_EQ(pc.PickVictim(), std::make_optional<std::uint64_t>(0));
+}
+
+TEST(PCacheTest, PinIsRecursive) {
+  PCache pc(kPageBytes, kEPP, 4 * kPageBytes);
+  pc.Insert(0, Page(0));
+  pc.Pin(0);
+  pc.Pin(0);
+  pc.Unpin(0);
+  EXPECT_TRUE(pc.IsPinned(0));
+  EXPECT_FALSE(pc.PickVictim().has_value());
+  pc.Unpin(0);
+  EXPECT_FALSE(pc.IsPinned(0));
+  EXPECT_EQ(pc.PickVictim(), std::make_optional<std::uint64_t>(0));
+}
+
+TEST(PCacheTest, DirtyPagesIncludesPinnedFrames) {
+  PCache pc(kPageBytes, kEPP, 4 * kPageBytes);
+  pc.Insert(0, Page(0));
+  pc.Pin(0);
+  pc.MarkDirty(0, 0, 1);
+  auto dirty = pc.DirtyPages();
+  ASSERT_EQ(dirty.size(), 1u);
+  EXPECT_EQ(dirty[0], 0u);
+  pc.Unpin(0);
+}
+
 }  // namespace
 }  // namespace mm::core
