@@ -36,6 +36,7 @@ double FaultCost(const std::vector<storage::TierGrant>& grants,
   if (from_backend) {
     auto resolved = storage::StagerRegistry::Default().Resolve(key);
     if (!resolved->first->Exists(resolved->second)) {
+      // Exists() was just checked; creation races are not a bench concern.
       (void)resolved->first->Create(resolved->second, n * sizeof(double));
     }
   }

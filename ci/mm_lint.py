@@ -1,0 +1,393 @@
+#!/usr/bin/env python3
+"""mm_lint: MegaMmap-specific static checks the generic tools can't express.
+
+Rules (see DESIGN.md "Concurrency contracts & static analysis"):
+
+  MML001  Raw std synchronization primitive (std::mutex, std::lock_guard,
+          std::unique_lock, std::condition_variable, ...) outside util/.
+          All runtime code must use the annotated mm::Mutex / mm::MutexLock /
+          mm::CondVar wrappers so Clang's -Wthread-safety sees the locking.
+  MML002  PagePool Acquire/AcquireZeroed whose buffer is neither guarded by
+          a PoolReturn, handed off via std::move, nor explicitly Release'd
+          within the enclosing function. Un-returned buffers silently drop
+          out of the recycling loop and regress the zero-alloc hot path.
+  MML003  PCache Pin/Unpin call-site imbalance within a file. Every pin
+          must have a matching unpin path or pinned frames leak off the
+          LRU lists and become unevictable.
+  MML004  MM_CHECK inside a DESIGN.md §7 hot-path function
+          (Span::operator[], PCache::{Find,Touch,MarkElemDirty,PickVictim},
+          PagePool::{Acquire,AcquireZeroed,Release}). The fast path is two
+          integer ops by contract; checks belong on the scalar At/Read/Set
+          entry points.
+  MML005  (void)-discarded call without a reason comment. Discarding a
+          [[nodiscard]] Status is allowed only with a same-line or
+          preceding-line comment saying why the error cannot matter.
+
+Suppression: put `mm-lint: allow(MMLnnn <reason>)` in a comment on the
+offending line or the line directly above it. Suppressions without a
+reason are themselves findings.
+
+Usage: python3 ci/mm_lint.py [--root DIR] [files...]
+Exit status is the number of findings (0 == clean).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from dataclasses import dataclass
+
+SOURCE_DIRS = ("include", "src", "tests", "bench", "examples")
+SOURCE_EXTS = (".h", ".hpp", ".cc", ".cpp")
+
+# MML001 --------------------------------------------------------------------
+RAW_SYNC_RE = re.compile(
+    r"std::(?:recursive_|timed_|shared_)?mutex\b"
+    r"|std::(?:lock_guard|unique_lock|scoped_lock|shared_lock)\b"
+    r"|std::condition_variable(?:_any)?\b"
+    r"|#\s*include\s*<(?:mutex|shared_mutex|condition_variable)>"
+)
+
+# MML002 --------------------------------------------------------------------
+POOL_ACQUIRE_RE = re.compile(
+    r"(?:^|[^\w.])(\w*[Pp]ool\w*)\s*(?:\.|->)\s*(Acquire(?:Zeroed)?)\s*\("
+)
+POOL_HANDOFF_RE = re.compile(r"PoolReturn\b|std::move\s*\(|(?:\.|->)\s*Release\s*\(")
+
+# MML003 --------------------------------------------------------------------
+PIN_CALL_RE = re.compile(r"(?:\.|->)\s*Pin\s*\(")
+UNPIN_CALL_RE = re.compile(r"(?:\.|->)\s*Unpin\s*\(")
+
+# MML004: (filename substring, class-name hint, method name) ----------------
+HOT_PATHS = [
+    ("vector.h", "Span", "operator[]"),
+    ("pcache", "PCache", "Find"),
+    ("pcache", "PCache", "Touch"),
+    ("pcache", "PCache", "MarkElemDirty"),
+    ("pcache", "PCache", "PickVictim"),
+    ("memory_task.h", "PagePool", "Acquire"),
+    ("memory_task.h", "PagePool", "AcquireZeroed"),
+    ("memory_task.h", "PagePool", "Release"),
+]
+MM_CHECK_RE = re.compile(r"\bMM_CHECK(?:_MSG)?\s*\(")
+
+# MML005 --------------------------------------------------------------------
+VOID_DISCARD_RE = re.compile(r"\(\s*void\s*\)\s*[\w:~]")
+
+ALLOW_RE = re.compile(r"mm-lint:\s*allow\(\s*(MML\d{3})\b([^)]*)\)")
+
+
+@dataclass
+class Finding:
+    path: str
+    line: int  # 1-based
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule}: {self.message}"
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out comments and string/char literals, preserving offsets and
+    newlines so line numbers and brace depths stay valid."""
+    out = list(text)
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = i
+            while j < n and text[j] != "\n":
+                out[j] = " "
+                j += 1
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = i
+            while j < n - 1 and not (text[j] == "*" and text[j + 1] == "/"):
+                if text[j] != "\n":
+                    out[j] = " "
+                j += 1
+            if j < n - 1:
+                out[j] = out[j + 1] = " "
+                j += 2
+            i = j
+        elif c in ("\"", "'"):
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                if text[j] == "\\":
+                    out[j] = " "
+                    j += 1
+                    if j < n and text[j] != "\n":
+                        out[j] = " "
+                    j += 1
+                    continue
+                if text[j] != "\n":
+                    out[j] = " "
+                j += 1
+            i = j + 1
+        else:
+            i += 1
+    return "".join(out)
+
+
+class FileScanner:
+    def __init__(self, path: str, text: str, rel: str):
+        self.path = path
+        self.rel = rel
+        self.text = text
+        self.code = strip_comments_and_strings(text)
+        self.lines = text.split("\n")
+        self.code_lines = self.code.split("\n")
+        self.findings: list[Finding] = []
+        self.suppressions: dict[int, set[str]] = {}  # line -> rules
+        self._collect_suppressions()
+
+    def _collect_suppressions(self) -> None:
+        for idx, line in enumerate(self.lines):
+            for m in ALLOW_RE.finditer(line):
+                rule, reason = m.group(1), m.group(2).strip()
+                if not reason:
+                    self.findings.append(
+                        Finding(self.rel, idx + 1, rule,
+                                "suppression without a reason "
+                                "(use `mm-lint: allow(MMLnnn why)`)"))
+                    continue
+                # A suppression covers its own line and the next line, so a
+                # comment directly above the offending statement works.
+                self.suppressions.setdefault(idx + 1, set()).add(rule)
+                self.suppressions.setdefault(idx + 2, set()).add(rule)
+
+    def suppressed(self, line: int, rule: str) -> bool:
+        return rule in self.suppressions.get(line, set())
+
+    def report(self, line: int, rule: str, message: str) -> None:
+        if not self.suppressed(line, rule):
+            self.findings.append(Finding(self.rel, line, rule, message))
+
+    # -- helpers ------------------------------------------------------------
+
+    def enclosing_block(self, pos: int) -> tuple[int, int] | None:
+        """[start, end) offsets of the innermost braced block containing pos
+        whose opening brace ends a function-like header (not if/for/...)."""
+        stack: list[int] = []
+        best: tuple[int, int] | None = None
+        depth_at_pos: list[int] = []
+        for i, c in enumerate(self.code):
+            if c == "{":
+                stack.append(i)
+            elif c == "}":
+                if stack:
+                    start = stack.pop()
+                    if start < pos < i and self._looks_like_function(start):
+                        if best is None or start > best[0]:
+                            best = (start, i)
+        _ = depth_at_pos
+        return best
+
+    def _looks_like_function(self, brace_pos: int) -> bool:
+        """Heuristic: the text before `{` (same logical header) ends with `)`
+        or a function-ish suffix (const, noexcept, attribute macro)."""
+        header = self.code[:brace_pos].rstrip()
+        # Walk back over trailing qualifiers/annotation macros.
+        for _ in range(8):
+            for suffix in ("const", "noexcept", "override", "final"):
+                if header.endswith(suffix):
+                    header = header[: -len(suffix)].rstrip()
+            m = re.search(r"(?:MM_\w+|__attribute__)\s*\([^()]*\)$", header)
+            if m:
+                header = header[: m.start()].rstrip()
+            elif header.endswith(("MM_NO_THREAD_SAFETY_ANALYSIS",)):
+                header = header[: -len("MM_NO_THREAD_SAFETY_ANALYSIS")].rstrip()
+            else:
+                break
+        if not header.endswith(")"):
+            return False
+        # Reject control-flow statements: scan back to the matching '('.
+        depth = 0
+        for i in range(len(header) - 1, -1, -1):
+            c = header[i]
+            if c == ")":
+                depth += 1
+            elif c == "(":
+                depth -= 1
+                if depth == 0:
+                    before = header[:i].rstrip()
+                    kw = re.search(r"(\w+)$", before)
+                    if kw and kw.group(1) in (
+                            "if", "for", "while", "switch", "catch", "return"):
+                        return False
+                    return True
+        return False
+
+    def line_of(self, pos: int) -> int:
+        return self.code.count("\n", 0, pos) + 1
+
+    # -- rules --------------------------------------------------------------
+
+    def check_mml001(self) -> None:
+        rel_norm = self.rel.replace(os.sep, "/")
+        if "/util/" in rel_norm or rel_norm.startswith("ci/"):
+            return
+        if not rel_norm.startswith(("include/", "src/")):
+            return
+        for idx, line in enumerate(self.code_lines):
+            m = RAW_SYNC_RE.search(line)
+            if m:
+                self.report(idx + 1, "MML001",
+                            f"raw `{m.group(0).strip()}` outside util/ — use "
+                            "mm::Mutex / mm::MutexLock / mm::CondVar "
+                            "(mm/util/mutex.h)")
+
+    def check_mml002(self) -> None:
+        for m in POOL_ACQUIRE_RE.finditer(self.code):
+            pos = m.start(1)
+            block = self.enclosing_block(pos)
+            if block is None:
+                continue  # e.g. a default-argument expression
+            body = self.code[block[0]:block[1]]
+            if POOL_HANDOFF_RE.search(body):
+                continue
+            self.report(self.line_of(pos), "MML002",
+                        f"`{m.group(1)}.{m.group(2)}()` buffer is never "
+                        "guarded by PoolReturn, std::move'd, or Release'd in "
+                        "this function — it will leak out of the pool")
+
+    def check_mml003(self) -> None:
+        base = os.path.basename(self.rel)
+        if base.startswith("pcache"):
+            return  # definitions, not call sites
+        pins = [i + 1 for i, l in enumerate(self.code_lines)
+                if PIN_CALL_RE.search(l)]
+        unpins = [i + 1 for i, l in enumerate(self.code_lines)
+                  if UNPIN_CALL_RE.search(l)]
+        if len(pins) != len(unpins):
+            anchor = (pins or unpins)[0]
+            self.report(anchor, "MML003",
+                        f"Pin/Unpin imbalance in file: {len(pins)} Pin vs "
+                        f"{len(unpins)} Unpin call sites — a leaked pin "
+                        "makes the frame unevictable")
+
+    def check_mml004(self) -> None:
+        base = os.path.basename(self.rel)
+        for fname_part, cls, method in HOT_PATHS:
+            if fname_part not in base:
+                continue
+            if method == "operator[]":
+                pattern = re.compile(r"operator\[\]\s*\(")
+            else:
+                pattern = re.compile(
+                    r"(?:[\w>]+\s+|::)" + re.escape(cls) +
+                    r"::" + re.escape(method) + r"\s*\(" +
+                    r"|\b" + re.escape(method) + r"\s*\([^;{]*\)[^;{]*\{")
+            for m in pattern.finditer(self.code):
+                block = self.enclosing_body_after(m.start())
+                if block is None:
+                    continue
+                body = self.code[block[0]:block[1]]
+                cm = MM_CHECK_RE.search(body)
+                if cm:
+                    line = self.line_of(block[0] + cm.start())
+                    self.report(line, "MML004",
+                                f"MM_CHECK inside hot path {cls}::{method} "
+                                "(DESIGN.md §7: the fast path must stay "
+                                "check-free; validate at the scalar entry "
+                                "points instead)")
+
+    def enclosing_body_after(self, pos: int) -> tuple[int, int] | None:
+        """Body `{...}` of the function whose definition starts at pos.
+        Returns None for declarations (`;` before any `{`)."""
+        i = pos
+        n = len(self.code)
+        while i < n:
+            c = self.code[i]
+            if c == ";":
+                return None
+            if c == "{":
+                depth = 1
+                j = i + 1
+                while j < n and depth:
+                    if self.code[j] == "{":
+                        depth += 1
+                    elif self.code[j] == "}":
+                        depth -= 1
+                    j += 1
+                return (i, j)
+            i += 1
+        return None
+
+    def check_mml005(self) -> None:
+        for idx, line in enumerate(self.code_lines):
+            m = VOID_DISCARD_RE.search(line)
+            if not m:
+                continue
+            # A reason comment on the same line or the line above satisfies
+            # the audit requirement (original text, since comments are
+            # stripped from self.code_lines).
+            here = self.lines[idx]
+            above = self.lines[idx - 1] if idx > 0 else ""
+            has_comment = "//" in here or above.lstrip().startswith("//")
+            if not has_comment:
+                self.report(idx + 1, "MML005",
+                            "(void)-discard without a reason comment — say "
+                            "why the result cannot matter, on this line or "
+                            "the line above")
+
+    def run(self) -> list[Finding]:
+        self.check_mml001()
+        self.check_mml002()
+        self.check_mml003()
+        self.check_mml004()
+        self.check_mml005()
+        return self.findings
+
+
+def lint_file(path: str, root: str) -> list[Finding]:
+    rel = os.path.relpath(path, root)
+    try:
+        with open(path, "r", encoding="utf-8", errors="replace") as f:
+            text = f.read()
+    except OSError as e:
+        return [Finding(rel, 0, "MML000", f"unreadable: {e}")]
+    return FileScanner(path, text, rel).run()
+
+
+def collect_files(root: str) -> list[str]:
+    files = []
+    for d in SOURCE_DIRS:
+        top = os.path.join(root, d)
+        if not os.path.isdir(top):
+            continue
+        for dirpath, _dirnames, filenames in os.walk(top):
+            for name in sorted(filenames):
+                if name.endswith(SOURCE_EXTS):
+                    files.append(os.path.join(dirpath, name))
+    return files
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--root", default=os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    parser.add_argument("files", nargs="*",
+                        help="explicit files (default: scan the tree)")
+    args = parser.parse_args(argv)
+
+    files = args.files or collect_files(args.root)
+    findings: list[Finding] = []
+    for path in files:
+        findings.extend(lint_file(path, args.root))
+
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"mm_lint: {len(findings)} finding(s)", file=sys.stderr)
+    else:
+        print("mm_lint: clean", file=sys.stderr)
+    return min(len(findings), 125)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,218 @@
+#!/usr/bin/env python3
+"""Unit tests for ci/mm_lint.py: one positive (finding) and one negative
+(clean) fixture per rule, plus the suppression machinery.
+
+Run: python3 ci/test_mm_lint.py
+"""
+
+import os
+import sys
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import mm_lint  # noqa: E402
+
+
+def lint_snippet(snippet: str, rel: str = "src/core/fake.cc"):
+    scanner = mm_lint.FileScanner("/fake/" + rel, snippet, rel)
+    return scanner.run()
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+class Mml001RawSyncTest(unittest.TestCase):
+    def test_flags_raw_mutex_in_core(self):
+        findings = lint_snippet("#include <mutex>\nstd::mutex mu_;\n")
+        self.assertEqual(rules_of(findings), ["MML001", "MML001"])
+
+    def test_flags_lock_guard_and_condvar(self):
+        snippet = ("std::lock_guard<std::mutex> lock(mu_);\n"
+                   "std::condition_variable cv_;\n")
+        self.assertEqual(rules_of(lint_snippet(snippet)),
+                         ["MML001", "MML001"])  # one finding per line
+
+    def test_allows_wrappers(self):
+        snippet = ('#include "mm/util/mutex.h"\n'
+                   "mm::Mutex mu_;\nmm::MutexLock lock(mu_);\n")
+        self.assertEqual(lint_snippet(snippet), [])
+
+    def test_util_is_exempt(self):
+        findings = lint_snippet("std::mutex mu_;\n",
+                                rel="include/mm/util/mutex.h")
+        self.assertEqual(findings, [])
+
+    def test_tests_are_exempt(self):
+        # Scope is include/ + src/: tests may build raw-primitive fixtures.
+        findings = lint_snippet("std::mutex mu_;\n", rel="tests/test_x.cc")
+        self.assertEqual(findings, [])
+
+    def test_commented_mention_is_ignored(self):
+        findings = lint_snippet("// replaces std::mutex with mm::Mutex\n")
+        self.assertEqual(findings, [])
+
+
+class Mml002PoolLeakTest(unittest.TestCase):
+    def test_flags_unreturned_acquire(self):
+        snippet = ("void F(PagePool& pool) {\n"
+                   "  std::vector<std::uint8_t> buf = pool.Acquire(4096);\n"
+                   "  Use(buf);\n"
+                   "}\n")
+        self.assertEqual(rules_of(lint_snippet(snippet)), ["MML002"])
+
+    def test_pool_return_guard_is_clean(self):
+        snippet = ("void F(PagePool& pool) {\n"
+                   "  std::vector<std::uint8_t> buf = pool.Acquire(4096);\n"
+                   "  PoolReturn guard(pool, buf);\n"
+                   "  Use(buf);\n"
+                   "}\n")
+        self.assertEqual(lint_snippet(snippet), [])
+
+    def test_move_handoff_is_clean(self):
+        snippet = ("void F(PagePool& pool_) {\n"
+                   "  auto buf = pool_.AcquireZeroed(64);\n"
+                   "  task.data = std::move(buf);\n"
+                   "}\n")
+        self.assertEqual(lint_snippet(snippet), [])
+
+    def test_explicit_release_is_clean(self):
+        snippet = ("void F(PagePool& pool) {\n"
+                   "  auto buf = pool.Acquire(64);\n"
+                   "  pool.Release(std::move(buf));\n"
+                   "}\n")
+        self.assertEqual(lint_snippet(snippet), [])
+
+    def test_non_pool_acquire_is_ignored(self):
+        snippet = ("void F(DistributedLock& dl) {\n"
+                   "  dl.Acquire(ctx);\n"
+                   "}\n")
+        self.assertEqual(lint_snippet(snippet), [])
+
+
+class Mml003PinBalanceTest(unittest.TestCase):
+    def test_flags_unbalanced_pin(self):
+        snippet = ("void F() {\n"
+                   "  pcache_->Pin(p);\n"
+                   "  pcache_->Pin(q);\n"
+                   "  pcache_->Unpin(p);\n"
+                   "}\n")
+        self.assertEqual(rules_of(lint_snippet(snippet)), ["MML003"])
+
+    def test_balanced_file_is_clean(self):
+        snippet = ("void F() {\n"
+                   "  pcache_->Pin(p);\n"
+                   "  pcache_->Unpin(p);\n"
+                   "}\n")
+        self.assertEqual(lint_snippet(snippet), [])
+
+    def test_pcache_definitions_exempt(self):
+        snippet = "void PCache::Pin(std::uint64_t page) {}\n"
+        self.assertEqual(
+            lint_snippet(snippet, rel="src/core/pcache.cc"), [])
+
+
+class Mml004HotPathTest(unittest.TestCase):
+    def test_flags_check_in_span_subscript(self):
+        snippet = ("T& operator[](std::uint64_t i) {\n"
+                   "  MM_CHECK(i < n_);\n"
+                   "  return *p_;\n"
+                   "}\n")
+        self.assertEqual(
+            rules_of(lint_snippet(snippet, rel="include/mm/core/vector.h")),
+            ["MML004"])
+
+    def test_check_free_hot_function_is_clean(self):
+        snippet = ("T& operator[](std::uint64_t i) {\n"
+                   "  return *p_;\n"
+                   "}\n")
+        self.assertEqual(
+            lint_snippet(snippet, rel="include/mm/core/vector.h"), [])
+
+    def test_flags_check_in_pcache_find(self):
+        snippet = ("PageFrame* PCache::Find(std::uint64_t page) {\n"
+                   "  MM_CHECK_MSG(page < max_, \"bad page\");\n"
+                   "  return nullptr;\n"
+                   "}\n")
+        self.assertEqual(
+            rules_of(lint_snippet(snippet, rel="src/core/pcache.cc")),
+            ["MML004"])
+
+    def test_cold_function_in_hot_file_is_clean(self):
+        snippet = ("void PCache::Validate() {\n"
+                   "  MM_CHECK(frames_.size() <= capacity_);\n"
+                   "}\n")
+        self.assertEqual(lint_snippet(snippet, rel="src/core/pcache.cc"), [])
+
+    def test_declaration_is_not_a_body(self):
+        snippet = "PageFrame* Find(std::uint64_t page);\n"
+        self.assertEqual(lint_snippet(snippet, rel="src/core/pcache.cc"), [])
+
+
+class Mml005VoidDiscardTest(unittest.TestCase):
+    def test_flags_bare_discard(self):
+        snippet = "void F() {\n  (void)DoThing();\n}\n"
+        self.assertEqual(rules_of(lint_snippet(snippet)), ["MML005"])
+
+    def test_same_line_comment_is_clean(self):
+        snippet = "void F() {\n  (void)DoThing();  // teardown path\n}\n"
+        self.assertEqual(lint_snippet(snippet), [])
+
+    def test_preceding_comment_is_clean(self):
+        snippet = ("void F() {\n"
+                   "  // Best-effort cleanup; failure only wastes bytes.\n"
+                   "  (void)DoThing();\n"
+                   "}\n")
+        self.assertEqual(lint_snippet(snippet), [])
+
+    def test_void_cast_in_cast_expression_unflagged(self):
+        # `(void*)` is a pointer cast, not a discard.
+        snippet = "void F() {\n  auto* p = (void*)buf;\n}\n"
+        self.assertEqual(lint_snippet(snippet), [])
+
+
+class SuppressionTest(unittest.TestCase):
+    def test_allow_comment_suppresses_same_line(self):
+        snippet = ("std::mutex mu_;  "
+                   "// mm-lint: allow(MML001 fixture for wrapper tests)\n")
+        self.assertEqual(lint_snippet(snippet), [])
+
+    def test_allow_comment_suppresses_next_line(self):
+        snippet = ("// mm-lint: allow(MML001 fixture for wrapper tests)\n"
+                   "std::mutex mu_;\n")
+        self.assertEqual(lint_snippet(snippet), [])
+
+    def test_allow_without_reason_is_a_finding(self):
+        snippet = "std::mutex mu_;  // mm-lint: allow(MML001)\n"
+        rules = rules_of(lint_snippet(snippet))
+        self.assertIn("MML001", rules)  # reasonless allow does not suppress
+
+    def test_allow_only_covers_named_rule(self):
+        snippet = ("// mm-lint: allow(MML005 audited)\n"
+                   "std::mutex mu_;\n")
+        self.assertEqual(rules_of(lint_snippet(snippet)), ["MML001"])
+
+
+class StripperTest(unittest.TestCase):
+    def test_preserves_offsets(self):
+        text = 'a = "x{y}"; // std::mutex\nb;\n'
+        stripped = mm_lint.strip_comments_and_strings(text)
+        self.assertEqual(len(stripped), len(text))
+        self.assertEqual(stripped.count("\n"), text.count("\n"))
+        self.assertNotIn("mutex", stripped)
+        self.assertNotIn("{", stripped)
+
+
+class TreeTest(unittest.TestCase):
+    def test_repo_tree_is_clean(self):
+        root = os.path.dirname(
+            os.path.dirname(os.path.abspath(mm_lint.__file__)))
+        findings = []
+        for path in mm_lint.collect_files(root):
+            findings.extend(mm_lint.lint_file(path, root))
+        self.assertEqual([str(f) for f in findings], [])
+
+
+if __name__ == "__main__":
+    unittest.main()

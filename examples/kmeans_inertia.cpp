@@ -63,6 +63,7 @@ int main() {
                   sizeof(Point3));
     }
     if (resolved->first->Exists(resolved->second)) {
+      // Best-effort cleanup of a previous run's file.
       (void)resolved->first->Remove(resolved->second);
     }
     if (!resolved->first->Create(resolved->second, raw.size()).ok() ||

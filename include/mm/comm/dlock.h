@@ -7,9 +7,8 @@
 // the protected critical sections are genuinely exclusive.
 #pragma once
 
-#include <mutex>
-
 #include "mm/comm/world.h"
+#include "mm/util/mutex.h"
 
 namespace mm::comm {
 
@@ -21,10 +20,10 @@ class DistributedLock {
 
   /// Blocks until the lock is held; charges the round trip and any wait for
   /// the previous holder to the caller's virtual clock.
-  void Acquire(RankContext& ctx);
+  void Acquire(RankContext& ctx) MM_ACQUIRE(mu_);
 
   /// Releases the lock; charges the release notification.
-  void Release(RankContext& ctx);
+  void Release(RankContext& ctx) MM_RELEASE(mu_);
 
   /// RAII guard.
   class Guard {
@@ -44,8 +43,8 @@ class DistributedLock {
  private:
   World* world_;
   std::size_t home_node_;
-  std::mutex mu_;
-  sim::SimTime last_release_ = 0.0;
+  Mutex mu_;
+  sim::SimTime last_release_ MM_GUARDED_BY(mu_) = 0.0;
 };
 
 }  // namespace mm::comm

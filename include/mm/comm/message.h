@@ -4,13 +4,12 @@
 // receiver's clock to at least that time.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <vector>
 
 #include "mm/sim/virtual_clock.h"
+#include "mm/util/mutex.h"
 
 namespace mm::comm {
 
@@ -29,15 +28,15 @@ class Mailbox {
  public:
   void Deposit(Message msg) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       messages_.push_back(std::move(msg));
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 
   /// Blocks until a message from `src` (or any source) with `tag` arrives.
   Message Take(int src, int tag) {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     while (true) {
       for (auto it = messages_.begin(); it != messages_.end(); ++it) {
         if ((src == kAnySource || it->src == src) && it->tag == tag) {
@@ -46,13 +45,13 @@ class Mailbox {
           return msg;
         }
       }
-      cv_.wait(lock);
+      cv_.Wait(lock);
     }
   }
 
   /// Non-blocking probe: true if a matching message is queued.
   bool Probe(int src, int tag) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (const auto& msg : messages_) {
       if ((src == kAnySource || msg.src == src) && msg.tag == tag) return true;
     }
@@ -60,14 +59,14 @@ class Mailbox {
   }
 
   std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return messages_.size();
   }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::list<Message> messages_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::list<Message> messages_ MM_GUARDED_BY(mu_);
 };
 
 }  // namespace mm::comm

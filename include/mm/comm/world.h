@@ -3,15 +3,14 @@
 // (launch.h); application code talks to it through Communicator.
 #pragma once
 
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "mm/comm/message.h"
 #include "mm/sim/cluster.h"
 #include "mm/sim/cost_model.h"
 #include "mm/sim/virtual_clock.h"
+#include "mm/util/mutex.h"
 
 namespace mm::comm {
 
@@ -44,12 +43,12 @@ class World {
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
 
   // Reusable generation-counted barrier.
-  std::mutex barrier_mu_;
-  std::condition_variable barrier_cv_;
-  int barrier_count_ = 0;
-  std::uint64_t barrier_generation_ = 0;
-  sim::SimTime barrier_max_ = 0.0;
-  sim::SimTime barrier_release_ = 0.0;
+  Mutex barrier_mu_;
+  CondVar barrier_cv_;
+  int barrier_count_ MM_GUARDED_BY(barrier_mu_) = 0;
+  std::uint64_t barrier_generation_ MM_GUARDED_BY(barrier_mu_) = 0;
+  sim::SimTime barrier_max_ MM_GUARDED_BY(barrier_mu_) = 0.0;
+  sim::SimTime barrier_release_ MM_GUARDED_BY(barrier_mu_) = 0.0;
 };
 
 /// Per-rank execution context handed to the application body. Carries the

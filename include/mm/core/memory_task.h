@@ -9,13 +9,13 @@
 #include <cstring>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "mm/sim/virtual_clock.h"
 #include "mm/storage/blob.h"
+#include "mm/util/mutex.h"
 #include "mm/util/status.h"
 
 namespace mm::core {
@@ -43,7 +43,7 @@ class PagePool {
   /// A buffer of exactly `bytes` size; contents unspecified.
   std::vector<std::uint8_t> Acquire(std::uint64_t bytes) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       auto it = buckets_.find(bytes);
       if (it != buckets_.end() && !it->second.empty()) {
         std::vector<std::uint8_t> buf = std::move(it->second.back());
@@ -71,7 +71,7 @@ class PagePool {
   void Release(std::vector<std::uint8_t>&& buf) {
     const std::uint64_t cap = buf.capacity();
     if (cap == 0) return;
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (pooled_bytes_ + cap > max_bytes_) return;  // buf frees on scope exit
     pooled_bytes_ += cap;
     buf.clear();
@@ -87,18 +87,18 @@ class PagePool {
     return reuses_.load(std::memory_order_relaxed);
   }
   std::uint64_t pooled_bytes() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return pooled_bytes_;
   }
 
  private:
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   std::uint64_t max_bytes_;
-  std::uint64_t pooled_bytes_ = 0;
+  std::uint64_t pooled_bytes_ MM_GUARDED_BY(mu_) = 0;
   std::atomic<std::uint64_t> allocations_{0};
   std::atomic<std::uint64_t> reuses_{0};
   std::unordered_map<std::uint64_t, std::vector<std::vector<std::uint8_t>>>
-      buckets_;  // keyed by capacity
+      buckets_ MM_GUARDED_BY(mu_);  // keyed by capacity
 };
 
 /// RAII guard returning a buffer to its pool on every exit path (success

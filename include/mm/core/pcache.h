@@ -8,6 +8,13 @@
 // to date by Find/Insert/MarkDirty, so PickVictim is a list-front read, not
 // a scan over all resident frames. Pinned frames (span access) are removed
 // from both lists entirely and can never be chosen as victims.
+//
+// Concurrency contract: PCache is deliberately single-threaded — each
+// instance is owned by exactly one rank's Vector and never shared, so it
+// carries no mutex and no thread-safety annotations. Cross-rank page state
+// lives behind the Service/BufferManager locks instead. Do not add a
+// "just in case" mutex here: Find/Touch/PickVictim are on the DESIGN.md §7
+// hot path and must stay lock- and check-free (lint rule MML004).
 #pragma once
 
 #include <cstdint>

@@ -6,11 +6,9 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <optional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -27,6 +25,7 @@
 #include "mm/storage/metadata.h"
 #include "mm/storage/stager.h"
 #include "mm/util/blocking_queue.h"
+#include "mm/util/mutex.h"
 
 namespace mm::core {
 
@@ -44,8 +43,8 @@ struct VectorMeta {
   std::atomic<CoherenceMode> mode{CoherenceMode::kReadWriteGlobal};
   VectorOptions options;
   std::atomic<bool> destroyed{false};
-  std::mutex backend_mu;               // serializes backend object creation
-  bool backend_ready = false;
+  Mutex backend_mu;                    // serializes backend object creation
+  bool backend_ready MM_GUARDED_BY(backend_mu) = false;
 
   /// PGAS placement hint (set by Vector::Pgas): maps pages to the node of
   /// the rank that owns them, giving unplaced pages a deterministic AND
@@ -55,8 +54,8 @@ struct VectorMeta {
     int nprocs = 0;
     int ranks_per_node = 0;
   };
-  std::mutex hint_mu;
-  std::optional<PgasHint> pgas_hint;
+  Mutex hint_mu;
+  std::optional<PgasHint> pgas_hint MM_GUARDED_BY(hint_mu);
 
   std::uint64_t num_elements() const {
     return size_bytes.load(std::memory_order_relaxed) / elem_size;
@@ -291,12 +290,15 @@ class Service {
   std::unique_ptr<storage::MetadataManager> metadata_;
   std::vector<std::unique_ptr<NodeRuntime>> runtimes_;
 
-  mutable std::mutex lost_mu_;
-  std::unordered_set<storage::BlobId, storage::BlobIdHash> lost_;
+  mutable Mutex lost_mu_;
+  std::unordered_set<storage::BlobId, storage::BlobIdHash> lost_
+      MM_GUARDED_BY(lost_mu_);
 
-  std::mutex vectors_mu_;
-  std::map<std::string, std::unique_ptr<VectorMeta>> vectors_;
-  std::unordered_map<std::uint64_t, VectorMeta*> vectors_by_id_;
+  Mutex vectors_mu_;
+  std::map<std::string, std::unique_ptr<VectorMeta>> vectors_
+      MM_GUARDED_BY(vectors_mu_);
+  std::unordered_map<std::uint64_t, VectorMeta*> vectors_by_id_
+      MM_GUARDED_BY(vectors_mu_);
 
   // Per-node in-flight page-fault dedup: concurrent faults for the same
   // blob on one node share one fetch (also how MM_COLLECTIVE transactions
@@ -311,12 +313,14 @@ class Service {
       return HashCombine(k.id.Digest(), k.node);
     }
   };
-  std::mutex inflight_mu_;
+  Mutex inflight_mu_;
   std::unordered_map<InflightKey, std::shared_future<TaskOutcome>,
                      InflightKeyHash>
-      inflight_;
+      inflight_ MM_GUARDED_BY(inflight_mu_);
 
-  bool shut_down_ = false;
+  // Atomic (not merely guarded) because ~Service and an explicit Shutdown
+  // may race from different threads; exchange() makes shutdown idempotent.
+  std::atomic<bool> shut_down_{false};
 };
 
 }  // namespace mm::core

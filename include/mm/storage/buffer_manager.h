@@ -15,7 +15,6 @@
 
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -23,6 +22,7 @@
 #include "mm/sim/cluster.h"
 #include "mm/sim/fault.h"
 #include "mm/storage/tier_store.h"
+#include "mm/util/mutex.h"
 #include "mm/util/retry.h"
 
 namespace mm::storage {
@@ -118,28 +118,57 @@ class BufferManager {
     std::vector<BlobId> lost;
   };
 
+  // Lock-holding bodies of the public entry points. Split out (instead of
+  // immediately-invoked lambdas) so the thread-safety analysis can check
+  // them: a lambda body is a separate, unannotated function to Clang.
+  StatusOr<std::size_t> PutScoredLocked(const BlobId& id,
+                                        std::vector<std::uint8_t> data,
+                                        float score, sim::SimTime now,
+                                        sim::SimTime* done) MM_REQUIRES(mu_);
+  Status PutPartialLocked(const BlobId& id, std::uint64_t offset,
+                          const std::vector<std::uint8_t>& data,
+                          sim::SimTime now, sim::SimTime* done)
+      MM_REQUIRES(mu_);
+  StatusOr<std::vector<std::uint8_t>> GetLocked(const BlobId& id,
+                                                sim::SimTime now,
+                                                sim::SimTime* done)
+      MM_REQUIRES(mu_);
+  Status GetIntoLocked(const BlobId& id, std::vector<std::uint8_t>* out,
+                       sim::SimTime now, sim::SimTime* done) MM_REQUIRES(mu_);
+  StatusOr<std::vector<std::uint8_t>> GetPartialLocked(const BlobId& id,
+                                                       std::uint64_t offset,
+                                                       std::uint64_t size,
+                                                       sim::SimTime now,
+                                                       sim::SimTime* done)
+      MM_REQUIRES(mu_);
+
   /// Moves one blob from tier `from` to tier `to` (charges both devices).
+  /// Holds mu_ for the whole placement decision it is part of.
   Status Move(const BlobId& id, std::size_t from, std::size_t to,
-              sim::SimTime now, sim::SimTime* done);
+              sim::SimTime now, sim::SimTime* done) MM_REQUIRES(mu_);
 
   /// Tries to free `needed` bytes in tier `t` by demoting blobs scoring
   /// below `incoming_score` to lower tiers (ties also move when
   /// `allow_ties`, used for cascaded demotions so equal-score data flows
   /// downward instead of wedging the hierarchy). Returns true on success.
   bool MakeRoom(std::size_t t, std::uint64_t needed, float incoming_score,
-                bool allow_ties, sim::SimTime now, sim::SimTime* done);
+                bool allow_ties, sim::SimTime now, sim::SimTime* done)
+      MM_REQUIRES(mu_);
 
-  /// Drains any tier that failed but has not been drained yet; must hold
-  /// mu_. Collected failures are reported via NotifyFailures after unlock.
-  std::vector<PendingFailure> CollectFailuresLocked();
-  void NotifyFailures(std::vector<PendingFailure> failures, sim::SimTime now);
+  /// Drains any tier that failed but has not been drained yet. Collected
+  /// failures are reported via NotifyFailures after unlock.
+  std::vector<PendingFailure> CollectFailuresLocked() MM_REQUIRES(mu_);
+  /// Invokes the failure handler outside mu_ (the handler re-enters the
+  /// manager through Service recovery).
+  void NotifyFailures(std::vector<PendingFailure> failures, sim::SimTime now)
+      MM_EXCLUDES(mu_);
 
   std::vector<std::unique_ptr<TierStore>> tiers_;
   RetryPolicy retry_;
-  mutable std::mutex mu_;  // guards scores_ and placement orchestration
-  std::unordered_map<BlobId, float, BlobIdHash> scores_;
-  std::vector<bool> tier_drained_;  // guarded by mu_
-  TierFailureHandler failure_handler_;  // set once before use
+  mutable Mutex mu_;  // guards scores_ and placement orchestration
+  std::unordered_map<BlobId, float, BlobIdHash> scores_ MM_GUARDED_BY(mu_);
+  std::vector<bool> tier_drained_ MM_GUARDED_BY(mu_);
+  TierFailureHandler failure_handler_ MM_GUARDED_BY(mu_);
 };
 
 }  // namespace mm::storage

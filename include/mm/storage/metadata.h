@@ -5,7 +5,6 @@
 // the read-only-global coherence policy (paper Fig. 3).
 #pragma once
 
-#include <mutex>
 #include <optional>
 #include <set>
 #include <unordered_map>
@@ -13,6 +12,7 @@
 
 #include "mm/sim/network.h"
 #include "mm/storage/blob.h"
+#include "mm/util/mutex.h"
 #include "mm/util/status.h"
 
 namespace mm::storage {
@@ -81,8 +81,8 @@ class MetadataManager {
     std::vector<std::size_t> replicas;
   };
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<BlobId, Entry, BlobIdHash> entries;
+    mutable Mutex mu;
+    std::unordered_map<BlobId, Entry, BlobIdHash> entries MM_GUARDED_BY(mu);
   };
 
   /// Charges the control-message round trip to the home shard.

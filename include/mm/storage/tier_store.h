@@ -14,13 +14,13 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "mm/sim/device.h"
 #include "mm/sim/fault.h"
 #include "mm/storage/blob.h"
+#include "mm/util/mutex.h"
 #include "mm/util/status.h"
 
 namespace mm::storage {
@@ -38,7 +38,7 @@ class TierStore {
   /// Granted capacity; 0 once the tier has failed so placement skips it.
   std::uint64_t capacity() const { return failed() ? 0 : capacity_; }
   std::uint64_t used() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return used_;
   }
   sim::Device& device() { return *device_; }
@@ -80,11 +80,11 @@ class TierStore {
   std::uint64_t BlobSize(const BlobId& id) const;
   std::uint64_t free_bytes() const {
     if (failed()) return 0;
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return capacity_ - used_;
   }
   std::size_t num_blobs() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return blobs_.size();
   }
 
@@ -120,9 +120,10 @@ class TierStore {
   std::uint64_t capacity_;
   sim::FaultInjector* injector_;
   mutable std::atomic<bool> failed_{false};
-  mutable std::mutex mu_;
-  std::uint64_t used_ = 0;
-  std::unordered_map<BlobId, std::vector<std::uint8_t>, BlobIdHash> blobs_;
+  mutable Mutex mu_;
+  std::uint64_t used_ MM_GUARDED_BY(mu_) = 0;
+  std::unordered_map<BlobId, std::vector<std::uint8_t>, BlobIdHash> blobs_
+      MM_GUARDED_BY(mu_);
 };
 
 }  // namespace mm::storage

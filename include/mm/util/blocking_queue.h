@@ -1,12 +1,18 @@
 // Unbounded MPMC blocking queue used for MemoryTask submission between the
 // MegaMmap library (application ranks) and the runtime's workers.
+//
+// Concurrency contract (compiler-checked under -Wthread-safety): all state
+// is guarded by mu_; Close() is the only shutdown signal and is ordered
+// with Push/Pop through mu_ — a Push that loses the race to Close returns
+// false without consuming the item, and Pop drains remaining items before
+// reporting closure (see test_blocking_queue.cc "CloseRace" TSan tests).
 #pragma once
 
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "mm/util/mutex.h"
 
 namespace mm {
 
@@ -18,30 +24,30 @@ class BlockingQueue {
   /// fulfill the rejected task's promise.
   bool Push(T&& item) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (closed_) return false;
       items_.push_back(std::move(item));
     }
-    cv_.notify_one();
+    cv_.NotifyOne();
     return true;
   }
 
   /// Copying overload for lvalue items.
   bool Push(const T& item) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (closed_) return false;
       items_.push_back(item);
     }
-    cv_.notify_one();
+    cv_.NotifyOne();
     return true;
   }
 
   /// Blocks until an item is available or the queue is closed.
   /// Returns nullopt only after Close() once the queue has drained.
   std::optional<T> Pop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+    MutexLock lock(mu_);
+    while (items_.empty() && !closed_) cv_.Wait(lock);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -50,7 +56,7 @@ class BlockingQueue {
 
   /// Non-blocking pop.
   std::optional<T> TryPop() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -61,27 +67,27 @@ class BlockingQueue {
   /// once remaining items drain.
   void Close() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       closed_ = true;
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 
   bool closed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return closed_;
   }
 
   std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return items_.size();
   }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<T> items_ MM_GUARDED_BY(mu_);
+  bool closed_ MM_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace mm

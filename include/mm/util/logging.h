@@ -3,9 +3,11 @@
 // default warn) so tests and benches stay quiet unless asked.
 #pragma once
 
-#include <mutex>
+#include <atomic>
 #include <sstream>
 #include <string>
+
+#include "mm/util/mutex.h"
 
 namespace mm {
 
@@ -23,11 +25,15 @@ class Logger {
  public:
   static Logger& Get();
 
-  LogLevel level() const { return level_; }
-  void set_level(LogLevel level) { level_ = level; }
+  // The level is a lock-free atomic: Enabled() sits on every log-statement
+  // fast path and set_level may race with logging threads in tests.
+  LogLevel level() const { return level_.load(std::memory_order_relaxed); }
+  void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
 
   bool Enabled(LogLevel level) const {
-    return static_cast<int>(level) >= static_cast<int>(level_);
+    return static_cast<int>(level) >= static_cast<int>(this->level());
   }
 
   /// Writes one formatted line ("[LEVEL] module: message").
@@ -36,8 +42,8 @@ class Logger {
 
  private:
   Logger();
-  LogLevel level_;
-  std::mutex mu_;
+  std::atomic<LogLevel> level_;
+  Mutex mu_;  // serializes Write so lines never interleave on stderr
 };
 
 /// Parses a level name; defaults to kWarn on unknown input.

@@ -35,8 +35,10 @@ enum class StatusCode : std::uint8_t {
 /// Human-readable name for a StatusCode.
 const char* StatusCodeName(StatusCode code);
 
-/// A success-or-error result with an optional message.
-class Status {
+/// A success-or-error result with an optional message. [[nodiscard]]: a
+/// dropped Status is a swallowed failure, so every discarded result must be
+/// an explicit, commented `(void)` cast (mm_lint rule MML005).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -106,7 +108,7 @@ inline Status DataLoss(std::string msg) {
 /// Value-or-Status. Accessing value() on an error aborts via exception,
 /// so callers must check ok() (or use MM_ASSIGN_OR_RETURN).
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   StatusOr(T value) : value_(std::move(value)) {}
   StatusOr(Status status) : status_(std::move(status)) {

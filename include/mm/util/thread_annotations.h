@@ -1,0 +1,81 @@
+// Clang thread-safety-analysis attribute macros (the compiler-checked lock
+// contracts behind `-Wthread-safety`). Under Clang these expand to the
+// `capability`/`guarded_by`/`acquire_capability`/... attributes; under GCC
+// and every other compiler they compile away to nothing, so the annotations
+// are free documentation there and machine-checked contracts in the
+// `thread-safety` CI job.
+//
+// Usage vocabulary (see DESIGN.md §10 for the repo-wide contracts):
+//   - MM_GUARDED_BY(mu)  on a field: reads/writes require holding `mu`.
+//   - MM_REQUIRES(mu)    on a function: callers must already hold `mu`.
+//   - MM_ACQUIRE / MM_RELEASE on functions that lock/unlock across calls
+//     (e.g. DistributedLock::Acquire/Release).
+//   - MM_EXCLUDES(mu)    on a function that must NOT be entered with `mu`
+//     held (re-entrancy guard).
+//   - MM_NO_THREAD_SAFETY_ANALYSIS as a last-resort escape hatch; every use
+//     must carry a comment explaining why the analysis cannot see the
+//     invariant.
+#pragma once
+
+#if defined(__clang__)
+#define MM_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define MM_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op on GCC/MSVC
+#endif
+
+/// Marks a class as a lockable capability (e.g. mm::Mutex).
+#define MM_CAPABILITY(x) MM_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases.
+#define MM_SCOPED_CAPABILITY MM_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+/// Field may only be accessed while holding the given capability.
+#define MM_GUARDED_BY(x) MM_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+/// Pointer field: the *pointed-to* data is protected by the capability.
+#define MM_PT_GUARDED_BY(x) MM_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+/// Lock-ordering declarations (deadlock prevention).
+#define MM_ACQUIRED_BEFORE(...) \
+  MM_THREAD_ANNOTATION_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+#define MM_ACQUIRED_AFTER(...) \
+  MM_THREAD_ANNOTATION_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+
+/// Function requires the capability to be held on entry (and keeps it held).
+#define MM_REQUIRES(...) \
+  MM_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+#define MM_REQUIRES_SHARED(...) \
+  MM_THREAD_ANNOTATION_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it past return.
+#define MM_ACQUIRE(...) \
+  MM_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+#define MM_ACQUIRE_SHARED(...) \
+  MM_THREAD_ANNOTATION_ATTRIBUTE__(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases a capability held on entry.
+#define MM_RELEASE(...) \
+  MM_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+#define MM_RELEASE_SHARED(...) \
+  MM_THREAD_ANNOTATION_ATTRIBUTE__(release_shared_capability(__VA_ARGS__))
+
+/// Function tries to acquire; first argument is the success return value.
+#define MM_TRY_ACQUIRE(...) \
+  MM_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+/// Function must not be entered while holding the capability.
+#define MM_EXCLUDES(...) \
+  MM_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (teaches the analysis).
+#define MM_ASSERT_CAPABILITY(x) \
+  MM_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+
+/// Function returns a reference to the given capability.
+#define MM_RETURN_CAPABILITY(x) \
+  MM_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use must be
+/// justified with a comment.
+#define MM_NO_THREAD_SAFETY_ANALYSIS \
+  MM_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)

@@ -613,7 +613,7 @@ DbscanResult DbscanMpi(comm::Communicator& comm,
   // points evenly among themselves.
   ExchangeFn robust = [&](comm::Communicator& c, int side, int level,
                           const std::vector<IdxPoint>& outgoing) {
-    (void)level;
+    (void)level;  // recursion depth is irrelevant to the robust exchange
     comm::RankContext& ctx = c.ctx();
     // Everyone publishes its outgoing points; destination side is the
     // opposite of the sender's, so tag each batch with the sender's side.

@@ -11,7 +11,7 @@ void DistributedLock::Acquire(RankContext& ctx) {
   // Request reaches the home node...
   auto req = world_->cluster().network().Transfer(
       ctx.clock().now(), ctx.node(), home_node_, kControlBytes);
-  mu_.lock();  // real mutual exclusion; blocks until predecessor releases
+  mu_.Lock();  // real mutual exclusion; blocks until predecessor releases
   // ...the grant is issued once the previous holder's release arrived.
   sim::SimTime grant_start = std::max(req.delivered, last_release_);
   auto grant = world_->cluster().network().Transfer(grant_start, home_node_,
@@ -23,7 +23,7 @@ void DistributedLock::Release(RankContext& ctx) {
   auto rel = world_->cluster().network().Transfer(
       ctx.clock().now(), ctx.node(), home_node_, kControlBytes);
   last_release_ = rel.delivered;
-  mu_.unlock();
+  mu_.Unlock();
 }
 
 }  // namespace mm::comm

@@ -1,10 +1,10 @@
 #include "mm/comm/launch.h"
 
-#include <mutex>
 #include <thread>
 
 #include "mm/sim/oom.h"
 #include "mm/util/logging.h"
+#include "mm/util/mutex.h"
 
 namespace mm::comm {
 
@@ -13,7 +13,7 @@ RunResult RunRanks(sim::Cluster& cluster, int num_ranks, int ranks_per_node,
   World world(&cluster, num_ranks, ranks_per_node);
   RunResult result;
   result.rank_times.assign(num_ranks, 0.0);
-  std::mutex result_mu;
+  mm::Mutex result_mu;
 
   std::vector<std::thread> threads;
   threads.reserve(num_ranks);
@@ -22,15 +22,15 @@ RunResult RunRanks(sim::Cluster& cluster, int num_ranks, int ranks_per_node,
       RankContext ctx(&world, rank);
       try {
         body(ctx);
-        std::lock_guard<std::mutex> lock(result_mu);
+        mm::MutexLock lock(result_mu);
         result.rank_times[rank] = ctx.clock().now();
       } catch (const sim::SimOutOfMemoryError& e) {
-        std::lock_guard<std::mutex> lock(result_mu);
+        mm::MutexLock lock(result_mu);
         result.oom = true;
         result.rank_times[rank] = ctx.clock().now();
         MM_DEBUG("launch") << "rank " << rank << " OOM-killed: " << e.what();
       } catch (const std::exception& e) {
-        std::lock_guard<std::mutex> lock(result_mu);
+        mm::MutexLock lock(result_mu);
         if (result.error.empty()) {
           result.error = std::string("rank ") + std::to_string(rank) + ": " +
                          e.what();

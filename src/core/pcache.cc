@@ -26,7 +26,7 @@ PageFrame* PCache::Insert(std::uint64_t page, std::vector<std::uint8_t> data) {
   frame.dirty.Resize(elems_per_page_);
   frame.page = page;
   auto [ins, inserted] = frames_.emplace(page, std::move(frame));
-  (void)inserted;
+  (void)inserted;  // caller checked Find() first, so the emplace always inserts
   PageFrame* f = &ins->second;
   MoveToList(f, PageFrame::Residency::kClean);
   return f;

@@ -184,7 +184,9 @@ TaskOutcome NodeRuntime::StageInOrZero(VectorMeta& meta,
   std::uint64_t page_off = id.page_idx * meta.page_bytes;
   std::uint64_t logical = meta.size_bytes.load(std::memory_order_relaxed);
   // Pooled and explicitly zeroed: a recycled buffer must not leak a
-  // previous page's bytes into a logically-fresh page.
+  // previous page's bytes into a logically-fresh page. Ownership travels
+  // out as the TaskOutcome payload; the worker recycles it after use.
+  // mm-lint: allow(MML002 buffer leaves as the returned outcome payload)
   out.data = pool_.AcquireZeroed(meta.page_bytes);
   if (meta.stager != nullptr && page_off < logical) {
     std::uint64_t want = std::min(meta.page_bytes, logical - page_off);
@@ -192,7 +194,7 @@ TaskOutcome NodeRuntime::StageInOrZero(VectorMeta& meta,
     bool exists = false;
     std::uint64_t backend_size = 0;
     {
-      std::lock_guard<std::mutex> lock(meta.backend_mu);
+      MutexLock lock(meta.backend_mu);
       exists = meta.backend_ready || meta.stager->Exists(meta.uri);
     }
     if (exists) {
@@ -236,7 +238,10 @@ TaskOutcome NodeRuntime::ExecuteGetPage(MemoryTask& task) {
       // Silent media corruption. Drop the bad copy; a clean page self-heals
       // from the backend below, a dirty page's modifications are gone.
       corrupted = true;
+      // Best-effort cleanup of the poisoned copy: the page is re-fetched
+      // from the backend below, so a failed erase only wastes cache bytes.
       (void)bm_.Erase(task.id);
+      // Same best-effort cleanup; the directory entry is rewritten below.
       (void)service_->metadata().Remove(task.id, node_id_, dev_done, nullptr);
       if (cur->dirty) {
         service_->RecordDataLoss(task.id);
@@ -273,6 +278,8 @@ TaskOutcome NodeRuntime::ExecuteGetPage(MemoryTask& task) {
       out.done = dev_done;
       return out;
     }
+    // The stale frame is replaced by the fresh Put below; a failed erase
+    // is corrected by the exact-accounting drop in PutScored.
     (void)bm_.Erase(task.id);
   }
   VectorMeta* meta = service_->FindVectorById(task.id.vector_id);
@@ -305,6 +312,8 @@ TaskOutcome NodeRuntime::ExecuteGetPage(MemoryTask& task) {
     loc.dirty = false;
     loc.version = prev.ok() ? prev->version : 0;
     loc.crc = Crc32(out.data);
+    // Directory upsert on the home shard cannot fail; timing is charged
+    // through `done` on the read path instead.
     (void)service_->metadata().Update(task.id, loc, node_id_, out.done,
                                       nullptr);
     out.version = loc.version;
@@ -406,6 +415,8 @@ TaskOutcome NodeRuntime::ExecuteWritePartial(MemoryTask& task) {
       loc.tier = sim::TierKind::kPfs;
       loc.dirty = false;  // already persistent
     }
+    // Directory upsert cannot fail; the write outcome already carries the
+    // authoritative status.
     (void)service_->metadata().Update(task.id, loc, node_id_, dev_done,
                                       nullptr);
     out.version = loc.version;
@@ -425,6 +436,7 @@ TaskOutcome NodeRuntime::ExecuteWritePartial(MemoryTask& task) {
     ++updated.version;
     auto crc = bm_.Checksum(task.id);
     updated.crc = crc.ok() ? *crc : 0;
+    // Directory upsert cannot fail; the commit's status is what callers see.
     (void)service_->metadata().Update(task.id, updated, node_id_, dev_done,
                                       nullptr);
     out.version = updated.version;
@@ -462,8 +474,17 @@ TaskOutcome NodeRuntime::ExecuteStageOut(MemoryTask& task) {
   std::vector<std::uint8_t> buf = pool_.Acquire(meta->page_bytes);
   PoolReturn buf_guard(pool_, buf);
   Status got = bm_.GetInto(task.id, &buf, task.issue_time, &read_done);
-  if (!got.ok()) {
+  if (got.code() == StatusCode::kNotFound) {
     // Nothing resident to persist (already staged or never written).
+    return out;
+  }
+  if (!got.ok()) {
+    // A resident page may exist but the tier read failed (kIoError with
+    // retries exhausted, kUnavailable after a tier death). Returning OK
+    // here would report a dirty page as persisted when it was not —
+    // propagate so FlushVector surfaces the failure.
+    out.status = got;
+    out.done = read_done;
     return out;
   }
   Status eb = service_->EnsureBackend(*meta);
@@ -487,6 +508,7 @@ TaskOutcome NodeRuntime::ExecuteStageOut(MemoryTask& task) {
   if (loc.ok()) {
     storage::BlobLocation updated = *loc;
     updated.dirty = false;
+    // Directory upsert cannot fail; staging already reported its status.
     (void)service_->metadata().Update(task.id, updated, node_id_, out.done,
                                       nullptr);
   }
@@ -528,14 +550,14 @@ Service::Service(sim::Cluster* cluster, ServiceOptions options)
 Service::~Service() { Shutdown(); }
 
 void Service::Shutdown() {
-  if (shut_down_) return;
+  if (shut_down_.exchange(true)) return;
   // Persist every nonvolatile vector before the runtimes die ("during the
   // termination of the runtime, the stager task will be scheduled").
   std::vector<VectorMeta*> to_flush;
   {
     // Collect outside the lock: stage-out workers call FindVectorById,
     // which takes vectors_mu_.
-    std::lock_guard<std::mutex> lock(vectors_mu_);
+    MutexLock lock(vectors_mu_);
     for (auto& [key, meta] : vectors_) {
       if (meta->stager != nullptr && !meta->destroyed.load()) {
         to_flush.push_back(meta.get());
@@ -549,7 +571,6 @@ void Service::Shutdown() {
                          << "' failed: " << st.ToString();
     }
   }
-  shut_down_ = true;
   for (auto& rt : runtimes_) rt->Shutdown();
   for (std::size_t n = 0; n < runtimes_.size(); ++n) {
     for (const auto& grant : options_.tier_grants) {
@@ -565,7 +586,7 @@ StatusOr<VectorMeta*> Service::RegisterVector(const std::string& key,
                                               const VectorOptions& options,
                                               std::uint64_t initial_elems) {
   MM_CHECK(elem_size > 0);
-  std::lock_guard<std::mutex> lock(vectors_mu_);
+  MutexLock lock(vectors_mu_);
   auto it = vectors_.find(key);
   if (it != vectors_.end()) {
     VectorMeta* meta = it->second.get();
@@ -594,6 +615,9 @@ StatusOr<VectorMeta*> Service::RegisterVector(const std::string& key,
       MM_ASSIGN_OR_RETURN(std::uint64_t backend_size,
                           meta->stager->Size(meta->uri));
       meta->size_bytes.store(backend_size);
+      // The meta is not yet published, but backend_ready's lock contract is
+      // per-field, so honor it here too (and it orders with EnsureBackend).
+      MutexLock backend_lock(meta->backend_mu);
       meta->backend_ready = true;
     } else {
       meta->size_bytes.store(initial_elems * elem_size);
@@ -608,13 +632,13 @@ StatusOr<VectorMeta*> Service::RegisterVector(const std::string& key,
 }
 
 VectorMeta* Service::FindVector(const std::string& key) {
-  std::lock_guard<std::mutex> lock(vectors_mu_);
+  MutexLock lock(vectors_mu_);
   auto it = vectors_.find(key);
   return it == vectors_.end() ? nullptr : it->second.get();
 }
 
 void Service::SetPgasHint(VectorMeta& meta, VectorMeta::PgasHint hint) {
-  std::lock_guard<std::mutex> lock(meta.hint_mu);
+  MutexLock lock(meta.hint_mu);
   meta.pgas_hint = hint;
 }
 
@@ -622,7 +646,7 @@ std::size_t Service::DefaultOwner(VectorMeta& meta,
                                   const storage::BlobId& id) {
   std::optional<VectorMeta::PgasHint> hint;
   {
-    std::lock_guard<std::mutex> lock(meta.hint_mu);
+    MutexLock lock(meta.hint_mu);
     hint = meta.pgas_hint;
   }
   if (!hint.has_value() || hint->n_elems == 0 || hint->nprocs <= 0) {
@@ -663,6 +687,8 @@ void Service::OnTierFailure(std::size_t node, sim::TierKind tier,
       // The only copy of unstaged modifications went down with the tier.
       // Record typed data loss; accesses surface kDataLoss, not an abort.
       RecordDataLoss(id);
+      // Idempotent drop of the lost page's directory entry; kNotFound on a
+      // concurrent removal is fine.
       (void)metadata().Remove(id, node, now, nullptr);
       continue;
     }
@@ -685,27 +711,27 @@ void Service::OnTierFailure(std::size_t node, sim::TierKind tier,
 }
 
 void Service::RecordDataLoss(const storage::BlobId& id) {
-  std::lock_guard<std::mutex> lock(lost_mu_);
+  MutexLock lock(lost_mu_);
   lost_.insert(id);
 }
 
 bool Service::IsDataLost(const storage::BlobId& id) const {
-  std::lock_guard<std::mutex> lock(lost_mu_);
+  MutexLock lock(lost_mu_);
   return lost_.count(id) > 0;
 }
 
 void Service::ClearDataLoss(const storage::BlobId& id) {
-  std::lock_guard<std::mutex> lock(lost_mu_);
+  MutexLock lock(lost_mu_);
   lost_.erase(id);
 }
 
 std::size_t Service::data_loss_count() const {
-  std::lock_guard<std::mutex> lock(lost_mu_);
+  MutexLock lock(lost_mu_);
   return lost_.size();
 }
 
 VectorMeta* Service::FindVectorById(std::uint64_t vector_id) {
-  std::lock_guard<std::mutex> lock(vectors_mu_);
+  MutexLock lock(vectors_mu_);
   auto it = vectors_by_id_.find(vector_id);
   return it == vectors_by_id_.end() ? nullptr : it->second;
 }
@@ -714,7 +740,7 @@ Status Service::EnsureBackend(VectorMeta& meta) {
   if (meta.stager == nullptr) {
     return FailedPrecondition("vector '" + meta.key + "' is volatile");
   }
-  std::lock_guard<std::mutex> lock(meta.backend_mu);
+  MutexLock lock(meta.backend_mu);
   if (meta.backend_ready) return Status::Ok();
   std::uint64_t size = meta.size_bytes.load(std::memory_order_relaxed);
   if (!meta.stager->Exists(meta.uri)) {
@@ -741,7 +767,6 @@ StatusOr<std::vector<std::uint8_t>> Service::ReadPage(VectorMeta& meta,
                                                       sim::SimTime* done,
                                                       std::uint64_t* version) {
   storage::BlobId id{meta.vector_id, page};
-  CoherenceMode mode = meta.mode.load(std::memory_order_relaxed);
   if (IsDataLost(id)) {
     return DataLoss("page " + id.ToString() + " lost unstaged modifications");
   }
@@ -767,8 +792,10 @@ StatusOr<std::vector<std::uint8_t>> Service::ReadPage(VectorMeta& meta,
           // pages surface typed data loss, clean pages fall through to the
           // slow path and self-heal from the owner/backend.
           corrupted = true;
+          // Best-effort drop of the poisoned replica before re-fetching.
           (void)runtime(from_node).buffer().Erase(id);
           if (cur->node == from_node) {
+            // Idempotent: a racing removal leaves nothing to remove.
             (void)metadata().Remove(id, from_node, local_done, &local_done);
             if (cur->dirty) {
               RecordDataLoss(id);
@@ -777,6 +804,7 @@ StatusOr<std::vector<std::uint8_t>> Service::ReadPage(VectorMeta& meta,
                               " failed CRC check with unstaged modifications");
             }
           } else {
+            // Idempotent: replica may already be unregistered.
             (void)metadata().RemoveReplica(id, from_node, from_node,
                                            local_done, &local_done);
           }
@@ -784,7 +812,7 @@ StatusOr<std::vector<std::uint8_t>> Service::ReadPage(VectorMeta& meta,
       }
       if (!corrupted) {
         Merge(local_done, done);
-        return std::move(local);
+        return local;
       }
     }
   }
@@ -801,7 +829,7 @@ StatusOr<std::vector<std::uint8_t>> Service::ReadPage(VectorMeta& meta,
   std::shared_future<TaskOutcome> fetch;
   bool leader = false;
   {
-    std::lock_guard<std::mutex> lock(inflight_mu_);
+    MutexLock lock(inflight_mu_);
     auto it = inflight_.find(key);
     if (it != inflight_.end()) {
       fetch = it->second;
@@ -823,12 +851,14 @@ StatusOr<std::vector<std::uint8_t>> Service::ReadPage(VectorMeta& meta,
       }
       fetch = task.promise->get_future().share();
       inflight_[key] = fetch;
+      // A shutdown rejection still fulfills the promise, so the shared
+      // future below carries the error to every waiter.
       (void)runtime(owner).Submit(std::move(task));
     }
   }
   TaskOutcome outcome = fetch.get();
   if (leader) {
-    std::lock_guard<std::mutex> lock(inflight_mu_);
+    MutexLock lock(inflight_mu_);
     inflight_.erase(key);
   }
   if (!outcome.status.ok()) {
@@ -889,6 +919,8 @@ void Service::MaybeReplicate(VectorMeta& meta, std::uint64_t page,
                                                     /*score=*/1.0f, now,
                                                     &put_done);
   if (tier.ok()) {
+    // Registration cannot fail once the primary entry exists (looked up
+    // above); a lost replica record only costs a remote re-read.
     (void)metadata().AddReplica(id, from_node, from_node, now, nullptr);
   }
 }
@@ -914,6 +946,7 @@ Service::AsyncRead Service::ReadPageAsync(VectorMeta& meta,
     task.issue_time = req.delivered;
   }
   AsyncRead result{task.promise->get_future().share(), owner};
+  // A shutdown rejection still fulfills the promise (error via the future).
   (void)runtime(owner).Submit(std::move(task));
   return result;
 }
@@ -961,6 +994,7 @@ std::shared_future<TaskOutcome> Service::WriteRegion(
     task.issue_time = xfer.delivered;
   }
   auto future = task.promise->get_future().share();
+  // A shutdown rejection still fulfills the promise (error via the future).
   (void)runtime(owner).Submit(std::move(task));
   return future;
 }
@@ -978,6 +1012,7 @@ void Service::SubmitScore(VectorMeta& meta, std::uint64_t page, float score,
   task.score = score;
   task.from_node = from_node;
   task.issue_time = now;
+  // Fire-and-forget score hint: a shutdown rejection loses only a hint.
   (void)runtime(loc->node).Submit(std::move(task));
 }
 
@@ -998,6 +1033,7 @@ Status Service::FlushVector(VectorMeta& meta, std::size_t from_node,
     task.issue_time = now;
     task.promise = std::make_shared<std::promise<TaskOutcome>>();
     futures.push_back(task.promise->get_future().share());
+    // A shutdown rejection still fulfills the promise collected above.
     (void)runtime(loc->node).Submit(std::move(task));
   }
   Status first_error;
@@ -1030,6 +1066,8 @@ Status Service::ChangePhase(VectorMeta& meta, CoherenceMode new_mode,
         task.id = id;
         task.from_node = from_node;
         task.issue_time = inval_done;
+        // Fire-and-forget replica erase; stale bytes are re-validated by
+        // version on the next acquire anyway.
         (void)runtime(node).Submit(std::move(task));
       }
     }
@@ -1045,11 +1083,15 @@ Status Service::DestroyVector(VectorMeta& meta, bool remove_backend) {
   for (const auto& id : metadata().BlobsOfVector(meta.vector_id)) {
     auto loc = metadata().Lookup(id, 0, 0.0, nullptr);
     if (loc.ok()) {
+      // Teardown: the vector is being destroyed, so kNotFound races with
+      // concurrent eviction are expected and harmless.
       (void)runtime(loc->node).buffer().Erase(id);
       for (std::size_t node : metadata().Replicas(id, 0, 0.0, nullptr)) {
+        // Same teardown race as above.
         (void)runtime(node).buffer().Erase(id);
       }
     }
+    // Idempotent directory drop during teardown.
     (void)metadata().Remove(id, 0, 0.0, nullptr);
   }
   if (remove_backend && meta.stager != nullptr &&

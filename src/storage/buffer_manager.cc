@@ -40,7 +40,7 @@ std::size_t BufferManager::num_live_tiers() const {
 }
 
 void BufferManager::SetTierFailureHandler(TierFailureHandler handler) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   failure_handler_ = std::move(handler);
 }
 
@@ -60,11 +60,23 @@ StatusOr<std::size_t> BufferManager::PutScored(const BlobId& id,
                                                std::vector<std::uint8_t> data,
                                                float score, sim::SimTime now,
                                                sim::SimTime* done) {
-  std::unique_lock<std::mutex> lock(mu_);
-  auto result = [&]() -> StatusOr<std::size_t> {
+  MutexLock lock(mu_);
+  auto result = PutScoredLocked(id, std::move(data), score, now, done);
+  std::vector<PendingFailure> failures = CollectFailuresLocked();
+  lock.Unlock();
+  NotifyFailures(std::move(failures), now);
+  return result;
+}
+
+StatusOr<std::size_t> BufferManager::PutScoredLocked(
+    const BlobId& id, std::vector<std::uint8_t> data, float score,
+    sim::SimTime now, sim::SimTime* done) {
+  {
     // Drop any stale copy so capacity accounting stays exact.
     for (auto& t : tiers_) {
       if (t->Contains(id)) {
+        // Erase cannot fail here: Contains and Erase are under one mu_
+        // critical section, so the blob cannot vanish in between.
         (void)t->Erase(id);
         break;
       }
@@ -100,104 +112,115 @@ StatusOr<std::size_t> BufferManager::PutScored(const BlobId& id,
     }
     return ResourceExhausted("scache full on this node for blob " +
                              id.ToString());
-  }();
-  std::vector<PendingFailure> failures = CollectFailuresLocked();
-  lock.unlock();
-  NotifyFailures(std::move(failures), now);
-  return result;
+  }
 }
 
 Status BufferManager::PutPartial(const BlobId& id, std::uint64_t offset,
                                  const std::vector<std::uint8_t>& data,
                                  sim::SimTime now, sim::SimTime* done) {
-  std::unique_lock<std::mutex> lock(mu_);
-  Status result = [&]() -> Status {
-    for (auto& t : tiers_) {
-      if (t->failed()) continue;
-      if (t->Contains(id)) {
-        return RunWithRetry(retry_, now, done,
-                            [&](double start, double* attempt_done) {
-                              return t->PutPartial(id, offset, data, start,
-                                                   attempt_done);
-                            });
-      }
-    }
-    return NotFound("blob " + id.ToString() + " not resident");
-  }();
+  MutexLock lock(mu_);
+  Status result = PutPartialLocked(id, offset, data, now, done);
   std::vector<PendingFailure> failures = CollectFailuresLocked();
-  lock.unlock();
+  lock.Unlock();
   NotifyFailures(std::move(failures), now);
   return result;
+}
+
+Status BufferManager::PutPartialLocked(const BlobId& id, std::uint64_t offset,
+                                       const std::vector<std::uint8_t>& data,
+                                       sim::SimTime now, sim::SimTime* done) {
+  for (auto& t : tiers_) {
+    if (t->failed()) continue;
+    if (t->Contains(id)) {
+      return RunWithRetry(retry_, now, done,
+                          [&](double start, double* attempt_done) {
+                            return t->PutPartial(id, offset, data, start,
+                                                 attempt_done);
+                          });
+    }
+  }
+  return NotFound("blob " + id.ToString() + " not resident");
 }
 
 StatusOr<std::vector<std::uint8_t>> BufferManager::Get(const BlobId& id,
                                                        sim::SimTime now,
                                                        sim::SimTime* done) {
-  std::unique_lock<std::mutex> lock(mu_);
-  auto result = [&]() -> StatusOr<std::vector<std::uint8_t>> {
-    for (auto& t : tiers_) {
-      if (t->failed()) continue;
-      if (t->Contains(id)) {
-        return RunWithRetry(retry_, now, done,
-                            [&](double start, double* attempt_done) {
-                              return t->Get(id, start, attempt_done);
-                            });
-      }
-    }
-    return NotFound("blob " + id.ToString() + " not resident");
-  }();
+  MutexLock lock(mu_);
+  auto result = GetLocked(id, now, done);
   std::vector<PendingFailure> failures = CollectFailuresLocked();
-  lock.unlock();
+  lock.Unlock();
   NotifyFailures(std::move(failures), now);
   return result;
 }
 
+StatusOr<std::vector<std::uint8_t>> BufferManager::GetLocked(
+    const BlobId& id, sim::SimTime now, sim::SimTime* done) {
+  for (auto& t : tiers_) {
+    if (t->failed()) continue;
+    if (t->Contains(id)) {
+      return RunWithRetry(retry_, now, done,
+                          [&](double start, double* attempt_done) {
+                            return t->Get(id, start, attempt_done);
+                          });
+    }
+  }
+  return NotFound("blob " + id.ToString() + " not resident");
+}
+
 Status BufferManager::GetInto(const BlobId& id, std::vector<std::uint8_t>* out,
                               sim::SimTime now, sim::SimTime* done) {
-  std::unique_lock<std::mutex> lock(mu_);
-  auto result = [&]() -> Status {
-    for (auto& t : tiers_) {
-      if (t->failed()) continue;
-      if (t->Contains(id)) {
-        return RunWithRetry(retry_, now, done,
-                            [&](double start, double* attempt_done) {
-                              return t->GetInto(id, out, start, attempt_done);
-                            });
-      }
-    }
-    return NotFound("blob " + id.ToString() + " not resident");
-  }();
+  MutexLock lock(mu_);
+  Status result = GetIntoLocked(id, out, now, done);
   std::vector<PendingFailure> failures = CollectFailuresLocked();
-  lock.unlock();
+  lock.Unlock();
   NotifyFailures(std::move(failures), now);
   return result;
+}
+
+Status BufferManager::GetIntoLocked(const BlobId& id,
+                                    std::vector<std::uint8_t>* out,
+                                    sim::SimTime now, sim::SimTime* done) {
+  for (auto& t : tiers_) {
+    if (t->failed()) continue;
+    if (t->Contains(id)) {
+      return RunWithRetry(retry_, now, done,
+                          [&](double start, double* attempt_done) {
+                            return t->GetInto(id, out, start, attempt_done);
+                          });
+    }
+  }
+  return NotFound("blob " + id.ToString() + " not resident");
 }
 
 StatusOr<std::vector<std::uint8_t>> BufferManager::GetPartial(
     const BlobId& id, std::uint64_t offset, std::uint64_t size,
     sim::SimTime now, sim::SimTime* done) {
-  std::unique_lock<std::mutex> lock(mu_);
-  auto result = [&]() -> StatusOr<std::vector<std::uint8_t>> {
-    for (auto& t : tiers_) {
-      if (t->failed()) continue;
-      if (t->Contains(id)) {
-        return RunWithRetry(retry_, now, done,
-                            [&](double start, double* attempt_done) {
-                              return t->GetPartial(id, offset, size, start,
-                                                   attempt_done);
-                            });
-      }
-    }
-    return NotFound("blob " + id.ToString() + " not resident");
-  }();
+  MutexLock lock(mu_);
+  auto result = GetPartialLocked(id, offset, size, now, done);
   std::vector<PendingFailure> failures = CollectFailuresLocked();
-  lock.unlock();
+  lock.Unlock();
   NotifyFailures(std::move(failures), now);
   return result;
 }
 
+StatusOr<std::vector<std::uint8_t>> BufferManager::GetPartialLocked(
+    const BlobId& id, std::uint64_t offset, std::uint64_t size,
+    sim::SimTime now, sim::SimTime* done) {
+  for (auto& t : tiers_) {
+    if (t->failed()) continue;
+    if (t->Contains(id)) {
+      return RunWithRetry(retry_, now, done,
+                          [&](double start, double* attempt_done) {
+                            return t->GetPartial(id, offset, size, start,
+                                                 attempt_done);
+                          });
+    }
+  }
+  return NotFound("blob " + id.ToString() + " not resident");
+}
+
 std::optional<std::size_t> BufferManager::FindBlob(const BlobId& id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (std::size_t t = 0; t < tiers_.size(); ++t) {
     if (tiers_[t]->Contains(id)) return t;
   }
@@ -205,7 +228,7 @@ std::optional<std::size_t> BufferManager::FindBlob(const BlobId& id) const {
 }
 
 Status BufferManager::Erase(const BlobId& id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   scores_.erase(id);
   for (auto& t : tiers_) {
     if (t->Contains(id)) return t->Erase(id);
@@ -214,7 +237,7 @@ Status BufferManager::Erase(const BlobId& id) {
 }
 
 StatusOr<std::uint32_t> BufferManager::Checksum(const BlobId& id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& t : tiers_) {
     if (t->Contains(id)) return t->Checksum(id);
   }
@@ -222,12 +245,12 @@ StatusOr<std::uint32_t> BufferManager::Checksum(const BlobId& id) const {
 }
 
 void BufferManager::SetScore(const BlobId& id, float score) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   scores_[id] = score;
 }
 
 float BufferManager::GetScore(const BlobId& id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = scores_.find(id);
   return it == scores_.end() ? 0.0f : it->second;
 }
@@ -284,7 +307,7 @@ bool BufferManager::MakeRoom(std::size_t t, std::uint64_t needed,
 }
 
 int BufferManager::Rebalance(sim::SimTime now, sim::SimTime* done) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   int moved = 0;
   // Promote pass: walk slower tiers and pull the highest-scoring blobs into
   // any free space above them.
@@ -310,14 +333,14 @@ int BufferManager::Rebalance(sim::SimTime now, sim::SimTime* done) {
     }
   }
   std::vector<PendingFailure> failures = CollectFailuresLocked();
-  lock.unlock();
+  lock.Unlock();
   NotifyFailures(std::move(failures), now);
   return moved;
 }
 
 double BufferManager::EstimateReadSeconds(const BlobId& id,
                                           std::uint64_t bytes) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const TierStore* slowest_live = nullptr;
   for (const auto& t : tiers_) {
     if (t->failed()) continue;
@@ -349,7 +372,7 @@ void BufferManager::NotifyFailures(std::vector<PendingFailure> failures,
   if (failures.empty()) return;
   TierFailureHandler handler;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     handler = failure_handler_;
   }
   if (!handler) return;

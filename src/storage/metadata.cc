@@ -25,7 +25,7 @@ StatusOr<BlobLocation> MetadataManager::Lookup(const BlobId& id,
   std::size_t home = HomeNode(id);
   SetDone(ChargeRtt(home, from_node, now), done);
   Shard& shard = shards_[home];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.entries.find(id);
   if (it == shard.entries.end()) {
     return NotFound("no metadata for blob " + id.ToString());
@@ -48,7 +48,7 @@ std::vector<std::optional<BlobLocation>> MetadataManager::LookupBatch(
   out.reserve(ids.size());
   for (const BlobId& id : ids) {
     Shard& shard = shards_[HomeNode(id)];
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     auto it = shard.entries.find(id);
     if (it == shard.entries.end()) {
       out.push_back(std::nullopt);
@@ -65,7 +65,7 @@ Status MetadataManager::Update(const BlobId& id, const BlobLocation& loc,
   std::size_t home = HomeNode(id);
   SetDone(ChargeRtt(home, from_node, now), done);
   Shard& shard = shards_[home];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   shard.entries[id].loc = loc;
   return Status::Ok();
 }
@@ -75,7 +75,7 @@ Status MetadataManager::Remove(const BlobId& id, std::size_t from_node,
   std::size_t home = HomeNode(id);
   SetDone(ChargeRtt(home, from_node, now), done);
   Shard& shard = shards_[home];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   if (shard.entries.erase(id) == 0) {
     return NotFound("no metadata for blob " + id.ToString());
   }
@@ -88,7 +88,7 @@ Status MetadataManager::AddReplica(const BlobId& id, std::size_t replica_node,
   std::size_t home = HomeNode(id);
   SetDone(ChargeRtt(home, from_node, now), done);
   Shard& shard = shards_[home];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.entries.find(id);
   if (it == shard.entries.end()) {
     return NotFound("no metadata for blob " + id.ToString());
@@ -107,7 +107,7 @@ Status MetadataManager::RemoveReplica(const BlobId& id,
   std::size_t home = HomeNode(id);
   SetDone(ChargeRtt(home, from_node, now), done);
   Shard& shard = shards_[home];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.entries.find(id);
   if (it == shard.entries.end()) return Status::Ok();
   auto& replicas = it->second.replicas;
@@ -127,7 +127,7 @@ std::vector<std::size_t> MetadataManager::Replicas(const BlobId& id,
   std::size_t home = HomeNode(id);
   SetDone(ChargeRtt(home, from_node, now), done);
   Shard& shard = shards_[home];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.entries.find(id);
   if (it == shard.entries.end()) return {};
   return it->second.replicas;
@@ -141,7 +141,7 @@ std::vector<std::size_t> MetadataManager::InvalidateReplicas(
   Shard& shard = shards_[home];
   std::vector<std::size_t> dropped;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     auto it = shard.entries.find(id);
     if (it != shard.entries.end()) {
       dropped.swap(it->second.replicas);
@@ -161,7 +161,7 @@ std::vector<BlobId> MetadataManager::BlobsOfVector(
     std::uint64_t vector_id) const {
   std::vector<BlobId> ids;
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     for (const auto& [id, _] : shard.entries) {
       if (id.vector_id == vector_id) ids.push_back(id);
     }
@@ -172,7 +172,7 @@ std::vector<BlobId> MetadataManager::BlobsOfVector(
 std::size_t MetadataManager::TotalBlobs() const {
   std::size_t total = 0;
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     total += shard.entries.size();
   }
   return total;

@@ -13,9 +13,9 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
-#include <mutex>
 
 #include "mm/storage/stager.h"
+#include "mm/util/mutex.h"
 
 namespace mm::storage {
 
@@ -95,7 +95,7 @@ Status SaveIndex(const std::string& path, const Container& c) {
 class ShdfStager final : public Stager {
  public:
   StatusOr<std::uint64_t> Size(const Uri& uri) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     Container c;
     MM_RETURN_IF_ERROR(LoadContainer(uri.path, &c));
     const IndexEntry* e = c.Find(DatasetName(uri));
@@ -106,7 +106,7 @@ class ShdfStager final : public Stager {
   }
 
   Status Create(const Uri& uri, std::uint64_t size) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     Container c;
     if (!std::filesystem::exists(uri.path)) {
       std::error_code ec;
@@ -137,7 +137,7 @@ class ShdfStager final : public Stager {
 
   Status Read(const Uri& uri, std::uint64_t offset, std::uint64_t size,
               std::vector<std::uint8_t>* out) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     Container c;
     MM_RETURN_IF_ERROR(LoadContainer(uri.path, &c));
     const IndexEntry* e = c.Find(DatasetName(uri));
@@ -160,7 +160,7 @@ class ShdfStager final : public Stager {
 
   Status Write(const Uri& uri, std::uint64_t offset,
                const std::vector<std::uint8_t>& data) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     Container c;
     MM_RETURN_IF_ERROR(LoadContainer(uri.path, &c));
     const IndexEntry* e = c.Find(DatasetName(uri));
@@ -180,14 +180,14 @@ class ShdfStager final : public Stager {
   }
 
   bool Exists(const Uri& uri) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     Container c;
     if (!LoadContainer(uri.path, &c).ok()) return false;
     return c.Find(DatasetName(uri)) != nullptr;
   }
 
   Status Remove(const Uri& uri) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     Container c;
     MM_RETURN_IF_ERROR(LoadContainer(uri.path, &c));
     std::string name = DatasetName(uri);
@@ -207,7 +207,7 @@ class ShdfStager final : public Stager {
     return uri.fragment.empty() ? "default" : uri.fragment;
   }
 
-  std::mutex mu_;  // index read-modify-write cycles must not interleave
+  Mutex mu_;  // index read-modify-write cycles must not interleave
 };
 
 }  // namespace

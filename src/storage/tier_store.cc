@@ -43,7 +43,7 @@ Status TierStore::Put(const BlobId& id, std::vector<std::uint8_t>&& data,
   MM_RETURN_IF_ERROR(InjectFault(/*is_write=*/true, now, done, &factor));
   std::uint64_t size = data.size();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = blobs_.find(id);
     std::uint64_t old_size = it == blobs_.end() ? 0 : it->second.size();
     if (used_ - old_size + size > capacity_) {
@@ -67,7 +67,7 @@ Status TierStore::PutPartial(const BlobId& id, std::uint64_t offset,
   double factor = 1.0;
   MM_RETURN_IF_ERROR(InjectFault(/*is_write=*/true, now, done, &factor));
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = blobs_.find(id);
     if (it == blobs_.end()) {
       return NotFound("blob " + id.ToString() + " not in tier");
@@ -91,7 +91,7 @@ StatusOr<std::vector<std::uint8_t>> TierStore::Get(const BlobId& id,
   MM_RETURN_IF_ERROR(InjectFault(/*is_write=*/false, now, done, &factor));
   std::vector<std::uint8_t> copy;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = blobs_.find(id);
     if (it == blobs_.end()) {
       return NotFound("blob " + id.ToString() + " not in tier");
@@ -109,7 +109,7 @@ Status TierStore::GetInto(const BlobId& id, std::vector<std::uint8_t>* out,
   MM_RETURN_IF_ERROR(InjectFault(/*is_write=*/false, now, done, &factor));
   std::uint64_t size = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = blobs_.find(id);
     if (it == blobs_.end()) {
       return NotFound("blob " + id.ToString() + " not in tier");
@@ -129,7 +129,7 @@ StatusOr<std::vector<std::uint8_t>> TierStore::GetPartial(
   MM_RETURN_IF_ERROR(InjectFault(/*is_write=*/false, now, done, &factor));
   std::vector<std::uint8_t> copy;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = blobs_.find(id);
     if (it == blobs_.end()) {
       return NotFound("blob " + id.ToString() + " not in tier");
@@ -147,7 +147,7 @@ StatusOr<std::vector<std::uint8_t>> TierStore::GetPartial(
 }
 
 Status TierStore::Erase(const BlobId& id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = blobs_.find(id);
   if (it == blobs_.end()) {
     return NotFound("blob " + id.ToString() + " not in tier");
@@ -158,18 +158,18 @@ Status TierStore::Erase(const BlobId& id) {
 }
 
 bool TierStore::Contains(const BlobId& id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return blobs_.count(id) > 0;
 }
 
 std::uint64_t TierStore::BlobSize(const BlobId& id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = blobs_.find(id);
   return it == blobs_.end() ? 0 : it->second.size();
 }
 
 std::vector<BlobId> TierStore::ListBlobs() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<BlobId> ids;
   ids.reserve(blobs_.size());
   for (const auto& [id, _] : blobs_) ids.push_back(id);
@@ -178,7 +178,7 @@ std::vector<BlobId> TierStore::ListBlobs() const {
 
 std::vector<BlobId> TierStore::FailAndDrain() {
   failed_.store(true, std::memory_order_release);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<BlobId> ids;
   ids.reserve(blobs_.size());
   for (const auto& [id, _] : blobs_) ids.push_back(id);
@@ -188,7 +188,7 @@ std::vector<BlobId> TierStore::FailAndDrain() {
 }
 
 StatusOr<std::uint32_t> TierStore::Checksum(const BlobId& id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = blobs_.find(id);
   if (it == blobs_.end()) {
     return NotFound("blob " + id.ToString() + " not in tier");
@@ -197,7 +197,7 @@ StatusOr<std::uint32_t> TierStore::Checksum(const BlobId& id) const {
 }
 
 Status TierStore::CorruptBlob(const BlobId& id, std::uint64_t offset) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = blobs_.find(id);
   if (it == blobs_.end()) {
     return NotFound("blob " + id.ToString() + " not in tier");

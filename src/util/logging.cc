@@ -20,7 +20,7 @@ void Logger::Write(LogLevel level, const std::string& module,
                    const std::string& message) {
   static const char* kNames[] = {"TRACE", "DEBUG", "INFO", "WARN", "ERROR",
                                  "OFF"};
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::cerr << "[" << kNames[static_cast<int>(level)] << "] " << module << ": "
             << message << "\n";
 }

@@ -41,7 +41,7 @@ TEST(Launch, ComputeAdvancesVirtualTime) {
 TEST(Launch, OomIsReportedNotFatal) {
   auto cluster = sim::Cluster::PaperTestbed(1);
   auto result = RunRanks(*cluster, 2, 2, [&](RankContext& ctx) {
-    (void)ctx;
+    (void)ctx;  // the body only exercises the throw path
     throw sim::SimOutOfMemoryError(100, 10);
   });
   EXPECT_TRUE(result.oom);

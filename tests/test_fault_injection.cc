@@ -79,6 +79,7 @@ TEST(FaultInjector, TransientRateApproximatelyHonored) {
   cfg.tier(TierKind::kSsd).transient_error_rate = 0.1;
   FaultInjector inj(cfg);
   const int kDraws = 20000;
+  // Only the aggregate fault-rate counter matters, not each draw's status.
   for (int i = 0; i < kDraws; ++i) (void)inj.OnDeviceOp(TierKind::kSsd);
   double rate = static_cast<double>(inj.transient_faults()) / kDraws;
   EXPECT_NEAR(rate, 0.1, 0.02);
@@ -97,6 +98,7 @@ TEST(FaultInjector, ThreadInterleavingDoesNotChangeFaultCount) {
     std::atomic<int> remaining{400};
     for (int t = 0; t < threads; ++t) {
       pool.emplace_back([&] {
+        // Concurrency smoke: draw outcomes are irrelevant.
         while (remaining.fetch_sub(1) > 0) (void)inj.OnDeviceOp(TierKind::kHdd);
       });
     }

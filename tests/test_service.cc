@@ -2,9 +2,12 @@
 // ownership/placement, phases, YAML options.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <atomic>
 #include <filesystem>
 #include <fstream>
-#include <unistd.h>
+#include <thread>
 
 #include "mm/mega_mmap.h"
 
@@ -185,6 +188,7 @@ TEST_F(ServiceTest, DestroyIsIdempotent) {
   vo.nonvolatile = false;
   auto meta = svc_->RegisterVector("bye", 1, vo, 4096);
   std::vector<std::uint8_t> bytes(10, 1);
+  // Write outcome is irrelevant; the test exercises DestroyVector below.
   (void)svc_->WriteRegion(**meta, 0, 0, bytes, 0, 0.0).get();
   EXPECT_TRUE(svc_->DestroyVector(**meta).ok());
   EXPECT_TRUE(svc_->DestroyVector(**meta).ok());
@@ -204,6 +208,36 @@ TEST_F(ServiceTest, ScacheDramReservedAgainstNodeBudget) {
   std::uint64_t before = cluster_->node(0).dram_used();
   svc_->Shutdown();
   EXPECT_EQ(cluster_->node(0).dram_used(), before - MEGABYTES(4));
+}
+
+// Shutdown racing in-flight Submit()s (run under TSan in CI): every awaited
+// task's promise must be fulfilled — accepted tasks complete, rejected ones
+// carry kFailedPrecondition — and no submitter may hang or crash.
+TEST_F(ServiceTest, ShutdownVsInflightSubmitFulfillsEveryPromise) {
+  VectorOptions vo;
+  vo.nonvolatile = false;
+  auto meta = svc_->RegisterVector("race", sizeof(double), vo, 4096);
+  ASSERT_TRUE(meta.ok());
+  std::vector<std::uint8_t> bytes(64, 7);
+  constexpr int kSubmitters = 4, kPerThread = 50;
+  std::atomic<int> resolved{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        auto fut = svc_->WriteRegion(**meta, 0, (t * kPerThread + i) % 256,
+                                     bytes, 0, 0.0);
+        TaskOutcome out = fut.get();  // must never hang
+        EXPECT_TRUE(out.status.ok() ||
+                    out.status.code() == StatusCode::kFailedPrecondition)
+            << out.status.ToString();
+        resolved.fetch_add(1);
+      }
+    });
+  }
+  svc_->Shutdown();
+  for (auto& t : submitters) t.join();
+  EXPECT_EQ(resolved.load(), kSubmitters * kPerThread);
 }
 
 // ---- ServiceOptions::FromYaml ----
