@@ -58,10 +58,13 @@ class BenchDir {
 };
 
 /// One measured configuration: runs `body` `reps` times, returns the mean
-/// virtual runtime in seconds. `body` returns the job RunResult.
+/// virtual runtime in seconds. `body` returns the job RunResult. When
+/// `samples` is given the per-rep runtimes are appended to it (for
+/// BenchReport percentile series).
 inline double MeasureSeconds(int reps,
                              const std::function<mm::comm::RunResult()>& body,
-                             bool* oom = nullptr) {
+                             bool* oom = nullptr,
+                             mm::StatAccumulator* samples = nullptr) {
   mm::StatAccumulator acc;
   if (oom != nullptr) *oom = false;
   for (int r = 0; r < reps; ++r) {
@@ -75,9 +78,104 @@ inline double MeasureSeconds(int reps,
       return 0.0;
     }
     acc.Add(result.max_time);
+    if (samples != nullptr) samples->Add(result.max_time);
   }
   return acc.Mean();
 }
+
+/// Unified BENCH_*.json emission, shared by every benchmark binary and read
+/// by ci/check_perf.py. One schema for all reports:
+///
+///   {
+///     "name":    "<benchmark>",
+///     "config":  { string or numeric knobs of this run },
+///     "metrics": { flat scalar results, e.g. "scalar_ns_per_access": 3.5 },
+///     "series":  { "<label>": {"count": n, "mean": m,
+///                              "p50": ..., "p95": ..., "p99": ...} }
+///   }
+///
+/// `metrics` carries single numbers (gate targets); `series` carries
+/// repeated-run distributions summarized through StatAccumulator's
+/// linear-interpolated percentiles.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  void Config(const std::string& key, const std::string& value) {
+    config_.push_back({key, "\"" + Escape(value) + "\""});
+  }
+  void Config(const std::string& key, double value) {
+    config_.push_back({key, Num(value)});
+  }
+  void Metric(const std::string& key, double value) {
+    metrics_.push_back({key, Num(value)});
+  }
+  void Series(const std::string& key, const mm::StatAccumulator& acc) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"count\": %zu, \"mean\": %s, \"p50\": %s, \"p95\": %s, "
+                  "\"p99\": %s}",
+                  acc.count(), Num(acc.Mean()).c_str(),
+                  Num(acc.Percentile(50)).c_str(),
+                  Num(acc.Percentile(95)).c_str(),
+                  Num(acc.Percentile(99)).c_str());
+    series_.push_back({key, buf});
+  }
+
+  /// Serializes the report; `path` defaults from argv in the callers.
+  bool Write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"name\": \"%s\",\n", Escape(name_).c_str());
+    WriteSection(f, "config", config_, /*last=*/false);
+    WriteSection(f, "metrics", metrics_, /*last=*/false);
+    WriteSection(f, "series", series_, /*last=*/true);
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string json;  // pre-rendered value
+  };
+
+  static std::string Num(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+  }
+
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  static void WriteSection(std::FILE* f, const char* title,
+                           const std::vector<Entry>& entries, bool last) {
+    std::fprintf(f, "  \"%s\": {", title);
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      std::fprintf(f, "%s\n    \"%s\": %s", i == 0 ? "" : ",",
+                   Escape(entries[i].key).c_str(), entries[i].json.c_str());
+    }
+    std::fprintf(f, "%s}%s\n", entries.empty() ? "" : "\n  ",
+                 last ? "" : ",");
+  }
+
+  std::string name_;
+  std::vector<Entry> config_;
+  std::vector<Entry> metrics_;
+  std::vector<Entry> series_;
+};
 
 /// Generates a particle dataset once and returns its key.
 inline std::string StageParticles(const BenchDir& dir,

@@ -61,6 +61,19 @@ int main(int argc, char** argv) {
               kProcsPerNode, reps);
   TablePrinter table({"app", "impl", "nodes", "procs", "runtime_s"});
 
+  BenchReport report("fig5_weak_scaling");
+  report.Config("procs_per_node", kProcsPerNode);
+  report.Config("reps", reps);
+  report.Config("particles_per_node", double(kParticlesPerNode));
+  // Each measurement lands in the report twice: a per-run distribution in
+  // `series` (virtual seconds) and the mean as a flat gate metric.
+  StatAccumulator acc;
+  auto record = [&](const std::string& label, double mean_s) {
+    report.Series(label + "_runtime_s", acc);
+    report.Metric(label + "_mean_s", mean_s);
+    acc.Clear();
+  };
+
   for (int nodes : node_counts) {
     int procs = nodes * kProcsPerNode;
     BenchDir dir("fig5_n" + std::to_string(nodes));
@@ -83,7 +96,8 @@ int main(int argc, char** argv) {
                                 comm::Communicator comm(&ctx);
                                 apps::KMeansMega(svc, comm, key, cfg);
                               });
-      });
+      }, nullptr, &acc);
+      record("kmeans_megammap_n" + std::to_string(nodes), mega);
       double spark = MeasureSeconds(reps, [&] {
         auto cluster = TcpCluster(nodes);
         return comm::RunRanks(*cluster, procs, kProcsPerNode,
@@ -92,7 +106,8 @@ int main(int argc, char** argv) {
                                 apps::sparklike::SparkEnv env(ctx);
                                 apps::KMeansSpark(env, comm, key, cfg);
                               });
-      });
+      }, nullptr, &acc);
+      record("kmeans_spark_n" + std::to_string(nodes), spark);
       std::fprintf(stderr, "[fig5]   KMeans done\n");
       table.AddRow({"KMeans", "MegaMmap", std::to_string(nodes),
                     std::to_string(procs), Fmt(mega)});
@@ -137,7 +152,8 @@ int main(int argc, char** argv) {
               comm::Communicator comm(&ctx);
               apps::RandomForestMega(svc, comm, key, lkey, cfg);
             });
-      });
+      }, nullptr, &acc);
+      record("rf_megammap_n" + std::to_string(nodes), mega);
       double spark = MeasureSeconds(reps, [&] {
         auto cluster = TcpCluster(nodes);
         return comm::RunRanks(
@@ -146,7 +162,8 @@ int main(int argc, char** argv) {
               apps::sparklike::SparkEnv env(ctx);
               apps::RandomForestSpark(env, comm, key, lkey, cfg);
             });
-      });
+      }, nullptr, &acc);
+      record("rf_spark_n" + std::to_string(nodes), spark);
       std::fprintf(stderr, "[fig5]   RF done\n");
       table.AddRow({"RF", "MegaMmap", std::to_string(nodes),
                     std::to_string(procs), Fmt(mega)});
@@ -176,7 +193,8 @@ int main(int argc, char** argv) {
                                 comm::Communicator comm(&ctx);
                                 apps::DbscanMega(svc, comm, key, cfg);
                               });
-      });
+      }, nullptr, &acc);
+      record("dbscan_megammap_n" + std::to_string(nodes), mega);
       double mpi = MeasureSeconds(reps, [&] {
         auto cluster = RoceCluster(nodes);
         return comm::RunRanks(*cluster, procs, kProcsPerNode,
@@ -184,7 +202,8 @@ int main(int argc, char** argv) {
                                 comm::Communicator comm(&ctx);
                                 apps::DbscanMpi(comm, key, cfg);
                               });
-      });
+      }, nullptr, &acc);
+      record("dbscan_mpi_n" + std::to_string(nodes), mpi);
       std::fprintf(stderr, "[fig5]   DBSCAN done\n");
       table.AddRow({"DBSCAN", "MegaMmap", std::to_string(nodes),
                     std::to_string(procs), Fmt(mega)});
@@ -212,7 +231,8 @@ int main(int argc, char** argv) {
                                 comm::Communicator comm(&ctx);
                                 apps::GrayScottMega(svc, comm, cfg);
                               });
-      });
+      }, nullptr, &acc);
+      record("grayscott_megammap_n" + std::to_string(nodes), mega);
       double mpi = MeasureSeconds(reps, [&] {
         auto cluster = RoceCluster(nodes);
         return comm::RunRanks(*cluster, procs, kProcsPerNode,
@@ -220,7 +240,8 @@ int main(int argc, char** argv) {
                                 comm::Communicator comm(&ctx);
                                 apps::GrayScottMpi(comm, cfg);
                               });
-      });
+      }, nullptr, &acc);
+      record("grayscott_mpi_n" + std::to_string(nodes), mpi);
       std::fprintf(stderr, "[fig5]   GrayScott done\n");
       table.AddRow({"GrayScott", "MegaMmap", std::to_string(nodes),
                     std::to_string(procs), Fmt(mega)});
@@ -229,5 +250,6 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("%s", table.Render(csv).c_str());
+  report.Write("BENCH_fig5_weak_scaling.json");
   return 0;
 }

@@ -9,6 +9,11 @@
 //  3. task-payload allocations per page fault — the page-buffer pool must
 //     recycle nearly every buffer once warm.
 //
+//  4. telemetry overhead — the same access loops with the trace recorder
+//     runtime-enabled; the metrics/trace hooks must stay off the per-element
+//     fast path, so the delta has to sit inside measurement noise (<2%,
+//     gated by ci/check_perf.py with an absolute noise floor).
+//
 // Output: BENCH_hotpath.json (or argv[1]). CI's perf-smoke job compares
 // scalar/span ns-per-access against bench/BENCH_hotpath_baseline.json.
 #include <algorithm>
@@ -18,6 +23,7 @@
 #include <memory>
 #include <string>
 
+#include "bench/common.h"
 #include "mm/mega_mmap.h"
 
 namespace {
@@ -30,12 +36,15 @@ double ElapsedNs(WallClock::time_point t0, WallClock::time_point t1) {
 }
 
 /// One single-rank simulated world (the shape every microbench uses).
+/// `trace` additionally runtime-enables the trace recorder, the costliest
+/// telemetry mode (metrics counters are always on).
 struct Env {
-  explicit Env(std::uint64_t dram_bytes) {
+  explicit Env(std::uint64_t dram_bytes, bool trace = false) {
     cluster = sim::Cluster::PaperTestbed(1);
     core::ServiceOptions so;
     so.tier_grants = {{sim::TierKind::kDram, dram_bytes}};
     so.enable_prefetch = false;
+    if (trace) so.telemetry.trace_path = "/tmp/mm_hotpath_trace.json";
     service = std::make_unique<core::Service>(cluster.get(), so);
     world = std::make_unique<comm::World>(cluster.get(), 1, 1);
     ctx = std::make_unique<comm::RankContext>(world.get(), 0);
@@ -59,10 +68,10 @@ struct AccessResult {
 /// Every loop uses 4-way accumulators so the FP-add latency chain does not
 /// mask the access cost, and a raw std::vector baseline with the identical
 /// shape isolates the mm overhead from the sum itself.
-AccessResult MeasureAccess() {
+AccessResult MeasureAccess(bool trace = false) {
   constexpr std::uint64_t kN = 1 << 20;
   constexpr int kReps = 5;
-  Env env(MEGABYTES(256));
+  Env env(MEGABYTES(256), trace);
   core::VectorOptions vo;
   vo.pcache_bytes = MEGABYTES(64);
   vo.nonvolatile = false;
@@ -212,6 +221,7 @@ int main(int argc, char** argv) {
   const std::string out_path = argc > 1 ? argv[1] : "BENCH_hotpath.json";
 
   AccessResult access = MeasureAccess();
+  AccessResult traced = MeasureAccess(/*trace=*/true);
   EvictResult small = MeasureEvict(/*cache_pages=*/64);
   EvictResult large = MeasureEvict(/*cache_pages=*/512);
 
@@ -227,48 +237,48 @@ int main(int argc, char** argv) {
   std::uint64_t ops = large.faults;
   double allocs_per_op =
       ops > 0 ? double(large.pool_allocs) / double(ops) : 0;
+  // Worst per-access cost added by runtime-enabled tracing, across both
+  // access paths. The hooks live at frame resolution, so this must be
+  // indistinguishable from noise.
+  double telemetry_overhead_ns =
+      std::max({0.0, traced.scalar_ns - access.scalar_ns,
+                traced.span_ns - access.span_ns});
 
-  std::FILE* f = std::fopen(out_path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
-    return 1;
-  }
-  std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"baseline_ns_per_access\": %.3f,\n", access.baseline_ns);
-  std::fprintf(f, "  \"scalar_ns_per_access\": %.3f,\n", access.scalar_ns);
-  std::fprintf(f, "  \"span_ns_per_access\": %.3f,\n", access.span_ns);
-  std::fprintf(f, "  \"scalar_overhead_ns\": %.3f,\n",
-               access.scalar_overhead_ns);
-  std::fprintf(f, "  \"span_overhead_ns\": %.3f,\n", access.span_overhead_ns);
-  std::fprintf(f, "  \"span_speedup\": %.3f,\n", speedup);
-  std::fprintf(f,
-               "  \"evict_small\": {\"resident_frames\": %llu, \"evictions\": "
-               "%llu, \"ns_per_eviction\": %.1f, \"evictions_per_sec\": "
-               "%.0f},\n",
-               (unsigned long long)small.resident_frames,
-               (unsigned long long)small.evictions, small.ns_per_eviction,
-               small.evictions_per_sec);
-  std::fprintf(f,
-               "  \"evict_large\": {\"resident_frames\": %llu, \"evictions\": "
-               "%llu, \"ns_per_eviction\": %.1f, \"evictions_per_sec\": "
-               "%.0f},\n",
-               (unsigned long long)large.resident_frames,
-               (unsigned long long)large.evictions, large.ns_per_eviction,
-               large.evictions_per_sec);
-  std::fprintf(f, "  \"eviction_cost_flatness\": %.3f,\n", flatness);
-  std::fprintf(f, "  \"task_allocs\": %llu,\n",
-               (unsigned long long)large.pool_allocs);
-  std::fprintf(f, "  \"task_reuses\": %llu,\n",
-               (unsigned long long)large.pool_reuses);
-  std::fprintf(f, "  \"task_allocs_per_op\": %.4f\n", allocs_per_op);
-  std::fprintf(f, "}\n");
-  std::fclose(f);
+  mmbench::BenchReport report("hotpath");
+  report.Config("elements", double(1 << 20));
+  report.Config("access_reps", 5);
+  report.Config("evict_passes", 3);
+  report.Metric("baseline_ns_per_access", access.baseline_ns);
+  report.Metric("scalar_ns_per_access", access.scalar_ns);
+  report.Metric("span_ns_per_access", access.span_ns);
+  report.Metric("scalar_overhead_ns", access.scalar_overhead_ns);
+  report.Metric("span_overhead_ns", access.span_overhead_ns);
+  report.Metric("span_speedup", speedup);
+  report.Metric("telemetry_scalar_ns_per_access", traced.scalar_ns);
+  report.Metric("telemetry_span_ns_per_access", traced.span_ns);
+  report.Metric("telemetry_overhead_ns", telemetry_overhead_ns);
+  report.Metric("evict_small_resident_frames", double(small.resident_frames));
+  report.Metric("evict_small_evictions", double(small.evictions));
+  report.Metric("evict_small_ns_per_eviction", small.ns_per_eviction);
+  report.Metric("evict_small_evictions_per_sec", small.evictions_per_sec);
+  report.Metric("evict_large_resident_frames", double(large.resident_frames));
+  report.Metric("evict_large_evictions", double(large.evictions));
+  report.Metric("evict_large_ns_per_eviction", large.ns_per_eviction);
+  report.Metric("evict_large_evictions_per_sec", large.evictions_per_sec);
+  report.Metric("eviction_cost_flatness", flatness);
+  report.Metric("task_allocs", double(large.pool_allocs));
+  report.Metric("task_reuses", double(large.pool_reuses));
+  report.Metric("task_allocs_per_op", allocs_per_op);
+  if (!report.Write(out_path)) return 1;
 
   std::printf(
       "baseline %.2f, scalar %.2f, span %.2f ns/access "
       "(overhead %.2f vs %.2f ns: %.1fx)\n",
       access.baseline_ns, access.scalar_ns, access.span_ns,
       access.scalar_overhead_ns, access.span_overhead_ns, speedup);
+  std::printf("with trace enabled: scalar %.2f, span %.2f ns/access "
+              "(telemetry overhead %.3f ns)\n",
+              traced.scalar_ns, traced.span_ns, telemetry_overhead_ns);
   std::printf("evictions/sec: %.0f @%llu frames, %.0f @%llu frames "
               "(flatness %.2f)\n",
               small.evictions_per_sec,
@@ -278,6 +288,5 @@ int main(int argc, char** argv) {
   std::printf("task allocs/op %.4f (%llu allocs, %llu reuses)\n",
               allocs_per_op, (unsigned long long)large.pool_allocs,
               (unsigned long long)large.pool_reuses);
-  std::printf("wrote %s\n", out_path.c_str());
   return 0;
 }

@@ -25,6 +25,20 @@ ABSOLUTE_CEILINGS = [
     ("task_allocs_per_op", 0.5),
 ]
 
+# Telemetry must stay off the per-element fast path: tracing may add at
+# most this fraction of the scalar access cost, with an absolute noise
+# floor (best-of-reps wall-clock still jitters ~0.1 ns at these scales).
+TELEMETRY_MAX_FRACTION = 0.02
+TELEMETRY_NOISE_FLOOR_NS = 0.1
+
+
+def metric(report: dict, key: str) -> float:
+    """Reads a metric from the unified schema ({"metrics": {...}}), falling
+    back to the flat pre-unification layout."""
+    if "metrics" in report and key in report["metrics"]:
+        return report["metrics"][key]
+    return report[key]
+
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
@@ -41,7 +55,7 @@ def main() -> int:
 
     failed = False
     for key in RELATIVE_METRICS:
-        cur, base = current[key], baseline[key]
+        cur, base = metric(current, key), metric(baseline, key)
         ratio = cur / base if base > 0 else float("inf")
         status = "ok"
         if ratio > 1.0 + args.threshold:
@@ -51,12 +65,27 @@ def main() -> int:
               f"({ratio - 1.0:+.1%}) {status}")
 
     for key, ceiling in ABSOLUTE_CEILINGS:
-        cur = current[key]
+        cur = metric(current, key)
         status = "ok"
         if cur > ceiling:
             status = f"FAIL (> {ceiling})"
             failed = True
         print(f"{key}: {cur:.3f} (ceiling {ceiling}) {status}")
+
+    try:
+        overhead = metric(current, "telemetry_overhead_ns")
+    except KeyError:
+        overhead = None
+    if overhead is not None:
+        ceiling = max(TELEMETRY_NOISE_FLOOR_NS,
+                      TELEMETRY_MAX_FRACTION
+                      * metric(current, "scalar_ns_per_access"))
+        status = "ok"
+        if overhead > ceiling:
+            status = f"FAIL (> {ceiling:.3f})"
+            failed = True
+        print(f"telemetry_overhead_ns: {overhead:.3f} "
+              f"(ceiling {ceiling:.3f}) {status}")
 
     if failed:
         print("perf smoke FAILED", file=sys.stderr)

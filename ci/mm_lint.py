@@ -22,6 +22,11 @@ Rules (see DESIGN.md "Concurrency contracts & static analysis"):
   MML005  (void)-discarded call without a reason comment. Discarding a
           [[nodiscard]] Status is allowed only with a same-line or
           preceding-line comment saying why the error cannot matter.
+  MML006  Telemetry metric name (string literal passed to GetCounter /
+          GetGauge / GetHistogram in include/ or src/) that does not match
+          `mm.<subsystem>.<name>` (lowercase + underscores) or lacks a unit
+          suffix (_bytes, _ns, _count). The name catalog in DESIGN.md §11
+          and the epoch-report diffing both rely on this scheme.
 
 Suppression: put `mm-lint: allow(MMLnnn <reason>)` in a comment on the
 offending line or the line directly above it. Suppressions without a
@@ -75,6 +80,12 @@ MM_CHECK_RE = re.compile(r"\bMM_CHECK(?:_MSG)?\s*\(")
 
 # MML005 --------------------------------------------------------------------
 VOID_DISCARD_RE = re.compile(r"\(\s*void\s*\)\s*[\w:~]")
+
+# MML006 --------------------------------------------------------------------
+METRIC_GET_RE = re.compile(
+    r"Get(?:Counter|Gauge|Histogram)\s*\(\s*\"([^\"]*)\"")
+METRIC_NAME_RE = re.compile(r"mm\.[a-z_]+\.[a-z_]+\Z")
+METRIC_UNIT_SUFFIXES = ("_bytes", "_ns", "_count")
 
 ALLOW_RE = re.compile(r"mm-lint:\s*allow\(\s*(MML\d{3})\b([^)]*)\)")
 
@@ -335,12 +346,34 @@ class FileScanner:
                             "why the result cannot matter, on this line or "
                             "the line above")
 
+    def check_mml006(self) -> None:
+        # Runtime code only: tests/benches may register ad-hoc names for
+        # fixtures. Scans the ORIGINAL text because string literals are
+        # blanked out of self.code.
+        rel_norm = self.rel.replace(os.sep, "/")
+        if not rel_norm.startswith(("include/", "src/")):
+            return
+        for m in METRIC_GET_RE.finditer(self.text):
+            name = m.group(1)
+            # Anchor the finding on the literal itself (multi-line calls).
+            line = self.text.count("\n", 0, m.start(1)) + 1
+            if not METRIC_NAME_RE.fullmatch(name):
+                self.report(line, "MML006",
+                            f'metric name "{name}" must match '
+                            "`mm.<subsystem>.<name>` "
+                            "(lowercase letters and underscores)")
+            elif not name.endswith(METRIC_UNIT_SUFFIXES):
+                self.report(line, "MML006",
+                            f'metric name "{name}" lacks a unit suffix '
+                            f"({', '.join(METRIC_UNIT_SUFFIXES)})")
+
     def run(self) -> list[Finding]:
         self.check_mml001()
         self.check_mml002()
         self.check_mml003()
         self.check_mml004()
         self.check_mml005()
+        self.check_mml006()
         return self.findings
 
 

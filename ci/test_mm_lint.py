@@ -172,6 +172,49 @@ class Mml005VoidDiscardTest(unittest.TestCase):
         self.assertEqual(lint_snippet(snippet), [])
 
 
+class Mml006MetricNamesTest(unittest.TestCase):
+    def test_flags_wrong_scheme(self):
+        snippet = 'void F() {\n  reg.GetCounter("pcache_hits");\n}\n'
+        self.assertEqual(rules_of(lint_snippet(snippet)), ["MML006"])
+
+    def test_flags_missing_unit_suffix(self):
+        snippet = 'void F() {\n  reg.GetCounter("mm.pcache.hits");\n}\n'
+        self.assertEqual(rules_of(lint_snippet(snippet)), ["MML006"])
+
+    def test_flags_uppercase(self):
+        snippet = 'void F() {\n  reg.GetGauge("mm.Tier.used_bytes");\n}\n'
+        self.assertEqual(rules_of(lint_snippet(snippet)), ["MML006"])
+
+    def test_well_formed_names_are_clean(self):
+        snippet = ('void F() {\n'
+                   '  reg.GetCounter("mm.pcache.hit_count");\n'
+                   '  reg.GetGauge("mm.tier.dram_used_bytes");\n'
+                   '  reg.GetHistogram("mm.task.get_page_ns", bounds);\n'
+                   '}\n')
+        self.assertEqual(lint_snippet(snippet), [])
+
+    def test_multiline_call_is_checked(self):
+        snippet = ('void F() {\n'
+                   '  reg.GetHistogram(\n'
+                   '      "mm.service.fault.latency",\n'
+                   '      bounds);\n'
+                   '}\n')
+        findings = lint_snippet(snippet)
+        self.assertEqual(rules_of(findings), ["MML006"])
+        self.assertEqual(findings[0].line, 3)
+
+    def test_tests_and_bench_are_exempt(self):
+        snippet = 'void F() {\n  reg.GetCounter("whatever");\n}\n'
+        self.assertEqual(lint_snippet(snippet, rel="tests/test_x.cc"), [])
+        self.assertEqual(lint_snippet(snippet, rel="bench/hotpath.cc"), [])
+
+    def test_non_literal_first_arg_is_ignored(self):
+        # Dynamic names can't be validated statically; the catalog review
+        # catches them.
+        snippet = 'void F() {\n  reg.GetCounter(name);\n}\n'
+        self.assertEqual(lint_snippet(snippet), [])
+
+
 class SuppressionTest(unittest.TestCase):
     def test_allow_comment_suppresses_same_line(self):
         snippet = ("std::mutex mu_;  "

@@ -6,12 +6,18 @@
 // BoundMemory(MEGABYTES(1))), partitions it PGAS-style, and accumulates the
 // sum of squared distances to the given centroids inside a read-only
 // sequential transaction.
+// Telemetry demo: pass --trace=/tmp/mm_trace.json to dump a Chrome/Perfetto
+// trace of the run (virtual-clock timestamps; load at ui.perfetto.dev) and
+// --report=/tmp/mm_report.jsonl for the per-epoch JSON report; either flag
+// also prints the paper-style runtime table at the end.
 #include <cstdio>
 #include <cstring>
+#include <string>
 
 #include "mm/apps/datagen.h"
 #include "mm/apps/points.h"
 #include "mm/mega_mmap.h"
+#include "mm/telemetry/report.h"
 
 namespace {
 
@@ -43,8 +49,23 @@ double KMeansInertia(mm::Service& service, mm::comm::RankContext& ctx,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mm;
+
+  std::string trace_path, report_path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = arg.substr(8);
+    } else if (arg.rfind("--report=", 0) == 0) {
+      report_path = arg.substr(9);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--trace=PATH.json] [--report=PATH.jsonl]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
 
   // Generate /tmp/points.parquet in the columnar spar format (3 float32
   // position columns), the reproduction's parquet equivalent.
@@ -81,6 +102,8 @@ int main() {
   ServiceOptions sopts;
   sopts.tier_grants = {{sim::TierKind::kDram, MEGABYTES(64)},
                        {sim::TierKind::kNvme, MEGABYTES(256)}};
+  sopts.telemetry.trace_path = trace_path;
+  sopts.telemetry.report_path = report_path;
   Service service(cluster.get(), sopts);
 
   double total = 0;
@@ -97,5 +120,15 @@ int main() {
   }
   std::printf("inertia = %.1f over %llu points (virtual runtime %.3f s)\n",
               total, (unsigned long long)gen.num_particles, result.max_time);
+  if (!trace_path.empty() || !report_path.empty()) {
+    std::string epoch = service.EpochReport(result.max_time);
+    if (!epoch.empty()) std::printf("%s\n", epoch.c_str());
+    std::printf("%s", telemetry::FormatReportTable(service.TelemetrySnapshot())
+                          .c_str());
+    if (!trace_path.empty()) {
+      std::printf("trace -> %s (load at https://ui.perfetto.dev)\n",
+                  trace_path.c_str());
+    }
+  }
   return 0;
 }

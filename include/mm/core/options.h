@@ -17,6 +17,26 @@
 
 namespace mm::core {
 
+/// Observability knobs (DESIGN.md §11). Metrics counters are always live
+/// when compiled in (MM_TELEMETRY=ON, the default); these options gate the
+/// trace recorder and the epoch report.
+struct TelemetryOptions {
+  /// Master switch for tracing + reporting. Metric counters stay on (they
+  /// are relaxed atomics off the per-access path); compile with
+  /// -DMM_TELEMETRY=OFF to remove instrumentation entirely.
+  bool enabled = true;
+  /// Non-empty: record virtual-clock spans and write a Chrome/Perfetto
+  /// trace (chrome://tracing, https://ui.perfetto.dev) here at Shutdown.
+  std::string trace_path;
+  /// Trace ring-buffer capacity in events (oldest dropped when full).
+  std::uint64_t trace_capacity = 1 << 16;
+  /// Minimum virtual seconds between epochs emitted by MaybeEpochReport
+  /// (0 = every call reports).
+  double report_interval_s = 0.0;
+  /// Non-empty: per-epoch JSON lines are appended here.
+  std::string report_path;
+};
+
 /// Per-vector knobs. Page size is immutable after creation (paper §III-C:
 /// "immutable after the creation of the vector").
 struct VectorOptions {
@@ -64,6 +84,8 @@ struct ServiceOptions {
   RetryPolicy retry;
   /// Fault-injection plan (defaults to no faults).
   sim::FaultConfig faults;
+  /// Observability: trace recording and per-epoch runtime reports.
+  TelemetryOptions telemetry;
 
   /// Parses a service config from YAML, e.g.:
   ///   runtime:
@@ -82,6 +104,11 @@ struct ServiceOptions {
   ///     seed: 42
   ///     nvme:
   ///       transient_error_rate: 0.01
+  ///   telemetry:
+  ///     enabled: true
+  ///     trace_path: /tmp/mm_trace.json
+  ///     report_interval_s: 1.0
+  ///     report_path: /tmp/mm_report.jsonl
   static StatusOr<ServiceOptions> FromYaml(const yaml::Node& root);
 };
 

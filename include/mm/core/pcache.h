@@ -150,6 +150,16 @@ class PCache {
   }
   std::optional<PendingFetch> TakePending(std::uint64_t page);
   std::size_t num_pending() const { return pending_.size(); }
+  /// Detaches every pending fetch without waiting (as in Clear); resident
+  /// frames stay. Returns how many fetches were dropped. Used at phase
+  /// changes: an in-flight prefetch was routed and versioned under the old
+  /// phase's coherence rules, so adopting it later could resurrect an
+  /// invalidated replica's data.
+  std::size_t DropPendings() {
+    std::size_t n = pending_.size();
+    pending_.clear();
+    return n;
+  }
   /// Prefetches in flight also count against the capacity budget.
   std::uint64_t committed() const {
     return used() + pending_.size() * page_bytes_;

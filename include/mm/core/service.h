@@ -24,6 +24,10 @@
 #include "mm/storage/buffer_manager.h"
 #include "mm/storage/metadata.h"
 #include "mm/storage/stager.h"
+#include "mm/telemetry/metrics.h"
+#include "mm/telemetry/report.h"
+#include "mm/telemetry/sink.h"
+#include "mm/telemetry/trace.h"
 #include "mm/util/blocking_queue.h"
 #include "mm/util/mutex.h"
 
@@ -100,7 +104,7 @@ class NodeRuntime {
   }
 
  private:
-  void WorkerLoop(BlockingQueue<MemoryTask>* queue);
+  void WorkerLoop(BlockingQueue<MemoryTask>* queue, int worker_id);
   TaskOutcome Execute(MemoryTask& task);
   TaskOutcome ExecuteGetPage(MemoryTask& task);
   TaskOutcome ExecuteWritePartial(MemoryTask& task);
@@ -124,6 +128,17 @@ class NodeRuntime {
   Service* service_;
   std::size_t node_id_;
   const ServiceOptions& options_;
+  // Telemetry sink and cached metric handles (resolved once; the hot paths
+  // only touch relaxed atomics). tel_ must precede bm_: the buffer manager
+  // is constructed with this node's sink.
+  telemetry::NodeSink tel_;
+  telemetry::Counter* task_executed_;          // mm.task.executed_count
+  telemetry::Gauge* queue_depth_;              // mm.task.queue_depth_count
+  telemetry::Counter* stager_read_bytes_;      // mm.stager.read_bytes
+  telemetry::Counter* stager_write_bytes_;     // mm.stager.write_bytes
+  telemetry::Counter* stager_errors_;          // mm.stager.errors_count
+  telemetry::Counter* stager_retries_;         // mm.stager.retries_count
+  telemetry::Histogram* task_latency_[5];      // mm.task.<kind>_ns, by Kind
   storage::BufferManager bm_;
   PagePool pool_;
   std::vector<std::unique_ptr<BlockingQueue<MemoryTask>>> high_queues_;
@@ -155,7 +170,32 @@ class Service {
   /// tests use it to trigger failures (FailTier) and read stats.
   sim::FaultInjector& fault_injector() { return *injector_; }
 
-  // ---- fault recovery (tentpole) ----
+  // ---- telemetry ----
+
+  /// This node's metric/trace sink. Registries live as long as the service;
+  /// instrumented components cache the returned pointers.
+  telemetry::NodeSink telemetry_sink(std::size_t node) {
+    return {metrics_[node].get(), trace_.get(), static_cast<int>(node)};
+  }
+  telemetry::MetricsRegistry& metrics(std::size_t node) {
+    return *metrics_[node];
+  }
+  telemetry::TraceRecorder& trace() { return *trace_; }
+
+  /// Aggregated view of every node's registry. Snapshot-time gauges (tier
+  /// occupancy, pool counters) are refreshed before reading.
+  telemetry::ClusterSnapshot TelemetrySnapshot();
+
+  /// Emits one epoch report line (JSON deltas vs the previous epoch) and
+  /// returns it; appends to `telemetry.report_path` when configured.
+  /// Returns "" when telemetry is disabled.
+  std::string EpochReport(double now_s);
+
+  /// EpochReport, rate-limited by `telemetry.report_interval_s`. Returns ""
+  /// when the interval has not elapsed (or the interval is unset).
+  std::string MaybeEpochReport(double now_s);
+
+  // ---- fault recovery ----
 
   /// Tier-failure recovery, invoked by a node's BufferManager after a tier
   /// permanently fails: lost replicas are unregistered, lost clean primaries
@@ -288,6 +328,13 @@ class Service {
   ServiceOptions options_;
   std::unique_ptr<sim::FaultInjector> injector_;
   std::unique_ptr<storage::MetadataManager> metadata_;
+  // Telemetry state must precede runtimes_: each NodeRuntime grabs its sink
+  // during construction.
+  std::vector<std::unique_ptr<telemetry::MetricsRegistry>> metrics_;
+  std::unique_ptr<telemetry::TraceRecorder> trace_;
+  std::unique_ptr<telemetry::EpochReporter> reporter_;
+  Mutex report_mu_;
+  double last_epoch_s_ MM_GUARDED_BY(report_mu_) = 0.0;
   std::vector<std::unique_ptr<NodeRuntime>> runtimes_;
 
   mutable Mutex lost_mu_;

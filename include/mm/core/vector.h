@@ -67,6 +67,21 @@ class Vector {
     }
     const auto& costs = ctx_->costs();
     scalar_access_cost_s_ = costs.memory_access_s + costs.mm_access_overhead_s;
+    // Metric handles resolved once; the access paths below only do relaxed
+    // atomic adds, and only at frame-resolution granularity (the last-page
+    // cache keeps per-element accesses metric-free).
+    telemetry::NodeSink tel = service.telemetry_sink(ctx.node());
+    tel_ = tel;
+    hit_count_ = tel.metrics->GetCounter("mm.pcache.hit_count");
+    miss_count_ = tel.metrics->GetCounter("mm.pcache.miss_count");
+    eviction_count_ = tel.metrics->GetCounter("mm.pcache.eviction_count");
+    pin_stall_count_ = tel.metrics->GetCounter("mm.pcache.pin_stall_count");
+    writeback_count_ = tel.metrics->GetCounter("mm.pcache.writeback_count");
+    writeback_bytes_ = tel.metrics->GetCounter("mm.pcache.writeback_bytes");
+    prefetch_issued_ = tel.metrics->GetCounter("mm.prefetch.issued_count");
+    prefetch_useful_ = tel.metrics->GetCounter("mm.prefetch.useful_count");
+    prefetch_wasted_ = tel.metrics->GetCounter("mm.prefetch.wasted_count");
+    score_count_ = tel.metrics->GetCounter("mm.prefetch.score_count");
   }
 
   // Paper semantics: vectors are NOT destroyed in the destructor; call
@@ -165,6 +180,9 @@ class Vector {
     MM_CHECK_MSG(tx_ != nullptr, "TxEnd without active transaction");
     FlushDirtyFrames(/*retain=*/true);
     WaitOutstanding();
+    tel_.trace->Complete(tx_->writes() ? "tx_write" : "tx_read", "tx",
+                         tel_.node, ctx_->rank(), tx_begin_s_,
+                         ctx_->clock().now());
     tx_.reset();
   }
 
@@ -372,6 +390,9 @@ class Vector {
                                       ctx_->clock().now(), &done);
     if (!st.ok()) throw std::runtime_error("ChangePhase: " + st.ToString());
     ctx_->clock().AdvanceTo(done);
+    // In-flight prefetches were routed and versioned under the old phase;
+    // adopting one after the switch could resurrect invalidated data.
+    prefetch_wasted_->Inc(pcache_->DropPendings());
     // Replicas this rank was reading may be gone.
     last_page_ = kNoPage;
     last_frame_ = nullptr;
@@ -389,6 +410,8 @@ class Vector {
   /// design. The backend object is kept unless `remove_backend`.
   void Destroy(bool remove_backend = false) {
     WaitOutstanding();
+    // Pending prefetches dropped here were fetched for nothing.
+    prefetch_wasted_->Inc(pcache_->num_pending());
     pcache_->Clear();
     last_page_ = kNoPage;
     last_frame_ = nullptr;
@@ -490,6 +513,7 @@ class Vector {
     MM_CHECK_MSG(tx_ == nullptr,
                  "nested transactions on one vector are not supported");
     tx_ = std::move(tx);
+    tx_begin_s_ = ctx_->clock().now();
     AcquireCoherence();
     if (options_.prefetch_depth > 0 && service_->options().enable_prefetch) {
       PrefetchStep();  // warm the initial window
@@ -576,7 +600,11 @@ class Vector {
   }
 
   PageFrame* FetchFrame(std::uint64_t page) {
-    if (PageFrame* f = pcache_->Find(page)) return f;
+    if (PageFrame* f = pcache_->Find(page)) {
+      hit_count_->Inc();
+      return f;
+    }
+    miss_count_->Inc();
     // Read-your-writes: if this rank evicted dirty data for this page and
     // the async commit has not landed yet, wait for it (real time only —
     // the commit is still asynchronous in simulated time).
@@ -584,6 +612,9 @@ class Vector {
     std::vector<std::uint8_t> data;
     std::uint64_t version = 0;
     if (auto pending = pcache_->TakePending(page)) {
+      // A demand access adopting an in-flight prefetch is what makes the
+      // prefetch useful; pendings dropped unadopted count as wasted.
+      prefetch_useful_->Inc();
       // A prefetch already fetched (or is fetching) this page: the access
       // only stalls for whatever part of the fetch has not overlapped with
       // compute.
@@ -629,7 +660,12 @@ class Vector {
   void MakeRoom() {
     while (pcache_->NeedsEviction()) {
       auto victim = pcache_->PickVictim();
-      if (!victim.has_value()) break;
+      if (!victim.has_value()) {
+        // Everything evictable is pinned by live spans: the cache runs over
+        // its bound until a span ends. Surfaced as a pin stall.
+        pin_stall_count_->Inc();
+        break;
+      }
       EvictPage(*victim);
     }
   }
@@ -645,6 +681,7 @@ class Vector {
       last_frame_ = nullptr;
     }
     ++evictions_;
+    eviction_count_->Inc();
     if (frame->dirty.Any()) {
       ShipDirtyRuns(page, *frame);
     }
@@ -663,6 +700,8 @@ class Vector {
       std::uint64_t len = (hi - lo) * es;
       std::vector<std::uint8_t> bytes = pool.Acquire(len);
       std::memcpy(bytes.data(), frame.data.data() + off, len);
+      writeback_count_->Inc();
+      writeback_bytes_->Inc(len);
       ctx_->Compute(static_cast<double>(len) / ctx_->costs().memcpy_Bps);
       outstanding_.emplace_back(
           page, service_->WriteRegion(*meta_, page, off, std::move(bytes),
@@ -746,6 +785,7 @@ class Vector {
     state.page_bytes = meta_->page_bytes;
     PrefetcherOps ops;
     ops.set_score = [&](std::uint64_t page, float score) {
+      score_count_->Inc();
       service_->SubmitScore(*meta_, page, score, ctx_->node(),
                             ctx_->clock().now());
     };
@@ -758,6 +798,7 @@ class Vector {
       auto ar = service_->ReadPageAsync(*meta_, page, ctx_->node(),
                                         ctx_->clock().now());
       ++prefetches_;
+      prefetch_issued_->Inc();
       pcache_->AddPending(page,
                           PendingFetch{std::move(ar.future), ar.owner,
                                        ar.owner != ctx_->node()});
@@ -794,6 +835,19 @@ class Vector {
   std::uint64_t faults_ = 0;
   std::uint64_t evictions_ = 0;
   std::uint64_t prefetches_ = 0;
+  // Cached telemetry handles (see the constructor for the name catalog).
+  telemetry::Counter* hit_count_ = nullptr;
+  telemetry::Counter* miss_count_ = nullptr;
+  telemetry::Counter* eviction_count_ = nullptr;
+  telemetry::Counter* pin_stall_count_ = nullptr;
+  telemetry::Counter* writeback_count_ = nullptr;
+  telemetry::Counter* writeback_bytes_ = nullptr;
+  telemetry::Counter* prefetch_issued_ = nullptr;
+  telemetry::Counter* prefetch_useful_ = nullptr;
+  telemetry::Counter* prefetch_wasted_ = nullptr;
+  telemetry::Counter* score_count_ = nullptr;
+  telemetry::NodeSink tel_ = telemetry::NodeSink::Dummy();
+  sim::SimTime tx_begin_s_ = 0.0;
 };
 
 }  // namespace mm::core

@@ -22,6 +22,7 @@
 #include "mm/sim/cluster.h"
 #include "mm/sim/fault.h"
 #include "mm/storage/tier_store.h"
+#include "mm/telemetry/sink.h"
 #include "mm/util/mutex.h"
 #include "mm/util/retry.h"
 
@@ -42,9 +43,10 @@ class BufferManager {
 
   /// `node` must outlive the manager; every grant's tier must exist on it.
   /// `injector` (optional, not owned) feeds faults into the tier stores.
+  /// `sink` receives placement metrics and is forwarded to the tier stores.
   BufferManager(sim::Node* node, const std::vector<TierGrant>& grants,
-                sim::FaultInjector* injector = nullptr,
-                RetryPolicy retry = {});
+                sim::FaultInjector* injector = nullptr, RetryPolicy retry = {},
+                telemetry::NodeSink sink = telemetry::NodeSink::Dummy());
 
   std::size_t num_tiers() const { return tiers_.size(); }
   TierStore& tier(std::size_t i) { return *tiers_[i]; }
@@ -165,6 +167,8 @@ class BufferManager {
 
   std::vector<std::unique_ptr<TierStore>> tiers_;
   RetryPolicy retry_;
+  telemetry::Counter* demotions_;   // mm.tier.demotion_count
+  telemetry::Counter* promotions_;  // mm.tier.promotion_count
   mutable Mutex mu_;  // guards scores_ and placement orchestration
   std::unordered_map<BlobId, float, BlobIdHash> scores_ MM_GUARDED_BY(mu_);
   std::vector<bool> tier_drained_ MM_GUARDED_BY(mu_);

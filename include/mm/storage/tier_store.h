@@ -20,6 +20,7 @@
 #include "mm/sim/device.h"
 #include "mm/sim/fault.h"
 #include "mm/storage/blob.h"
+#include "mm/telemetry/sink.h"
 #include "mm/util/mutex.h"
 #include "mm/util/status.h"
 
@@ -29,10 +30,11 @@ class TierStore {
  public:
   /// `device` outlives the store. `capacity` is the slice of the device
   /// granted to this program (Fig. 7 varies exactly this). `injector` is
-  /// optional and not owned; when null the store never faults.
+  /// optional and not owned; when null the store never faults. `sink`
+  /// receives per-tier byte counters and "tier" trace spans.
   TierStore(sim::Device* device, std::uint64_t capacity,
-            sim::FaultInjector* injector = nullptr)
-      : device_(device), capacity_(capacity), injector_(injector) {}
+            sim::FaultInjector* injector = nullptr,
+            telemetry::NodeSink sink = telemetry::NodeSink::Dummy());
 
   sim::TierKind kind() const { return device_->kind(); }
   /// Granted capacity; 0 once the tier has failed so placement skips it.
@@ -116,9 +118,16 @@ class TierStore {
   Status InjectFault(bool is_write, sim::SimTime now, sim::SimTime* done,
                      double* time_factor) const;
 
+  /// Records the byte counter and a "tier" span for one completed device op.
+  void Record(bool is_write, std::uint64_t bytes, sim::SimTime now,
+              sim::SimTime done) const;
+
   sim::Device* device_;
   std::uint64_t capacity_;
   sim::FaultInjector* injector_;
+  telemetry::NodeSink sink_;
+  telemetry::Counter* read_bytes_;   // mm.tier.<kind>_read_bytes
+  telemetry::Counter* write_bytes_;  // mm.tier.<kind>_write_bytes
   mutable std::atomic<bool> failed_{false};
   mutable Mutex mu_;
   std::uint64_t used_ MM_GUARDED_BY(mu_) = 0;

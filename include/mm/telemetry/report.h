@@ -1,0 +1,57 @@
+// mm_report: the runtime-report formatter (DESIGN.md §11). Turns the
+// cluster-wide snapshot from Service::TelemetrySnapshot() into (a) a
+// paper-style table rendered with util::TablePrinter and (b) per-epoch
+// JSON lines, where each epoch reports the counter/histogram deltas since
+// the previous epoch (gauges are reported absolute).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "mm/telemetry/metrics.h"
+#include "mm/util/mutex.h"
+#include "mm/util/status.h"
+
+namespace mm::telemetry {
+
+/// Cluster-wide snapshot: per-node registries plus their aggregate.
+struct ClusterSnapshot {
+  MetricsSnapshot totals;
+  std::vector<MetricsSnapshot> per_node;
+};
+
+/// Renders the aggregate as a metric/value table (counters, then gauges,
+/// then histograms as count/mean rows).
+std::string FormatReportTable(const ClusterSnapshot& snap, bool csv = false);
+
+/// Serializes one snapshot as a JSON object (absolute values).
+std::string SnapshotToJson(const MetricsSnapshot& snap);
+
+/// Emits one JSON line per epoch with deltas since the previous epoch.
+/// Thread-safe; typically driven once per application iteration and once
+/// more at shutdown.
+class EpochReporter {
+ public:
+  /// `path` receives the JSON lines; empty disables writing (Epoch still
+  /// returns the formatted line).
+  explicit EpochReporter(std::string path = "");
+  ~EpochReporter();
+  EpochReporter(const EpochReporter&) = delete;
+  EpochReporter& operator=(const EpochReporter&) = delete;
+
+  /// Closes the current epoch at virtual time `now_s`: returns the JSON
+  /// line {"epoch":N,"t_s":...,"metrics":{...deltas...}} and appends it to
+  /// the report file when one was configured.
+  std::string Epoch(const ClusterSnapshot& snap, double now_s);
+
+  int epochs() const;
+
+ private:
+  mutable Mutex mu_;
+  std::FILE* out_ MM_GUARDED_BY(mu_) = nullptr;
+  MetricsSnapshot prev_ MM_GUARDED_BY(mu_);
+  int epoch_ MM_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace mm::telemetry

@@ -1,0 +1,104 @@
+// Chrome/Perfetto trace recorder (DESIGN.md §11). Records complete ('X')
+// spans and instant ('i') events stamped from the *virtual* clock
+// (sim::SimTime seconds → microseconds), so the simulated I/O time is what
+// shows up on the timeline, not wall time. One process-wide recorder; the
+// Chrome `pid` field carries the node id so each node renders as its own
+// track, and `tid` carries the rank or worker id within the node.
+//
+// Storage is a bounded ring: when full, the oldest event is overwritten
+// and `dropped()` counts the loss. Recording is off by default; when
+// disabled, Complete/Instant are a single relaxed atomic load.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mm/util/mutex.h"
+#include "mm/util/status.h"
+
+#ifndef MM_TELEMETRY_ENABLED
+#define MM_TELEMETRY_ENABLED 1
+#endif
+
+namespace mm::telemetry {
+
+/// One trace_event entry. `ts_us`/`dur_us` are virtual microseconds.
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  char ph = 'X';  // 'X' = complete span, 'i' = instant
+  double ts_us = 0.0;
+  double dur_us = 0.0;  // spans only
+  int pid = 0;          // node id
+  int tid = 0;          // rank / worker id within the node
+};
+
+#if MM_TELEMETRY_ENABLED
+
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(std::size_t capacity = 1 << 16);
+
+  /// Recording gate, checked first on every emit path (relaxed atomic).
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Records a complete span covering virtual seconds [begin_s, end_s].
+  void Complete(std::string_view name, std::string_view cat, int node, int tid,
+                double begin_s, double end_s);
+
+  /// Records an instant event at virtual second `t_s`.
+  void Instant(std::string_view name, std::string_view cat, int node, int tid,
+               double t_s);
+
+  /// Events in record order, oldest first.
+  std::vector<TraceEvent> Snapshot() const;
+
+  /// Events overwritten because the ring was full.
+  std::uint64_t dropped() const;
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+  /// Serializes to Chrome trace format: {"traceEvents":[...]}.
+  std::string ToJson() const;
+  Status WriteJson(const std::string& path) const;
+
+  /// Never-enabled shared instance for components wired without telemetry.
+  static TraceRecorder& Dummy();
+
+ private:
+  void Push(TraceEvent ev);
+
+  const std::size_t capacity_;
+  std::atomic<bool> enabled_{false};
+  mutable Mutex mu_;
+  std::vector<TraceEvent> ring_ MM_GUARDED_BY(mu_);  // insertion ring
+  std::size_t head_ MM_GUARDED_BY(mu_) = 0;  // next overwrite slot once full
+  std::uint64_t dropped_ MM_GUARDED_BY(mu_) = 0;
+};
+
+#else  // !MM_TELEMETRY_ENABLED
+
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(std::size_t = 0) {}
+  void set_enabled(bool) {}
+  bool enabled() const { return false; }
+  void Complete(std::string_view, std::string_view, int, int, double, double) {
+  }
+  void Instant(std::string_view, std::string_view, int, int, double) {}
+  std::vector<TraceEvent> Snapshot() const { return {}; }
+  std::uint64_t dropped() const { return 0; }
+  std::size_t size() const { return 0; }
+  std::size_t capacity() const { return 0; }
+  std::string ToJson() const { return "{\"traceEvents\":[]}\n"; }
+  Status WriteJson(const std::string&) const { return Status::Ok(); }
+  static TraceRecorder& Dummy();
+};
+
+#endif  // MM_TELEMETRY_ENABLED
+
+}  // namespace mm::telemetry

@@ -4,8 +4,10 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <sstream>
 #include <string>
+#include <utility>
 
 #include "mm/util/mutex.h"
 
@@ -49,23 +51,53 @@ class Logger {
 /// Parses a level name; defaults to kWarn on unknown input.
 LogLevel ParseLogLevel(const std::string& name);
 
+// ---- per-thread log context ------------------------------------------------
+// Rank and worker threads install a context so their log lines carry the
+// virtual-clock timestamp and node rank: "[t=12.345s n3 WARN] module: ...".
+// Threads without a context keep the bare "[WARN] module: ..." format.
+// The clock callback runs on the owning thread only (VirtualClock is
+// thread-confined), which is exactly where its log statements execute.
+
+/// Installs a context for the calling thread. `sim_now` may be empty
+/// (node prefix only); `node` < 0 omits the node prefix.
+void SetThreadLogContext(std::function<double()> sim_now, int node);
+void ClearThreadLogContext();
+
+/// RAII variant: installs on construction, clears on destruction.
+class ScopedLogContext {
+ public:
+  ScopedLogContext(std::function<double()> sim_now, int node) {
+    SetThreadLogContext(std::move(sim_now), node);
+  }
+  ~ScopedLogContext() { ClearThreadLogContext(); }
+  ScopedLogContext(const ScopedLogContext&) = delete;
+  ScopedLogContext& operator=(const ScopedLogContext&) = delete;
+};
+
 namespace detail {
-/// Stream-style log statement builder: destructor emits the line.
+/// Stream-style log statement builder: destructor emits the line. The
+/// level check is latched once in the constructor — the previous design
+/// re-queried Logger::Get().Enabled() on every operator<< (an atomic load
+/// per streamed value) and once more in the destructor.
 class LogLine {
  public:
-  LogLine(LogLevel level, const char* module) : level_(level), module_(module) {}
+  LogLine(LogLevel level, const char* module)
+      : enabled_(Logger::Get().Enabled(level)),
+        level_(level),
+        module_(module) {}
   ~LogLine() {
-    if (Logger::Get().Enabled(level_)) {
+    if (enabled_) {
       Logger::Get().Write(level_, module_, oss_.str());
     }
   }
   template <typename T>
   LogLine& operator<<(const T& v) {
-    if (Logger::Get().Enabled(level_)) oss_ << v;
+    if (enabled_) oss_ << v;
     return *this;
   }
 
  private:
+  const bool enabled_;
   LogLevel level_;
   const char* module_;
   std::ostringstream oss_;

@@ -20,6 +20,11 @@ RunResult RunRanks(sim::Cluster& cluster, int num_ranks, int ranks_per_node,
   for (int rank = 0; rank < num_ranks; ++rank) {
     threads.emplace_back([&, rank] {
       RankContext ctx(&world, rank);
+      // Log lines from this rank carry its virtual clock and node id
+      // ("[t=12.345s n3 WARN] ..."). The clock is thread-confined to this
+      // rank, so reading it from the logging callback is safe.
+      ScopedLogContext log_ctx([&ctx] { return ctx.clock().now(); },
+                               static_cast<int>(ctx.node()));
       try {
         body(ctx);
         mm::MutexLock lock(result_mu);

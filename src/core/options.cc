@@ -39,6 +39,19 @@ StatusOr<ServiceOptions> ServiceOptions::FromYaml(const yaml::Node& root) {
   if (root.Has("faults")) {
     MM_ASSIGN_OR_RETURN(opts.faults, sim::FaultConfig::FromYaml(root["faults"]));
   }
+  const yaml::Node& telemetry = root["telemetry"];
+  if (telemetry.IsMap()) {
+    opts.telemetry.enabled =
+        telemetry.GetBool("enabled", opts.telemetry.enabled);
+    opts.telemetry.trace_path =
+        telemetry.GetString("trace_path", opts.telemetry.trace_path);
+    opts.telemetry.trace_capacity =
+        telemetry.GetBytes("trace_capacity", opts.telemetry.trace_capacity);
+    opts.telemetry.report_interval_s = telemetry.GetDouble(
+        "report_interval_s", opts.telemetry.report_interval_s);
+    opts.telemetry.report_path =
+        telemetry.GetString("report_path", opts.telemetry.report_path);
+  }
   const yaml::Node& tiers = root["tiers"];
   if (tiers.IsList()) {
     for (const yaml::Node& tier : tiers.Items()) {

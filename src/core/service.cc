@@ -13,6 +13,60 @@ constexpr std::uint64_t kControlBytes = 64;  // task request envelope
 void Merge(sim::SimTime end, sim::SimTime* done) {
   if (done != nullptr) *done = std::max(*done, end);
 }
+
+const char* TaskKindName(MemoryTask::Kind kind) {
+  switch (kind) {
+    case MemoryTask::Kind::kGetPage:
+      return "get_page";
+    case MemoryTask::Kind::kWritePartial:
+      return "write_partial";
+    case MemoryTask::Kind::kScore:
+      return "score";
+    case MemoryTask::Kind::kStageOut:
+      return "stage_out";
+    case MemoryTask::Kind::kErase:
+      return "erase";
+  }
+  return "task";
+}
+
+// Names are spelt out per kind so they stay literal (lint rule MML006
+// validates literals).
+telemetry::Histogram* TaskHistogram(telemetry::NodeSink sink,
+                                    MemoryTask::Kind kind) {
+  std::vector<double> bounds = telemetry::LatencyBoundsNs();
+  switch (kind) {
+    case MemoryTask::Kind::kGetPage:
+      return sink.metrics->GetHistogram("mm.task.get_page_ns",
+                                        std::move(bounds));
+    case MemoryTask::Kind::kWritePartial:
+      return sink.metrics->GetHistogram("mm.task.write_partial_ns",
+                                        std::move(bounds));
+    case MemoryTask::Kind::kScore:
+      return sink.metrics->GetHistogram("mm.task.score_ns", std::move(bounds));
+    case MemoryTask::Kind::kStageOut:
+      return sink.metrics->GetHistogram("mm.task.stage_out_ns",
+                                        std::move(bounds));
+    default:
+      return sink.metrics->GetHistogram("mm.task.erase_ns", std::move(bounds));
+  }
+}
+
+telemetry::Gauge* TierUsedGauge(telemetry::MetricsRegistry& reg,
+                                sim::TierKind kind) {
+  switch (kind) {
+    case sim::TierKind::kDram:
+      return reg.GetGauge("mm.tier.dram_used_bytes");
+    case sim::TierKind::kNvme:
+      return reg.GetGauge("mm.tier.nvme_used_bytes");
+    case sim::TierKind::kSsd:
+      return reg.GetGauge("mm.tier.ssd_used_bytes");
+    case sim::TierKind::kHdd:
+      return reg.GetGauge("mm.tier.hdd_used_bytes");
+    default:
+      return reg.GetGauge("mm.tier.pfs_used_bytes");
+  }
+}
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -25,8 +79,20 @@ NodeRuntime::NodeRuntime(Service* service, std::size_t node_id,
     : service_(service),
       node_id_(node_id),
       options_(options),
+      tel_(service->telemetry_sink(node_id)),
+      task_executed_(tel_.metrics->GetCounter("mm.task.executed_count")),
+      queue_depth_(tel_.metrics->GetGauge("mm.task.queue_depth_count")),
+      stager_read_bytes_(tel_.metrics->GetCounter("mm.stager.read_bytes")),
+      stager_write_bytes_(tel_.metrics->GetCounter("mm.stager.write_bytes")),
+      stager_errors_(tel_.metrics->GetCounter("mm.stager.errors_count")),
+      stager_retries_(tel_.metrics->GetCounter("mm.stager.retries_count")),
+      task_latency_{TaskHistogram(tel_, MemoryTask::Kind::kGetPage),
+                    TaskHistogram(tel_, MemoryTask::Kind::kWritePartial),
+                    TaskHistogram(tel_, MemoryTask::Kind::kScore),
+                    TaskHistogram(tel_, MemoryTask::Kind::kStageOut),
+                    TaskHistogram(tel_, MemoryTask::Kind::kErase)},
       bm_(&service->cluster().node(node_id), grants,
-          &service->fault_injector(), options.retry) {
+          &service->fault_injector(), options.retry, tel_) {
   bm_.SetTierFailureHandler(
       [this](sim::TierKind kind, const std::vector<storage::BlobId>& lost,
              sim::SimTime now) {
@@ -40,8 +106,10 @@ NodeRuntime::NodeRuntime(Service* service, std::size_t node_id,
   for (int i = 0; i < low; ++i) {
     low_queues_.push_back(std::make_unique<BlockingQueue<MemoryTask>>());
   }
-  auto spawn = [this](BlockingQueue<MemoryTask>* q) {
-    workers_.emplace_back([this, q] { WorkerLoop(q); });
+  int wid = 0;
+  auto spawn = [this, &wid](BlockingQueue<MemoryTask>* q) {
+    int id = wid++;
+    workers_.emplace_back([this, q, id] { WorkerLoop(q, id); });
   };
   for (auto& q : high_queues_) spawn(q.get());
   for (auto& q : low_queues_) spawn(q.get());
@@ -77,6 +145,7 @@ Status NodeRuntime::Submit(MemoryTask task) {
   // promise — if any — is fulfilled so no waiter hangs.
   if (!shut_down_.load(std::memory_order_acquire) &&
       queue->Push(std::move(task))) {
+    queue_depth_->Add(1);
     return Status::Ok();
   }
   Status st = FailedPrecondition("submit after runtime shutdown");
@@ -89,10 +158,21 @@ Status NodeRuntime::Submit(MemoryTask task) {
   return st;
 }
 
-void NodeRuntime::WorkerLoop(BlockingQueue<MemoryTask>* queue) {
+void NodeRuntime::WorkerLoop(BlockingQueue<MemoryTask>* queue, int worker_id) {
+  // Worker log lines carry the node rank. No virtual-clock callback: tasks
+  // carry their own issue times, there is no per-worker clock to sample.
+  ScopedLogContext log_ctx(nullptr, static_cast<int>(node_id_));
   while (auto task = queue->Pop()) {
+    queue_depth_->Add(-1);
+    const MemoryTask::Kind kind = task->kind;
+    const sim::SimTime issued = task->issue_time;
     TaskOutcome outcome = Execute(*task);
     tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+    task_executed_->Inc();
+    task_latency_[static_cast<int>(kind)]->Observe((outcome.done - issued) *
+                                                   1e9);
+    tel_.trace->Complete(TaskKindName(kind), "task", tel_.node, worker_id,
+                         issued, outcome.done);
     // Recycle the request payload (Execute consumed it) whether the task
     // succeeded or failed, so error paths do not leak buffers out of the
     // pool's circulation.
@@ -129,17 +209,19 @@ Status NodeRuntime::BackendRead(VectorMeta& meta, std::uint64_t offset,
                                 std::vector<std::uint8_t>* bytes,
                                 sim::SimTime now, sim::SimTime* done) {
   sim::Device& pfs = service_->cluster().pfs();
-  return RunWithRetry(
-      options_.retry, now, done,
+  sim::SimTime end = now;
+  int attempts = 0;
+  Status st = RunWithRetry(
+      options_.retry, now, &end,
       [&](double start, double* attempt_done) -> Status {
         auto d = service_->fault_injector().OnBackendOp();
         if (d.kind == sim::FaultInjector::Decision::Kind::kPermanent) {
           return Unavailable("PFS backend unavailable");
         }
         if (d.kind == sim::FaultInjector::Decision::Kind::kTransient) {
-          sim::SimTime end =
+          sim::SimTime attempt_end =
               pfs.Stall(start, pfs.spec().read_latency_s * d.spike_factor);
-          *attempt_done = std::max(*attempt_done, end);
+          *attempt_done = std::max(*attempt_done, attempt_end);
           return IoError("injected transient fault on backend read of '" +
                          meta.key + "'");
         }
@@ -148,24 +230,43 @@ Status NodeRuntime::BackendRead(VectorMeta& meta, std::uint64_t offset,
         *attempt_done =
             std::max(*attempt_done, pfs.Read(start, size, d.spike_factor));
         return Status::Ok();
-      });
+      },
+      &attempts);
+  Merge(end, done);
+  if (!st.ok()) {
+    // One warning per retry burst — RunWithRetry already exhausted the
+    // per-attempt detail; repeating the URI for every attempt only de-tunes
+    // the log. The counter is what the epoch report surfaces.
+    stager_errors_->Inc();
+    MM_WARN("stager") << "backend read of '" << meta.key << "' failed after "
+                      << attempts << " attempt(s): " << st.ToString();
+    return st;
+  }
+  if (attempts > 1) {
+    stager_retries_->Inc(static_cast<std::uint64_t>(attempts - 1));
+  }
+  stager_read_bytes_->Inc(bytes->size());
+  tel_.trace->Complete("stager_read", "stager", tel_.node, 0, now, end);
+  return st;
 }
 
 Status NodeRuntime::BackendWrite(VectorMeta& meta, std::uint64_t offset,
                                  const std::vector<std::uint8_t>& bytes,
                                  sim::SimTime now, sim::SimTime* done) {
   sim::Device& pfs = service_->cluster().pfs();
-  return RunWithRetry(
-      options_.retry, now, done,
+  sim::SimTime end = now;
+  int attempts = 0;
+  Status st = RunWithRetry(
+      options_.retry, now, &end,
       [&](double start, double* attempt_done) -> Status {
         auto d = service_->fault_injector().OnBackendOp();
         if (d.kind == sim::FaultInjector::Decision::Kind::kPermanent) {
           return Unavailable("PFS backend unavailable");
         }
         if (d.kind == sim::FaultInjector::Decision::Kind::kTransient) {
-          sim::SimTime end =
+          sim::SimTime attempt_end =
               pfs.Stall(start, pfs.spec().write_latency_s * d.spike_factor);
-          *attempt_done = std::max(*attempt_done, end);
+          *attempt_done = std::max(*attempt_done, attempt_end);
           return IoError("injected transient fault on backend write of '" +
                          meta.key + "'");
         }
@@ -173,7 +274,22 @@ Status NodeRuntime::BackendWrite(VectorMeta& meta, std::uint64_t offset,
         *attempt_done = std::max(
             *attempt_done, pfs.Write(start, bytes.size(), d.spike_factor));
         return Status::Ok();
-      });
+      },
+      &attempts);
+  Merge(end, done);
+  if (!st.ok()) {
+    // Same once-per-burst policy as BackendRead.
+    stager_errors_->Inc();
+    MM_WARN("stager") << "backend write of '" << meta.key << "' failed after "
+                      << attempts << " attempt(s): " << st.ToString();
+    return st;
+  }
+  if (attempts > 1) {
+    stager_retries_->Inc(static_cast<std::uint64_t>(attempts - 1));
+  }
+  stager_write_bytes_->Inc(bytes.size());
+  tel_.trace->Complete("stager_write", "stager", tel_.node, 0, now, end);
+  return st;
 }
 
 TaskOutcome NodeRuntime::StageInOrZero(VectorMeta& meta,
@@ -232,8 +348,20 @@ TaskOutcome NodeRuntime::ExecuteGetPage(MemoryTask& task) {
   if (hit.ok()) {
     auto cur = service_->metadata().Lookup(task.id, node_id_, dev_done,
                                            nullptr);
-    bool corrupted = false;
-    if (cur.ok() && options_.verify_checksums && cur->crc != 0 &&
+    // Same coherence validation as the ReadPage fast path: bytes of an
+    // invalidated replica awaiting its queued erase are not a valid
+    // source. Downgrade to a miss so the read serves through from the
+    // recorded owner below.
+    bool coherent = !cur.ok() || cur->node == node_id_;
+    if (!coherent) {
+      auto replicas = service_->metadata().Replicas(task.id, node_id_,
+                                                    dev_done, nullptr);
+      coherent = std::find(replicas.begin(), replicas.end(), node_id_) !=
+                 replicas.end();
+    }
+    if (!coherent) hit = NotFound("local bytes are an invalidated replica");
+    bool corrupted = !coherent;
+    if (coherent && cur.ok() && options_.verify_checksums && cur->crc != 0 &&
         Crc32(buf) != cur->crc) {
       // Silent media corruption. Drop the bad copy; a clean page self-heals
       // from the backend below, a dirty page's modifications are gone.
@@ -281,6 +409,30 @@ TaskOutcome NodeRuntime::ExecuteGetPage(MemoryTask& task) {
     // The stale frame is replaced by the fresh Put below; a failed erase
     // is corrected by the exact-accounting drop in PutScored.
     (void)bm_.Erase(task.id);
+  }
+  // No usable local bytes. If the directory maps the blob to another node,
+  // this task was routed on stale information (e.g. an invalidated replica
+  // erased between routing and execution): serve the read through from the
+  // recorded owner. Falling into the zero-fill below would re-register a
+  // zero page under the preserved version and re-home the directory here,
+  // making the real copy unreachable.
+  if (!hit.ok()) {
+    auto placed = service_->metadata().Lookup(task.id, node_id_, dev_done,
+                                              nullptr);
+    if (placed.ok() && placed->node != node_id_) {
+      sim::SimTime remote_done = dev_done;
+      Status rst = service_->runtime(placed->node)
+                       .buffer()
+                       .GetInto(task.id, &buf, dev_done, &remote_done);
+      if (rst.ok()) {
+        auto rsp = service_->cluster().network().Transfer(
+            remote_done, placed->node, node_id_, buf.size());
+        out.data = std::move(buf);
+        out.done = rsp.delivered;
+        out.version = placed->version;
+        return out;
+      }
+    }
   }
   VectorMeta* meta = service_->FindVectorById(task.id.vector_id);
   if (meta == nullptr) {
@@ -534,6 +686,18 @@ Service::Service(sim::Cluster* cluster, ServiceOptions options)
   injector_ = std::make_unique<sim::FaultInjector>(options_.faults);
   metadata_ = std::make_unique<storage::MetadataManager>(cluster->num_nodes(),
                                                          &cluster->network());
+  // Telemetry also precedes the runtimes: each NodeRuntime (and the tier
+  // stores under it) resolves its metric handles from telemetry_sink(n)
+  // during construction.
+  for (std::size_t n = 0; n < cluster->num_nodes(); ++n) {
+    metrics_.push_back(std::make_unique<telemetry::MetricsRegistry>());
+  }
+  trace_ = std::make_unique<telemetry::TraceRecorder>(
+      static_cast<std::size_t>(options_.telemetry.trace_capacity));
+  trace_->set_enabled(options_.telemetry.enabled &&
+                      !options_.telemetry.trace_path.empty());
+  reporter_ =
+      std::make_unique<telemetry::EpochReporter>(options_.telemetry.report_path);
   for (std::size_t n = 0; n < cluster->num_nodes(); ++n) {
     runtimes_.push_back(std::make_unique<NodeRuntime>(this, n, options_,
                                                       options_.tier_grants));
@@ -579,6 +743,75 @@ void Service::Shutdown() {
       }
     }
   }
+  // Final telemetry drain, after every worker has quiesced: one closing
+  // epoch (stamped at the last reported virtual time) and the Chrome-trace
+  // dump.
+  if (options_.telemetry.enabled) {
+    double final_s;
+    {
+      MutexLock lock(report_mu_);
+      final_s = last_epoch_s_;
+    }
+    // The line was already appended to the report file; the returned copy
+    // has no reader at shutdown.
+    (void)EpochReport(final_s);
+    if (!options_.telemetry.trace_path.empty()) {
+      Status st = trace_->WriteJson(options_.telemetry.trace_path);
+      if (!st.ok()) {
+        MM_WARN("service") << "trace dump to '" << options_.telemetry.trace_path
+                           << "' failed: " << st.ToString();
+      }
+    }
+  }
+}
+
+telemetry::ClusterSnapshot Service::TelemetrySnapshot() {
+  // Refresh snapshot-time gauges first: tier occupancy and pool counters
+  // are levels sampled from their owners, not events counted at the source.
+  for (std::size_t n = 0; n < runtimes_.size(); ++n) {
+    telemetry::MetricsRegistry& reg = *metrics_[n];
+    auto& bm = runtimes_[n]->buffer();
+    for (std::size_t t = 0; t < bm.num_tiers(); ++t) {
+      TierUsedGauge(reg, bm.tier(t).kind())
+          ->Set(static_cast<std::int64_t>(bm.tier(t).used()));
+    }
+    PagePool& pool = runtimes_[n]->pool();
+    reg.GetGauge("mm.pool.alloc_count")
+        ->Set(static_cast<std::int64_t>(pool.allocations()));
+    reg.GetGauge("mm.pool.reuse_count")
+        ->Set(static_cast<std::int64_t>(pool.reuses()));
+    reg.GetGauge("mm.pool.pooled_bytes")
+        ->Set(static_cast<std::int64_t>(pool.pooled_bytes()));
+  }
+  telemetry::ClusterSnapshot snap;
+  snap.per_node.reserve(metrics_.size());
+  for (auto& reg : metrics_) {
+    snap.per_node.push_back(reg->Snapshot());
+    snap.totals.Merge(snap.per_node.back());
+  }
+  return snap;
+}
+
+std::string Service::EpochReport(double now_s) {
+  if (!options_.telemetry.enabled) return "";
+  telemetry::ClusterSnapshot snap = TelemetrySnapshot();
+  {
+    MutexLock lock(report_mu_);
+    last_epoch_s_ = std::max(last_epoch_s_, now_s);
+  }
+  return reporter_->Epoch(snap, now_s);
+}
+
+std::string Service::MaybeEpochReport(double now_s) {
+  if (!options_.telemetry.enabled) return "";
+  double interval = options_.telemetry.report_interval_s;
+  if (interval <= 0.0) return "";
+  {
+    MutexLock lock(report_mu_);
+    if (reporter_->epochs() > 0 && now_s < last_epoch_s_ + interval) return "";
+    last_epoch_s_ = std::max(last_epoch_s_, now_s);
+  }
+  return EpochReport(now_s);
 }
 
 StatusOr<VectorMeta*> Service::RegisterVector(const std::string& key,
@@ -776,15 +1009,28 @@ StatusOr<std::vector<std::uint8_t>> Service::ReadPage(VectorMeta& meta,
   // success; the guard hands it back on every other path.
   if (runtime(from_node).buffer().FindBlob(id).has_value()) {
     sim::SimTime local_done = now;
+    auto cur = metadata().Lookup(id, from_node, now, &local_done);
+    // Bytes here are only a coherent source while the directory still maps
+    // the blob to this node (primary) or registers this node as a replica:
+    // an invalidated replica's bytes linger until the queued erase drains,
+    // and serving them would label stale data with the current version.
+    bool local_coherent = !cur.ok() || cur->node == from_node;
+    if (!local_coherent) {
+      auto replicas = metadata().Replicas(id, from_node, now, nullptr);
+      local_coherent = std::find(replicas.begin(), replicas.end(),
+                                 from_node) != replicas.end();
+    }
     PagePool& pool = runtime(from_node).pool();
     std::vector<std::uint8_t> local = pool.Acquire(meta.page_bytes);
     PoolReturn local_guard(pool, local);
-    Status local_st = runtime(from_node).buffer().GetInto(id, &local, now,
-                                                          &local_done);
+    Status local_st = local_coherent
+                          ? runtime(from_node).buffer().GetInto(id, &local,
+                                                                now,
+                                                                &local_done)
+                          : NotFound("local bytes are an invalidated replica");
     if (local_st.ok()) {
       bool corrupted = false;
       if (version != nullptr) {
-        auto cur = metadata().Lookup(id, from_node, local_done, &local_done);
         *version = cur.ok() ? cur->version : 0;
         if (cur.ok() && options_.verify_checksums && cur->crc != 0 &&
             Crc32(local) != cur->crc) {
@@ -816,6 +1062,12 @@ StatusOr<std::vector<std::uint8_t>> Service::ReadPage(VectorMeta& meta,
       }
     }
   }
+
+  // Slow path = a service-level page fault: count it here (the fast path
+  // above is the pcache's business), and span the whole fault — metadata
+  // lookup, task execution, and transfer — on success.
+  telemetry::NodeSink sink = telemetry_sink(from_node);
+  sink.metrics->GetCounter("mm.service.fault_count")->Inc();
 
   // Locate the source: a replica under read-only replication, the primary
   // owner, or (for unplaced pages) the deterministic default owner — which
@@ -873,6 +1125,11 @@ StatusOr<std::vector<std::uint8_t>> Service::ReadPage(VectorMeta& meta,
     complete = rsp.delivered;
     if (leader) MaybeReplicate(meta, page, outcome.data, from_node, complete);
   }
+  sink.metrics
+      ->GetHistogram("mm.service.fault_latency_ns",
+                     telemetry::LatencyBoundsNs())
+      ->Observe((complete - now) * 1e9);
+  sink.trace->Complete("page_fault", "fault", sink.node, 0, now, complete);
   Merge(complete, done);
   return std::move(outcome.data);
 }
@@ -884,16 +1141,22 @@ std::size_t Service::ChooseReadSource(VectorMeta& meta,
                                       const storage::BlobId& id,
                                       std::size_t from_node, sim::SimTime now,
                                       sim::SimTime* done) {
-  if (runtime(from_node).buffer().FindBlob(id).has_value()) return from_node;
+  bool local_bytes = runtime(from_node).buffer().FindBlob(id).has_value();
   std::size_t owner = DefaultOwner(meta, id);
   auto loc = metadata().Lookup(id, from_node, now, done);
-  if (!loc.ok()) return owner;
+  if (!loc.ok()) return local_bytes ? from_node : owner;
   owner = loc->node;
+  // Local bytes count as a source only while the directory still maps the
+  // blob here (primary) or registers this node as a replica below: an
+  // invalidated replica's bytes linger until the queued erase drains, and
+  // routing a read at them serves stale data — or a fabricated zero page
+  // if the erase wins the race to this node's worker.
+  if (local_bytes && owner == from_node) return from_node;
   if (AllowsReplication(meta.mode.load(std::memory_order_relaxed))) {
     auto replicas = metadata().Replicas(id, from_node, now, nullptr);
     if (!replicas.empty()) {
       for (std::size_t r : replicas) {
-        if (r == from_node) return from_node;
+        if (r == from_node && local_bytes) return from_node;
       }
       std::vector<std::size_t> candidates = {owner};
       candidates.insert(candidates.end(), replicas.begin(), replicas.end());
@@ -922,6 +1185,9 @@ void Service::MaybeReplicate(VectorMeta& meta, std::uint64_t page,
     // Registration cannot fail once the primary entry exists (looked up
     // above); a lost replica record only costs a remote re-read.
     (void)metadata().AddReplica(id, from_node, from_node, now, nullptr);
+    telemetry::NodeSink sink = telemetry_sink(from_node);
+    sink.metrics->GetCounter("mm.coherence.replicate_count")->Inc();
+    sink.trace->Instant("replicate", "coherence", sink.node, 0, now);
   }
 }
 
@@ -945,6 +1211,8 @@ Service::AsyncRead Service::ReadPageAsync(VectorMeta& meta,
                                             kControlBytes);
     task.issue_time = req.delivered;
   }
+  telemetry::NodeSink sink = telemetry_sink(from_node);
+  sink.trace->Instant("prefetch_issue", "prefetch", sink.node, 0, now);
   AsyncRead result{task.promise->get_future().share(), owner};
   // A shutdown rejection still fulfills the promise (error via the future).
   (void)runtime(owner).Submit(std::move(task));
@@ -1037,12 +1305,18 @@ Status Service::FlushVector(VectorMeta& meta, std::size_t from_node,
     (void)runtime(loc->node).Submit(std::move(task));
   }
   Status first_error;
+  sim::SimTime flush_end = now;
   for (auto& f : futures) {
     TaskOutcome outcome = f.get();
     Merge(outcome.done, done);
+    Merge(outcome.done, &flush_end);
     if (!outcome.status.ok() && first_error.ok()) {
       first_error = outcome.status;
     }
+  }
+  if (!futures.empty()) {
+    telemetry::NodeSink sink = telemetry_sink(from_node);
+    sink.trace->Complete("flush", "flush", sink.node, 0, now, flush_end);
   }
   return first_error;
 }
@@ -1054,11 +1328,19 @@ Status Service::ChangePhase(VectorMeta& meta, CoherenceMode new_mode,
   if (AllowsReplication(old_mode) && !AllowsReplication(new_mode)) {
     // Leaving read-only: all replicas produced during reads are invalidated
     // (paper §III-C "Changing Phases").
+    telemetry::NodeSink sink = telemetry_sink(from_node);
+    telemetry::Counter* invalidations =
+        sink.metrics->GetCounter("mm.coherence.invalidate_count");
     for (const auto& id : metadata().BlobsOfVector(meta.vector_id)) {
       sim::SimTime inval_done = now;
       auto dropped =
           metadata().InvalidateReplicas(id, from_node, now, &inval_done);
       Merge(inval_done, done);
+      if (!dropped.empty()) {
+        invalidations->Inc(dropped.size());
+        sink.trace->Instant("invalidate", "coherence", sink.node, 0,
+                            inval_done);
+      }
       for (std::size_t node : dropped) {
         MemoryTask task;
         task.kind = MemoryTask::Kind::kErase;

@@ -12,15 +12,18 @@ void MergeDone(sim::SimTime end, sim::SimTime* done) {
 
 BufferManager::BufferManager(sim::Node* node,
                              const std::vector<TierGrant>& grants,
-                             sim::FaultInjector* injector, RetryPolicy retry)
-    : retry_(retry) {
+                             sim::FaultInjector* injector, RetryPolicy retry,
+                             telemetry::NodeSink sink)
+    : retry_(retry),
+      demotions_(sink.metrics->GetCounter("mm.tier.demotion_count")),
+      promotions_(sink.metrics->GetCounter("mm.tier.promotion_count")) {
   for (const TierGrant& grant : grants) {
     sim::Device* dev = node->FindTier(grant.kind);
     MM_CHECK_MSG(dev != nullptr, "node lacks granted tier");
     MM_CHECK_MSG(grant.capacity <= dev->spec().capacity_bytes,
                  "grant exceeds device capacity");
     tiers_.push_back(
-        std::make_unique<TierStore>(dev, grant.capacity, injector));
+        std::make_unique<TierStore>(dev, grant.capacity, injector, sink));
   }
   // Fastest-first ordering is required by the placement loops.
   for (std::size_t i = 1; i < tiers_.size(); ++i) {
@@ -302,6 +305,7 @@ bool BufferManager::MakeRoom(std::size_t t, std::uint64_t needed,
       continue;
     }
     if (!Move(id, t, t + 1, now, done).ok()) continue;
+    demotions_->Inc();
   }
   return tiers_[t]->free_bytes() >= needed;
 }
@@ -326,7 +330,10 @@ int BufferManager::Rebalance(sim::SimTime now, sim::SimTime* done) {
       // Find the fastest live tier with room.
       for (std::size_t up = 0; up < t; ++up) {
         if (!tiers_[up]->failed() && tiers_[up]->free_bytes() >= size) {
-          if (Move(id, t, up, now, done).ok()) ++moved;
+          if (Move(id, t, up, now, done).ok()) {
+            ++moved;
+            promotions_->Inc();
+          }
           break;
         }
       }

@@ -1,0 +1,114 @@
+#include "mm/telemetry/report.h"
+
+#include <cinttypes>
+
+#include "mm/util/logging.h"
+#include "mm/util/stats.h"
+
+namespace mm::telemetry {
+
+namespace {
+
+void AppendKey(std::string* out, const std::string& name, bool* first) {
+  if (!*first) *out += ",";
+  *first = false;
+  *out += "\"";
+  *out += name;
+  *out += "\":";
+}
+
+}  // namespace
+
+std::string FormatReportTable(const ClusterSnapshot& snap, bool csv) {
+  TablePrinter table({"metric", "kind", "value"});
+  for (const auto& [name, v] : snap.totals.counters) {
+    table.AddRow({name, "counter", std::to_string(v)});
+  }
+  for (const auto& [name, v] : snap.totals.gauges) {
+    table.AddRow({name, "gauge", std::to_string(v)});
+  }
+  for (const auto& [name, h] : snap.totals.histograms) {
+    table.AddRow({name, "histogram",
+                  "n=" + std::to_string(h.count) +
+                      " mean=" + FormatDouble(h.Mean(), 1)});
+  }
+  return table.Render(csv);
+}
+
+std::string SnapshotToJson(const MetricsSnapshot& snap) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, v] : snap.counters) {
+    AppendKey(&out, name, &first);
+    out += std::to_string(v);
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    AppendKey(&out, name, &first);
+    out += std::to_string(v);
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    AppendKey(&out, name, &first);
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "{\"count\":%" PRIu64 ",\"mean\":%.3f}",
+                  h.count, h.Mean());
+    out += buf;
+  }
+  out += "}";
+  return out;
+}
+
+EpochReporter::EpochReporter(std::string path) {
+  if (!path.empty()) {
+    out_ = std::fopen(path.c_str(), "w");
+    if (out_ == nullptr) {
+      MM_WARN("telemetry") << "cannot open report file " << path;
+    }
+  }
+}
+
+EpochReporter::~EpochReporter() {
+  MutexLock lock(mu_);
+  if (out_ != nullptr) std::fclose(out_);
+}
+
+std::string EpochReporter::Epoch(const ClusterSnapshot& snap, double now_s) {
+  MutexLock lock(mu_);
+  // Delta the monotonic metrics against the previous epoch; gauges stay
+  // absolute (they are levels, not totals).
+  MetricsSnapshot delta = snap.totals;
+  for (auto& [name, v] : delta.counters) {
+    auto it = prev_.counters.find(name);
+    if (it != prev_.counters.end()) v -= it->second;
+  }
+  for (auto& [name, h] : delta.histograms) {
+    auto it = prev_.histograms.find(name);
+    if (it == prev_.histograms.end()) continue;
+    const HistogramSnapshot& old = it->second;
+    if (old.buckets.size() == h.buckets.size()) {
+      for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+        h.buckets[i] -= old.buckets[i];
+      }
+    }
+    h.count -= old.count;
+    h.sum -= old.sum;
+  }
+  prev_ = snap.totals;
+
+  char head[96];
+  std::snprintf(head, sizeof(head), "{\"epoch\":%d,\"t_s\":%.6f,\"metrics\":",
+                epoch_, now_s);
+  ++epoch_;
+  std::string line = head + SnapshotToJson(delta) + "}\n";
+  if (out_ != nullptr) {
+    std::fwrite(line.data(), 1, line.size(), out_);
+    std::fflush(out_);
+  }
+  return line;
+}
+
+int EpochReporter::epochs() const {
+  MutexLock lock(mu_);
+  return epoch_;
+}
+
+}  // namespace mm::telemetry

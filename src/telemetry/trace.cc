@@ -1,0 +1,155 @@
+#include "mm/telemetry/trace.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace mm::telemetry {
+
+#if MM_TELEMETRY_ENABLED
+
+namespace {
+
+/// Minimal JSON string escaping; event names/categories are internal
+/// literals, but a stray quote must not corrupt the file.
+void AppendEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+void AppendEvent(std::string* out, const TraceEvent& ev) {
+  char buf[160];
+  *out += "{\"name\":\"";
+  AppendEscaped(out, ev.name);
+  *out += "\",\"cat\":\"";
+  AppendEscaped(out, ev.cat);
+  *out += "\",\"ph\":\"";
+  *out += ev.ph;
+  if (ev.ph == 'X') {
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,\"tid\":%d}",
+                  ev.ts_us, ev.dur_us, ev.pid, ev.tid);
+  } else {
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"s\":\"t\",\"ts\":%.3f,\"pid\":%d,\"tid\":%d}", ev.ts_us,
+                  ev.pid, ev.tid);
+  }
+  *out += buf;
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void TraceRecorder::Complete(std::string_view name, std::string_view cat,
+                             int node, int tid, double begin_s, double end_s) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.name = std::string(name);
+  ev.cat = std::string(cat);
+  ev.ph = 'X';
+  ev.ts_us = begin_s * 1e6;
+  ev.dur_us = (end_s - begin_s) * 1e6;
+  if (ev.dur_us < 0) ev.dur_us = 0;
+  ev.pid = node;
+  ev.tid = tid;
+  Push(std::move(ev));
+}
+
+void TraceRecorder::Instant(std::string_view name, std::string_view cat,
+                            int node, int tid, double t_s) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.name = std::string(name);
+  ev.cat = std::string(cat);
+  ev.ph = 'i';
+  ev.ts_us = t_s * 1e6;
+  ev.pid = node;
+  ev.tid = tid;
+  Push(std::move(ev));
+}
+
+void TraceRecorder::Push(TraceEvent ev) {
+  MutexLock lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(ev));
+    return;
+  }
+  // Full: overwrite the oldest slot and advance the ring head.
+  ring_[head_] = std::move(ev);
+  head_ = (head_ + 1) % capacity_;
+  ++dropped_;
+}
+
+std::vector<TraceEvent> TraceRecorder::Snapshot() const {
+  MutexLock lock(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::uint64_t TraceRecorder::dropped() const {
+  MutexLock lock(mu_);
+  return dropped_;
+}
+
+std::size_t TraceRecorder::size() const {
+  MutexLock lock(mu_);
+  return ring_.size();
+}
+
+std::string TraceRecorder::ToJson() const {
+  std::vector<TraceEvent> events = Snapshot();
+  std::string out = "{\"traceEvents\":[";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (i != 0) out += ",\n";
+    AppendEvent(&out, events[i]);
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+Status TraceRecorder::WriteJson(const std::string& path) const {
+  std::string json = ToJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return IoError("trace: cannot open " + path);
+  }
+  std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return IoError("trace: short write to " + path);
+  }
+  return Status::Ok();
+}
+
+#endif  // MM_TELEMETRY_ENABLED
+
+TraceRecorder& TraceRecorder::Dummy() {
+  static TraceRecorder dummy(1);
+  return dummy;
+}
+
+}  // namespace mm::telemetry

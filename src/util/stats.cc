@@ -29,17 +29,19 @@ double StatAccumulator::Stddev() const {
 }
 
 double StatAccumulator::Min() const {
-  MM_CHECK(!samples_.empty());
+  if (samples_.empty()) return 0.0;
   return *std::min_element(samples_.begin(), samples_.end());
 }
 
 double StatAccumulator::Max() const {
-  MM_CHECK(!samples_.empty());
+  if (samples_.empty()) return 0.0;
   return *std::max_element(samples_.begin(), samples_.end());
 }
 
 double StatAccumulator::Percentile(double p) const {
-  MM_CHECK(!samples_.empty());
+  // Empty-safe (0.0, like Mean): summaries of failed/skipped runs must not
+  // abort the report that describes them.
+  if (samples_.empty()) return 0.0;
   MM_CHECK(p >= 0.0 && p <= 100.0);
   if (!sorted_) {
     std::sort(samples_.begin(), samples_.end());

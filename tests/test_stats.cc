@@ -1,0 +1,75 @@
+// Edge cases of the StatAccumulator the bench harness and telemetry report
+// summaries lean on: empty accumulators, single samples, and the linear
+// interpolation at and between the percentile endpoints.
+#include "mm/util/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace mm {
+namespace {
+
+TEST(StatAccumulator, EmptyIsAllZero) {
+  // Summaries of empty accumulators (e.g. a failed bench run) must stay
+  // well-defined instead of aborting the report.
+  StatAccumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.sum(), 0.0);
+  EXPECT_EQ(acc.Mean(), 0.0);
+  EXPECT_EQ(acc.Stddev(), 0.0);
+  EXPECT_EQ(acc.Min(), 0.0);
+  EXPECT_EQ(acc.Max(), 0.0);
+  EXPECT_EQ(acc.Percentile(50), 0.0);
+}
+
+TEST(StatAccumulator, SingleSample) {
+  StatAccumulator acc;
+  acc.Add(7.5);
+  EXPECT_EQ(acc.count(), 1u);
+  EXPECT_DOUBLE_EQ(acc.Mean(), 7.5);
+  EXPECT_EQ(acc.Stddev(), 0.0);  // n-1 denominator: undefined -> 0
+  EXPECT_DOUBLE_EQ(acc.Min(), 7.5);
+  EXPECT_DOUBLE_EQ(acc.Max(), 7.5);
+  // Every percentile of a single sample is that sample.
+  EXPECT_DOUBLE_EQ(acc.Percentile(0), 7.5);
+  EXPECT_DOUBLE_EQ(acc.Percentile(50), 7.5);
+  EXPECT_DOUBLE_EQ(acc.Percentile(100), 7.5);
+}
+
+TEST(StatAccumulator, PercentileEndpointsAndInterpolation) {
+  StatAccumulator acc;
+  // Insert out of order; Percentile must sort internally.
+  for (double v : {40.0, 10.0, 30.0, 20.0}) acc.Add(v);
+  EXPECT_DOUBLE_EQ(acc.Percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(acc.Percentile(100), 40.0);
+  // Rank = p/100 * (n-1), linearly interpolated: p50 of 4 samples sits
+  // halfway between the middle two; p25 lands at rank 0.75.
+  EXPECT_DOUBLE_EQ(acc.Percentile(50), 25.0);
+  EXPECT_DOUBLE_EQ(acc.Percentile(25), 17.5);
+  EXPECT_DOUBLE_EQ(acc.Percentile(75), 32.5);
+  EXPECT_DOUBLE_EQ(acc.Percentile(62.5), 28.75);
+}
+
+TEST(StatAccumulator, MeanStddevAndClear) {
+  StatAccumulator acc;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.Add(v);
+  EXPECT_DOUBLE_EQ(acc.Mean(), 5.0);
+  // Sample variance of the classic example: 32/7.
+  EXPECT_NEAR(acc.Stddev(), 2.13809, 1e-4);
+  acc.Clear();
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.Mean(), 0.0);
+}
+
+TEST(StatAccumulator, AddAfterPercentileKeepsOrder) {
+  StatAccumulator acc;
+  acc.Add(3.0);
+  acc.Add(1.0);
+  EXPECT_DOUBLE_EQ(acc.Percentile(100), 3.0);
+  // A sample added after a (sorting) percentile query must still be seen.
+  acc.Add(2.0);
+  EXPECT_DOUBLE_EQ(acc.Percentile(50), 2.0);
+  EXPECT_EQ(acc.count(), 3u);
+}
+
+}  // namespace
+}  // namespace mm
