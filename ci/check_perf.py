@@ -1,12 +1,19 @@
 #!/usr/bin/env python3
-"""Perf-smoke gate: fail when hot-path ns/access regresses past a threshold.
+"""Perf-smoke gate: fail when a BENCH_*.json report regresses past a gate.
 
-Usage: check_perf.py CURRENT.json BASELINE.json [--threshold 0.25]
+Usage: check_perf.py CURRENT.json [BASELINE.json] [--threshold 0.25]
 
-Compares the wall-clock per-access metrics of bench/hotpath against the
-checked-in baseline. Only regressions fail; improvements just print. The
-eviction-flatness and pool-recycling invariants are machine-independent, so
-those are asserted absolutely rather than against the baseline.
+Two report kinds are gated, keyed by the report's "name":
+
+  hotpath        wall-clock per-access metrics compared against the
+                 checked-in baseline (BASELINE.json is required). Only
+                 regressions fail; improvements just print. Eviction
+                 flatness and pool recycling are machine-independent and
+                 asserted absolutely.
+  ckpt_recovery  crash/restore invariants, all machine-independent and
+                 absolute (no baseline needed): checkpoint overhead must
+                 stay under 10% of the epoch time, and the restored run
+                 must reproduce bit-identical results.
 """
 
 import argparse
@@ -31,6 +38,16 @@ ABSOLUTE_CEILINGS = [
 TELEMETRY_MAX_FRACTION = 0.02
 TELEMETRY_NOISE_FLOOR_NS = 0.1
 
+# ckpt_recovery gates (virtual-clock, so machine-independent): per-epoch
+# checkpoint cost must stay under 10% of the epoch itself (ISSUE 5), and the
+# crash-restored run must land on bit-identical centroids.
+CKPT_CEILINGS = [
+    ("ckpt_overhead_fraction", 0.10),
+]
+CKPT_EXACT = [
+    ("restore_identical", 1.0),
+]
+
 
 def metric(report: dict, key: str) -> float:
     """Reads a metric from the unified schema ({"metrics": {...}}), falling
@@ -40,25 +57,13 @@ def metric(report: dict, key: str) -> float:
     return report[key]
 
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("current")
-    parser.add_argument("baseline")
-    parser.add_argument("--threshold", type=float, default=0.25,
-                        help="max allowed relative regression (default 0.25)")
-    args = parser.parse_args()
-
-    with open(args.current) as f:
-        current = json.load(f)
-    with open(args.baseline) as f:
-        baseline = json.load(f)
-
+def gate_hotpath(current: dict, baseline: dict, threshold: float) -> bool:
     failed = False
     for key in RELATIVE_METRICS:
         cur, base = metric(current, key), metric(baseline, key)
         ratio = cur / base if base > 0 else float("inf")
         status = "ok"
-        if ratio > 1.0 + args.threshold:
+        if ratio > 1.0 + threshold:
             status = "REGRESSION"
             failed = True
         print(f"{key}: {cur:.3f} vs baseline {base:.3f} "
@@ -86,6 +91,51 @@ def main() -> int:
             failed = True
         print(f"telemetry_overhead_ns: {overhead:.3f} "
               f"(ceiling {ceiling:.3f}) {status}")
+    return failed
+
+
+def gate_ckpt_recovery(current: dict) -> bool:
+    failed = False
+    for key, ceiling in CKPT_CEILINGS:
+        cur = metric(current, key)
+        status = "ok"
+        if cur > ceiling:
+            status = f"FAIL (> {ceiling})"
+            failed = True
+        print(f"{key}: {cur:.4f} (ceiling {ceiling}) {status}")
+    for key, expected in CKPT_EXACT:
+        cur = metric(current, key)
+        status = "ok"
+        if cur != expected:
+            status = f"FAIL (!= {expected})"
+            failed = True
+        print(f"{key}: {cur} (expected {expected}) {status}")
+    return failed
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current")
+    parser.add_argument("baseline", nargs="?", default=None,
+                        help="baseline report (required for hotpath)")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="max allowed relative regression (default 0.25)")
+    args = parser.parse_args()
+
+    with open(args.current) as f:
+        current = json.load(f)
+
+    name = current.get("name", "hotpath")
+    if name == "ckpt_recovery":
+        failed = gate_ckpt_recovery(current)
+    else:
+        if args.baseline is None:
+            print("a baseline report is required for hotpath gating",
+                  file=sys.stderr)
+            return 2
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+        failed = gate_hotpath(current, baseline, args.threshold)
 
     if failed:
         print("perf smoke FAILED", file=sys.stderr)

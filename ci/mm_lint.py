@@ -25,8 +25,15 @@ Rules (see DESIGN.md "Concurrency contracts & static analysis"):
   MML006  Telemetry metric name (string literal passed to GetCounter /
           GetGauge / GetHistogram in include/ or src/) that does not match
           `mm.<subsystem>.<name>` (lowercase + underscores) or lacks a unit
-          suffix (_bytes, _ns, _count). The name catalog in DESIGN.md §11
-          and the epoch-report diffing both rely on this scheme.
+          suffix (_bytes, _ns, _count, _ratio). The name catalog in
+          DESIGN.md §11 and the epoch-report diffing both rely on this
+          scheme.
+  MML007  Direct std::ofstream/std::fstream open of a final path in ckpt
+          code (src/ckpt/, include/mm/ckpt/). Checkpoint artifacts must be
+          published via write-to-temp + rename (DESIGN.md §12) so readers
+          never observe a torn file. Exempt: append-mode opens (the redo
+          journal IS the write-ahead log), paths whose text mentions
+          tmp/temp, and functions that rename() the file into place.
 
 Suppression: put `mm-lint: allow(MMLnnn <reason>)` in a comment on the
 offending line or the line directly above it. Suppressions without a
@@ -85,7 +92,11 @@ VOID_DISCARD_RE = re.compile(r"\(\s*void\s*\)\s*[\w:~]")
 METRIC_GET_RE = re.compile(
     r"Get(?:Counter|Gauge|Histogram)\s*\(\s*\"([^\"]*)\"")
 METRIC_NAME_RE = re.compile(r"mm\.[a-z_]+\.[a-z_]+\Z")
-METRIC_UNIT_SUFFIXES = ("_bytes", "_ns", "_count")
+METRIC_UNIT_SUFFIXES = ("_bytes", "_ns", "_count", "_ratio")
+
+# MML007 --------------------------------------------------------------------
+CKPT_STREAM_RE = re.compile(r"std::(?:ofstream|fstream)\b[^;]*")
+CKPT_DIRS = ("src/ckpt/", "include/mm/ckpt/")
 
 ALLOW_RE = re.compile(r"mm-lint:\s*allow\(\s*(MML\d{3})\b([^)]*)\)")
 
@@ -367,6 +378,29 @@ class FileScanner:
                             f'metric name "{name}" lacks a unit suffix '
                             f"({', '.join(METRIC_UNIT_SUFFIXES)})")
 
+    def check_mml007(self) -> None:
+        # Crash-consistency contract (DESIGN.md §12): checkpoint artifacts
+        # are published atomically. Scans the ORIGINAL text so path
+        # expressions like `path + ".tmp"` stay visible.
+        rel_norm = self.rel.replace(os.sep, "/")
+        if not rel_norm.startswith(CKPT_DIRS):
+            return
+        for m in CKPT_STREAM_RE.finditer(self.text):
+            stmt = m.group(0)
+            if "ios::app" in stmt:
+                continue  # the redo journal IS the write-ahead log
+            if re.search(r"tmp|temp", stmt, re.IGNORECASE):
+                continue  # the temp half of a temp+rename publish
+            pos = m.start()
+            block = self.enclosing_block(pos)
+            if block is not None and re.search(
+                    r"\brename\s*\(", self.code[block[0]:block[1]]):
+                continue  # the same function renames the file into place
+            self.report(self.text.count("\n", 0, pos) + 1, "MML007",
+                        "direct stream open of a final path in ckpt code — "
+                        "publish via write-to-temp + std::filesystem::rename "
+                        "(or open the journal in append mode)")
+
     def run(self) -> list[Finding]:
         self.check_mml001()
         self.check_mml002()
@@ -374,6 +408,7 @@ class FileScanner:
         self.check_mml004()
         self.check_mml005()
         self.check_mml006()
+        self.check_mml007()
         return self.findings
 
 

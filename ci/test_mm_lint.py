@@ -215,6 +215,55 @@ class Mml006MetricNamesTest(unittest.TestCase):
         self.assertEqual(lint_snippet(snippet), [])
 
 
+class Mml007AtomicPublishTest(unittest.TestCase):
+    def test_flags_direct_open_of_final_path(self):
+        snippet = ('void F(const std::string& path) {\n'
+                   '  std::ofstream out(path, std::ios::binary);\n'
+                   '  out << "x";\n'
+                   '}\n')
+        findings = lint_snippet(snippet, rel="src/ckpt/manifest.cc")
+        self.assertEqual(rules_of(findings), ["MML007"])
+        self.assertEqual(findings[0].line, 2)
+
+    def test_tmp_named_path_is_clean(self):
+        snippet = ('void F(const std::string& path) {\n'
+                   '  std::string tmp = path + ".tmp";\n'
+                   '  std::ofstream out(tmp, std::ios::binary);\n'
+                   '}\n')
+        self.assertEqual(lint_snippet(snippet, rel="src/ckpt/manifest.cc"), [])
+
+    def test_append_mode_is_clean(self):
+        # The redo journal IS the write-ahead log: append-mode opens of the
+        # journal file are the mechanism, not a violation.
+        snippet = ('void F(const std::string& path) {\n'
+                   '  std::ofstream out(path,'
+                   ' std::ios::binary | std::ios::app);\n'
+                   '}\n')
+        self.assertEqual(lint_snippet(snippet, rel="src/ckpt/journal.cc"), [])
+
+    def test_renaming_function_is_clean(self):
+        snippet = ('void F(const std::string& path, const std::string& f) {\n'
+                   '  std::ofstream out(f, std::ios::binary);\n'
+                   '  out.close();\n'
+                   '  std::filesystem::rename(f, path);\n'
+                   '}\n')
+        self.assertEqual(lint_snippet(snippet, rel="src/ckpt/manifest.cc"), [])
+
+    def test_non_ckpt_files_are_exempt(self):
+        snippet = ('void F(const std::string& path) {\n'
+                   '  std::ofstream out(path, std::ios::binary);\n'
+                   '}\n')
+        self.assertEqual(lint_snippet(snippet, rel="src/storage/stager.cc"),
+                         [])
+
+    def test_suppression_applies(self):
+        snippet = ('void F(const std::string& path) {\n'
+                   '  // mm-lint: allow(MML007 bootstrap file, no readers)\n'
+                   '  std::ofstream out(path, std::ios::binary);\n'
+                   '}\n')
+        self.assertEqual(lint_snippet(snippet, rel="src/ckpt/manifest.cc"), [])
+
+
 class SuppressionTest(unittest.TestCase):
     def test_allow_comment_suppresses_same_line(self):
         snippet = ("std::mutex mu_;  "

@@ -1,0 +1,53 @@
+// Collective checkpoint/restore (DESIGN.md §12): every rank of the job
+// calls these together. The barrier's serial section elects the
+// last-arriving rank as leader; it quiesces, flushes, and publishes while
+// every other rank is still parked, then all ranks observe the leader's
+// outcome through the coordinator's result channel with their clocks
+// advanced past the operation.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "mm/comm/communicator.h"
+#include "mm/core/service.h"
+
+namespace mm::ckpt {
+
+/// Coordinated incremental checkpoint across all ranks of `comm` (must be
+/// the world communicator). Returns the leader's stats on every rank.
+inline StatusOr<CheckpointStats> CollectiveCheckpoint(
+    comm::Communicator& comm, core::Service& service, const std::string& tag) {
+  std::function<sim::SimTime(sim::SimTime)> serial =
+      [&](sim::SimTime sync) -> sim::SimTime {
+    sim::SimTime leader_done = sync;
+    auto stats = service.Checkpoint(tag, comm.ctx().node(), sync,
+                                    &leader_done);
+    service.checkpointer().PublishResult(
+        stats.ok() ? Status::Ok() : stats.status(),
+        stats.ok() ? *stats : CheckpointStats{});
+    return leader_done;
+  };
+  MM_RETURN_IF_ERROR(comm.BarrierSerial(serial));
+  MM_RETURN_IF_ERROR(service.checkpointer().last_status());
+  return service.checkpointer().last_stats();
+}
+
+/// Coordinated restore across all ranks of `comm`: the leader rebuilds the
+/// vectors and directory from the manifest of `tag`; everyone returns the
+/// leader's status.
+inline Status CollectiveRestore(comm::Communicator& comm,
+                                core::Service& service,
+                                const std::string& tag) {
+  std::function<sim::SimTime(sim::SimTime)> serial =
+      [&](sim::SimTime sync) -> sim::SimTime {
+    sim::SimTime leader_done = sync;
+    Status st = service.Restore(tag, comm.ctx().node(), sync, &leader_done);
+    service.checkpointer().PublishResult(st, CheckpointStats{});
+    return leader_done;
+  };
+  MM_RETURN_IF_ERROR(comm.BarrierSerial(serial));
+  return service.checkpointer().last_status();
+}
+
+}  // namespace mm::ckpt

@@ -1,0 +1,68 @@
+// Epoch checkpoint manifests (DESIGN.md §12): the atomically-published
+// record of one coordinated checkpoint — per-vector page tables carrying
+// version, full-page CRC, backing URI, and tier/node residency hints.
+// Publication is write-to-temp + rename (enforced tree-wide by MML007); a
+// reader either sees the previous complete manifest or the new one, never a
+// torn mix. A trailing CRC line guards the content itself.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mm/util/status.h"
+
+namespace mm::ckpt {
+
+/// One page's entry in a vector's checkpoint page table.
+struct ManifestPage {
+  std::uint64_t page_idx = 0;
+  /// Directory version of the page at the checkpoint epoch.
+  std::uint64_t version = 0;
+  /// CRC-32 of the full resident page (restore verifies stage-ins with it).
+  std::uint32_t crc = 0;
+  /// Residency hints at checkpoint time (sim::TierKind as int + home node);
+  /// restore uses them for placement affinity, not as truth about bytes.
+  int tier = 4;
+  std::uint64_t node = 0;
+};
+
+/// One vector's registration info + page table.
+struct ManifestVector {
+  /// Backing object key ("scheme://path#fragment") — the backing URI of
+  /// every page in this table.
+  std::string key;
+  std::uint64_t elem_size = 0;
+  std::uint64_t size_bytes = 0;
+  std::uint64_t page_bytes = 0;
+  std::vector<ManifestPage> pages;
+};
+
+struct Manifest {
+  std::uint64_t epoch = 0;
+  std::string tag;
+  std::vector<ManifestVector> vectors;
+};
+
+/// Text serialization (line-based, CRC-terminated).
+std::string SerializeManifest(const Manifest& m);
+StatusOr<Manifest> ParseManifest(const std::string& text);
+
+/// Canonical manifest path for a tag: `<dir>/<tag>.mmck`.
+std::string ManifestPath(const std::string& dir, const std::string& tag);
+
+/// Writes the manifest to `path + ".tmp"` (fsynced on close). Publication
+/// is a separate step so a crash between the two leaves the previous
+/// manifest in place — the kMidManifestRename crash point.
+Status WriteManifestTemp(const Manifest& m, const std::string& path);
+
+/// Atomically renames `path + ".tmp"` into `path`.
+Status PublishManifest(const std::string& path);
+
+/// WriteManifestTemp + PublishManifest.
+Status WriteManifest(const Manifest& m, const std::string& path);
+
+/// Reads and validates (magic + trailing CRC) a published manifest.
+StatusOr<Manifest> ReadManifest(const std::string& path);
+
+}  // namespace mm::ckpt

@@ -79,6 +79,14 @@ class Communicator {
   /// Synchronizes all communicator members and their virtual clocks.
   void Barrier();
 
+  /// Barrier whose last-arriving member runs `serial` alone — with every
+  /// other rank still parked — before anyone is released (see
+  /// World::Barrier). Only valid on the world communicator: a sub-group
+  /// cannot quiesce the whole job. The checkpoint collective is built on
+  /// this.
+  [[nodiscard]] Status BarrierSerial(
+      const std::function<sim::SimTime(sim::SimTime)>& serial);
+
   /// Binomial-tree broadcast from `root` (communicator-local index).
   template <typename T>
   void Bcast(std::vector<T>& data, int root);

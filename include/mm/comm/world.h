@@ -3,6 +3,7 @@
 // (launch.h); application code talks to it through Communicator.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -34,6 +35,15 @@ class World {
   /// advances every participant's virtual time to the max arrival time plus
   /// a log(n) synchronization cost.
   sim::SimTime Barrier(int rank, sim::SimTime arrival);
+
+  /// Barrier with a serial section: the last-arriving rank runs `serial`
+  /// ALONE — every other rank stays parked until it finishes — passing the
+  /// post-synchronization virtual time and returning its completion time.
+  /// Everyone is then released at max(serial completion, sync time). Used
+  /// by collective checkpoints, where quiesce-and-publish must not race
+  /// application traffic from other ranks. `serial` may be null.
+  sim::SimTime Barrier(int rank, sim::SimTime arrival,
+                       const std::function<sim::SimTime(sim::SimTime)>* serial);
 
  private:
   sim::Cluster* cluster_;

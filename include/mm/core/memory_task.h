@@ -138,6 +138,7 @@ struct MemoryTask {
     kScore,         // prefetcher importance score for the Data Organizer
     kStageOut,      // persist a page to the vector's backend
     kErase,         // drop a page from the scache
+    kBarrier,       // checkpoint quiesce marker: drains the queue ahead of it
   };
 
   Kind kind = Kind::kGetPage;

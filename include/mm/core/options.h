@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "mm/ckpt/options.h"
 #include "mm/core/coherence.h"
 #include "mm/sim/fault.h"
 #include "mm/storage/buffer_manager.h"
@@ -86,6 +87,9 @@ struct ServiceOptions {
   sim::FaultConfig faults;
   /// Observability: trace recording and per-epoch runtime reports.
   TelemetryOptions telemetry;
+  /// Crash consistency (DESIGN.md §12): journaled writeback and epoch
+  /// checkpoints, enabled by setting `ckpt.dir`.
+  ckpt::CkptOptions ckpt;
 
   /// Parses a service config from YAML, e.g.:
   ///   runtime:
@@ -109,6 +113,9 @@ struct ServiceOptions {
   ///     trace_path: /tmp/mm_trace.json
   ///     report_interval_s: 1.0
   ///     report_path: /tmp/mm_report.jsonl
+  ///   ckpt:
+  ///     dir: /tmp/mm_ckpt
+  ///     journal_writeback: true
   static StatusOr<ServiceOptions> FromYaml(const yaml::Node& root);
 };
 

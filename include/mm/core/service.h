@@ -16,6 +16,7 @@
 
 #include <unordered_set>
 
+#include "mm/ckpt/coordinator.h"
 #include "mm/core/coherence.h"
 #include "mm/core/memory_task.h"
 #include "mm/core/options.h"
@@ -96,6 +97,12 @@ class NodeRuntime {
   /// instead of allocating fresh vectors on every task.
   PagePool& pool() { return pool_; }
 
+  /// Checkpoint quiesce: pushes one kBarrier marker into every queue and
+  /// waits until all of them execute — by FIFO order, every task submitted
+  /// before the call has then committed. Returns the drain's virtual
+  /// completion time (>= now).
+  sim::SimTime Quiesce(sim::SimTime now);
+
   /// Stops accepting tasks, drains queues, joins workers.
   void Shutdown();
 
@@ -122,8 +129,20 @@ class NodeRuntime {
                      std::uint64_t size, std::vector<std::uint8_t>* bytes,
                      sim::SimTime now, sim::SimTime* done);
   Status BackendWrite(VectorMeta& meta, std::uint64_t offset,
-                      const std::vector<std::uint8_t>& bytes, sim::SimTime now,
-                      sim::SimTime* done);
+                      const std::uint8_t* bytes, std::uint64_t size,
+                      sim::SimTime now, sim::SimTime* done);
+
+  /// Crash-consistent flush (DESIGN.md §12): appends a redo record with the
+  /// page's directory version/CRC to this node's journal — durable before
+  /// the in-place BackendWrite — and honors the armed crash points.
+  /// `version`/`page_crc` describe the full committed page the payload
+  /// belongs to. Falls through to a plain BackendWrite when journaling is
+  /// off.
+  Status JournaledBackendWrite(VectorMeta& meta, const storage::BlobId& id,
+                               std::uint64_t version, std::uint32_t page_crc,
+                               std::uint64_t offset, const std::uint8_t* bytes,
+                               std::uint64_t size, sim::SimTime now,
+                               sim::SimTime* done);
 
   Service* service_;
   std::size_t node_id_;
@@ -138,7 +157,8 @@ class NodeRuntime {
   telemetry::Counter* stager_write_bytes_;     // mm.stager.write_bytes
   telemetry::Counter* stager_errors_;          // mm.stager.errors_count
   telemetry::Counter* stager_retries_;         // mm.stager.retries_count
-  telemetry::Histogram* task_latency_[5];      // mm.task.<kind>_ns, by Kind
+  telemetry::Histogram* task_latency_[6];      // mm.task.<kind>_ns, by Kind
+  telemetry::Counter* ckpt_journal_bytes_;     // mm.ckpt.journal_bytes
   storage::BufferManager bm_;
   PagePool pool_;
   std::vector<std::unique_ptr<BlockingQueue<MemoryTask>>> high_queues_;
@@ -210,6 +230,35 @@ class Service {
   bool IsDataLost(const storage::BlobId& id) const;
   void ClearDataLoss(const storage::BlobId& id);
   std::size_t data_loss_count() const;
+
+  // ---- checkpoint / restore (mm::ckpt, DESIGN.md §12) ----
+
+  /// Checkpoint subsystem state: per-node redo journals, epoch counter, the
+  /// collective's leader→followers result channel. Always present;
+  /// disabled (no journals) unless `ckpt.dir` is configured.
+  ckpt::Coordinator& checkpointer() { return *ckpt_; }
+
+  /// This node's redo journal; nullptr when checkpointing is disabled.
+  ckpt::Journal* journal(std::size_t node) { return ckpt_->journal(node); }
+
+  /// Coordinated incremental epoch checkpoint (single-rank form; ranks of a
+  /// job use ckpt::CollectiveCheckpoint, which wraps this in a barrier
+  /// serial section). Quiesces every node's task queues, stages out only
+  /// pages dirtied since the previous epoch (journaled), and atomically
+  /// publishes the `<tag>.mmck` manifest via temp + rename. Defined in
+  /// src/ckpt/service_ckpt.cc.
+  StatusOr<ckpt::CheckpointStats> Checkpoint(const std::string& tag,
+                                             std::size_t from_node,
+                                             sim::SimTime now,
+                                             sim::SimTime* done);
+
+  /// Rebuilds vectors and the metadata directory from the manifest of
+  /// `tag`, overlaying any newer durable journal records; page contents
+  /// fault back in lazily on first touch (CRC-verified against the
+  /// restored directory entries). Idempotent; rerunnable after a crash
+  /// mid-restore. Defined in src/ckpt/service_ckpt.cc.
+  Status Restore(const std::string& tag, std::size_t from_node,
+                 sim::SimTime now, sim::SimTime* done);
 
   /// Connects to (or creates) a shared vector. All processes using the same
   /// key share the object. For nonvolatile vectors whose backend object
@@ -310,7 +359,10 @@ class Service {
   Status DestroyVector(VectorMeta& meta, bool remove_backend = false);
 
   /// Flushes every nonvolatile vector and stops all runtimes. Called by the
-  /// destructor if not called explicitly.
+  /// destructor if not called explicitly. When the fault injector reports a
+  /// simulated crash, the clean-exit flush is skipped: on-disk state stays
+  /// exactly what the crash left (the ckpt crash tests build a new Service
+  /// over the same directories and recover).
   void Shutdown();
 
   /// scache DRAM bytes in use across all nodes (for memory accounting).
@@ -324,10 +376,19 @@ class Service {
  private:
   friend class NodeRuntime;
 
+  /// Satellite recovery path for tier death: a dirty page whose redo record
+  /// is durable in the failing node's journal is re-applied to the backend
+  /// (idempotent) instead of being declared lost. Returns true when the
+  /// backend now holds the journaled version.
+  bool TryJournalRecover(std::size_t node, const storage::BlobId& id,
+                         const storage::BlobLocation& loc);
+
   sim::Cluster* cluster_;
   ServiceOptions options_;
   std::unique_ptr<sim::FaultInjector> injector_;
   std::unique_ptr<storage::MetadataManager> metadata_;
+  // Precedes runtimes_: workers consult the journals while executing.
+  std::unique_ptr<ckpt::Coordinator> ckpt_;
   // Telemetry state must precede runtimes_: each NodeRuntime grabs its sink
   // during construction.
   std::vector<std::unique_ptr<telemetry::MetricsRegistry>> metrics_;

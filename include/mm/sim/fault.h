@@ -28,6 +28,45 @@
 
 namespace mm::sim {
 
+/// Deterministic process-death points along the checkpointed writeback path
+/// (DESIGN.md §12 crash matrix). A crash armed at one of these fires the
+/// moment execution reaches it: the reaching code abandons its operation
+/// exactly as a killed process would (torn journal tail, half-written page,
+/// unpublished manifest temp, partial restore) and the injector stays
+/// `crashed()` so shutdown skips the clean-exit flush.
+enum class CrashPoint : std::uint8_t {
+  kNone = 0,
+  /// Mid journal append: a torn redo record, no in-place write.
+  kMidJournalAppend,
+  /// Between journal append and the in-place write: record durable,
+  /// backend untouched.
+  kAfterJournalAppend,
+  /// Mid in-place write: record durable, page torn on the backend.
+  kMidInPlaceWrite,
+  /// Between manifest temp write and rename: previous manifest survives.
+  kMidManifestRename,
+  /// Mid restore: directory partially rebuilt; restore must be rerunnable.
+  kMidRestore,
+};
+
+constexpr const char* CrashPointName(CrashPoint p) {
+  switch (p) {
+    case CrashPoint::kNone:
+      return "none";
+    case CrashPoint::kMidJournalAppend:
+      return "mid_journal_append";
+    case CrashPoint::kAfterJournalAppend:
+      return "after_journal_append";
+    case CrashPoint::kMidInPlaceWrite:
+      return "mid_in_place_write";
+    case CrashPoint::kMidManifestRename:
+      return "mid_manifest_rename";
+    case CrashPoint::kMidRestore:
+      return "mid_restore";
+  }
+  return "unknown";
+}
+
 /// Per-stream fault probabilities. All rates are in [0, 1].
 struct TierFaultSpec {
   /// Probability an op fails with a transient kIoError.
@@ -108,6 +147,40 @@ class FaultInjector {
 
   const FaultConfig& config() const { return config_; }
 
+  // --- simulated process crashes (ckpt crash matrix) ---
+
+  /// Arms a one-shot crash: the (`skip`+1)-th time execution reaches
+  /// `point`, AtCrashPoint returns true and the injector becomes
+  /// `crashed()` for the rest of the service's life.
+  void ArmCrash(CrashPoint point, std::uint64_t skip = 0) {
+    crash_skip_.store(skip, std::memory_order_relaxed);
+    crash_point_.store(static_cast<std::uint8_t>(point),
+                       std::memory_order_release);
+  }
+
+  /// True exactly once, when the armed crash fires at `point`. Call sites
+  /// then leave torn state behind and bail, simulating process death.
+  bool AtCrashPoint(CrashPoint point) {
+    if (static_cast<CrashPoint>(crash_point_.load(
+            std::memory_order_acquire)) != point ||
+        crashed()) {
+      return false;
+    }
+    if (crash_skip_.fetch_sub(1, std::memory_order_acq_rel) != 0) {
+      return false;
+    }
+    crashed_.store(true, std::memory_order_release);
+    return true;
+  }
+
+  /// Immediate unconditional death (benches: kill mid-iteration).
+  void ForceCrash() { crashed_.store(true, std::memory_order_release); }
+
+  /// Sticky: the simulated process died. The service refuses further
+  /// journal/backend/checkpoint work and Shutdown skips the clean-exit
+  /// flush, so on-disk state is exactly what the crash left behind.
+  bool crashed() const { return crashed_.load(std::memory_order_acquire); }
+
   // --- stats (monotonic counters; exposed for benches/tests) ---
   std::uint64_t transient_faults() const {
     return transient_faults_.load(std::memory_order_relaxed);
@@ -147,6 +220,9 @@ class FaultInjector {
   std::atomic<std::uint64_t> transient_faults_{0};
   std::atomic<std::uint64_t> latency_spikes_{0};
   std::atomic<std::uint64_t> permanent_failures_{0};
+  std::atomic<std::uint8_t> crash_point_{0};
+  std::atomic<std::uint64_t> crash_skip_{0};
+  std::atomic<bool> crashed_{false};
 };
 
 }  // namespace mm::sim

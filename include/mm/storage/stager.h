@@ -40,9 +40,17 @@ class Stager {
   virtual Status Read(const Uri& uri, std::uint64_t offset, std::uint64_t size,
                       std::vector<std::uint8_t>* out) = 0;
 
-  /// Writes data at `offset` of the object's logical byte stream.
+  /// Writes [offset, offset+size) of the object's logical byte stream. The
+  /// raw-pointer form is the primary virtual so pooled task payloads and
+  /// journal records stage out without a std::vector round trip.
   virtual Status Write(const Uri& uri, std::uint64_t offset,
-                       const std::vector<std::uint8_t>& data) = 0;
+                       const std::uint8_t* data, std::uint64_t size) = 0;
+
+  /// Convenience wrapper over the raw-pointer overload.
+  Status Write(const Uri& uri, std::uint64_t offset,
+               const std::vector<std::uint8_t>& data) {
+    return Write(uri, offset, data.data(), data.size());
+  }
 
   virtual bool Exists(const Uri& uri) = 0;
   virtual Status Remove(const Uri& uri) = 0;

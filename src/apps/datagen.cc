@@ -55,9 +55,9 @@ StatusOr<DatagenTruth> GenerateToBackend(const DatagenConfig& cfg,
     MM_RETURN_IF_ERROR(stager->Remove(uri));
   }
   MM_RETURN_IF_ERROR(stager->Create(uri, bytes));
-  std::vector<std::uint8_t> raw(bytes);
-  std::memcpy(raw.data(), particles.data(), bytes);
-  MM_RETURN_IF_ERROR(stager->Write(uri, 0, raw));
+  // Raw overload: the particle array is already contiguous bytes.
+  MM_RETURN_IF_ERROR(stager->Write(
+      uri, 0, reinterpret_cast<const std::uint8_t*>(particles.data()), bytes));
   return truth;
 }
 

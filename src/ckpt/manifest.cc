@@ -1,0 +1,168 @@
+#include "mm/ckpt/manifest.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "mm/util/hash.h"
+
+namespace mm::ckpt {
+
+namespace {
+
+constexpr char kMagicLine[] = "MMCK1";
+
+// The tag doubles as a file name: keep it to a conservative charset so a
+// manifest can never escape the checkpoint directory.
+bool ValidTag(const std::string& tag) {
+  if (tag.empty() || tag.size() > 128) return false;
+  for (char c : tag) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == '-' || c == '.';
+    if (!ok) return false;
+  }
+  return tag != "." && tag != "..";
+}
+
+}  // namespace
+
+std::string SerializeManifest(const Manifest& m) {
+  std::ostringstream out;
+  out << kMagicLine << "\n";
+  out << "epoch " << m.epoch << "\n";
+  out << "tag " << m.tag << "\n";
+  out << "vectors " << m.vectors.size() << "\n";
+  for (const auto& v : m.vectors) {
+    // The key goes last on the line so embedded spaces survive parsing.
+    out << "vector " << v.elem_size << " " << v.size_bytes << " "
+        << v.page_bytes << " " << v.pages.size() << " " << v.key << "\n";
+    for (const auto& p : v.pages) {
+      out << "page " << p.page_idx << " " << p.version << " " << p.crc << " "
+          << p.tier << " " << p.node << "\n";
+    }
+  }
+  std::string body = out.str();
+  std::uint32_t crc =
+      Crc32(reinterpret_cast<const std::uint8_t*>(body.data()), body.size());
+  body += "end " + std::to_string(crc) + "\n";
+  return body;
+}
+
+StatusOr<Manifest> ParseManifest(const std::string& text) {
+  // Split off and verify the trailing "end <crc>" line first.
+  std::size_t end_pos = text.rfind("end ");
+  if (end_pos == std::string::npos ||
+      (end_pos != 0 && text[end_pos - 1] != '\n')) {
+    return DataLoss("manifest missing CRC trailer");
+  }
+  std::uint32_t want_crc = 0;
+  if (std::sscanf(text.c_str() + end_pos, "end %" SCNu32, &want_crc) != 1) {
+    return DataLoss("manifest CRC trailer unparsable");
+  }
+  std::uint32_t got_crc = Crc32(
+      reinterpret_cast<const std::uint8_t*>(text.data()), end_pos);
+  if (got_crc != want_crc) {
+    return DataLoss("manifest CRC mismatch: content is torn or corrupt");
+  }
+  std::istringstream in(text.substr(0, end_pos));
+  std::string line;
+  if (!std::getline(in, line) || line != kMagicLine) {
+    return InvalidArgument("not a checkpoint manifest");
+  }
+  Manifest m;
+  std::uint64_t declared_vectors = 0;
+  ManifestVector* current = nullptr;
+  std::uint64_t pending_pages = 0;
+  while (std::getline(in, line)) {
+    if (line.rfind("epoch ", 0) == 0) {
+      m.epoch = std::strtoull(line.c_str() + 6, nullptr, 10);
+    } else if (line.rfind("tag ", 0) == 0) {
+      m.tag = line.substr(4);
+    } else if (line.rfind("vectors ", 0) == 0) {
+      declared_vectors = std::strtoull(line.c_str() + 8, nullptr, 10);
+    } else if (line.rfind("vector ", 0) == 0) {
+      ManifestVector v;
+      std::uint64_t npages = 0;
+      int consumed = 0;
+      if (std::sscanf(line.c_str(), "vector %" SCNu64 " %" SCNu64 " %" SCNu64
+                                    " %" SCNu64 " %n",
+                      &v.elem_size, &v.size_bytes, &v.page_bytes, &npages,
+                      &consumed) != 4 ||
+          consumed <= 0) {
+        return DataLoss("manifest vector line unparsable: " + line);
+      }
+      v.key = line.substr(static_cast<std::size_t>(consumed));
+      if (v.key.empty() || v.elem_size == 0 || v.page_bytes == 0) {
+        return DataLoss("manifest vector line invalid: " + line);
+      }
+      m.vectors.push_back(std::move(v));
+      current = &m.vectors.back();
+      pending_pages = npages;
+    } else if (line.rfind("page ", 0) == 0) {
+      if (current == nullptr || pending_pages == 0) {
+        return DataLoss("manifest page line outside a vector: " + line);
+      }
+      ManifestPage p;
+      if (std::sscanf(line.c_str(), "page %" SCNu64 " %" SCNu64 " %" SCNu32
+                                    " %d %" SCNu64,
+                      &p.page_idx, &p.version, &p.crc, &p.tier,
+                      &p.node) != 5) {
+        return DataLoss("manifest page line unparsable: " + line);
+      }
+      current->pages.push_back(p);
+      --pending_pages;
+    } else if (!line.empty()) {
+      return DataLoss("unknown manifest line: " + line);
+    }
+  }
+  if (pending_pages != 0 || m.vectors.size() != declared_vectors) {
+    return DataLoss("manifest truncated: page/vector counts disagree");
+  }
+  return m;
+}
+
+std::string ManifestPath(const std::string& dir, const std::string& tag) {
+  return (std::filesystem::path(dir) / (tag + ".mmck")).string();
+}
+
+Status WriteManifestTemp(const Manifest& m, const std::string& path) {
+  if (!ValidTag(m.tag)) {
+    return InvalidArgument("bad checkpoint tag: '" + m.tag + "'");
+  }
+  std::error_code ec;
+  std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+  std::string body = SerializeManifest(m);
+  std::string tmp = path + ".tmp";
+  std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+  if (!out) return IoError("cannot write manifest temp: " + tmp);
+  out.write(body.data(), static_cast<std::streamsize>(body.size()));
+  out.flush();
+  if (!out) return IoError("short manifest write: " + tmp);
+  return Status::Ok();
+}
+
+Status PublishManifest(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::rename(path + ".tmp", path, ec);
+  if (ec) return IoError("cannot publish manifest " + path + ": " +
+                         ec.message());
+  return Status::Ok();
+}
+
+Status WriteManifest(const Manifest& m, const std::string& path) {
+  MM_RETURN_IF_ERROR(WriteManifestTemp(m, path));
+  return PublishManifest(path);
+}
+
+StatusOr<Manifest> ReadManifest(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return NotFound("no manifest at " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseManifest(buf.str());
+}
+
+}  // namespace mm::ckpt

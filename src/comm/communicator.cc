@@ -64,6 +64,21 @@ void Communicator::Barrier() {
   });
 }
 
+Status Communicator::BarrierSerial(
+    const std::function<sim::SimTime(sim::SimTime)>& serial) {
+  World& world = ctx_->world();
+  if (static_cast<int>(group_.size()) != world.num_ranks()) {
+    // A sub-group cannot quiesce ranks outside itself, so a serial section
+    // over a split communicator would still race the rest of the job.
+    return FailedPrecondition(
+        "BarrierSerial requires the world communicator");
+  }
+  sim::SimTime release =
+      world.Barrier(ctx_->rank(), ctx_->clock().now(), &serial);
+  ctx_->clock().AdvanceTo(release);
+  return Status::Ok();
+}
+
 Communicator Communicator::Split(int color) {
   // Exchange (color, world rank) pairs; members with my color form the new
   // group ordered by current communicator index.

@@ -23,24 +23,49 @@ World::World(sim::Cluster* cluster, int num_ranks, int ranks_per_node)
 }
 
 sim::SimTime World::Barrier(int rank, sim::SimTime arrival) {
+  return Barrier(rank, arrival, nullptr);
+}
+
+sim::SimTime World::Barrier(
+    int rank, sim::SimTime arrival,
+    const std::function<sim::SimTime(sim::SimTime)>* serial) {
   (void)rank;  // kept for symmetry with real collectives; barrier is rank-blind
-  MutexLock lock(barrier_mu_);
-  std::uint64_t my_generation = barrier_generation_;
-  barrier_max_ = std::max(barrier_max_, arrival);
-  if (++barrier_count_ == num_ranks_) {
-    // Last arrival releases everyone. The synchronization itself costs a
-    // tree of small messages: latency * ceil(log2(n)).
-    double depth = num_ranks_ > 1
-                       ? std::ceil(std::log2(static_cast<double>(num_ranks_)))
-                       : 0.0;
-    barrier_release_ =
-        barrier_max_ + depth * cluster_->network().spec().latency_s;
+  bool last = false;
+  std::uint64_t my_generation = 0;
+  sim::SimTime sync = 0.0;
+  {
+    MutexLock lock(barrier_mu_);
+    my_generation = barrier_generation_;
+    barrier_max_ = std::max(barrier_max_, arrival);
+    if (++barrier_count_ == num_ranks_) {
+      // Last arrival releases everyone. The synchronization itself costs a
+      // tree of small messages: latency * ceil(log2(n)).
+      double depth =
+          num_ranks_ > 1
+              ? std::ceil(std::log2(static_cast<double>(num_ranks_)))
+              : 0.0;
+      sync = barrier_max_ + depth * cluster_->network().spec().latency_s;
+      last = true;
+    }
+  }
+  if (last) {
+    // The serial section runs before the generation bump: every other rank
+    // has arrived (the count reached num_ranks_) and none returns until the
+    // bump below, so the section owns the world. Running it outside the
+    // lock keeps the barrier state clean if it recurses into comm code.
+    sim::SimTime release = sync;
+    if (serial != nullptr && *serial) {
+      release = std::max(release, (*serial)(sync));
+    }
+    MutexLock lock(barrier_mu_);
+    barrier_release_ = release;
     barrier_count_ = 0;
     barrier_max_ = 0.0;
     ++barrier_generation_;
     barrier_cv_.NotifyAll();
     return barrier_release_;
   }
+  MutexLock lock(barrier_mu_);
   // Explicit wait loop (not a predicate lambda): the lambda body would be a
   // separate, unannotated function to the thread-safety analysis.
   while (barrier_generation_ == my_generation) {

@@ -52,6 +52,12 @@ StatusOr<ServiceOptions> ServiceOptions::FromYaml(const yaml::Node& root) {
     opts.telemetry.report_path =
         telemetry.GetString("report_path", opts.telemetry.report_path);
   }
+  const yaml::Node& ckpt = root["ckpt"];
+  if (ckpt.IsMap()) {
+    opts.ckpt.dir = ckpt.GetString("dir", opts.ckpt.dir);
+    opts.ckpt.journal_writeback =
+        ckpt.GetBool("journal_writeback", opts.ckpt.journal_writeback);
+  }
   const yaml::Node& tiers = root["tiers"];
   if (tiers.IsList()) {
     for (const yaml::Node& tier : tiers.Items()) {

@@ -26,6 +26,8 @@ const char* TaskKindName(MemoryTask::Kind kind) {
       return "stage_out";
     case MemoryTask::Kind::kErase:
       return "erase";
+    case MemoryTask::Kind::kBarrier:
+      return "barrier";
   }
   return "task";
 }
@@ -46,6 +48,9 @@ telemetry::Histogram* TaskHistogram(telemetry::NodeSink sink,
       return sink.metrics->GetHistogram("mm.task.score_ns", std::move(bounds));
     case MemoryTask::Kind::kStageOut:
       return sink.metrics->GetHistogram("mm.task.stage_out_ns",
+                                        std::move(bounds));
+    case MemoryTask::Kind::kBarrier:
+      return sink.metrics->GetHistogram("mm.task.barrier_ns",
                                         std::move(bounds));
     default:
       return sink.metrics->GetHistogram("mm.task.erase_ns", std::move(bounds));
@@ -90,7 +95,9 @@ NodeRuntime::NodeRuntime(Service* service, std::size_t node_id,
                     TaskHistogram(tel_, MemoryTask::Kind::kWritePartial),
                     TaskHistogram(tel_, MemoryTask::Kind::kScore),
                     TaskHistogram(tel_, MemoryTask::Kind::kStageOut),
-                    TaskHistogram(tel_, MemoryTask::Kind::kErase)},
+                    TaskHistogram(tel_, MemoryTask::Kind::kErase),
+                    TaskHistogram(tel_, MemoryTask::Kind::kBarrier)},
+      ckpt_journal_bytes_(tel_.metrics->GetCounter("mm.ckpt.journal_bytes")),
       bm_(&service->cluster().node(node_id), grants,
           &service->fault_injector(), options.retry, tel_) {
   bm_.SetTierFailureHandler(
@@ -123,6 +130,37 @@ void NodeRuntime::Shutdown() {
   for (auto& q : low_queues_) q->Close();
   for (auto& t : workers_) t.join();
   workers_.clear();
+}
+
+sim::SimTime NodeRuntime::Quiesce(sim::SimTime now) {
+  // One barrier marker per queue: FIFO order guarantees that by the time a
+  // marker's promise resolves, every task enqueued before it has executed.
+  // Markers go straight to the queues — not through Submit's digest routing
+  // — so every queue in both groups drains, and the depth gauge is mirrored
+  // by hand for the same reason.
+  std::vector<std::future<TaskOutcome>> pending;
+  auto push_marker = [&](BlockingQueue<MemoryTask>* q) {
+    MemoryTask marker;
+    marker.kind = MemoryTask::Kind::kBarrier;
+    marker.issue_time = now;
+    marker.promise = std::make_shared<std::promise<TaskOutcome>>();
+    std::future<TaskOutcome> fut = marker.promise->get_future();
+    if (shut_down_.load(std::memory_order_acquire) ||
+        !q->Push(std::move(marker))) {
+      // Closed queue: its worker already drained and exited — nothing to
+      // wait for (and the unfulfilled promise must not be waited on).
+      return;
+    }
+    queue_depth_->Add(1);
+    pending.push_back(std::move(fut));
+  };
+  for (auto& q : high_queues_) push_marker(q.get());
+  for (auto& q : low_queues_) push_marker(q.get());
+  sim::SimTime done = now;
+  for (auto& fut : pending) {
+    done = std::max(done, fut.get().done);
+  }
+  return done;
 }
 
 Status NodeRuntime::Submit(MemoryTask task) {
@@ -200,6 +238,13 @@ TaskOutcome NodeRuntime::Execute(MemoryTask& task) {
       return ExecuteStageOut(task);
     case MemoryTask::Kind::kErase:
       return ExecuteErase(task);
+    case MemoryTask::Kind::kBarrier: {
+      // Quiesce marker: by FIFO order, every task enqueued before it has
+      // executed. Nothing to do but report when the queue drained.
+      TaskOutcome out;
+      out.done = task.issue_time;
+      return out;
+    }
   }
   return TaskOutcome{Internal("unknown task kind"), {}, task.issue_time};
 }
@@ -251,7 +296,7 @@ Status NodeRuntime::BackendRead(VectorMeta& meta, std::uint64_t offset,
 }
 
 Status NodeRuntime::BackendWrite(VectorMeta& meta, std::uint64_t offset,
-                                 const std::vector<std::uint8_t>& bytes,
+                                 const std::uint8_t* bytes, std::uint64_t size,
                                  sim::SimTime now, sim::SimTime* done) {
   sim::Device& pfs = service_->cluster().pfs();
   sim::SimTime end = now;
@@ -270,9 +315,9 @@ Status NodeRuntime::BackendWrite(VectorMeta& meta, std::uint64_t offset,
           return IoError("injected transient fault on backend write of '" +
                          meta.key + "'");
         }
-        MM_RETURN_IF_ERROR(meta.stager->Write(meta.uri, offset, bytes));
-        *attempt_done = std::max(
-            *attempt_done, pfs.Write(start, bytes.size(), d.spike_factor));
+        MM_RETURN_IF_ERROR(meta.stager->Write(meta.uri, offset, bytes, size));
+        *attempt_done =
+            std::max(*attempt_done, pfs.Write(start, size, d.spike_factor));
         return Status::Ok();
       },
       &attempts);
@@ -287,9 +332,64 @@ Status NodeRuntime::BackendWrite(VectorMeta& meta, std::uint64_t offset,
   if (attempts > 1) {
     stager_retries_->Inc(static_cast<std::uint64_t>(attempts - 1));
   }
-  stager_write_bytes_->Inc(bytes.size());
+  stager_write_bytes_->Inc(size);
   tel_.trace->Complete("stager_write", "stager", tel_.node, 0, now, end);
   return st;
+}
+
+Status NodeRuntime::JournaledBackendWrite(VectorMeta& meta,
+                                          const storage::BlobId& id,
+                                          std::uint64_t version,
+                                          std::uint32_t page_crc,
+                                          std::uint64_t offset,
+                                          const std::uint8_t* bytes,
+                                          std::uint64_t size, sim::SimTime now,
+                                          sim::SimTime* done) {
+  sim::FaultInjector& inj = service_->fault_injector();
+  if (inj.crashed()) {
+    // A dead process writes nothing: later flushes of the same run must not
+    // touch disk after the armed crash fired.
+    return Unavailable("node crashed (simulated)");
+  }
+  ckpt::Journal* journal =
+      service_->checkpointer().journaling() ? service_->journal(node_id_)
+                                            : nullptr;
+  if (journal != nullptr && meta.stager != nullptr) {
+    ckpt::JournalRecord rec;
+    rec.id = id;
+    rec.version = version;
+    rec.offset = offset;
+    rec.page_crc = page_crc;
+    rec.key = meta.key;
+    rec.payload.assign(bytes, bytes + size);
+    if (inj.AtCrashPoint(sim::CrashPoint::kMidJournalAppend)) {
+      // Death halfway through the append: a torn record on disk, no
+      // in-place write. Recovery must discard the tail and keep the
+      // backend's previous page intact.
+      // mm-lint: allow(MML005 crash sim drops the torn append's status)
+      (void)journal->AppendTorn(rec);
+      return Unavailable("simulated crash mid journal append");
+    }
+    MM_RETURN_IF_ERROR(journal->Append(rec));
+    // The redo record is real backend I/O: charge a PFS write for it.
+    sim::Device& pfs = service_->cluster().pfs();
+    Merge(pfs.Write(now, size + ckpt::Journal::kRecordOverheadBytes), done);
+    ckpt_journal_bytes_->Inc(size + ckpt::Journal::kRecordOverheadBytes);
+    if (inj.AtCrashPoint(sim::CrashPoint::kAfterJournalAppend)) {
+      // Record durable, in-place write never starts: recovery replays the
+      // record to bring the backend to `version`.
+      return Unavailable("simulated crash between journal append and "
+                         "in-place write");
+    }
+    if (inj.AtCrashPoint(sim::CrashPoint::kMidInPlaceWrite)) {
+      // Death mid in-place write leaves a torn page on the backend; the
+      // durable record above is what heals it during recovery.
+      // mm-lint: allow(MML005 crash simulation leaves a deliberately torn page)
+      (void)meta.stager->Write(meta.uri, offset, bytes, size / 2);
+      return Unavailable("simulated crash mid in-place write");
+    }
+  }
+  return BackendWrite(meta, offset, bytes, size, now, done);
 }
 
 TaskOutcome NodeRuntime::StageInOrZero(VectorMeta& meta,
@@ -442,6 +542,24 @@ TaskOutcome NodeRuntime::ExecuteGetPage(MemoryTask& task) {
   // Fault through to the backend (or zero-fill a fresh page).
   out = StageInOrZero(*meta, task.id, task.issue_time);
   if (!out.status.ok()) return out;
+  // Restored and written-through pages keep a directory entry with a kPfs
+  // residency hint and the committed full-page CRC: verify the staged-in
+  // bytes against it, so a torn or stale backend page surfaces as typed
+  // data loss instead of silently serving wrong bytes (DESIGN.md §12).
+  if (options_.verify_checksums && meta->stager != nullptr) {
+    auto backed = service_->metadata().Lookup(task.id, node_id_, out.done,
+                                              nullptr);
+    if (backed.ok() && backed->tier == sim::TierKind::kPfs &&
+        !backed->dirty && backed->crc != 0 && Crc32(out.data) != backed->crc) {
+      service_->RecordDataLoss(task.id);
+      pool_.Release(std::move(out.data));
+      out.data.clear();
+      out.status = DataLoss("page " + task.id.ToString() +
+                            " staged in from the backend does not match its "
+                            "recorded checksum");
+      return out;
+    }
+  }
   // Cache the page locally and record its location. A full scache is not an
   // error for reads: the page is served through without caching. The cached
   // copy comes from the pool so the steady-state read path allocates nothing.
@@ -558,8 +676,12 @@ TaskOutcome NodeRuntime::ExecuteWritePartial(MemoryTask& task) {
       std::uint64_t want = std::min<std::uint64_t>(
           page_data.size(), logical > page_off ? logical - page_off : 0);
       page_data.resize(want);
-      Status wt = BackendWrite(*meta, page_off, page_data, dev_done,
-                               &dev_done);
+      // Journal under the NEW version being committed: the write-through is
+      // this page's only durable copy, so its redo record is what recovery
+      // replays if the in-place write tears.
+      Status wt = JournaledBackendWrite(*meta, task.id, loc.version, loc.crc,
+                                        page_off, page_data.data(),
+                                        page_data.size(), dev_done, &dev_done);
       if (!wt.ok()) {
         out.status = wt;
         return out;
@@ -648,9 +770,19 @@ TaskOutcome NodeRuntime::ExecuteStageOut(MemoryTask& task) {
   std::uint64_t logical = meta->size_bytes.load(std::memory_order_relaxed);
   if (page_off >= logical) return out;  // page past the logical end
   std::uint64_t want = std::min<std::uint64_t>(buf.size(), logical - page_off);
+  // The version/CRC this flush persists are fixed before touching the
+  // backend: the journal record must promise exactly the committed state a
+  // recovered directory entry will carry (full-page CRC, even when the
+  // logical tail trims the payload below).
+  std::uint32_t page_crc = Crc32(buf);
+  auto pre = service_->metadata().Lookup(task.id, node_id_, read_done, nullptr);
+  std::uint64_t version = pre.ok() ? pre->version : 0;
+  if (pre.ok() && pre->crc != 0) page_crc = pre->crc;
   buf.resize(want);
   out.done = read_done;
-  Status st = BackendWrite(*meta, page_off, buf, read_done, &out.done);
+  Status st = JournaledBackendWrite(*meta, task.id, version, page_crc,
+                                    page_off, buf.data(), buf.size(),
+                                    read_done, &out.done);
   if (!st.ok()) {
     out.status = st;
     return out;
@@ -698,6 +830,22 @@ Service::Service(sim::Cluster* cluster, ServiceOptions options)
                       !options_.telemetry.trace_path.empty());
   reporter_ =
       std::make_unique<telemetry::EpochReporter>(options_.telemetry.report_path);
+  // The checkpoint coordinator precedes the runtimes: workers consult the
+  // per-node journals while executing, and startup recovery must heal the
+  // backends before any stage-in reads them (DESIGN.md §12).
+  ckpt_ = std::make_unique<ckpt::Coordinator>(options_.ckpt,
+                                              cluster->num_nodes());
+  if (ckpt_->enabled()) {
+    std::uint64_t applied = 0, torn = 0;
+    Status rec = ckpt_->RecoverOnStartup(&applied, &torn);
+    if (!rec.ok()) {
+      MM_WARN("ckpt") << "journal recovery failed: " << rec.ToString();
+    } else if (applied > 0 || torn > 0) {
+      MM_INFO("ckpt") << "journal recovery replayed " << applied
+                      << " record(s), discarded " << torn << " torn tail(s)";
+    }
+    metrics_[0]->GetCounter("mm.ckpt.replayed_count")->Inc(applied);
+  }
   for (std::size_t n = 0; n < cluster->num_nodes(); ++n) {
     runtimes_.push_back(std::make_unique<NodeRuntime>(this, n, options_,
                                                       options_.tier_grants));
@@ -716,23 +864,27 @@ Service::~Service() { Shutdown(); }
 void Service::Shutdown() {
   if (shut_down_.exchange(true)) return;
   // Persist every nonvolatile vector before the runtimes die ("during the
-  // termination of the runtime, the stager task will be scheduled").
-  std::vector<VectorMeta*> to_flush;
-  {
-    // Collect outside the lock: stage-out workers call FindVectorById,
-    // which takes vectors_mu_.
-    MutexLock lock(vectors_mu_);
-    for (auto& [key, meta] : vectors_) {
-      if (meta->stager != nullptr && !meta->destroyed.load()) {
-        to_flush.push_back(meta.get());
+  // termination of the runtime, the stager task will be scheduled") — unless
+  // the simulated process crashed: a dead process flushes nothing, so
+  // on-disk state stays exactly what the crash left for recovery to replay.
+  if (!injector_->crashed()) {
+    std::vector<VectorMeta*> to_flush;
+    {
+      // Collect outside the lock: stage-out workers call FindVectorById,
+      // which takes vectors_mu_.
+      MutexLock lock(vectors_mu_);
+      for (auto& [key, meta] : vectors_) {
+        if (meta->stager != nullptr && !meta->destroyed.load()) {
+          to_flush.push_back(meta.get());
+        }
       }
     }
-  }
-  for (VectorMeta* meta : to_flush) {
-    Status st = FlushVector(*meta, 0, 0.0, nullptr);
-    if (!st.ok()) {
-      MM_WARN("service") << "shutdown flush of '" << meta->key
-                         << "' failed: " << st.ToString();
+    for (VectorMeta* meta : to_flush) {
+      Status st = FlushVector(*meta, 0, 0.0, nullptr);
+      if (!st.ok()) {
+        MM_WARN("service") << "shutdown flush of '" << meta->key
+                           << "' failed: " << st.ToString();
+      }
     }
   }
   for (auto& rt : runtimes_) rt->Shutdown();
@@ -917,13 +1069,21 @@ void Service::OnTierFailure(std::size_t node, sim::TierKind tier,
       continue;
     }
     if (loc->dirty) {
-      // The only copy of unstaged modifications went down with the tier.
-      // Record typed data loss; accesses surface kDataLoss, not an abort.
-      RecordDataLoss(id);
-      // Idempotent drop of the lost page's directory entry; kNotFound on a
-      // concurrent removal is fine.
-      (void)metadata().Remove(id, node, now, nullptr);
-      continue;
+      // The resident copy of unstaged modifications went down with the
+      // tier, but journaled writeback may have already made those bytes
+      // durable (the redo record lands before the in-place write). A
+      // journal record at or past the lost version means the backend can
+      // be healed — re-apply it and fall through to the clean-primary
+      // re-stage below instead of declaring data loss.
+      if (!TryJournalRecover(node, id, *loc)) {
+        // The only copy is gone. Record typed data loss; accesses surface
+        // kDataLoss, not an abort.
+        RecordDataLoss(id);
+        // Idempotent drop of the lost page's directory entry; kNotFound on
+        // a concurrent removal is fine.
+        (void)metadata().Remove(id, node, now, nullptr);
+        continue;
+      }
     }
     // Clean primary: the backend still has the bytes. Drop the stale
     // mapping and eagerly re-stage so the working set recovers without
@@ -941,6 +1101,34 @@ void Service::OnTierFailure(std::size_t node, sim::TierKind tier,
     restore.issue_time = now;
     (void)runtime(node).Submit(std::move(restore));  // fire-and-forget
   }
+}
+
+bool Service::TryJournalRecover(std::size_t node, const storage::BlobId& id,
+                                const storage::BlobLocation& loc) {
+  if (ckpt_ == nullptr || !ckpt_->journaling()) return false;
+  ckpt::Journal* journal = ckpt_->journal(node);
+  if (journal == nullptr) return false;
+  auto rec = journal->Latest(id);
+  if (!rec.ok() || rec->version < loc.version) return false;
+  auto resolved = storage::StagerRegistry::Default().Resolve(rec->key);
+  if (!resolved.ok()) return false;
+  storage::Stager* stager = resolved->first;
+  const auto& uri = resolved->second;
+  if (!stager->Exists(uri)) {
+    Status cs = stager->Create(uri, rec->offset + rec->payload.size());
+    if (!cs.ok()) return false;
+  }
+  // Idempotent re-apply: the in-place write may have landed (fully or
+  // partially) before the tier died; replaying the record converges the
+  // backend to the journaled version either way.
+  Status ws = stager->Write(uri, rec->offset, rec->payload.data(),
+                            rec->payload.size());
+  if (!ws.ok()) return false;
+  metrics_[node]->GetCounter("mm.ckpt.journal_recovered_count")->Inc();
+  MM_WARN("ckpt") << "page " << id.ToString() << " on node " << node
+                  << " recovered from its redo journal at version "
+                  << rec->version;
+  return true;
 }
 
 void Service::RecordDataLoss(const storage::BlobId& id) {

@@ -46,8 +46,8 @@ class PosixStager final : public Stager {
     return Status::Ok();
   }
 
-  Status Write(const Uri& uri, std::uint64_t offset,
-               const std::vector<std::uint8_t>& data) override {
+  Status Write(const Uri& uri, std::uint64_t offset, const std::uint8_t* data,
+               std::uint64_t size) override {
     // in|out keeps existing content; create the file first if absent.
     if (!std::filesystem::exists(uri.path)) {
       MM_RETURN_IF_ERROR(Create(uri, 0));
@@ -56,8 +56,8 @@ class PosixStager final : public Stager {
                      std::ios::binary | std::ios::in | std::ios::out);
     if (!out) return IoError("cannot open file for write: " + uri.path);
     out.seekp(static_cast<std::streamoff>(offset));
-    out.write(reinterpret_cast<const char*>(data.data()),
-              static_cast<std::streamsize>(data.size()));
+    out.write(reinterpret_cast<const char*>(data),
+              static_cast<std::streamsize>(size));
     if (!out) return IoError("short write to " + uri.path);
     return Status::Ok();
   }

@@ -158,8 +158,8 @@ class ShdfStager final : public Stager {
     return Status::Ok();
   }
 
-  Status Write(const Uri& uri, std::uint64_t offset,
-               const std::vector<std::uint8_t>& data) override {
+  Status Write(const Uri& uri, std::uint64_t offset, const std::uint8_t* data,
+               std::uint64_t size) override {
     MutexLock lock(mu_);
     Container c;
     MM_RETURN_IF_ERROR(LoadContainer(uri.path, &c));
@@ -167,14 +167,14 @@ class ShdfStager final : public Stager {
     if (e == nullptr) {
       return NotFound("no dataset '" + DatasetName(uri) + "' in " + uri.path);
     }
-    if (offset + data.size() > e->size) {
+    if (offset + size > e->size) {
       return OutOfRange("write past end of dataset '" + e->name + "'");
     }
     std::fstream out(uri.path, std::ios::binary | std::ios::in | std::ios::out);
     if (!out) return IoError("cannot open container: " + uri.path);
     out.seekp(static_cast<std::streamoff>(e->offset + offset));
-    out.write(reinterpret_cast<const char*>(data.data()),
-              static_cast<std::streamsize>(data.size()));
+    out.write(reinterpret_cast<const char*>(data),
+              static_cast<std::streamsize>(size));
     if (!out) return IoError("short write to container: " + uri.path);
     return Status::Ok();
   }

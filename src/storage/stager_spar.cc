@@ -144,18 +144,18 @@ class SparStager final : public Stager {
     return Status::Ok();
   }
 
-  Status Write(const Uri& uri, std::uint64_t offset,
-               const std::vector<std::uint8_t>& data) override {
+  Status Write(const Uri& uri, std::uint64_t offset, const std::uint8_t* data,
+               std::uint64_t size) override {
     Header h;
     MM_RETURN_IF_ERROR(LoadHeader(uri.path, &h));
-    MM_RETURN_IF_ERROR(CheckRowAligned(h, offset, data.size()));
-    if (offset + data.size() > h.nrows * h.row_bytes()) {
+    MM_RETURN_IF_ERROR(CheckRowAligned(h, offset, size));
+    if (offset + size > h.nrows * h.row_bytes()) {
       return OutOfRange("write past end of spar object");
     }
     std::fstream io(uri.path, std::ios::binary | std::ios::in | std::ios::out);
     if (!io) return IoError("cannot open spar file: " + uri.path);
     std::uint64_t row0 = offset / h.row_bytes();
-    std::uint64_t rows = data.size() / h.row_bytes();
+    std::uint64_t rows = size / h.row_bytes();
     // Scatter row-major input into the column chunks group by group.
     std::uint64_t r = 0;
     while (r < rows) {
@@ -169,7 +169,7 @@ class SparStager final : public Stager {
         std::vector<std::uint8_t> col(span * kColBytes);
         for (std::uint64_t i = 0; i < span; ++i) {
           std::memcpy(col.data() + i * kColBytes,
-                      data.data() + (r + i) * h.row_bytes() + c * kColBytes,
+                      data + (r + i) * h.row_bytes() + c * kColBytes,
                       kColBytes);
         }
         std::uint64_t pos =

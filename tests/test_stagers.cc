@@ -165,6 +165,35 @@ TEST_F(StagerTest, ShdfDefaultDatasetNameWhenNoFragment) {
   EXPECT_TRUE(stager->Exists(uri));
 }
 
+TEST_F(StagerTest, ShdfEmptyFragmentAliasesTheDefaultDataset) {
+  auto stager = MakeShdfStager();
+  Uri bare = MakeUri("shdf", "c.h5");  // no fragment at all
+  Uri empty = MakeUri("shdf", "c.h5", "");
+  ASSERT_TRUE(stager->Create(bare, 128).ok());
+  // An explicitly empty fragment names the same default dataset: creating
+  // it again collides, and bytes written one way read back the other.
+  EXPECT_EQ(stager->Create(empty, 128).code(), StatusCode::kAlreadyExists);
+  auto data = Pattern(128, 21);
+  ASSERT_TRUE(stager->Write(bare, 0, data).ok());
+  std::vector<std::uint8_t> back;
+  ASSERT_TRUE(stager->Read(empty, 0, 128, &back).ok());
+  EXPECT_EQ(back, data);
+  EXPECT_EQ(*stager->Size(empty), 128u);
+}
+
+TEST_F(StagerTest, ShdfMissingFragmentWriteAndRemoveAreNotFound) {
+  auto stager = MakeShdfStager();
+  Uri present = MakeUri("shdf", "c.h5", "real");
+  ASSERT_TRUE(stager->Create(present, 64).ok());
+  Uri missing = MakeUri("shdf", "c.h5", "ghost");
+  EXPECT_EQ(stager->Write(missing, 0, Pattern(16, 1)).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(stager->Remove(missing).code(), StatusCode::kNotFound);
+  // The failed operations left the container and its real dataset intact.
+  EXPECT_TRUE(stager->Exists(present));
+  EXPECT_EQ(*stager->Size(present), 64u);
+}
+
 TEST_F(StagerTest, ShdfSurvivesManyDatasets) {
   auto stager = MakeShdfStager();
   for (int i = 0; i < 20; ++i) {
@@ -216,6 +245,33 @@ TEST_F(StagerTest, SparPartialRowRanges) {
   EXPECT_EQ(back, patch);
 }
 
+TEST_F(StagerTest, SparAccessStraddlingMultipleRowGroups) {
+  auto stager = MakeSparStager();
+  Uri uri = MakeUri("spar", "wide.parquet", "f4x2");
+  // 12000 rows of 8 bytes span three 4096-row groups.
+  const std::uint64_t rows = 12000, row_bytes = 8;
+  ASSERT_TRUE(stager->Create(uri, rows * row_bytes).ok());
+  auto data = Pattern(rows * row_bytes, 11);
+  // Raw-pointer overload straight from a buffer, as the journaled
+  // writeback path stages pooled payloads.
+  ASSERT_TRUE(stager->Write(uri, 0, data.data(), data.size()).ok());
+  // One write spanning rows [4000, 8300): covers the whole middle group
+  // plus a tail of group 0 and a head of group 2.
+  auto patch = Pattern(4300 * row_bytes, 13);
+  ASSERT_TRUE(
+      stager->Write(uri, 4000 * row_bytes, patch.data(), patch.size()).ok());
+  std::vector<std::uint8_t> back;
+  ASSERT_TRUE(stager->Read(uri, 4000 * row_bytes, 4300 * row_bytes, &back).ok());
+  EXPECT_EQ(back, patch);
+  // The rows around the patched range are untouched.
+  ASSERT_TRUE(stager->Read(uri, 3999 * row_bytes, row_bytes, &back).ok());
+  EXPECT_EQ(0, std::memcmp(back.data(), data.data() + 3999 * row_bytes,
+                           row_bytes));
+  ASSERT_TRUE(stager->Read(uri, 8300 * row_bytes, row_bytes, &back).ok());
+  EXPECT_EQ(0, std::memcmp(back.data(), data.data() + 8300 * row_bytes,
+                           row_bytes));
+}
+
 TEST_F(StagerTest, SparFileIsActuallyColumnar) {
   auto stager = MakeSparStager();
   Uri uri = MakeUri("spar", "col.parquet", "f4x2");
@@ -249,6 +305,23 @@ TEST_F(StagerTest, SparRejectsUnalignedAccess) {
   EXPECT_EQ(stager->Read(uri, 5, 12, &out).code(),
             StatusCode::kInvalidArgument);
   EXPECT_EQ(stager->Write(uri, 0, Pattern(7, 1)).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(StagerTest, SparUnalignedAccessAcrossGroupBoundaryRejected) {
+  auto stager = MakeSparStager();
+  Uri uri = MakeUri("spar", "pts.parquet", "f4x2");
+  const std::uint64_t rows = 9000, row_bytes = 8;
+  ASSERT_TRUE(stager->Create(uri, rows * row_bytes).ok());
+  // Aligned offset near the 4096-row boundary, but a size that is not a
+  // whole number of rows: the straddle must not be silently rounded.
+  std::vector<std::uint8_t> out;
+  EXPECT_EQ(stager->Read(uri, 4090 * row_bytes, 20 * row_bytes + 3, &out)
+                .code(),
+            StatusCode::kInvalidArgument);
+  // Mid-row offset landing exactly on the boundary row.
+  EXPECT_EQ(stager->Write(uri, 4096 * row_bytes + 2, Pattern(row_bytes, 1))
+                .code(),
             StatusCode::kInvalidArgument);
 }
 
