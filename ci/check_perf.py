@@ -14,6 +14,10 @@ Two report kinds are gated, keyed by the report's "name":
                  absolute (no baseline needed): checkpoint overhead must
                  stay under 10% of the epoch time, and the restored run
                  must reproduce bit-identical results.
+  node_failure   node-death recovery invariants, also absolute: the run
+                 must converge despite a rank killed mid-epoch, no page
+                 may be lost, and the recovery/retransmission overheads
+                 must stay bounded.
 """
 
 import argparse
@@ -46,6 +50,22 @@ CKPT_CEILINGS = [
 ]
 CKPT_EXACT = [
     ("restore_identical", 1.0),
+]
+
+# node_failure gates (virtual-clock, machine-independent). A rank is killed
+# mid-epoch (ISSUE 6): survivors must detect, fence, re-home, and converge.
+# Ceilings are generous multiples of observed values (~1e-4 recovery
+# fraction, ~0.017 retransmit overhead, ~1e-14 centroid divergence).
+NODE_FAILURE_CEILINGS = [
+    ("recovery_time_fraction", 0.30),
+    ("retransmit_overhead", 0.10),
+    # Survivor centroids may diverge from the fault-free run only by
+    # reduce-tree reassociation (4-rank vs 3-rank trees).
+    ("max_centroid_diff", 1e-6),
+]
+NODE_FAILURE_EXACT = [
+    ("converged", 1.0),
+    ("pages_lost", 0.0),
 ]
 
 
@@ -94,16 +114,16 @@ def gate_hotpath(current: dict, baseline: dict, threshold: float) -> bool:
     return failed
 
 
-def gate_ckpt_recovery(current: dict) -> bool:
+def gate_absolute(current: dict, ceilings, exact) -> bool:
     failed = False
-    for key, ceiling in CKPT_CEILINGS:
+    for key, ceiling in ceilings:
         cur = metric(current, key)
         status = "ok"
         if cur > ceiling:
             status = f"FAIL (> {ceiling})"
             failed = True
-        print(f"{key}: {cur:.4f} (ceiling {ceiling}) {status}")
-    for key, expected in CKPT_EXACT:
+        print(f"{key}: {cur:.4g} (ceiling {ceiling}) {status}")
+    for key, expected in exact:
         cur = metric(current, key)
         status = "ok"
         if cur != expected:
@@ -127,7 +147,10 @@ def main() -> int:
 
     name = current.get("name", "hotpath")
     if name == "ckpt_recovery":
-        failed = gate_ckpt_recovery(current)
+        failed = gate_absolute(current, CKPT_CEILINGS, CKPT_EXACT)
+    elif name == "node_failure":
+        failed = gate_absolute(current, NODE_FAILURE_CEILINGS,
+                               NODE_FAILURE_EXACT)
     else:
         if args.baseline is None:
             print("a baseline report is required for hotpath gating",

@@ -34,6 +34,14 @@ Rules (see DESIGN.md "Concurrency contracts & static analysis"):
           never observe a torn file. Exempt: append-mode opens (the redo
           journal IS the write-ahead log), paths whose text mentions
           tmp/temp, and functions that rename() the file into place.
+  MML008  Unbounded receive (Recv/RecvValue/RecvBytes) in runtime code
+          outside comm/. The blocking variants abort the process when the
+          peer dies; everything above the comm layer must use the
+          deadline-returning *Or variants (RecvOr/RecvValueOr/RecvBytesOr)
+          so node death surfaces as a kPeerDead Status the caller can
+          route into recovery (DESIGN.md §13). comm/ itself and the test
+          tree keep the blocking forms (fixtures and the wrappers'
+          definitions).
 
 Suppression: put `mm-lint: allow(MMLnnn <reason>)` in a comment on the
 offending line or the line directly above it. Suppressions without a
@@ -97,6 +105,13 @@ METRIC_UNIT_SUFFIXES = ("_bytes", "_ns", "_count", "_ratio")
 # MML007 --------------------------------------------------------------------
 CKPT_STREAM_RE = re.compile(r"std::(?:ofstream|fstream)\b[^;]*")
 CKPT_DIRS = ("src/ckpt/", "include/mm/ckpt/")
+
+# MML008 --------------------------------------------------------------------
+# Matches `.Recv(`, `->RecvValue<T>(`, `.RecvBytes(` — the lookahead stops
+# the alternatives from matching a prefix of the *Or deadline variants.
+UNBOUNDED_RECV_RE = re.compile(
+    r"(?:\.|->)\s*(Recv(?:Bytes|Value)?)(?=\s*[<(])")
+COMM_DIRS = ("src/comm/", "include/mm/comm/")
 
 ALLOW_RE = re.compile(r"mm-lint:\s*allow\(\s*(MML\d{3})\b([^)]*)\)")
 
@@ -401,6 +416,24 @@ class FileScanner:
                         "publish via write-to-temp + std::filesystem::rename "
                         "(or open the journal in append mode)")
 
+    def check_mml008(self) -> None:
+        # Failure-model contract (DESIGN.md §13): only the comm layer may
+        # block unboundedly; callers above it must see peer death as a
+        # Status, not an abort.
+        rel_norm = self.rel.replace(os.sep, "/")
+        if not rel_norm.startswith(("include/", "src/")):
+            return
+        if rel_norm.startswith(COMM_DIRS):
+            return
+        for idx, line in enumerate(self.code_lines):
+            m = UNBOUNDED_RECV_RE.search(line)
+            if m:
+                self.report(idx + 1, "MML008",
+                            f"unbounded `{m.group(1)}` outside comm/ aborts "
+                            "on peer death — use the deadline variant "
+                            f"`{m.group(1)}Or` and route kPeerDead into "
+                            "recovery")
+
     def run(self) -> list[Finding]:
         self.check_mml001()
         self.check_mml002()
@@ -409,6 +442,7 @@ class FileScanner:
         self.check_mml005()
         self.check_mml006()
         self.check_mml007()
+        self.check_mml008()
         return self.findings
 
 

@@ -264,6 +264,64 @@ class Mml007AtomicPublishTest(unittest.TestCase):
         self.assertEqual(lint_snippet(snippet, rel="src/ckpt/manifest.cc"), [])
 
 
+class Mml008UnboundedRecvTest(unittest.TestCase):
+    def test_flags_blocking_recv_in_apps(self):
+        snippet = ("void F(Communicator& comm) {\n"
+                   "  auto tmp = comm.Recv<double>(src, tag);\n"
+                   "}\n")
+        findings = lint_snippet(snippet, rel="src/apps/gray_scott.cc")
+        self.assertEqual(rules_of(findings), ["MML008"])
+        self.assertEqual(findings[0].line, 2)
+
+    def test_flags_recv_value_and_recv_bytes(self):
+        snippet = ("void F(Communicator* comm) {\n"
+                   "  int v = comm->RecvValue<int>(0, 1);\n"
+                   "  auto b = comm->RecvBytes(0, 2);\n"
+                   "}\n")
+        self.assertEqual(rules_of(lint_snippet(snippet)),
+                         ["MML008", "MML008"])
+
+    def test_deadline_variants_are_clean(self):
+        snippet = ("void F(Communicator& comm) {\n"
+                   "  auto a = comm.RecvOr<double>(src, tag);\n"
+                   "  auto b = comm.RecvValueOr<int>(0, 1);\n"
+                   "  auto c = comm.RecvBytesOr(0, 2);\n"
+                   "}\n")
+        self.assertEqual(lint_snippet(snippet), [])
+
+    def test_comm_layer_is_exempt(self):
+        # The wrappers' own definitions live in comm/.
+        snippet = ("std::vector<std::uint8_t> RecvBytes(int src, int tag) {\n"
+                   "  auto out = mailbox.RecvBytes(src, tag);\n"
+                   "  return out;\n"
+                   "}\n")
+        self.assertEqual(
+            lint_snippet(snippet, rel="include/mm/comm/communicator.h"), [])
+        self.assertEqual(
+            lint_snippet(snippet, rel="src/comm/communicator.cc"), [])
+
+    def test_tests_are_exempt(self):
+        snippet = ("void F(Communicator& comm) {\n"
+                   "  int v = comm.RecvValue<int>(0, 1);\n"
+                   "}\n")
+        self.assertEqual(lint_snippet(snippet, rel="tests/test_comm.cc"), [])
+
+    def test_unrelated_recv_named_method_is_ignored(self):
+        # Only the exact Recv/RecvValue/RecvBytes names are unbounded.
+        snippet = ("void F(Stats& s) {\n"
+                   "  s.RecvCount();\n"
+                   "  Recv(x);\n"  # free function, not a comm method
+                   "}\n")
+        self.assertEqual(lint_snippet(snippet), [])
+
+    def test_suppression_applies(self):
+        snippet = ("void F(Communicator& comm) {\n"
+                   "  // mm-lint: allow(MML008 bootstrap runs pre-detector)\n"
+                   "  auto b = comm.RecvBytes(0, 2);\n"
+                   "}\n")
+        self.assertEqual(lint_snippet(snippet), [])
+
+
 class SuppressionTest(unittest.TestCase):
     def test_allow_comment_suppresses_same_line(self):
         snippet = ("std::mutex mu_;  "

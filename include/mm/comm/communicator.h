@@ -6,6 +6,16 @@
 // All operations are expressed against a *group* of world ranks, so
 // sub-communicators (Split) behave like MPI_Comm_split — DBSCAN and Random
 // Forest use them to recurse over left/right partitions.
+//
+// Failure handling (DESIGN.md §13): the blocking Recv*/collective calls
+// assume immortal peers and abort (MM_CHECK) if a peer dies mid-wait. The
+// *Or variants are deadline-bounded: they return kPeerDead once the failure
+// detector declares an expected peer dead (charging the detection latency
+// to the virtual clock) and propagate the verdict through the binomial
+// trees as poison envelopes so no rank ever hangs. After a kPeerDead
+// verdict, survivors call Revoke() + ShrinkAfterFailure() (or
+// ckpt::CollectiveRecover) to fence the dead and continue on a shrunk
+// communicator.
 #pragma once
 
 #include <cstring>
@@ -34,12 +44,24 @@ class Communicator {
   // ---- point-to-point (ranks are communicator-local indices) ----
 
   /// Sends `bytes` to `dst`. The sender's clock advances past egress; the
-  /// message is stamped with its simulated delivery time.
+  /// message is stamped with its simulated delivery time and a per-channel
+  /// sequence number (injected duplicates are deduped by the receiver).
   void SendBytes(int dst, int tag, const void* data, std::size_t size);
 
   /// Blocking receive from `src` (or kAnySource). Advances the receiver's
-  /// clock to the delivery time. Returns the payload.
-  std::vector<std::uint8_t> RecvBytes(int src, int tag, int* actual_src = nullptr);
+  /// clock to the delivery time. Returns the payload. Aborts (MM_CHECK) if
+  /// the peer dies while waiting — use RecvBytesOr on paths that must
+  /// survive node death.
+  std::vector<std::uint8_t> RecvBytes(int src, int tag,
+                                      int* actual_src = nullptr);
+
+  /// Deadline-bounded receive: returns kPeerDead once every rank that could
+  /// still satisfy the match is declared dead by the failure detector (or
+  /// the world is revoked by a survivor running recovery). The death
+  /// verdict charges miss_threshold heartbeat intervals to the caller's
+  /// virtual clock.
+  StatusOr<std::vector<std::uint8_t>> RecvBytesOr(int src, int tag,
+                                                  int* actual_src = nullptr);
 
   /// Typed convenience wrappers for trivially copyable element types.
   template <typename T>
@@ -54,30 +76,62 @@ class Communicator {
     SendBytes(dst, tag, &value, sizeof(T));
   }
 
+  /// Typed receive that degrades instead of aborting: kPeerDead when the
+  /// sender died, kDataLoss when the payload is malformed (truncated or not
+  /// a whole number of elements).
   template <typename T>
-  std::vector<T> Recv(int src, int tag, int* actual_src = nullptr) {
+  StatusOr<std::vector<T>> RecvOr(int src, int tag, int* actual_src = nullptr) {
     static_assert(std::is_trivially_copyable_v<T>);
-    auto bytes = RecvBytes(src, tag, actual_src);
-    MM_CHECK(bytes.size() % sizeof(T) == 0);
-    std::vector<T> out(bytes.size() / sizeof(T));
-    std::memcpy(out.data(), bytes.data(), bytes.size());
+    auto bytes = RecvBytesOr(src, tag, actual_src);
+    if (!bytes.ok()) return bytes.status();
+    if (bytes->size() % sizeof(T) != 0) {
+      return DataLoss("malformed payload: " + std::to_string(bytes->size()) +
+                      " bytes is not a whole number of " +
+                      std::to_string(sizeof(T)) + "-byte elements");
+    }
+    std::vector<T> out(bytes->size() / sizeof(T));
+    std::memcpy(out.data(), bytes->data(), bytes->size());
     return out;
   }
 
   template <typename T>
-  T RecvValue(int src, int tag, int* actual_src = nullptr) {
+  StatusOr<T> RecvValueOr(int src, int tag, int* actual_src = nullptr) {
     static_assert(std::is_trivially_copyable_v<T>);
-    auto bytes = RecvBytes(src, tag, actual_src);
-    MM_CHECK(bytes.size() == sizeof(T));
+    auto bytes = RecvBytesOr(src, tag, actual_src);
+    if (!bytes.ok()) return bytes.status();
+    if (bytes->size() != sizeof(T)) {
+      return DataLoss("malformed payload: got " +
+                      std::to_string(bytes->size()) + " bytes, want " +
+                      std::to_string(sizeof(T)));
+    }
     T value;
-    std::memcpy(&value, bytes.data(), sizeof(T));
+    std::memcpy(&value, bytes->data(), sizeof(T));
     return value;
+  }
+
+  template <typename T>
+  std::vector<T> Recv(int src, int tag, int* actual_src = nullptr) {
+    auto out = RecvOr<T>(src, tag, actual_src);
+    MM_CHECK_MSG(out.ok(), out.status().ToString());
+    return std::move(out).value();
+  }
+
+  template <typename T>
+  T RecvValue(int src, int tag, int* actual_src = nullptr) {
+    auto out = RecvValueOr<T>(src, tag, actual_src);
+    MM_CHECK_MSG(out.ok(), out.status().ToString());
+    return std::move(out).value();
   }
 
   // ---- collectives ----
 
   /// Synchronizes all communicator members and their virtual clocks.
   void Barrier();
+
+  /// Death-aware barrier: synchronizes the *live* members and returns
+  /// kPeerDead when any member of this communicator is dead at release —
+  /// the caller must run recovery before trusting collective results.
+  [[nodiscard]] Status BarrierOr();
 
   /// Barrier whose last-arriving member runs `serial` alone — with every
   /// other rank still parked — before anyone is released (see
@@ -113,17 +167,135 @@ class Communicator {
   template <typename T>
   std::vector<T> ScatterV(const std::vector<std::vector<T>>& parts, int root);
 
+  // ---- death-aware collectives (poison-envelope trees) ----
+  //
+  // Each message carries a one-byte verdict header. A rank whose parent or
+  // subtree failed still forwards a poison envelope to its children, so the
+  // tree always unwinds: every rank returns (Ok or kPeerDead), nobody
+  // hangs. On kPeerDead the data is partial/garbage; run recovery and redo
+  // the collective on the shrunk communicator.
+
+  template <typename T>
+  [[nodiscard]] Status BcastOr(std::vector<T>& data, int root) {
+    return BcastEnvelope(data, root, StatusCode::kOk);
+  }
+
+  template <typename T, typename Op>
+  [[nodiscard]] Status ReduceOr(std::vector<T>& data, int root, Op op);
+
+  template <typename T, typename Op>
+  [[nodiscard]] Status AllReduceOr(std::vector<T>& data, Op op) {
+    Status rs = ReduceOr(data, /*root=*/0, op);
+    // The root seeds the broadcast with the reduction's verdict so every
+    // survivor learns the collective failed, not just the root.
+    Status bs = BcastEnvelope(
+        data, /*root=*/0, my_index_ == 0 ? rs.code() : StatusCode::kOk);
+    return !rs.ok() ? rs : bs;
+  }
+
+  /// Gathers to `root` into `*all` (indexed by communicator rank; dead
+  /// members leave empty slots). Non-root ranks only contribute and always
+  /// return Ok unless they themselves are cancelled.
+  template <typename T>
+  [[nodiscard]] Status GatherVOr(const std::vector<T>& mine, int root,
+                                 std::vector<std::vector<T>>* all);
+
+  /// Scatters `parts[i]` from root into `*mine`; kPeerDead when the root
+  /// died before serving this rank.
+  template <typename T>
+  [[nodiscard]] Status ScatterVOr(const std::vector<std::vector<T>>& parts,
+                                  int root, std::vector<T>* mine);
+
   /// Creates a sub-communicator: ranks sharing `color` form a group ordered
   /// by current rank. Collective over this communicator.
   Communicator Split(int color);
 
+  // ---- recovery (DESIGN.md §13 fencing protocol) ----
+
+  /// Marks the world revoked: all pending/future cancellable receives
+  /// return kPeerDead, pulling every survivor out of half-finished
+  /// collectives and into the recovery barrier. Call on a kPeerDead
+  /// verdict, before ShrinkAfterFailure / ckpt::CollectiveRecover.
+  void Revoke() { ctx_->world().Revoke(); }
+
+  /// Survivor communicator: the live members of this group in order, with a
+  /// fresh tag epoch so stale in-flight messages from the failed epoch can
+  /// never match. Purely local — membership is shared state, so all
+  /// survivors compute the same group without communicating. Call only
+  /// after a synchronization point (ShrinkAfterFailure does it for you).
+  Communicator Shrink();
+
+  /// Post-failure membership reconciliation on the world communicator:
+  /// synchronizes all live ranks, fences the dead (purges their undelivered
+  /// messages), clears the revocation, and returns the survivor
+  /// communicator.
+  StatusOr<Communicator> ShrinkAfterFailure();
+
  private:
-  int TagFor(int user_tag) const { return (color_epoch_ << 16) | user_tag; }
+  /// Verdict + payload of one death-aware tree message.
+  struct Envelope {
+    StatusCode code = StatusCode::kOk;
+    std::vector<std::uint8_t> payload;
+    int src_world = -1;
+  };
+
+  int TagFor(int user_tag) const {
+    // A user tag must fit the low 16 bits; anything wider would silently
+    // collide with another Split generation's tag space.
+    MM_CHECK_MSG(user_tag >= 0 && (user_tag & ~0xFFFF) == 0,
+                 "comm tag must be within [0, 65535]");
+    return (color_epoch_ << 16) | user_tag;
+  }
+
+  /// Comm-op entry hook: triggers the configured self-kill and stops
+  /// already-dead (zombie) ranks from sending. Throws RankDeathError.
+  void CheckAlive();
+
+  /// Core bounded receive: blocks for a message with `wire_tag` from any of
+  /// `srcs_world` (all group members but me when empty); cancels with
+  /// kPeerDead when every candidate is dead or the world is revoked.
+  StatusOr<std::vector<std::uint8_t>> RecvBytesMatch(
+      const std::vector<int>& srcs_world, int wire_tag, int* actual_src_world);
+
+  /// Envelope plumbing for the death-aware trees (dst/pending are
+  /// communicator-local indices).
+  void SendEnvelope(int dst, int tag, StatusCode code, const void* data,
+                    std::size_t size);
+  StatusOr<Envelope> RecvEnvelopeFrom(const std::vector<int>& pending, int tag);
+
+  template <typename T>
+  void SendEnvelopeVec(int dst, int tag, StatusCode code,
+                       const std::vector<T>& data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    SendEnvelope(dst, tag, code, data.data(), data.size() * sizeof(T));
+  }
+
+  template <typename T>
+  static Status DecodeEnvelope(const Envelope& env, std::vector<T>* out) {
+    if (env.code != StatusCode::kOk) {
+      return PeerDead("poisoned subtree: " +
+                      std::string(StatusCodeName(env.code)));
+    }
+    if (env.payload.size() % sizeof(T) != 0) {
+      return DataLoss("malformed envelope payload");
+    }
+    out->resize(env.payload.size() / sizeof(T));
+    std::memcpy(out->data(), env.payload.data(), env.payload.size());
+    return Status::Ok();
+  }
+
+  /// Binomial-tree broadcast of (verdict, data); `seed` lets the root
+  /// originate a poison verdict (AllReduceOr).
+  template <typename T>
+  Status BcastEnvelope(std::vector<T>& data, int root, StatusCode seed);
 
   RankContext* ctx_;
   std::vector<int> group_;   // communicator index -> world rank
+  std::vector<int> world_to_index_;  // world rank -> index (-1: not a member)
   int my_index_;
   int color_epoch_ = 0;      // disambiguates tags across Split generations
+  telemetry::Counter* retransmit_counter_;      // mm.net.retransmit_count
+  telemetry::Counter* heartbeat_miss_counter_;  // mm.net.heartbeat_miss_count
 };
 
 // ---- template implementations ----
@@ -143,7 +315,7 @@ void Communicator::Bcast(std::vector<T>& data, int root) {
   if (rel != 0) {
     int low = __builtin_ctz(static_cast<unsigned>(rel));
     int parent_rel = rel & (rel - 1);
-    data = Recv<T>((parent_rel + root) % n, TagFor(kTag));
+    data = Recv<T>((parent_rel + root) % n, kTag);
     start_j = low - 1;
   } else {
     start_j = rounds - 1;
@@ -151,7 +323,7 @@ void Communicator::Bcast(std::vector<T>& data, int root) {
   for (int j = start_j; j >= 0; --j) {
     int child_rel = rel + (1 << j);
     if (child_rel < n) {
-      Send<T>((child_rel + root) % n, TagFor(kTag), data);
+      Send<T>((child_rel + root) % n, kTag, data);
     }
   }
 }
@@ -165,12 +337,12 @@ void Communicator::Reduce(std::vector<T>& data, int root, Op op) {
   // Binomial-tree fan-in: at round k, ranks with bit k set send to rel-2^k.
   for (int k = 0; (1 << k) < n; ++k) {
     if (rel & (1 << k)) {
-      Send<T>(((rel ^ (1 << k)) + root) % n, TagFor(kTag), data);
+      Send<T>(((rel ^ (1 << k)) + root) % n, kTag, data);
       return;  // contributed and done
     }
     int peer_rel = rel | (1 << k);
     if (peer_rel < n) {
-      auto theirs = Recv<T>((peer_rel + root) % n, TagFor(kTag));
+      auto theirs = Recv<T>((peer_rel + root) % n, kTag);
       MM_CHECK(theirs.size() == data.size());
       for (std::size_t i = 0; i < data.size(); ++i) {
         data[i] = op(data[i], theirs[i]);
@@ -196,17 +368,14 @@ std::vector<std::vector<T>> Communicator::GatherV(const std::vector<T>& mine,
     all[root] = mine;
     for (int i = 0; i < n - 1; ++i) {
       int src = kAnySource;
-      auto payload = Recv<T>(src, TagFor(kTag), &src);
-      // Map world rank back to communicator index.
-      for (int j = 0; j < n; ++j) {
-        if (group_[j] == src) {
-          all[j] = std::move(payload);
-          break;
-        }
-      }
+      auto payload = Recv<T>(src, kTag, &src);
+      // Map the world rank back to its communicator index.
+      int idx = world_to_index_[src];
+      MM_CHECK(idx >= 0);
+      all[idx] = std::move(payload);
     }
   } else {
-    Send<T>(root, TagFor(kTag), mine);
+    Send<T>(root, kTag, mine);
   }
   return all;
 }
@@ -232,11 +401,147 @@ std::vector<T> Communicator::ScatterV(const std::vector<std::vector<T>>& parts,
   if (my_index_ == root) {
     MM_CHECK(static_cast<int>(parts.size()) == n);
     for (int i = 0; i < n; ++i) {
-      if (i != root) Send<T>(i, TagFor(kTag), parts[i]);
+      if (i != root) Send<T>(i, kTag, parts[i]);
     }
     return parts[root];
   }
-  return Recv<T>(root, TagFor(kTag));
+  return Recv<T>(root, kTag);
+}
+
+template <typename T>
+Status Communicator::BcastEnvelope(std::vector<T>& data, int root,
+                                   StatusCode seed) {
+  int n = size();
+  if (n == 1) return seed == StatusCode::kOk
+                         ? Status::Ok()
+                         : PeerDead("collective poisoned at root");
+  int rel = (my_index_ - root + n) % n;
+  constexpr int kTag = 0x5B;
+  int rounds = 0;
+  while ((1 << rounds) < n) ++rounds;
+  Status st = Status::Ok();
+  int start_j;
+  if (rel != 0) {
+    int low = __builtin_ctz(static_cast<unsigned>(rel));
+    int parent_rel = rel & (rel - 1);
+    auto env = RecvEnvelopeFrom({(parent_rel + root) % n}, kTag);
+    if (!env.ok()) {
+      st = env.status();  // parent dead: this subtree is poisoned
+    } else {
+      st = DecodeEnvelope(*env, &data);
+    }
+    start_j = low - 1;
+  } else {
+    if (seed != StatusCode::kOk) {
+      st = PeerDead("collective poisoned at root");
+    }
+    start_j = rounds - 1;
+  }
+  // Forward either the data or the poison — children must never hang.
+  for (int j = start_j; j >= 0; --j) {
+    int child_rel = rel + (1 << j);
+    if (child_rel < n) {
+      if (st.ok()) {
+        SendEnvelopeVec((child_rel + root) % n, kTag, StatusCode::kOk, data);
+      } else {
+        SendEnvelope((child_rel + root) % n, kTag, StatusCode::kPeerDead,
+                     nullptr, 0);
+      }
+    }
+  }
+  if (!st.ok()) data.clear();
+  return st;
+}
+
+template <typename T, typename Op>
+Status Communicator::ReduceOr(std::vector<T>& data, int root, Op op) {
+  int n = size();
+  if (n == 1) return Status::Ok();
+  int rel = (my_index_ - root + n) % n;
+  constexpr int kTag = 0x6C;
+  Status st = Status::Ok();
+  for (int k = 0; (1 << k) < n; ++k) {
+    if (rel & (1 << k)) {
+      // Contribute upward, tagging the partial aggregate with our verdict
+      // so a poisoned subtree is visible at the root.
+      SendEnvelopeVec(((rel ^ (1 << k)) + root) % n, kTag, st.code(), data);
+      return st;
+    }
+    int peer_rel = rel | (1 << k);
+    if (peer_rel < n) {
+      auto env = RecvEnvelopeFrom({(peer_rel + root) % n}, kTag);
+      if (!env.ok()) {
+        st = env.status();  // peer died: its whole subtree is missing
+        continue;
+      }
+      if (env->code != StatusCode::kOk) {
+        st = PeerDead("poisoned subtree contribution");
+      }
+      std::vector<T> theirs;
+      Status decode = DecodeEnvelope(
+          Envelope{StatusCode::kOk, std::move(env->payload), env->src_world},
+          &theirs);
+      if (!decode.ok() || theirs.size() != data.size()) {
+        st = !decode.ok() ? decode : PeerDead("partial subtree contribution");
+        continue;
+      }
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        data[i] = op(data[i], theirs[i]);
+      }
+    }
+  }
+  return st;
+}
+
+template <typename T>
+Status Communicator::GatherVOr(const std::vector<T>& mine, int root,
+                               std::vector<std::vector<T>>* all) {
+  int n = size();
+  constexpr int kTag = 0x7D;
+  if (my_index_ != root) {
+    SendEnvelopeVec(root, kTag, StatusCode::kOk, mine);
+    return Status::Ok();
+  }
+  all->assign(static_cast<std::size_t>(n), {});
+  (*all)[root] = mine;
+  std::vector<int> pending;
+  pending.reserve(static_cast<std::size_t>(n) - 1);
+  for (int i = 0; i < n; ++i) {
+    if (i != root) pending.push_back(i);
+  }
+  Status st = Status::Ok();
+  while (!pending.empty()) {
+    auto env = RecvEnvelopeFrom(pending, kTag);
+    if (!env.ok()) {
+      // Every remaining contributor is dead; their slots stay empty.
+      st = env.status();
+      break;
+    }
+    int idx = world_to_index_[env->src_world];
+    MM_CHECK(idx >= 0);
+    Status decode = DecodeEnvelope(*env, &(*all)[idx]);
+    if (!decode.ok()) st = decode;
+    pending.erase(std::find(pending.begin(), pending.end(), idx));
+  }
+  return st;
+}
+
+template <typename T>
+Status Communicator::ScatterVOr(const std::vector<std::vector<T>>& parts,
+                                int root, std::vector<T>* mine) {
+  constexpr int kTag = 0x8E;
+  int n = size();
+  if (my_index_ == root) {
+    MM_CHECK(static_cast<int>(parts.size()) == n);
+    for (int i = 0; i < n; ++i) {
+      if (i != root) SendEnvelopeVec(i, kTag, StatusCode::kOk, parts[i]);
+    }
+    *mine = parts[root];
+    return Status::Ok();
+  }
+  auto env = RecvEnvelopeFrom({root}, kTag);
+  if (!env.ok()) return env.status();
+  return DecodeEnvelope(*env, mine);
 }
 
 }  // namespace mm::comm

@@ -10,6 +10,7 @@
 
 #include "mm/comm/world.h"
 #include "mm/sim/cluster.h"
+#include "mm/sim/fault.h"
 
 namespace mm::comm {
 
@@ -20,6 +21,10 @@ struct RunResult {
   std::vector<sim::SimTime> rank_times;
   /// True when at least one rank died of simulated OOM (Fig. 6 cliff).
   bool oom = false;
+  /// Ranks killed by fault injection (RankKillSpec). An injected death is
+  /// the experiment working as intended, not a job error: survivors decide
+  /// whether the run succeeds.
+  std::vector<int> dead_ranks;
   /// First non-OOM error message, empty on success.
   std::string error;
 
@@ -29,6 +34,15 @@ struct RunResult {
 /// Runs `body` on `num_ranks` ranks laid out `ranks_per_node` per node over
 /// `cluster`. Blocks until every rank finishes (or dies).
 RunResult RunRanks(sim::Cluster& cluster, int num_ranks, int ranks_per_node,
+                   const std::function<void(RankContext&)>& body);
+
+/// As above with robustness knobs: `options.kill` arms the rank-death plan
+/// and `options.detector` configures the failure detector. Network-level
+/// faults (drop/dup/delay/partition) are configured separately on the
+/// cluster via Network::ConfigureFaults — typically both come from the same
+/// `faults:` YAML block (sim::FaultConfig).
+RunResult RunRanks(sim::Cluster& cluster, int num_ranks, int ranks_per_node,
+                   WorldOptions options,
                    const std::function<void(RankContext&)>& body);
 
 }  // namespace mm::comm

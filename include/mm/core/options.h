@@ -56,6 +56,18 @@ struct VectorOptions {
   bool nonvolatile = true;
 };
 
+/// What survivors do with a dead node's DSM pages after fencing it
+/// (DESIGN.md §13).
+enum class RecoveryPolicy {
+  /// Re-home: clean pages re-stage lazily from the backend; dirty pages are
+  /// replayed from the dead node's redo journal when journaled writeback is
+  /// on, else surface as kDataLoss.
+  kRehome,
+  /// Roll back: restore every vector from the last collective checkpoint
+  /// and redo the lost epoch.
+  kRollback,
+};
+
 /// Per-job service knobs.
 struct ServiceOptions {
   /// scache capacity granted on each node, fastest-first (Fig. 7 sweeps
@@ -90,12 +102,15 @@ struct ServiceOptions {
   /// Crash consistency (DESIGN.md §12): journaled writeback and epoch
   /// checkpoints, enabled by setting `ckpt.dir`.
   ckpt::CkptOptions ckpt;
+  /// How ckpt::CollectiveRecover treats a dead node's pages.
+  RecoveryPolicy recovery_policy = RecoveryPolicy::kRehome;
 
   /// Parses a service config from YAML, e.g.:
   ///   runtime:
   ///     workers_per_node: 2
   ///     low_latency_workers: 1
   ///     low_latency_threshold: 16k
+  ///     recovery_policy: rehome   # or: rollback
   ///   tiers:
   ///     - kind: dram
   ///       capacity: 1g

@@ -225,6 +225,46 @@ class Service {
                      const std::vector<storage::BlobId>& lost,
                      sim::SimTime now);
 
+  // ---- node death recovery (DESIGN.md §13) ----
+
+  /// Outcome of re-homing one dead node's DSM pages.
+  struct RecoveryStats {
+    std::uint64_t pages_scanned = 0;
+    /// Clean primaries whose directory entry was dropped; they re-stage
+    /// lazily from the backend on next touch.
+    std::uint64_t rehomed = 0;
+    /// Dirty primaries healed by replaying the dead node's redo journal.
+    std::uint64_t journal_recovered = 0;
+    /// Dirty primaries with no durable copy anywhere (kDataLoss on access).
+    std::uint64_t lost = 0;
+  };
+
+  /// Fences `node` out of page placement: DefaultOwner and ChooseReadSource
+  /// stop routing reads/writes at it. Sticky for the service's lifetime.
+  void FenceNode(std::size_t node);
+  bool NodeFenced(std::size_t node) const {
+    return fenced_[node].load(std::memory_order_acquire);
+  }
+
+  /// Survivor-side recovery of a dead node's pages (RecoveryPolicy::kRehome):
+  /// fences the node, then walks every registered vector's directory
+  /// entries. Primaries on the dead node are dropped — clean ones re-stage
+  /// lazily from the backend, dirty ones are replayed from the dead node's
+  /// redo journal when durable, else recorded as typed data loss. Replica
+  /// records on the dead node are unregistered. Call from the recovery
+  /// barrier's serial section (all survivors parked), attributed to
+  /// `from_node` for metadata-latency and metrics purposes.
+  RecoveryStats RecoverDeadNode(std::size_t dead_node, std::size_t from_node,
+                                sim::SimTime now);
+
+  /// Accumulated stats of every RecoverDeadNode call so far (the recovery
+  /// leader runs it in a barrier serial section; followers read this after
+  /// release — ckpt::CollectiveRecover's result channel).
+  RecoveryStats last_recovery() const {
+    MutexLock lock(lost_mu_);
+    return last_recovery_;
+  }
+
   /// Data-loss registry: pages whose unstaged modifications are gone.
   void RecordDataLoss(const storage::BlobId& id);
   bool IsDataLost(const storage::BlobId& id) const;
@@ -401,6 +441,15 @@ class Service {
   mutable Mutex lost_mu_;
   std::unordered_set<storage::BlobId, storage::BlobIdHash> lost_
       MM_GUARDED_BY(lost_mu_);
+
+  /// Fenced (dead) nodes, excluded from page placement. Written once per
+  /// death (release); placement paths acquire-load.
+  std::vector<std::atomic<bool>> fenced_;
+  RecoveryStats last_recovery_ MM_GUARDED_BY(lost_mu_);
+
+  /// `node` when unfenced, else the next live node in ring order (placement
+  /// remap around dead nodes).
+  std::size_t Unfenced(std::size_t node) const;
 
   Mutex vectors_mu_;
   std::map<std::string, std::unique_ptr<VectorMeta>> vectors_

@@ -67,6 +67,12 @@ constexpr const char* CrashPointName(CrashPoint p) {
   return "unknown";
 }
 
+/// Deterministic uniform draw in [0, 1) from (seed, stream, op, salt) — the
+/// counter-based hash shared by the tier and network fault oracles. The
+/// salt decorrelates independent fault classes for the same op.
+double FaultDraw(std::uint64_t seed, std::uint64_t stream, std::uint64_t op,
+                 std::uint64_t salt);
+
 /// Per-stream fault probabilities. All rates are in [0, 1].
 struct TierFaultSpec {
   /// Probability an op fails with a transient kIoError.
@@ -83,12 +89,64 @@ struct TierFaultSpec {
   }
 };
 
+/// Per-link network fault probabilities (ISSUE 6 tentpole). All rates are
+/// in [0, 1]; faults are drawn per (link, message index) from the same
+/// counter-based hash as the tier faults, so a seed reproduces the exact
+/// fault sequence regardless of thread interleaving.
+struct NetFaultSpec {
+  /// Probability a message is dropped in flight. Each drop costs the sender
+  /// one retransmission (virtual-clock backoff via the RTO policy).
+  double drop_rate = 0.0;
+  /// Probability a message is delivered twice. The mailbox's sequence
+  /// numbers dedup the second copy; the spurious delivery is counted.
+  double dup_rate = 0.0;
+  /// Probability a message's propagation latency is multiplied by
+  /// delay_spike_factor (congestion / route-flap spike).
+  double delay_spike_rate = 0.0;
+  double delay_spike_factor = 10.0;
+  /// Network partition during a virtual-time window: links crossing the cut
+  /// between nodes [0, partition_boundary) and the rest are severed from
+  /// partition_start_s until partition_heal_s. Messages sent into the cut
+  /// are retransmitted until the heal and delivered afterwards (a partition
+  /// that never heals is modeled by killing the isolated ranks instead).
+  std::size_t partition_boundary = 0;
+  double partition_start_s = 0.0;
+  double partition_heal_s = 0.0;
+
+  bool any() const {
+    return drop_rate > 0 || dup_rate > 0 || delay_spike_rate > 0 ||
+           partition_boundary > 0;
+  }
+};
+
+/// Deterministic whole-rank death (sticky, like `crashed()`): the rank
+/// registers its own death at the first communication operation at/after
+/// the trigger and unwinds via RankDeathError. Survivors learn of it
+/// through the failure detector (kPeerDead) and run collective recovery.
+struct RankKillSpec {
+  int rank = -1;
+  /// Kill at the first comm op whose virtual time is >= this (< 0: off).
+  double at_time_s = -1.0;
+  /// Kill at the Nth comm op of the rank (0: off). Exact and
+  /// interleaving-independent, preferred by tests.
+  std::uint64_t after_comm_ops = 0;
+
+  bool any() const {
+    return rank >= 0 && (at_time_s >= 0.0 || after_comm_ops > 0);
+  }
+};
+
 /// Whole-injector configuration: one spec per device tier plus one for the
-/// stager/backend path.
+/// stager/backend path, the network link faults, and the rank-kill plan.
 struct FaultConfig {
   std::uint64_t seed = 0;
   std::array<TierFaultSpec, 5> tiers;  // indexed by TierKind
   TierFaultSpec backend;
+  /// Link-layer faults; consumed by sim::Network (wired by the launcher or
+  /// by Network::ConfigureFaults directly, not by the Service).
+  NetFaultSpec net;
+  /// Rank-death plan; consumed by comm::World.
+  RankKillSpec kill;
 
   TierFaultSpec& tier(TierKind kind) {
     return tiers[static_cast<std::size_t>(kind)];
@@ -98,7 +156,9 @@ struct FaultConfig {
   }
   bool any() const;
 
-  /// Parses a `faults:` YAML map, e.g.:
+  /// Parses a `faults:` YAML map. Unknown keys at any level are rejected
+  /// with kInvalidArgument (a typo like `transient_errror_rate` must not
+  /// silently disable the fault plan). Example:
   ///   faults:
   ///     seed: 1234
   ///     nvme:
@@ -107,6 +167,12 @@ struct FaultConfig {
   ///     backend:
   ///       latency_spike_rate: 0.01
   ///       latency_spike_factor: 20
+  ///     net:
+  ///       drop_rate: 0.01
+  ///       partition: {boundary: 2, start_s: 1.0, heal_s: 2.0}
+  ///     kill:
+  ///       rank: 3
+  ///       after_comm_ops: 100
   static StatusOr<FaultConfig> FromYaml(const yaml::Node& node);
 };
 

@@ -30,6 +30,7 @@ enum class StatusCode : std::uint8_t {
   kIoError,
   kUnavailable,  // target (tier/node) permanently failed; not retryable
   kDataLoss,     // unrecoverable data corruption/loss detected
+  kPeerDead,     // peer rank declared dead by the failure detector
 };
 
 /// Human-readable name for a StatusCode.
@@ -103,6 +104,9 @@ inline Status Unavailable(std::string msg) {
 }
 inline Status DataLoss(std::string msg) {
   return Status(StatusCode::kDataLoss, std::move(msg));
+}
+inline Status PeerDead(std::string msg) {
+  return Status(StatusCode::kPeerDead, std::move(msg));
 }
 
 /// Value-or-Status. Accessing value() on an error aborts via exception,

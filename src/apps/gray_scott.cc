@@ -1,6 +1,7 @@
 #include "mm/apps/gray_scott.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "mm/core/vector.h"
 #include "mm/sim/oom.h"
@@ -135,8 +136,14 @@ GrayScottResult GrayScottMpi(comm::Communicator& comm,
     };
     auto recv_plane = [&](std::vector<double>& buf, std::size_t plane_idx,
                           int src, int tag) {
-      auto tmp = comm.Recv<double>(src, tag);
-      std::copy(tmp.begin(), tmp.end(), buf.begin() + plane_idx * plane);
+      auto tmp = comm.RecvOr<double>(src, tag);
+      if (!tmp.ok()) {
+        // The halo exchange has no recovery path of its own: surface the
+        // neighbor's death to the launcher instead of waiting on a plane
+        // that will never arrive.
+        throw std::runtime_error(tmp.status().ToString());
+      }
+      std::copy(tmp->begin(), tmp->end(), buf.begin() + plane_idx * plane);
     };
     send_plane(*u_cur, 1, prev, kTagU0);
     send_plane(*u_cur, nz, next, kTagU1);

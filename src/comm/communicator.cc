@@ -5,48 +5,181 @@
 
 namespace mm::comm {
 
-Communicator::Communicator(RankContext* ctx) : ctx_(ctx) {
-  group_.resize(ctx->size());
-  std::iota(group_.begin(), group_.end(), 0);
-  my_index_ = ctx->rank();
+namespace {
+
+std::vector<int> BuildWorldToIndex(const std::vector<int>& group,
+                                   int num_ranks) {
+  std::vector<int> map(static_cast<std::size_t>(num_ranks), -1);
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    MM_CHECK(group[i] >= 0 && group[i] < num_ranks);
+    map[static_cast<std::size_t>(group[i])] = static_cast<int>(i);
+  }
+  return map;
 }
+
+}  // namespace
 
 Communicator::Communicator(RankContext* ctx, std::vector<int> group)
     : ctx_(ctx), group_(std::move(group)) {
   auto it = std::find(group_.begin(), group_.end(), ctx->rank());
   MM_CHECK_MSG(it != group_.end(), "rank not in communicator group");
   my_index_ = static_cast<int>(it - group_.begin());
+  world_to_index_ = BuildWorldToIndex(group_, ctx->size());
+  retransmit_counter_ =
+      ctx_->world().metrics().GetCounter("mm.net.retransmit_count");
+  heartbeat_miss_counter_ =
+      ctx_->world().metrics().GetCounter("mm.net.heartbeat_miss_count");
+}
+
+Communicator::Communicator(RankContext* ctx)
+    : Communicator(ctx, [ctx] {
+        std::vector<int> all(static_cast<std::size_t>(ctx->size()));
+        std::iota(all.begin(), all.end(), 0);
+        return all;
+      }()) {}
+
+void Communicator::CheckAlive() {
+  World& world = ctx_->world();
+  int me = group_[my_index_];
+  world.MaybeSelfKill(me, ctx_->clock().now());
+  // A rank killed externally (test harness, another rank's verdict) stops
+  // communicating at its next op instead of sending as a zombie.
+  if (world.RankDead(me)) throw RankDeathError(me);
 }
 
 void Communicator::SendBytes(int dst, int tag, const void* data,
                              std::size_t size) {
   MM_CHECK(dst >= 0 && dst < this->size());
+  CheckAlive();
   World& world = ctx_->world();
   int dst_world = group_[dst];
   int src_world = group_[my_index_];
+  sim::Network::NetOutcome outcome;
   auto res = world.cluster().network().Transfer(
       ctx_->clock().now(), world.NodeOfRank(src_world),
-      world.NodeOfRank(dst_world), size);
+      world.NodeOfRank(dst_world), size, &outcome);
   // MPI_Send semantics: the sender resumes once its buffer is reusable,
   // i.e. when egress serialization completes.
   ctx_->clock().AdvanceTo(res.egress_done);
+  if (outcome.retransmits > 0) {
+    retransmit_counter_->Inc(static_cast<std::uint64_t>(outcome.retransmits));
+  }
   Message msg;
   msg.src = src_world;
   msg.tag = TagFor(tag);
+  msg.seq = world.NextSeq(src_world, dst_world);
   msg.payload.assign(static_cast<const std::uint8_t*>(data),
                      static_cast<const std::uint8_t*>(data) + size);
   msg.delivered = res.delivered;
-  world.mailbox(dst_world).Deposit(std::move(msg));
+  Mailbox& box = world.mailbox(dst_world);
+  if (outcome.duplicated) {
+    // The link delivered two copies; they share a sequence number, so the
+    // mailbox accepts one and counts the other as a dropped duplicate.
+    Message dup = msg;
+    box.Deposit(std::move(msg));
+    box.Deposit(std::move(dup));
+  } else {
+    box.Deposit(std::move(msg));
+  }
+}
+
+StatusOr<std::vector<std::uint8_t>> Communicator::RecvBytesMatch(
+    const std::vector<int>& srcs_world, int wire_tag, int* actual_src_world) {
+  CheckAlive();
+  World& world = ctx_->world();
+  int me = group_[my_index_];
+  std::vector<int> candidates = srcs_world;
+  if (candidates.empty()) {
+    candidates.reserve(group_.size() - 1);
+    for (int r : group_) {
+      if (r != me) candidates.push_back(r);
+    }
+  }
+  auto match = [wire_tag, &candidates](const Message& m) {
+    return m.tag == wire_tag &&
+           std::find(candidates.begin(), candidates.end(), m.src) !=
+               candidates.end();
+  };
+  auto cancelled = [&world, &candidates] {
+    if (world.Revoked()) return true;
+    for (int r : candidates) {
+      if (!world.RankDead(r)) return false;
+    }
+    return true;
+  };
+  Message msg;
+  if (world.mailbox(me).TakeWhere(match, cancelled, &msg)) {
+    ctx_->clock().AdvanceTo(msg.delivered);
+    if (actual_src_world != nullptr) *actual_src_world = msg.src;
+    return std::move(msg.payload);
+  }
+  // Cancelled. A death verdict is not free: the failure detector needs
+  // miss_threshold silent heartbeat intervals after the (latest) death
+  // before it may declare the peer dead, so charge that to the virtual
+  // clock and to mm.net.heartbeat_miss_count.
+  bool any_dead = false;
+  sim::SimTime latest_death = 0.0;
+  for (int r : candidates) {
+    if (world.RankDead(r)) {
+      any_dead = true;
+      latest_death = std::max(latest_death, world.DeathTime(r));
+    }
+  }
+  const FailureDetectorOptions& det = world.detector();
+  if (any_dead) {
+    ctx_->clock().AdvanceTo(std::max(ctx_->clock().now(), latest_death) +
+                            det.DetectionLatency());
+    heartbeat_miss_counter_->Inc(
+        static_cast<std::uint64_t>(det.miss_threshold));
+    return PeerDead("expected sender(s) declared dead after " +
+                    std::to_string(det.miss_threshold) +
+                    " missed heartbeats");
+  }
+  return PeerDead("communicator revoked for failure recovery");
+}
+
+StatusOr<std::vector<std::uint8_t>> Communicator::RecvBytesOr(
+    int src, int tag, int* actual_src) {
+  std::vector<int> srcs;
+  if (src != kAnySource) {
+    MM_CHECK(src >= 0 && src < this->size());
+    srcs.push_back(group_[src]);
+  }
+  return RecvBytesMatch(srcs, TagFor(tag), actual_src);
 }
 
 std::vector<std::uint8_t> Communicator::RecvBytes(int src, int tag,
                                                   int* actual_src) {
-  World& world = ctx_->world();
-  int src_world = src == kAnySource ? kAnySource : group_[src];
-  Message msg = world.mailbox(group_[my_index_]).Take(src_world, TagFor(tag));
-  ctx_->clock().AdvanceTo(msg.delivered);
-  if (actual_src != nullptr) *actual_src = msg.src;
-  return std::move(msg.payload);
+  auto out = RecvBytesOr(src, tag, actual_src);
+  MM_CHECK_MSG(out.ok(), out.status().ToString());
+  return std::move(out).value();
+}
+
+void Communicator::SendEnvelope(int dst, int tag, StatusCode code,
+                                const void* data, std::size_t size) {
+  std::vector<std::uint8_t> buf(size + 1);
+  buf[0] = static_cast<std::uint8_t>(code);
+  if (size > 0) std::memcpy(buf.data() + 1, data, size);
+  SendBytes(dst, tag, buf.data(), buf.size());
+}
+
+StatusOr<Communicator::Envelope> Communicator::RecvEnvelopeFrom(
+    const std::vector<int>& pending, int tag) {
+  std::vector<int> srcs;
+  srcs.reserve(pending.size());
+  for (int idx : pending) {
+    MM_CHECK(idx >= 0 && idx < this->size());
+    srcs.push_back(group_[idx]);
+  }
+  int src_world = -1;
+  auto bytes = RecvBytesMatch(srcs, TagFor(tag), &src_world);
+  if (!bytes.ok()) return bytes.status();
+  if (bytes->empty()) return DataLoss("envelope missing verdict header");
+  Envelope env;
+  env.code = static_cast<StatusCode>((*bytes)[0]);
+  env.payload.assign(bytes->begin() + 1, bytes->end());
+  env.src_world = src_world;
+  return env;
 }
 
 void Communicator::Barrier() {
@@ -62,6 +195,28 @@ void Communicator::Barrier() {
   AllReduce(token, [](std::uint8_t a, std::uint8_t b) {
     return static_cast<std::uint8_t>(a | b);
   });
+}
+
+Status Communicator::BarrierOr() {
+  World& world = ctx_->world();
+  if (static_cast<int>(group_.size()) == world.num_ranks()) {
+    sim::SimTime release = world.Barrier(ctx_->rank(), ctx_->clock().now());
+    ctx_->clock().AdvanceTo(release);
+  } else {
+    std::vector<std::uint8_t> token(1, 0);
+    MM_RETURN_IF_ERROR(
+        AllReduceOr(token, [](std::uint8_t a, std::uint8_t b) {
+          return static_cast<std::uint8_t>(a | b);
+        }));
+  }
+  // The barrier released over the live members; surface any death in this
+  // group so the caller runs recovery before trusting collective results.
+  for (int r : group_) {
+    if (world.RankDead(r)) {
+      return PeerDead("rank " + std::to_string(r) + " dead at barrier");
+    }
+  }
+  return Status::Ok();
 }
 
 Status Communicator::BarrierSerial(
@@ -91,6 +246,34 @@ Communicator Communicator::Split(int color) {
   Communicator sub(ctx_, std::move(new_group));
   sub.color_epoch_ = color_epoch_ + 1;
   return sub;
+}
+
+Communicator Communicator::Shrink() {
+  World& world = ctx_->world();
+  std::vector<int> live;
+  live.reserve(group_.size());
+  for (int r : group_) {
+    if (!world.RankDead(r)) live.push_back(r);
+  }
+  Communicator sub(ctx_, std::move(live));
+  // Fresh tag epoch: a stale message from the failed epoch can never match
+  // a receive posted on the survivor communicator.
+  sub.color_epoch_ = color_epoch_ + 1;
+  return sub;
+}
+
+StatusOr<Communicator> Communicator::ShrinkAfterFailure() {
+  World& world = ctx_->world();
+  std::function<sim::SimTime(sim::SimTime)> serial =
+      [&world](sim::SimTime sync) {
+        // Every live rank is parked here, so fencing cannot race a deposit
+        // from a live sender; dead senders are sticky-dead and purged.
+        world.FenceDeadRanks();
+        world.ClearRevoke();
+        return sync;
+      };
+  MM_RETURN_IF_ERROR(BarrierSerial(serial));
+  return Shrink();
 }
 
 }  // namespace mm::comm

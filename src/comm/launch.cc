@@ -1,5 +1,6 @@
 #include "mm/comm/launch.h"
 
+#include <algorithm>
 #include <thread>
 
 #include "mm/sim/oom.h"
@@ -10,7 +11,13 @@ namespace mm::comm {
 
 RunResult RunRanks(sim::Cluster& cluster, int num_ranks, int ranks_per_node,
                    const std::function<void(RankContext&)>& body) {
-  World world(&cluster, num_ranks, ranks_per_node);
+  return RunRanks(cluster, num_ranks, ranks_per_node, WorldOptions{}, body);
+}
+
+RunResult RunRanks(sim::Cluster& cluster, int num_ranks, int ranks_per_node,
+                   WorldOptions options,
+                   const std::function<void(RankContext&)>& body) {
+  World world(&cluster, num_ranks, ranks_per_node, options);
   RunResult result;
   result.rank_times.assign(num_ranks, 0.0);
   mm::Mutex result_mu;
@@ -34,6 +41,13 @@ RunResult RunRanks(sim::Cluster& cluster, int num_ranks, int ranks_per_node,
         result.oom = true;
         result.rank_times[rank] = ctx.clock().now();
         MM_DEBUG("launch") << "rank " << rank << " OOM-killed: " << e.what();
+      } catch (const RankDeathError& e) {
+        // Fault injection killed this rank; not a job error. The dead
+        // rank's time stops at its death, survivors carry the job.
+        mm::MutexLock lock(result_mu);
+        result.dead_ranks.push_back(rank);
+        result.rank_times[rank] = ctx.clock().now();
+        MM_DEBUG("launch") << "rank " << rank << " fault-killed: " << e.what();
       } catch (const std::exception& e) {
         mm::MutexLock lock(result_mu);
         if (result.error.empty()) {
@@ -46,6 +60,7 @@ RunResult RunRanks(sim::Cluster& cluster, int num_ranks, int ranks_per_node,
   }
   for (auto& t : threads) t.join();
 
+  std::sort(result.dead_ranks.begin(), result.dead_ranks.end());
   for (sim::SimTime t : result.rank_times) {
     result.max_time = std::max(result.max_time, t);
   }

@@ -1,16 +1,25 @@
 #include "mm/comm/world.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "mm/util/status.h"
 
 namespace mm::comm {
 
-World::World(sim::Cluster* cluster, int num_ranks, int ranks_per_node)
+World::World(sim::Cluster* cluster, int num_ranks, int ranks_per_node,
+             WorldOptions options)
     : cluster_(cluster),
       num_ranks_(num_ranks),
       ranks_per_node_(ranks_per_node),
-      costs_(sim::CostModel::Default()) {
+      options_(options),
+      costs_(sim::CostModel::Default()),
+      dead_(static_cast<std::size_t>(num_ranks)),
+      death_time_(static_cast<std::size_t>(num_ranks)),
+      comm_ops_(static_cast<std::size_t>(num_ranks)),
+      live_ranks_(num_ranks),
+      send_seq_(static_cast<std::size_t>(num_ranks) * num_ranks),
+      parked_gen_(static_cast<std::size_t>(num_ranks), kNotParked) {
   MM_CHECK(num_ranks > 0 && ranks_per_node > 0);
   MM_CHECK_MSG(static_cast<std::size_t>((num_ranks + ranks_per_node - 1) /
                                         ranks_per_node) <=
@@ -19,7 +28,82 @@ World::World(sim::Cluster* cluster, int num_ranks, int ranks_per_node)
   mailboxes_.reserve(num_ranks);
   for (int i = 0; i < num_ranks; ++i) {
     mailboxes_.push_back(std::make_unique<Mailbox>());
+    dead_[i].store(false, std::memory_order_relaxed);
+    death_time_[i].store(0.0, std::memory_order_relaxed);
+    comm_ops_[i].store(0, std::memory_order_relaxed);
   }
+  for (auto& seq : send_seq_) seq.store(0, std::memory_order_relaxed);
+}
+
+std::vector<int> World::LiveRanks() const {
+  std::vector<int> live;
+  live.reserve(static_cast<std::size_t>(num_ranks_));
+  for (int r = 0; r < num_ranks_; ++r) {
+    if (!RankDead(r)) live.push_back(r);
+  }
+  return live;
+}
+
+bool World::NodeIsDead(std::size_t node) const {
+  bool any = false;
+  for (int r = 0; r < num_ranks_; ++r) {
+    if (NodeOfRank(r) != node) continue;
+    any = true;
+    if (!RankDead(r)) return false;
+  }
+  return any;
+}
+
+void World::KillRank(int rank, sim::SimTime now) {
+  MM_CHECK(rank >= 0 && rank < num_ranks_);
+  // Time-of-death is stored before the flag: the flag's release-store
+  // publishes it to detectors that acquire-load the flag.
+  death_time_[rank].store(now, std::memory_order_relaxed);
+  bool expected = false;
+  if (!dead_[rank].compare_exchange_strong(expected, true,
+                                           std::memory_order_acq_rel)) {
+    return;  // already dead (sticky)
+  }
+  live_ranks_.fetch_sub(1, std::memory_order_acq_rel);
+  membership_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  {
+    // Retract a parked arrival so the barrier does not count the dead rank
+    // toward the current generation's release.
+    MutexLock lock(barrier_mu_);
+    if (parked_gen_[rank] == barrier_generation_) {
+      parked_gen_[rank] = kNotParked;
+      --barrier_count_;
+    }
+  }
+  barrier_cv_.NotifyAll();
+  for (auto& mb : mailboxes_) mb->Interrupt();
+}
+
+void World::MaybeSelfKill(int rank, sim::SimTime now) {
+  const sim::RankKillSpec& kill = options_.kill;
+  if (!kill.any() || kill.rank != rank || RankDead(rank)) return;
+  std::uint64_t op =
+      comm_ops_[rank].fetch_add(1, std::memory_order_relaxed) + 1;
+  bool trigger = (kill.after_comm_ops > 0 && op >= kill.after_comm_ops) ||
+                 (kill.at_time_s >= 0.0 && now >= kill.at_time_s);
+  if (!trigger) return;
+  KillRank(rank, now);
+  throw RankDeathError(rank);
+}
+
+void World::Revoke() {
+  revoked_.store(true, std::memory_order_release);
+  for (auto& mb : mailboxes_) mb->Interrupt();
+}
+
+std::size_t World::FenceDeadRanks() {
+  std::size_t purged = 0;
+  for (int r = 0; r < num_ranks_; ++r) {
+    if (!RankDead(r)) continue;
+    for (auto& mb : mailboxes_) purged += mb->PurgeFrom(r);
+  }
+  if (purged > 0) fenced_any_.store(true, std::memory_order_release);
+  return purged;
 }
 
 sim::SimTime World::Barrier(int rank, sim::SimTime arrival) {
@@ -29,49 +113,72 @@ sim::SimTime World::Barrier(int rank, sim::SimTime arrival) {
 sim::SimTime World::Barrier(
     int rank, sim::SimTime arrival,
     const std::function<sim::SimTime(sim::SimTime)>* serial) {
-  (void)rank;  // kept for symmetry with real collectives; barrier is rank-blind
-  bool last = false;
-  std::uint64_t my_generation = 0;
+  if (RankDead(rank)) throw RankDeathError(rank);
   sim::SimTime sync = 0.0;
+  std::uint64_t my_generation = 0;
   {
     MutexLock lock(barrier_mu_);
     my_generation = barrier_generation_;
     barrier_max_ = std::max(barrier_max_, arrival);
-    if (++barrier_count_ == num_ranks_) {
-      // Last arrival releases everyone. The synchronization itself costs a
-      // tree of small messages: latency * ceil(log2(n)).
-      double depth =
-          num_ranks_ > 1
-              ? std::ceil(std::log2(static_cast<double>(num_ranks_)))
-              : 0.0;
-      sync = barrier_max_ + depth * cluster_->network().spec().latency_s;
-      last = true;
+    ++barrier_count_;
+    parked_gen_[rank] = my_generation;
+    while (true) {
+      // Death first: a rank killed while parked must unwind even when the
+      // survivors' release already bumped the generation before it woke —
+      // otherwise the dead rank escapes the barrier alive.
+      if (RankDead(rank)) {
+        // Retract the arrival (unless KillRank or the releaser already
+        // did); the remaining live ranks release without us.
+        if (parked_gen_[rank] == my_generation) {
+          parked_gen_[rank] = kNotParked;
+          --barrier_count_;
+        }
+        barrier_cv_.NotifyAll();
+        throw RankDeathError(rank);
+      }
+      if (barrier_generation_ != my_generation) {
+        // Released by another rank (parked_gen_ was cleared by it).
+        return barrier_release_;
+      }
+      // Release condition: every live rank has arrived. Deaths lower the
+      // live count (KillRank retracts parked arrivals), so a barrier never
+      // waits for a rank that can no longer arrive.
+      if (!barrier_releasing_ &&
+          barrier_count_ >= live_ranks_.load(std::memory_order_acquire)) {
+        barrier_releasing_ = true;
+        parked_gen_[rank] = kNotParked;
+        // The synchronization itself costs a tree of small messages:
+        // latency * ceil(log2(live)).
+        int n = std::max(1, live_ranks_.load(std::memory_order_acquire));
+        double depth =
+            n > 1 ? std::ceil(std::log2(static_cast<double>(n))) : 0.0;
+        sync = barrier_max_ + depth * cluster_->network().spec().latency_s;
+        break;
+      }
+      barrier_cv_.Wait(lock);
     }
   }
-  if (last) {
-    // The serial section runs before the generation bump: every other rank
-    // has arrived (the count reached num_ranks_) and none returns until the
-    // bump below, so the section owns the world. Running it outside the
-    // lock keeps the barrier state clean if it recurses into comm code.
-    sim::SimTime release = sync;
-    if (serial != nullptr && *serial) {
-      release = std::max(release, (*serial)(sync));
-    }
+  // Releaser path. The serial section runs before the generation bump:
+  // every other live rank is parked and none returns until the bump below,
+  // so the section owns the world. Running it outside the lock keeps the
+  // barrier state clean if it recurses into comm code.
+  sim::SimTime release = sync;
+  if (serial != nullptr && *serial) {
+    release = std::max(release, (*serial)(sync));
+  }
+  {
     MutexLock lock(barrier_mu_);
     barrier_release_ = release;
     barrier_count_ = 0;
     barrier_max_ = 0.0;
+    barrier_releasing_ = false;
+    for (auto& g : parked_gen_) {
+      if (g == my_generation) g = kNotParked;
+    }
     ++barrier_generation_;
-    barrier_cv_.NotifyAll();
-    return barrier_release_;
   }
-  MutexLock lock(barrier_mu_);
-  // Explicit wait loop (not a predicate lambda): the lambda body would be a
-  // separate, unannotated function to the thread-safety analysis.
-  while (barrier_generation_ == my_generation) {
-    barrier_cv_.Wait(lock);
-  }
-  return barrier_release_;
+  barrier_cv_.NotifyAll();
+  return release;
 }
 
 }  // namespace mm::comm

@@ -32,6 +32,15 @@ StatusOr<ServiceOptions> ServiceOptions::FromYaml(const yaml::Node& root) {
         runtime.GetBool("enable_organizer", opts.enable_organizer);
     opts.verify_checksums =
         runtime.GetBool("verify_checksums", opts.verify_checksums);
+    std::string policy = runtime.GetString("recovery_policy", "");
+    if (policy == "rehome") {
+      opts.recovery_policy = RecoveryPolicy::kRehome;
+    } else if (policy == "rollback") {
+      opts.recovery_policy = RecoveryPolicy::kRollback;
+    } else if (!policy.empty()) {
+      return InvalidArgument("unknown recovery_policy '" + policy +
+                             "' (want rehome|rollback)");
+    }
   }
   if (root.Has("retry")) {
     MM_ASSIGN_OR_RETURN(opts.retry, RetryPolicy::FromYaml(root["retry"]));

@@ -818,6 +818,8 @@ Service::Service(sim::Cluster* cluster, ServiceOptions options)
   injector_ = std::make_unique<sim::FaultInjector>(options_.faults);
   metadata_ = std::make_unique<storage::MetadataManager>(cluster->num_nodes(),
                                                          &cluster->network());
+  fenced_ = std::vector<std::atomic<bool>>(cluster->num_nodes());
+  for (auto& f : fenced_) f.store(false, std::memory_order_relaxed);
   // Telemetry also precedes the runtimes: each NodeRuntime (and the tier
   // stores under it) resolves its metric handles from telemetry_sink(n)
   // during construction.
@@ -1027,6 +1029,22 @@ void Service::SetPgasHint(VectorMeta& meta, VectorMeta::PgasHint hint) {
   meta.pgas_hint = hint;
 }
 
+std::size_t Service::Unfenced(std::size_t node) const {
+  if (!NodeFenced(node)) return node;
+  // Deterministic ring remap: every survivor computes the same substitute
+  // owner without communicating.
+  for (std::size_t i = 1; i < fenced_.size(); ++i) {
+    std::size_t cand = (node + i) % fenced_.size();
+    if (!NodeFenced(cand)) return cand;
+  }
+  return node;  // everyone fenced: nothing sensible to return
+}
+
+void Service::FenceNode(std::size_t node) {
+  MM_CHECK(node < fenced_.size());
+  fenced_[node].store(true, std::memory_order_release);
+}
+
 std::size_t Service::DefaultOwner(VectorMeta& meta,
                                   const storage::BlobId& id) {
   std::optional<VectorMeta::PgasHint> hint;
@@ -1035,12 +1053,12 @@ std::size_t Service::DefaultOwner(VectorMeta& meta,
     hint = meta.pgas_hint;
   }
   if (!hint.has_value() || hint->n_elems == 0 || hint->nprocs <= 0) {
-    return metadata().HomeNode(id);
+    return Unfenced(metadata().HomeNode(id));
   }
   // Rank owning the page's first element under the balanced partition of
   // n elements over p ranks captured when the hint was set.
   std::uint64_t elem = id.page_idx * meta.elems_per_page();
-  if (elem >= hint->n_elems) return metadata().HomeNode(id);
+  if (elem >= hint->n_elems) return Unfenced(metadata().HomeNode(id));
   std::uint64_t n = hint->n_elems, p = hint->nprocs;
   std::uint64_t base = n / p, rem = n % p;
   std::uint64_t rank;
@@ -1051,7 +1069,7 @@ std::size_t Service::DefaultOwner(VectorMeta& meta,
   }
   std::size_t node = static_cast<std::size_t>(rank) /
                      static_cast<std::size_t>(hint->ranks_per_node);
-  return std::min(node, num_nodes() - 1);
+  return Unfenced(std::min(node, num_nodes() - 1));
 }
 
 void Service::OnTierFailure(std::size_t node, sim::TierKind tier,
@@ -1101,6 +1119,76 @@ void Service::OnTierFailure(std::size_t node, sim::TierKind tier,
     restore.issue_time = now;
     (void)runtime(node).Submit(std::move(restore));  // fire-and-forget
   }
+}
+
+Service::RecoveryStats Service::RecoverDeadNode(std::size_t dead_node,
+                                                std::size_t from_node,
+                                                sim::SimTime now) {
+  FenceNode(dead_node);
+  RecoveryStats stats;
+  std::vector<VectorMeta*> vecs;
+  {
+    MutexLock lock(vectors_mu_);
+    vecs.reserve(vectors_.size());
+    for (auto& [key, meta] : vectors_) {
+      if (!meta->destroyed.load(std::memory_order_relaxed)) {
+        vecs.push_back(meta.get());
+      }
+    }
+  }
+  for (VectorMeta* meta : vecs) {
+    for (const storage::BlobId& id :
+         metadata().BlobsOfVector(meta->vector_id)) {
+      ++stats.pages_scanned;
+      auto loc = metadata().Lookup(id, from_node, now, nullptr);
+      if (!loc.ok()) continue;
+      // A replica record pointing at the dead node only costs a remote
+      // re-read; unregister it unconditionally (idempotent).
+      (void)metadata().RemoveReplica(id, dead_node, from_node, now, nullptr);
+      if (loc->node != dead_node) continue;
+      if (loc->dirty) {
+        // The primary copy of unstaged modifications died with the node.
+        // Journaled writeback may have made those bytes durable before the
+        // death; replaying the redo record heals the backend. Volatile
+        // vectors have no backend or journal: their dirty pages are gone.
+        if (meta->stager != nullptr && TryJournalRecover(dead_node, id, *loc)) {
+          ++stats.journal_recovered;
+        } else {
+          RecordDataLoss(id);
+          ++stats.lost;
+        }
+      } else {
+        ++stats.rehomed;
+      }
+      // Drop the stale mapping (and the dead node's resident bytes, so a
+      // later unfencing experiment cannot resurrect them); survivors
+      // re-stage from the backend lazily on next touch via the remapped
+      // DefaultOwner.
+      // Already-absent entries are fine: fencing is idempotent and the
+      // page may never have been staged on the dead node.
+      (void)runtime(dead_node).buffer().Erase(id);
+      (void)metadata().Remove(id, from_node, now, nullptr);  // idempotent
+    }
+  }
+  {
+    MutexLock lock(lost_mu_);
+    last_recovery_.pages_scanned += stats.pages_scanned;
+    last_recovery_.rehomed += stats.rehomed;
+    last_recovery_.journal_recovered += stats.journal_recovered;
+    last_recovery_.lost += stats.lost;
+  }
+  telemetry::MetricsRegistry& reg = *metrics_[from_node];
+  reg.GetCounter("mm.recovery.pages_scanned_count")->Inc(stats.pages_scanned);
+  reg.GetCounter("mm.recovery.rehomed_count")->Inc(stats.rehomed);
+  reg.GetCounter("mm.recovery.journal_recovered_count")
+      ->Inc(stats.journal_recovered);
+  reg.GetCounter("mm.recovery.data_loss_count")->Inc(stats.lost);
+  MM_WARN("service") << "node " << dead_node << " fenced and re-homed: "
+                     << stats.pages_scanned << " pages scanned, "
+                     << stats.rehomed << " re-homed, "
+                     << stats.journal_recovered << " journal-recovered, "
+                     << stats.lost << " lost";
+  return stats;
 }
 
 bool Service::TryJournalRecover(std::size_t node, const storage::BlobId& id,
@@ -1346,12 +1434,20 @@ std::size_t Service::ChooseReadSource(VectorMeta& meta,
       for (std::size_t r : replicas) {
         if (r == from_node && local_bytes) return from_node;
       }
-      std::vector<std::size_t> candidates = {owner};
-      candidates.insert(candidates.end(), replicas.begin(), replicas.end());
-      owner = candidates[(id.Digest() ^ from_node) % candidates.size()];
+      std::vector<std::size_t> candidates;
+      if (!NodeFenced(owner)) candidates.push_back(owner);
+      for (std::size_t r : replicas) {
+        if (!NodeFenced(r)) candidates.push_back(r);
+      }
+      if (!candidates.empty()) {
+        owner = candidates[(id.Digest() ^ from_node) % candidates.size()];
+      }
     }
   }
-  return owner;
+  // A fenced owner (directory entry not yet reconciled, or home-hash on a
+  // dead node) is remapped to the next live node, which stage-ins from the
+  // backend on demand.
+  return Unfenced(owner);
 }
 
 void Service::MaybeReplicate(VectorMeta& meta, std::uint64_t page,

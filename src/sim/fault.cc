@@ -1,24 +1,47 @@
 #include "mm/sim/fault.h"
 
+#include <algorithm>
+#include <initializer_list>
+
 #include "mm/util/hash.h"
 
 namespace mm::sim {
 
 namespace {
 
-// Deterministic uniform in [0, 1) from (seed, stream, op, salt). The salt
-// decorrelates the transient-error draw from the latency-spike draw for the
-// same op.
-double UniformDraw(std::uint64_t seed, std::uint64_t stream, std::uint64_t op,
-                   std::uint64_t salt) {
+// Rejects map keys outside `allowed` — a typo in a fault plan must fail
+// loudly, not silently run the experiment without faults.
+Status RejectUnknownKeys(const yaml::Node& node, const char* context,
+                         std::initializer_list<const char*> allowed) {
+  for (const std::string& key : node.Keys()) {
+    bool known = std::any_of(allowed.begin(), allowed.end(),
+                             [&](const char* a) { return key == a; });
+    if (!known) {
+      return InvalidArgument(std::string("unknown key '") + key + "' in " +
+                             context + " config");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+double FaultDraw(std::uint64_t seed, std::uint64_t stream, std::uint64_t op,
+                 std::uint64_t salt) {
   std::uint64_t h = HashCombine(HashCombine(HashCombine(seed, stream), op),
                                 salt);
   return static_cast<double>(MixU64(h) >> 11) * 0x1.0p-53;
 }
 
+namespace {
+
 StatusOr<TierFaultSpec> ParseSpec(const yaml::Node& node) {
   TierFaultSpec spec;
   if (!node.IsMap()) return InvalidArgument("fault spec must be a map");
+  MM_RETURN_IF_ERROR(RejectUnknownKeys(
+      node, "tier fault",
+      {"transient_error_rate", "latency_spike_rate", "latency_spike_factor",
+       "fail_after_ops"}));
   spec.transient_error_rate =
       node.GetDouble("transient_error_rate", spec.transient_error_rate);
   spec.latency_spike_rate =
@@ -46,9 +69,73 @@ bool FaultConfig::any() const {
   return backend.any();
 }
 
+namespace {
+
+StatusOr<NetFaultSpec> ParseNetSpec(const yaml::Node& node) {
+  NetFaultSpec spec;
+  if (!node.IsMap()) return InvalidArgument("net fault spec must be a map");
+  MM_RETURN_IF_ERROR(RejectUnknownKeys(
+      node, "net fault",
+      {"drop_rate", "dup_rate", "delay_spike_rate", "delay_spike_factor",
+       "partition"}));
+  spec.drop_rate = node.GetDouble("drop_rate", spec.drop_rate);
+  spec.dup_rate = node.GetDouble("dup_rate", spec.dup_rate);
+  spec.delay_spike_rate =
+      node.GetDouble("delay_spike_rate", spec.delay_spike_rate);
+  spec.delay_spike_factor =
+      node.GetDouble("delay_spike_factor", spec.delay_spike_factor);
+  if (node.Has("partition")) {
+    const yaml::Node& part = node["partition"];
+    if (!part.IsMap()) return InvalidArgument("partition must be a map");
+    MM_RETURN_IF_ERROR(RejectUnknownKeys(part, "partition",
+                                         {"boundary", "start_s", "heal_s"}));
+    spec.partition_boundary =
+        static_cast<std::size_t>(part.GetInt("boundary", 0));
+    spec.partition_start_s = part.GetDouble("start_s", 0.0);
+    spec.partition_heal_s = part.GetDouble("heal_s", 0.0);
+  }
+  if (spec.drop_rate < 0 || spec.drop_rate > 1 || spec.dup_rate < 0 ||
+      spec.dup_rate > 1 || spec.delay_spike_rate < 0 ||
+      spec.delay_spike_rate > 1) {
+    return InvalidArgument("net fault rates must be within [0, 1]");
+  }
+  if (spec.delay_spike_factor < 1.0) {
+    return InvalidArgument("delay_spike_factor must be >= 1");
+  }
+  if (spec.partition_boundary > 0 &&
+      spec.partition_heal_s <= spec.partition_start_s) {
+    return InvalidArgument(
+        "partition heal_s must be > start_s (permanent isolation is modeled "
+        "by kill:, not by a partition that never heals)");
+  }
+  return spec;
+}
+
+StatusOr<RankKillSpec> ParseKillSpec(const yaml::Node& node) {
+  RankKillSpec spec;
+  if (!node.IsMap()) return InvalidArgument("kill spec must be a map");
+  MM_RETURN_IF_ERROR(RejectUnknownKeys(
+      node, "kill", {"rank", "at_time_s", "after_comm_ops"}));
+  spec.rank = static_cast<int>(node.GetInt("rank", spec.rank));
+  spec.at_time_s = node.GetDouble("at_time_s", spec.at_time_s);
+  spec.after_comm_ops = static_cast<std::uint64_t>(
+      node.GetInt("after_comm_ops",
+                  static_cast<std::int64_t>(spec.after_comm_ops)));
+  if (spec.rank < 0 && (spec.at_time_s >= 0 || spec.after_comm_ops > 0)) {
+    return InvalidArgument("kill: rank must be set with a trigger");
+  }
+  return spec;
+}
+
+}  // namespace
+
 StatusOr<FaultConfig> FaultConfig::FromYaml(const yaml::Node& node) {
   FaultConfig config;
   if (!node.IsMap()) return config;
+  MM_RETURN_IF_ERROR(RejectUnknownKeys(
+      node, "faults",
+      {"seed", "dram", "nvme", "ssd", "hdd", "pfs", "backend", "net",
+       "kill"}));
   config.seed = static_cast<std::uint64_t>(node.GetInt("seed", 0));
   static constexpr struct {
     const char* name;
@@ -65,6 +152,12 @@ StatusOr<FaultConfig> FaultConfig::FromYaml(const yaml::Node& node) {
   }
   if (node.Has("backend")) {
     MM_ASSIGN_OR_RETURN(config.backend, ParseSpec(node["backend"]));
+  }
+  if (node.Has("net")) {
+    MM_ASSIGN_OR_RETURN(config.net, ParseNetSpec(node["net"]));
+  }
+  if (node.Has("kill")) {
+    MM_ASSIGN_OR_RETURN(config.kill, ParseKillSpec(node["kill"]));
   }
   return config;
 }
@@ -84,13 +177,13 @@ FaultInjector::Decision FaultInjector::Draw(std::size_t stream) {
     return decision;
   }
   if (spec.transient_error_rate > 0 &&
-      UniformDraw(config_.seed, stream, op, /*salt=*/0x7e) <
+      FaultDraw(config_.seed, stream, op, /*salt=*/0x7e) <
           spec.transient_error_rate) {
     decision.kind = Decision::Kind::kTransient;
     transient_faults_.fetch_add(1, std::memory_order_relaxed);
   }
   if (spec.latency_spike_rate > 0 &&
-      UniformDraw(config_.seed, stream, op, /*salt=*/0x15) <
+      FaultDraw(config_.seed, stream, op, /*salt=*/0x15) <
           spec.latency_spike_rate) {
     decision.spike_factor = spec.latency_spike_factor;
     latency_spikes_.fetch_add(1, std::memory_order_relaxed);

@@ -28,6 +28,8 @@ const char* StatusCodeName(StatusCode code) {
       return "UNAVAILABLE";
     case StatusCode::kDataLoss:
       return "DATA_LOSS";
+    case StatusCode::kPeerDead:
+      return "PEER_DEAD";
   }
   return "UNKNOWN";
 }
