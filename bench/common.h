@@ -111,14 +111,15 @@ class BenchReport {
     metrics_.push_back({key, Num(value)});
   }
   void Series(const std::string& key, const mm::StatAccumulator& acc) {
-    char buf[256];
+    char buf[320];
     std::snprintf(buf, sizeof(buf),
                   "{\"count\": %zu, \"mean\": %s, \"p50\": %s, \"p95\": %s, "
-                  "\"p99\": %s}",
+                  "\"p99\": %s, \"p999\": %s}",
                   acc.count(), Num(acc.Mean()).c_str(),
                   Num(acc.Percentile(50)).c_str(),
                   Num(acc.Percentile(95)).c_str(),
-                  Num(acc.Percentile(99)).c_str());
+                  Num(acc.Percentile(99)).c_str(),
+                  Num(acc.Percentile(99.9)).c_str());
     series_.push_back({key, buf});
   }
 

@@ -5,16 +5,27 @@
 //
 // Two views of the claim:
 //  * virtual: the modeled per-access overhead constant vs the modeled
-//    memory access (reported as a counter);
+//    memory access (reported as a metric);
 //  * real: wall-clock ns/element of the scalar-multiply loop over
 //    mm::Vector's cached fast path vs std::vector.
-#include <benchmark/benchmark.h>
+//
+// Plain executable on the shared BenchReport schema
+// (BENCH_micro_access_overhead.json): per-loop ns/element series with
+// p50/p99 across --reps runs.
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <vector>
 
+#include "bench/common.h"
 #include "mm/mega_mmap.h"
 
 namespace {
 
 using namespace mm;
+
+volatile double g_sink = 0.0;
 
 struct Fixture {
   Fixture() {
@@ -45,93 +56,110 @@ struct Fixture {
   std::unique_ptr<Vector<double>> vec;
 };
 
-Fixture& F() {
-  static Fixture f;
-  return f;
+/// Wall-clock ns per element of one pass of `body` over kN elements.
+double TimeNsPerElem(const std::function<void()>& body) {
+  const auto t0 = std::chrono::steady_clock::now();
+  body();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::nano>(t1 - t0).count() /
+         static_cast<double>(Fixture::kN);
 }
-
-void BM_StdVectorScalarMultiply(benchmark::State& state) {
-  std::vector<double> v(Fixture::kN);
-  for (std::uint64_t i = 0; i < Fixture::kN; ++i) v[i] = double(i);
-  for (auto _ : state) {
-    double s = 1.0000001;
-    for (std::uint64_t i = 0; i < Fixture::kN; ++i) {
-      v[i] *= s;
-    }
-    benchmark::DoNotOptimize(v.data());
-  }
-  state.SetItemsProcessed(state.iterations() * Fixture::kN);
-}
-BENCHMARK(BM_StdVectorScalarMultiply);
-
-void BM_MegaMmapScalarMultiply(benchmark::State& state) {
-  auto& f = F();
-  for (auto _ : state) {
-    double s = 1.0000001;
-    auto tx = f.vec->SeqTxBegin(0, Fixture::kN, core::MM_READ_WRITE);
-    for (std::uint64_t i = 0; i < Fixture::kN; ++i) {
-      (*f.vec)[i] *= s;
-    }
-    f.vec->TxEnd();
-  }
-  state.SetItemsProcessed(state.iterations() * Fixture::kN);
-  // The modeled (virtual) overhead ratio the simulation charges per access.
-  const auto& costs = sim::CostModel::Default();
-  state.counters["virtual_overhead_pct"] =
-      100.0 * costs.mm_access_overhead_s / costs.memory_access_s;
-}
-BENCHMARK(BM_MegaMmapScalarMultiply);
-
-/// The span fast path: pages resolved and pinned once per window, element
-/// access is pointer arithmetic.
-void BM_MegaMmapSpanMultiply(benchmark::State& state) {
-  auto& f = F();
-  for (auto _ : state) {
-    double s = 1.0000001;
-    auto tx = f.vec->SeqTxBegin(0, Fixture::kN, core::MM_READ_WRITE);
-    const std::uint64_t chunk = f.vec->MaxSpanElems();
-    for (std::uint64_t b = 0; b < Fixture::kN; b += chunk) {
-      std::uint64_t e = std::min(Fixture::kN, b + chunk);
-      auto span = f.vec->WriteSpan(b, e);
-      for (std::uint64_t i = b; i < e; ++i) span[i] *= s;
-    }
-    f.vec->TxEnd();
-  }
-  state.SetItemsProcessed(state.iterations() * Fixture::kN);
-}
-BENCHMARK(BM_MegaMmapSpanMultiply);
-
-/// Read-only span sweep (the Listing 1 inner-loop shape after migration).
-void BM_MegaMmapSpanRead(benchmark::State& state) {
-  auto& f = F();
-  for (auto _ : state) {
-    double sum = 0;
-    const std::uint64_t chunk = f.vec->MaxSpanElems();
-    for (std::uint64_t b = 0; b < Fixture::kN; b += chunk) {
-      std::uint64_t e = std::min(Fixture::kN, b + chunk);
-      auto span = f.vec->ReadSpan(b, e);
-      for (std::uint64_t i = b; i < e; ++i) sum += span[i];
-    }
-    benchmark::DoNotOptimize(sum);
-  }
-  state.SetItemsProcessed(state.iterations() * Fixture::kN);
-}
-BENCHMARK(BM_MegaMmapSpanRead);
-
-/// The raw cached-access fast path without transaction bookkeeping.
-void BM_MegaMmapReadFastPath(benchmark::State& state) {
-  auto& f = F();
-  for (auto _ : state) {
-    double sum = 0;
-    for (std::uint64_t i = 0; i < Fixture::kN; ++i) {
-      sum += f.vec->Read(i);
-    }
-    benchmark::DoNotOptimize(sum);
-  }
-  state.SetItemsProcessed(state.iterations() * Fixture::kN);
-}
-BENCHMARK(BM_MegaMmapReadFastPath);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 && argv[1][0] != '-'
+                                   ? argv[1]
+                                   : "BENCH_micro_access_overhead.json";
+  const bool csv = mmbench::CsvMode(argc, argv);
+  const int reps = mmbench::Reps(argc, argv);
+
+  Fixture f;
+  std::vector<double> plain(Fixture::kN);
+  for (std::uint64_t i = 0; i < Fixture::kN; ++i) plain[i] = double(i);
+
+  struct Loop {
+    const char* name;
+    std::function<void()> body;
+  };
+  const std::vector<Loop> loops = {
+      {"std_vector_multiply",
+       [&] {
+         double s = 1.0000001;
+         for (std::uint64_t i = 0; i < Fixture::kN; ++i) plain[i] *= s;
+         g_sink = plain[Fixture::kN - 1];
+       }},
+      {"mm_element_multiply",
+       [&] {
+         double s = 1.0000001;
+         auto tx = f.vec->SeqTxBegin(0, Fixture::kN, core::MM_READ_WRITE);
+         for (std::uint64_t i = 0; i < Fixture::kN; ++i) (*f.vec)[i] *= s;
+         f.vec->TxEnd();
+       }},
+      // The span fast path: pages resolved and pinned once per window,
+      // element access is pointer arithmetic.
+      {"mm_span_multiply",
+       [&] {
+         double s = 1.0000001;
+         auto tx = f.vec->SeqTxBegin(0, Fixture::kN, core::MM_READ_WRITE);
+         const std::uint64_t chunk = f.vec->MaxSpanElems();
+         for (std::uint64_t b = 0; b < Fixture::kN; b += chunk) {
+           std::uint64_t e = std::min(Fixture::kN, b + chunk);
+           auto span = f.vec->WriteSpan(b, e);
+           for (std::uint64_t i = b; i < e; ++i) span[i] *= s;
+         }
+         f.vec->TxEnd();
+       }},
+      // Read-only span sweep (the Listing 1 inner-loop shape).
+      {"mm_span_read",
+       [&] {
+         double sum = 0;
+         const std::uint64_t chunk = f.vec->MaxSpanElems();
+         for (std::uint64_t b = 0; b < Fixture::kN; b += chunk) {
+           std::uint64_t e = std::min(Fixture::kN, b + chunk);
+           auto span = f.vec->ReadSpan(b, e);
+           for (std::uint64_t i = b; i < e; ++i) sum += span[i];
+         }
+         g_sink = sum;
+       }},
+      // The raw cached-access fast path without transaction bookkeeping.
+      {"mm_read_fast_path",
+       [&] {
+         double sum = 0;
+         for (std::uint64_t i = 0; i < Fixture::kN; ++i) sum += f.vec->Read(i);
+         g_sink = sum;
+       }},
+  };
+
+  mmbench::BenchReport report("micro_access_overhead");
+  report.Config("elements", static_cast<double>(Fixture::kN));
+  report.Config("reps", reps);
+  mm::TablePrinter table({"loop", "ns_per_elem"});
+  double std_mean = 0.0, mm_elem_mean = 0.0;
+  for (const Loop& loop : loops) {
+    loop.body();  // warm-up pass (page pins, icache)
+    mm::StatAccumulator ns;
+    for (int r = 0; r < reps; ++r) ns.Add(TimeNsPerElem(loop.body));
+    table.AddRow({loop.name, mmbench::Fmt(ns.Mean())});
+    report.Metric(std::string(loop.name) + "_ns_per_elem", ns.Mean());
+    report.Series(loop.name, ns);
+    if (std::string(loop.name) == "std_vector_multiply") std_mean = ns.Mean();
+    if (std::string(loop.name) == "mm_element_multiply") {
+      mm_elem_mean = ns.Mean();
+    }
+  }
+  // The modeled (virtual) overhead ratio the simulation charges per access,
+  // and the measured wall-clock ratio next to it.
+  const auto& costs = sim::CostModel::Default();
+  const double virtual_pct =
+      100.0 * costs.mm_access_overhead_s / costs.memory_access_s;
+  const double real_pct =
+      std_mean > 0 ? 100.0 * (mm_elem_mean - std_mean) / std_mean : 0.0;
+  report.Metric("virtual_overhead_pct", virtual_pct);
+  report.Metric("real_element_overhead_pct", real_pct);
+  std::printf("%s", table.Render(csv).c_str());
+  std::printf("virtual_overhead_pct=%.2f real_element_overhead_pct=%.2f\n",
+              virtual_pct, real_pct);
+  if (!report.Write(out_path)) return 1;
+  return 0;
+}

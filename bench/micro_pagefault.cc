@@ -2,10 +2,15 @@
 // from each layer of the hierarchy — local scache DRAM, a remote node's
 // scache, each storage tier, and a backend stage-in. These are the
 // latencies the prefetcher (Algorithm 1) hides.
-#include <benchmark/benchmark.h>
-
+//
+// Plain executable on the shared BenchReport schema (BENCH_micro_pagefault
+// .json): one metric per layer plus a p50/p99 series across --reps runs.
+#include <cstdio>
 #include <filesystem>
+#include <string>
+#include <vector>
 
+#include "bench/common.h"
 #include "mm/mega_mmap.h"
 
 namespace {
@@ -13,6 +18,8 @@ namespace {
 using namespace mm;
 
 constexpr std::uint64_t kPage = 64 * 1024;
+
+volatile double g_sink = 0.0;
 
 /// Measures the virtual seconds for rank 0 to fault `reads` distinct pages
 /// under the given tier grants, after `setup` has positioned the data.
@@ -45,24 +52,32 @@ double FaultCost(const std::vector<storage::TierGrant>& grants,
     Vector<double> v(svc, ctx, key, n, vo);
     comm::Communicator comm(&ctx);
     if (!from_backend) {
-      // Producer rank materializes all pages (locally or remotely).
-      int producer = remote_owner ? 1 : 0;
-      if (ctx.rank() == producer) {
-        v.Pgas(0, 1);  // producer owns everything
-        auto tx = v.SeqTxBegin(0, n, core::MM_WRITE_ONLY);
-        for (std::uint64_t i = 0; i < n; ++i) v[i] = 1.0;
-        v.TxEnd();
+      // Standard PGAS split: each rank materializes its own half, so the
+      // lower half of the pages lives on node 0 and the upper half on
+      // node 1 — rank 0 then measures whichever half the layer asks for.
+      v.Pgas(ctx.rank(), 2);
+      auto tx = v.SeqTxBegin(v.local_off(), v.local_off() + v.local_size(),
+                             core::MM_WRITE_ONLY);
+      for (std::uint64_t i = v.local_off();
+           i < v.local_off() + v.local_size(); ++i) {
+        v[i] = 1.0;
       }
+      v.TxEnd();
     }
     comm.Barrier();
     if (ctx.rank() == 0) {
+      // Touch one element per page of the chosen half: every touch is a
+      // fault (remote halves cross the network; backend runs page in the
+      // whole vector from stage-in).
+      const std::uint64_t pages = from_backend ? 64 : 32;
+      const std::uint64_t first =
+          (!from_backend && remote_owner) ? 32 : 0;
       double start = ctx.clock().now();
-      // Touch one element per page: every touch is a fault.
       std::uint64_t epp = kPage / sizeof(double);
-      for (std::uint64_t p = 0; p < 64; ++p) {
-        benchmark::DoNotOptimize(v.Read(p * epp));
+      for (std::uint64_t p = first; p < first + pages; ++p) {
+        g_sink = v.Read(p * epp);
       }
-      fault_time = (ctx.clock().now() - start) / 64.0;
+      fault_time = (ctx.clock().now() - start) / static_cast<double>(pages);
     }
   });
   if (!result.ok()) return -1;
@@ -75,59 +90,59 @@ std::string ScratchDir() {
   return dir.string();
 }
 
-void BM_FaultLocalDram(benchmark::State& state) {
-  double t = 0;
-  for (auto _ : state) {
-    t = FaultCost({{sim::TierKind::kDram, GIGABYTES(1)}}, false, false,
-                  ScratchDir());
-  }
-  state.counters["virtual_us_per_fault"] = t * 1e6;
-}
-BENCHMARK(BM_FaultLocalDram)->Unit(benchmark::kMillisecond);
-
-void BM_FaultRemoteDram(benchmark::State& state) {
-  double t = 0;
-  for (auto _ : state) {
-    t = FaultCost({{sim::TierKind::kDram, GIGABYTES(1)}}, true, false,
-                  ScratchDir());
-  }
-  state.counters["virtual_us_per_fault"] = t * 1e6;
-}
-BENCHMARK(BM_FaultRemoteDram)->Unit(benchmark::kMillisecond);
-
-void BM_FaultNvmeTier(benchmark::State& state) {
-  // DRAM grant too small for the data: pages live in NVMe.
-  double t = 0;
-  for (auto _ : state) {
-    t = FaultCost({{sim::TierKind::kDram, 2 * kPage},
-                   {sim::TierKind::kNvme, GIGABYTES(1)}},
-                  false, false, ScratchDir());
-  }
-  state.counters["virtual_us_per_fault"] = t * 1e6;
-}
-BENCHMARK(BM_FaultNvmeTier)->Unit(benchmark::kMillisecond);
-
-void BM_FaultHddTier(benchmark::State& state) {
-  double t = 0;
-  for (auto _ : state) {
-    t = FaultCost({{sim::TierKind::kDram, 2 * kPage},
-                   {sim::TierKind::kHdd, GIGABYTES(1)}},
-                  false, false, ScratchDir());
-  }
-  state.counters["virtual_us_per_fault"] = t * 1e6;
-}
-BENCHMARK(BM_FaultHddTier)->Unit(benchmark::kMillisecond);
-
-void BM_FaultBackendStageIn(benchmark::State& state) {
-  double t = 0;
-  for (auto _ : state) {
-    t = FaultCost({{sim::TierKind::kDram, GIGABYTES(1)}}, false, true,
-                  ScratchDir());
-  }
-  state.counters["virtual_us_per_fault"] = t * 1e6;
-}
-BENCHMARK(BM_FaultBackendStageIn)->Unit(benchmark::kMillisecond);
+struct Layer {
+  const char* name;
+  std::vector<storage::TierGrant> grants;
+  bool remote_owner;
+  bool from_backend;
+};
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::string out_path =
+      argc > 1 && argv[1][0] != '-' ? argv[1] : "BENCH_micro_pagefault.json";
+  const bool csv = mmbench::CsvMode(argc, argv);
+  const int reps = mmbench::Reps(argc, argv);
+  const std::string dir = ScratchDir();
+
+  const std::vector<Layer> layers = {
+      {"local_dram", {{sim::TierKind::kDram, GIGABYTES(1)}}, false, false},
+      {"remote_dram", {{sim::TierKind::kDram, GIGABYTES(1)}}, true, false},
+      {"nvme_tier",
+       {{sim::TierKind::kDram, 2 * kPage}, {sim::TierKind::kNvme, GIGABYTES(1)}},
+       false,
+       false},
+      {"hdd_tier",
+       {{sim::TierKind::kDram, 2 * kPage}, {sim::TierKind::kHdd, GIGABYTES(1)}},
+       false,
+       false},
+      {"backend_stage_in",
+       {{sim::TierKind::kDram, GIGABYTES(1)}},
+       false,
+       true},
+  };
+
+  mmbench::BenchReport report("micro_pagefault");
+  report.Config("page_bytes", static_cast<double>(kPage));
+  report.Config("reps", reps);
+  mm::TablePrinter table({"layer", "virtual_us_per_fault"});
+  for (const Layer& layer : layers) {
+    mm::StatAccumulator us;
+    for (int r = 0; r < reps; ++r) {
+      double t = FaultCost(layer.grants, layer.remote_owner,
+                           layer.from_backend, dir);
+      if (t < 0) {
+        std::fprintf(stderr, "%s: run failed\n", layer.name);
+        return 1;
+      }
+      us.Add(t * 1e6);
+    }
+    table.AddRow({layer.name, mmbench::Fmt(us.Mean())});
+    report.Metric(std::string(layer.name) + "_us_per_fault", us.Mean());
+    report.Series(layer.name, us);
+  }
+  std::printf("%s", table.Render(csv).c_str());
+  if (!report.Write(out_path)) return 1;
+  return 0;
+}

@@ -18,6 +18,11 @@ Two report kinds are gated, keyed by the report's "name":
                  must converge despite a rank killed mid-epoch, no page
                  may be lost, and the recovery/retransmission overheads
                  must stay bounded.
+  readpath       optimistic read fast path (DESIGN.md §14): the hit ratio
+                 and p99 speedup over the queue path are self-relative, so
+                 they gate absolutely on any machine — no baseline needed.
+  bfs            Graph500-style BFS: the traversal must match the reference
+                 depths exactly, and TEPS (virtual clock) must hold a floor.
 """
 
 import argparse
@@ -68,6 +73,29 @@ NODE_FAILURE_EXACT = [
     ("pages_lost", 0.0),
 ]
 
+# readpath gates (ISSUE 7). hit_ratio and retry_rate are pure counters;
+# p99_speedup is the queue path's wall-clock p99 over the optimistic path's
+# on the SAME machine in the SAME run, so it is machine-independent enough
+# to gate absolutely: the fast path must be >= 3x better at 8 readers.
+READPATH_CEILINGS = [
+    ("retry_rate", 0.05),
+]
+READPATH_FLOORS = [
+    ("hit_ratio", 0.95),
+    ("p99_speedup", 3.0),
+]
+
+# bfs gates: exact correctness (depths identical to the in-memory
+# reference) plus a TEPS floor on the virtual clock (observed ~1.2e7;
+# machine-independent). Losing read-only replication or the fast path's
+# round-trip savings drags TEPS well below this.
+BFS_FLOORS = [
+    ("teps", 5.0e6),
+]
+BFS_EXACT = [
+    ("bfs_identical", 1.0),
+]
+
 
 def metric(report: dict, key: str) -> float:
     """Reads a metric from the unified schema ({"metrics": {...}}), falling
@@ -114,7 +142,7 @@ def gate_hotpath(current: dict, baseline: dict, threshold: float) -> bool:
     return failed
 
 
-def gate_absolute(current: dict, ceilings, exact) -> bool:
+def gate_absolute(current: dict, ceilings, exact, floors=()) -> bool:
     failed = False
     for key, ceiling in ceilings:
         cur = metric(current, key)
@@ -123,6 +151,13 @@ def gate_absolute(current: dict, ceilings, exact) -> bool:
             status = f"FAIL (> {ceiling})"
             failed = True
         print(f"{key}: {cur:.4g} (ceiling {ceiling}) {status}")
+    for key, floor in floors:
+        cur = metric(current, key)
+        status = "ok"
+        if cur < floor:
+            status = f"FAIL (< {floor})"
+            failed = True
+        print(f"{key}: {cur:.4g} (floor {floor}) {status}")
     for key, expected in exact:
         cur = metric(current, key)
         status = "ok"
@@ -151,6 +186,11 @@ def main() -> int:
     elif name == "node_failure":
         failed = gate_absolute(current, NODE_FAILURE_CEILINGS,
                                NODE_FAILURE_EXACT)
+    elif name == "readpath":
+        failed = gate_absolute(current, READPATH_CEILINGS, [],
+                               floors=READPATH_FLOORS)
+    elif name == "bfs":
+        failed = gate_absolute(current, [], BFS_EXACT, floors=BFS_FLOORS)
     else:
         if args.baseline is None:
             print("a baseline report is required for hotpath gating",

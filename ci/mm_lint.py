@@ -42,6 +42,13 @@ Rules (see DESIGN.md "Concurrency contracts & static analysis"):
           route into recovery (DESIGN.md §13). comm/ itself and the test
           tree keep the blocking forms (fixtures and the wrappers'
           definitions).
+  MML009  Raw PageFrame version access (`frame->version` / `frame.version`
+          on an identifier containing "frame") outside core/pcache and
+          core/optimistic_guard. The version word is half of the seqlock
+          (DESIGN.md §14): reading it without the OptimisticGuard
+          acquire/validate protocol, or writing it without a
+          FrameWriteGuard section, tears the read-side invariant. Use
+          OptimisticGuard::Version / SetVersion (or a guard object).
 
 Suppression: put `mm-lint: allow(MMLnnn <reason>)` in a comment on the
 offending line or the line directly above it. Suppressions without a
@@ -105,6 +112,14 @@ METRIC_UNIT_SUFFIXES = ("_bytes", "_ns", "_count", "_ratio")
 # MML007 --------------------------------------------------------------------
 CKPT_STREAM_RE = re.compile(r"std::(?:ofstream|fstream)\b[^;]*")
 CKPT_DIRS = ("src/ckpt/", "include/mm/ckpt/")
+
+# MML009 --------------------------------------------------------------------
+# An identifier containing "frame" (any case) dereferencing `.version` /
+# `->version`. The seqlock implementation itself lives in core/pcache and
+# core/optimistic_guard; everyone else goes through the guard API.
+FRAME_VERSION_RE = re.compile(
+    r"\b(\w*[Ff]rame\w*)\s*(?:\.|->)\s*version\b")
+FRAME_VERSION_EXEMPT = ("core/pcache", "core/optimistic_guard")
 
 # MML008 --------------------------------------------------------------------
 # Matches `.Recv(`, `->RecvValue<T>(`, `.RecvBytes(` — the lookahead stops
@@ -434,6 +449,22 @@ class FileScanner:
                             f"`{m.group(1)}Or` and route kPeerDead into "
                             "recovery")
 
+    def check_mml009(self) -> None:
+        # Seqlock contract (DESIGN.md §14): PageFrame::version is the
+        # read-side word of the optimistic guard; only its implementation
+        # files may touch it directly.
+        rel_norm = self.rel.replace(os.sep, "/")
+        if any(part in rel_norm for part in FRAME_VERSION_EXEMPT):
+            return
+        for idx, line in enumerate(self.code_lines):
+            m = FRAME_VERSION_RE.search(line)
+            if m:
+                self.report(idx + 1, "MML009",
+                            f"raw `{m.group(1)}` version access outside the "
+                            "seqlock implementation — use OptimisticGuard::"
+                            "Version/SetVersion (reads need the acquire + "
+                            "validate protocol, writes a FrameWriteGuard)")
+
     def run(self) -> list[Finding]:
         self.check_mml001()
         self.check_mml002()
@@ -443,6 +474,7 @@ class FileScanner:
         self.check_mml006()
         self.check_mml007()
         self.check_mml008()
+        self.check_mml009()
         return self.findings
 
 

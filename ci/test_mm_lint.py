@@ -322,6 +322,70 @@ class Mml008UnboundedRecvTest(unittest.TestCase):
         self.assertEqual(lint_snippet(snippet), [])
 
 
+class Mml009FrameVersionTest(unittest.TestCase):
+    def test_flags_arrow_access_in_core(self):
+        snippet = ("void F(PageFrame* frame) {\n"
+                   "  std::uint64_t v = frame->version.load();\n"
+                   "}\n")
+        findings = lint_snippet(snippet, rel="src/core/vector_impl.cc")
+        self.assertEqual(rules_of(findings), ["MML009"])
+        self.assertEqual(findings[0].line, 2)
+
+    def test_flags_dot_access_and_frame_substring_names(self):
+        snippet = ("void F(PageFrame& victim_frame, PageFrame* frame_ptr) {\n"
+                   "  auto a = victim_frame.version;\n"
+                   "  frame_ptr->version = 7;\n"
+                   "}\n")
+        self.assertEqual(rules_of(lint_snippet(snippet)),
+                         ["MML009", "MML009"])
+
+    def test_flags_in_tests_and_benches_too(self):
+        # The guard protocol binds every reader, fixtures included.
+        snippet = ("TEST(X, Y) {\n"
+                   "  EXPECT_EQ(frame->version.load(), 1u);\n"
+                   "}\n")
+        self.assertEqual(
+            rules_of(lint_snippet(snippet, rel="tests/test_vector.cc")),
+            ["MML009"])
+
+    def test_guard_api_is_clean(self):
+        snippet = ("void F(const PageFrame& frame) {\n"
+                   "  OptimisticGuard g(frame);\n"
+                   "  std::uint64_t v = OptimisticGuard::Version(frame);\n"
+                   "  OptimisticGuard::SetVersion(frame, v + 1);\n"
+                   "  std::uint64_t gv = g.version();\n"
+                   "}\n")
+        self.assertEqual(lint_snippet(snippet), [])
+
+    def test_implementation_files_are_exempt(self):
+        snippet = ("void F(PageFrame* frame) {\n"
+                   "  frame->version.store(2, std::memory_order_release);\n"
+                   "}\n")
+        self.assertEqual(
+            lint_snippet(snippet, rel="src/core/pcache.cc"), [])
+        self.assertEqual(
+            lint_snippet(snippet, rel="include/mm/core/pcache.h"), [])
+        self.assertEqual(
+            lint_snippet(snippet,
+                         rel="include/mm/core/optimistic_guard.h"), [])
+
+    def test_non_frame_version_fields_are_ignored(self):
+        # BlobLocation and friends have version fields too; only
+        # frame-named identifiers are the seqlock word.
+        snippet = ("void F(const BlobLocation& loc, Record* rec) {\n"
+                   "  auto a = loc.version;\n"
+                   "  auto b = rec->version;\n"
+                   "}\n")
+        self.assertEqual(lint_snippet(snippet), [])
+
+    def test_suppression_applies(self):
+        snippet = ("void F(PageFrame* frame) {\n"
+                   "  // mm-lint: allow(MML009 owner thread, no readers yet)\n"
+                   "  frame->version = 1;\n"
+                   "}\n")
+        self.assertEqual(lint_snippet(snippet), [])
+
+
 class SuppressionTest(unittest.TestCase):
     def test_allow_comment_suppresses_same_line(self):
         snippet = ("std::mutex mu_;  "

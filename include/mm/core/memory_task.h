@@ -150,6 +150,10 @@ struct MemoryTask {
   float score = 1.0f;
   std::size_t from_node = 0;
   sim::SimTime issue_time = 0.0;
+  /// True when this kGetPage is the queue fallback of a failed optimistic
+  /// read attempt (DESIGN.md §14): the submit path counts it under
+  /// mm.readpath.fallback_count so hit-rate telemetry reconciles.
+  bool optimistic_fallback = false;
   /// Fulfilled by the executing worker when non-null. Awaited tasks (page
   /// faults, commits TxEnd orders on, stage-outs) allocate a promise;
   /// fire-and-forget tasks (kScore, kErase, recovery restores) leave it

@@ -1,0 +1,132 @@
+// OptimisticGuard — the seqlock read/write protocol over PageFrame
+// (DESIGN.md §14). Modeled on ScaleStore's optimistic version-latched
+// guards: a reader acquires the frame's sequence word, copies what it
+// needs, and re-checks the word; any overlap with a writer (odd word or a
+// changed word) invalidates the read and the caller retries or falls back
+// to the MemoryTask queue path. Writers (the owning rank thread) bracket
+// every frame mutation — buffer swap at Insert, retirement at
+// Remove/eviction/coherence invalidation, guarded scalar stores — in a
+// FrameWriteGuard section.
+//
+// This header and core/pcache are the only places allowed to touch
+// PageFrame::version directly (lint rule MML009); all other code reads it
+// via OptimisticGuard::Version / a live guard and writes it via
+// OptimisticGuard::SetVersion.
+//
+// TSan discipline: the byte copies use relaxed std::atomic_ref accesses
+// (plain byte loads/stores on every target ISA), so a guarded reader
+// racing a guarded writer is a *defined* race that validation discards —
+// not undefined behavior, and not a TSan report.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "mm/core/pcache.h"
+#include "mm/util/thread_annotations.h"
+
+namespace mm::core {
+
+/// RAII writer section on one frame: seq even -> odd on entry, odd -> even
+/// on exit. Owner thread only; sections do not nest.
+class MM_SCOPED_CAPABILITY FrameWriteGuard {
+ public:
+  explicit FrameWriteGuard(PageFrame* frame) MM_ACQUIRE(frame->seq)
+      : frame_(frame) {
+    frame_->seq.Lock();
+  }
+  ~FrameWriteGuard() MM_RELEASE() { frame_->seq.Unlock(); }
+  FrameWriteGuard(const FrameWriteGuard&) = delete;
+  FrameWriteGuard& operator=(const FrameWriteGuard&) = delete;
+
+ private:
+  PageFrame* frame_;
+};
+
+/// One optimistic read attempt on a frame. Usage:
+///
+///   const PageFrame* f = pcache.PeekFrame(page);
+///   if (f == nullptr) return fallback();
+///   OptimisticGuard g(*f);
+///   if (!g.valid() || g.page() != page) return retry_or_fallback();
+///   g.ReadBytes(offset, &out, sizeof(out));
+///   std::uint64_t version = g.version();
+///   if (!g.Validate()) return retry_or_fallback();  // torn — discard out
+///
+/// Everything read between construction and a successful Validate() is a
+/// consistent snapshot of the frame; after a failed Validate() all of it
+/// (including page()/version()) must be discarded.
+class OptimisticGuard {
+ public:
+  explicit OptimisticGuard(const PageFrame& frame)
+      : frame_(&frame), seq_(frame.seq.ReadAcquire()) {}
+
+  /// False when a writer held the frame at acquire time (odd sequence);
+  /// the caller should retry rather than read through the guard.
+  bool valid() const { return SeqLatch::Stable(seq_); }
+
+  /// True when no writer touched the frame since construction: everything
+  /// read under the guard is a consistent snapshot.
+  bool Validate() const {
+    std::atomic_thread_fence(std::memory_order_acquire);
+    return frame_->seq.ReadRelaxed() == seq_ && valid();
+  }
+
+  /// Page number the frame held under the guard (validate before trusting).
+  std::uint64_t page() const {
+    return frame_->page.load(std::memory_order_relaxed);
+  }
+
+  /// Coherence write-version under the guard (validate before trusting).
+  std::uint64_t version() const {
+    return frame_->version.load(std::memory_order_relaxed);
+  }
+
+  /// Copies [off, off+len) of the frame's published bytes into `out` with
+  /// relaxed atomic byte loads. The result is garbage until Validate()
+  /// says otherwise — callers must never act on it before validating.
+  void ReadBytes(std::size_t off, void* out, std::size_t len) const
+      MM_NO_THREAD_SAFETY_ANALYSIS {  // seqlock read protocol: racing reads
+                                      // are discarded by Validate()
+    const std::uint8_t* src = frame_->bytes.load(std::memory_order_acquire);
+    if (src == nullptr) return;  // retired/uninitialized: validation fails
+    auto* dst = static_cast<std::uint8_t*>(out);
+    for (std::size_t i = 0; i < len; ++i) {
+      // atomic_ref<const T> is C++26; the relaxed load never mutates.
+      std::atomic_ref<std::uint8_t> b(const_cast<std::uint8_t&>(src[off + i]));
+      dst[i] = b.load(std::memory_order_relaxed);
+    }
+  }
+
+  // ---- owner-side accessors (no guard needed: the owner thread is the
+  // only writer, so its own reads of `version` are always coherent) ----
+
+  static std::uint64_t Version(const PageFrame& frame) {
+    return frame.version.load(std::memory_order_acquire);
+  }
+  static void SetVersion(PageFrame& frame, std::uint64_t version) {
+    frame.version.store(version, std::memory_order_release);
+  }
+
+  /// Stores [off, off+len) into the frame's published bytes with relaxed
+  /// atomic byte stores. Owner thread only, and only inside a
+  /// FrameWriteGuard section (Vector::Set's guarded path uses this when
+  /// concurrent optimistic readers are enabled).
+  static void StoreBytes(PageFrame& frame, std::size_t off, const void* src,
+                         std::size_t len) MM_NO_THREAD_SAFETY_ANALYSIS {
+    // seqlock write protocol: the enclosing FrameWriteGuard orders this.
+    std::uint8_t* dst = frame.bytes.load(std::memory_order_relaxed);
+    const auto* s = static_cast<const std::uint8_t*>(src);
+    for (std::size_t i = 0; i < len; ++i) {
+      std::atomic_ref<std::uint8_t> b(dst[off + i]);
+      b.store(s[i], std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  const PageFrame* frame_;
+  std::uint64_t seq_;
+};
+
+}  // namespace mm::core

@@ -54,6 +54,13 @@ struct VectorOptions {
   int prefetch_depth = 4;
   /// Volatile vectors are never staged to a backend.
   bool nonvolatile = true;
+  /// Enables cross-thread lock-free readers on this vector's pcache frames
+  /// (Vector::TryReadOptimistic, DESIGN.md §14). When on, the owning
+  /// rank's scalar Set() brackets its byte stores in a seqlock write
+  /// section so concurrent optimistic readers can never validate a torn
+  /// element. Off by default: the extra two atomic bumps per scalar write
+  /// are pure cost for the common single-threaded-per-rank discipline.
+  bool optimistic_readers = false;
 };
 
 /// What survivors do with a dead node's DSM pages after fencing it
@@ -87,6 +94,12 @@ struct ServiceOptions {
   /// "with no optimizations enabled") and the ablations.
   bool enable_prefetch = true;
   bool enable_organizer = true;
+  /// Read fast path (DESIGN.md §14): read intents first try a lock-free
+  /// versioned read on the calling thread — directory lookup, direct
+  /// scache copy, version re-check — and only fall back to the routed
+  /// kGetPage worker task on conflict, miss, or ineligible mode. The
+  /// readpath bench flips this off to measure the queue path.
+  bool enable_optimistic_reads = true;
   /// Verify per-page CRC-32 on reads that already pay a metadata lookup;
   /// mismatches on clean pages self-heal from the backend, mismatches on
   /// dirty pages surface as kDataLoss.

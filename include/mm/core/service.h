@@ -110,6 +110,21 @@ class NodeRuntime {
     return tasks_executed_.load(std::memory_order_relaxed);
   }
 
+  // ---- read fast path telemetry (DESIGN.md §14) ----
+  // Incremented by Service::TryReadPageOptimistic / ReadPage from *rank*
+  // threads (not workers): the handles are cached here because this node's
+  // runtime is where every other per-node counter lives.
+
+  /// A read served lock-free on the calling thread, bypassing the queues.
+  void CountReadpathHit() { readpath_hit_->Inc(); }
+  /// Version-conflict retries spent inside optimistic attempts (a hit with
+  /// one stable re-read after a racing writer counts 1).
+  void CountReadpathRetries(std::uint64_t n) {
+    if (n > 0) readpath_retry_->Inc(n);
+  }
+  /// An attempted optimistic read that landed on the queue path after all.
+  void CountReadpathFallback() { readpath_fallback_->Inc(); }
+
  private:
   void WorkerLoop(BlockingQueue<MemoryTask>* queue, int worker_id);
   TaskOutcome Execute(MemoryTask& task);
@@ -159,6 +174,9 @@ class NodeRuntime {
   telemetry::Counter* stager_retries_;         // mm.stager.retries_count
   telemetry::Histogram* task_latency_[6];      // mm.task.<kind>_ns, by Kind
   telemetry::Counter* ckpt_journal_bytes_;     // mm.ckpt.journal_bytes
+  telemetry::Counter* readpath_hit_;           // mm.readpath.fastpath_hit_count
+  telemetry::Counter* readpath_retry_;         // mm.readpath.retry_count
+  telemetry::Counter* readpath_fallback_;      // mm.readpath.fallback_count
   storage::BufferManager bm_;
   PagePool pool_;
   std::vector<std::unique_ptr<BlockingQueue<MemoryTask>>> high_queues_;
@@ -339,12 +357,34 @@ class Service {
   /// lookup, remote transfer (if the owner is another node), device time,
   /// and stage-in as applicable. Concurrent faults for the same page on the
   /// same node share one fetch. `*done` receives the simulated completion.
+  /// `optimistic_fallback` marks the call as the queue fallback of a failed
+  /// optimistic attempt (counted under mm.readpath.fallback_count).
   StatusOr<std::vector<std::uint8_t>> ReadPage(VectorMeta& meta,
                                                std::uint64_t page,
                                                std::size_t from_node,
                                                sim::SimTime now,
                                                sim::SimTime* done,
-                                               std::uint64_t* version = nullptr);
+                                               std::uint64_t* version = nullptr,
+                                               bool optimistic_fallback = false);
+
+  /// Lock-free read fast path (DESIGN.md §14): serves a whole-page read on
+  /// the calling thread, bypassing the worker queues entirely. The
+  /// directory entry is sampled, the bytes are copied straight out of the
+  /// source node's scache (its BufferManager is internally synchronized),
+  /// and the directory version is re-sampled; a changed version means a
+  /// racing writer and the copy is retried (bounded), then abandoned.
+  /// Sources follow the §6 replica-validity rule: the page's primary node,
+  /// or a node the directory registers as a replica — never a stale cache.
+  /// Returns nullopt — caller falls back to ReadPage — on: miss (unplaced
+  /// page), version conflict after retries, ineligible coherence mode,
+  /// fenced source, CRC mismatch (the slow path heals it), or the
+  /// `enable_optimistic_reads` switch being off. On success charges the
+  /// metadata round trips plus the owner→reader transfer when remote, and
+  /// counts mm.readpath.fastpath_hit_count / retry_count on `from_node`.
+  std::optional<std::vector<std::uint8_t>> TryReadPageOptimistic(
+      VectorMeta& meta, std::uint64_t page, std::size_t from_node,
+      sim::SimTime now, sim::SimTime* done, std::uint64_t* version = nullptr,
+      int* retries = nullptr);
 
   /// Current write-version of a page per the metadata manager (0 when the
   /// page has never been placed). Charges the metadata round trip.

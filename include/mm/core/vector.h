@@ -31,6 +31,7 @@
 #include <type_traits>
 
 #include "mm/comm/world.h"
+#include "mm/core/optimistic_guard.h"
 #include "mm/core/pcache.h"
 #include "mm/core/prefetcher.h"
 #include "mm/core/service.h"
@@ -57,9 +58,9 @@ class Vector {
       throw std::runtime_error("mm::Vector: " + meta.status().ToString());
     }
     meta_ = *meta;
-    pcache_ = std::make_unique<PCache>(meta_->page_bytes,
-                                       meta_->elems_per_page(),
-                                       options_.pcache_bytes);
+    pcache_ = std::make_unique<PCache>(
+        meta_->page_bytes, meta_->elems_per_page(), options_.pcache_bytes,
+        options_.optimistic_readers);
     epp_ = meta_->elems_per_page();
     if (epp_ > 0 && (epp_ & (epp_ - 1)) == 0) {
       epp_shift_ = std::countr_zero(epp_);
@@ -82,6 +83,8 @@ class Vector {
     prefetch_useful_ = tel.metrics->GetCounter("mm.prefetch.useful_count");
     prefetch_wasted_ = tel.metrics->GetCounter("mm.prefetch.wasted_count");
     score_count_ = tel.metrics->GetCounter("mm.prefetch.score_count");
+    readpath_hit_ = tel.metrics->GetCounter("mm.readpath.fastpath_hit_count");
+    readpath_retry_ = tel.metrics->GetCounter("mm.readpath.retry_count");
   }
 
   // Paper semantics: vectors are NOT destroyed in the destructor; call
@@ -299,7 +302,10 @@ class Vector {
     MM_CHECK_MSG(i < size(), "mm::Vector index out of range");
     std::uint64_t elem;
     const std::uint64_t page = PageOf(i, &elem);
-    PageFrame* frame = TouchFrame(page);
+    // Read-mostly intent: a non-writing transaction's At() never dirties,
+    // so its misses qualify for the optimistic service bypass.
+    PageFrame* frame =
+        TouchFrame(page, /*read_intent=*/tx_ != nullptr && !tx_->writes());
     ctx_->Compute(scalar_access_cost_s_);
     if (tx_ != nullptr) {
       if (tx_->writes()) pcache_->MarkElemDirty(frame, elem);
@@ -316,7 +322,7 @@ class Vector {
     MM_CHECK_MSG(i < size(), "mm::Vector index out of range");
     std::uint64_t elem;
     const std::uint64_t page = PageOf(i, &elem);
-    PageFrame* frame = TouchFrame(page);
+    PageFrame* frame = TouchFrame(page, /*read_intent=*/true);
     ctx_->Compute(scalar_access_cost_s_);
     if (tx_ != nullptr) tx_->AdvanceTail();
     return *reinterpret_cast<const T*>(frame->data.data() + elem * sizeof(T));
@@ -327,11 +333,60 @@ class Vector {
     MM_CHECK_MSG(i < size(), "mm::Vector index out of range");
     std::uint64_t elem;
     const std::uint64_t page = PageOf(i, &elem);
-    PageFrame* frame = TouchFrame(page);
+    PageFrame* frame = TouchFrame(page, /*read_intent=*/false);
     ctx_->Compute(scalar_access_cost_s_);
     pcache_->MarkElemDirty(frame, elem);
     if (tx_ != nullptr) tx_->AdvanceTail();
-    std::memcpy(frame->data.data() + elem * sizeof(T), &value, sizeof(T));
+    if (options_.optimistic_readers) {
+      // Concurrent TryReadOptimistic readers may be copying this frame:
+      // bracket the store in a seqlock write section so an overlapped read
+      // can never validate a torn element. A live Span pin holds the latch
+      // odd; a nested write section would flip it even mid-span, so scalar
+      // Set and a Span on the same page must not mix.
+      MM_CHECK_MSG(frame->pins.load(std::memory_order_relaxed) == 0,
+                   "Set on a span-pinned page with optimistic_readers on");
+      FrameWriteGuard wg(frame);
+      OptimisticGuard::StoreBytes(*frame, elem * sizeof(T), &value, sizeof(T));
+    } else {
+      std::memcpy(frame->data.data() + elem * sizeof(T), &value, sizeof(T));
+    }
+  }
+
+  /// Lock-free cross-thread element read (DESIGN.md §14). Safe to call from
+  /// any thread while the owning rank mutates the vector, PROVIDED the
+  /// vector was created with `optimistic_readers` on (otherwise the owner's
+  /// scalar stores are unguarded and this returns false immediately). Never
+  /// faults, never touches the LRU, never charges the virtual clock: on a
+  /// non-resident page, an index overflow, or a persistently-racing writer
+  /// it returns false and the caller falls back to the owner's path.
+  /// `*retries` (optional) accumulates validation conflicts.
+  bool TryReadOptimistic(std::uint64_t i, T* out, int* retries = nullptr) const {
+    if (!options_.optimistic_readers || i >= size()) return false;
+    std::uint64_t elem;
+    const std::uint64_t page = PageOf(i, &elem);
+    constexpr int kMaxAttempts = 3;
+    for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+      const PageFrame* frame = pcache_->PeekFrame(page);
+      if (frame == nullptr) return false;  // miss: nothing to retry against
+      OptimisticGuard guard(*frame);
+      if (!guard.valid() || guard.page() != page) {
+        // Odd seq (writer in section / retired) or a recycled frame now
+        // holding another page: re-probe the index.
+        if (retries != nullptr) ++*retries;
+        readpath_retry_->Inc();
+        continue;
+      }
+      alignas(T) std::uint8_t buf[sizeof(T)];
+      guard.ReadBytes(elem * sizeof(T), buf, sizeof(T));
+      if (guard.Validate()) {
+        std::memcpy(out, buf, sizeof(T));
+        readpath_hit_->Inc();
+        return true;
+      }
+      if (retries != nullptr) ++*retries;
+      readpath_retry_->Inc();
+    }
+    return false;
   }
 
   /// Atomically extends the vector by one element; returns its index.
@@ -400,8 +455,10 @@ class Vector {
       if (pcache_->IsPinned(page)) continue;
       PageFrame* f = pcache_->Find(page);
       if (f != nullptr && !f->dirty.Any()) {
-        auto removed = pcache_->Remove(page);
-        if (removed.has_value()) ReleasePageBytes(std::move(removed->data));
+        // The retired frame keeps its buffer parked on the free list (a
+        // racing optimistic reader must dereference live memory); the next
+        // Insert recycles it through the pool.
+        pcache_->Remove(page);
       }
     }
   }
@@ -494,16 +551,16 @@ class Vector {
   /// Common access prologue: run the prefetcher at page-boundary ticks and
   /// resolve the frame through the last-page cache (§III-E: iterative
   /// algorithms usually stay within one page for many accesses).
-  PageFrame* TouchFrame(std::uint64_t page) {
+  PageFrame* TouchFrame(std::uint64_t page, bool read_intent) {
     // Run the prefetcher BEFORE taking a frame reference: its eviction pass
     // may drop pages (including, for unaligned scans, this one — which then
     // simply refaults below).
     if (tx_ != nullptr && options_.prefetch_depth > 0 && TailOnPageBoundary()) {
       PrefetchStep();
     }
-    PageFrame* frame =
-        (page == last_page_ && last_frame_ != nullptr) ? last_frame_
-                                                       : FetchFrame(page);
+    PageFrame* frame = (page == last_page_ && last_frame_ != nullptr)
+                           ? last_frame_
+                           : FetchFrame(page, read_intent);
     last_page_ = page;
     last_frame_ = frame;
     return frame;
@@ -548,9 +605,8 @@ class Vector {
       PageFrame* frame = pcache_->Find(pages[i]);
       if (frame == nullptr) continue;
       std::uint64_t current = locs[i].has_value() ? locs[i]->version : 0;
-      if (current != frame->version) {
-        auto removed = pcache_->Remove(pages[i]);
-        if (removed.has_value()) ReleasePageBytes(std::move(removed->data));
+      if (current != OptimisticGuard::Version(*frame)) {
+        pcache_->Remove(pages[i]);  // buffer stays parked on the free list
         if (pages[i] == last_page_) {
           last_page_ = kNoPage;
           last_frame_ = nullptr;
@@ -572,7 +628,7 @@ class Vector {
     span.first_page_ = first;
     span.pages_.reserve(last - first + 1);
     for (std::uint64_t p = first; p <= last; ++p) {
-      PageFrame* frame = FetchFrame(p);
+      PageFrame* frame = FetchFrame(p, /*read_intent=*/!writable);
       pcache_->Pin(p);
       span.pages_.push_back(reinterpret_cast<T*>(frame->data.data()));
       if (writable) {
@@ -599,7 +655,7 @@ class Vector {
     }
   }
 
-  PageFrame* FetchFrame(std::uint64_t page) {
+  PageFrame* FetchFrame(std::uint64_t page, bool read_intent = false) {
     if (PageFrame* f = pcache_->Find(page)) {
       hit_count_->Inc();
       return f;
@@ -635,22 +691,46 @@ class Vector {
       data = std::move(outcome.data);
       version = outcome.version;
     } else {
-      // Synchronous page fault.
+      // Page fault. Read intents first try the lock-free fast path: a
+      // directly-copied, version-validated read that never enters a worker
+      // queue (DESIGN.md §14). Everything else — and every fast-path
+      // decline — takes the synchronous routed fault.
       ++faults_;
       ctx_->Compute(ctx_->costs().page_fault_soft_s);
-      sim::SimTime done = ctx_->clock().now();
-      auto data_or = service_->ReadPage(*meta_, page, ctx_->node(),
-                                        ctx_->clock().now(), &done, &version);
-      if (!data_or.ok()) {
-        throw std::runtime_error("page fault failed: " +
-                                 data_or.status().ToString());
+      bool attempted = false;
+      bool fetched = false;
+      if (read_intent && service_->options().enable_optimistic_reads &&
+          AllowsOptimisticReads(meta_->mode.load(std::memory_order_relaxed))) {
+        attempted = true;
+        sim::SimTime fast_done = ctx_->clock().now();
+        if (auto fast = service_->TryReadPageOptimistic(
+                *meta_, page, ctx_->node(), ctx_->clock().now(), &fast_done,
+                &version)) {
+          ctx_->clock().AdvanceTo(fast_done);
+          data = std::move(*fast);
+          fetched = true;
+        }
       }
-      ctx_->clock().AdvanceTo(done);
-      data = std::move(data_or).value();
+      if (!fetched) {
+        sim::SimTime done = ctx_->clock().now();
+        auto data_or = service_->ReadPage(*meta_, page, ctx_->node(),
+                                          ctx_->clock().now(), &done, &version,
+                                          /*optimistic_fallback=*/attempted);
+        if (!data_or.ok()) {
+          throw std::runtime_error("page fault failed: " +
+                                   data_or.status().ToString());
+        }
+        ctx_->clock().AdvanceTo(done);
+        data = std::move(data_or).value();
+      }
     }
     MakeRoom();
-    PageFrame* frame = pcache_->Insert(page, std::move(data));
-    frame->version = version;
+    std::vector<std::uint8_t> displaced;
+    PageFrame* frame = pcache_->Insert(page, std::move(data), &displaced);
+    // A recycled frame's previous buffer goes back to the node pool so the
+    // zero-alloc fetch loop (DESIGN.md §7) stays closed.
+    if (displaced.capacity() > 0) ReleasePageBytes(std::move(displaced));
+    OptimisticGuard::SetVersion(*frame, version);
     return frame;
   }
 
@@ -674,8 +754,11 @@ class Vector {
   /// application pays only the copy (paper §III-B "Lifecycle of Modified
   /// Data"). The page buffer returns to the node's pool for the next fetch.
   void EvictPage(std::uint64_t page) {
-    auto frame = pcache_->Remove(page);
-    if (!frame.has_value()) return;
+    // The retired frame (and its buffer) stays alive on the pcache free
+    // list: a racing optimistic reader dereferences live memory and fails
+    // validation. Its dirty runs are still this rank's to ship.
+    PageFrame* frame = pcache_->Remove(page);
+    if (frame == nullptr) return;
     if (page == last_page_) {
       last_page_ = kNoPage;
       last_frame_ = nullptr;
@@ -685,7 +768,6 @@ class Vector {
     if (frame->dirty.Any()) {
       ShipDirtyRuns(page, *frame);
     }
-    ReleasePageBytes(std::move(frame->data));
   }
 
   /// Sends each dirty run of a frame as a partial-page write task. The
@@ -718,8 +800,7 @@ class Vector {
       if (retain || pcache_->IsPinned(page)) {
         pcache_->MarkClean(page);
       } else {
-        auto removed = pcache_->Remove(page);
-        if (removed.has_value()) ReleasePageBytes(std::move(removed->data));
+        pcache_->Remove(page);  // buffer stays parked on the free list
         if (page == last_page_) {
           last_page_ = kNoPage;
           last_frame_ = nullptr;
@@ -746,8 +827,8 @@ class Vector {
       // The frame may adopt the committed version only when no other
       // rank's write landed in between (its bytes would be missing here).
       if (PageFrame* frame = pcache_->Find(page)) {
-        if (outcome.prev_version == frame->version) {
-          frame->version = outcome.version;
+        if (outcome.prev_version == OptimisticGuard::Version(*frame)) {
+          OptimisticGuard::SetVersion(*frame, outcome.version);
         }
       }
     }
@@ -765,8 +846,8 @@ class Vector {
                                    outcome.status.ToString());
         }
         if (PageFrame* frame = pcache_->Find(page)) {
-          if (outcome.prev_version == frame->version) {
-            frame->version = outcome.version;
+          if (outcome.prev_version == OptimisticGuard::Version(*frame)) {
+            OptimisticGuard::SetVersion(*frame, outcome.version);
           }
         }
         it = outstanding_.erase(it);
@@ -846,6 +927,8 @@ class Vector {
   telemetry::Counter* prefetch_useful_ = nullptr;
   telemetry::Counter* prefetch_wasted_ = nullptr;
   telemetry::Counter* score_count_ = nullptr;
+  telemetry::Counter* readpath_hit_ = nullptr;
+  telemetry::Counter* readpath_retry_ = nullptr;
   telemetry::NodeSink tel_ = telemetry::NodeSink::Dummy();
   sim::SimTime tx_begin_s_ = 0.0;
 };

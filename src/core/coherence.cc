@@ -18,4 +18,8 @@ const char* CoherenceModeName(CoherenceMode mode) {
   return "?";
 }
 
+bool AllowsOptimisticReads(CoherenceMode mode) {
+  return mode != CoherenceMode::kWriteOnlyGlobal;
+}
+
 }  // namespace mm::core

@@ -98,6 +98,11 @@ NodeRuntime::NodeRuntime(Service* service, std::size_t node_id,
                     TaskHistogram(tel_, MemoryTask::Kind::kErase),
                     TaskHistogram(tel_, MemoryTask::Kind::kBarrier)},
       ckpt_journal_bytes_(tel_.metrics->GetCounter("mm.ckpt.journal_bytes")),
+      readpath_hit_(
+          tel_.metrics->GetCounter("mm.readpath.fastpath_hit_count")),
+      readpath_retry_(tel_.metrics->GetCounter("mm.readpath.retry_count")),
+      readpath_fallback_(
+          tel_.metrics->GetCounter("mm.readpath.fallback_count")),
       bm_(&service->cluster().node(node_id), grants,
           &service->fault_injector(), options.retry, tel_) {
   bm_.SetTierFailureHandler(
@@ -1274,8 +1279,17 @@ StatusOr<std::vector<std::uint8_t>> Service::ReadPage(VectorMeta& meta,
                                                       std::size_t from_node,
                                                       sim::SimTime now,
                                                       sim::SimTime* done,
-                                                      std::uint64_t* version) {
+                                                      std::uint64_t* version,
+                                                      bool optimistic_fallback) {
   storage::BlobId id{meta.vector_id, page};
+  if (optimistic_fallback) {
+    // This read tried the lock-free fast path first and lost (conflict,
+    // miss, or ineligible source); reconcile the telemetry so hit + fallback
+    // counts cover every attempted optimistic read (DESIGN.md §14).
+    runtime(from_node).CountReadpathFallback();
+    telemetry::NodeSink fb = telemetry_sink(from_node);
+    fb.trace->Instant("readpath_fallback", "readpath", fb.node, 0, now);
+  }
   if (IsDataLost(id)) {
     return DataLoss("page " + id.ToString() + " lost unstaged modifications");
   }
@@ -1369,6 +1383,7 @@ StatusOr<std::vector<std::uint8_t>> Service::ReadPage(VectorMeta& meta,
       task.id = id;
       task.size = meta.page_bytes;
       task.from_node = from_node;
+      task.optimistic_fallback = optimistic_fallback;
       task.promise = std::make_shared<std::promise<TaskOutcome>>();
       if (owner == from_node) {
         task.issue_time = t;
@@ -1408,6 +1423,85 @@ StatusOr<std::vector<std::uint8_t>> Service::ReadPage(VectorMeta& meta,
   sink.trace->Complete("page_fault", "fault", sink.node, 0, now, complete);
   Merge(complete, done);
   return std::move(outcome.data);
+}
+
+std::optional<std::vector<std::uint8_t>> Service::TryReadPageOptimistic(
+    VectorMeta& meta, std::uint64_t page, std::size_t from_node,
+    sim::SimTime now, sim::SimTime* done, std::uint64_t* version,
+    int* retries) {
+  if (retries != nullptr) *retries = 0;
+  if (!options_.enable_optimistic_reads) return std::nullopt;
+  if (!AllowsOptimisticReads(meta.mode.load(std::memory_order_relaxed))) {
+    return std::nullopt;
+  }
+  storage::BlobId id{meta.vector_id, page};
+  // Typed data loss is the slow path's story to tell.
+  if (IsDataLost(id)) return std::nullopt;
+
+  sim::SimTime t = now;
+  constexpr int kMaxAttempts = 3;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    // v1: sample the directory. Unplaced pages have no authoritative bytes
+    // anywhere yet — only the queued fault may materialize them.
+    sim::SimTime step = t;
+    auto v1 = metadata().Lookup(id, from_node, t, &step);
+    t = step;
+    if (!v1.ok()) return std::nullopt;
+
+    // Pick the source the §6 replica-validity rule blesses at v1: this
+    // node when the directory maps it as primary or registers it as a
+    // replica (never merely "bytes happen to linger here"), else the
+    // primary across the network.
+    std::size_t source = v1->node;
+    if (source != from_node &&
+        runtime(from_node).buffer().FindBlob(id).has_value()) {
+      auto replicas = metadata().Replicas(id, from_node, t, nullptr);
+      if (std::find(replicas.begin(), replicas.end(), from_node) !=
+          replicas.end()) {
+        source = from_node;
+      }
+    }
+    if (NodeFenced(source)) return std::nullopt;
+
+    // Copy the bytes straight out of the source scache on this thread —
+    // the BufferManager is internally synchronized; no worker queue, no
+    // promise, no task allocation.
+    PagePool& pool = runtime(from_node).pool();
+    std::vector<std::uint8_t> bytes = pool.Acquire(meta.page_bytes);
+    PoolReturn pool_guard(pool, bytes);
+    sim::SimTime copy_done = t;
+    Status st = runtime(source).buffer().GetInto(id, &bytes, t, &copy_done);
+    if (!st.ok()) return std::nullopt;  // raced an eviction: slow path re-stages
+
+    // v2: the copy is coherent only if no writer committed meanwhile. This
+    // is the optimistic guard's validate step at directory granularity; a
+    // changed version or moved primary means the copy may be torn.
+    sim::SimTime check_done = copy_done;
+    auto v2 = metadata().Lookup(id, from_node, copy_done, &check_done);
+    t = check_done;
+    if (!v2.ok() || v2->node != v1->node || v2->version != v1->version) {
+      if (retries != nullptr) ++*retries;
+      runtime(from_node).CountReadpathRetries(1);
+      continue;
+    }
+    if (options_.verify_checksums && v2->crc != 0 && Crc32(bytes) != v2->crc) {
+      // Corruption healing (replica drop, typed data loss) lives on the
+      // slow path; the fast path just declines.
+      return std::nullopt;
+    }
+    if (source != from_node) {
+      auto rsp =
+          cluster().network().Transfer(t, source, from_node, bytes.size());
+      t = rsp.delivered;
+    }
+    if (version != nullptr) *version = v2->version;
+    runtime(from_node).CountReadpathHit();
+    telemetry::NodeSink sink = telemetry_sink(from_node);
+    sink.trace->Instant("readpath_hit", "readpath", sink.node, 0, t);
+    Merge(t, done);
+    return bytes;  // implicit move detaches from pool_guard (capacity 0 after)
+  }
+  return std::nullopt;
 }
 
 /// Picks where to serve a page read from: a node-local copy when present,

@@ -1,0 +1,117 @@
+// Graph500-style BFS: the MegaMmap traversal must match the single-threaded
+// reference depth-for-depth, at any rank count, and the R-MAT/CSR builders
+// must be deterministic.
+#include "mm/apps/bfs.h"
+
+#include <gtest/gtest.h>
+
+#include "mm/apps/reference.h"
+#include "mm/mega_mmap.h"
+
+namespace mm::apps {
+namespace {
+
+RmatConfig SmallGraph() {
+  RmatConfig cfg;
+  cfg.scale = 8;       // 256 vertices
+  cfg.edge_factor = 8; // 2048 directed R-MAT edges
+  cfg.seed = 3;
+  return cfg;
+}
+
+core::ServiceOptions SvcOptions() {
+  core::ServiceOptions so;
+  so.tier_grants = {{sim::TierKind::kDram, MEGABYTES(8)},
+                    {sim::TierKind::kNvme, MEGABYTES(32)}};
+  return so;
+}
+
+TEST(RmatTest, DeterministicInSeed) {
+  auto a = GenerateRmat(SmallGraph());
+  auto b = GenerateRmat(SmallGraph());
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.size(), 2048u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].src, b[i].src);
+    EXPECT_EQ(a[i].dst, b[i].dst);
+  }
+  RmatConfig other = SmallGraph();
+  other.seed = 4;
+  auto c = GenerateRmat(other);
+  bool differs = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].src != c[i].src || a[i].dst != c[i].dst) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RmatTest, CsrIsConsistent) {
+  auto edges = GenerateRmat(SmallGraph());
+  Csr csr = BuildCsr(edges, 256);
+  ASSERT_EQ(csr.rows.size(), 257u);
+  EXPECT_EQ(csr.rows[0], 0u);
+  EXPECT_EQ(csr.rows[256], csr.cols.size());
+  // Undirected: every (u,v) edge appears under both endpoints.
+  std::uint64_t expect = 0;
+  for (const auto& e : edges) expect += e.src == e.dst ? 1 : 2;
+  EXPECT_EQ(csr.cols.size(), expect);
+  for (std::uint64_t v = 0; v < 256; ++v) {
+    EXPECT_LE(csr.rows[v], csr.rows[v + 1]);
+    for (std::uint64_t i = csr.rows[v]; i < csr.rows[v + 1]; ++i) {
+      EXPECT_LT(csr.cols[i], 256u);
+    }
+  }
+}
+
+TEST(BfsTest, ReferenceFindsSourceComponent) {
+  auto edges = GenerateRmat(SmallGraph());
+  Csr csr = BuildCsr(edges, 256);
+  auto depth = ReferenceBfs(csr, 0);
+  EXPECT_EQ(depth[0], 0);
+  std::uint64_t reached = 0;
+  for (std::int64_t d : depth) {
+    if (d != kBfsUnreached) ++reached;
+  }
+  // R-MAT at edge factor 8 is densely connected around the hubs; the
+  // source component must be non-trivial.
+  EXPECT_GT(reached, 128u);
+}
+
+class MegaBfsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MegaBfsTest, MatchesReferenceDepths) {
+  const int nodes = GetParam();
+  auto edges = GenerateRmat(SmallGraph());
+  Csr csr = BuildCsr(edges, 256);
+  auto want = ReferenceBfs(csr, 0);
+
+  auto cluster = sim::Cluster::PaperTestbed(nodes);
+  core::Service svc(cluster.get(), SvcOptions());
+  BfsConfig cfg;
+  cfg.source = 0;
+  cfg.page_size = 1024;
+  cfg.pcache_bytes = 16 * 1024;
+  BfsResult result;
+  auto run = comm::RunRanks(*cluster, nodes, /*ranks_per_node=*/1,
+                            [&](comm::RankContext& ctx) {
+                              comm::Communicator comm(&ctx);
+                              BfsResult r = MegaBfs(svc, comm, csr, cfg);
+                              if (comm.rank() == 0) result = std::move(r);
+                            });
+  ASSERT_TRUE(run.ok()) << run.error;
+  ASSERT_EQ(result.depth.size(), want.size());
+  for (std::size_t v = 0; v < want.size(); ++v) {
+    EXPECT_EQ(result.depth[v], want[v]) << "vertex " << v;
+  }
+  EXPECT_GT(result.edges_traversed, 0u);
+  EXPECT_GT(result.teps, 0.0);
+  EXPECT_EQ(result.vertices_visited,
+            static_cast<std::uint64_t>(
+                std::count_if(want.begin(), want.end(),
+                              [](std::int64_t d) { return d != kBfsUnreached; })));
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, MegaBfsTest, ::testing::Values(1, 2, 4));
+
+}  // namespace
+}  // namespace mm::apps

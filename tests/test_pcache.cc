@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "mm/core/optimistic_guard.h"
+
 namespace mm::core {
 namespace {
 
@@ -62,13 +64,110 @@ TEST(PCacheTest, RemoveDetachesFrame) {
   PCache pc(kPageBytes, kEPP, 10 * kPageBytes);
   pc.Insert(3, Page(9));
   pc.MarkDirty(3, 2, 5);
-  auto frame = pc.Remove(3);
-  ASSERT_TRUE(frame.has_value());
+  PageFrame* frame = pc.Remove(3);
+  ASSERT_NE(frame, nullptr);
+  // Retired frames keep their buffer and dirty bits (the caller still
+  // ships dirty runs from them); the cache itself no longer knows the page.
   EXPECT_EQ(frame->data[0], 9);
   EXPECT_TRUE(frame->dirty.Test(2));
   EXPECT_FALSE(pc.Contains(3));
   EXPECT_EQ(pc.used(), 0u);
-  EXPECT_FALSE(pc.Remove(3).has_value());
+  EXPECT_EQ(pc.Remove(3), nullptr);
+}
+
+TEST(PCacheTest, RemoveLeavesRetiredSeqOdd) {
+  PCache pc(kPageBytes, kEPP, 10 * kPageBytes);
+  PageFrame* f = pc.Insert(4, Page(1));
+  OptimisticGuard before(*f);
+  EXPECT_TRUE(before.valid());
+  pc.Remove(4);
+  // A reader still holding the frame pointer can never validate against a
+  // retired frame: its seqlock is parked odd.
+  OptimisticGuard after(*f);
+  EXPECT_FALSE(after.valid());
+  EXPECT_FALSE(before.Validate());
+}
+
+TEST(PCacheTest, InsertRecyclesRetiredFrames) {
+  PCache pc(kPageBytes, kEPP, 10 * kPageBytes);
+  PageFrame* f = pc.Insert(0, Page(1));
+  pc.MarkDirty(0, 0, 3);
+  pc.Remove(0);
+  // The next insert reuses the retired frame's storage and displaces its
+  // parked buffer to the caller (pool recycling), with state fully reset.
+  std::vector<std::uint8_t> displaced;
+  PageFrame* g = pc.Insert(9, Page(2), &displaced);
+  EXPECT_EQ(g, f);
+  EXPECT_EQ(displaced.size(), kPageBytes);
+  EXPECT_EQ(displaced[0], 1);
+  EXPECT_EQ(g->data[0], 2);
+  EXPECT_FALSE(g->dirty.Any());
+  EXPECT_EQ(g->page.load(), 9u);
+  OptimisticGuard guard(*g);
+  EXPECT_TRUE(guard.valid());
+  EXPECT_EQ(guard.page(), 9u);
+  EXPECT_TRUE(guard.Validate());
+}
+
+TEST(PCacheTest, PeekFrameProbesWithoutLruTouch) {
+  PCache pc(kPageBytes, kEPP, 10 * kPageBytes);
+  pc.Insert(0, Page(0));
+  pc.Insert(1, Page(1));
+  // Peek must not touch the LRU: page 0 stays the victim.
+  EXPECT_NE(pc.PeekFrame(0), nullptr);
+  EXPECT_EQ(pc.PeekFrame(0), pc.PeekFrame(0));
+  EXPECT_EQ(pc.PickVictim(), std::make_optional<std::uint64_t>(0));
+  EXPECT_EQ(pc.PeekFrame(42), nullptr);
+  pc.Remove(1);
+  EXPECT_EQ(pc.PeekFrame(1), nullptr);
+}
+
+TEST(PCacheTest, OptimisticGuardReadsConsistentBytes) {
+  PCache pc(kPageBytes, kEPP, 10 * kPageBytes);
+  pc.Insert(6, Page(0xAB));
+  const PageFrame* f = pc.PeekFrame(6);
+  ASSERT_NE(f, nullptr);
+  OptimisticGuard g(*f);
+  ASSERT_TRUE(g.valid());
+  ASSERT_EQ(g.page(), 6u);
+  std::uint8_t buf[8] = {};
+  g.ReadBytes(16, buf, sizeof(buf));
+  ASSERT_TRUE(g.Validate());
+  for (std::uint8_t b : buf) EXPECT_EQ(b, 0xAB);
+}
+
+TEST(PCacheTest, WriteGuardInvalidatesConcurrentGuard) {
+  PCache pc(kPageBytes, kEPP, 10 * kPageBytes);
+  PageFrame* f = pc.Insert(2, Page(1));
+  OptimisticGuard outside(*f);
+  EXPECT_TRUE(outside.valid());
+  {
+    FrameWriteGuard wg(f);
+    // A guard acquired inside the write section sees an odd word.
+    OptimisticGuard inside(*f);
+    EXPECT_FALSE(inside.valid());
+    std::uint8_t v = 7;
+    OptimisticGuard::StoreBytes(*f, 0, &v, 1);
+  }
+  // The pre-section guard overlapped a write: it must not validate.
+  EXPECT_FALSE(outside.Validate());
+  OptimisticGuard fresh(*f);
+  EXPECT_TRUE(fresh.valid());
+  std::uint8_t got = 0;
+  fresh.ReadBytes(0, &got, 1);
+  EXPECT_TRUE(fresh.Validate());
+  EXPECT_EQ(got, 7);
+}
+
+TEST(PCacheTest, ClearParksAllFramesUnvalidatable) {
+  PCache pc(kPageBytes, kEPP, 10 * kPageBytes);
+  PageFrame* a = pc.Insert(0, Page(0));
+  PageFrame* b = pc.Insert(1, Page(1));
+  pc.Clear();
+  EXPECT_FALSE(OptimisticGuard(*a).valid());
+  EXPECT_FALSE(OptimisticGuard(*b).valid());
+  EXPECT_EQ(pc.PeekFrame(0), nullptr);
+  EXPECT_EQ(pc.PeekFrame(1), nullptr);
 }
 
 TEST(PCacheTest, DirtyPagesLists) {
