@@ -11,9 +11,12 @@ Rules (see DESIGN.md "Concurrency contracts & static analysis"):
           a PoolReturn, handed off via std::move, nor explicitly Release'd
           within the enclosing function. Un-returned buffers silently drop
           out of the recycling loop and regress the zero-alloc hot path.
+          (ci/mm_verify.py carries an AST edition with per-variable
+          dataflow; this regex form is the no-libclang fallback.)
   MML003  PCache Pin/Unpin call-site imbalance within a file. Every pin
           must have a matching unpin path or pinned frames leak off the
-          LRU lists and become unevictable.
+          LRU lists and become unevictable. (ci/mm_verify.py tallies per
+          class across files; this per-file count is the fallback.)
   MML004  MM_CHECK inside a DESIGN.md §7 hot-path function
           (Span::operator[], PCache::{Find,Touch,MarkElemDirty,PickVictim},
           PagePool::{Acquire,AcquireZeroed,Release}). The fast path is two

@@ -90,7 +90,11 @@ class Coordinator {
   CkptOptions options_;
   std::vector<std::unique_ptr<Journal>> journals_;
   std::atomic<std::uint64_t> epoch_{0};
-  mutable Mutex mu_;
+  // Lock order (MML101, contract edge): coordinator state is the outer
+  // lock; per-rank journals lock themselves. Replay deliberately drains
+  // records under Journal::mu_ and applies them with NO lock held, so the
+  // edge is declared intent, not (yet) an observed nesting.
+  mutable Mutex mu_ MM_ACQUIRED_BEFORE(Journal::mu_);
   std::unordered_map<storage::BlobId, DurableState, storage::BlobIdHash>
       replayed_ MM_GUARDED_BY(mu_);
   Status last_status_ MM_GUARDED_BY(mu_) = Status::Ok();

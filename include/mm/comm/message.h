@@ -140,6 +140,7 @@ class Mailbox {
   }
 
  private:
+  // mm-verify: leaf-lock(mailbox queue state only, never calls out while held)
   mutable Mutex mu_;
   CondVar cv_;
   std::list<Message> messages_ MM_GUARDED_BY(mu_);

@@ -92,6 +92,7 @@ class PagePool {
   }
 
  private:
+  // mm-verify: leaf-lock(free-list bookkeeping only, never calls out while held)
   mutable Mutex mu_;
   std::uint64_t max_bytes_;
   std::uint64_t pooled_bytes_ MM_GUARDED_BY(mu_) = 0;

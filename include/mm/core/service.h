@@ -474,7 +474,9 @@ class Service {
   std::vector<std::unique_ptr<telemetry::MetricsRegistry>> metrics_;
   std::unique_ptr<telemetry::TraceRecorder> trace_;
   std::unique_ptr<telemetry::EpochReporter> reporter_;
-  Mutex report_mu_;
+  // Lock order (MML101): report_mu_ is held across reporter_->epochs() in
+  // MaybeEpochReport, which takes the reporter's own mutex.
+  Mutex report_mu_ MM_ACQUIRED_BEFORE(telemetry::EpochReporter::mu_);
   double last_epoch_s_ MM_GUARDED_BY(report_mu_) = 0.0;
   std::vector<std::unique_ptr<NodeRuntime>> runtimes_;
 
@@ -491,7 +493,10 @@ class Service {
   /// remap around dead nodes).
   std::size_t Unfenced(std::size_t node) const;
 
-  Mutex vectors_mu_;
+  // Lock order (MML101): RegisterVector publishes backend_ready for a
+  // freshly built meta while still holding the registration lock.
+  Mutex vectors_mu_
+      MM_ACQUIRED_BEFORE(VectorMeta::backend_mu, VectorMeta::hint_mu);
   std::map<std::string, std::unique_ptr<VectorMeta>> vectors_
       MM_GUARDED_BY(vectors_mu_);
   std::unordered_map<std::uint64_t, VectorMeta*> vectors_by_id_
@@ -510,7 +515,10 @@ class Service {
       return HashCombine(k.id.Digest(), k.node);
     }
   };
-  Mutex inflight_mu_;
+  // Lock order (MML101): PageFault submits the fetch task to the owner's
+  // runtime while holding the dedup lock, and Submit pushes onto a
+  // BlockingQueue (which locks its own mutex).
+  Mutex inflight_mu_ MM_ACQUIRED_BEFORE(BlockingQueue::mu_);
   std::unordered_map<InflightKey, std::shared_future<TaskOutcome>,
                      InflightKeyHash>
       inflight_ MM_GUARDED_BY(inflight_mu_);

@@ -348,6 +348,7 @@ class Vector {
       FrameWriteGuard wg(frame);
       OptimisticGuard::StoreBytes(*frame, elem * sizeof(T), &value, sizeof(T));
     } else {
+      // mm-verify: allow(MML103 optimistic_readers off: no concurrent frame readers to tear)
       std::memcpy(frame->data.data() + elem * sizeof(T), &value, sizeof(T));
     }
   }

@@ -169,7 +169,10 @@ class BufferManager {
   RetryPolicy retry_;
   telemetry::Counter* demotions_;   // mm.tier.demotion_count
   telemetry::Counter* promotions_;  // mm.tier.promotion_count
-  mutable Mutex mu_;  // guards scores_ and placement orchestration
+  // Guards scores_ and placement orchestration. Lock order (MML101): the
+  // placement paths call into TierStore (Contains/Erase/FindBlob/Checksum)
+  // while holding mu_, and each TierStore locks its own mutex.
+  mutable Mutex mu_ MM_ACQUIRED_BEFORE(TierStore::mu_);
   std::unordered_map<BlobId, float, BlobIdHash> scores_ MM_GUARDED_BY(mu_);
   std::vector<bool> tier_drained_ MM_GUARDED_BY(mu_);
   TierFailureHandler failure_handler_ MM_GUARDED_BY(mu_);

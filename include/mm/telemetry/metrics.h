@@ -121,6 +121,7 @@ class MetricsRegistry {
   static MetricsRegistry& Dummy();
 
  private:
+  // mm-verify: leaf-lock(registry interning only, never calls out while held)
   mutable Mutex mu_;
   std::deque<Counter> counters_ MM_GUARDED_BY(mu_);
   std::deque<Gauge> gauges_ MM_GUARDED_BY(mu_);

@@ -74,6 +74,7 @@ class TraceRecorder {
 
   const std::size_t capacity_;
   std::atomic<bool> enabled_{false};
+  // mm-verify: leaf-lock(trace ring writes only, never calls out while held)
   mutable Mutex mu_;
   std::vector<TraceEvent> ring_ MM_GUARDED_BY(mu_);  // insertion ring
   std::size_t head_ MM_GUARDED_BY(mu_) = 0;  // next overwrite slot once full

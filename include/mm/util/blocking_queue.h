@@ -84,6 +84,7 @@ class BlockingQueue {
   }
 
  private:
+  // mm-verify: leaf-lock(protects only the deque + closed flag, never calls out while held)
   mutable Mutex mu_;
   CondVar cv_;
   std::deque<T> items_ MM_GUARDED_BY(mu_);
