@@ -4,6 +4,7 @@
 // geometry (documented per figure in EXPERIMENTS.md).
 #pragma once
 
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <functional>
@@ -147,6 +148,9 @@ class BenchReport {
   };
 
   static std::string Num(double v) {
+    // NaN/inf render as bare words under %g, which is not JSON; a report
+    // with a degenerate metric must still parse in check_perf.py.
+    if (!std::isfinite(v)) return "0";
     char buf[64];
     std::snprintf(buf, sizeof(buf), "%.6g", v);
     return buf;

@@ -124,12 +124,59 @@ PathStats RunPath(bool optimistic) {
   return total;
 }
 
+// Untimed companion run that emits a Perfetto trace of the cross-node read
+// path for ci/validate_trace.py: a handful of remote faults, a write
+// commit, and a flush — enough to exercise every flow shape (sync
+// page_fault 's', async write_commit 'a', fan-out flush) without touching
+// the timed measurements above.
+void EmitTrace(const std::string& trace_path) {
+  auto cluster = mm::sim::Cluster::PaperTestbed(2);
+  mm::core::ServiceOptions so;
+  so.tier_grants = {{mm::sim::TierKind::kDram, mm::MEGABYTES(64)},
+                    {mm::sim::TierKind::kNvme, mm::MEGABYTES(256)}};
+  so.telemetry.trace_path = trace_path;
+  {
+    mm::core::Service svc(cluster.get(), so);
+    mm::core::VectorOptions vo;
+    vo.nonvolatile = false;
+    vo.page_size = kPageBytes;
+    const std::uint64_t elems = kPages * kPageBytes / 8;
+    auto meta = svc.RegisterVector("readpath_trace", 8, vo, elems);
+    if (!meta.ok()) {
+      std::fprintf(stderr, "RegisterVector: %s\n",
+                   meta.status().ToString().c_str());
+      std::exit(1);
+    }
+    svc.SetPgasHint(**meta, {elems, /*nprocs=*/2, /*ranks_per_node=*/1});
+    mm::sim::SimTime t = 0.0;
+    // Home a few pages on node 1, then fault them from node 0: each read is
+    // one origin -> remote get_page -> stager flow.
+    for (std::uint64_t p = kPages / 2; p < kPages / 2 + 4; ++p) {
+      std::vector<std::uint8_t> bytes(kPageBytes, 0x5a);
+      auto fut = svc.WriteRegion(**meta, p, 0, std::move(bytes),
+                                 /*from_node=*/1, t);
+      t = std::max(t, fut.get().done);
+    }
+    for (std::uint64_t p = kPages / 2; p < kPages / 2 + 4; ++p) {
+      // Only the emitted fault flows matter; the data is checked elsewhere.
+      (void)svc.ReadPage(**meta, p, /*from_node=*/0, t, &t);
+    }
+    // Trace is written by the Service destructor (Shutdown).
+  }
+  std::printf("wrote %s\n", trace_path.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::string out_path =
       argc > 1 && argv[1][0] != '-' ? argv[1] : "BENCH_readpath.json";
   const bool csv = mmbench::CsvMode(argc, argv);
+  std::string trace_path;  // --trace <path>: untimed trace-emission run
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--trace") trace_path = argv[i + 1];
+  }
+  if (!trace_path.empty()) EmitTrace(trace_path);
 
   PathStats queue = RunPath(/*optimistic=*/false);
   PathStats fast = RunPath(/*optimistic=*/true);

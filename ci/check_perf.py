@@ -23,6 +23,10 @@ Two report kinds are gated, keyed by the report's "name":
                  they gate absolutely on any machine — no baseline needed.
   bfs            Graph500-style BFS: the traversal must match the reference
                  depths exactly, and TEPS (virtual clock) must hold a floor.
+  fig7_tiering   critical-path attribution coverage (DESIGN.md §11): every
+                 analyzed epoch's attributed stall must fit inside the
+                 measured stall (coverage in [1.0, 1.05]) and must be
+                 non-degenerate. Virtual clock, so machine-independent.
 """
 
 import argparse
@@ -94,6 +98,22 @@ BFS_FLOORS = [
 ]
 BFS_EXACT = [
     ("bfs_identical", 1.0),
+]
+
+# fig7_tiering critical-path gates (ISSUE 9). coverage = (compute +
+# max(stall, attributed)) / (compute + stall) per epoch on the virtual
+# clock: 1.0 means every attributed nanosecond fits inside the measured
+# stall; above 1.0 the analyzer over-attributed. The 5% headroom only
+# covers origin spans straddling epoch edges. At least one epoch must be
+# analyzed, and attribution must be non-degenerate (all-zero buckets also
+# produce coverage 1.0, so gate the attributed sum too).
+FIG7_CEILINGS = [
+    ("critpath_coverage_max", 1.05),
+]
+FIG7_FLOORS = [
+    ("critpath_coverage_min", 1.0),
+    ("critpath_epochs", 1.0),
+    ("critpath_attributed_ms", 1.0),
 ]
 
 
@@ -191,6 +211,9 @@ def main() -> int:
                                floors=READPATH_FLOORS)
     elif name == "bfs":
         failed = gate_absolute(current, [], BFS_EXACT, floors=BFS_FLOORS)
+    elif name == "fig7_tiering":
+        failed = gate_absolute(current, FIG7_CEILINGS, [],
+                               floors=FIG7_FLOORS)
     else:
         if args.baseline is None:
             print("a baseline report is required for hotpath gating",

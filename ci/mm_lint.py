@@ -52,6 +52,16 @@ Rules (see DESIGN.md "Concurrency contracts & static analysis"):
           acquire/validate protocol, or writing it without a
           FrameWriteGuard section, tears the read-side invariant. Use
           OptimisticGuard::Version / SetVersion (or a guard object).
+  MML010  Metric catalog drift (whole-tree check, runs on full scans
+          only). Every `mm.*` name passed as a string literal to
+          GetCounter/GetGauge/GetHistogram in include/ + src/ must appear
+          in the DESIGN.md §11 "Metric catalog" table, and every catalog
+          entry must be registered somewhere in include/ + src/. The
+          catalog is the contract dashboards and the epoch-report diffing
+          build against; an undocumented metric is invisible to them, a
+          stale entry is a broken promise. Catalog rows are
+          `| `mm.family.*` | `name`, `{a,b}_suffix`, ... |` with brace
+          groups expanded combinatorially.
 
 Suppression: put `mm-lint: allow(MMLnnn <reason>)` in a comment on the
 offending line or the line directly above it. Suppressions without a
@@ -132,6 +142,12 @@ UNBOUNDED_RECV_RE = re.compile(
 COMM_DIRS = ("src/comm/", "include/mm/comm/")
 
 ALLOW_RE = re.compile(r"mm-lint:\s*allow\(\s*(MML\d{3})\b([^)]*)\)")
+
+# MML010 --------------------------------------------------------------------
+CATALOG_HEADER = "### Metric catalog"
+CATALOG_FAMILY_RE = re.compile(r"`(mm\.[a-z_]+)\.\*`")
+CATALOG_TOKEN_RE = re.compile(r"`([^`]+)`")
+BRACE_RE = re.compile(r"\{([^{}]*)\}")
 
 
 @dataclass
@@ -481,6 +497,116 @@ class FileScanner:
         return self.findings
 
 
+def expand_token(token: str) -> list[str]:
+    """Expands `{a,b}_x` brace groups combinatorially: `{a,b}_{c,d}` ->
+    a_c, a_d, b_c, b_d. Tokens without braces pass through unchanged."""
+    m = BRACE_RE.search(token)
+    if not m:
+        return [token]
+    out: list[str] = []
+    for alt in m.group(1).split(","):
+        out.extend(expand_token(token[:m.start()] + alt.strip() +
+                                token[m.end():]))
+    return out
+
+
+def parse_metric_catalog(design_text: str) -> dict[str, int] | None:
+    """Full metric names -> 1-based DESIGN.md line, from the §11 catalog
+    table. None when the `### Metric catalog` section is missing."""
+    lines = design_text.split("\n")
+    start = None
+    for i, line in enumerate(lines):
+        if line.strip() == CATALOG_HEADER:
+            start = i
+            break
+    if start is None:
+        return None
+    names: dict[str, int] = {}
+    for idx in range(start + 1, len(lines)):
+        line = lines[idx]
+        if line.startswith("#"):
+            break  # next section
+        stripped = line.strip()
+        if not stripped.startswith("|"):
+            continue
+        cells = [c.strip() for c in stripped.strip("|").split("|")]
+        if len(cells) < 2:
+            continue
+        fam = CATALOG_FAMILY_RE.match(cells[0])
+        if fam is None:
+            continue  # header / divider rows
+        family = fam.group(1)
+        for tok in CATALOG_TOKEN_RE.finditer(cells[1]):
+            for name in expand_token(tok.group(1)):
+                names.setdefault(family + "." + name, idx + 1)
+    return names
+
+
+def check_mml010(root: str) -> list[Finding]:
+    """Whole-tree catalog cross-check: code metric literals vs the
+    DESIGN.md §11 catalog, both directions."""
+    design_path = os.path.join(root, "DESIGN.md")
+    try:
+        with open(design_path, "r", encoding="utf-8", errors="replace") as f:
+            design_text = f.read()
+    except OSError:
+        return []  # nothing to cross-check against
+    catalog = parse_metric_catalog(design_text)
+    if catalog is None:
+        return [Finding("DESIGN.md", 1, "MML010",
+                        f"missing `{CATALOG_HEADER}` section in §11 — the "
+                        "metric catalog is the contract MML010 checks "
+                        "registrations against")]
+
+    findings: list[Finding] = []
+    used: dict[str, tuple[str, int]] = {}
+    for d in ("include", "src"):
+        top = os.path.join(root, d)
+        if not os.path.isdir(top):
+            continue
+        for dirpath, _dirnames, filenames in os.walk(top):
+            for fname in sorted(filenames):
+                if not fname.endswith(SOURCE_EXTS):
+                    continue
+                path = os.path.join(dirpath, fname)
+                rel = os.path.relpath(path, root)
+                try:
+                    with open(path, "r", encoding="utf-8",
+                              errors="replace") as f:
+                        text = f.read()
+                except OSError:
+                    continue
+                lines = text.split("\n")
+                for m in METRIC_GET_RE.finditer(text):
+                    name = m.group(1)
+                    if not name.startswith("mm."):
+                        continue  # MML006's problem, not drift
+                    line = text.count("\n", 0, m.start(1)) + 1
+                    # Honor the standard allow-comment on the literal's
+                    # line or the line above it.
+                    here = lines[line - 1] if line - 1 < len(lines) else ""
+                    above = lines[line - 2] if line >= 2 else ""
+                    if any("MML010" == a.group(1)
+                           for l in (here, above)
+                           for a in ALLOW_RE.finditer(l)):
+                        continue
+                    used.setdefault(name, (rel, line))
+    for name in sorted(used):
+        if name not in catalog:
+            rel, line = used[name]
+            findings.append(Finding(
+                rel, line, "MML010",
+                f'metric "{name}" is not in the DESIGN.md §11 metric '
+                "catalog — add it to the family table"))
+    for name in sorted(catalog):
+        if name not in used:
+            findings.append(Finding(
+                "DESIGN.md", catalog[name], "MML010",
+                f'catalog metric "{name}" is not registered anywhere in '
+                "include/ or src/ — remove the entry or wire the metric up"))
+    return findings
+
+
 def lint_file(path: str, root: str) -> list[Finding]:
     rel = os.path.relpath(path, root)
     try:
@@ -516,6 +642,10 @@ def main(argv: list[str]) -> int:
     findings: list[Finding] = []
     for path in files:
         findings.extend(lint_file(path, args.root))
+    if not args.files:
+        # Whole-tree cross-checks only make sense on full scans; a partial
+        # file list would report catalog drift it cannot see the fix for.
+        findings.extend(check_mml010(args.root))
 
     for f in findings:
         print(f)

@@ -7,6 +7,7 @@ Run: python3 ci/test_mm_lint.py
 
 import os
 import sys
+import tempfile
 import unittest
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
@@ -386,6 +387,119 @@ class Mml009FrameVersionTest(unittest.TestCase):
         self.assertEqual(lint_snippet(snippet), [])
 
 
+CATALOG_STUB = ("## 11. Telemetry\n"
+                "### Metric catalog\n"
+                "| family | metrics |\n"
+                "|---|---|\n"
+                "| `mm.pcache.*` | `hit_count`, `miss_count` |\n"
+                "| `mm.tier.*` | `{dram,nvme}_{read,write}_bytes` |\n"
+                "## 12. Next\n")
+
+
+def write_tree(root: str, design: str, sources: dict):
+    """Lays out a fake repo: DESIGN.md plus {relpath: text} source files."""
+    with open(os.path.join(root, "DESIGN.md"), "w") as f:
+        f.write(design)
+    for rel, text in sources.items():
+        path = os.path.join(root, rel)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w") as f:
+            f.write(text)
+
+
+class Mml010CatalogDriftTest(unittest.TestCase):
+    def test_expand_token_passthrough_and_braces(self):
+        self.assertEqual(mm_lint.expand_token("hit_count"), ["hit_count"])
+        self.assertEqual(mm_lint.expand_token("{a,b}_ns"), ["a_ns", "b_ns"])
+        self.assertEqual(
+            mm_lint.expand_token("{a, b}_{x,y}"),
+            ["a_x", "a_y", "b_x", "b_y"])  # whitespace in alternatives ok
+
+    def test_parse_metric_catalog(self):
+        names = mm_lint.parse_metric_catalog(CATALOG_STUB)
+        self.assertIn("mm.pcache.hit_count", names)
+        self.assertIn("mm.tier.nvme_write_bytes", names)
+        self.assertEqual(len(names), 2 + 4)
+        # Values are 1-based DESIGN.md lines of the family row.
+        self.assertEqual(names["mm.pcache.miss_count"], 5)
+
+    def test_parse_missing_section_returns_none(self):
+        self.assertIsNone(mm_lint.parse_metric_catalog("## 11\nno table\n"))
+
+    def test_clean_round_trip(self):
+        with tempfile.TemporaryDirectory() as root:
+            write_tree(root, CATALOG_STUB, {
+                "src/core/a.cc":
+                    'void F() {\n'
+                    '  reg.GetCounter("mm.pcache.hit_count");\n'
+                    '  reg.GetCounter("mm.pcache.miss_count");\n'
+                    '  reg.GetCounter("mm.tier.dram_read_bytes");\n'
+                    '  reg.GetCounter("mm.tier.dram_write_bytes");\n'
+                    '  reg.GetCounter("mm.tier.nvme_read_bytes");\n'
+                    '  reg.GetCounter("mm.tier.nvme_write_bytes");\n'
+                    '}\n'})
+            self.assertEqual(mm_lint.check_mml010(root), [])
+
+    def test_flags_metric_missing_from_catalog(self):
+        with tempfile.TemporaryDirectory() as root:
+            write_tree(root, CATALOG_STUB, {
+                "src/core/a.cc":
+                    'void F() {\n'
+                    '  reg.GetCounter("mm.pcache.hit_count");\n'
+                    '  reg.GetCounter("mm.pcache.miss_count");\n'
+                    '  reg.GetCounter("mm.tier.dram_read_bytes");\n'
+                    '  reg.GetCounter("mm.tier.dram_write_bytes");\n'
+                    '  reg.GetCounter("mm.tier.nvme_read_bytes");\n'
+                    '  reg.GetCounter("mm.tier.nvme_write_bytes");\n'
+                    '  reg.GetCounter("mm.rogue.thing_count");\n'
+                    '}\n'})
+            findings = mm_lint.check_mml010(root)
+            self.assertEqual(rules_of(findings), ["MML010"])
+            self.assertEqual(findings[0].path, "src/core/a.cc")
+            self.assertEqual(findings[0].line, 8)
+            self.assertIn("mm.rogue.thing_count", findings[0].message)
+
+    def test_flags_stale_catalog_entry(self):
+        with tempfile.TemporaryDirectory() as root:
+            write_tree(root, CATALOG_STUB, {
+                "src/core/a.cc":
+                    'void F() {\n'
+                    '  reg.GetCounter("mm.pcache.hit_count");\n'
+                    '  reg.GetCounter("mm.tier.dram_read_bytes");\n'
+                    '  reg.GetCounter("mm.tier.dram_write_bytes");\n'
+                    '  reg.GetCounter("mm.tier.nvme_read_bytes");\n'
+                    '  reg.GetCounter("mm.tier.nvme_write_bytes");\n'
+                    '}\n'})  # miss_count documented but never registered
+            findings = mm_lint.check_mml010(root)
+            self.assertEqual(rules_of(findings), ["MML010"])
+            self.assertEqual(findings[0].path, "DESIGN.md")
+            self.assertEqual(findings[0].line, 5)
+            self.assertIn("mm.pcache.miss_count", findings[0].message)
+
+    def test_missing_catalog_section_is_a_finding(self):
+        with tempfile.TemporaryDirectory() as root:
+            write_tree(root, "## 11. Telemetry\nprose only\n", {})
+            findings = mm_lint.check_mml010(root)
+            self.assertEqual(rules_of(findings), ["MML010"])
+            self.assertEqual(findings[0].path, "DESIGN.md")
+
+    def test_allow_comment_suppresses_registration(self):
+        with tempfile.TemporaryDirectory() as root:
+            write_tree(root, CATALOG_STUB, {
+                "src/core/a.cc":
+                    'void F() {\n'
+                    '  reg.GetCounter("mm.pcache.hit_count");\n'
+                    '  reg.GetCounter("mm.pcache.miss_count");\n'
+                    '  reg.GetCounter("mm.tier.dram_read_bytes");\n'
+                    '  reg.GetCounter("mm.tier.dram_write_bytes");\n'
+                    '  reg.GetCounter("mm.tier.nvme_read_bytes");\n'
+                    '  reg.GetCounter("mm.tier.nvme_write_bytes");\n'
+                    '  // mm-lint: allow(MML010 experimental, not in catalog)\n'
+                    '  reg.GetCounter("mm.lab.probe_count");\n'
+                    '}\n'})
+            self.assertEqual(mm_lint.check_mml010(root), [])
+
+
 class SuppressionTest(unittest.TestCase):
     def test_allow_comment_suppresses_same_line(self):
         snippet = ("std::mutex mu_;  "
@@ -426,6 +540,12 @@ class TreeTest(unittest.TestCase):
         for path in mm_lint.collect_files(root):
             findings.extend(mm_lint.lint_file(path, root))
         self.assertEqual([str(f) for f in findings], [])
+
+    def test_repo_catalog_matches_code(self):
+        root = os.path.dirname(
+            os.path.dirname(os.path.abspath(mm_lint.__file__)))
+        self.assertEqual(
+            [str(f) for f in mm_lint.check_mml010(root)], [])
 
 
 if __name__ == "__main__":

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Schema-validate a Perfetto/Chrome trace emitted by mm's TraceRecorder.
+
+Usage: validate_trace.py <trace.json> [<trace.json> ...]
+
+Checks (DESIGN.md §11):
+  - the file parses and is either a bare event list or an object with a
+    "traceEvents" list;
+  - every event has string `ph`, integer `pid`/`tid`, numeric `ts >= 0`;
+  - complete spans (`ph == "X"`) carry numeric `dur >= 0`;
+  - flow companions (`ph` in s/t/f) carry an integer `id`, and per flow id
+    there is exactly one `s`, exactly one `f`, the `s` is the earliest
+    event of the flow, and the `f` ends no earlier than every `t` hop
+    (no dangling or duplicated flow bindings);
+  - span args that bind a span into a flow carry integer `trace_id` and
+    `span_id`, and no (trace_id, span_id) pair appears twice (duplicate
+    span emission, e.g. from a replayed message that escaped dedup).
+
+Exit status 0 when every file validates, 1 otherwise.
+"""
+import json
+import sys
+
+FLOW_PHASES = ("s", "t", "f")
+
+
+def load_events(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if isinstance(doc, list):
+        return doc
+    if isinstance(doc, dict) and isinstance(doc.get("traceEvents"), list):
+        return doc["traceEvents"]
+    raise ValueError("top level must be an event list or "
+                     '{"traceEvents": [...]}')
+
+
+def validate(path):
+    errors = []
+
+    def err(i, msg):
+        errors.append("%s: event %d: %s" % (path, i, msg))
+
+    try:
+        events = load_events(path)
+    except (OSError, ValueError) as e:
+        return ["%s: %s" % (path, e)]
+
+    flows = {}  # id -> {"s": [ts...], "t": [ts...], "f": [ts...]}
+    span_ids = {}  # (trace_id, span_id) -> first event index
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            err(i, "event is not an object")
+            continue
+        ph = ev.get("ph")
+        if not isinstance(ph, str) or len(ph) != 1:
+            err(i, "ph must be a one-character string, got %r" % (ph,))
+            continue
+        for key in ("pid", "tid"):
+            if not isinstance(ev.get(key), int) or isinstance(
+                    ev.get(key), bool):
+                err(i, "%s must be an integer, got %r" % (key, ev.get(key)))
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or isinstance(ts, bool):
+            err(i, "ts must be a number, got %r" % (ts,))
+            continue
+        if ts < 0:
+            err(i, "ts must be >= 0, got %r" % (ts,))
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or isinstance(dur, bool):
+                err(i, "X event dur must be a number, got %r" % (dur,))
+            elif dur < 0:
+                err(i, "X event dur must be >= 0, got %r" % (dur,))
+            args = ev.get("args")
+            if isinstance(args, dict) and "trace_id" in args:
+                for key in ("trace_id", "span_id"):
+                    if not isinstance(args.get(key), int):
+                        err(i, "args.%s must be an integer, got %r" %
+                            (key, args.get(key)))
+                key = (args.get("trace_id"), args.get("span_id"))
+                if key in span_ids:
+                    err(i, "duplicate span (trace_id=%r, span_id=%r), "
+                        "first at event %d" % (key[0], key[1], span_ids[key]))
+                else:
+                    span_ids[key] = i
+        elif ph in FLOW_PHASES:
+            fid = ev.get("id")
+            if not isinstance(fid, int) or isinstance(fid, bool):
+                err(i, "flow event id must be an integer, got %r" % (fid,))
+                continue
+            flows.setdefault(fid, {"s": [], "t": [], "f": []})[ph].append(ts)
+
+    for fid, phases in sorted(flows.items()):
+        where = "%s: flow id %d" % (path, fid)
+        if len(phases["s"]) != 1:
+            errors.append("%s: expected exactly one 's', got %d" %
+                          (where, len(phases["s"])))
+        if len(phases["f"]) != 1:
+            errors.append("%s: expected exactly one 'f', got %d" %
+                          (where, len(phases["f"])))
+        if len(phases["s"]) == 1 and len(phases["f"]) == 1:
+            s_ts, f_ts = phases["s"][0], phases["f"][0]
+            if f_ts < s_ts:
+                errors.append("%s: 'f' at ts %g precedes 's' at ts %g" %
+                              (where, f_ts, s_ts))
+            for t_ts in phases["t"]:
+                if t_ts < s_ts:
+                    errors.append("%s: 't' at ts %g precedes 's' at ts %g" %
+                                  (where, t_ts, s_ts))
+                if t_ts > f_ts:
+                    errors.append("%s: 't' at ts %g follows 'f' at ts %g" %
+                                  (where, t_ts, f_ts))
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv[1:]:
+        errors = validate(path)
+        if errors:
+            failed = True
+            for e in errors:
+                print(e, file=sys.stderr)
+        else:
+            events = load_events(path)
+            flow_ids = {ev.get("id") for ev in events
+                        if ev.get("ph") in FLOW_PHASES}
+            print("%s: OK (%d events, %d flows)" %
+                  (path, len(events), len(flow_ids)))
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

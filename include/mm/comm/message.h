@@ -33,6 +33,16 @@ struct Message {
   std::uint64_t seq = 0;
   std::vector<std::uint8_t> payload;
   sim::SimTime delivered = 0.0;
+  /// Causal trace header (DESIGN.md §11): `trace_id` is the flow minted
+  /// for this message by the sender, so the receiver can link its recv
+  /// span into the same Perfetto flow; `parent_span` carries the flow
+  /// that was ambient at the send site (0 = none) for offline causality.
+  /// Plain integers, not telemetry types: the header must exist in both
+  /// telemetry build modes. Retransmits copy the original's ids, and the
+  /// (src, seq) dedup above already guarantees at most one recv span per
+  /// logical message.
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span = 0;
 };
 
 /// One rank's inbox. Thread-safe: any rank may deposit; only the owner pops.

@@ -12,6 +12,7 @@
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "mm/comm/message.h"
@@ -20,6 +21,7 @@
 #include "mm/sim/fault.h"
 #include "mm/sim/virtual_clock.h"
 #include "mm/telemetry/metrics.h"
+#include "mm/telemetry/trace.h"
 #include "mm/util/mutex.h"
 
 namespace mm::comm {
@@ -56,6 +58,11 @@ struct FailureDetectorOptions {
 struct WorldOptions {
   sim::RankKillSpec kill;
   FailureDetectorOptions detector;
+  /// Invoked once per rank death, after the death is registered and the
+  /// rank's barrier/receive parks are released, outside any World lock.
+  /// The flight-recorder wiring uses this to dump a postmortem
+  /// (flightrec_<rank>.json) at the moment of a kill.
+  std::function<void(int rank, sim::SimTime now)> death_observer;
 };
 
 class World {
@@ -79,6 +86,26 @@ class World {
   /// Comm-layer metrics (mm.net.*): retransmissions mirrored from the
   /// network model, heartbeat misses charged by death verdicts.
   telemetry::MetricsRegistry& metrics() { return metrics_; }
+
+  /// Trace recorder for comm-layer spans (msg_send/msg_recv flows).
+  /// Defaults to the never-enabled dummy; benches and tests point it at
+  /// the service's recorder to get one merged timeline.
+  void set_trace(telemetry::TraceRecorder* trace) { trace_ = trace; }
+  telemetry::TraceRecorder& trace() { return *trace_; }
+
+  // ---- critical-path wall accounting (DESIGN.md §11) ----
+
+  /// Per-rank compute/stall accumulators fed by every RankContext clock
+  /// (sim layer takes raw atomics; see VirtualClock::SetCritpathSinks).
+  std::atomic<std::uint64_t>* CritpathComputeSink(int rank) {
+    return &critpath_compute_ns_[rank];
+  }
+  std::atomic<std::uint64_t>* CritpathStallSink(int rank) {
+    return &critpath_stall_ns_[rank];
+  }
+  /// Totals across ranks: {compute_ns, stall_ns}. compute + stall equals
+  /// the sum of every rank's clock position, exactly.
+  std::pair<std::uint64_t, std::uint64_t> CritpathTotals() const;
 
   /// Next sequence number on the (src → dst) channel (1-based; 0 means
   /// unsequenced in Message).
@@ -175,6 +202,9 @@ class World {
   std::atomic<bool> fenced_any_{false};
   std::vector<std::atomic<std::uint64_t>> send_seq_;
   telemetry::MetricsRegistry metrics_;
+  telemetry::TraceRecorder* trace_ = &telemetry::TraceRecorder::Dummy();
+  std::vector<std::atomic<std::uint64_t>> critpath_compute_ns_;
+  std::vector<std::atomic<std::uint64_t>> critpath_stall_ns_;
 
   // Reusable generation-counted barrier, death-aware: the release condition
   // is "every live rank arrived"; parked_gen_ records which generation a
@@ -193,7 +223,12 @@ class World {
 /// rank id, its virtual clock, and the world.
 class RankContext {
  public:
-  RankContext(World* world, int rank) : world_(world), rank_(rank) {}
+  RankContext(World* world, int rank) : world_(world), rank_(rank) {
+    // Route this rank's compute/stall into the world's critical-path
+    // accounting; compute + stall then equals wall time per rank.
+    clock_.SetCritpathSinks(world_->CritpathComputeSink(rank),
+                            world_->CritpathStallSink(rank));
+  }
 
   int rank() const { return rank_; }
   int size() const { return world_->num_ranks(); }

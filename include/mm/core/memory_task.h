@@ -15,6 +15,7 @@
 
 #include "mm/sim/virtual_clock.h"
 #include "mm/storage/blob.h"
+#include "mm/telemetry/trace.h"
 #include "mm/util/mutex.h"
 #include "mm/util/status.h"
 
@@ -155,6 +156,15 @@ struct MemoryTask {
   /// read attempt (DESIGN.md §14): the submit path counts it under
   /// mm.readpath.fallback_count so hit-rate telemetry reconciles.
   bool optimistic_fallback = false;
+  /// Causal flow identity minted at the request origin (DESIGN.md §11).
+  /// The executing worker opens a child span linked to the origin's flow
+  /// and installs the context so nested stager spans join it too. Invalid
+  /// (zero) for background work — prefetch, scores, erases.
+  telemetry::TraceContext tctx;
+  /// True when this task is the terminal hop of an *async* flow (write
+  /// commits): the worker's task span closes the flow ('f') instead of a
+  /// plain step ('t'), since no origin span outlives it.
+  bool trace_terminal = false;
   /// Fulfilled by the executing worker when non-null. Awaited tasks (page
   /// faults, commits TxEnd orders on, stage-outs) allocate a promise;
   /// fire-and-forget tasks (kScore, kErase, recovery restores) leave it

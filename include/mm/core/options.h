@@ -31,11 +31,19 @@ struct TelemetryOptions {
   std::string trace_path;
   /// Trace ring-buffer capacity in events (oldest dropped when full).
   std::uint64_t trace_capacity = 1 << 16;
-  /// Minimum virtual seconds between epochs emitted by MaybeEpochReport
-  /// (0 = every call reports).
+  /// Minimum virtual seconds between epochs emitted by MaybeEpochReport;
+  /// <= 0 disables pacing entirely (MaybeEpochReport becomes a no-op; call
+  /// EpochReport directly for unthrottled epochs).
   double report_interval_s = 0.0;
   /// Non-empty: per-epoch JSON lines are appended here.
   std::string report_path;
+  /// Non-empty: arms the crash flight recorder. A bounded ring of the
+  /// most recent spans is kept even when trace_path is unset, and crash
+  /// points / rank kills / kDataLoss dump `flightrec_<rank>.json` into
+  /// this directory as a postmortem.
+  std::string flightrec_dir;
+  /// Flight-ring capacity in spans (most recent kept).
+  std::uint64_t flightrec_capacity = 256;
 };
 
 /// Per-vector knobs. Page size is immutable after creation (paper §III-C:

@@ -6,12 +6,15 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <optional>
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include <unordered_set>
@@ -233,6 +236,23 @@ class Service {
   /// when the interval has not elapsed (or the interval is unset).
   std::string MaybeEpochReport(double now_s);
 
+  /// Bridges the per-rank virtual-clock wall accounting (typically
+  /// comm::World::CritpathTotals) into mm.critpath.compute_ns/stall_ns at
+  /// every epoch report, so the per-epoch critpath object can check the
+  /// attribution against measured wall time. The source returns
+  /// cumulative {compute_ns, stall_ns}; optional — without it the epoch
+  /// critpath object carries attribution buckets only.
+  void SetCritpathWallSource(
+      std::function<std::pair<std::uint64_t, std::uint64_t>()> source);
+
+  /// Crash flight recorder (DESIGN.md §11): writes
+  /// `<telemetry.flightrec_dir>/flightrec_<node>.json` with the last spans
+  /// from the always-on flight ring plus this node's metrics snapshot.
+  /// No-op when flightrec_dir is unset. Safe from crash paths and the
+  /// World death observer: touches only the trace and metrics leaf locks.
+  void DumpFlightRecord(std::size_t node, std::string_view reason,
+                        double now_s);
+
   // ---- fault recovery ----
 
   /// Tier-failure recovery, invoked by a node's BufferManager after a tier
@@ -284,7 +304,10 @@ class Service {
   }
 
   /// Data-loss registry: pages whose unstaged modifications are gone.
-  void RecordDataLoss(const storage::BlobId& id);
+  /// `node` attributes the loss for the flight-recorder postmortem dumped
+  /// on first registration of each lost page.
+  void RecordDataLoss(const storage::BlobId& id, std::size_t node,
+                      sim::SimTime now);
   bool IsDataLost(const storage::BlobId& id) const;
   void ClearDataLoss(const storage::BlobId& id);
   std::size_t data_loss_count() const;
@@ -463,6 +486,10 @@ class Service {
   bool TryJournalRecover(std::size_t node, const storage::BlobId& id,
                          const storage::BlobLocation& loc);
 
+  /// Folds the spans of the (last analyzed, now_s] window into the
+  /// mm.critpath.* counters and mirrors the wall-source totals.
+  void UpdateCritpathCounters(double now_s);
+
   sim::Cluster* cluster_;
   ServiceOptions options_;
   std::unique_ptr<sim::FaultInjector> injector_;
@@ -478,6 +505,10 @@ class Service {
   // MaybeEpochReport, which takes the reporter's own mutex.
   Mutex report_mu_ MM_ACQUIRED_BEFORE(telemetry::EpochReporter::mu_);
   double last_epoch_s_ MM_GUARDED_BY(report_mu_) = 0.0;
+  /// Upper edge (virtual µs) of the last critpath-analyzed epoch window.
+  double critpath_last_us_ MM_GUARDED_BY(report_mu_) = 0.0;
+  std::function<std::pair<std::uint64_t, std::uint64_t>()> critpath_wall_
+      MM_GUARDED_BY(report_mu_);
   std::vector<std::unique_ptr<NodeRuntime>> runtimes_;
 
   mutable Mutex lost_mu_;
@@ -526,6 +557,9 @@ class Service {
   // Atomic (not merely guarded) because ~Service and an explicit Shutdown
   // may race from different threads; exchange() makes shutdown idempotent.
   std::atomic<bool> shut_down_{false};
+  /// Set once any flight record was written; Shutdown's catch-all dump
+  /// skips itself so the record closest to the death survives.
+  std::atomic<bool> flight_dumped_{false};
 };
 
 }  // namespace mm::core

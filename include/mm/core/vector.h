@@ -688,7 +688,15 @@ class Vector {
         service_->MaybeReplicate(*meta_, page, outcome.data, ctx_->node(),
                                  done);
       }
+      const sim::SimTime wait_start = ctx_->clock().now();
       ctx_->clock().AdvanceTo(done);
+      if (done > wait_start) {
+        // The part of the prefetch that did not overlap with compute is a
+        // real stall; the critical-path analyzer charges bare cat="fault"
+        // spans (no flow) as data-movement wait.
+        tel_.trace->Complete("prefetch_wait", "fault", tel_.node,
+                             ctx_->rank(), wait_start, done);
+      }
       data = std::move(outcome.data);
       version = outcome.version;
     } else {
@@ -703,11 +711,18 @@ class Vector {
       if (read_intent && service_->options().enable_optimistic_reads &&
           AllowsOptimisticReads(meta_->mode.load(std::memory_order_relaxed))) {
         attempted = true;
-        sim::SimTime fast_done = ctx_->clock().now();
+        const sim::SimTime fast_start = ctx_->clock().now();
+        sim::SimTime fast_done = fast_start;
         if (auto fast = service_->TryReadPageOptimistic(
-                *meta_, page, ctx_->node(), ctx_->clock().now(), &fast_done,
+                *meta_, page, ctx_->node(), fast_start, &fast_done,
                 &version)) {
           ctx_->clock().AdvanceTo(fast_done);
+          if (fast_done > fast_start) {
+            // Same treatment as prefetch_wait: a bare fault-cat span the
+            // analyzer counts as data-movement stall.
+            tel_.trace->Complete("opt_read", "fault", tel_.node, ctx_->rank(),
+                                 fast_start, fast_done);
+          }
           data = std::move(*fast);
           fetched = true;
         }

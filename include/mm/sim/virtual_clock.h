@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdint>
 
 namespace mm::sim {
 
@@ -19,6 +20,13 @@ using SimTime = double;
 
 /// Per-rank virtual clock. Thread-confined: only the owning rank thread
 /// mutates it, so no locking is needed on the hot path.
+///
+/// Critical-path sinks: every Advance() is compute and every forward
+/// AdvanceTo() delta is a stall, so together the two sinks account for
+/// the rank's entire wall time (compute_ns + stall_ns == now in ns).
+/// The sinks are raw atomics rather than telemetry handles because sim
+/// sits below telemetry in the layering; comm::World owns the per-rank
+/// atomics and the service bridges their totals into mm.critpath.*.
 class VirtualClock {
  public:
   VirtualClock() = default;
@@ -26,16 +34,41 @@ class VirtualClock {
   SimTime now() const { return now_; }
 
   /// Charges `seconds` of virtual time (compute, local work).
-  void Advance(SimTime seconds) { now_ += seconds; }
+  void Advance(SimTime seconds) {
+    now_ += seconds;
+    if (compute_ns_ != nullptr && seconds > 0) {
+      compute_ns_->fetch_add(ToNs(seconds), std::memory_order_relaxed);
+    }
+  }
 
   /// Moves the clock forward to `t` if `t` is later (blocking waits,
   /// message receives, synchronous I/O completions).
-  void AdvanceTo(SimTime t) { now_ = std::max(now_, t); }
+  void AdvanceTo(SimTime t) {
+    if (t <= now_) return;
+    if (stall_ns_ != nullptr) {
+      stall_ns_->fetch_add(ToNs(t - now_), std::memory_order_relaxed);
+    }
+    now_ = t;
+  }
+
+  /// Points the compute/stall accumulators at caller-owned atomics
+  /// (nullptr detaches). Both sinks are bumped with relaxed adds only.
+  void SetCritpathSinks(std::atomic<std::uint64_t>* compute_ns,
+                        std::atomic<std::uint64_t>* stall_ns) {
+    compute_ns_ = compute_ns;
+    stall_ns_ = stall_ns;
+  }
 
   void Reset() { now_ = 0.0; }
 
  private:
+  static std::uint64_t ToNs(SimTime seconds) {
+    return static_cast<std::uint64_t>(seconds * 1e9);
+  }
+
   SimTime now_ = 0.0;
+  std::atomic<std::uint64_t>* compute_ns_ = nullptr;
+  std::atomic<std::uint64_t>* stall_ns_ = nullptr;
 };
 
 /// A serialized shared resource (device channel, NIC): requests queue behind

@@ -5,9 +5,18 @@
 // Chrome `pid` field carries the node id so each node renders as its own
 // track, and `tid` carries the rank or worker id within the node.
 //
+// Causal tracing: a `TraceContext` (trace id + parent span id) is minted at
+// fault origin, rides through MemoryTask and the comm::Message header, and
+// downstream spans recorded with CompleteFlow() carry Perfetto flow events
+// ('s' at the origin, 't' on each downstream hop, 'f' closing the flow) so
+// one page fault renders as a single connected arrow chain across nodes.
+//
 // Storage is a bounded ring: when full, the oldest event is overwritten
 // and `dropped()` counts the loss. Recording is off by default; when
-// disabled, Complete/Instant are a single relaxed atomic load.
+// disabled, Complete/Instant are a single relaxed atomic load. A second,
+// small "flight" ring can be armed independently (set_flight_capacity);
+// it keeps the most recent spans even when full tracing is off, so a
+// crash can dump a postmortem (flightrec_<rank>.json) from any run.
 #pragma once
 
 #include <atomic>
@@ -25,6 +34,17 @@
 
 namespace mm::telemetry {
 
+/// Causal identity carried across task queues and the wire. `trace_id`
+/// names the whole flow (one page fault / flush / commit); `parent_span`
+/// names the span that caused the current hop. Zero trace_id = no flow.
+/// Defined outside the MM_TELEMETRY gate: MemoryTask and comm::Message
+/// embed it by value in both build modes (two u64s, no behavior).
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span = 0;
+  bool valid() const { return trace_id != 0; }
+};
+
 /// One trace_event entry. `ts_us`/`dur_us` are virtual microseconds.
 struct TraceEvent {
   std::string name;
@@ -34,6 +54,18 @@ struct TraceEvent {
   double dur_us = 0.0;  // spans only
   int pid = 0;          // node id
   int tid = 0;          // rank / worker id within the node
+  // Flow linkage (CompleteFlow spans only). The serializer expands
+  // flow_ph into Perfetto flow companions:
+  //   's' sync origin   -> flow 's' at span start + 'f' at span end
+  //   'a' async origin  -> flow 's' at span start only
+  //   't' downstream hop -> flow 't' at span start
+  //   'f' terminal hop   -> flow 't' at span start + 'f' at span end
+  // Sync origins (page faults, flushes) enclose their whole flow in
+  // virtual time; async flows (write commits, messages) are closed by
+  // their terminal hop instead, so the 'f' timestamp is always last.
+  std::uint64_t flow_id = 0;
+  std::uint64_t span_id = 0;
+  char flow_ph = 0;  // 0 = no flow; else one of 's', 'a', 't', 'f'
 };
 
 #if MM_TELEMETRY_ENABLED
@@ -46,16 +78,36 @@ class TraceRecorder {
   void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
+  /// Arms the always-on flight ring holding the last `capacity` spans for
+  /// postmortems (0 disables). Independent of set_enabled().
+  void set_flight_capacity(std::size_t capacity);
+
   /// Records a complete span covering virtual seconds [begin_s, end_s].
   void Complete(std::string_view name, std::string_view cat, int node, int tid,
                 double begin_s, double end_s);
+
+  /// Records a complete span participating in the flow named by `ctx`
+  /// (see TraceEvent::flow_ph for the 's'/'a'/'t'/'f' roles). Falls back
+  /// to a plain Complete() when ctx is invalid. Returns the new span's id
+  /// (0 when nothing was recorded).
+  std::uint64_t CompleteFlow(std::string_view name, std::string_view cat,
+                             int node, int tid, double begin_s, double end_s,
+                             const TraceContext& ctx, char flow_ph);
 
   /// Records an instant event at virtual second `t_s`.
   void Instant(std::string_view name, std::string_view cat, int node, int tid,
                double t_s);
 
+  /// Mints a fresh flow context rooted at `node`. Ids come from a
+  /// process-wide relaxed atomic counter (deterministic across runs with
+  /// the same interleaving; never a wall clock or RNG).
+  static TraceContext NewContext(int node);
+
   /// Events in record order, oldest first.
   std::vector<TraceEvent> Snapshot() const;
+
+  /// Most recent flight-ring spans, oldest first (empty when unarmed).
+  std::vector<TraceEvent> FlightSnapshot() const;
 
   /// Events overwritten because the ring was full.
   std::uint64_t dropped() const;
@@ -71,15 +123,38 @@ class TraceRecorder {
 
  private:
   void Push(TraceEvent ev);
+  std::uint64_t NextSpanId();
 
   const std::size_t capacity_;
   std::atomic<bool> enabled_{false};
+  std::atomic<bool> flight_on_{false};
   // mm-verify: leaf-lock(trace ring writes only, never calls out while held)
   mutable Mutex mu_;
   std::vector<TraceEvent> ring_ MM_GUARDED_BY(mu_);  // insertion ring
   std::size_t head_ MM_GUARDED_BY(mu_) = 0;  // next overwrite slot once full
   std::uint64_t dropped_ MM_GUARDED_BY(mu_) = 0;
+  std::vector<TraceEvent> flight_ MM_GUARDED_BY(mu_);  // postmortem ring
+  std::size_t flight_cap_ MM_GUARDED_BY(mu_) = 0;
+  std::size_t flight_head_ MM_GUARDED_BY(mu_) = 0;
 };
+
+/// RAII ambient trace context for the current thread. The worker loop
+/// installs the task's context before Execute() so nested stager/tier
+/// spans can join the flow without threading a parameter through every
+/// layer.
+class TraceContextScope {
+ public:
+  explicit TraceContextScope(const TraceContext& ctx);
+  ~TraceContextScope();
+  TraceContextScope(const TraceContextScope&) = delete;
+  TraceContextScope& operator=(const TraceContextScope&) = delete;
+
+ private:
+  TraceContext saved_;
+};
+
+/// The innermost TraceContextScope's context (invalid when none active).
+TraceContext CurrentTraceContext();
 
 #else  // !MM_TELEMETRY_ENABLED
 
@@ -88,10 +163,17 @@ class TraceRecorder {
   explicit TraceRecorder(std::size_t = 0) {}
   void set_enabled(bool) {}
   bool enabled() const { return false; }
+  void set_flight_capacity(std::size_t) {}
   void Complete(std::string_view, std::string_view, int, int, double, double) {
   }
+  std::uint64_t CompleteFlow(std::string_view, std::string_view, int, int,
+                             double, double, const TraceContext&, char) {
+    return 0;
+  }
   void Instant(std::string_view, std::string_view, int, int, double) {}
+  static TraceContext NewContext(int) { return {}; }
   std::vector<TraceEvent> Snapshot() const { return {}; }
+  std::vector<TraceEvent> FlightSnapshot() const { return {}; }
   std::uint64_t dropped() const { return 0; }
   std::size_t size() const { return 0; }
   std::size_t capacity() const { return 0; }
@@ -99,6 +181,15 @@ class TraceRecorder {
   Status WriteJson(const std::string&) const { return Status::Ok(); }
   static TraceRecorder& Dummy();
 };
+
+class TraceContextScope {
+ public:
+  explicit TraceContextScope(const TraceContext&) {}
+  TraceContextScope(const TraceContextScope&) = delete;
+  TraceContextScope& operator=(const TraceContextScope&) = delete;
+};
+
+inline TraceContext CurrentTraceContext() { return {}; }
 
 #endif  // MM_TELEMETRY_ENABLED
 

@@ -332,6 +332,13 @@ GrayScottResult GrayScottMega(core::Service& service,
     std::swap(u_cur, u_nxt);
     std::swap(v_cur, v_nxt);
 
+    if (comm.rank() == 0) {
+      // Per-step epoch boundary: gives the critical-path analyzer one
+      // attribution window per simulation step (rate-limited by
+      // telemetry.report_interval_s; "" when reporting is off).
+      (void)service.MaybeEpochReport(ctx.clock().now());
+    }
+
     if (persist && (step + 1) % cfg.plotgap == 0 && comm.rank() == 0) {
       // Asynchronous checkpoint: the staging engine drains in the
       // background; the application's clock is not stalled.

@@ -143,6 +143,9 @@ StatusOr<ckpt::CheckpointStats> Service::Checkpoint(const std::string& tag,
   t = std::max(t, cluster_->pfs().Write(
                       t, ckpt::SerializeManifest(manifest).size()));
   if (injector_->AtCrashPoint(sim::CrashPoint::kMidManifestRename)) {
+    DumpFlightRecord(from_node,
+                     sim::CrashPointName(sim::CrashPoint::kMidManifestRename),
+                     t);
     return Unavailable(
         "simulated crash between manifest temp write and rename");
   }
@@ -206,6 +209,8 @@ Status Service::Restore(const std::string& tag, std::size_t from_node,
       if (injector_->AtCrashPoint(sim::CrashPoint::kMidRestore)) {
         // Directory left partially rebuilt; a rerun starts over from the
         // same manifest and journals (nothing here mutates the backend).
+        DumpFlightRecord(from_node,
+                         sim::CrashPointName(sim::CrashPoint::kMidRestore), t);
         return Unavailable("simulated crash mid restore");
       }
       storage::BlobId id{meta->vector_id, mp.page_idx};

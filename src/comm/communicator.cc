@@ -55,15 +55,27 @@ void Communicator::SendBytes(int dst, int tag, const void* data,
   int dst_world = group_[dst];
   int src_world = group_[my_index_];
   sim::Network::NetOutcome outcome;
+  const sim::SimTime send_start = ctx_->clock().now();
   auto res = world.cluster().network().Transfer(
-      ctx_->clock().now(), world.NodeOfRank(src_world),
-      world.NodeOfRank(dst_world), size, &outcome);
+      send_start, world.NodeOfRank(src_world), world.NodeOfRank(dst_world),
+      size, &outcome);
   // MPI_Send semantics: the sender resumes once its buffer is reusable,
   // i.e. when egress serialization completes.
   ctx_->clock().AdvanceTo(res.egress_done);
   if (outcome.retransmits > 0) {
     retransmit_counter_->Inc(static_cast<std::uint64_t>(outcome.retransmits));
   }
+  // Each logical message is its own flow: one msg_send async origin here,
+  // one msg_recv terminal hop when the receiver pops it. Retransmitted /
+  // duplicated copies share the seq AND the trace ids, and the mailbox
+  // dedup guarantees at most one recv span per flow.
+  telemetry::TraceContext mctx = telemetry::TraceRecorder::NewContext(
+      static_cast<int>(world.NodeOfRank(src_world)));
+  mctx.parent_span = telemetry::CurrentTraceContext().trace_id;
+  world.trace().CompleteFlow("msg_send", "msg",
+                             static_cast<int>(world.NodeOfRank(src_world)),
+                             src_world, send_start, res.egress_done, mctx,
+                             'a');
   Message msg;
   msg.src = src_world;
   msg.tag = TagFor(tag);
@@ -71,6 +83,8 @@ void Communicator::SendBytes(int dst, int tag, const void* data,
   msg.payload.assign(static_cast<const std::uint8_t*>(data),
                      static_cast<const std::uint8_t*>(data) + size);
   msg.delivered = res.delivered;
+  msg.trace_id = mctx.trace_id;
+  msg.parent_span = mctx.parent_span;
   Mailbox& box = world.mailbox(dst_world);
   if (outcome.duplicated) {
     // The link delivered two copies; they share a sequence number, so the
@@ -110,6 +124,17 @@ StatusOr<std::vector<std::uint8_t>> Communicator::RecvBytesMatch(
   Message msg;
   if (world.mailbox(me).TakeWhere(match, cancelled, &msg)) {
     ctx_->clock().AdvanceTo(msg.delivered);
+    if (msg.trace_id != 0) {
+      // Terminal hop of the message flow (closes the 's' the sender
+      // opened). Exactly one per logical message: duplicates never make
+      // it out of the mailbox.
+      telemetry::TraceContext mctx;
+      mctx.trace_id = msg.trace_id;
+      mctx.parent_span = msg.parent_span;
+      world.trace().CompleteFlow("msg_recv", "msg",
+                                 static_cast<int>(world.NodeOfRank(me)), me,
+                                 msg.delivered, msg.delivered, mctx, 'f');
+    }
     if (actual_src_world != nullptr) *actual_src_world = msg.src;
     return std::move(msg.payload);
   }

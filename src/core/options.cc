@@ -62,6 +62,12 @@ StatusOr<ServiceOptions> ServiceOptions::FromYaml(const yaml::Node& root) {
         "report_interval_s", opts.telemetry.report_interval_s);
     opts.telemetry.report_path =
         telemetry.GetString("report_path", opts.telemetry.report_path);
+    opts.telemetry.flightrec_dir =
+        telemetry.GetString("flightrec_dir", opts.telemetry.flightrec_dir);
+    opts.telemetry.flightrec_capacity = static_cast<std::uint64_t>(
+        telemetry.GetInt("flightrec_capacity",
+                         static_cast<std::int64_t>(
+                             opts.telemetry.flightrec_capacity)));
   }
   const yaml::Node& ckpt = root["ckpt"];
   if (ckpt.IsMap()) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "mm/sim/cost_model.h"
+#include "mm/telemetry/critpath.h"
+#include "mm/telemetry/flightrec.h"
 #include "mm/util/logging.h"
 
 namespace mm::core {
@@ -209,13 +211,28 @@ void NodeRuntime::WorkerLoop(BlockingQueue<MemoryTask>* queue, int worker_id) {
     queue_depth_->Add(-1);
     const MemoryTask::Kind kind = task->kind;
     const sim::SimTime issued = task->issue_time;
-    TaskOutcome outcome = Execute(*task);
+    const telemetry::TraceContext tctx = task->tctx;
+    TaskOutcome outcome;
+    {
+      // Ambient context for the duration of the task: nested stager/tier
+      // spans join the origin's flow without parameter plumbing.
+      telemetry::TraceContextScope flow_scope(tctx);
+      outcome = Execute(*task);
+    }
     tasks_executed_.fetch_add(1, std::memory_order_relaxed);
     task_executed_->Inc();
     task_latency_[static_cast<int>(kind)]->Observe((outcome.done - issued) *
                                                    1e9);
-    tel_.trace->Complete(TaskKindName(kind), "task", tel_.node, worker_id,
-                         issued, outcome.done);
+    if (tctx.valid()) {
+      // Child span of the origin's flow; terminal tasks (async write
+      // commits) close the flow, everything else is a plain step.
+      tel_.trace->CompleteFlow(TaskKindName(kind), "task", tel_.node,
+                               worker_id, issued, outcome.done, tctx,
+                               task->trace_terminal ? 'f' : 't');
+    } else {
+      tel_.trace->Complete(TaskKindName(kind), "task", tel_.node, worker_id,
+                           issued, outcome.done);
+    }
     // Recycle the request payload (Execute consumed it) whether the task
     // succeeded or failed, so error paths do not leak buffers out of the
     // pool's circulation.
@@ -296,7 +313,8 @@ Status NodeRuntime::BackendRead(VectorMeta& meta, std::uint64_t offset,
     stager_retries_->Inc(static_cast<std::uint64_t>(attempts - 1));
   }
   stager_read_bytes_->Inc(bytes->size());
-  tel_.trace->Complete("stager_read", "stager", tel_.node, 0, now, end);
+  tel_.trace->CompleteFlow("stager_read", "stager", tel_.node, 0, now, end,
+                           telemetry::CurrentTraceContext(), 't');
   return st;
 }
 
@@ -338,7 +356,8 @@ Status NodeRuntime::BackendWrite(VectorMeta& meta, std::uint64_t offset,
     stager_retries_->Inc(static_cast<std::uint64_t>(attempts - 1));
   }
   stager_write_bytes_->Inc(size);
-  tel_.trace->Complete("stager_write", "stager", tel_.node, 0, now, end);
+  tel_.trace->CompleteFlow("stager_write", "stager", tel_.node, 0, now, end,
+                           telemetry::CurrentTraceContext(), 't');
   return st;
 }
 
@@ -373,6 +392,9 @@ Status NodeRuntime::JournaledBackendWrite(VectorMeta& meta,
       // backend's previous page intact.
       // mm-lint: allow(MML005 crash sim drops the torn append's status)
       (void)journal->AppendTorn(rec);
+      service_->DumpFlightRecord(
+          node_id_, sim::CrashPointName(sim::CrashPoint::kMidJournalAppend),
+          now);
       return Unavailable("simulated crash mid journal append");
     }
     MM_RETURN_IF_ERROR(journal->Append(rec));
@@ -383,6 +405,9 @@ Status NodeRuntime::JournaledBackendWrite(VectorMeta& meta,
     if (inj.AtCrashPoint(sim::CrashPoint::kAfterJournalAppend)) {
       // Record durable, in-place write never starts: recovery replays the
       // record to bring the backend to `version`.
+      service_->DumpFlightRecord(
+          node_id_, sim::CrashPointName(sim::CrashPoint::kAfterJournalAppend),
+          now);
       return Unavailable("simulated crash between journal append and "
                          "in-place write");
     }
@@ -391,6 +416,9 @@ Status NodeRuntime::JournaledBackendWrite(VectorMeta& meta,
       // durable record above is what heals it during recovery.
       // mm-lint: allow(MML005 crash simulation leaves a deliberately torn page)
       (void)meta.stager->Write(meta.uri, offset, bytes, size / 2);
+      service_->DumpFlightRecord(
+          node_id_, sim::CrashPointName(sim::CrashPoint::kMidInPlaceWrite),
+          now);
       return Unavailable("simulated crash mid in-place write");
     }
   }
@@ -477,7 +505,7 @@ TaskOutcome NodeRuntime::ExecuteGetPage(MemoryTask& task) {
       // Same best-effort cleanup; the directory entry is rewritten below.
       (void)service_->metadata().Remove(task.id, node_id_, dev_done, nullptr);
       if (cur->dirty) {
-        service_->RecordDataLoss(task.id);
+        service_->RecordDataLoss(task.id, node_id_, dev_done);
         out.status = DataLoss("page " + task.id.ToString() +
                               " failed CRC check with unstaged modifications");
         out.done = dev_done;
@@ -556,7 +584,7 @@ TaskOutcome NodeRuntime::ExecuteGetPage(MemoryTask& task) {
                                               nullptr);
     if (backed.ok() && backed->tier == sim::TierKind::kPfs &&
         !backed->dirty && backed->crc != 0 && Crc32(out.data) != backed->crc) {
-      service_->RecordDataLoss(task.id);
+      service_->RecordDataLoss(task.id, node_id_, out.done);
       pool_.Release(std::move(out.data));
       out.data.clear();
       out.status = DataLoss("page " + task.id.ToString() +
@@ -835,6 +863,12 @@ Service::Service(sim::Cluster* cluster, ServiceOptions options)
       static_cast<std::size_t>(options_.telemetry.trace_capacity));
   trace_->set_enabled(options_.telemetry.enabled &&
                       !options_.telemetry.trace_path.empty());
+  // Flight recorder is independent of the trace switch: the small span
+  // ring stays warm in every run so a crash can leave a postmortem.
+  if (!options_.telemetry.flightrec_dir.empty()) {
+    trace_->set_flight_capacity(
+        static_cast<std::size_t>(options_.telemetry.flightrec_capacity));
+  }
   reporter_ =
       std::make_unique<telemetry::EpochReporter>(options_.telemetry.report_path);
   // The checkpoint coordinator precedes the runtimes: workers consult the
@@ -870,6 +904,18 @@ Service::~Service() { Shutdown(); }
 
 void Service::Shutdown() {
   if (shut_down_.exchange(true)) return;
+  // A crash (ForceCrash or an armed point that fired without reaching a
+  // dump site) still leaves a postmortem; explicit dumps closest to the
+  // death win over this catch-all.
+  if (injector_->crashed() &&
+      !flight_dumped_.load(std::memory_order_acquire)) {
+    double crash_s;
+    {
+      MutexLock lock(report_mu_);
+      crash_s = last_epoch_s_;
+    }
+    DumpFlightRecord(0, "shutdown_after_crash", crash_s);
+  }
   // Persist every nonvolatile vector before the runtimes die ("during the
   // termination of the runtime, the stager task will be scheduled") — unless
   // the simulated process crashed: a dead process flushes nothing, so
@@ -953,12 +999,61 @@ telemetry::ClusterSnapshot Service::TelemetrySnapshot() {
 
 std::string Service::EpochReport(double now_s) {
   if (!options_.telemetry.enabled) return "";
+  UpdateCritpathCounters(now_s);
   telemetry::ClusterSnapshot snap = TelemetrySnapshot();
   {
     MutexLock lock(report_mu_);
     last_epoch_s_ = std::max(last_epoch_s_, now_s);
   }
   return reporter_->Epoch(snap, now_s);
+}
+
+void Service::UpdateCritpathCounters(double now_s) {
+  // All critpath counters live on node 0's registry: the analyzer works on
+  // the cluster-wide trace, so per-node registration would double-count in
+  // the aggregated snapshot.
+  telemetry::MetricsRegistry& reg = *metrics_[0];
+  MutexLock lock(report_mu_);
+  const double end_us = now_s * 1e6;
+  if (end_us > critpath_last_us_) {
+    telemetry::CritpathBreakdown cp = telemetry::AnalyzeCritpath(
+        trace_->Snapshot(), critpath_last_us_, end_us);
+    reg.GetCounter("mm.critpath.queue_wait_ns")->Inc(cp.queue_wait_ns);
+    reg.GetCounter("mm.critpath.network_ns")->Inc(cp.network_ns);
+    reg.GetCounter("mm.critpath.device_ns")->Inc(cp.device_ns);
+    reg.GetCounter("mm.critpath.coherence_ns")->Inc(cp.coherence_ns);
+    critpath_last_us_ = end_us;
+  }
+  if (critpath_wall_) {
+    // Mirror the cumulative clock totals into counters so the epoch
+    // reporter's delta machinery applies to wall time too.
+    auto [compute, stall] = critpath_wall_();
+    telemetry::Counter* c = reg.GetCounter("mm.critpath.compute_ns");
+    telemetry::Counter* s = reg.GetCounter("mm.critpath.stall_ns");
+    const std::uint64_t c_old = c->value();
+    const std::uint64_t s_old = s->value();
+    if (compute > c_old) c->Inc(compute - c_old);
+    if (stall > s_old) s->Inc(stall - s_old);
+  }
+}
+
+void Service::SetCritpathWallSource(
+    std::function<std::pair<std::uint64_t, std::uint64_t>()> source) {
+  MutexLock lock(report_mu_);
+  critpath_wall_ = std::move(source);
+}
+
+void Service::DumpFlightRecord(std::size_t node, std::string_view reason,
+                               double now_s) {
+  if (options_.telemetry.flightrec_dir.empty()) return;
+  if (node >= metrics_.size()) node = 0;
+  flight_dumped_.store(true, std::memory_order_release);
+  Status st = telemetry::WriteFlightRecord(
+      options_.telemetry.flightrec_dir, static_cast<int>(node), reason, now_s,
+      *trace_, *metrics_[node]);
+  if (!st.ok()) {
+    MM_WARN("telemetry") << "flight record dump failed: " << st.ToString();
+  }
 }
 
 std::string Service::MaybeEpochReport(double now_s) {
@@ -1101,7 +1196,7 @@ void Service::OnTierFailure(std::size_t node, sim::TierKind tier,
       if (!TryJournalRecover(node, id, *loc)) {
         // The only copy is gone. Record typed data loss; accesses surface
         // kDataLoss, not an abort.
-        RecordDataLoss(id);
+        RecordDataLoss(id, node, now);
         // Idempotent drop of the lost page's directory entry; kNotFound on
         // a concurrent removal is fine.
         (void)metadata().Remove(id, node, now, nullptr);
@@ -1159,7 +1254,7 @@ Service::RecoveryStats Service::RecoverDeadNode(std::size_t dead_node,
         if (meta->stager != nullptr && TryJournalRecover(dead_node, id, *loc)) {
           ++stats.journal_recovered;
         } else {
-          RecordDataLoss(id);
+          RecordDataLoss(id, dead_node, now);
           ++stats.lost;
         }
       } else {
@@ -1224,9 +1319,17 @@ bool Service::TryJournalRecover(std::size_t node, const storage::BlobId& id,
   return true;
 }
 
-void Service::RecordDataLoss(const storage::BlobId& id) {
-  MutexLock lock(lost_mu_);
-  lost_.insert(id);
+void Service::RecordDataLoss(const storage::BlobId& id, std::size_t node,
+                             sim::SimTime now) {
+  bool fresh;
+  {
+    MutexLock lock(lost_mu_);
+    fresh = lost_.insert(id).second;
+  }
+  // First registration of each lost page leaves a postmortem (after
+  // releasing lost_mu_ — the dump only takes telemetry leaf locks, but
+  // keeping the registry lock tight costs nothing).
+  if (fresh) DumpFlightRecord(node, "data_loss", now);
 }
 
 bool Service::IsDataLost(const storage::BlobId& id) const {
@@ -1334,7 +1437,7 @@ StatusOr<std::vector<std::uint8_t>> Service::ReadPage(VectorMeta& meta,
             // Idempotent: a racing removal leaves nothing to remove.
             (void)metadata().Remove(id, from_node, local_done, &local_done);
             if (cur->dirty) {
-              RecordDataLoss(id);
+              RecordDataLoss(id, from_node, local_done);
               Merge(local_done, done);
               return DataLoss("page " + id.ToString() +
                               " failed CRC check with unstaged modifications");
@@ -1370,6 +1473,10 @@ StatusOr<std::vector<std::uint8_t>> Service::ReadPage(VectorMeta& meta,
   InflightKey key{from_node, id};
   std::shared_future<TaskOutcome> fetch;
   bool leader = false;
+  // Flow identity of this fault, minted by the leader only: one connected
+  // origin → task → stager chain per shared fetch (followers record plain
+  // spans so no flow ever has two origins).
+  telemetry::TraceContext fault_ctx;
   {
     MutexLock lock(inflight_mu_);
     auto it = inflight_.find(key);
@@ -1377,6 +1484,7 @@ StatusOr<std::vector<std::uint8_t>> Service::ReadPage(VectorMeta& meta,
       fetch = it->second;
     } else {
       leader = true;
+      fault_ctx = telemetry::TraceRecorder::NewContext(sink.node);
       MemoryTask task;
       task.kind = MemoryTask::Kind::kGetPage;
       task.vector_id = meta.vector_id;
@@ -1384,6 +1492,7 @@ StatusOr<std::vector<std::uint8_t>> Service::ReadPage(VectorMeta& meta,
       task.size = meta.page_bytes;
       task.from_node = from_node;
       task.optimistic_fallback = optimistic_fallback;
+      task.tctx = fault_ctx;
       task.promise = std::make_shared<std::promise<TaskOutcome>>();
       if (owner == from_node) {
         task.issue_time = t;
@@ -1405,6 +1514,10 @@ StatusOr<std::vector<std::uint8_t>> Service::ReadPage(VectorMeta& meta,
     inflight_.erase(key);
   }
   if (!outcome.status.ok()) {
+    // Close the flow on the error path too — the worker already recorded
+    // its 't' hop, and a dangling flow would fail trace validation.
+    sink.trace->CompleteFlow("page_fault", "fault", sink.node, 0, now,
+                             outcome.done, fault_ctx, 's');
     Merge(outcome.done, done);
     return outcome.status;
   }
@@ -1420,7 +1533,11 @@ StatusOr<std::vector<std::uint8_t>> Service::ReadPage(VectorMeta& meta,
       ->GetHistogram("mm.service.fault_latency_ns",
                      telemetry::LatencyBoundsNs())
       ->Observe((complete - now) * 1e9);
-  sink.trace->Complete("page_fault", "fault", sink.node, 0, now, complete);
+  // Sync origin of the fault's flow (plain span for non-leader sharers):
+  // origin → get_page task on the owner → stager, one connected arrow
+  // chain across nodes.
+  sink.trace->CompleteFlow("page_fault", "fault", sink.node, 0, now, complete,
+                           fault_ctx, 's');
   Merge(complete, done);
   return std::move(outcome.data);
 }
@@ -1632,6 +1749,13 @@ std::shared_future<TaskOutcome> Service::WriteRegion(
   task.data = std::move(bytes);
   task.from_node = from_node;
   task.promise = std::make_shared<std::promise<TaskOutcome>>();
+  // Async flow origin: the caller does not wait for the commit, so the
+  // origin span covers only issue (+ the cross-node transfer). The worker's
+  // write_partial span is the terminal hop and closes the flow.
+  telemetry::TraceContext wctx =
+      telemetry::TraceRecorder::NewContext(static_cast<int>(from_node));
+  task.tctx = wctx;
+  task.trace_terminal = true;
   if (owner == from_node) {
     task.issue_time = now;
   } else {
@@ -1639,6 +1763,9 @@ std::shared_future<TaskOutcome> Service::WriteRegion(
         cluster().network().Transfer(now, from_node, owner, task.data.size());
     task.issue_time = xfer.delivered;
   }
+  telemetry::NodeSink sink = telemetry_sink(from_node);
+  sink.trace->CompleteFlow("write_commit", "commit", sink.node, 0, now,
+                           task.issue_time, wctx, 'a');
   auto future = task.promise->get_future().share();
   // A shutdown rejection still fulfills the promise (error via the future).
   (void)runtime(owner).Submit(std::move(task));
@@ -1668,6 +1795,10 @@ Status Service::FlushVector(VectorMeta& meta, std::size_t from_node,
   MM_RETURN_IF_ERROR(EnsureBackend(meta));
   auto blobs = metadata().BlobsOfVector(meta.vector_id);
   std::vector<std::shared_future<TaskOutcome>> futures;
+  // One flow for the whole flush: the sync "flush" origin below fans out to
+  // every stage_out task span ('t' hops) across the owning nodes.
+  telemetry::TraceContext flush_ctx =
+      telemetry::TraceRecorder::NewContext(static_cast<int>(from_node));
   for (const auto& id : blobs) {
     auto loc = metadata().Lookup(id, from_node, now, nullptr);
     if (!loc.ok() || !loc->dirty) continue;
@@ -1677,6 +1808,7 @@ Status Service::FlushVector(VectorMeta& meta, std::size_t from_node,
     task.id = id;
     task.from_node = from_node;
     task.issue_time = now;
+    task.tctx = flush_ctx;
     task.promise = std::make_shared<std::promise<TaskOutcome>>();
     futures.push_back(task.promise->get_future().share());
     // A shutdown rejection still fulfills the promise collected above.
@@ -1694,7 +1826,11 @@ Status Service::FlushVector(VectorMeta& meta, std::size_t from_node,
   }
   if (!futures.empty()) {
     telemetry::NodeSink sink = telemetry_sink(from_node);
-    sink.trace->Complete("flush", "flush", sink.node, 0, now, flush_end);
+    // `done == nullptr` is the FlushAsync path: the caller's clock never
+    // advances to flush_end, so the flow must be async ('a') or the
+    // critical-path analyzer would charge a stall nobody paid.
+    sink.trace->CompleteFlow("flush", "flush", sink.node, 0, now, flush_end,
+                             flush_ctx, done != nullptr ? 's' : 'a');
   }
   return first_error;
 }
@@ -1716,8 +1852,10 @@ Status Service::ChangePhase(VectorMeta& meta, CoherenceMode new_mode,
       Merge(inval_done, done);
       if (!dropped.empty()) {
         invalidations->Inc(dropped.size());
-        sink.trace->Instant("invalidate", "coherence", sink.node, 0,
-                            inval_done);
+        // A real span (not an instant): the critical-path analyzer charges
+        // coherence stalls by span duration.
+        sink.trace->Complete("invalidate", "coherence", sink.node, 0, now,
+                             inval_done);
       }
       for (std::size_t node : dropped) {
         MemoryTask task;

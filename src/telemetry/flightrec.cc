@@ -1,0 +1,96 @@
+#include "mm/telemetry/flightrec.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "mm/telemetry/report.h"
+
+namespace mm::telemetry {
+
+namespace {
+
+void AppendEscaped(std::string* out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+void AppendSpan(std::string* out, const TraceEvent& ev) {
+  char buf[192];
+  *out += "{\"name\":\"";
+  AppendEscaped(out, ev.name);
+  *out += "\",\"cat\":\"";
+  AppendEscaped(out, ev.cat);
+  std::snprintf(buf, sizeof(buf),
+                "\",\"ts_us\":%.3f,\"dur_us\":%.3f,\"pid\":%d,\"tid\":%d",
+                ev.ts_us, ev.dur_us, ev.pid, ev.tid);
+  *out += buf;
+  if (ev.flow_id != 0) {
+    std::snprintf(buf, sizeof(buf),
+                  ",\"trace_id\":%" PRIu64 ",\"span_id\":%" PRIu64, ev.flow_id,
+                  ev.span_id);
+    *out += buf;
+  }
+  *out += "}";
+}
+
+}  // namespace
+
+std::string FlightRecordJson(int rank, std::string_view reason, double now_s,
+                             const TraceRecorder& trace,
+                             const MetricsRegistry& metrics) {
+  char buf[96];
+  std::string out = "{\"rank\":";
+  out += std::to_string(rank);
+  out += ",\"reason\":\"";
+  AppendEscaped(&out, reason);
+  std::snprintf(buf, sizeof(buf), "\",\"t_s\":%.6f,\"spans\":[", now_s);
+  out += buf;
+  const std::vector<TraceEvent> spans = trace.FlightSnapshot();
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    if (i != 0) out += ",\n";
+    AppendSpan(&out, spans[i]);
+  }
+  out += "],\"metrics\":";
+  out += SnapshotToJson(metrics.Snapshot());
+  out += "}\n";
+  return out;
+}
+
+Status WriteFlightRecord(const std::string& dir, int rank,
+                         std::string_view reason, double now_s,
+                         const TraceRecorder& trace,
+                         const MetricsRegistry& metrics) {
+  std::string json = FlightRecordJson(rank, reason, now_s, trace, metrics);
+  std::string path = dir + "/flightrec_" + std::to_string(rank) + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return IoError("flightrec: cannot open " + path);
+  }
+  std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return IoError("flightrec: short write to " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace mm::telemetry

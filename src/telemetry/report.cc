@@ -1,5 +1,6 @@
 #include "mm/telemetry/report.h"
 
+#include <algorithm>
 #include <cinttypes>
 
 #include "mm/util/logging.h"
@@ -15,6 +16,46 @@ void AppendKey(std::string* out, const std::string& name, bool* first) {
   *out += "\"";
   *out += name;
   *out += "\":";
+}
+
+std::uint64_t CounterOrZero(const MetricsSnapshot& snap,
+                            const std::string& name) {
+  auto it = snap.counters.find(name);
+  return it == snap.counters.end() ? 0 : it->second;
+}
+
+/// Critical-path epoch summary (DESIGN.md §11) built from this epoch's
+/// mm.critpath.* counter deltas. Returns "" when the service recorded no
+/// critpath data this epoch. `coverage` is the decomposition check gated
+/// by ci/check_perf.py on bench/fig7: compute + stall is the exact wall
+/// time by construction, so coverage == 1.0 when the attributed buckets
+/// fit inside the measured stall, and anything above 1.0 is
+/// over-attribution (the 5% acceptance bound allows rounding and
+/// origin-span overlap at epoch edges).
+std::string CritpathJson(const MetricsSnapshot& delta) {
+  const std::uint64_t queue = CounterOrZero(delta, "mm.critpath.queue_wait_ns");
+  const std::uint64_t net = CounterOrZero(delta, "mm.critpath.network_ns");
+  const std::uint64_t dev = CounterOrZero(delta, "mm.critpath.device_ns");
+  const std::uint64_t coh = CounterOrZero(delta, "mm.critpath.coherence_ns");
+  const std::uint64_t compute = CounterOrZero(delta, "mm.critpath.compute_ns");
+  const std::uint64_t stall = CounterOrZero(delta, "mm.critpath.stall_ns");
+  const std::uint64_t attributed = queue + net + dev + coh;
+  const std::uint64_t wall = compute + stall;
+  if (wall == 0 && attributed == 0) return "";
+  const std::uint64_t other = stall > attributed ? stall - attributed : 0;
+  const double coverage =
+      wall == 0 ? 1.0
+                : static_cast<double>(compute + std::max(stall, attributed)) /
+                      static_cast<double>(wall);
+  char buf[384];
+  std::snprintf(buf, sizeof(buf),
+                ",\"critpath\":{\"queue_wait_ns\":%" PRIu64
+                ",\"network_ns\":%" PRIu64 ",\"device_ns\":%" PRIu64
+                ",\"coherence_ns\":%" PRIu64 ",\"compute_ns\":%" PRIu64
+                ",\"stall_ns\":%" PRIu64 ",\"other_stall_ns\":%" PRIu64
+                ",\"wall_ns\":%" PRIu64 ",\"coverage\":%.6f}",
+                queue, net, dev, coh, compute, stall, other, wall, coverage);
+  return buf;
 }
 
 }  // namespace
@@ -98,7 +139,9 @@ std::string EpochReporter::Epoch(const ClusterSnapshot& snap, double now_s) {
   std::snprintf(head, sizeof(head), "{\"epoch\":%d,\"t_s\":%.6f,\"metrics\":",
                 epoch_, now_s);
   ++epoch_;
-  std::string line = head + SnapshotToJson(delta) + "}\n";
+  std::string line = head + SnapshotToJson(delta);
+  line += CritpathJson(delta);
+  line += "}\n";
   if (out_ != nullptr) {
     std::fwrite(line.data(), 1, line.size(), out_);
     std::fflush(out_);

@@ -1,5 +1,6 @@
 #include "mm/telemetry/trace.h"
 
+#include <cinttypes>
 #include <cstdio>
 #include <sstream>
 
@@ -35,8 +36,23 @@ void AppendEscaped(std::string* out, const std::string& s) {
   }
 }
 
+/// Companion flow event ('s'/'t'/'f') tying spans of one flow together.
+/// Chrome matches flow events by (cat, id) and binds each to the slice
+/// enclosing its timestamp on that pid/tid track; `bp:e` on the finish
+/// step binds to the enclosing slice instead of the next one.
+void AppendFlowEvent(std::string* out, const TraceEvent& ev, char ph,
+                     double ts_us) {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "{\"name\":\"flow\",\"cat\":\"flow\",\"ph\":\"%c\","
+                "\"id\":%" PRIu64 ",\"ts\":%.3f,\"pid\":%d,\"tid\":%d%s}",
+                ph, ev.flow_id, ts_us, ev.pid, ev.tid,
+                ph == 'f' ? ",\"bp\":\"e\"" : "");
+  *out += buf;
+}
+
 void AppendEvent(std::string* out, const TraceEvent& ev) {
-  char buf[160];
+  char buf[192];
   *out += "{\"name\":\"";
   AppendEscaped(out, ev.name);
   *out += "\",\"cat\":\"";
@@ -45,24 +61,77 @@ void AppendEvent(std::string* out, const TraceEvent& ev) {
   *out += ev.ph;
   if (ev.ph == 'X') {
     std::snprintf(buf, sizeof(buf),
-                  "\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,\"tid\":%d}",
+                  "\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,\"tid\":%d",
                   ev.ts_us, ev.dur_us, ev.pid, ev.tid);
+    *out += buf;
+    if (ev.flow_id != 0) {
+      std::snprintf(buf, sizeof(buf),
+                    ",\"args\":{\"trace_id\":%" PRIu64 ",\"span_id\":%" PRIu64
+                    "}",
+                    ev.flow_id, ev.span_id);
+      *out += buf;
+    }
+    *out += "}";
   } else {
     std::snprintf(buf, sizeof(buf),
                   "\",\"s\":\"t\",\"ts\":%.3f,\"pid\":%d,\"tid\":%d}", ev.ts_us,
                   ev.pid, ev.tid);
+    *out += buf;
   }
-  *out += buf;
+  // Flow companions. 's'/'a' open the flow at span start; 't'/'f' continue
+  // it; 's' and 'f' additionally terminate it at span end (sync origins own
+  // their whole flow; async flows are closed by their terminal hop).
+  if (ev.flow_id != 0 && ev.flow_ph != 0) {
+    if (ev.flow_ph == 's' || ev.flow_ph == 'a') {
+      *out += ",\n";
+      AppendFlowEvent(out, ev, 's', ev.ts_us);
+    } else {
+      *out += ",\n";
+      AppendFlowEvent(out, ev, 't', ev.ts_us);
+    }
+    if (ev.flow_ph == 's' || ev.flow_ph == 'f') {
+      *out += ",\n";
+      AppendFlowEvent(out, ev, 'f', ev.ts_us + ev.dur_us);
+    }
+  }
 }
+
+/// Process-wide id source for trace and span ids. A relaxed counter, never
+/// a wall clock or RNG (mm-verify MML104: virtual-clock determinism).
+std::atomic<std::uint64_t> g_next_id{1};
+
+std::uint64_t NextId() {
+  return g_next_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Ambient per-thread flow context installed by TraceContextScope.
+thread_local TraceContext g_current_ctx;
 
 }  // namespace
 
 TraceRecorder::TraceRecorder(std::size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity) {}
 
+void TraceRecorder::set_flight_capacity(std::size_t capacity) {
+  MutexLock lock(mu_);
+  flight_cap_ = capacity;
+  flight_.clear();
+  flight_head_ = 0;
+  flight_on_.store(capacity > 0, std::memory_order_relaxed);
+}
+
+TraceContext TraceRecorder::NewContext(int node) {
+  TraceContext ctx;
+  // Node id in the high bits keeps ids readable in dumps; the counter in
+  // the low bits guarantees process-wide uniqueness.
+  ctx.trace_id = (static_cast<std::uint64_t>(node + 1) << 48) | NextId();
+  ctx.parent_span = 0;
+  return ctx;
+}
+
 void TraceRecorder::Complete(std::string_view name, std::string_view cat,
                              int node, int tid, double begin_s, double end_s) {
-  if (!enabled()) return;
+  if (!enabled() && !flight_on_.load(std::memory_order_relaxed)) return;
   TraceEvent ev;
   ev.name = std::string(name);
   ev.cat = std::string(cat);
@@ -73,6 +142,33 @@ void TraceRecorder::Complete(std::string_view name, std::string_view cat,
   ev.pid = node;
   ev.tid = tid;
   Push(std::move(ev));
+}
+
+std::uint64_t TraceRecorder::CompleteFlow(std::string_view name,
+                                          std::string_view cat, int node,
+                                          int tid, double begin_s, double end_s,
+                                          const TraceContext& ctx,
+                                          char flow_ph) {
+  if (!ctx.valid()) {
+    Complete(name, cat, node, tid, begin_s, end_s);
+    return 0;
+  }
+  if (!enabled() && !flight_on_.load(std::memory_order_relaxed)) return 0;
+  TraceEvent ev;
+  ev.name = std::string(name);
+  ev.cat = std::string(cat);
+  ev.ph = 'X';
+  ev.ts_us = begin_s * 1e6;
+  ev.dur_us = (end_s - begin_s) * 1e6;
+  if (ev.dur_us < 0) ev.dur_us = 0;
+  ev.pid = node;
+  ev.tid = tid;
+  ev.flow_id = ctx.trace_id;
+  ev.span_id = NextId();
+  ev.flow_ph = flow_ph;
+  std::uint64_t span = ev.span_id;
+  Push(std::move(ev));
+  return span;
 }
 
 void TraceRecorder::Instant(std::string_view name, std::string_view cat,
@@ -90,6 +186,15 @@ void TraceRecorder::Instant(std::string_view name, std::string_view cat,
 
 void TraceRecorder::Push(TraceEvent ev) {
   MutexLock lock(mu_);
+  if (flight_cap_ > 0 && ev.ph == 'X') {
+    if (flight_.size() < flight_cap_) {
+      flight_.push_back(ev);
+    } else {
+      flight_[flight_head_] = ev;
+      flight_head_ = (flight_head_ + 1) % flight_cap_;
+    }
+  }
+  if (!enabled()) return;
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(ev));
     return;
@@ -106,6 +211,16 @@ std::vector<TraceEvent> TraceRecorder::Snapshot() const {
   out.reserve(ring_.size());
   for (std::size_t i = 0; i < ring_.size(); ++i) {
     out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::vector<TraceEvent> TraceRecorder::FlightSnapshot() const {
+  MutexLock lock(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(flight_.size());
+  for (std::size_t i = 0; i < flight_.size(); ++i) {
+    out.push_back(flight_[(flight_head_ + i) % flight_.size()]);
   }
   return out;
 }
@@ -144,6 +259,15 @@ Status TraceRecorder::WriteJson(const std::string& path) const {
   }
   return Status::Ok();
 }
+
+TraceContextScope::TraceContextScope(const TraceContext& ctx)
+    : saved_(g_current_ctx) {
+  g_current_ctx = ctx;
+}
+
+TraceContextScope::~TraceContextScope() { g_current_ctx = saved_; }
+
+TraceContext CurrentTraceContext() { return g_current_ctx; }
 
 #endif  // MM_TELEMETRY_ENABLED
 

@@ -40,9 +40,11 @@ double StatAccumulator::Max() const {
 
 double StatAccumulator::Percentile(double p) const {
   // Empty-safe (0.0, like Mean): summaries of failed/skipped runs must not
-  // abort the report that describes them.
+  // abort the report that describes them. Out-of-range / NaN p clamps to
+  // [0, 100] for the same reason (the !(p >= 0) form catches NaN too).
   if (samples_.empty()) return 0.0;
-  MM_CHECK(p >= 0.0 && p <= 100.0);
+  if (!(p >= 0.0)) p = 0.0;
+  if (p > 100.0) p = 100.0;
   if (!sorted_) {
     std::sort(samples_.begin(), samples_.end());
     sorted_ = true;

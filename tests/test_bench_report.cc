@@ -1,0 +1,83 @@
+// BenchReport serialization edge cases: reports summarizing degenerate runs
+// (NaN/inf metrics from empty accumulators or zero-duration measurements)
+// must still emit valid JSON, because ci/check_perf.py parses every
+// BENCH_*.json with a strict parser.
+#include "../bench/common.h"
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream oss;
+  oss << in.rdbuf();
+  return oss.str();
+}
+
+class BenchReportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             "mm_test_bench_report.json")
+                .string();
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+  }
+  std::string path_;
+};
+
+TEST_F(BenchReportTest, NonFiniteMetricsSerializeAsZero) {
+  mmbench::BenchReport report("edge");
+  // Metric names deliberately avoid the substrings "nan"/"inf" so the
+  // bare-token scans below can only match serialized VALUES.
+  report.Metric("from_empty_acc", std::nan(""));
+  report.Metric("from_zero_div", std::numeric_limits<double>::infinity());
+  report.Metric("from_neg_div", -std::numeric_limits<double>::infinity());
+  report.Metric("fine_metric", 3.5);
+  ASSERT_TRUE(report.Write(path_));
+  std::string json = ReadAll(path_);
+  // %g would render "nan"/"inf", which no JSON parser accepts.
+  EXPECT_EQ(json.find("nan"), std::string::npos) << json;
+  EXPECT_EQ(json.find("inf"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"from_empty_acc\": 0"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"fine_metric\": 3.5"), std::string::npos) << json;
+}
+
+TEST_F(BenchReportTest, EmptySeriesSerializesCleanly) {
+  // A series from a run that produced no samples: all-zero summary, not an
+  // abort and not bare NaN tokens.
+  mmbench::BenchReport report("edge");
+  mm::StatAccumulator empty;
+  report.Series("empty_series", empty);
+  ASSERT_TRUE(report.Write(path_));
+  std::string json = ReadAll(path_);
+  EXPECT_NE(json.find("\"empty_series\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"count\": 0"), std::string::npos) << json;
+  EXPECT_EQ(json.find("nan"), std::string::npos) << json;
+}
+
+TEST_F(BenchReportTest, SmallSampleSeriesHasOrderedPercentiles) {
+  mmbench::BenchReport report("edge");
+  mm::StatAccumulator acc;
+  acc.Add(2.0);
+  acc.Add(1.0);
+  acc.Add(3.0);
+  report.Series("three", acc);
+  ASSERT_TRUE(report.Write(path_));
+  std::string json = ReadAll(path_);
+  EXPECT_NE(json.find("\"count\": 3"), std::string::npos) << json;
+  // p999 of 3 samples interpolates just under the max.
+  EXPECT_NE(json.find("\"p999\": 2.998"), std::string::npos) << json;
+}
+
+}  // namespace

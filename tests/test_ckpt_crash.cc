@@ -8,7 +8,10 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <memory>
+#include <string_view>
 #include <unistd.h>
 
 #include "mm/ckpt/manifest.h"
@@ -47,7 +50,27 @@ class CkptCrashTest : public ::testing::Test {
     so.tier_grants = {{TierKind::kDram, 128 * kKiB},
                       {TierKind::kNvme, MEGABYTES(4)}};
     so.ckpt.dir = (dir_ / "ckpt").string();
+    // Every crash point must leave a postmortem artifact (DESIGN.md §11).
+    so.telemetry.flightrec_dir = dir_.string();
     return std::make_unique<core::Service>(clusters_.back().get(), so);
+  }
+
+  /// The crash dumped `flightrec_0.json` and it is a parseable record:
+  /// one JSON object carrying the crash reason and the span ring.
+  void ExpectFlightRecord(std::string_view reason) {
+    std::filesystem::path path = dir_ / "flightrec_0.json";
+    ASSERT_TRUE(std::filesystem::exists(path)) << path;
+    std::ifstream in(path);
+    std::string json((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    ASSERT_FALSE(json.empty());
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json[json.find_last_not_of('\n')], '}');
+    EXPECT_NE(json.find("\"reason\":\"" + std::string(reason) + "\""),
+              std::string::npos)
+        << json.substr(0, 200);
+    EXPECT_NE(json.find("\"spans\":["), std::string::npos);
+    EXPECT_NE(json.find("\"metrics\":"), std::string::npos);
   }
 
   StatusOr<core::VectorMeta*> Register(core::Service& svc) {
@@ -129,6 +152,7 @@ TEST_F(CkptCrashTest, MidJournalAppendFallsBackToTheEpoch) {
   // Every later mutation is refused: the node is dead.
   EXPECT_EQ(svc->Checkpoint("late", 0, fd, &fd).status().code(),
             StatusCode::kUnavailable);
+  ExpectFlightRecord("mid_journal_append");
   svc.reset();  // Shutdown skips the clean-exit flush after a crash
 
   auto reborn = MakeService();
@@ -202,6 +226,7 @@ TEST_F(CkptCrashTest, MidManifestRenameLeavesThePreviousManifest) {
   EXPECT_EQ(on_disk->epoch, first->epoch);
   // The journals were NOT truncated: the flushed pages stay recoverable.
   EXPECT_EQ(svc->journal(0)->record_count(), 1u);
+  ExpectFlightRecord("mid_manifest_rename");
   svc.reset();
 
   auto reborn = MakeService();
@@ -221,6 +246,7 @@ TEST_F(CkptCrashTest, MidRestoreIsRerunnable) {
   svc->fault_injector().ArmCrash(CrashPoint::kMidRestore);
   sim::SimTime t = 0.0;
   EXPECT_EQ(svc->Restore("e", 0, 0.0, &t).code(), StatusCode::kUnavailable);
+  ExpectFlightRecord("mid_restore");
   svc.reset();
 
   // Restore mutates only the directory, never the backend: rerunning it on

@@ -11,7 +11,10 @@
 #include <chrono>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <unistd.h>
 #include <vector>
@@ -235,7 +238,28 @@ class NodeFailureCkptTest : public ::testing::Test {
                       {TierKind::kNvme, MEGABYTES(4)}};
     so.ckpt.dir = (dir_ / "ckpt").string();
     so.recovery_policy = policy;
+    // Every death / data-loss verdict must leave a postmortem artifact.
+    so.telemetry.flightrec_dir = dir_.string();
     return std::make_unique<core::Service>(clusters_.back().get(), so);
+  }
+
+  /// `flightrec_<rank>.json` exists and is a parseable record naming the
+  /// dump reason, with the span ring and a metrics snapshot attached.
+  void ExpectFlightRecord(int rank, std::string_view reason) {
+    std::filesystem::path path =
+        dir_ / ("flightrec_" + std::to_string(rank) + ".json");
+    ASSERT_TRUE(std::filesystem::exists(path)) << path;
+    std::ifstream in(path);
+    std::string json((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    ASSERT_FALSE(json.empty());
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json[json.find_last_not_of('\n')], '}');
+    EXPECT_NE(json.find("\"reason\":\"" + std::string(reason) + "\""),
+              std::string::npos)
+        << json.substr(0, 200);
+    EXPECT_NE(json.find("\"spans\":["), std::string::npos);
+    EXPECT_NE(json.find("\"metrics\":"), std::string::npos);
   }
 
   StatusOr<core::VectorMeta*> Register(core::Service& svc) {
@@ -253,7 +277,13 @@ TEST_F(NodeFailureCkptTest, RehomePolicyRestagesCleanPagesOfDeadNode) {
   auto svc = MakeService(core::RecoveryPolicy::kRehome);
   sim::Cluster& cluster = *clusters_.back();
   core::Service::RecoveryStats stats;
-  auto run = comm::RunRanks(cluster, 2, 1, [&](comm::RankContext& ctx) {
+  comm::WorldOptions wo;
+  // Flight-recorder wiring: a rank kill dumps the dying node's postmortem
+  // the moment the death registers (one rank per node here: rank == node).
+  wo.death_observer = [&](int rank, sim::SimTime now) {
+    svc->DumpFlightRecord(static_cast<std::size_t>(rank), "rank_kill", now);
+  };
+  auto run = comm::RunRanks(cluster, 2, 1, wo, [&](comm::RankContext& ctx) {
     comm::Communicator comm(&ctx);
     auto meta = Register(*svc);
     ASSERT_TRUE(meta.ok());
@@ -300,6 +330,7 @@ TEST_F(NodeFailureCkptTest, RehomePolicyRestagesCleanPagesOfDeadNode) {
   });
   ASSERT_TRUE(run.ok()) << run.error;
   EXPECT_EQ(run.dead_ranks, std::vector<int>{1});
+  ExpectFlightRecord(1, "rank_kill");
   EXPECT_EQ(stats.pages_scanned, kPages);
   EXPECT_GT(stats.rehomed, 0u);  // clean primaries on node 1
   EXPECT_EQ(stats.lost, 0u);
@@ -426,6 +457,8 @@ TEST_F(NodeFailureCkptTest, DirtyPagesWithoutJournalAreTypedDataLoss) {
   EXPECT_EQ(stats.pages_scanned, kPages);
   EXPECT_GT(stats.lost, 0u);  // dirty, no redo record, no durable copy
   EXPECT_EQ(stats.journal_recovered, 0u);
+  // The first kDataLoss verdict dumped the dead node's postmortem.
+  ExpectFlightRecord(1, "data_loss");
   EXPECT_EQ(svc->data_loss_count(), static_cast<std::size_t>(stats.lost));
   // Exactly the lost pages fail typed on access; the rest read back intact.
   std::uint64_t read_losses = 0;

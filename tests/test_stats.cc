@@ -3,6 +3,8 @@
 // interpolation at and between the percentile endpoints.
 #include "mm/util/stats.h"
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 namespace mm {
@@ -58,6 +60,29 @@ TEST(StatAccumulator, MeanStddevAndClear) {
   acc.Clear();
   EXPECT_EQ(acc.count(), 0u);
   EXPECT_EQ(acc.Mean(), 0.0);
+}
+
+TEST(StatAccumulator, HighPercentileOnSmallN) {
+  // p999 on a handful of samples must interpolate toward the max, never
+  // index past the end or abort.
+  StatAccumulator acc;
+  acc.Add(1.0);
+  acc.Add(2.0);
+  // rank = 0.999 * (n-1) = 0.999 -> between the two samples, next to max.
+  EXPECT_NEAR(acc.Percentile(99.9), 1.999, 1e-9);
+  acc.Add(3.0);
+  EXPECT_NEAR(acc.Percentile(99.9), 2.998, 1e-9);
+  EXPECT_DOUBLE_EQ(acc.Percentile(100), 3.0);
+}
+
+TEST(StatAccumulator, OutOfRangePercentileClamps) {
+  // Degenerate p (harness bugs, NaN from a 0/0 upstream) clamps to the
+  // endpoints instead of aborting the whole bench report.
+  StatAccumulator acc;
+  for (double v : {10.0, 20.0, 30.0}) acc.Add(v);
+  EXPECT_DOUBLE_EQ(acc.Percentile(-5.0), 10.0);
+  EXPECT_DOUBLE_EQ(acc.Percentile(150.0), 30.0);
+  EXPECT_DOUBLE_EQ(acc.Percentile(std::nan("")), 10.0);
 }
 
 TEST(StatAccumulator, AddAfterPercentileKeepsOrder) {
