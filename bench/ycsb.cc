@@ -1,0 +1,329 @@
+// YCSB-style benchmark for mm::BTree (DESIGN.md §15): A/B/C mixes with
+// zipfian key popularity over a tree whose node arena is deliberately
+// starved of pcache (cache ≪ data), across 2-4 simulated nodes.
+//
+// Virtual-clock numbers (throughput, per-op p50/p99/p999) report the
+// modeled cost of the descent funnel. The gated headline is wall-clock and
+// self-relative, exactly like bench/readpath: the same read-heavy mix runs
+// once with the latch-free tiers on and once as the queue-path-only
+// ablation (optimistic reads disabled end to end), and the p99 Get
+// speedup between the two is machine-independent because both halves run
+// on the same host in the same process. The queue path's cost is host-side
+// machinery (task enqueue, worker wake-up, promise/future handoff) that a
+// latch-free descent never touches.
+//
+// Gates (ci/check_perf.py "ycsb"): p99_get_speedup >= 3x, scans in exact
+// sorted order, std::map-oracle checksum bit-exact across 3 seeds,
+// optimistic restart rate < 5%.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "mm/apps/kvstore.h"
+#include "mm/comm/communicator.h"
+#include "mm/comm/launch.h"
+#include "mm/index/btree.h"
+#include "mm/mega_mmap.h"
+#include "mm/util/hash.h"
+
+namespace {
+
+using mm::MixU64;
+using mm::apps::KvRecord;
+using mm::apps::KvTree;
+using mm::apps::MakeRecord;
+using mm::apps::ZipfianGenerator;
+
+constexpr std::uint64_t kNumKeys = 20000;  // ~2.2 MB of leaves at 100 B values
+constexpr std::uint64_t kOpsPerRank = 6000;
+constexpr std::uint64_t kWarmupOps = 200;   // untimed wall-clock warm-up
+constexpr std::uint64_t kScanLen = 16;
+constexpr std::uint64_t kCacheNodes = 64;   // pcache ≪ data: 256 KB vs 2.2 MB
+constexpr double kZipfTheta = 0.99;
+
+struct MixSpec {
+  const char* name;
+  double read, update, scan;
+  int nodes;
+};
+
+struct MixResult {
+  std::vector<double> get_sim_s, update_sim_s, scan_sim_s;
+  std::vector<double> get_wall_ns;
+  std::uint64_t ops = 0;
+  std::uint64_t scan_items = 0;
+  std::uint64_t unsorted_scans = 0;
+  std::uint64_t descents = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t pcache_hits = 0;
+  std::uint64_t scache_probes = 0;
+  std::uint64_t queue_fallbacks = 0;
+  double sim_seconds = 0.0;
+};
+
+// One full mix measurement. `latch_free` flips BOTH the tree's descent
+// tiers and the service's optimistic read path, so false is the pure
+// queue-path ablation the gate compares against.
+MixResult RunMix(const MixSpec& mix, bool latch_free) {
+  auto cluster = mm::sim::Cluster::PaperTestbed(mix.nodes);
+  mm::core::ServiceOptions so;
+  so.tier_grants = {{mm::sim::TierKind::kDram, mm::MEGABYTES(64)},
+                    {mm::sim::TierKind::kNvme, mm::MEGABYTES(256)}};
+  so.enable_optimistic_reads = latch_free;
+  mm::core::Service svc(cluster.get(), so);
+
+  std::vector<MixResult> per_rank(mix.nodes);
+  auto run = mm::comm::RunRanks(
+      *cluster, mix.nodes, 1, [&](mm::comm::RankContext& ctx) {
+        mm::comm::Communicator comm(&ctx);
+        mm::index::BTreeOptions opt;
+        opt.max_nodes = 1 << 16;
+        opt.cache_bytes = kCacheNodes * 4096;
+        opt.latch_free = latch_free;
+        KvTree tree(svc, ctx, std::string("mem://ycsb_") + mix.name +
+                                  (latch_free ? "_lf" : "_q"),
+                    opt);
+        if (comm.rank() == 0) tree.Create();
+        comm.Barrier();
+        tree.Refresh();
+        const auto nranks = static_cast<std::uint64_t>(comm.size());
+        for (std::uint64_t i = comm.rank(); i < kNumKeys; i += nranks) {
+          const std::uint64_t key = MixU64(i + 1);
+          tree.Put(key, MakeRecord(key, 0));
+        }
+        comm.Barrier();
+        tree.Refresh();
+
+        MixResult& mine = per_rank[comm.rank()];
+        const mm::index::DescentStats before = tree.stats();
+        ZipfianGenerator zipf(kNumKeys, kZipfTheta,
+                              mm::HashCombine(7, comm.rank()));
+        mm::Rng op_rng(mm::HashCombine(11, comm.rank()));
+        std::vector<std::pair<std::uint64_t, KvRecord>> scan_buf;
+        const double sim_start = ctx.clock().now();
+        for (std::uint64_t op = 0; op < kWarmupOps + kOpsPerRank; ++op) {
+          const bool timed = op >= kWarmupOps;
+          const std::uint64_t key = MixU64(zipf.Next() + 1);
+          const double u = op_rng.NextDouble();
+          const double t0 = ctx.clock().now();
+          if (u < mix.read) {
+            KvRecord rec{};
+            const auto w0 = std::chrono::steady_clock::now();
+            // Zipf-drawn keys are all loaded, and latency is the measurement.
+            (void)tree.Get(key, &rec);
+            const auto w1 = std::chrono::steady_clock::now();
+            if (timed) {
+              mine.get_sim_s.push_back(ctx.clock().now() - t0);
+              mine.get_wall_ns.push_back(
+                  std::chrono::duration<double, std::nano>(w1 - w0).count());
+            }
+          } else if (u < mix.read + mix.update) {
+            tree.Put(key, MakeRecord(key, op + 1));
+            if (timed) mine.update_sim_s.push_back(ctx.clock().now() - t0);
+          } else {
+            scan_buf.clear();
+            const std::uint64_t got = tree.Scan(key, kScanLen, &scan_buf);
+            if (timed) {
+              mine.scan_sim_s.push_back(ctx.clock().now() - t0);
+              mine.scan_items += got;
+              for (std::size_t i = 1; i < scan_buf.size(); ++i) {
+                if (!(scan_buf[i - 1].first < scan_buf[i].first)) {
+                  ++mine.unsorted_scans;
+                  break;
+                }
+              }
+            }
+          }
+          if (timed) ++mine.ops;
+        }
+        mine.sim_seconds = ctx.clock().now() - sim_start;
+        const mm::index::DescentStats after = tree.stats();
+        mine.descents = after.descents - before.descents;
+        mine.restarts = after.restarts - before.restarts;
+        mine.pcache_hits = after.pcache_hits - before.pcache_hits;
+        mine.scache_probes = after.scache_probes - before.scache_probes;
+        mine.queue_fallbacks = after.queue_fallbacks - before.queue_fallbacks;
+        comm.Barrier();
+      });
+  if (!run.ok()) {
+    std::fprintf(stderr, "ycsb %s: %s\n", mix.name, run.error.c_str());
+    std::exit(1);
+  }
+
+  MixResult total;
+  for (MixResult& r : per_rank) {
+    auto app = [](std::vector<double>& dst, const std::vector<double>& src) {
+      dst.insert(dst.end(), src.begin(), src.end());
+    };
+    app(total.get_sim_s, r.get_sim_s);
+    app(total.update_sim_s, r.update_sim_s);
+    app(total.scan_sim_s, r.scan_sim_s);
+    app(total.get_wall_ns, r.get_wall_ns);
+    total.ops += r.ops;
+    total.scan_items += r.scan_items;
+    total.unsorted_scans += r.unsorted_scans;
+    total.descents += r.descents;
+    total.restarts += r.restarts;
+    total.pcache_hits += r.pcache_hits;
+    total.scache_probes += r.scache_probes;
+    total.queue_fallbacks += r.queue_fallbacks;
+    total.sim_seconds = std::max(total.sim_seconds, r.sim_seconds);
+  }
+  return total;
+}
+
+// std::map-oracle property check: the apps driver's DSM run must fold the
+// exact same op outcomes as its single-threaded std::map replay, for each
+// fault seed the flake lane sweeps.
+bool OracleIdentical(std::uint64_t seed) {
+  auto cluster = mm::sim::Cluster::PaperTestbed(1);
+  mm::core::ServiceOptions so;
+  so.tier_grants = {{mm::sim::TierKind::kDram, mm::MEGABYTES(64)},
+                    {mm::sim::TierKind::kNvme, mm::MEGABYTES(256)}};
+  mm::core::Service svc(cluster.get(), so);
+  mm::apps::KvConfig cfg;
+  cfg.num_keys = 3000;
+  cfg.ops_per_rank = 1500;
+  cfg.read_frac = 0.5;
+  cfg.update_frac = 0.3;
+  cfg.scan_frac = 0.15;
+  cfg.seed = seed;
+  cfg.key_prefix = "mem://ycsb_oracle_" + std::to_string(seed);
+  mm::apps::KvResult res;
+  auto run = mm::comm::RunRanks(*cluster, 1, 1,
+                                [&](mm::comm::RankContext& ctx) {
+                                  mm::comm::Communicator comm(&ctx);
+                                  res = mm::apps::RunKvWorkload(svc, comm, cfg);
+                                });
+  if (!run.ok()) {
+    std::fprintf(stderr, "oracle seed %llu: %s\n",
+                 static_cast<unsigned long long>(seed), run.error.c_str());
+    std::exit(1);
+  }
+  return res.checksum == mm::apps::ReferenceKvChecksum(cfg, 0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path =
+      argc > 1 && argv[1][0] != '-' ? argv[1] : "BENCH_ycsb.json";
+  const bool csv = mmbench::CsvMode(argc, argv);
+
+  // YCSB-A update-heavy, -B read-heavy, -C read-only-plus-scans. B and C
+  // both get an ablation twin running the identical workload with every
+  // latch-free tier disabled; C's pair carries the gate.
+  const MixSpec mix_a{"A", 0.50, 0.50, 0.00, 2};
+  const MixSpec mix_b{"B", 0.95, 0.05, 0.00, 2};
+  const MixSpec mix_c{"C", 0.95, 0.00, 0.05, 4};
+
+  MixResult a = RunMix(mix_a, /*latch_free=*/true);
+  MixResult b = RunMix(mix_b, /*latch_free=*/true);
+  MixResult b_queue = RunMix(mix_b, /*latch_free=*/false);
+  MixResult c = RunMix(mix_c, /*latch_free=*/true);
+  MixResult c_queue = RunMix(mix_c, /*latch_free=*/false);
+
+  // The gated speedup comes from the C pair: same 95%-read workload, only
+  // the read tiers differ, and no update traffic muddies the Get tail. The
+  // B pair's speedup is reported alongside (it carries 5% writer
+  // interference in both halves and lands lower).
+  mm::StatAccumulator b_wall, bq_wall, c_wall, cq_wall;
+  for (double v : b.get_wall_ns) b_wall.Add(v);
+  for (double v : b_queue.get_wall_ns) bq_wall.Add(v);
+  for (double v : c.get_wall_ns) c_wall.Add(v);
+  for (double v : c_queue.get_wall_ns) cq_wall.Add(v);
+  const double p99_get_speedup =
+      c_wall.Percentile(99) > 0
+          ? cq_wall.Percentile(99) / c_wall.Percentile(99)
+          : 0.0;
+  const double b_p99_get_speedup =
+      b_wall.Percentile(99) > 0
+          ? bq_wall.Percentile(99) / b_wall.Percentile(99)
+          : 0.0;
+
+  const std::uint64_t scans_total = c.scan_items + c_queue.scan_items;
+  const std::uint64_t unsorted = a.unsorted_scans + b.unsorted_scans +
+                                 b_queue.unsorted_scans + c.unsorted_scans +
+                                 c_queue.unsorted_scans;
+  const double scan_sorted = unsorted == 0 ? 1.0 : 0.0;
+
+  bool oracle_ok = true;
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    oracle_ok = OracleIdentical(seed) && oracle_ok;
+  }
+  const double oracle_identical = oracle_ok ? 1.0 : 0.0;
+
+  const std::uint64_t lf_descents = a.descents + b.descents + c.descents;
+  const std::uint64_t lf_restarts = a.restarts + b.restarts + c.restarts;
+  const double restart_rate =
+      lf_descents > 0
+          ? static_cast<double>(lf_restarts) / static_cast<double>(lf_descents)
+          : 0.0;
+
+  mm::TablePrinter table({"mix", "nodes", "ops", "kops_per_sim_s",
+                          "get_p50_us", "get_p99_us", "get_p999_us"});
+  auto add_row = [&](const char* name, const MixSpec& m, MixResult& r) {
+    mm::StatAccumulator acc;
+    for (double v : r.get_sim_s) acc.Add(v);
+    const double kops =
+        r.sim_seconds > 0 ? r.ops / r.sim_seconds / 1e3 : 0.0;
+    table.AddRow({name, mmbench::Fmt(m.nodes, 0),
+                  mmbench::Fmt(static_cast<double>(r.ops), 0),
+                  mmbench::Fmt(kops, 1),
+                  mmbench::Fmt(acc.Percentile(50) * 1e6, 2),
+                  mmbench::Fmt(acc.Percentile(99) * 1e6, 2),
+                  mmbench::Fmt(acc.Percentile(99.9) * 1e6, 2)});
+  };
+  add_row("A", mix_a, a);
+  add_row("B", mix_b, b);
+  add_row("B/queue", mix_b, b_queue);
+  add_row("C", mix_c, c);
+  add_row("C/queue", mix_c, c_queue);
+  std::printf("%s", table.Render(csv).c_str());
+  std::printf(
+      "p99_get_speedup=%.2fx scan_sorted=%.0f oracle_identical=%.0f "
+      "restart_rate=%.4f (descents=%llu scans=%llu)\n",
+      p99_get_speedup, scan_sorted, oracle_identical, restart_rate,
+      static_cast<unsigned long long>(lf_descents),
+      static_cast<unsigned long long>(scans_total));
+
+  // Funnel shares on the latch-free read-heavy mix: how much index traffic
+  // the lock-free tiers absorbed before the task queue.
+  const double node_reads = static_cast<double>(
+      b.pcache_hits + b.scache_probes + b.queue_fallbacks);
+  const double queue_share =
+      node_reads > 0 ? b.queue_fallbacks / node_reads : 0.0;
+
+  mm::StatAccumulator b_get_sim, b_update_sim, c_scan_sim;
+  for (double v : b.get_sim_s) b_get_sim.Add(v);
+  for (double v : b.update_sim_s) b_update_sim.Add(v);
+  for (double v : c.scan_sim_s) c_scan_sim.Add(v);
+
+  mmbench::BenchReport report("ycsb");
+  report.Config("num_keys", static_cast<double>(kNumKeys));
+  report.Config("ops_per_rank", static_cast<double>(kOpsPerRank));
+  report.Config("cache_nodes", static_cast<double>(kCacheNodes));
+  report.Config("zipf_theta", kZipfTheta);
+  report.Config("scan_len", static_cast<double>(kScanLen));
+  report.Metric("p99_get_speedup", p99_get_speedup);
+  report.Metric("b_p99_get_speedup", b_p99_get_speedup);
+  report.Metric("scan_sorted", scan_sorted);
+  report.Metric("oracle_identical", oracle_identical);
+  report.Metric("restart_rate", restart_rate);
+  report.Metric("queue_share_read_heavy", queue_share);
+  report.Metric("c_get_p99_wall_ns", c_wall.Percentile(99));
+  report.Metric("c_queue_get_p99_wall_ns", cq_wall.Percentile(99));
+  report.Metric("b_get_p99_wall_ns", b_wall.Percentile(99));
+  report.Metric("b_queue_get_p99_wall_ns", bq_wall.Percentile(99));
+  report.Metric("b_kops_per_sim_s",
+                b.sim_seconds > 0 ? b.ops / b.sim_seconds / 1e3 : 0.0);
+  report.Series("b_get_sim_s", b_get_sim);
+  report.Series("b_update_sim_s", b_update_sim);
+  report.Series("c_scan_sim_s", c_scan_sim);
+  report.Series("b_get_wall_ns", b_wall);
+  report.Series("b_queue_get_wall_ns", bq_wall);
+  if (!report.Write(out_path)) return 1;
+  return 0;
+}

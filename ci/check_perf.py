@@ -27,6 +27,12 @@ Two report kinds are gated, keyed by the report's "name":
                  analyzed epoch's attributed stall must fit inside the
                  measured stall (coverage in [1.0, 1.05]) and must be
                  non-degenerate. Virtual clock, so machine-independent.
+  ycsb           mm::BTree ordered index (DESIGN.md §15): the read-heavy
+                 mix's p99 Get speedup over its queue-path-only ablation is
+                 self-relative wall clock (>= 3x), scans must come back in
+                 exact sorted order, the DSM run must match its std::map
+                 oracle bit-exactly across 3 seeds, and the optimistic
+                 restart rate must stay under 5%.
 """
 
 import argparse
@@ -114,6 +120,22 @@ FIG7_FLOORS = [
     ("critpath_coverage_min", 1.0),
     ("critpath_epochs", 1.0),
     ("critpath_attributed_ms", 1.0),
+]
+
+# ycsb gates (ISSUE 10). p99_get_speedup is the queue-path ablation's
+# wall-clock p99 Get latency over the latch-free run's, same machine and
+# process, so it gates absolutely like readpath's. restart_rate counts
+# optimistic descent restarts over all latch-free descents; the exact
+# gates are pure correctness bits computed by the harness.
+YCSB_CEILINGS = [
+    ("restart_rate", 0.05),
+]
+YCSB_FLOORS = [
+    ("p99_get_speedup", 3.0),
+]
+YCSB_EXACT = [
+    ("scan_sorted", 1.0),
+    ("oracle_identical", 1.0),
 ]
 
 
@@ -214,6 +236,9 @@ def main() -> int:
     elif name == "fig7_tiering":
         failed = gate_absolute(current, FIG7_CEILINGS, [],
                                floors=FIG7_FLOORS)
+    elif name == "ycsb":
+        failed = gate_absolute(current, YCSB_CEILINGS, YCSB_EXACT,
+                               floors=YCSB_FLOORS)
     else:
         if args.baseline is None:
             print("a baseline report is required for hotpath gating",

@@ -62,6 +62,14 @@ Rules (see DESIGN.md "Concurrency contracts & static analysis"):
           stale entry is a broken promise. Catalog rows are
           `| `mm.family.*` | `name`, `{a,b}_suffix`, ... |` with brace
           groups expanded combinatorially.
+  MML011  Raw B-tree node byte access (`.leaf.keys`, `->inner.seps`,
+          `node.hdr`, ...) outside the index subsystem. A NodeBlock is one
+          DSM page whose frame seqlock doubles as the node version lock
+          (DESIGN.md §15): reading its fields without a validated snapshot
+          (NodeRef over a TryReadOptimistic/probe copy) or writing them
+          outside a FrameWriteGuard section tears the latch-free readers.
+          Only include/mm/index/ + src/index/ may touch node internals;
+          tests/test_btree.cc is exempt as the white-box layout test.
 
 Suppression: put `mm-lint: allow(MMLnnn <reason>)` in a comment on the
 offending line or the line directly above it. Suppressions without a
@@ -140,6 +148,16 @@ FRAME_VERSION_EXEMPT = ("core/pcache", "core/optimistic_guard")
 UNBOUNDED_RECV_RE = re.compile(
     r"(?:\.|->)\s*(Recv(?:Bytes|Value)?)(?=\s*[<(])")
 COMM_DIRS = ("src/comm/", "include/mm/comm/")
+
+# MML011 --------------------------------------------------------------------
+# Two routes into node bytes: through the NodeBlock union arms
+# (`blk.leaf.keys`, `->inner.children`) or through an identifier containing
+# "node" touching a node field directly. The index subsystem owns both.
+TREE_NODE_UNION_RE = re.compile(
+    r"(?:\.|->)\s*(leaf|inner)\s*\.\s*(keys|vals|seps|children|fence)\b")
+TREE_NODE_IDENT_RE = re.compile(
+    r"\b(\w*[Nn]ode\w*)\s*(?:\.|->)\s*(hdr|keys|vals|seps|children|fence)\b")
+TREE_NODE_EXEMPT = ("include/mm/index/", "src/index/", "tests/test_btree.cc")
 
 ALLOW_RE = re.compile(r"mm-lint:\s*allow\(\s*(MML\d{3})\b([^)]*)\)")
 
@@ -484,6 +502,28 @@ class FileScanner:
                             "Version/SetVersion (reads need the acquire + "
                             "validate protocol, writes a FrameWriteGuard)")
 
+    def check_mml011(self) -> None:
+        # Ordered-index contract (DESIGN.md §15): NodeBlock bytes are only
+        # coherent under the frame seqlock / write-guard protocol the index
+        # subsystem implements; everyone else goes through BTree's API.
+        rel_norm = self.rel.replace(os.sep, "/")
+        if rel_norm.startswith(TREE_NODE_EXEMPT):
+            return
+        for idx, line in enumerate(self.code_lines):
+            m = TREE_NODE_UNION_RE.search(line)
+            if m:
+                self.report(idx + 1, "MML011",
+                            f"raw node byte access `{m.group(1)}.{m.group(2)}` "
+                            "outside index/ — go through mm::BTree (or NodeRef "
+                            "over a guard-validated snapshot)")
+                continue
+            m = TREE_NODE_IDENT_RE.search(line)
+            if m:
+                self.report(idx + 1, "MML011",
+                            f"raw node field access `{m.group(1)}.{m.group(2)}` "
+                            "outside index/ — go through mm::BTree (or NodeRef "
+                            "over a guard-validated snapshot)")
+
     def run(self) -> list[Finding]:
         self.check_mml001()
         self.check_mml002()
@@ -494,6 +534,7 @@ class FileScanner:
         self.check_mml007()
         self.check_mml008()
         self.check_mml009()
+        self.check_mml011()
         return self.findings
 
 

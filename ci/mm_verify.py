@@ -98,6 +98,7 @@ MML104_BENCH_ALLOWLIST = (
     "bench/hotpath.cc",
     "bench/readpath.cc",
     "bench/micro_access_overhead.cc",
+    "bench/ycsb.cc",
 )
 
 # MML103 ---------------------------------------------------------------------

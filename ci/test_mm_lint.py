@@ -387,6 +387,55 @@ class Mml009FrameVersionTest(unittest.TestCase):
         self.assertEqual(lint_snippet(snippet), [])
 
 
+class Mml011TreeNodeBytesTest(unittest.TestCase):
+    def test_flags_union_arm_access_in_core(self):
+        snippet = ("void F(NodeBlock& blk) {\n"
+                   "  auto k = blk.leaf.keys[0];\n"
+                   "  blk.inner.children[1] = 7;\n"
+                   "}\n")
+        findings = lint_snippet(snippet)
+        self.assertEqual(rules_of(findings), ["MML011", "MML011"])
+        self.assertEqual(findings[0].line, 2)
+
+    def test_flags_node_named_identifier_fields(self):
+        snippet = ("void F(LeafNode* node, InnerNode& root_node) {\n"
+                   "  node->hdr.count = 0;\n"
+                   "  auto s = root_node.seps[2];\n"
+                   "}\n")
+        self.assertEqual(rules_of(lint_snippet(snippet)),
+                         ["MML011", "MML011"])
+
+    def test_flags_in_benches_too(self):
+        snippet = ("int main() {\n"
+                   "  auto f = blk.leaf.fence;\n"
+                   "}\n")
+        self.assertEqual(rules_of(lint_snippet(snippet, rel="bench/x.cc")),
+                        ["MML011"])
+
+    def test_index_subsystem_and_layout_test_are_exempt(self):
+        snippet = ("void F(NodeBlock& blk) {\n"
+                   "  blk.leaf.keys[0] = 1;\n"
+                   "}\n")
+        for rel in ("include/mm/index/btree.h", "src/index/metrics.cc",
+                    "tests/test_btree.cc"):
+            self.assertEqual(lint_snippet(snippet, rel=rel), [], rel)
+
+    def test_api_use_is_clean(self):
+        snippet = ("void F(mm::index::BTree<int, int>& tree, NodeRef r) {\n"
+                   "  tree.Put(1, 2);\n"
+                   "  auto k = r.key(0);\n"
+                   "  auto c = r.child(1);\n"
+                   "}\n")
+        self.assertEqual(lint_snippet(snippet), [])
+
+    def test_suppression_applies(self):
+        snippet = ("void F(NodeBlock& blk) {\n"
+                   "  // mm-lint: allow(MML011 offline repair tool)\n"
+                   "  blk.leaf.keys[0] = 1;\n"
+                   "}\n")
+        self.assertEqual(lint_snippet(snippet), [])
+
+
 CATALOG_STUB = ("## 11. Telemetry\n"
                 "### Metric catalog\n"
                 "| family | metrics |\n"

@@ -842,6 +842,19 @@ class TestRepoTreeClean(unittest.TestCase):
                        "mm::core::VectorMeta::backend_mu"), edges)
         self.assertIn(("mm::core::Service::inflight_mu_",
                        "mm::BlockingQueue::mu_"), edges)
+        # The index subsystem's SMO lease sits above the distributed lock
+        # and the service internals (DESIGN.md §15): its MM_ACQUIRED_BEFORE
+        # declaration must resolve (no MML101 unresolved-ref findings) and
+        # keep these edges in the declared contract.
+        declared, unresolved = mm_verify.declared_edges(model)
+        self.assertEqual(unresolved, [], unresolved)
+        declared_pairs = {(e.src, e.dst) for e in declared}
+        for dst in ("mm::comm::DistributedLock::mu_",
+                    "mm::core::Service::vectors_mu_",
+                    "mm::core::Service::inflight_mu_",
+                    "mm::BlockingQueue::mu_"):
+            self.assertIn(("mm::index::BTreeBase::smo_mu_", dst),
+                          declared_pairs)
 
 
 if __name__ == "__main__":

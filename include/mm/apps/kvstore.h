@@ -1,0 +1,109 @@
+// YCSB-style key-value serving workload over mm::BTree (DESIGN.md §15) —
+// the first app that addresses the DSM by KEY instead of by offset. A
+// shared ordered index is bulk-loaded collectively, then every rank runs a
+// configurable read/update/scan mix with zipfian key popularity, the
+// access pattern of the ROADMAP's "millions of users" serving story:
+//
+//   * ZipfianGenerator — YCSB's zeta-based sampler, fully deterministic in
+//                        its seed (MML104: no wall clocks, no std::rand);
+//   * RunKvWorkload    — collective load + mixed-op phase, per-op latencies
+//                        on the virtual clock plus an order-sensitive
+//                        result checksum the std::map oracle must match
+//                        bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mm/comm/communicator.h"
+#include "mm/core/service.h"
+#include "mm/index/btree.h"
+#include "mm/util/rng.h"
+
+namespace mm::apps {
+
+/// YCSB-style 100-byte record. Deterministic function of (key, version) so
+/// any reader can verify a value without out-of-band state.
+struct KvRecord {
+  std::uint8_t payload[100];
+};
+
+KvRecord MakeRecord(std::uint64_t key, std::uint64_t version);
+
+/// 64-bit digest of a record (for result checksums / oracle comparison).
+std::uint64_t RecordDigest(const KvRecord& rec);
+
+using KvTree = index::BTree<std::uint64_t, KvRecord>;
+
+/// YCSB zipfian sampler (Gray et al.'s zeta construction, as in YCSB's
+/// ZipfianGenerator): item ranks in [0, n) with P(rank) ∝ 1/rank^theta.
+/// Rank 0 is the hottest; callers scatter ranks over the key space with
+/// MixU64 so hot keys spread across leaves.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(std::uint64_t n, double theta, std::uint64_t seed);
+  std::uint64_t Next();
+  std::uint64_t n() const { return n_; }
+
+ private:
+  std::uint64_t n_;
+  double theta_;
+  double zetan_;
+  double zeta2_;
+  double alpha_;
+  double eta_;
+  Rng rng_;
+};
+
+struct KvConfig {
+  std::uint64_t num_keys = 20'000;
+  std::uint64_t ops_per_rank = 5'000;
+  /// Op mix; fractions must sum to <= 1, the remainder is inserts of new
+  /// keys (YCSB-D-style growth). A=0.5/0.5/0, B=0.95/0.05/0, C=1/0/0.
+  double read_frac = 0.95;
+  double update_frac = 0.05;
+  double scan_frac = 0.0;
+  std::uint64_t scan_len = 16;
+  double zipf_theta = 0.99;
+  std::uint64_t seed = 42;
+  /// Tree knobs (cache budget ≪ data is the interesting regime).
+  index::BTreeOptions tree;
+  std::string key_prefix = "mem://kv";
+};
+
+struct KvResult {
+  std::uint64_t gets = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t updates = 0;
+  std::uint64_t inserts = 0;
+  std::uint64_t scans = 0;
+  std::uint64_t scan_items = 0;
+  /// Virtual-clock seconds spent in the op phase and per-op latencies by
+  /// kind (machine-independent; the bench reports percentiles over these).
+  double sim_seconds = 0.0;
+  std::vector<double> get_lat_s;
+  std::vector<double> update_lat_s;
+  std::vector<double> scan_lat_s;
+  /// Order-sensitive digest over every op's observed outcome (hit/miss,
+  /// record digests, scan keys in order) — the std::map oracle replays the
+  /// same deterministic op stream and must produce the same digest.
+  std::uint64_t checksum = 0;
+  /// Owner-thread descent statistics snapshot after the op phase.
+  index::DescentStats stats;
+};
+
+/// Collective KV workload: rank 0 creates the tree, all ranks bulk-load a
+/// round-robin partition of the key space (record version 0), barrier +
+/// coherence refresh, then every rank runs `ops_per_rank` mixed ops on its
+/// deterministic zipfian stream. Updates bump the record version to the
+/// writing rank's op index, so values stay verifiable.
+KvResult RunKvWorkload(core::Service& service, comm::Communicator& comm,
+                       const KvConfig& cfg);
+
+/// Single-threaded std::map replay of exactly the op stream `rank` would
+/// run in RunKvWorkload against a solo-loaded map — the oracle for the
+/// single-rank property test (digests must match bit-for-bit).
+std::uint64_t ReferenceKvChecksum(const KvConfig& cfg, int rank);
+
+}  // namespace mm::apps

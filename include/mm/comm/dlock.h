@@ -16,7 +16,13 @@ class DistributedLock {
  public:
   /// Creates a lock homed on `home_node` of the world's cluster.
   DistributedLock(World* world, std::size_t home_node)
-      : world_(world), home_node_(home_node) {}
+      : DistributedLock(&world->cluster(), home_node) {}
+
+  /// Same lock, identified by the cluster alone — for holders that outlive
+  /// or predate any World (e.g. the Service-registered named locks that
+  /// mm::BTree leases; Service::GetDistributedLock).
+  DistributedLock(sim::Cluster* cluster, std::size_t home_node)
+      : cluster_(cluster), home_node_(home_node) {}
 
   /// Blocks until the lock is held; charges the round trip and any wait for
   /// the previous holder to the caller's virtual clock.
@@ -41,7 +47,7 @@ class DistributedLock {
   };
 
  private:
-  World* world_;
+  sim::Cluster* cluster_;
   std::size_t home_node_;
   Mutex mu_;
   sim::SimTime last_release_ MM_GUARDED_BY(mu_) = 0.0;

@@ -20,6 +20,7 @@
 #include <unordered_set>
 
 #include "mm/ckpt/coordinator.h"
+#include "mm/comm/dlock.h"
 #include "mm/core/coherence.h"
 #include "mm/core/memory_task.h"
 #include "mm/core/options.h"
@@ -353,6 +354,14 @@ class Service {
   /// Looks up a registered vector by key (nullptr if unknown).
   VectorMeta* FindVector(const std::string& key);
 
+  /// Connects to (or creates) a named distributed lock homed on
+  /// `home_node`. All ranks requesting the same key get the SAME lock
+  /// object — the real mutex inside it is what makes cross-rank critical
+  /// sections genuinely exclusive (mm::BTree's SMO lease). Idempotent and
+  /// thread-safe; `home_node` must agree across callers of one key.
+  comm::DistributedLock& GetDistributedLock(const std::string& key,
+                                            std::size_t home_node);
+
   /// Registers the PGAS partition of a vector (from Vector::Pgas). All
   /// ranks must pass identical values.
   void SetPgasHint(VectorMeta& meta, VectorMeta::PgasHint hint);
@@ -532,6 +541,13 @@ class Service {
       MM_GUARDED_BY(vectors_mu_);
   std::unordered_map<std::uint64_t, VectorMeta*> vectors_by_id_
       MM_GUARDED_BY(vectors_mu_);
+
+  // Named distributed locks (GetDistributedLock). locks_mu_ only guards
+  // the registry map — never held across an Acquire, so it takes no place
+  // above DistributedLock::mu_ in the hierarchy.
+  Mutex locks_mu_;
+  std::map<std::string, std::unique_ptr<comm::DistributedLock>> dlocks_
+      MM_GUARDED_BY(locks_mu_);
 
   // Per-node in-flight page-fault dedup: concurrent faults for the same
   // blob on one node share one fetch (also how MM_COLLECTIVE transactions

@@ -1,0 +1,812 @@
+// mm::BTree — a distributed ordered index over the DSM (DESIGN.md §15).
+//
+// A fixed-fanout B-link tree whose nodes live one-per-page in a DSM node
+// arena (`mm::Vector<NodeBlock>`), so every coherence, caching, and
+// recovery property of the page layer carries over to the index:
+//
+//   reads    latch-free root-to-leaf descents over validated node
+//            snapshots, served by a three-tier funnel: (1) the local
+//            pcache frame seqlock (`Vector::TryReadOptimistic`), (2) the
+//            scache-side directory-validated probe
+//            (`Service::TryReadPageOptimistic` — PR 7's open follow-up),
+//            (3) the routed queue fault. Fence keys + right-sibling links
+//            make any committed snapshot a valid starting point: keys that
+//            split away are found by moving right, and structurally
+//            insane snapshots trigger a bounded restart before the queue
+//            path takes over.
+//   writes   Put/Delete/splits run under the SMO write lease: the
+//            per-rank `smo_mu_` (annotated, in the MM_ACQUIRED_BEFORE
+//            hierarchy so mm-verify MML101 checks its order) nested around
+//            the cross-rank `DistributedLock`. The lease holder refreshes
+//            coherence (stale clean pages dropped), mutates node pages
+//            through `Vector::Set` — each store a FrameWriteGuard seqlock
+//            section — and publishes level-by-level: a split commits the
+//            new sibling and the shrunk+linked old node BEFORE the parent
+//            separator, so concurrent readers only ever see B-link-
+//            consistent states, locally and across nodes.
+//
+// Thread-affinity follows mm::Vector: a BTree instance belongs to one
+// rank; other ranks construct their own handle with the same name. Only
+// `TryGet`/`TryScan` may be called from other threads (latch-free tiers
+// only — they never fault, never touch the LRU, never charge the clock).
+#pragma once
+
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mm/comm/dlock.h"
+#include "mm/comm/world.h"
+#include "mm/core/service.h"
+#include "mm/core/vector.h"
+#include "mm/index/metrics.h"
+#include "mm/index/node.h"
+#include "mm/util/mutex.h"
+
+namespace mm::index {
+
+struct BTreeOptions {
+  /// Arena capacity in nodes (== pages). Backing pages materialize lazily,
+  /// so a generous ceiling costs nothing until allocated.
+  std::uint64_t max_nodes = 1ull << 20;
+  /// Per-rank pcache budget for the node arena; 0 = 64 nodes. Kept small
+  /// on purpose: the descent funnel, not residency, is the fast path.
+  std::uint64_t cache_bytes = 0;
+  /// Latch-free descent tiers (pcache seqlock + scache probe). Off = the
+  /// queue-path-only ablation bench/ycsb compares against.
+  bool latch_free = true;
+  /// Descent restarts (validation failure, fence-chase overrun) before the
+  /// owner path falls back to queue-fault reads, mirroring
+  /// TryReadPageOptimistic's bounded attempts.
+  int max_restarts = 8;
+  /// Lateral (right-sibling) hops tolerated within one descent.
+  int max_lateral = 64;
+  /// Home node of the cross-rank SMO lease.
+  std::size_t lock_home = 0;
+};
+
+/// Owner-thread descent statistics (cross-thread Try* paths report through
+/// their out-params and the lock-free mm.index.* counters instead).
+struct DescentStats {
+  std::uint64_t descents = 0;
+  std::uint64_t node_reads = 0;
+  std::uint64_t pcache_hits = 0;
+  std::uint64_t scache_probes = 0;
+  std::uint64_t queue_fallbacks = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t lateral_moves = 0;
+  std::uint64_t smos = 0;
+};
+
+/// Non-template holder of the per-rank structure-modification lock, so the
+/// lock has a fixed `Class::field` identity for mm-verify's hierarchy
+/// (MML101) regardless of the tree's instantiation.
+class BTreeBase {
+ protected:
+  /// Serializes this rank's mutating entry points (Put/Delete/Create)
+  /// against each other; held across the cross-rank lease and the page
+  /// layer, hence ordered before everything the write path can take.
+  mutable Mutex smo_mu_ MM_ACQUIRED_BEFORE(comm::DistributedLock::mu_,
+                                           core::Service::vectors_mu_,
+                                           core::Service::inflight_mu_,
+                                           BlockingQueue::mu_);
+};
+
+template <class K, class V, std::size_t Bytes = 4096>
+class BTree : public BTreeBase {
+ public:
+  using Block = NodeBlock<K, V, Bytes>;
+  using Ref = NodeRef<K, V, Bytes>;
+  using Leaf = LeafNode<K, V, Bytes>;
+  using Inner = InnerNode<K, V, Bytes>;
+
+  BTree(core::Service& service, comm::RankContext& ctx,
+        const std::string& name, BTreeOptions opt = {})
+      : svc_(&service),
+        ctx_(&ctx),
+        opt_(opt),
+        name_(name),
+        arena_(service, ctx, name + "/nodes", opt.max_nodes,
+               ArenaOptions(opt)),
+        anchor_(service, ctx, name + "/anchor", 1, AnchorOptions()),
+        // Every rank's handle leases the SAME service-registered lock
+        // object: the real mutex inside it is the cross-rank exclusion.
+        smo_lease_(&service.GetDistributedLock(name + "/smo_lock",
+                                               opt.lock_home)),
+        metrics_(service.telemetry_sink(ctx.node())) {}
+
+  BTree(const BTree&) = delete;
+  BTree& operator=(const BTree&) = delete;
+
+  /// One rank initializes the shared tree (empty root leaf + anchor) before
+  /// first use; everyone barriers after. Idempotent under the lease.
+  void Create() {
+    MutexLock lock(smo_mu_);
+    comm::DistributedLock::Guard lease(*smo_lease_, *ctx_);
+    WriterTx wtx(this);
+    TreeAnchor a = anchor_.Read(0);
+    if (a.height != 0) {
+      wtx.Finish();
+      return;  // another rank won the race under an earlier lease
+    }
+    Block root{};
+    root.hdr.level = 0;
+    root.hdr.count = 0;
+    root.hdr.right = kInvalidNode;
+    WriteNode(0, root);
+    a.root = 0;
+    a.height = 1;
+    a.next_node = 1;
+    a.smo_epoch = 1;
+    anchor_.Set(0, a);
+    wtx.Finish();
+  }
+
+  /// Sync-point coherence acquire: drops stale clean node/anchor pages so
+  /// this rank's next descents observe other ranks' committed updates.
+  /// (Descents are correct without it — any committed snapshot reaches all
+  /// keys through right links — this just shortens the lateral chains.)
+  void Refresh() {
+    anchor_.SeqTxBegin(0, 1, core::MM_READ_ONLY);
+    anchor_.TxEnd();
+    arena_.SeqTxBegin(0, arena_.size(), core::MM_READ_ONLY);
+    arena_.TxEnd();
+  }
+
+  /// Publishes this rank's uncommitted modifications (Vector::Commit on
+  /// arena then anchor). Mutating entry points already publish before
+  /// releasing the lease; this is for explicit sync points.
+  void Commit() {
+    arena_.Commit();
+    anchor_.Commit();
+  }
+
+  // ---- owner-thread operations ----
+
+  /// Point lookup. Latch-free descent with bounded restart, then the queue
+  /// path (owner reads of committed pages, which cannot fail validation).
+  bool Get(const K& k, V* out) {
+    metrics_.descents->Inc();
+    ++stats_.descents;
+    TreeAnchor a = ReadAnchorOwner();
+    if (a.height == 0) return false;
+    Block blk;
+    if (!DescendOwner(k, a, &blk)) return false;
+    Ref r(&blk);
+    std::uint32_t i = r.LowerBound(k);
+    if (i < r.count() && !(k < r.key(i))) {
+      if (out != nullptr) *out = r.value(i);
+      return true;
+    }
+    return false;
+  }
+
+  /// First key >= k, with its value. Returns false past the last key.
+  bool LowerBound(const K& k, K* key_out, V* val_out) {
+    std::vector<std::pair<K, V>> one;
+    if (Scan(k, 1, &one) == 0) return false;
+    if (key_out != nullptr) *key_out = one[0].first;
+    if (val_out != nullptr) *val_out = one[0].second;
+    return true;
+  }
+
+  /// Insert or update. Runs under the SMO write lease; splits propagate
+  /// bottom-up with a commit barrier per level (children published before
+  /// the parent names them).
+  void Put(const K& k, const V& v) {
+    MutexLock lock(smo_mu_);
+    comm::DistributedLock::Guard lease(*smo_lease_, *ctx_);
+    WriterTx wtx(this);
+    TreeAnchor a = anchor_.Read(0);
+    MM_CHECK_MSG(a.height != 0, "BTree::Put before Create()");
+    std::vector<std::uint64_t> path;
+    Block blk;
+    DescendForWrite(k, a, &blk, &path);
+    const std::uint64_t leaf_id = path.back();
+
+    Ref r(&blk);
+    std::uint32_t i = r.LowerBound(k);
+    if (i < blk.hdr.count && !(k < blk.leaf.keys[i])) {
+      blk.leaf.vals[i] = v;  // in-place update, single-page atomic publish
+      WriteNode(leaf_id, blk);
+      wtx.Finish();
+      return;
+    }
+    if (blk.hdr.count < Leaf::kCap) {
+      InsertLeafSlot(&blk, i, k, v);
+      WriteNode(leaf_id, blk);
+      wtx.Finish();
+      return;
+    }
+    SplitAndInsert(&a, path, blk, k, v);
+    anchor_.Set(0, a);
+    wtx.Finish();
+  }
+
+  /// Removes k if present. Leaves are shrunk in place — no merging or
+  /// rebalancing (underfull leaves persist; §15 documents the trade).
+  bool Delete(const K& k) {
+    MutexLock lock(smo_mu_);
+    comm::DistributedLock::Guard lease(*smo_lease_, *ctx_);
+    WriterTx wtx(this);
+    TreeAnchor a = anchor_.Read(0);
+    MM_CHECK_MSG(a.height != 0, "BTree::Delete before Create()");
+    std::vector<std::uint64_t> path;
+    Block blk;
+    DescendForWrite(k, a, &blk, &path);
+    Ref r(&blk);
+    std::uint32_t i = r.LowerBound(k);
+    if (i >= blk.hdr.count || k < blk.leaf.keys[i]) {
+      wtx.Finish();
+      return false;
+    }
+    for (std::uint32_t j = i; j + 1 < blk.hdr.count; ++j) {
+      blk.leaf.keys[j] = blk.leaf.keys[j + 1];
+      blk.leaf.vals[j] = blk.leaf.vals[j + 1];
+    }
+    --blk.hdr.count;
+    WriteNode(path.back(), blk);
+    wtx.Finish();
+    return true;
+  }
+
+  /// Ordered range scan: up to `limit` pairs with key >= from, appended to
+  /// *out in strictly increasing key order. Returns the number appended.
+  /// Strictness is enforced across leaf hops (a concurrent split can
+  /// present a key twice — once in the old leaf, once right of it).
+  std::uint64_t Scan(const K& from, std::uint64_t limit,
+                     std::vector<std::pair<K, V>>* out) {
+    metrics_.descents->Inc();
+    ++stats_.descents;
+    TreeAnchor a = ReadAnchorOwner();
+    if (a.height == 0 || limit == 0) return 0;
+    Block blk;
+    if (!DescendOwner(from, a, &blk)) return 0;
+    std::uint64_t emitted = 0;
+    K last{};
+    int hops = 0;
+    while (emitted < limit) {
+      Ref r(&blk);
+      for (std::uint32_t i = r.LowerBound(from); i < r.count(); ++i) {
+        const K& key = r.key(i);
+        if (emitted > 0 && !(last < key)) continue;  // split replay
+        out->emplace_back(key, r.value(i));
+        last = key;
+        if (++emitted >= limit) break;
+      }
+      if (emitted >= limit || r.right() == kInvalidNode) break;
+      if (++hops > static_cast<int>(opt_.max_nodes)) break;  // cycle guard
+      ReadNodeOwner(r.right(), &blk, /*leaf_hint=*/true);
+    }
+    return emitted;
+  }
+
+  // ---- cross-thread latch-free probes ----
+
+  /// Lock-free point lookup from ANY thread while the owner mutates: only
+  /// the latch-free tiers, bounded restarts, no faulting, no clock. A
+  /// false return with `*conclusive == false` means "couldn't tell" (miss
+  /// or persistent races) — callers retry or route to the owner thread.
+  bool TryGet(const K& k, V* out, bool* conclusive = nullptr,
+              int* restarts = nullptr) const {
+    if (conclusive != nullptr) *conclusive = false;
+    TreeAnchor a;
+    if (!TryReadAnchor(&a)) return false;
+    if (a.height == 0) return false;
+    for (int attempt = 0; attempt <= opt_.max_restarts; ++attempt) {
+      Block blk;
+      int rc = TryDescend(k, a, &blk);
+      if (rc < 0) return false;  // a tier-1/2 miss: inconclusive
+      if (rc > 0) {              // structural restart
+        if (restarts != nullptr) ++*restarts;
+        metrics_.restarts->Inc();
+        continue;
+      }
+      Ref r(&blk);
+      std::uint32_t i = r.LowerBound(k);
+      if (conclusive != nullptr) *conclusive = true;
+      if (i < r.count() && !(k < r.key(i))) {
+        if (out != nullptr) *out = r.value(i);
+        return true;
+      }
+      return false;
+    }
+    return false;
+  }
+
+  /// Lock-free ordered scan from any thread. Returns the count appended,
+  /// or -1 when inconclusive (miss/races); output is strictly sorted.
+  std::int64_t TryScan(const K& from, std::uint64_t limit,
+                       std::vector<std::pair<K, V>>* out) const {
+    TreeAnchor a;
+    if (!TryReadAnchor(&a) || a.height == 0) return -1;
+    for (int attempt = 0; attempt <= opt_.max_restarts; ++attempt) {
+      Block blk;
+      int rc = TryDescend(from, a, &blk);
+      if (rc < 0) return -1;
+      if (rc > 0) {
+        metrics_.restarts->Inc();
+        continue;
+      }
+      const std::size_t base = out->size();
+      std::uint64_t emitted = 0;
+      K last{};
+      bool inconclusive = false;
+      int hops = 0;
+      while (emitted < limit) {
+        Ref r(&blk);
+        if (!r.Sane(0, opt_.max_nodes)) {
+          inconclusive = true;  // racing writer: retry whole scan
+          break;
+        }
+        for (std::uint32_t i = r.LowerBound(from); i < r.count(); ++i) {
+          const K& key = r.key(i);
+          if (emitted > 0 && !(last < key)) continue;
+          out->emplace_back(key, r.value(i));
+          last = key;
+          if (++emitted >= limit) break;
+        }
+        if (emitted >= limit || r.right() == kInvalidNode) break;
+        if (++hops > static_cast<int>(opt_.max_nodes)) {
+          inconclusive = true;
+          break;
+        }
+        if (!TryReadNode(r.right(), &blk)) {
+          inconclusive = true;
+          break;
+        }
+      }
+      if (!inconclusive) return static_cast<std::int64_t>(emitted);
+      out->resize(base);
+    }
+    return -1;
+  }
+
+  // ---- introspection ----
+
+  /// Structural integrity walk (owner thread): every leaf reachable along
+  /// the bottom chain, keys strictly sorted globally, levels consistent.
+  /// Used by the node-death test after CollectiveRecover.
+  Status CheckIntegrity(std::uint64_t* keys_out = nullptr) {
+    TreeAnchor a = ReadAnchorOwner();
+    if (a.height == 0) {
+      if (keys_out != nullptr) *keys_out = 0;
+      return Status::Ok();
+    }
+    // Leftmost spine: child(0) at every inner level.
+    Block blk;
+    ReadNodeOwner(a.root, &blk, /*leaf_hint=*/a.height == 1);
+    int guard = 0;
+    while (blk.hdr.level > 0) {
+      Ref r(&blk);
+      if (!r.Sane(blk.hdr.level, opt_.max_nodes)) {
+        return Internal("insane inner node on leftmost spine");
+      }
+      if (++guard > 64) return Internal("leftmost spine too deep");
+      ReadNodeOwner(r.child(0), &blk, /*leaf_hint=*/blk.hdr.level == 1);
+    }
+    // Bottom chain: strict global order, bounded length.
+    std::uint64_t keys = 0;
+    bool have_last = false;
+    K last{};
+    std::uint64_t hops = 0;
+    while (true) {
+      Ref r(&blk);
+      if (!r.Sane(0, opt_.max_nodes)) return Internal("insane leaf");
+      for (std::uint32_t i = 0; i < r.count(); ++i) {
+        if (have_last && !(last < r.key(i))) {
+          return Internal("leaf chain keys out of order");
+        }
+        last = r.key(i);
+        have_last = true;
+        ++keys;
+      }
+      if (r.right() == kInvalidNode) break;
+      if (++hops > opt_.max_nodes) return Internal("leaf chain cycle");
+      ReadNodeOwner(r.right(), &blk, /*leaf_hint=*/true);
+    }
+    if (keys_out != nullptr) *keys_out = keys;
+    return Status::Ok();
+  }
+
+  const DescentStats& stats() const { return stats_; }
+  const BTreeOptions& options() const { return opt_; }
+  const std::string& name() const { return name_; }
+  TreeAnchor anchor_snapshot() { return ReadAnchorOwner(); }
+
+ private:
+  static core::VectorOptions ArenaOptions(const BTreeOptions& o) {
+    core::VectorOptions vo;
+    vo.page_size = sizeof(Block);  // one node per page: frame seqlock == node lock
+    vo.pcache_bytes =
+        o.cache_bytes != 0 ? o.cache_bytes : 64 * sizeof(Block);
+    vo.prefetch_depth = 0;  // descents are pointer chases; prefetch is noise
+    vo.nonvolatile = false;
+    vo.optimistic_readers = true;
+    return vo;
+  }
+  static core::VectorOptions AnchorOptions() {
+    core::VectorOptions vo;
+    vo.page_size = sizeof(TreeAnchor);
+    vo.pcache_bytes = 4 * sizeof(TreeAnchor);
+    vo.prefetch_depth = 0;
+    vo.nonvolatile = false;
+    vo.optimistic_readers = true;
+    return vo;
+  }
+
+  /// Write lease body: coherence acquire at entry (stale clean pages
+  /// dropped so the holder reads the latest committed tree), publish at
+  /// Finish (arena before anchor, so a root switch never outruns the root
+  /// node's bytes).
+  class WriterTx {
+   public:
+    explicit WriterTx(BTree* t) : t_(t) {
+      t_->anchor_.SeqTxBegin(0, 1, core::MM_READ_WRITE);
+      t_->arena_.SeqTxBegin(0, t_->arena_.size(), core::MM_READ_WRITE);
+    }
+    void Finish() {
+      if (done_) return;
+      done_ = true;
+      t_->arena_.TxEnd();
+      t_->anchor_.TxEnd();
+    }
+    ~WriterTx() noexcept(false) { Finish(); }
+    WriterTx(const WriterTx&) = delete;
+    WriterTx& operator=(const WriterTx&) = delete;
+
+   private:
+    BTree* t_;
+    bool done_ = false;
+  };
+
+  void WriteNode(std::uint64_t id, const Block& blk) {
+    // Vector::Set brackets the store in a FrameWriteGuard seqlock section
+    // (optimistic_readers is on) and marks the element dirty; the commit
+    // at lease end routes it through the coherence directory so remote
+    // replicas invalidate.
+    arena_.Set(id, blk);
+  }
+
+  TreeAnchor ReadAnchorOwner() {
+    TreeAnchor a;
+    if (anchor_.TryReadOptimistic(0, &a)) return a;
+    return anchor_.Read(0);
+  }
+
+  bool TryReadAnchor(TreeAnchor* a) const {
+    if (anchor_.TryReadOptimistic(0, a)) return true;
+    return TryProbeScache(anchor_meta(), 0, a, sizeof(TreeAnchor));
+  }
+
+  /// Tier 1 + 2 node snapshot; false = inconclusive miss. Any thread.
+  bool TryReadNode(std::uint64_t id, Block* out) const {
+    if (!opt_.latch_free) return false;
+    metrics_.node_reads->Inc();
+    if (arena_.TryReadOptimistic(id, out)) {
+      metrics_.pcache_hits->Inc();
+      return true;
+    }
+    if (TryProbeScache(arena_meta(), id, out, sizeof(Block))) {
+      metrics_.scache_probes->Inc();
+      return true;
+    }
+    return false;
+  }
+
+  /// Directory-validated scache copy on the calling thread (thread-safe:
+  /// the metadata and buffer managers are internally synchronized). Uses a
+  /// detached virtual timestamp — cross-thread probes have no rank clock
+  /// to charge, exactly like Vector::TryReadOptimistic.
+  template <class T>
+  bool TryProbeScache(core::VectorMeta& meta, std::uint64_t page, T* out,
+                      std::size_t bytes) const {
+    sim::SimTime done = 0.0;
+    auto data = svc_->TryReadPageOptimistic(meta, page, ctx_->node(), 0.0,
+                                            &done);
+    if (!data.has_value() || data->size() < bytes) return false;
+    std::memcpy(out, data->data(), bytes);
+    return true;
+  }
+
+  /// Owner-thread node snapshot through the three-tier funnel. The funnel
+  /// is level-aware: inner nodes — a handful of hot pages by construction —
+  /// stage through the normal fault tier on a miss so the tree's upper
+  /// levels stay pcache-resident, while leaf reads (the overwhelming bulk
+  /// of the arena) go pcache seqlock → scache probe → queue and never
+  /// stage, so leaf traffic cannot thrash the frames the inners live in.
+  /// The queue tier cannot fail (committed pages always serve).
+  void ReadNodeOwner(std::uint64_t id, Block* out, bool leaf_hint) {
+    metrics_.node_reads->Inc();
+    ++stats_.node_reads;
+    ctx_->Compute(ctx_->costs().memory_access_s +
+                  ctx_->costs().mm_access_overhead_s);
+    if (opt_.latch_free) {
+      if (arena_.TryReadOptimistic(id, out)) {
+        metrics_.pcache_hits->Inc();
+        ++stats_.pcache_hits;
+        return;
+      }
+      if (leaf_hint) {
+        sim::SimTime t0 = ctx_->clock().now();
+        sim::SimTime t1 = t0;
+        auto data = svc_->TryReadPageOptimistic(arena_.meta(), id,
+                                                ctx_->node(), t0, &t1);
+        ctx_->clock().AdvanceTo(t1);
+        if (data.has_value() && data->size() >= sizeof(Block)) {
+          std::memcpy(out, data->data(), sizeof(Block));
+          metrics_.scache_probes->Inc();
+          ++stats_.scache_probes;
+          return;
+        }
+      }
+    }
+    metrics_.queue_fallbacks->Inc();
+    ++stats_.queue_fallbacks;
+    *out = arena_.Read(id);
+  }
+
+  /// Shared descent step semantics: walk from the anchor's root to the
+  /// leaf covering k, moving right past fences, validating every snapshot.
+  /// Returns 0 = *out is the leaf, 1 = restart (structural anomaly),
+  /// -1 = inconclusive read (Try path only).
+  /// ReadFn is (id, expected_level, out) -> bool so the funnel can route
+  /// inner levels and leaves to different tiers. The expected level comes
+  /// from the anchor (height - 1 at the root), not from the node bytes —
+  /// Sane() then cross-checks every snapshot against it, so a stale
+  /// root-vs-anchor pairing surfaces as a restart, never a wrong walk.
+  template <class ReadFn>
+  int DescendWith(const K& k, const TreeAnchor& a, Block* out,
+                  ReadFn&& read, std::vector<std::uint64_t>* path) const {
+    if (a.root >= opt_.max_nodes || a.height == 0 || a.height >= 64) return 1;
+    std::uint32_t level = static_cast<std::uint32_t>(a.height - 1);
+    std::uint64_t id = a.root;
+    if (!read(id, level, out)) return -1;
+    int lateral = 0;
+    while (true) {
+      Ref r(out);
+      if (!r.Sane(level, opt_.max_nodes)) return 1;
+      if (r.FenceMiss(k) && r.right() != kInvalidNode) {
+        if (++lateral > opt_.max_lateral) return 1;
+        id = r.right();
+        if (!read(id, level, out)) return -1;
+        continue;  // same expected level
+      }
+      if (path != nullptr) {
+        // Record the node actually used at this level (post fence-chase).
+        if (path->empty() || path->back() != id) path->push_back(id);
+      }
+      if (level == 0) return 0;
+      id = r.ChildFor(k);
+      --level;
+      if (!read(id, level, out)) return -1;
+    }
+  }
+
+  /// Owner descent: latch-free with bounded restarts, then one final pass
+  /// on the queue tier alone (committed reads cannot fail validation, but
+  /// keep the structural guards — a zeroed never-written page must surface
+  /// as Internal, not UB).
+  bool DescendOwner(const K& k, const TreeAnchor& a, Block* out) {
+    auto funnel = [this](std::uint64_t id, std::uint32_t lvl, Block* b) {
+      ReadNodeOwner(id, b, /*leaf_hint=*/lvl == 0);
+      return true;
+    };
+    for (int attempt = 0; attempt <= opt_.max_restarts; ++attempt) {
+      int rc = DescendWith(k, a, out, funnel, nullptr);
+      if (rc == 0) return true;
+      metrics_.restarts->Inc();
+      ++stats_.restarts;
+    }
+    auto queue_only = [this](std::uint64_t id, std::uint32_t, Block* b) {
+      metrics_.node_reads->Inc();
+      ++stats_.node_reads;
+      metrics_.queue_fallbacks->Inc();
+      ++stats_.queue_fallbacks;
+      *b = arena_.Read(id);
+      return true;
+    };
+    int rc = DescendWith(k, a, out, queue_only, nullptr);
+    if (rc != 0) {
+      throw std::runtime_error("mm::BTree descent failed on committed state"
+                               " (tree '" + name_ + "' corrupt?)");
+    }
+    return true;
+  }
+
+  /// Cross-thread descent attempt: tiers 1+2 only.
+  int TryDescend(const K& k, const TreeAnchor& a, Block* out) const {
+    auto probe = [this](std::uint64_t id, std::uint32_t, Block* b) {
+      return TryReadNode(id, b);
+    };
+    return DescendWith(k, a, out, probe, nullptr);
+  }
+
+  /// Writer descent under the lease: coherent by construction, records the
+  /// exact node id used per level (root first, leaf last).
+  void DescendForWrite(const K& k, const TreeAnchor& a, Block* leaf,
+                       std::vector<std::uint64_t>* path) {
+    auto funnel = [this](std::uint64_t id, std::uint32_t lvl, Block* b) {
+      ReadNodeOwner(id, b, /*leaf_hint=*/lvl == 0);
+      return true;
+    };
+    int rc = DescendWith(k, a, leaf, funnel, path);
+    if (rc != 0) {
+      // The lease excludes concurrent writers, so a structural anomaly here
+      // is not a race: re-read through the queue tier once, then give up.
+      path->clear();
+      auto queue_only = [this](std::uint64_t id, std::uint32_t, Block* b) {
+        *b = arena_.Read(id);
+        return true;
+      };
+      rc = DescendWith(k, a, leaf, queue_only, path);
+      MM_CHECK_MSG(rc == 0, "mm::BTree writer descent failed under lease");
+    }
+  }
+
+  static void InsertLeafSlot(Block* blk, std::uint32_t i, const K& k,
+                             const V& v) {
+    for (std::uint32_t j = blk->hdr.count; j > i; --j) {
+      blk->leaf.keys[j] = blk->leaf.keys[j - 1];
+      blk->leaf.vals[j] = blk->leaf.vals[j - 1];
+    }
+    blk->leaf.keys[i] = k;
+    blk->leaf.vals[i] = v;
+    ++blk->hdr.count;
+  }
+
+  std::uint64_t AllocNode(TreeAnchor* a) {
+    MM_CHECK_MSG(a->next_node < opt_.max_nodes,
+                 "mm::BTree node arena exhausted (raise max_nodes)");
+    return a->next_node++;
+  }
+
+  /// Full-leaf insert: split, publish bottom-up with a commit barrier per
+  /// level. The new sibling is written before the old node shrinks and
+  /// links to it, and both are committed before the parent separator —
+  /// so every committed prefix is a consistent B-link tree.
+  void SplitAndInsert(TreeAnchor* a, const std::vector<std::uint64_t>& path,
+                      Block leaf, const K& k, const V& v) {
+    metrics_.smos->Inc();
+    ++stats_.smos;
+    const std::uint64_t left_id = path.back();
+    const std::uint64_t right_id = AllocNode(a);
+
+    const std::uint32_t mid = leaf.hdr.count / 2;
+    Block right{};
+    right.hdr.level = 0;
+    right.hdr.count = leaf.hdr.count - mid;
+    right.hdr.right = leaf.hdr.right;
+    right.hdr.flags = leaf.hdr.flags;
+    right.leaf.fence = leaf.leaf.fence;
+    for (std::uint32_t j = 0; j < right.hdr.count; ++j) {
+      right.leaf.keys[j] = leaf.leaf.keys[mid + j];
+      right.leaf.vals[j] = leaf.leaf.vals[mid + j];
+    }
+    K sep = right.leaf.keys[0];
+    leaf.hdr.count = mid;
+    leaf.hdr.right = right_id;
+    leaf.hdr.flags |= NodeHeader::kHasFence;
+    leaf.leaf.fence = sep;
+
+    // Route the pending insert to its half, then publish sibling-first.
+    if (k < sep) {
+      Ref r(&leaf);
+      InsertLeafSlot(&leaf, r.LowerBound(k), k, v);
+    } else {
+      Ref r(&right);
+      InsertLeafSlot(&right, r.LowerBound(k), k, v);
+    }
+    WriteNode(right_id, right);
+    WriteNode(left_id, leaf);
+
+    // Propagate (sep, right_id) upward; path.size()-2 is the leaf's parent.
+    std::uint64_t child_right = right_id;
+    int p = static_cast<int>(path.size()) - 2;
+    while (true) {
+      arena_.Commit();  // level barrier: children visible before the parent
+      if (p < 0) {
+        GrowRoot(a, path.front(), sep, child_right);
+        return;
+      }
+      Block parent;
+      ReadNodeOwner(path[static_cast<std::size_t>(p)], &parent,
+                    /*leaf_hint=*/false);
+      Ref pr(&parent);
+      std::uint32_t i = pr.LowerBound(sep);
+      if (parent.hdr.count < Inner::kCap) {
+        for (std::uint32_t j = parent.hdr.count; j > i; --j) {
+          parent.inner.seps[j] = parent.inner.seps[j - 1];
+          parent.inner.children[j + 1] = parent.inner.children[j];
+        }
+        parent.inner.seps[i] = sep;
+        parent.inner.children[i + 1] = child_right;
+        ++parent.hdr.count;
+        WriteNode(path[static_cast<std::size_t>(p)], parent);
+        return;
+      }
+      // Inner split: push up seps[mid]; the right half takes the upper
+      // separators and children, the left keeps fence = pushed separator.
+      metrics_.smos->Inc();
+      ++stats_.smos;
+      const std::uint64_t inner_right_id = AllocNode(a);
+      const std::uint32_t c = parent.hdr.count;
+      const std::uint32_t m = c / 2;
+      K up = parent.inner.seps[m];
+      Block iright{};
+      iright.hdr.level = parent.hdr.level;
+      iright.hdr.count = c - m - 1;
+      iright.hdr.right = parent.hdr.right;
+      iright.hdr.flags = parent.hdr.flags;
+      iright.inner.fence = parent.inner.fence;
+      for (std::uint32_t j = 0; j < iright.hdr.count; ++j) {
+        iright.inner.seps[j] = parent.inner.seps[m + 1 + j];
+      }
+      for (std::uint32_t j = 0; j <= iright.hdr.count; ++j) {
+        iright.inner.children[j] = parent.inner.children[m + 1 + j];
+      }
+      parent.hdr.count = m;
+      parent.hdr.right = inner_right_id;
+      parent.hdr.flags |= NodeHeader::kHasFence;
+      parent.inner.fence = up;
+      // The pending (sep, child_right) lands in whichever half covers it.
+      Block* target = (sep < up) ? &parent : &iright;
+      Ref tr(target);
+      std::uint32_t ti = tr.LowerBound(sep);
+      for (std::uint32_t j = target->hdr.count; j > ti; --j) {
+        target->inner.seps[j] = target->inner.seps[j - 1];
+        target->inner.children[j + 1] = target->inner.children[j];
+      }
+      target->inner.seps[ti] = sep;
+      target->inner.children[ti + 1] = child_right;
+      ++target->hdr.count;
+      WriteNode(inner_right_id, iright);
+      WriteNode(path[static_cast<std::size_t>(p)], parent);
+      sep = up;
+      child_right = inner_right_id;
+      --p;
+    }
+  }
+
+  void GrowRoot(TreeAnchor* a, std::uint64_t left, const K& sep,
+                std::uint64_t right) {
+    metrics_.smos->Inc();
+    ++stats_.smos;
+    const std::uint64_t root_id = AllocNode(a);
+    Block root{};
+    Block probe;
+    ReadNodeOwner(left, &probe, /*leaf_hint=*/false);
+    root.hdr.level = probe.hdr.level + 1;
+    root.hdr.count = 1;
+    root.hdr.right = kInvalidNode;
+    root.inner.seps[0] = sep;
+    root.inner.children[0] = left;
+    root.inner.children[1] = right;
+    WriteNode(root_id, root);
+    arena_.Commit();  // root bytes visible before the anchor names them
+    a->root = root_id;
+    a->height = probe.hdr.level + 2;
+    ++a->smo_epoch;
+  }
+
+  core::VectorMeta& arena_meta() const {
+    return const_cast<BTree*>(this)->arena_.meta();
+  }
+  core::VectorMeta& anchor_meta() const {
+    return const_cast<BTree*>(this)->anchor_.meta();
+  }
+
+  core::Service* svc_;
+  comm::RankContext* ctx_;
+  BTreeOptions opt_;
+  std::string name_;
+  core::Vector<Block> arena_;
+  core::Vector<TreeAnchor> anchor_;
+  comm::DistributedLock* smo_lease_;
+  IndexMetrics metrics_;
+  DescentStats stats_;
+};
+
+}  // namespace mm::index

@@ -1,0 +1,28 @@
+// Index read-path telemetry (DESIGN.md §11 "mm.index.*", §15). Handles are
+// resolved once per tree at construction from the node's sink; the
+// counters narrate the three-tier descent funnel:
+//
+//   node_read_count  = pcache_hit + scache_probe_hit + queue_fallback
+//
+// so dashboards can see exactly how much of the index traffic the
+// latch-free tiers absorb before the task queue (PR 7's open follow-up).
+#pragma once
+
+#include "mm/telemetry/sink.h"
+
+namespace mm::index {
+
+struct IndexMetrics {
+  telemetry::Counter* descents = nullptr;        // root-to-leaf walks
+  telemetry::Counter* node_reads = nullptr;      // node snapshots taken
+  telemetry::Counter* pcache_hits = nullptr;     // tier 1: local frame seqlock
+  telemetry::Counter* scache_probes = nullptr;   // tier 2: directory-validated
+  telemetry::Counter* queue_fallbacks = nullptr; // tier 3: routed fault
+  telemetry::Counter* restarts = nullptr;        // descent restarts (any cause)
+  telemetry::Counter* smos = nullptr;            // splits + root growths
+
+  IndexMetrics() = default;
+  explicit IndexMetrics(const telemetry::NodeSink& sink);
+};
+
+}  // namespace mm::index

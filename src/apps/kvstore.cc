@@ -1,0 +1,221 @@
+#include "mm/apps/kvstore.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <map>
+
+#include "mm/util/hash.h"
+
+namespace mm::apps {
+namespace {
+
+// Op stream determinism shared by the DSM run and the std::map oracle:
+// everything below is a pure function of (cfg.seed, rank, op index).
+
+constexpr std::uint64_t kMaxRanks = 64;  // insert-key stride (>= any run)
+
+enum class OpKind { kGet, kUpdate, kScan, kInsert };
+
+/// Scatters a dense item index over the 64-bit key space so zipf-hot items
+/// land on unrelated leaves (collisions are negligible and harmless: the
+/// loaded record is a function of the key alone).
+std::uint64_t ScatterKey(std::uint64_t index) { return MixU64(index + 1); }
+
+std::uint64_t InsertKeyIndex(const KvConfig& cfg, int rank,
+                             std::uint64_t counter) {
+  return cfg.num_keys + counter * kMaxRanks + static_cast<std::uint64_t>(rank);
+}
+
+OpKind PickOp(Rng& rng, const KvConfig& cfg) {
+  const double u = rng.NextDouble();
+  if (u < cfg.read_frac) return OpKind::kGet;
+  if (u < cfg.read_frac + cfg.update_frac) return OpKind::kUpdate;
+  if (u < cfg.read_frac + cfg.update_frac + cfg.scan_frac) {
+    return OpKind::kScan;
+  }
+  return OpKind::kInsert;
+}
+
+double Zeta(std::uint64_t n, double theta) {
+  double sum = 0.0;
+  for (std::uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+}  // namespace
+
+KvRecord MakeRecord(std::uint64_t key, std::uint64_t version) {
+  KvRecord rec{};
+  std::uint64_t word = MixU64(key ^ MixU64(version));
+  for (std::size_t i = 0; i < sizeof(rec.payload); ++i) {
+    if (i % 8 == 0) word = MixU64(word);
+    rec.payload[i] = static_cast<std::uint8_t>(word >> ((i % 8) * 8));
+  }
+  return rec;
+}
+
+std::uint64_t RecordDigest(const KvRecord& rec) {
+  std::uint64_t h = 0x4b56444947455354ULL;  // "KVDIGEST"
+  for (std::size_t i = 0; i < sizeof(rec.payload); i += 8) {
+    std::uint64_t word = 0;
+    std::memcpy(&word, rec.payload + i,
+                std::min<std::size_t>(8, sizeof(rec.payload) - i));
+    h = HashCombine(h, word);
+  }
+  return h;
+}
+
+ZipfianGenerator::ZipfianGenerator(std::uint64_t n, double theta,
+                                   std::uint64_t seed)
+    : n_(n), theta_(theta), rng_(seed) {
+  zetan_ = Zeta(n_, theta_);
+  zeta2_ = Zeta(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2_ / zetan_);
+}
+
+std::uint64_t ZipfianGenerator::Next() {
+  const double u = rng_.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  auto rank = static_cast<std::uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return std::min(rank, n_ - 1);
+}
+
+KvResult RunKvWorkload(core::Service& service, comm::Communicator& comm,
+                       const KvConfig& cfg) {
+  comm::RankContext& ctx = comm.ctx();
+  KvTree tree(service, ctx, cfg.key_prefix, cfg.tree);
+
+  if (comm.rank() == 0) tree.Create();
+  comm.Barrier();
+  tree.Refresh();
+
+  // Collective bulk load: round-robin partition, record version 0 (a pure
+  // function of the key, so scatter collisions across ranks agree).
+  const auto nranks = static_cast<std::uint64_t>(comm.size());
+  for (std::uint64_t i = comm.rank(); i < cfg.num_keys; i += nranks) {
+    const std::uint64_t key = ScatterKey(i);
+    tree.Put(key, MakeRecord(key, 0));
+  }
+  comm.Barrier();
+  tree.Refresh();
+
+  KvResult res;
+  ZipfianGenerator zipf(cfg.num_keys, cfg.zipf_theta,
+                        HashCombine(cfg.seed, comm.rank()));
+  Rng op_rng(HashCombine(cfg.seed, 0x6f70ULL * (comm.rank() + 1)));
+  std::uint64_t insert_counter = 0;
+  std::vector<std::pair<std::uint64_t, KvRecord>> scan_buf;
+  const double t_start = ctx.clock().now();
+
+  for (std::uint64_t op = 0; op < cfg.ops_per_rank; ++op) {
+    const OpKind kind = PickOp(op_rng, cfg);
+    const std::uint64_t item = zipf.Next();
+    const std::uint64_t key = ScatterKey(item);
+    const double t0 = ctx.clock().now();
+    switch (kind) {
+      case OpKind::kGet: {
+        KvRecord rec{};
+        const bool hit = tree.Get(key, &rec);
+        ++res.gets;
+        if (hit) {
+          ++res.hits;
+          res.checksum = HashCombine(res.checksum, RecordDigest(rec));
+        } else {
+          res.checksum = HashCombine(res.checksum, 0);
+        }
+        res.get_lat_s.push_back(ctx.clock().now() - t0);
+        break;
+      }
+      case OpKind::kUpdate: {
+        tree.Put(key, MakeRecord(key, op + 1));
+        ++res.updates;
+        res.checksum = HashCombine(res.checksum, key);
+        res.update_lat_s.push_back(ctx.clock().now() - t0);
+        break;
+      }
+      case OpKind::kScan: {
+        scan_buf.clear();
+        const std::uint64_t got = tree.Scan(key, cfg.scan_len, &scan_buf);
+        ++res.scans;
+        res.scan_items += got;
+        for (const auto& [k, rec] : scan_buf) {
+          res.checksum = HashCombine(res.checksum, k);
+          res.checksum = HashCombine(res.checksum, RecordDigest(rec));
+        }
+        res.scan_lat_s.push_back(ctx.clock().now() - t0);
+        break;
+      }
+      case OpKind::kInsert: {
+        const std::uint64_t nk =
+            ScatterKey(InsertKeyIndex(cfg, comm.rank(), insert_counter++));
+        tree.Put(nk, MakeRecord(nk, op + 1));
+        ++res.inserts;
+        res.checksum = HashCombine(res.checksum, nk);
+        res.update_lat_s.push_back(ctx.clock().now() - t0);
+        break;
+      }
+    }
+  }
+  res.sim_seconds = ctx.clock().now() - t_start;
+  res.stats = tree.stats();
+  comm.Barrier();
+  return res;
+}
+
+std::uint64_t ReferenceKvChecksum(const KvConfig& cfg, int rank) {
+  std::map<std::uint64_t, KvRecord> map;
+  for (std::uint64_t i = 0; i < cfg.num_keys; ++i) {
+    const std::uint64_t key = ScatterKey(i);
+    map[key] = MakeRecord(key, 0);
+  }
+  std::uint64_t checksum = 0;
+  ZipfianGenerator zipf(cfg.num_keys, cfg.zipf_theta,
+                        HashCombine(cfg.seed, rank));
+  Rng op_rng(HashCombine(cfg.seed, 0x6f70ULL * (rank + 1)));
+  std::uint64_t insert_counter = 0;
+  for (std::uint64_t op = 0; op < cfg.ops_per_rank; ++op) {
+    const OpKind kind = PickOp(op_rng, cfg);
+    const std::uint64_t item = zipf.Next();
+    const std::uint64_t key = ScatterKey(item);
+    switch (kind) {
+      case OpKind::kGet: {
+        auto it = map.find(key);
+        checksum = HashCombine(
+            checksum, it == map.end() ? 0 : RecordDigest(it->second));
+        break;
+      }
+      case OpKind::kUpdate: {
+        map[key] = MakeRecord(key, op + 1);
+        checksum = HashCombine(checksum, key);
+        break;
+      }
+      case OpKind::kScan: {
+        auto it = map.lower_bound(key);
+        for (std::uint64_t got = 0; got < cfg.scan_len && it != map.end();
+             ++got, ++it) {
+          checksum = HashCombine(checksum, it->first);
+          checksum = HashCombine(checksum, RecordDigest(it->second));
+        }
+        break;
+      }
+      case OpKind::kInsert: {
+        const std::uint64_t nk =
+            ScatterKey(InsertKeyIndex(cfg, rank, insert_counter++));
+        map[nk] = MakeRecord(nk, op + 1);
+        checksum = HashCombine(checksum, nk);
+        break;
+      }
+    }
+  }
+  return checksum;
+}
+
+}  // namespace mm::apps

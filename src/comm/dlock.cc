@@ -9,19 +9,19 @@ constexpr std::uint64_t kControlBytes = 64;
 
 void DistributedLock::Acquire(RankContext& ctx) {
   // Request reaches the home node...
-  auto req = world_->cluster().network().Transfer(
-      ctx.clock().now(), ctx.node(), home_node_, kControlBytes);
+  auto req = cluster_->network().Transfer(ctx.clock().now(), ctx.node(),
+                                          home_node_, kControlBytes);
   mu_.Lock();  // real mutual exclusion; blocks until predecessor releases
   // ...the grant is issued once the previous holder's release arrived.
   sim::SimTime grant_start = std::max(req.delivered, last_release_);
-  auto grant = world_->cluster().network().Transfer(grant_start, home_node_,
-                                                    ctx.node(), kControlBytes);
+  auto grant = cluster_->network().Transfer(grant_start, home_node_, ctx.node(),
+                                            kControlBytes);
   ctx.clock().AdvanceTo(grant.delivered);
 }
 
 void DistributedLock::Release(RankContext& ctx) {
-  auto rel = world_->cluster().network().Transfer(
-      ctx.clock().now(), ctx.node(), home_node_, kControlBytes);
+  auto rel = cluster_->network().Transfer(ctx.clock().now(), ctx.node(),
+                                          home_node_, kControlBytes);
   last_release_ = rel.delivered;
   mu_.Unlock();
 }

@@ -1124,6 +1124,19 @@ VectorMeta* Service::FindVector(const std::string& key) {
   return it == vectors_.end() ? nullptr : it->second.get();
 }
 
+comm::DistributedLock& Service::GetDistributedLock(const std::string& key,
+                                                   std::size_t home_node) {
+  MutexLock lock(locks_mu_);
+  auto it = dlocks_.find(key);
+  if (it == dlocks_.end()) {
+    it = dlocks_
+             .emplace(key, std::make_unique<comm::DistributedLock>(
+                               cluster_, home_node))
+             .first;
+  }
+  return *it->second;
+}
+
 void Service::SetPgasHint(VectorMeta& meta, VectorMeta::PgasHint hint) {
   MutexLock lock(meta.hint_mu);
   meta.pgas_hint = hint;

@@ -1,0 +1,15 @@
+#include "mm/index/metrics.h"
+
+namespace mm::index {
+
+IndexMetrics::IndexMetrics(const telemetry::NodeSink& sink) {
+  descents = sink.metrics->GetCounter("mm.index.descent_count");
+  node_reads = sink.metrics->GetCounter("mm.index.node_read_count");
+  pcache_hits = sink.metrics->GetCounter("mm.index.pcache_hit_count");
+  scache_probes = sink.metrics->GetCounter("mm.index.scache_probe_hit_count");
+  queue_fallbacks = sink.metrics->GetCounter("mm.index.queue_fallback_count");
+  restarts = sink.metrics->GetCounter("mm.index.restart_count");
+  smos = sink.metrics->GetCounter("mm.index.smo_count");
+}
+
+}  // namespace mm::index
